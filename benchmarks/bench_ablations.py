@@ -1,0 +1,78 @@
+"""Ablation benches over SMART's design choices (DESIGN.md A1-A5)."""
+
+from conftest import save_rows
+
+from repro.eval.ablations import (
+    channel_split,
+    hpc_sweep,
+    mapping_comparison,
+    route_selection_comparison,
+    vc_sweep,
+)
+from repro.eval.report import render_table
+
+KW = dict(warmup_cycles=500, measure_cycles=10000, drain_limit=100000)
+
+
+def test_ablation_hpc_max(benchmark):
+    """A1: how far must a single cycle reach?"""
+    rows = benchmark.pedantic(
+        lambda: hpc_sweep("VOPD", (1, 2, 4, 8), **KW), rounds=1, iterations=1
+    )
+    print()
+    print(render_table(rows, title="A1: HPC_max sweep (VOPD, SMART)"))
+    save_rows("ablation_hpcmax", rows)
+    latencies = [r["mean_latency"] for r in rows]
+    assert latencies == sorted(latencies, reverse=True)
+    assert rows[-1]["forced_stops"] == 0
+
+
+def test_ablation_mapping(benchmark):
+    """A2: the modified NMAP vs baselines."""
+    rows = benchmark.pedantic(
+        lambda: mapping_comparison("VOPD", **KW), rounds=1, iterations=1
+    )
+    print()
+    print(render_table(rows, title="A2: mapping algorithm (VOPD, SMART)"))
+    save_rows("ablation_mapping", rows)
+    by_alg = {r["algorithm"]: r["mean_latency"] for r in rows}
+    assert by_alg["nmap_modified"] <= by_alg["row_major"]
+    assert by_alg["nmap_modified"] <= by_alg["random"]
+
+
+def test_ablation_channel_split(benchmark):
+    """A3: the §VI future-work channel split on a hub-limited app."""
+    rows = benchmark.pedantic(
+        lambda: channel_split("H264", **KW), rounds=1, iterations=1
+    )
+    print()
+    print(render_table(rows, title="A3: channel splitting (H264, SMART)"))
+    save_rows("ablation_split", rows)
+    assert rows[1]["mean_latency_ns"] < rows[0]["mean_latency_ns"]
+
+
+def test_ablation_vcs(benchmark):
+    """A4: VC count sensitivity."""
+    rows = benchmark.pedantic(
+        lambda: vc_sweep("H264", (1, 2, 4), **KW), rounds=1, iterations=1
+    )
+    print()
+    print(render_table(rows, title="A4: VCs per port (H264, SMART)"))
+    save_rows("ablation_vcs", rows)
+    latencies = [r["mean_latency"] for r in rows]
+    assert latencies[0] >= latencies[1] >= latencies[2] - 1e-9
+
+
+def test_ablation_route_selection(benchmark):
+    """A5: XY vs west-first conflict-minimising selection."""
+    rows = benchmark.pedantic(
+        lambda: route_selection_comparison("MWD", **KW), rounds=1, iterations=1
+    )
+    print()
+    print(render_table(rows, title="A5: route selection (MWD, SMART)"))
+    save_rows("ablation_routes", rows)
+    by_model = {r["turn_model"]: r for r in rows}
+    assert (
+        by_model["west_first"]["mean_stops_per_flow"]
+        <= by_model["xy"]["mean_stops_per_flow"] + 1e-9
+    )

@@ -1,0 +1,47 @@
+"""§III fabricated-chip measurements: data rates, power, energy, delay."""
+
+from conftest import save_rows
+
+from repro.circuits.signaling import BER_TARGET, chip_measurements
+from repro.eval.report import render_table
+
+PAPER = {
+    "vlr_max_rate_gbps": 6.8,
+    "vlr_power_mw": 4.14,
+    "vlr_energy_fj_b": 608.0,
+    "vlr_power_mw_at_5p5": 3.78,
+    "vlr_energy_fj_b_at_5p5": 687.0,
+    "vlr_delay_ps_mm": 60.0,
+    "fs_max_rate_gbps": 5.5,
+    "fs_power_mw": 4.21,
+    "fs_energy_fj_b": 765.0,
+    "fs_delay_ps_mm": 100.0,
+}
+
+
+def _generate():
+    vlr, full = chip_measurements()
+    rows = [
+        {"metric": "VLR max rate (Gb/s, BER<1e-9)", "model": vlr["max_rate_gbps"], "paper": PAPER["vlr_max_rate_gbps"]},
+        {"metric": "VLR power @max over 10mm (mW)", "model": round(vlr["power_mw"], 2), "paper": PAPER["vlr_power_mw"]},
+        {"metric": "VLR energy @max (fJ/b)", "model": round(vlr["energy_fj_per_bit"], 0), "paper": PAPER["vlr_energy_fj_b"]},
+        {"metric": "VLR power @5.5Gb/s (mW)", "model": round(vlr["power_mw_at_5p5"], 2), "paper": PAPER["vlr_power_mw_at_5p5"]},
+        {"metric": "VLR energy @5.5Gb/s (fJ/b)", "model": round(vlr["energy_fj_per_bit_at_5p5"], 0), "paper": PAPER["vlr_energy_fj_b_at_5p5"]},
+        {"metric": "VLR delay (ps/mm)", "model": vlr["delay_ps_per_mm"], "paper": PAPER["vlr_delay_ps_mm"]},
+        {"metric": "Full-swing max rate (Gb/s)", "model": full["max_rate_gbps"], "paper": PAPER["fs_max_rate_gbps"]},
+        {"metric": "Full-swing power @max (mW)", "model": round(full["power_mw"], 2), "paper": PAPER["fs_power_mw"]},
+        {"metric": "Full-swing energy @max (fJ/b)", "model": round(full["energy_fj_per_bit"], 0), "paper": PAPER["fs_energy_fj_b"]},
+        {"metric": "Full-swing delay (ps/mm)", "model": full["delay_ps_per_mm"], "paper": PAPER["fs_delay_ps_mm"]},
+    ]
+    return rows, vlr, full
+
+
+def test_chip_measurements(benchmark):
+    rows, vlr, full = benchmark.pedantic(_generate, rounds=3, iterations=1)
+    print()
+    print(render_table(rows, title="§III test-chip measurements (model vs paper)"))
+    save_rows("chip_measurements", rows)
+    for row in rows:
+        assert abs(row["model"] - row["paper"]) <= 0.02 * row["paper"] + 1e-9, row
+    assert vlr["ber_at_max"] < BER_TARGET
+    assert full["ber_at_max"] < BER_TARGET

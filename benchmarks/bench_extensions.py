@@ -1,0 +1,51 @@
+"""Benches for the paper's §VI extensions (DESIGN.md A6-A8):
+
+* non-minimal routes ("higher path diversity without any delay penalty"),
+* pinned tasks (heterogeneous SoCs magnify SMART's benefit),
+* load sweep (mesh link bandwidth is SMART's only ceiling).
+"""
+
+from conftest import save_rows
+
+from repro.eval.ablations import load_sweep, nonminimal_routing, pinned_mapping
+from repro.eval.report import render_table
+
+KW = dict(warmup_cycles=500, measure_cycles=10000, drain_limit=100000)
+
+
+def test_extension_nonminimal_routes(benchmark):
+    rows = benchmark.pedantic(
+        lambda: nonminimal_routing("MMS_DEC", **KW), rounds=1, iterations=1
+    )
+    print()
+    print(render_table(rows, title="A6: non-minimal routing (MMS_DEC, SMART)"))
+    save_rows("extension_nonminimal", rows)
+    assert rows[1]["mean_stops_per_flow"] <= rows[0]["mean_stops_per_flow"] + 1e-9
+    assert rows[1]["mean_latency"] <= rows[0]["mean_latency"] + 0.25
+
+
+def test_extension_pinned_mapping(benchmark):
+    rows = benchmark.pedantic(
+        lambda: pinned_mapping("VOPD", (0, 2, 4), **KW), rounds=1, iterations=1
+    )
+    print()
+    print(render_table(rows, title="A7: pinned tasks (VOPD)"))
+    save_rows("extension_pinned", rows)
+    # §VI: longer paths => bigger SMART saving.
+    assert rows[-1]["mean_hops"] > rows[0]["mean_hops"]
+    assert rows[-1]["smart_saving"] >= rows[0]["smart_saving"] - 0.02
+
+
+def test_extension_load_sweep(benchmark):
+    rows = benchmark.pedantic(
+        lambda: load_sweep("VOPD", (1.0, 4.0, 8.0, 16.0), **KW),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table(rows, title="A8: offered-load sweep (VOPD)"))
+    save_rows("extension_load", rows)
+    meshes = [r["mesh"] for r in rows]
+    assert meshes == sorted(meshes)
+    for row in rows:
+        assert row["smart"] < row["mesh"]

@@ -1,0 +1,54 @@
+"""Fig 10a: average packet network latency across the SoC suite.
+
+Shape targets from the paper: SMART cuts latency ~60% vs the mesh (to
+~3.8 cycles on average, within ~1.5 cycles of the Dedicated ideal);
+PIP/VOPD/WLAN are near-identical to Dedicated; H264 and MMS_MP3 trail
+Dedicated by 2-4 cycles because of their hub source/sink structure.
+"""
+
+from conftest import fig10_suite, save_rows
+
+from repro.eval.experiments import fig10a_rows, headline_metrics
+from repro.eval.report import render_table
+
+PAPER_SAVING = 0.601
+PAPER_SMART_MEAN = 3.8
+PAPER_GAP = 1.5
+
+
+def test_fig10a_latency(benchmark):
+    suite = benchmark.pedantic(fig10_suite, rounds=1, iterations=1)
+    rows = fig10a_rows(suite)
+    metrics = headline_metrics(suite)
+    print()
+    print(render_table(rows, title="Fig 10a: average packet latency (cycles)"))
+    print(
+        "SMART saving vs Mesh: %.1f%% (paper %.1f%%) | SMART mean %.2f "
+        "(paper %.1f) | gap vs Dedicated %.2f (paper %.1f)"
+        % (
+            100 * metrics.latency_saving_vs_mesh,
+            100 * PAPER_SAVING,
+            metrics.mean_latency_smart,
+            PAPER_SMART_MEAN,
+            metrics.gap_vs_dedicated_cycles,
+            PAPER_GAP,
+        )
+    )
+    save_rows("fig10a_latency", rows)
+
+    by_app = {row["app"]: row for row in rows}
+    # Headline: roughly 60% saving, small gap to Dedicated.
+    assert 0.45 <= metrics.latency_saving_vs_mesh <= 0.75
+    assert metrics.gap_vs_dedicated_cycles <= 2.5
+    assert metrics.mean_latency_smart <= PAPER_SMART_MEAN + 1.0
+    # Pipeline apps: SMART ~ Dedicated (within ~1.2 cycles).
+    for app in ("PIP", "VOPD", "WLAN"):
+        gap = by_app[app]["smart"] - by_app[app]["dedicated"]
+        assert gap <= 1.2, (app, gap)
+    # Hub apps: Dedicated wins by 2-4ish cycles.
+    for app in ("H264", "MMS_MP3"):
+        gap = by_app[app]["smart"] - by_app[app]["dedicated"]
+        assert 1.5 <= gap <= 4.5, (app, gap)
+    # SMART always beats the mesh, on every app.
+    for row in rows:
+        assert row["smart"] < row["mesh"]

@@ -1,0 +1,50 @@
+"""Fig 10b: post-layout dynamic power breakdown per app and design.
+
+Shape targets: SMART ~2.2x below Mesh (buffer + clock energy collapses,
+link energy is common); Dedicated shows only link power (as plotted in
+the paper); totals land in the 0.005-0.08 W band of the figure.
+"""
+
+from conftest import fig10_suite, save_rows
+
+from repro.eval.experiments import fig10b_rows, headline_metrics
+from repro.eval.report import render_table
+
+PAPER_POWER_RATIO = 2.2
+
+
+def test_fig10b_power(benchmark):
+    suite = benchmark.pedantic(fig10_suite, rounds=1, iterations=1)
+    rows = fig10b_rows(suite)
+    metrics = headline_metrics(suite)
+    print()
+    print(
+        render_table(
+            rows,
+            float_format="%.4f",
+            title="Fig 10b: dynamic power breakdown (W)",
+        )
+    )
+    print(
+        "Mesh/SMART power ratio: %.2fx (paper %.1fx)"
+        % (metrics.power_ratio_mesh_over_smart, PAPER_POWER_RATIO)
+    )
+    save_rows("fig10b_power", rows)
+
+    by_key = {(r["app"], r["design"]): r for r in rows}
+    apps = sorted({r["app"] for r in rows})
+    # Headline: ~2.2x saving.
+    assert 1.6 <= metrics.power_ratio_mesh_over_smart <= 3.0
+    for app in apps:
+        mesh = by_key[(app, "mesh")]
+        smart = by_key[(app, "smart")]
+        dedicated = by_key[(app, "dedicated")]
+        # Magnitudes in the figure's band.
+        assert mesh["total_w"] < 0.09
+        # SMART saves buffer power, keeps similar link power.
+        assert smart["buffer_w"] < mesh["buffer_w"]
+        assert abs(smart["link_w"] - mesh["link_w"]) <= 0.2 * mesh["link_w"]
+        # Dedicated is link-only as plotted in the paper.
+        assert dedicated["buffer_w"] == 0.0
+        assert dedicated["allocator_w"] == 0.0
+        assert dedicated["total_w"] < smart["total_w"]

@@ -1,0 +1,57 @@
+"""Fig 7: four concurrent flows on the SMART NoC.
+
+Green and purple never overlap another flow and traverse source NIC to
+destination NIC in one cycle; red and blue share the link between routers
+9 and 10, stop before and after it, and complete with the figure's
+cumulative times 1, 4, 7.
+"""
+
+from conftest import save_rows
+
+from repro.config import NocConfig
+from repro.core.noc_builder import build_smart_noc
+from repro.eval.report import render_table
+from repro.eval.scenarios import FIG7_STOP_TIMES, fig7_flows
+from repro.sim.traffic import ScriptedTraffic
+
+
+def _generate():
+    flows = fig7_flows()
+    schedule = [(1, flow.flow_id) for flow in flows]
+    noc = build_smart_noc(NocConfig(), flows, traffic=ScriptedTraffic(schedule))
+    noc.network.stats.measuring = True
+    noc.network.run_cycles(200)
+    got = {p.flow_id: p for p in noc.network.stats.measured_delivered}
+    rows = []
+    for flow in flows:
+        packet = got[flow.flow_id]
+        rows.append(
+            {
+                "flow": flow.name,
+                "src": flow.src,
+                "dst": flow.dst,
+                "stops": str(noc.network.stops_for_flow(flow)),
+                "head_latency": packet.head_latency,
+            }
+        )
+    return noc, rows
+
+
+def test_fig7_four_flows(benchmark):
+    noc, rows = benchmark.pedantic(_generate, rounds=1, iterations=1)
+    print()
+    print(render_table(rows, title="Fig 7: four flows (times 1 / 1,4,7)"))
+    save_rows("fig7_four_flows", rows)
+    by_name = {r["flow"]: r for r in rows}
+    assert by_name["green"]["head_latency"] == 1
+    assert by_name["purple"]["head_latency"] == 1
+    assert by_name["green"]["stops"] == "[]"
+    # Red and blue stop at routers 9 and 10; the SA loser of the shared
+    # port finishes one packet-time later (footnote 7).
+    assert by_name["blue"]["stops"] == "[9, 10]"
+    assert by_name["red"]["stops"] == "[9, 10]"
+    latencies = sorted(
+        (by_name["blue"]["head_latency"], by_name["red"]["head_latency"])
+    )
+    assert latencies[0] == FIG7_STOP_TIMES[-1]
+    assert latencies[1] == FIG7_STOP_TIMES[-1] + 8

@@ -1,0 +1,50 @@
+"""Fig 8/9: generated Tx-block layout and the 4x4 NoC layout + RTL flow.
+
+Times the complete §V tool flow: RTL generation for the full NoC, lint,
+Tx/Rx block placement, grid layout, .lib/.lef emission.
+"""
+
+from conftest import save_rows
+
+from repro.config import NocConfig
+from repro.eval.report import render_table
+from repro.rtl.layout import generate_layout, tx_block_layout
+from repro.rtl.lint import lint_verilog
+from repro.rtl.liberty import emit_lef, emit_liberty
+from repro.rtl.noc_gen import build_noc_netlist
+from repro.rtl.verilog import emit_netlist
+
+
+def _generate():
+    cfg = NocConfig()
+    verilog = emit_netlist(build_noc_netlist(cfg), "SMART NoC (Table II)")
+    report = lint_verilog(verilog)
+    layout = generate_layout(cfg)
+    tx_block = tx_block_layout(cfg.flit_bits, "tx")
+    lib = emit_liberty(cfg.flit_bits + cfg.credit_bits)
+    lef = emit_lef(cfg.flit_bits + cfg.credit_bits)
+    rows = [
+        {"artifact": "NoC Verilog (lines)", "value": len(verilog.splitlines())},
+        {"artifact": "lint errors", "value": len(report.errors)},
+        {"artifact": "Fig 8 Tx block (um, WxH)",
+         "value": "%.1f x %.1f" % (tx_block.width_um, tx_block.height_um)},
+        {"artifact": "die (mm)", "value": "%.0f x %.0f" % (layout.die_w_mm, layout.die_h_mm)},
+        {"artifact": "network area fraction", "value": "%.2f%%" % (100 * layout.network_area_fraction())},
+        {"artifact": "mesh wirelength (mm)", "value": "%.0f" % layout.total_link_wirelength_mm()},
+        {"artifact": ".lib lines", "value": len(lib.splitlines())},
+        {"artifact": ".lef lines", "value": len(lef.splitlines())},
+    ]
+    return rows, report, layout
+
+
+def test_fig89_layout_and_rtl(benchmark):
+    rows, report, layout = benchmark.pedantic(_generate, rounds=1, iterations=1)
+    print()
+    print(render_table(rows, title="Fig 8/9: generated implementation views"))
+    print(layout.ascii_floorplan())
+    save_rows("fig89_layout", rows)
+    assert report.ok, report.errors
+    layout.check_no_overlaps()
+    # Fig 9: 4x4 tiles at 1 mm pitch; black core regions dominate.
+    assert layout.die_w_mm == 4.0 and layout.die_h_mm == 4.0
+    assert layout.network_area_fraction() < 0.10

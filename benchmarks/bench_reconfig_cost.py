@@ -1,0 +1,46 @@
+"""§V reconfiguration cost: 16 memory-mapped stores retarget the NoC."""
+
+from conftest import save_rows
+
+from repro.apps.registry import PAPER_APP_ORDER, evaluation_task_graph
+from repro.config import NocConfig
+from repro.core.presets import compute_presets
+from repro.core.reconfiguration import compile_program, diff_program
+from repro.eval.report import render_table
+from repro.mapping.nmap import map_application
+from repro.sim.topology import Mesh
+
+
+def _generate():
+    cfg = NocConfig()
+    mesh = Mesh(cfg.width, cfg.height)
+    programs = {}
+    for app in PAPER_APP_ORDER:
+        graph = evaluation_task_graph(app)
+        _mapping, flows = map_application(graph, mesh)
+        programs[app] = compile_program(
+            compute_presets(cfg, mesh, flows), app
+        )
+    rows = []
+    apps = list(PAPER_APP_ORDER)
+    for before, after in zip(apps, apps[1:] + apps[:1]):
+        delta = diff_program(programs[before], programs[after])
+        rows.append(
+            {
+                "switch": "%s -> %s" % (before, after),
+                "full_stores": programs[after].cost_instructions,
+                "incremental_stores": delta.cost_instructions,
+            }
+        )
+    return rows
+
+
+def test_reconfiguration_cost(benchmark):
+    rows = benchmark.pedantic(_generate, rounds=1, iterations=1)
+    print()
+    print(render_table(rows, title="§V reconfiguration cost (stores)"))
+    save_rows("reconfig_cost", rows)
+    for row in rows:
+        # §V: 16 registers = 16 instructions for a 16-node NoC.
+        assert row["full_stores"] == 16
+        assert 0 < row["incremental_stores"] <= 16

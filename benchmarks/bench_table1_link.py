@@ -1,0 +1,40 @@
+"""Table I: max hops per cycle and energy per bit, all four link variants.
+
+Paper values are matched *exactly* (hops integer-exact, energies exact
+after rounding to the paper's integer fJ/b/mm).
+"""
+
+from conftest import save_rows
+
+from repro.circuits.link_design import PAPER_TABLE1, table1
+from repro.eval.report import render_table
+
+
+def _generate():
+    entries = table1()
+    rows = []
+    for entry in entries:
+        paper_hops, paper_energy = PAPER_TABLE1[
+            (entry.variant, entry.data_rate_gbps)
+        ]
+        rows.append(
+            {
+                "variant": entry.variant,
+                "rate_gbps": entry.data_rate_gbps,
+                "max_hops": entry.max_hops,
+                "paper_hops": paper_hops,
+                "energy_fj_b_mm": round(entry.energy_fj_per_bit_mm, 1),
+                "paper_energy": paper_energy,
+            }
+        )
+    return rows
+
+
+def test_table1(benchmark):
+    rows = benchmark.pedantic(_generate, rounds=3, iterations=1)
+    print()
+    print(render_table(rows, title="Table I: max hops/cycle (model vs paper)"))
+    save_rows("table1_link", rows)
+    for row in rows:
+        assert row["max_hops"] == row["paper_hops"], row
+        assert round(row["energy_fj_b_mm"]) == row["paper_energy"], row

@@ -1,0 +1,41 @@
+"""Table II: the 4x4 NoC configuration."""
+
+from conftest import save_rows
+
+from repro.config import TABLE_II_CONFIG
+from repro.core.smart_crossbar import build_router_spec
+from repro.eval.report import render_table
+
+
+def _generate():
+    cfg = TABLE_II_CONFIG
+    spec = build_router_spec(cfg)
+    rows = [
+        {"parameter": "Technology", "value": "%d nm" % cfg.technology_nm},
+        {"parameter": "Vdd, Freq", "value": "%.1f V, %.0f GHz" % (cfg.vdd, cfg.freq_hz / 1e9)},
+        {"parameter": "Topology", "value": "%dx%d mesh" % (cfg.width, cfg.height)},
+        {"parameter": "Channel width", "value": "%d bits" % cfg.flit_bits},
+        {"parameter": "Credit width", "value": "%d bits" % cfg.credit_bits},
+        {"parameter": "Router ports", "value": "%d" % spec.num_ports},
+        {"parameter": "VCs per port", "value": "%d, %d-flit deep" % (cfg.vcs_per_port, cfg.vc_depth_flits)},
+        {"parameter": "Packet size", "value": "%d bits" % cfg.packet_bits},
+        {"parameter": "Header width", "value": "%d bits (Head), %d bits (Body, Tail)" % (cfg.head_header_bits, cfg.body_header_bits)},
+    ]
+    return rows
+
+
+def test_table2(benchmark):
+    rows = benchmark.pedantic(_generate, rounds=3, iterations=1)
+    print()
+    print(render_table(rows, title="Table II: 4x4 NoC configuration"))
+    save_rows("table2_config", rows)
+    values = {r["parameter"]: r["value"] for r in rows}
+    assert values["Technology"] == "45 nm"
+    assert values["Vdd, Freq"] == "0.9 V, 2 GHz"
+    assert values["Topology"] == "4x4 mesh"
+    assert values["Channel width"] == "32 bits"
+    assert values["Credit width"] == "2 bits"
+    assert values["Router ports"] == "5"
+    assert values["VCs per port"] == "2, 10-flit deep"
+    assert values["Packet size"] == "256 bits"
+    assert values["Header width"].startswith("20 bits")

@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one of the paper's tables or figures, prints
+the rows (run pytest with ``-s`` to see them) and asserts the *shape*
+the paper reports.  The heavy Fig 10 suite is computed once per process
+and shared between the latency and power benches.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+
+from repro.eval.experiments import run_suite
+from repro.eval.report import write_csv
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+#: Simulation window used by the Fig 10 benches.
+SUITE_KWARGS = dict(warmup_cycles=1000, measure_cycles=20000, drain_limit=200000)
+
+
+@functools.lru_cache(maxsize=1)
+def fig10_suite():
+    """The full 8-app x 3-design Fig 10 matrix (cached per process)."""
+    return run_suite(**SUITE_KWARGS)
+
+
+def save_rows(name: str, rows) -> None:
+    """Persist a bench's rows under results/ for EXPERIMENTS.md."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    if rows:
+        write_csv(os.path.join(RESULTS_DIR, name + ".csv"), rows)

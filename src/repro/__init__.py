@@ -1,0 +1,54 @@
+"""repro — a reproduction of SMART: A Single-Cycle Reconfigurable NoC for
+SoC Applications (Chen, Park, Krishna, Subramanian, Chandrakasan, Peh;
+DATE 2013).
+
+The package implements the complete SMART system in Python:
+
+* :mod:`repro.sim` — a cycle-accurate NoC simulation substrate (flits,
+  virtual cut-through flow control, 3-stage routers, credits).
+* :mod:`repro.core` — the SMART contribution: preset bypass paths giving
+  single-cycle multi-hop traversal, the reverse credit mesh, source-route
+  encoding and memory-mapped runtime reconfiguration.
+* :mod:`repro.circuits` — the clockless low-swing voltage-locked repeater
+  (VLR) link: wire RC, repeater delay/energy, Table I, waveforms, BER.
+* :mod:`repro.mapping` — modified NMAP placement and turn-model routing.
+* :mod:`repro.apps` — the eight SoC task graphs of §VI.
+* :mod:`repro.power` — activity-based power and area models (Fig 10b).
+* :mod:`repro.rtl` — the §V tool flow: Verilog generation, layout,
+  .lib/.lef views.
+* :mod:`repro.eval` — experiment harness regenerating every table/figure.
+
+Quickstart::
+
+    from repro import NocConfig, run_app
+    smart = run_app("VOPD", "smart")
+    mesh = run_app("VOPD", "mesh")
+    print(smart.mean_latency, mesh.mean_latency)
+"""
+
+from repro.config import TABLE_II_CONFIG, NocConfig
+from repro.core import build_mesh_noc, build_smart_noc, compute_presets
+from repro.eval import build_design, headline_metrics, run_app, run_suite
+from repro.mapping import TaskGraph, TurnModel, map_application
+from repro.sim import Flow, Mesh, Port
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Flow",
+    "Mesh",
+    "NocConfig",
+    "Port",
+    "TABLE_II_CONFIG",
+    "TaskGraph",
+    "TurnModel",
+    "build_design",
+    "build_mesh_noc",
+    "build_smart_noc",
+    "compute_presets",
+    "headline_metrics",
+    "map_application",
+    "run_app",
+    "run_suite",
+    "__version__",
+]

@@ -1,0 +1,168 @@
+"""Command-line interface: regenerate the paper's experiments.
+
+Usage:
+    python -m repro table1
+    python -m repro table2
+    python -m repro chip
+    python -m repro fig1
+    python -m repro fig7
+    python -m repro fig10a [--measure N]
+    python -m repro fig10b [--measure N]
+    python -m repro run APP DESIGN [--measure N]
+    python -m repro apps
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_table1(_args) -> None:
+    from repro.circuits.link_design import table1
+    from repro.eval.report import render_table
+
+    rows = [
+        {
+            "variant": e.variant,
+            "rate_gbps": e.data_rate_gbps,
+            "max_hops": e.max_hops,
+            "fj_per_b_mm": round(e.energy_fj_per_bit_mm, 1),
+        }
+        for e in table1()
+    ]
+    print(render_table(rows, title="Table I"))
+
+
+def _cmd_table2(_args) -> None:
+    from repro.config import TABLE_II_CONFIG as cfg
+
+    print("Technology     %d nm" % cfg.technology_nm)
+    print("Vdd, Freq      %.1f V, %.0f GHz" % (cfg.vdd, cfg.freq_hz / 1e9))
+    print("Topology       %dx%d mesh" % (cfg.width, cfg.height))
+    print("Channel width  %d bits" % cfg.flit_bits)
+    print("Credit width   %d bits" % cfg.credit_bits)
+    print("VCs per port   %d, %d-flit deep" % (cfg.vcs_per_port, cfg.vc_depth_flits))
+    print("Packet size    %d bits" % cfg.packet_bits)
+    print("Header width   %d bits (Head), %d bits (Body, Tail)"
+          % (cfg.head_header_bits, cfg.body_header_bits))
+
+
+def _cmd_chip(_args) -> None:
+    from repro.circuits.signaling import chip_measurements
+
+    vlr, full = chip_measurements()
+    print("VLR:        %.1f Gb/s max, %.2f mW, %.0f fJ/b, %.0f ps/mm"
+          % (vlr["max_rate_gbps"], vlr["power_mw"],
+             vlr["energy_fj_per_bit"], vlr["delay_ps_per_mm"]))
+    print("full-swing: %.1f Gb/s max, %.2f mW, %.0f fJ/b, %.0f ps/mm"
+          % (full["max_rate_gbps"], full["power_mw"],
+             full["energy_fj_per_bit"], full["delay_ps_per_mm"]))
+
+
+def _cmd_fig7(_args) -> None:
+    from repro.config import NocConfig
+    from repro.core.noc_builder import build_smart_noc
+    from repro.eval.report import render_table
+    from repro.eval.scenarios import fig7_flows
+    from repro.sim.traffic import ScriptedTraffic
+
+    flows = fig7_flows()
+    noc = build_smart_noc(
+        NocConfig(), flows,
+        traffic=ScriptedTraffic([(1, f.flow_id) for f in flows]),
+    )
+    noc.network.stats.measuring = True
+    noc.network.run_cycles(100)
+    rows = [
+        {
+            "flow": flows[p.flow_id].name,
+            "stops": str(noc.network.stops_for_flow(flows[p.flow_id])),
+            "head_latency": p.head_latency,
+        }
+        for p in sorted(noc.network.stats.measured_delivered,
+                        key=lambda p: p.flow_id)
+    ]
+    print(render_table(rows, title="Fig 7"))
+
+
+def _run_suite(measure: int):
+    from repro.eval.experiments import run_suite
+
+    return run_suite(warmup_cycles=1000, measure_cycles=measure)
+
+
+def _cmd_fig10a(args) -> None:
+    from repro.eval.experiments import fig10a_rows, headline_metrics
+    from repro.eval.report import render_table
+
+    suite = _run_suite(args.measure)
+    print(render_table(fig10a_rows(suite), title="Fig 10a (cycles)"))
+    metrics = headline_metrics(suite)
+    print("saving vs mesh: %.1f%%; gap vs dedicated: %.2f cycles"
+          % (100 * metrics.latency_saving_vs_mesh,
+             metrics.gap_vs_dedicated_cycles))
+
+
+def _cmd_fig10b(args) -> None:
+    from repro.eval.experiments import fig10b_rows, headline_metrics
+    from repro.eval.report import render_table
+
+    suite = _run_suite(args.measure)
+    print(render_table(fig10b_rows(suite), float_format="%.4f",
+                       title="Fig 10b (W)"))
+    print("mesh/smart power ratio: %.2fx"
+          % headline_metrics(suite).power_ratio_mesh_over_smart)
+
+
+def _cmd_run(args) -> None:
+    from repro.eval.experiments import run_app
+
+    experiment = run_app(args.app, args.design, measure_cycles=args.measure)
+    print("%s on %s: %.2f cycles avg latency, %.2f mW"
+          % (experiment.app, experiment.design,
+             experiment.mean_latency, experiment.power.total_w * 1e3))
+
+
+def _cmd_apps(_args) -> None:
+    from repro.apps.registry import PAPER_APP_ORDER, evaluation_task_graph
+
+    for name in PAPER_APP_ORDER:
+        graph = evaluation_task_graph(name)
+        print("%-8s %2d tasks %2d flows %8.0f MB/s total"
+              % (name, graph.num_tasks, graph.num_edges,
+                 graph.total_bandwidth_bps() / 1e6))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate experiments from the SMART DATE'13 paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("table1").set_defaults(func=_cmd_table1)
+    sub.add_parser("table2").set_defaults(func=_cmd_table2)
+    sub.add_parser("chip").set_defaults(func=_cmd_chip)
+    sub.add_parser("fig7").set_defaults(func=_cmd_fig7)
+    for name, func in (("fig10a", _cmd_fig10a), ("fig10b", _cmd_fig10b)):
+        p = sub.add_parser(name)
+        p.add_argument("--measure", type=int, default=20000)
+        p.set_defaults(func=func)
+    p_run = sub.add_parser("run")
+    p_run.add_argument("app")
+    p_run.add_argument("design", choices=("mesh", "smart", "dedicated"))
+    p_run.add_argument("--measure", type=int, default=20000)
+    p_run.set_defaults(func=_cmd_run)
+    sub.add_parser("apps").set_defaults(func=_cmd_apps)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.func(args)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""The paper's SoC application suite (§VI)."""
+
+from repro.apps.h264 import h264
+from repro.apps.mms import MMS_SCALE, mms_dec, mms_enc, mms_mp3
+from repro.apps.mwd import mwd
+from repro.apps.pip import pip
+from repro.apps.registry import (
+    PAPER_APP_ORDER,
+    all_evaluation_task_graphs,
+    app_names,
+    evaluation_task_graph,
+    native_task_graph,
+)
+from repro.apps.vopd import vopd
+from repro.apps.wlan import wlan
+
+__all__ = [
+    "MMS_SCALE",
+    "PAPER_APP_ORDER",
+    "all_evaluation_task_graphs",
+    "app_names",
+    "evaluation_task_graph",
+    "h264",
+    "mms_dec",
+    "mms_enc",
+    "mms_mp3",
+    "mwd",
+    "native_task_graph",
+    "pip",
+    "vopd",
+    "wlan",
+]

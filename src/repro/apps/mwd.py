@@ -1,0 +1,28 @@
+"""Multi-Window Display (MWD) task graph.
+
+A 12-task reconstruction of the Hu–Marculescu MWD benchmark: two image
+processing branches (noise reduction and horizontal/vertical scaling) that
+merge at the blender, with the 64/96/128 MB/s rates the literature quotes.
+"""
+
+from repro.mapping.task_graph import TaskGraph, task_graph_from_tuples
+
+_EDGES_MB = [
+    ("in", "nr", 64),
+    ("in", "hs", 128),
+    ("nr", "mem1", 64),
+    ("mem1", "hvs", 96),
+    ("hs", "vs", 96),
+    ("vs", "mem2", 96),
+    ("mem2", "hvs", 96),
+    ("hvs", "jug1", 96),
+    ("jug1", "mem3", 64),
+    ("mem3", "jug2", 64),
+    ("jug2", "se", 96),
+    ("se", "blend", 96),
+]
+
+
+def mwd() -> TaskGraph:
+    """The MWD task graph (12 tasks, 12 edges)."""
+    return task_graph_from_tuples("MWD", _EDGES_MB)

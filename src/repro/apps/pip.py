@@ -1,0 +1,24 @@
+"""Picture-in-Picture (PIP) task graph.
+
+The 8-task PIP benchmark: an input memory feeding a scaling pipeline and a
+juggler path that both land in display memory.  Small and pipeline-shaped —
+the paper reports SMART matching the Dedicated topology on it.
+"""
+
+from repro.mapping.task_graph import TaskGraph, task_graph_from_tuples
+
+_EDGES_MB = [
+    ("inp_mem", "hs", 128),
+    ("hs", "vs", 64),
+    ("vs", "jug1", 64),
+    ("jug1", "mem", 64),
+    ("inp_mem", "jug2", 64),
+    ("jug2", "mem2", 64),
+    ("mem", "op_disp", 64),
+    ("mem2", "op_disp", 64),
+]
+
+
+def pip() -> TaskGraph:
+    """The PIP task graph (8 tasks, 8 edges)."""
+    return task_graph_from_tuples("PIP", _EDGES_MB)

@@ -1,0 +1,31 @@
+"""Video Object Plane Decoder (VOPD) task graph.
+
+The classic 12-task MPEG-4 VOPD communication graph (van der Tol &
+Jaspers), with the bandwidths (MB/s) used throughout the NoC mapping
+literature.  Pipeline-shaped: under SMART it maps almost entirely onto
+bypass paths, which is why the paper reports near-identical latency to the
+Dedicated topology for VOPD.
+"""
+
+from repro.mapping.task_graph import TaskGraph, task_graph_from_tuples
+
+_EDGES_MB = [
+    ("vld", "run_le_dec", 70),
+    ("run_le_dec", "inv_scan", 362),
+    ("inv_scan", "acdc_pred", 362),
+    ("acdc_pred", "stripe_mem", 49),
+    ("stripe_mem", "iquant", 27),
+    ("acdc_pred", "iquant", 357),
+    ("iquant", "idct", 353),
+    ("idct", "upsamp", 300),
+    ("upsamp", "vop_rec", 313),
+    ("vop_rec", "pad", 94),
+    ("pad", "vop_mem", 500),
+    ("vop_mem", "pad", 16),
+    ("arm", "idct", 16),
+]
+
+
+def vopd() -> TaskGraph:
+    """The VOPD task graph (12 tasks, 13 edges)."""
+    return task_graph_from_tuples("VOPD", _EDGES_MB)

@@ -1,0 +1,199 @@
+"""SMART link design: max hops per cycle and energy per bit (Table I).
+
+The paper evaluates four link variants:
+
+* ``*``  — circuits re-sized and optimised for a 2 GHz system clock, with
+  2x wider wire spacing than fabricated (Table I rows 1-2, 1-3 Gb/s), and
+* ``**`` — the fabricated chip's sizing, also with wider spacing (rows
+  3-4, 4-5.5 Gb/s),
+
+each in full-swing and low-swing (VLR) flavours, plus the fabricated
+min-DRC-pitch chip itself (§III measurements, see
+:mod:`repro.circuits.signaling`).
+
+The multi-hop path delay is modelled as
+
+    t(n) = t_txrx + t_mm * n + t_jitter * n^2
+
+— a per-link Tx/Rx conversion overhead, a per-mm repeated-wire delay (the
+physical layer of :mod:`repro.circuits.repeater` / :mod:`.wire`), and a
+small super-linear term capturing inter-repeater bandwidth limits and
+jitter accumulation visible in the fabricated numbers.  Energy per bit per
+mm is
+
+    E(r) = e_dyn + p_static / r - k_slew * r - m * r^2
+
+whose signs follow the physics: the VLR has static current paths whose
+cost is amortised over faster bits (``p_static``), and short-circuit /
+partial-swing losses shrink as edges occupy a larger fraction of the bit
+time (``k_slew``).  Both laws are calibrated so that the paper's Table I
+is regenerated exactly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Tuple
+
+
+class Swing(enum.Enum):
+    FULL = "full-swing"
+    LOW = "low-swing"
+
+
+@dataclasses.dataclass(frozen=True)
+class LinkVariant:
+    """One calibrated link circuit variant."""
+
+    name: str
+    swing: Swing
+    #: Tx + Rx conversion overhead per traversal (ps).
+    t_txrx_ps: float
+    #: Repeated-wire delay per mm (ps).
+    t_mm_ps: float
+    #: Super-linear delay per hop^2 (ps).
+    t_jitter_ps: float
+    #: Energy law coefficients (fJ/b/mm; rate in Gb/s).
+    e_dyn_fj: float
+    p_static_fj_g: float
+    k_slew_fj_per_g: float
+    m_fj_per_g2: float
+
+    def path_delay_ps(self, hops: int) -> float:
+        """Delay for an ``hops``-mm traversal through ``hops`` repeaters."""
+        if hops < 0:
+            raise ValueError("hops must be non-negative")
+        return self.t_txrx_ps + self.t_mm_ps * hops + self.t_jitter_ps * hops ** 2
+
+    def max_hops_per_cycle(self, data_rate_gbps: float) -> int:
+        """Largest hop count whose path delay fits in one bit period."""
+        if data_rate_gbps <= 0:
+            raise ValueError("data rate must be positive")
+        period_ps = 1000.0 / data_rate_gbps
+        hops = 0
+        while self.path_delay_ps(hops + 1) <= period_ps:
+            hops += 1
+            if hops > 1000:
+                raise RuntimeError("unbounded hop count; check parameters")
+        return hops
+
+    def energy_fj_per_bit_mm(self, data_rate_gbps: float) -> float:
+        """Energy per bit per mm at a data rate (Gb/s)."""
+        if data_rate_gbps <= 0:
+            raise ValueError("data rate must be positive")
+        r = data_rate_gbps
+        return (
+            self.e_dyn_fj
+            + self.p_static_fj_g / r
+            - self.k_slew_fj_per_g * r
+            - self.m_fj_per_g2 * r * r
+        )
+
+
+#: Re-optimised for 2 GHz, 2x wire spacing (Table I, rows marked *).
+FULL_SWING_OPT = LinkVariant(
+    name="full-swing*",
+    swing=Swing.FULL,
+    t_txrx_ps=50.0,
+    t_mm_ps=65.0,
+    t_jitter_ps=0.45,
+    e_dyn_fj=108.0,
+    p_static_fj_g=0.0,
+    k_slew_fj_per_g=3.5,
+    m_fj_per_g2=1.5,
+)
+
+LOW_SWING_OPT = LinkVariant(
+    name="low-swing*",
+    swing=Swing.LOW,
+    t_txrx_ps=40.0,
+    t_mm_ps=42.0,
+    t_jitter_ps=1.1,
+    e_dyn_fj=120.5,
+    p_static_fj_g=21.0,
+    k_slew_fj_per_g=13.5,
+    m_fj_per_g2=0.0,
+)
+
+#: Fabricated sizing, 2x wire spacing (Table I, rows marked **).
+FULL_SWING_FAB = LinkVariant(
+    name="full-swing**",
+    swing=Swing.FULL,
+    t_txrx_ps=30.0,
+    t_mm_ps=41.0,
+    t_jitter_ps=2.0,
+    e_dyn_fj=101.0,
+    p_static_fj_g=220.0 / 3.0,
+    k_slew_fj_per_g=16.0 / 3.0,
+    m_fj_per_g2=0.0,
+)
+
+LOW_SWING_FAB = LinkVariant(
+    name="low-swing**",
+    swing=Swing.LOW,
+    t_txrx_ps=45.0,
+    t_mm_ps=18.0,
+    t_jitter_ps=1.3,
+    e_dyn_fj=133.0,
+    p_static_fj_g=220.0,
+    k_slew_fj_per_g=14.0,
+    m_fj_per_g2=0.0,
+)
+
+OPT_VARIANTS: Tuple[LinkVariant, LinkVariant] = (FULL_SWING_OPT, LOW_SWING_OPT)
+FAB_VARIANTS: Tuple[LinkVariant, LinkVariant] = (FULL_SWING_FAB, LOW_SWING_FAB)
+
+#: Data rates of the two Table I halves (Gb/s).
+TABLE1_RATES_OPT = (1.0, 2.0, 3.0)
+TABLE1_RATES_FAB = (4.0, 5.0, 5.5)
+
+
+@dataclasses.dataclass(frozen=True)
+class Table1Entry:
+    variant: str
+    data_rate_gbps: float
+    max_hops: int
+    energy_fj_per_bit_mm: float
+
+
+def table1() -> List[Table1Entry]:
+    """Regenerate the paper's Table I."""
+    entries = []
+    for variants, rates in ((OPT_VARIANTS, TABLE1_RATES_OPT), (FAB_VARIANTS, TABLE1_RATES_FAB)):
+        for variant in variants:
+            for rate in rates:
+                entries.append(
+                    Table1Entry(
+                        variant=variant.name,
+                        data_rate_gbps=rate,
+                        max_hops=variant.max_hops_per_cycle(rate),
+                        energy_fj_per_bit_mm=variant.energy_fj_per_bit_mm(rate),
+                    )
+                )
+    return entries
+
+
+#: Paper Table I ground truth: (variant, rate) -> (hops, fJ/b/mm).
+PAPER_TABLE1: Dict[Tuple[str, float], Tuple[int, int]] = {
+    ("full-swing*", 1.0): (13, 103),
+    ("full-swing*", 2.0): (6, 95),
+    ("full-swing*", 3.0): (4, 84),
+    ("low-swing*", 1.0): (16, 128),
+    ("low-swing*", 2.0): (8, 104),
+    ("low-swing*", 3.0): (6, 87),
+    ("full-swing**", 4.0): (4, 98),
+    ("full-swing**", 5.0): (3, 89),
+    ("full-swing**", 5.5): (3, 85),
+    ("low-swing**", 4.0): (7, 132),
+    ("low-swing**", 5.0): (6, 107),
+    ("low-swing**", 5.5): (5, 96),
+}
+
+
+def smart_hpc_max(freq_hz: float = 2.0e9) -> int:
+    """HPC_max for the SMART NoC: the low-swing 2 GHz-optimised variant.
+
+    At 2 GHz this is the paper's headline "8 mm within a single cycle".
+    """
+    return LOW_SWING_OPT.max_hops_per_cycle(freq_hz / 1e9)

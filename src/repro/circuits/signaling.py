@@ -1,0 +1,139 @@
+"""Signal integrity: BER model and the fabricated-chip measurements (§III).
+
+The test chip (45 nm SOI, min-DRC wire pitch, a repeater every mm of a
+10 mm link) measured:
+
+* VLR: 6.8 Gb/s max at BER < 1e-9, 4.14 mW (608 fJ/b) over 10 mm,
+  ~60 ps/mm; 3.78 mW (687 fJ/b) at 5.5 Gb/s.
+* Full-swing: 5.5 Gb/s max at BER < 1e-9, 4.21 mW (765 fJ/b), ~100 ps/mm.
+
+The BER model treats the eye as the half-swing minus an ISI closure that
+grows as the data rate approaches the stage's intrinsic bandwidth, with
+Gaussian noise:  BER = Q(margin / sigma).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+from scipy.stats import norm
+
+BER_TARGET = 1e-9
+
+
+@dataclasses.dataclass(frozen=True)
+class SignalingModel:
+    """Eye/BER model of one repeater flavour at min-DRC pitch."""
+
+    name: str
+    #: Steady-state voltage swing (V).
+    swing_v: float
+    #: Intrinsic stage bandwidth expressed as a data rate (Gb/s); the eye
+    #: closes quadratically as the rate approaches it.
+    intrinsic_rate_gbps: float
+    #: RMS noise at the receiver threshold (V).
+    noise_sigma_v: float
+    #: Measured per-mm propagation delay (ps).
+    delay_ps_per_mm: float
+    #: Energy law E(r) = e_dyn + p_static/r, fJ/b/mm.
+    e_dyn_fj: float
+    p_static_fj_g: float
+
+    def eye_margin_v(self, data_rate_gbps: float) -> float:
+        """Half-eye opening after ISI closure."""
+        if data_rate_gbps <= 0:
+            raise ValueError("data rate must be positive")
+        if data_rate_gbps >= self.intrinsic_rate_gbps:
+            return 0.0
+        closure = (data_rate_gbps / self.intrinsic_rate_gbps) ** 2
+        return (self.swing_v / 2.0) * (1.0 - closure)
+
+    def ber(self, data_rate_gbps: float) -> float:
+        """Bit error rate at a data rate: Q(margin/sigma)."""
+        margin = self.eye_margin_v(data_rate_gbps)
+        if margin <= 0.0:
+            return 0.5
+        return float(norm.sf(margin / self.noise_sigma_v))
+
+    def max_data_rate_gbps(
+        self, ber_target: float = BER_TARGET, resolution: float = 0.1
+    ) -> float:
+        """Highest rate (to ``resolution`` Gb/s) meeting the BER target."""
+        rate = resolution
+        best = 0.0
+        while rate < self.intrinsic_rate_gbps:
+            if self.ber(rate) < ber_target:
+                best = rate
+            rate = round(rate + resolution, 10)
+        return round(best, 10)
+
+    def energy_fj_per_bit_mm(self, data_rate_gbps: float) -> float:
+        if data_rate_gbps <= 0:
+            raise ValueError("data rate must be positive")
+        return self.e_dyn_fj + self.p_static_fj_g / data_rate_gbps
+
+    def power_mw(self, data_rate_gbps: float, length_mm: float) -> float:
+        """Link power at a data rate over a total length."""
+        energy_fj_per_bit = self.energy_fj_per_bit_mm(data_rate_gbps) * length_mm
+        return energy_fj_per_bit * 1e-15 * data_rate_gbps * 1e9 * 1e3
+
+    def delay_ps(self, length_mm: float) -> float:
+        return self.delay_ps_per_mm * length_mm
+
+
+#: Fabricated VLR at min-DRC pitch.  Energy law fitted to the two chip
+#: points (608 fJ/b @ 6.8 Gb/s, 687 fJ/b @ 5.5 Gb/s over 10 mm); the large
+#: static term is the VLR's TxP-wire-RxN / TxN-wire-RxP current paths.
+CHIP_VLR = SignalingModel(
+    name="chip VLR (min DRC)",
+    swing_v=0.20,
+    intrinsic_rate_gbps=8.0,
+    noise_sigma_v=0.00462,
+    delay_ps_per_mm=60.0,
+    e_dyn_fj=27.4,
+    p_static_fj_g=227.3,
+)
+
+#: Fabricated full-swing repeater at min-DRC pitch (765 fJ/b @ 5.5 Gb/s;
+#: no static paths).
+CHIP_FULL_SWING = SignalingModel(
+    name="chip full-swing (min DRC)",
+    swing_v=0.90,
+    intrinsic_rate_gbps=5.8,
+    noise_sigma_v=0.0075,
+    delay_ps_per_mm=100.0,
+    e_dyn_fj=76.5,
+    p_static_fj_g=0.0,
+)
+
+#: The measured test-chip link length (mm).
+CHIP_LINK_MM = 10.0
+
+
+def chip_measurements() -> Tuple[dict, dict]:
+    """Reproduce the §III chip numbers from the models.
+
+    Returns (vlr, full_swing) dicts with max rate, power, energy/bit and
+    per-mm delay over the 10 mm test link.
+    """
+    vlr_rate = CHIP_VLR.max_data_rate_gbps()
+    fs_rate = CHIP_FULL_SWING.max_data_rate_gbps()
+    vlr = {
+        "max_rate_gbps": vlr_rate,
+        "power_mw": CHIP_VLR.power_mw(vlr_rate, CHIP_LINK_MM),
+        "energy_fj_per_bit": CHIP_VLR.energy_fj_per_bit_mm(vlr_rate) * CHIP_LINK_MM,
+        "power_mw_at_5p5": CHIP_VLR.power_mw(5.5, CHIP_LINK_MM),
+        "energy_fj_per_bit_at_5p5": CHIP_VLR.energy_fj_per_bit_mm(5.5) * CHIP_LINK_MM,
+        "delay_ps_per_mm": CHIP_VLR.delay_ps_per_mm,
+        "ber_at_max": CHIP_VLR.ber(vlr_rate),
+    }
+    full = {
+        "max_rate_gbps": fs_rate,
+        "power_mw": CHIP_FULL_SWING.power_mw(fs_rate, CHIP_LINK_MM),
+        "energy_fj_per_bit": CHIP_FULL_SWING.energy_fj_per_bit_mm(fs_rate)
+        * CHIP_LINK_MM,
+        "delay_ps_per_mm": CHIP_FULL_SWING.delay_ps_per_mm,
+        "ber_at_max": CHIP_FULL_SWING.ber(fs_rate),
+    }
+    return vlr, full

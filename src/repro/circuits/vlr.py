@@ -1,0 +1,157 @@
+"""Voltage-locked repeater (VLR): behavioural model and waveforms.
+
+The VLR (Fig 2) is a clockless low-swing repeater: a single-ended driver
+(TxP/TxN) charges the wire node X while a feedback path with a delay cell
+locks X near the threshold of the receiving inverter.  The feedback delay
+produces a transient *overshoot* at X, which buys propagation speed and
+noise margin; the locked low swing keeps the energy down.
+
+``simulate_link`` integrates a simple piecewise-linear ODE per repeater
+stage (driver current charging the distributed wire capacitance, opposed
+by the delayed feedback clamp) and reproduces the qualitative Fig 3
+waveforms: rail-to-rail slow edges for the full-swing repeater vs. a small
+locked swing with overshoot for the VLR.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.circuits.wire import WireModel
+
+
+@dataclasses.dataclass(frozen=True)
+class VlrParams:
+    """Behavioural parameters of one VLR stage.
+
+    The swing is set resistively ("the low-swing voltage level is
+    determined by transistor sizes and link wire impedance"): the Tx
+    conductance pulls node X toward a rail while the delayed feedback
+    clamps it toward ``v_lock +/- v_swing/2``.
+    """
+
+    vdd: float = 0.9
+    #: Voltage the feedback locks node X around (near INV1x threshold).
+    v_lock: float = 0.45
+    #: Nominal swing target around v_lock (total ~0.2 V).
+    v_swing: float = 0.20
+    #: Tx driver conductance toward the rail (siemens): TxP on-resistance
+    #: in series with the wire.
+    g_drive: float = 0.7e-3
+    #: Feedback clamp transconductance toward the lock level (siemens).
+    g_feedback: float = 7.0e-3
+    #: Delay of the feedback delay cell (seconds) — creates the transient
+    #: overshoot the paper credits for speed and noise margin.
+    t_feedback: float = 15e-12
+    #: Receiver inverter threshold offset from v_lock where it flips.
+    rx_threshold_offset: float = 0.02
+
+
+@dataclasses.dataclass
+class Waveform:
+    """A simulated node voltage over time."""
+
+    time_ps: np.ndarray
+    volts: np.ndarray
+    label: str = ""
+
+    @property
+    def swing_pp(self) -> float:
+        """Steady-state peak-to-peak swing (ignoring the leading edge)."""
+        settled = self.volts[len(self.volts) // 4 :]
+        return float(settled.max() - settled.min())
+
+    def overshoot(self, v_high: float) -> float:
+        """How far the waveform exceeds its settled high level."""
+        return float(self.volts.max() - v_high)
+
+
+def _bit_edges(bits: Sequence[int], bit_time_s: float, dt: float) -> np.ndarray:
+    """Target drive polarity (+1/-1) per simulation step."""
+    steps_per_bit = max(1, int(round(bit_time_s / dt)))
+    polarity = np.repeat([1.0 if b else -1.0 for b in bits], steps_per_bit)
+    return polarity
+
+
+def simulate_vlr_stage(
+    params: VlrParams,
+    wire: WireModel,
+    bits: Sequence[int],
+    data_rate_gbps: float,
+    segment_mm: float = 1.0,
+    dt_s: float = 1e-12,
+) -> Waveform:
+    """Simulate node X of one VLR stage driving one wire segment.
+
+    The driver sources ``+/- i_drive`` toward the rails; after the feedback
+    delay the clamp pulls X back toward ``v_lock +/- v_swing/2``.  The
+    overshoot between driver flip and clamp engagement is the transient the
+    paper credits for "lower repeater propagation delay and larger noise
+    margin".
+    """
+    if data_rate_gbps <= 0:
+        raise ValueError("data rate must be positive")
+    c_node = wire.c_f_per_mm * segment_mm
+    bit_time = 1e-9 / data_rate_gbps
+    polarity = _bit_edges(bits, bit_time, dt_s)
+    n = len(polarity)
+    delay_steps = max(1, int(round(params.t_feedback / dt_s)))
+
+    volts = np.empty(n)
+    v = params.v_lock
+    half_swing = params.v_swing / 2.0
+    for i in range(n):
+        pol = polarity[i]
+        rail = params.vdd if pol > 0 else 0.0
+        target = params.v_lock + pol * half_swing
+        # The driver pulls hard toward the rail...
+        i_in = params.g_drive * (rail - v)
+        # ...while the feedback, seeing the node t_feedback ago, clamps it
+        # toward the lock level.  The stale reading keeps pushing past the
+        # crossing, producing the overshoot of Fig 2/3.
+        v_delayed = volts[i - delay_steps] if i >= delay_steps else params.v_lock
+        i_fb = params.g_feedback * (target - v_delayed)
+        v = v + (i_in + i_fb) / c_node * dt_s
+        v = min(max(v, 0.0), params.vdd)
+        volts[i] = v
+    time_ps = np.arange(n) * dt_s * 1e12
+    return Waveform(time_ps=time_ps, volts=volts, label="low-swing VLR")
+
+
+def simulate_full_swing_stage(
+    wire: WireModel,
+    bits: Sequence[int],
+    data_rate_gbps: float,
+    vdd: float = 0.9,
+    drive_ohm: float = 180.0,
+    segment_mm: float = 1.0,
+    dt_s: float = 1e-12,
+) -> Waveform:
+    """RC response of a full-swing repeater stage (rail-to-rail edges)."""
+    c_node = wire.c_f_per_mm * segment_mm
+    bit_time = 1e-9 / data_rate_gbps
+    polarity = _bit_edges(bits, bit_time, dt_s)
+    n = len(polarity)
+    tau = drive_ohm * c_node + 0.5 * wire.r_ohm_per_mm * segment_mm * c_node
+    volts = np.empty(n)
+    v = 0.0
+    for i in range(n):
+        target = vdd if polarity[i] > 0 else 0.0
+        v = v + (target - v) * (1.0 - np.exp(-dt_s / tau))
+        volts[i] = v
+    time_ps = np.arange(n) * dt_s * 1e12
+    return Waveform(time_ps=time_ps, volts=volts, label="full-swing")
+
+
+def crossing_delay_ps(wave: Waveform, threshold: float, bit_time_ps: float) -> float:
+    """Delay from the start of the first bit to the first threshold
+    crossing — a per-stage propagation proxy."""
+    above = wave.volts >= threshold
+    crossings = np.flatnonzero(above[1:] != above[:-1]) + 1
+    if len(crossings) == 0:
+        return float("inf")
+    first = crossings[0]
+    return float(wave.time_ps[first] % bit_time_ps)

@@ -1,0 +1,75 @@
+"""Distributed-RC wire model for on-chip global interconnect (45 nm).
+
+Provides per-mm resistance and capacitance from wire geometry, used by the
+repeater and link-design models.  The SMART link of §III re-optimises the
+fabricated design with "2x wider wire spacing than fabricated" for the
+2 GHz system-level target (Table I footnote), which this model expresses as
+geometry variants.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+#: Effective copper resistivity at 45 nm including barriers/scattering
+#: (ohm-metre).
+RHO_CU_EFF = 3.0e-8
+#: Dielectric permittivity (low-k) in F/m.
+EPS_LOWK = 2.9 * 8.854e-12
+#: Fringe + ground capacitance floor per mm (F), empirically ~40 fF/mm.
+C_FRINGE_PER_MM = 40e-15
+
+
+@dataclasses.dataclass(frozen=True)
+class WireGeometry:
+    """Geometry of one routed signal wire on an intermediate metal layer."""
+
+    width_um: float
+    spacing_um: float
+    thickness_um: float = 0.25
+    height_um: float = 0.20  # dielectric height to the layer below
+
+    def __post_init__(self) -> None:
+        if min(self.width_um, self.spacing_um, self.thickness_um, self.height_um) <= 0:
+            raise ValueError("wire geometry dimensions must be positive")
+
+    @property
+    def pitch_um(self) -> float:
+        return self.width_um + self.spacing_um
+
+
+#: Minimum-DRC pitch used on the fabricated test chip (§III footnote 3).
+MIN_DRC = WireGeometry(width_um=0.14, spacing_um=0.14)
+#: 2x wider spacing used for both Table I variants (footnote 5).
+WIDE_SPACING = WireGeometry(width_um=0.14, spacing_um=0.28)
+
+
+@dataclasses.dataclass(frozen=True)
+class WireModel:
+    """Lumped per-mm electrical parameters."""
+
+    r_ohm_per_mm: float
+    c_f_per_mm: float
+
+    @property
+    def rc_s_per_mm2(self) -> float:
+        """Distributed RC product (s/mm^2); delay grows with this."""
+        return self.r_ohm_per_mm * self.c_f_per_mm
+
+    def elmore_delay_ps(self, length_mm: float) -> float:
+        """Unrepeated distributed-wire Elmore delay (0.38 R C L^2)."""
+        return 0.38 * self.rc_s_per_mm2 * length_mm ** 2 * 1e12
+
+
+def extract_wire(geometry: WireGeometry) -> WireModel:
+    """Per-mm R and C from geometry.
+
+    R from the conductor cross-section; C as parallel-plate to the layer
+    below plus sidewall coupling to both neighbours plus a fringe floor.
+    """
+    area_m2 = geometry.width_um * 1e-6 * geometry.thickness_um * 1e-6
+    r_per_m = RHO_CU_EFF / area_m2
+    c_ground_per_m = EPS_LOWK * geometry.width_um / geometry.height_um
+    c_couple_per_m = 2.0 * EPS_LOWK * geometry.thickness_um / geometry.spacing_um
+    c_per_mm = (c_ground_per_m + c_couple_per_m) * 1e-3 + C_FRINGE_PER_MM
+    return WireModel(r_ohm_per_mm=r_per_m * 1e-3, c_f_per_mm=c_per_mm)

@@ -1,0 +1,127 @@
+"""Network configuration for the SMART NoC reproduction.
+
+The defaults reproduce Table II of the paper: a 4x4 mesh in 45 nm at
+0.9 V / 2 GHz, 32-bit flits, 256-bit packets, 5-port routers with 2 VCs of
+10 flits per port, 2-bit credit channels, and a 20-bit head header.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+
+@dataclasses.dataclass(frozen=True)
+class NocConfig:
+    """Static parameters of a SMART NoC instance (paper Table II).
+
+    Attributes:
+        width: Mesh columns.
+        height: Mesh rows.
+        flit_bits: Channel (and flit) width in bits.
+        packet_bits: Packet size in bits; packets are split into flits.
+        vcs_per_port: Virtual channels per input port.
+        vc_depth_flits: Buffer depth of each VC, in flits.
+        credit_bits: Width of the reverse credit channel
+            (log2(vcs) + 1 valid bit).
+        head_header_bits: Header bits carried by a head flit.
+        body_header_bits: Header bits carried by body/tail flits.
+        freq_hz: Router/network clock frequency.
+        vdd: Supply voltage.
+        technology_nm: Process node (informational; drives energy/area
+            constants).
+        hpc_max: Maximum hops a flit may traverse in one cycle on a SMART
+            bypass path (Table I: 8 hops at 2 GHz with the low-swing VLR).
+        mesh_link_cycles: Extra link-traversal cycles per hop in the
+            baseline mesh (the paper's mesh spends 3 cycles in the router
+            plus 1 cycle in the link).
+        credit_latency: Cycles for a credit to return to the segment start
+            on the reverse credit mesh (single-cycle multi-hop, like data).
+        mm_per_hop: Physical tile pitch; the paper assumes 1 hop = 1 mm from
+            place-and-route of a Freescale e200z7 core in 45 nm.
+    """
+
+    width: int = 4
+    height: int = 4
+    flit_bits: int = 32
+    packet_bits: int = 256
+    vcs_per_port: int = 2
+    vc_depth_flits: int = 10
+    credit_bits: int = 2
+    head_header_bits: int = 20
+    body_header_bits: int = 4
+    freq_hz: float = 2.0e9
+    vdd: float = 0.9
+    technology_nm: int = 45
+    hpc_max: int = 8
+    mesh_link_cycles: int = 1
+    credit_latency: int = 1
+    mm_per_hop: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.height < 1:
+            raise ValueError("mesh dimensions must be positive")
+        if self.flit_bits <= 0 or self.packet_bits <= 0:
+            raise ValueError("flit and packet sizes must be positive")
+        if self.packet_bits % self.flit_bits != 0:
+            raise ValueError(
+                "packet_bits (%d) must be a multiple of flit_bits (%d)"
+                % (self.packet_bits, self.flit_bits)
+            )
+        if self.vcs_per_port < 1:
+            raise ValueError("need at least one virtual channel per port")
+        if self.vc_depth_flits < self.flits_per_packet:
+            raise ValueError(
+                "virtual cut-through requires VC depth >= packet size "
+                "(%d < %d flits)" % (self.vc_depth_flits, self.flits_per_packet)
+            )
+        if self.credit_bits < self.min_credit_bits:
+            raise ValueError(
+                "credit channel needs log2(vcs)+1 = %d bits, got %d"
+                % (self.min_credit_bits, self.credit_bits)
+            )
+        if self.hpc_max < 1:
+            raise ValueError("hpc_max must allow at least one hop per cycle")
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of mesh tiles (routers / NICs)."""
+        return self.width * self.height
+
+    @property
+    def flits_per_packet(self) -> int:
+        """Flits per packet (paper: 256/32 = 8)."""
+        return self.packet_bits // self.flit_bits
+
+    @property
+    def min_credit_bits(self) -> int:
+        """Reverse-credit width: log2(#VCs) rounded up, plus a valid bit."""
+        return max(1, math.ceil(math.log2(self.vcs_per_port))) + 1
+
+    @property
+    def cycle_time_s(self) -> float:
+        """Clock period in seconds."""
+        return 1.0 / self.freq_hz
+
+    def flow_rate_flits_per_cycle(self, bandwidth_bytes_per_s: float) -> float:
+        """Convert a task-graph edge bandwidth to flits per cycle.
+
+        The paper injects uniform-random traffic "to meet the specified
+        bandwidth for each flow"; with 32-bit flits at 2 GHz one flit per
+        cycle is 8 GB/s of channel bandwidth.
+        """
+        if bandwidth_bytes_per_s < 0:
+            raise ValueError("bandwidth must be non-negative")
+        bits_per_cycle = bandwidth_bytes_per_s * 8.0 / self.freq_hz
+        return bits_per_cycle / self.flit_bits
+
+    def flow_rate_packets_per_cycle(self, bandwidth_bytes_per_s: float) -> float:
+        """Convert a flow bandwidth to packet injections per cycle."""
+        return (
+            self.flow_rate_flits_per_cycle(bandwidth_bytes_per_s)
+            / self.flits_per_packet
+        )
+
+
+#: Configuration from Table II of the paper.
+TABLE_II_CONFIG = NocConfig()

@@ -1,0 +1,71 @@
+"""SMART core: presets, segments, reconfiguration, source routing."""
+
+from repro.core.credit_network import (
+    CreditNetwork,
+    CreditPreset,
+    credit_crossbar_width_bits,
+    derive_credit_network,
+)
+from repro.core.noc_builder import NocInstance, build_mesh_noc, build_smart_noc
+from repro.core.presets import (
+    InputMode,
+    NetworkPresets,
+    RouterPresets,
+    compute_presets,
+)
+from repro.core.reconfiguration import (
+    DEFAULT_BASE_ADDR,
+    DecodedRouterConfig,
+    ReconfigurationProgram,
+    StoreOp,
+    compile_program,
+    decode_router,
+    diff_program,
+    encode_router,
+)
+from repro.core.smart_crossbar import (
+    CrossbarSpec,
+    SmartRouterSpec,
+    build_router_spec,
+)
+from repro.core.source_routing import (
+    RouteHeader,
+    build_header,
+    decode_route,
+    encode_route,
+    max_route_routers,
+    relative_code,
+    resolve_relative,
+)
+
+__all__ = [
+    "CreditNetwork",
+    "CreditPreset",
+    "CrossbarSpec",
+    "DecodedRouterConfig",
+    "DEFAULT_BASE_ADDR",
+    "InputMode",
+    "NetworkPresets",
+    "NocInstance",
+    "ReconfigurationProgram",
+    "RouteHeader",
+    "RouterPresets",
+    "SmartRouterSpec",
+    "StoreOp",
+    "build_header",
+    "build_mesh_noc",
+    "build_router_spec",
+    "build_smart_noc",
+    "compile_program",
+    "compute_presets",
+    "credit_crossbar_width_bits",
+    "decode_route",
+    "decode_router",
+    "derive_credit_network",
+    "diff_program",
+    "encode_route",
+    "encode_router",
+    "max_route_routers",
+    "relative_code",
+    "resolve_relative",
+]

@@ -1,0 +1,88 @@
+"""The reverse credit mesh (§IV Flow Control).
+
+Credits travel a mesh of their own, "similar to the forward data mesh
+network that delivers flits", through [log2(#VCs)+1]-bit SMART crossbars
+preset as the mirror image of the data presets: wherever data bypasses a
+router from input ``p`` to output ``q``, credits bypass it from input
+``q`` to output ``p``.  "The beauty of this design is that the router does
+not need to be aware of the reconfiguration": a router receiving a credit
+simply enqueues the VC id — the preset credit crossbars have already
+steered it to the right segment start.
+
+The cycle-level behaviour of credits is simulated inside
+:mod:`repro.sim.network`; this module derives the *structural* credit
+presets used by the reconfiguration registers and the RTL generator, and
+exposes the credit paths for inspection.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Tuple
+
+from repro.core.presets import NetworkPresets
+from repro.sim.segments import Segment
+from repro.sim.topology import Port
+
+
+@dataclasses.dataclass(frozen=True)
+class CreditPreset:
+    """Credit crossbar preset at one router: out via ``out_port`` selecting
+    credits arriving via ``in_port``."""
+
+    node: int
+    in_port: Port
+    out_port: Port
+
+
+@dataclasses.dataclass
+class CreditNetwork:
+    """Structural description of the preset reverse credit mesh."""
+
+    #: Per-router credit crossbar presets: node -> {credit out -> credit in}.
+    presets: Dict[int, Dict[Port, Port]]
+    #: Per data segment: the routers a returning credit bypasses.
+    paths: Dict[Segment, Tuple[int, ...]]
+
+    def preset_count(self) -> int:
+        return sum(len(p) for p in self.presets.values())
+
+    def credit_path_for(self, segment: Segment) -> Tuple[int, ...]:
+        return self.paths[segment]
+
+
+def derive_credit_network(presets: NetworkPresets) -> CreditNetwork:
+    """Mirror the data presets into credit presets.
+
+    For every data bypass (in ``p`` -> out ``q``) at a router, a credit
+    preset (in ``q`` -> out ``p``) is installed, so a credit released at a
+    segment's endpoint retraces the segment to its start in a single cycle
+    without entering intermediate routers.
+    """
+    credit_presets: Dict[int, Dict[Port, Port]] = {
+        node: {} for node in presets.routers
+    }
+    for node, rp in presets.routers.items():
+        for in_port, out_port in rp.bypass_out.items():
+            credit_presets[node][in_port] = out_port
+
+    # A returning credit retraces the data crossings in reverse: the
+    # segment endpoint (buffered router or destination NIC) launches it,
+    # the segment start's free-VC queue consumes it.
+    paths: Dict[Segment, Tuple[int, ...]] = {
+        segment: tuple(reversed(segment.routers_crossed))
+        for segment in presets.segment_map.segments()
+    }
+    return CreditNetwork(presets=credit_presets, paths=paths)
+
+
+def credit_crossbar_width_bits(num_vcs: int) -> int:
+    """Width of the credit crossbar: log2(#VCs) + 1 valid bit (§IV)."""
+    if num_vcs < 1:
+        raise ValueError("need at least one VC")
+    bits = 1
+    while (1 << bits) < num_vcs:
+        bits += 1
+    if num_vcs == 1:
+        bits = 1
+    return bits + 1

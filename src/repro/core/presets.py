@@ -1,0 +1,321 @@
+"""Preset computation: turning mapped flows into SMART crossbar presets.
+
+Before an application runs, "all the crossbar select lines are preset such
+that they either always receive a flit from one of the incoming links, or
+from a router buffer" (§IV).  This module decides, for every router input
+port, whether it is a preset *bypass* (incoming link wired straight through
+the crossbar to one output) or a *stop* (flits are latched, arbitrate, and
+move through the SA-controlled crossbar), and derives the single-cycle
+traversal segments that result.
+
+Legality rule (derived from §IV and the Fig 7 discussion): input port ``p``
+of router ``R`` may bypass to output ``q`` iff
+
+* every flow entering ``R`` via ``p`` leaves via the same output ``q``
+  (otherwise a static select would copy flits onto wrong paths), and
+* every flow using output ``q`` enters via ``p`` (otherwise ``q`` must be
+  arbitrated and the flows must stop).
+
+All flows traversing a bypassed port therefore share one downstream path
+until the next stop, which is what makes the free-VC queue at each segment
+start well defined.  Chains longer than ``hpc_max`` hops (Table I: 8 mm at
+2 GHz) get a forced stop.  With ``force_all_stops=True`` the same machinery
+produces the baseline mesh (footnote 10: with all flows contending, SMART
+degenerates to the mesh).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.config import NocConfig
+from repro.sim.flow import Flow, validate_flow_set
+from repro.sim.network import RouterConfig
+from repro.sim.segments import (
+    BufferEnd,
+    NicEnd,
+    NicStart,
+    OutputStart,
+    Segment,
+    SegmentMap,
+)
+from repro.sim.topology import Mesh, Port
+
+
+class InputMode(enum.Enum):
+    """Preset state of a router input port."""
+
+    BUFFERED = "buffered"
+    BYPASS = "bypass"
+    UNUSED = "unused"
+
+
+@dataclasses.dataclass
+class RouterPresets:
+    """Preset state of one router for one application."""
+
+    node: int
+    input_mode: Dict[Port, InputMode]
+    #: Output each bypassed input is wired to.
+    bypass_out: Dict[Port, Port]
+    #: Statically bound outputs -> their source input.
+    static_source: Dict[Port, Port]
+    #: Outputs arbitrated by switch allocation.
+    dynamic_outputs: Set[Port]
+
+    def buffered_inputs(self) -> List[Port]:
+        return [p for p, m in self.input_mode.items() if m is InputMode.BUFFERED]
+
+    def bypassed_inputs(self) -> List[Port]:
+        return [p for p, m in self.input_mode.items() if m is InputMode.BYPASS]
+
+    def used_inputs(self) -> List[Port]:
+        return [p for p, m in self.input_mode.items() if m is not InputMode.UNUSED]
+
+    def is_fully_bypassed(self) -> bool:
+        """True if no flit is ever latched here (router clock fully gated)."""
+        return not self.buffered_inputs() and not self.dynamic_outputs
+
+
+@dataclasses.dataclass
+class NetworkPresets:
+    """Presets for every router plus the derived traversal segments."""
+
+    cfg: NocConfig
+    mesh: Mesh
+    flows: Tuple[Flow, ...]
+    routers: Dict[int, RouterPresets]
+    segment_map: SegmentMap
+    #: (node, port) stops inserted to respect HPC_max.
+    forced_stops: Tuple[Tuple[int, Port], ...]
+
+    def router_configs(self) -> Dict[int, RouterConfig]:
+        configs = {}
+        for node, presets in self.routers.items():
+            configs[node] = RouterConfig(
+                node=node,
+                buffered_inputs=tuple(sorted(presets.buffered_inputs())),
+                bypassed_inputs=tuple(sorted(presets.bypassed_inputs())),
+                dynamic_outputs=tuple(sorted(presets.dynamic_outputs)),
+            )
+        return configs
+
+    def stops_for_flow(self, flow: Flow) -> List[int]:
+        """Routers at which packets of ``flow`` are latched."""
+        stops = []
+        for node, in_port, _out in flow.port_traversals(self.mesh):
+            mode = self.routers[node].input_mode.get(in_port, InputMode.UNUSED)
+            if mode is InputMode.BUFFERED:
+                stops.append(node)
+        return stops
+
+    def single_cycle_flows(self) -> List[Flow]:
+        """Flows that traverse source NIC to destination NIC in one cycle."""
+        return [f for f in self.flows if not self.stops_for_flow(f)]
+
+    def one_cycle_link_count(self) -> int:
+        """Links traversed combinationally within a single cycle — the
+        bold links of Fig 1."""
+        return sum(
+            segment.hops
+            for segment in self.segment_map.segments()
+            if segment.extra_cycles == 0
+        )
+
+
+def compute_presets(
+    cfg: NocConfig,
+    mesh: Mesh,
+    flows: Sequence[Flow],
+    force_all_stops: bool = False,
+    link_extra_cycles: int = 0,
+) -> NetworkPresets:
+    """Derive presets and segments for a set of mapped flows.
+
+    Args:
+        cfg: Network configuration (``cfg.hpc_max`` bounds chain length;
+            sweep it via ``dataclasses.replace`` for the HPC ablation).
+        mesh: The physical mesh.
+        flows: Mapped flows with routes.
+        force_all_stops: Buffer every used input (baseline mesh).
+        link_extra_cycles: Extra cycles per link-bearing segment (the
+            baseline mesh's separate link-traversal stage).
+    """
+    flows = tuple(flows)
+    validate_flow_set(list(flows), mesh)
+    limit = cfg.hpc_max
+
+    flows_in: Dict[Tuple[int, Port], Set[int]] = {}
+    flows_out: Dict[Tuple[int, Port], Set[int]] = {}
+    out_at: Dict[Tuple[int, int], Port] = {}
+    for flow in flows:
+        for node, in_port, out_port in flow.port_traversals(mesh):
+            flows_in.setdefault((node, in_port), set()).add(flow.flow_id)
+            flows_out.setdefault((node, out_port), set()).add(flow.flow_id)
+            out_at[(node, flow.flow_id)] = out_port
+
+    routers: Dict[int, RouterPresets] = {
+        node: RouterPresets(node, {p: InputMode.UNUSED for p in Port}, {}, {}, set())
+        for node in mesh.nodes()
+    }
+
+    # Pass 1: local bypass legality.
+    for (node, in_port), fset in flows_in.items():
+        presets = routers[node]
+        outs = {out_at[(node, fid)] for fid in fset}
+        bypass_target: Optional[Port] = None
+        if not force_all_stops and len(outs) == 1:
+            q = next(iter(outs))
+            if flows_out[(node, q)] == fset:
+                bypass_target = q
+        if bypass_target is None:
+            presets.input_mode[in_port] = InputMode.BUFFERED
+        else:
+            presets.input_mode[in_port] = InputMode.BYPASS
+            presets.bypass_out[in_port] = bypass_target
+
+    # Classify outputs: static iff bound by a bypass, else dynamic if used.
+    for node, presets in routers.items():
+        for in_port, q in presets.bypass_out.items():
+            presets.static_source[q] = in_port
+        for (n, out_port), _fset in flows_out.items():
+            if n == node and out_port not in presets.static_source:
+                presets.dynamic_outputs.add(out_port)
+
+    # Pass 2: walk chains, enforcing HPC_max by forcing stops.
+    forced: List[Tuple[int, Port]] = []
+
+    def force_stop(node: int, in_port: Port) -> None:
+        presets = routers[node]
+        q = presets.bypass_out.pop(in_port)
+        presets.input_mode[in_port] = InputMode.BUFFERED
+        del presets.static_source[q]
+        presets.dynamic_outputs.add(q)
+        forced.append((node, in_port))
+
+    segment_map = SegmentMap()
+    worklist: List[Tuple[object, Optional[Tuple[int, Port]], int, List[int]]] = []
+    for node in mesh.nodes():
+        if any(f.src == node for f in flows):
+            worklist.append((NicStart(node), (node, Port.CORE), 0, []))
+
+    def enqueue_dynamic_outputs(node: int) -> None:
+        presets = routers[node]
+        for q in sorted(presets.dynamic_outputs):
+            start = OutputStart(node, q)
+            if segment_map.has_start(start):
+                continue
+            if q is Port.CORE:
+                worklist.append((start, None, 0, [node]))
+            else:
+                neighbor = mesh.neighbor(node, q)
+                if neighbor is None:
+                    raise ValueError(
+                        "preset routes flow off-mesh at node %d port %s"
+                        % (node, q.name)
+                    )
+                worklist.append((start, (neighbor, q.opposite), 1, [node]))
+
+    for node in mesh.nodes():
+        enqueue_dynamic_outputs(node)
+
+    max_steps = mesh.num_nodes * len(Port) + 1
+    while worklist:
+        start, position, hops, crossed = worklist.pop()
+        if segment_map.has_start(start):
+            continue
+        steps = 0
+        end = None
+        while end is None:
+            steps += 1
+            if steps > max_steps:
+                raise RuntimeError("bypass chain from %r does not terminate" % (start,))
+            if position is None:
+                end = NicEnd(crossed[-1])
+                break
+            node, in_port = position
+            presets = routers[node]
+            mode = presets.input_mode.get(in_port, InputMode.UNUSED)
+            if mode is InputMode.UNUSED:
+                raise RuntimeError(
+                    "chain from %r reaches unused port (%d, %s)"
+                    % (start, node, in_port.name)
+                )
+            if mode is InputMode.BUFFERED:
+                end = BufferEnd(node, in_port)
+                break
+            q = presets.bypass_out[in_port]
+            if q is not Port.CORE and hops + 1 > limit:
+                force_stop(node, in_port)
+                enqueue_dynamic_outputs(node)
+                end = BufferEnd(node, in_port)
+                break
+            crossed.append(node)
+            if q is Port.CORE:
+                end = NicEnd(node)
+                break
+            neighbor = mesh.neighbor(node, q)
+            if neighbor is None:
+                raise ValueError(
+                    "preset routes flow off-mesh at node %d port %s"
+                    % (node, q.name)
+                )
+            hops += 1
+            position = (neighbor, q.opposite)
+        extra = link_extra_cycles if hops >= 1 else 0
+        segment_map.add(
+            Segment(
+                start=start,
+                end=end,
+                hops=hops,
+                routers_crossed=tuple(crossed),
+                extra_cycles=extra,
+            )
+        )
+
+    presets_obj = NetworkPresets(
+        cfg=cfg,
+        mesh=mesh,
+        flows=flows,
+        routers=routers,
+        segment_map=segment_map,
+        forced_stops=tuple(forced),
+    )
+    _validate(presets_obj, flows_in, flows_out)
+    return presets_obj
+
+
+def _validate(
+    presets: NetworkPresets,
+    flows_in: Dict[Tuple[int, Port], Set[int]],
+    flows_out: Dict[Tuple[int, Port], Set[int]],
+) -> None:
+    """Internal consistency checks on the computed presets."""
+    for node, rp in presets.routers.items():
+        static = set(rp.static_source)
+        if static & rp.dynamic_outputs:
+            raise AssertionError(
+                "router %d outputs both static and dynamic: %r"
+                % (node, static & rp.dynamic_outputs)
+            )
+        for in_port, q in rp.bypass_out.items():
+            if rp.static_source.get(q) is not in_port:
+                raise AssertionError(
+                    "router %d bypass (%s -> %s) not mirrored in static map"
+                    % (node, in_port.name, q.name)
+                )
+        for (n, out_port) in flows_out:
+            if n != node:
+                continue
+            if out_port not in static and out_port not in rp.dynamic_outputs:
+                raise AssertionError(
+                    "router %d used output %s is neither static nor dynamic"
+                    % (node, out_port.name)
+                )
+    if presets.segment_map.max_hops() > presets.cfg.hpc_max:
+        raise AssertionError(
+            "segment exceeds HPC_max after enforcement (%d > %d)"
+            % (presets.segment_map.max_hops(), presets.cfg.hpc_max)
+        )

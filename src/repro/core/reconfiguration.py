@@ -1,0 +1,207 @@
+"""Reconfiguration registers and the runtime reconfiguration program (§V).
+
+"We encode the preset signals for crossbars and input/output ports into a
+double-word configuration register for each router.  These registers are
+memory mapped such that these can be set by performing a few memory store
+operations. ... for a 16-node SMART NoC, there are 16 registers to be set
+which correspond to 16 instructions."
+
+64-bit register layout (bit 0 = LSB):
+
+    [ 4: 0]  input bypass enable, one bit per port (E,S,W,N,C)
+    [19: 5]  bypassed input's bound output, 3 bits per port (7 = none)
+    [34:20]  crossbar output select, 3 bits per port
+             (0-4 = static source input, 5 = SA-controlled, 7 = unused)
+    [39:35]  port clock gate, one bit per port (1 = gated off)
+    [54:40]  credit crossbar output select, 3 bits per port (7 = none)
+    [63]     valid
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+from repro.core.credit_network import CreditNetwork, derive_credit_network
+from repro.core.presets import InputMode, NetworkPresets, RouterPresets
+from repro.sim.topology import Port
+
+#: Default memory-mapped base address of the config register file.
+DEFAULT_BASE_ADDR = 0x4000_0000
+#: Register stride: one double word per router.
+REGISTER_STRIDE_BYTES = 8
+
+_NONE = 0b111
+_SEL_DYNAMIC = 0b101
+_VALID_BIT = 63
+
+_PORTS = tuple(Port)
+
+
+def _field(value: int, offset: int, width: int) -> int:
+    return (value >> offset) & ((1 << width) - 1)
+
+
+@dataclasses.dataclass(frozen=True)
+class DecodedRouterConfig:
+    """Human-readable view of one router's 64-bit config register."""
+
+    node: int
+    bypass_enable: Dict[Port, bool]
+    bypass_out: Dict[Port, Port]
+    output_select: Dict[Port, object]  # Port | "dynamic" | None
+    clock_gated: Dict[Port, bool]
+    credit_out_select: Dict[Port, Port]
+    valid: bool
+
+
+def encode_router(
+    rp: RouterPresets, credit_presets: Dict[Port, Port]
+) -> int:
+    """Pack one router's presets into its 64-bit register value."""
+    value = 1 << _VALID_BIT
+    for port in _PORTS:
+        index = int(port)
+        mode = rp.input_mode.get(port, InputMode.UNUSED)
+        if mode is InputMode.BYPASS:
+            value |= 1 << index
+            value |= int(rp.bypass_out[port]) << (5 + 3 * index)
+        else:
+            value |= _NONE << (5 + 3 * index)
+        if port in rp.static_source:
+            select = int(rp.static_source[port])
+        elif port in rp.dynamic_outputs:
+            select = _SEL_DYNAMIC
+        else:
+            select = _NONE
+        value |= select << (20 + 3 * index)
+        # A port's clock is gated when it neither buffers nor arbitrates:
+        # bypassed and unused ports run clockless.
+        gated = mode is not InputMode.BUFFERED and port not in rp.dynamic_outputs
+        if gated:
+            value |= 1 << (35 + index)
+        credit_out = credit_presets.get(port)
+        credit_sel = _NONE if credit_out is None else int(credit_out)
+        value |= credit_sel << (40 + 3 * index)
+    return value
+
+
+def decode_router(node: int, value: int) -> DecodedRouterConfig:
+    """Unpack a 64-bit register value (inverse of :func:`encode_router`)."""
+    bypass_enable: Dict[Port, bool] = {}
+    bypass_out: Dict[Port, Port] = {}
+    output_select: Dict[Port, object] = {}
+    clock_gated: Dict[Port, bool] = {}
+    credit_out_select: Dict[Port, Port] = {}
+    for port in _PORTS:
+        index = int(port)
+        enabled = bool(_field(value, index, 1))
+        bypass_enable[port] = enabled
+        out_code = _field(value, 5 + 3 * index, 3)
+        if enabled:
+            if out_code == _NONE:
+                raise ValueError(
+                    "router %d: bypassed port %s has no bound output"
+                    % (node, port.name)
+                )
+            bypass_out[port] = Port(out_code)
+        select_code = _field(value, 20 + 3 * index, 3)
+        if select_code == _NONE:
+            output_select[port] = None
+        elif select_code == _SEL_DYNAMIC:
+            output_select[port] = "dynamic"
+        else:
+            output_select[port] = Port(select_code)
+        clock_gated[port] = bool(_field(value, 35 + index, 1))
+        credit_code = _field(value, 40 + 3 * index, 3)
+        if credit_code != _NONE:
+            credit_out_select[port] = Port(credit_code)
+    return DecodedRouterConfig(
+        node=node,
+        bypass_enable=bypass_enable,
+        bypass_out=bypass_out,
+        output_select=output_select,
+        clock_gated=clock_gated,
+        credit_out_select=credit_out_select,
+        valid=bool(_field(value, _VALID_BIT, 1)),
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class StoreOp:
+    """One memory-mapped store instruction."""
+
+    address: int
+    value: int
+
+    def __str__(self) -> str:
+        return "store [0x%08x] <- 0x%016x" % (self.address, self.value)
+
+
+@dataclasses.dataclass
+class ReconfigurationProgram:
+    """The store sequence that retargets the NoC to one application.
+
+    "Application developers need to prepend the application with memory
+    store instructions to set the registers properly and the
+    reconfiguration cost at runtime is just the amount of time to execute
+    these instructions."
+    """
+
+    app_name: str
+    stores: List[StoreOp]
+    base_addr: int
+
+    @property
+    def cost_instructions(self) -> int:
+        return len(self.stores)
+
+    def cost_cycles(self, cycles_per_store: int = 1) -> int:
+        """Runtime reconfiguration cost (the network must be empty)."""
+        return self.cost_instructions * cycles_per_store
+
+    def register_for_node(self, node: int) -> int:
+        address = self.base_addr + node * REGISTER_STRIDE_BYTES
+        for op in self.stores:
+            if op.address == address:
+                return op.value
+        raise KeyError("no store targets node %d" % node)
+
+
+def compile_program(
+    presets: NetworkPresets,
+    app_name: str = "",
+    base_addr: int = DEFAULT_BASE_ADDR,
+) -> ReconfigurationProgram:
+    """Compile presets into the per-router store sequence."""
+    credit = derive_credit_network(presets)
+    stores = []
+    for node in sorted(presets.routers):
+        value = encode_router(presets.routers[node], credit.presets[node])
+        stores.append(
+            StoreOp(address=base_addr + node * REGISTER_STRIDE_BYTES, value=value)
+        )
+    return ReconfigurationProgram(
+        app_name=app_name or "app", stores=stores, base_addr=base_addr
+    )
+
+
+def diff_program(
+    old: ReconfigurationProgram, new: ReconfigurationProgram
+) -> ReconfigurationProgram:
+    """Stores needed to switch configurations (only changed registers).
+
+    The paper writes all 16 registers; an incremental switch is an easy
+    optimisation when consecutive applications share presets.
+    """
+    if old.base_addr != new.base_addr:
+        raise ValueError("programs target different register files")
+    old_values = {op.address: op.value for op in old.stores}
+    changed = [
+        op for op in new.stores if old_values.get(op.address) != op.value
+    ]
+    return ReconfigurationProgram(
+        app_name="%s->%s" % (old.app_name, new.app_name),
+        stores=changed,
+        base_addr=new.base_addr,
+    )

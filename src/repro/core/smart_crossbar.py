@@ -1,0 +1,111 @@
+"""Structural model of the SMART crossbar and router (Fig 5/6).
+
+The SMART crossbar sits between the Rx and Tx halves of the voltage-locked
+repeaters: incoming low-swing signals are converted to full swing (Rx),
+traverse the full-swing crossbar, and are re-driven as low swing (Tx)
+toward the next hop.  Each input port carries a 2:1 bypass mux choosing
+between the incoming link (preset bypass) and the router's input buffer.
+
+This module captures that structure — port counts, mux and select-line
+widths, Rx/Tx instances — for the RTL generator, the area model and the
+documentation; the cycle behaviour lives in :mod:`repro.sim.network`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+from repro.config import NocConfig
+from repro.core.credit_network import credit_crossbar_width_bits
+from repro.sim.topology import Port
+
+
+@dataclasses.dataclass(frozen=True)
+class CrossbarSpec:
+    """Static structure of one SMART crossbar instance."""
+
+    data_bits: int
+    num_ports: int
+    #: Select-line width per output (chooses among inputs + buffered path).
+    select_bits: int
+
+    @property
+    def mux_count(self) -> int:
+        """One output mux per port."""
+        return self.num_ports
+
+    @property
+    def bypass_mux_count(self) -> int:
+        """One 2:1 link/buffer mux per input port."""
+        return self.num_ports
+
+    @property
+    def crosspoints(self) -> int:
+        return self.num_ports * self.num_ports * self.data_bits
+
+
+@dataclasses.dataclass(frozen=True)
+class SmartRouterSpec:
+    """Structure of one SMART router: buffers + arbiters + two crossbars
+    (data and credit) + VLR Tx/Rx blocks on each mesh-facing port."""
+
+    cfg: NocConfig
+    data_xbar: CrossbarSpec
+    credit_xbar: CrossbarSpec
+
+    @property
+    def num_ports(self) -> int:
+        return self.data_xbar.num_ports
+
+    @property
+    def buffer_bits(self) -> int:
+        return (
+            self.num_ports
+            * self.cfg.vcs_per_port
+            * self.cfg.vc_depth_flits
+            * self.cfg.flit_bits
+        )
+
+    @property
+    def mesh_ports(self) -> List[Port]:
+        return [p for p in Port if p.is_cardinal]
+
+    @property
+    def vlr_rx_bits(self) -> int:
+        """Low-swing receivers: one per data+credit wire per mesh port."""
+        per_port = self.cfg.flit_bits + self.cfg.credit_bits
+        return len(self.mesh_ports) * per_port
+
+    @property
+    def vlr_tx_bits(self) -> int:
+        return self.vlr_rx_bits
+
+    def pipeline_stages(self) -> Tuple[str, str, str]:
+        """The 3-stage pipeline of Fig 6."""
+        return ("Buffer Write", "Switch Allocation", "SMART Crossbar + Link")
+
+
+def _select_bits(num_inputs: int) -> int:
+    bits = 1
+    while (1 << bits) < num_inputs:
+        bits += 1
+    return bits
+
+
+def build_router_spec(cfg: NocConfig, num_ports: int = 5) -> SmartRouterSpec:
+    """Spec for the Table II router: 5 ports, 32-bit data, 2-bit credit."""
+    if num_ports < 2:
+        raise ValueError("a router needs at least two ports")
+    # Each output selects among the other inputs' bypass paths plus the
+    # buffered path: num_ports + 1 sources.
+    select = _select_bits(num_ports + 1)
+    data = CrossbarSpec(
+        data_bits=cfg.flit_bits, num_ports=num_ports, select_bits=select
+    )
+    credit = CrossbarSpec(
+        data_bits=credit_crossbar_width_bits(cfg.vcs_per_port),
+        num_ports=num_ports,
+        select_bits=select,
+    )
+    return SmartRouterSpec(cfg=cfg, data_xbar=data, credit_xbar=credit)

@@ -1,0 +1,150 @@
+"""Source-route encoding (§IV Routing).
+
+"Since the routes are static, we adopt source routing and encode the route
+in 2 bits for each router.  At the source router, the 2-bit corresponds to
+East, South, West and North output ports, while at all other routers, the
+bits correspond to Left, Right, Straight and Core.  The direction Left,
+Right and Straight are relative to the input port of the flit."
+
+The head flit carries 20 header bits (Table II); two per router plus a
+small fixed field (VC id + flit type) bounds route length, which a 4x4
+mesh's longest minimal path (7 routers) exactly fits.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+from repro.config import NocConfig
+from repro.sim.topology import Port
+
+#: Source-router absolute codes, paper order E, S, W, N.
+_ABS_CODE: Dict[Port, int] = {
+    Port.EAST: 0,
+    Port.SOUTH: 1,
+    Port.WEST: 2,
+    Port.NORTH: 3,
+}
+_ABS_PORT = {v: k for k, v in _ABS_CODE.items()}
+
+#: Relative codes at non-source routers, paper order L, R, S, Core.
+CODE_LEFT = 0
+CODE_RIGHT = 1
+CODE_STRAIGHT = 2
+CODE_CORE = 3
+
+#: Left of a travel heading (counterclockwise).
+_LEFT_OF: Dict[Port, Port] = {
+    Port.EAST: Port.NORTH,
+    Port.NORTH: Port.WEST,
+    Port.WEST: Port.SOUTH,
+    Port.SOUTH: Port.EAST,
+}
+_RIGHT_OF = {heading: left.opposite for heading, left in _LEFT_OF.items()}
+
+#: Header bits reserved for non-route fields (VC id, flit type, valid).
+ROUTE_HEADER_OVERHEAD_BITS = 6
+
+
+def max_route_routers(cfg: NocConfig) -> int:
+    """Longest route (in routers) the head header can encode."""
+    return (cfg.head_header_bits - ROUTE_HEADER_OVERHEAD_BITS) // 2
+
+
+def relative_code(heading: Port, out_port: Port) -> int:
+    """The 2-bit code for leaving via ``out_port`` when travelling
+    ``heading``."""
+    if out_port is Port.CORE:
+        return CODE_CORE
+    if out_port is heading:
+        return CODE_STRAIGHT
+    if out_port is _LEFT_OF[heading]:
+        return CODE_LEFT
+    if out_port is _RIGHT_OF[heading]:
+        return CODE_RIGHT
+    raise ValueError(
+        "cannot leave %s while travelling %s (U-turn)"
+        % (out_port.name, heading.name)
+    )
+
+
+def resolve_relative(heading: Port, code: int) -> Port:
+    """Inverse of :func:`relative_code`."""
+    if code == CODE_CORE:
+        return Port.CORE
+    if code == CODE_STRAIGHT:
+        return heading
+    if code == CODE_LEFT:
+        return _LEFT_OF[heading]
+    if code == CODE_RIGHT:
+        return _RIGHT_OF[heading]
+    raise ValueError("invalid 2-bit route code %d" % code)
+
+
+def encode_route(route: Tuple[Port, ...]) -> int:
+    """Pack a route (out-port per router, CORE-terminated) into an int.
+
+    The source router's field is absolute; later fields are relative to
+    the heading established by the previous hop.  Fields are packed two
+    bits per router, source router in the least-significant bits.
+    """
+    if not route or route[-1] is not Port.CORE:
+        raise ValueError("route must end with CORE")
+    if route[0] is Port.CORE:
+        raise ValueError("route must leave the source router")
+    value = _ABS_CODE[route[0]]
+    heading = route[0]
+    for index, out_port in enumerate(route[1:], start=1):
+        code = relative_code(heading, out_port)
+        value |= code << (2 * index)
+        if out_port is not Port.CORE:
+            heading = out_port
+    return value
+
+
+def decode_route(value: int, num_routers: int) -> Tuple[Port, ...]:
+    """Unpack ``num_routers`` 2-bit fields back into a route."""
+    if num_routers < 1:
+        raise ValueError("a route visits at least one router")
+    first = _ABS_PORT[value & 0b11]
+    route: List[Port] = [first]
+    heading = first
+    for index in range(1, num_routers):
+        code = (value >> (2 * index)) & 0b11
+        out_port = resolve_relative(heading, code)
+        route.append(out_port)
+        if out_port is Port.CORE:
+            if index != num_routers - 1:
+                raise ValueError("route ejects before its last router")
+            break
+        heading = out_port
+    if route[-1] is not Port.CORE:
+        raise ValueError("decoded route does not terminate at a core")
+    return tuple(route)
+
+
+@dataclasses.dataclass(frozen=True)
+class RouteHeader:
+    """The encoded head-flit header for one flow."""
+
+    route_bits: int
+    num_routers: int
+    vc_id: int
+
+    def bit_length(self) -> int:
+        return 2 * self.num_routers + ROUTE_HEADER_OVERHEAD_BITS
+
+
+def build_header(route: Tuple[Port, ...], cfg: NocConfig, vc_id: int = 0) -> RouteHeader:
+    """Encode and capacity-check a route against the header budget."""
+    if len(route) > max_route_routers(cfg):
+        raise ValueError(
+            "route visits %d routers but the %d-bit header encodes at most %d"
+            % (len(route), cfg.head_header_bits, max_route_routers(cfg))
+        )
+    if not 0 <= vc_id < cfg.vcs_per_port:
+        raise ValueError("vc id %d out of range" % vc_id)
+    return RouteHeader(
+        route_bits=encode_route(route), num_routers=len(route), vc_id=vc_id
+    )

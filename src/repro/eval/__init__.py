@@ -1,0 +1,49 @@
+"""Evaluation harness: designs, experiments, ablations, reporting."""
+
+from repro.eval.ablations import (
+    channel_split,
+    hpc_sweep,
+    mapping_comparison,
+    route_selection_comparison,
+    vc_sweep,
+)
+from repro.eval.dedicated import DedicatedNetwork
+from repro.eval.designs import DESIGNS, DesignInstance, build_design
+from repro.eval.scenarios import FIG1_APPS, FIG7_STOP_TIMES, fig7_flows
+from repro.eval.experiments import (
+    AppExperiment,
+    HeadlineMetrics,
+    SuiteResults,
+    fig10a_rows,
+    fig10b_rows,
+    headline_metrics,
+    run_app,
+    run_suite,
+)
+from repro.eval.report import render_table, rows_to_csv, write_csv
+
+__all__ = [
+    "AppExperiment",
+    "DESIGNS",
+    "DedicatedNetwork",
+    "DesignInstance",
+    "FIG1_APPS",
+    "FIG7_STOP_TIMES",
+    "HeadlineMetrics",
+    "SuiteResults",
+    "build_design",
+    "channel_split",
+    "fig10a_rows",
+    "fig10b_rows",
+    "fig7_flows",
+    "headline_metrics",
+    "hpc_sweep",
+    "mapping_comparison",
+    "render_table",
+    "route_selection_comparison",
+    "rows_to_csv",
+    "run_app",
+    "run_suite",
+    "vc_sweep",
+    "write_csv",
+]

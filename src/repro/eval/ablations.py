@@ -1,0 +1,352 @@
+"""Ablations over the design choices the paper calls out.
+
+* :func:`hpc_sweep` — how far must a single cycle reach?  Sweeps
+  ``hpc_max`` (Table I ties it to frequency and swing: 8 mm at 2 GHz
+  low-swing) and measures SMART latency.
+* :func:`mapping_comparison` — the modified NMAP of §VI vs the original
+  NMAP objective, row-major and random placement.
+* :func:`channel_split` — the §VI future-work idea: split the 32-bit
+  channel into two 16-bit subnetworks clocked at twice the rate to
+  mitigate hub contention.
+* :func:`vc_sweep` — sensitivity to the number of virtual channels.
+* :func:`route_selection_comparison` — XY's single path vs west-first
+  with conflict-minimising selection (fewer forced stops).
+* :func:`nonminimal_routing` — §VI: "SMART can also enable non-minimal
+  routes for higher path diversity without any delay penalty"; bounded
+  detours dodge contended links at zero cycle cost.
+* :func:`pinned_mapping` — §VI: in heterogeneous SoCs "certain tasks are
+  tied to specific cores. This will result in longer paths, magnifying
+  the benefits of SMART."
+* :func:`load_sweep` — scales all bandwidths to expose the saturation
+  behaviour behind "SMART is limited by the available link bandwidth in
+  a mesh ... while Dedicated has no bandwidth limitation."
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import statistics
+from typing import Dict, List, Optional, Sequence
+
+from repro.apps.registry import evaluation_task_graph
+from repro.config import NocConfig
+from repro.eval.designs import build_design
+from repro.mapping.nmap import flows_from_mapping, map_application, nmap_modified
+from repro.mapping.nonminimal import select_routes_nonminimal
+from repro.mapping.route_select import PlacedFlow, select_routes
+from repro.mapping.turn_model import TurnModel
+from repro.sim.flow import Flow
+from repro.sim.topology import Mesh
+from repro.sim.traffic import RateScaledTraffic
+
+_FAST = dict(warmup_cycles=500, measure_cycles=8000, drain_limit=80000)
+
+
+def _run_smart(cfg: NocConfig, flows: Sequence[Flow], seed: int = 1, **kwargs):
+    run_kwargs = dict(_FAST)
+    run_kwargs.update(kwargs)
+    instance = build_design("smart", cfg, flows, seed=seed)
+    return instance, instance.run(**run_kwargs)
+
+
+def _mapped_flows(app: str, cfg: NocConfig, algorithm: str = "nmap_modified",
+                  turn_model: TurnModel = TurnModel.WEST_FIRST, seed: int = 0):
+    graph = evaluation_task_graph(app)
+    mesh = Mesh(cfg.width, cfg.height)
+    _mapping, flows = map_application(
+        graph, mesh, algorithm=algorithm, turn_model=turn_model, seed=seed
+    )
+    return flows
+
+
+def hpc_sweep(
+    app: str = "VOPD",
+    hpc_values: Sequence[int] = (1, 2, 4, 8),
+    cfg: Optional[NocConfig] = None,
+    **kwargs,
+) -> List[Dict[str, object]]:
+    """SMART latency vs maximum hops per cycle."""
+    base = cfg or NocConfig()
+    flows = _mapped_flows(app, base)
+    rows = []
+    for hpc in hpc_values:
+        swept = dataclasses.replace(base, hpc_max=hpc)
+        instance, result = _run_smart(swept, flows, **kwargs)
+        rows.append(
+            {
+                "app": app,
+                "hpc_max": hpc,
+                "mean_latency": result.mean_latency,
+                "max_segment_hops": instance.presets.segment_map.max_hops(),
+                "forced_stops": len(instance.presets.forced_stops),
+            }
+        )
+    return rows
+
+
+def mapping_comparison(
+    app: str = "VOPD",
+    algorithms: Sequence[str] = ("nmap_modified", "nmap_original", "row_major", "random"),
+    cfg: Optional[NocConfig] = None,
+    **kwargs,
+) -> List[Dict[str, object]]:
+    """SMART latency under different task-placement algorithms."""
+    base = cfg or NocConfig()
+    rows = []
+    for algorithm in algorithms:
+        flows = _mapped_flows(app, base, algorithm=algorithm)
+        instance, result = _run_smart(base, flows, **kwargs)
+        stops = [
+            len(instance.network.stops_for_flow(flow)) for flow in flows
+        ]
+        rows.append(
+            {
+                "app": app,
+                "algorithm": algorithm,
+                "mean_latency": result.mean_latency,
+                "mean_stops_per_flow": statistics.fmean(stops),
+                "single_cycle_flows": sum(1 for s in stops if s == 0),
+            }
+        )
+    return rows
+
+
+def route_selection_comparison(
+    app: str = "H264",
+    cfg: Optional[NocConfig] = None,
+    **kwargs,
+) -> List[Dict[str, object]]:
+    """XY routing vs west-first conflict-minimising route selection."""
+    base = cfg or NocConfig()
+    rows = []
+    for model in (TurnModel.XY, TurnModel.WEST_FIRST):
+        flows = _mapped_flows(app, base, turn_model=model)
+        instance, result = _run_smart(base, flows, **kwargs)
+        stops = [len(instance.network.stops_for_flow(f)) for f in flows]
+        rows.append(
+            {
+                "app": app,
+                "turn_model": model.value,
+                "mean_latency": result.mean_latency,
+                "mean_stops_per_flow": statistics.fmean(stops),
+            }
+        )
+    return rows
+
+
+def vc_sweep(
+    app: str = "H264",
+    vc_values: Sequence[int] = (1, 2, 4),
+    cfg: Optional[NocConfig] = None,
+    **kwargs,
+) -> List[Dict[str, object]]:
+    """SMART latency vs virtual channels per port."""
+    base = cfg or NocConfig()
+    rows = []
+    for vcs in vc_values:
+        credit_bits = max(1, (vcs - 1).bit_length()) + 1
+        swept = dataclasses.replace(
+            base, vcs_per_port=vcs, credit_bits=credit_bits
+        )
+        flows = _mapped_flows(app, swept)
+        _instance, result = _run_smart(swept, flows, **kwargs)
+        rows.append(
+            {
+                "app": app,
+                "vcs_per_port": vcs,
+                "mean_latency": result.mean_latency,
+            }
+        )
+    return rows
+
+
+def channel_split(
+    app: str = "H264",
+    cfg: Optional[NocConfig] = None,
+    **kwargs,
+) -> List[Dict[str, object]]:
+    """One 32-bit network at 2 GHz vs two 16-bit subnetworks at 4 GHz.
+
+    §VI: hub contention "can be ameliorated by splitting the 32-bit wide
+    SMART channels into two 16-bit narrower channels, then clocking them
+    at twice the rate, leveraging the high frequency of SMART links to
+    mitigate conflicts."  Flows are distributed across the subnetworks
+    round-robin; latencies are compared in nanoseconds.
+    """
+    base = cfg or NocConfig()
+    flows = _mapped_flows(app, base)
+    _instance, result = _run_smart(base, flows, **kwargs)
+    rows = [
+        {
+            "app": app,
+            "design": "1 x %d-bit @ %.0f GHz" % (base.flit_bits, base.freq_hz / 1e9),
+            "mean_latency_cycles": result.mean_latency,
+            "mean_latency_ns": result.mean_latency * base.cycle_time_s * 1e9,
+        }
+    ]
+
+    split_cfg = dataclasses.replace(
+        base,
+        flit_bits=base.flit_bits // 2,
+        freq_hz=base.freq_hz * 2,
+        vc_depth_flits=2 * base.packet_bits // base.flit_bits,
+        hpc_max=base.hpc_max,  # same mm reach per (shorter) cycle is kept
+    )
+    # Each flow rides one subnetwork in full: a 16-bit channel at twice
+    # the clock offers the same bytes/s as the 32-bit original.
+    subnet_flows = [[], []]
+    for index, flow in enumerate(flows):
+        subnet_flows[index % 2].append(flow)
+    latencies_ns = []
+    weights = []
+    for subnet in subnet_flows:
+        if not subnet:
+            continue
+        _inst, sub_result = _run_smart(split_cfg, subnet, **kwargs)
+        latencies_ns.append(
+            sub_result.mean_latency * split_cfg.cycle_time_s * 1e9
+        )
+        weights.append(sub_result.summary.count)
+    total = sum(weights)
+    split_ns = sum(l * w for l, w in zip(latencies_ns, weights)) / total
+    rows.append(
+        {
+            "app": app,
+            "design": "2 x %d-bit @ %.0f GHz"
+            % (split_cfg.flit_bits, split_cfg.freq_hz / 1e9),
+            "mean_latency_cycles": split_ns / (split_cfg.cycle_time_s * 1e9),
+            "mean_latency_ns": split_ns,
+        }
+    )
+    return rows
+
+
+def nonminimal_routing(
+    app: str = "MMS_DEC",
+    max_detour_hops: int = 2,
+    cfg: Optional[NocConfig] = None,
+    **kwargs,
+) -> List[Dict[str, object]]:
+    """Minimal routes vs bounded-detour routes on the SMART NoC.
+
+    Detours are free on bypass paths (one cycle regardless of length, up
+    to HPC_max), so dodging a contended link removes a 3-cycle stop for
+    every packet of the flow.
+    """
+    base = cfg or NocConfig()
+    graph = evaluation_task_graph(app)
+    mesh = Mesh(base.width, base.height)
+    mapping = nmap_modified(graph, mesh)
+    placed = [
+        PlacedFlow(
+            flow_id=i,
+            src=mapping[edge.src],
+            dst=mapping[edge.dst],
+            bandwidth_bps=edge.bandwidth_bps,
+            name="%s->%s" % (edge.src, edge.dst),
+        )
+        for i, edge in enumerate(graph.edges)
+    ]
+    rows = []
+    for label, flows in (
+        ("minimal", select_routes(mesh, placed)),
+        (
+            "detour<=%d" % max_detour_hops,
+            select_routes_nonminimal(
+                mesh, placed, max_detour_hops=max_detour_hops,
+                hpc_max=base.hpc_max,
+            ),
+        ),
+    ):
+        instance, result = _run_smart(base, flows, **kwargs)
+        stops = [len(instance.network.stops_for_flow(f)) for f in flows]
+        rows.append(
+            {
+                "app": app,
+                "routing": label,
+                "mean_latency": result.mean_latency,
+                "mean_stops_per_flow": statistics.fmean(stops),
+                "total_hops": sum(f.hops(mesh) for f in flows),
+            }
+        )
+    return rows
+
+
+def pinned_mapping(
+    app: str = "VOPD",
+    pin_counts: Sequence[int] = (0, 2, 4),
+    cfg: Optional[NocConfig] = None,
+    **kwargs,
+) -> List[Dict[str, object]]:
+    """SMART's advantage over the mesh as tasks get tied to fixed cores.
+
+    Pins the highest-demand tasks to the mesh corners (the adversarial
+    heterogeneous-SoC case), remaps the rest with the modified NMAP, and
+    reports the latency saving — which the paper predicts grows with
+    path length.
+    """
+    base = cfg or NocConfig()
+    graph = evaluation_task_graph(app)
+    mesh = Mesh(base.width, base.height)
+    corners = [
+        mesh.node_at(0, 0),
+        mesh.node_at(mesh.width - 1, mesh.height - 1),
+        mesh.node_at(mesh.width - 1, 0),
+        mesh.node_at(0, mesh.height - 1),
+    ]
+    hottest = sorted(
+        graph.tasks, key=lambda t: (-graph.comm_demand(t), t)
+    )
+    rows = []
+    for count in pin_counts:
+        if count > len(corners):
+            raise ValueError("can pin at most %d tasks" % len(corners))
+        pins = {task: corners[i] for i, task in enumerate(hottest[:count])}
+        mapping = nmap_modified(graph, mesh, pinned=pins)
+        flows = flows_from_mapping(graph, mesh, mapping)
+        mesh_result = build_design("mesh", base, flows).run(
+            **{**_FAST, **kwargs}
+        )
+        _inst, smart_result = _run_smart(base, flows, **kwargs)
+        saving = 1.0 - smart_result.mean_latency / mesh_result.mean_latency
+        rows.append(
+            {
+                "app": app,
+                "pinned_tasks": count,
+                "mean_hops": statistics.fmean(f.hops(mesh) for f in flows),
+                "mesh_latency": mesh_result.mean_latency,
+                "smart_latency": smart_result.mean_latency,
+                "smart_saving": saving,
+            }
+        )
+    return rows
+
+
+def load_sweep(
+    app: str = "VOPD",
+    scales: Sequence[float] = (1.0, 4.0, 8.0, 16.0),
+    designs: Sequence[str] = ("mesh", "smart", "dedicated"),
+    cfg: Optional[NocConfig] = None,
+    **kwargs,
+) -> List[Dict[str, object]]:
+    """Latency vs offered load, per design.
+
+    All flow bandwidths are scaled together; as the mesh links saturate,
+    SMART's latency climbs while the Dedicated topology (private links
+    per flow) stays flat except for destination serialization.
+    """
+    base = cfg or NocConfig()
+    flows = _mapped_flows(app, base)
+    run_kwargs = dict(_FAST)
+    run_kwargs.update(kwargs)
+    rows = []
+    for scale in scales:
+        row: Dict[str, object] = {"app": app, "load_x": scale}
+        for design in designs:
+            traffic = RateScaledTraffic(base, flows, scale=scale, seed=1)
+            instance = build_design(design, base, flows, traffic=traffic)
+            result = instance.run(**run_kwargs)
+            row[design] = result.mean_latency
+            row["%s_saturated" % design] = not result.drained
+        rows.append(row)
+    return rows

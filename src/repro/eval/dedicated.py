@@ -1,0 +1,278 @@
+"""The Dedicated baseline: 1-cycle point-to-point links per flow.
+
+§VI: "Dedicated is a NoC with 1-cycle dedicated links between all
+communicating cores tailored to each application ... we use this design as
+an ideal yardstick for SMART."  Every flow gets its own link (length =
+Manhattan distance between the tiles), so there is no source-side or
+link-level multiplexing.  The only contention is at shared destinations:
+"If there are multiple traffic flows to the same destination, they need to
+stop at a router at the destination to go up serially into the NIC, both
+in SMART and Dedicated."
+
+Uncontended flows therefore see 1-cycle NIC-to-NIC latency; flows into a
+shared sink stop once (buffer write, arbitration, ejection — the same
+3-cycle stop cost as a SMART stop).
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.config import NocConfig
+from repro.sim.arbiter import RoundRobinArbiter
+from repro.sim.buffers import FreeVcQueue, InputBuffer
+from repro.sim.flow import Flow
+from repro.sim.packet import Flit, Packet
+from repro.sim.stats import EventCounters, SimResult, StatsCollector
+from repro.sim.topology import Mesh
+from repro.sim.traffic import TrafficModel
+
+
+@dataclasses.dataclass
+class _SinkReservation:
+    flow_id: int
+    vc_id: int
+    packet: Packet
+    assigned_vc: int
+    flits_left: int
+    next_send_cycle: int
+
+
+class _SharedSink:
+    """Destination router for a NIC that sinks several flows."""
+
+    def __init__(self, node: int, flow_ids: Sequence[int], cfg: NocConfig):
+        self.node = node
+        self.flow_ids = list(flow_ids)
+        self.buffers: Dict[int, InputBuffer] = {
+            fid: InputBuffer(cfg.vcs_per_port, cfg.vc_depth_flits)
+            for fid in flow_ids
+        }
+        clients = [(fid, vc) for fid in flow_ids for vc in range(cfg.vcs_per_port)]
+        self.arbiter = RoundRobinArbiter(clients)
+        self.nic_vcs = FreeVcQueue(cfg.vcs_per_port)
+        self.reservation: Optional[_SinkReservation] = None
+        self.flow_streaming: Dict[int, bool] = {fid: False for fid in flow_ids}
+
+
+class _Channel:
+    """One dedicated source-to-destination link."""
+
+    def __init__(self, flow: Flow, length_mm: float, num_vcs: int):
+        self.flow = flow
+        self.length_mm = length_mm
+        self.queue: Deque[Packet] = collections.deque()
+        self.free_vcs = FreeVcQueue(num_vcs)
+        self.stream: Optional[Tuple[Packet, List[Flit], int]] = None
+
+
+class DedicatedNetwork:
+    """Simulator for the Dedicated topology."""
+
+    def __init__(
+        self,
+        cfg: NocConfig,
+        mesh: Mesh,
+        flows: Sequence[Flow],
+        traffic: TrafficModel,
+    ):
+        self.cfg = cfg
+        self.mesh = mesh
+        self.flows = list(flows)
+        self.traffic = traffic
+        self.counters = EventCounters()
+        self.stats = StatsCollector()
+        self.cycle = 0
+
+        by_dst: Dict[int, List[Flow]] = {}
+        for flow in self.flows:
+            by_dst.setdefault(flow.dst, []).append(flow)
+        self.sinks: Dict[int, _SharedSink] = {}
+        for dst, dst_flows in by_dst.items():
+            if len(dst_flows) > 1:
+                self.sinks[dst] = _SharedSink(
+                    dst, [f.flow_id for f in dst_flows], cfg
+                )
+
+        self.channels: Dict[int, _Channel] = {}
+        for flow in self.flows:
+            length = mesh.distance_mm(flow.src, flow.dst, cfg.mm_per_hop)
+            self.channels[flow.flow_id] = _Channel(
+                flow, length, cfg.vcs_per_port
+            )
+
+    # ------------------------------------------------------------------
+
+    def step(self) -> None:
+        cycle = self.cycle
+        self._generate(cycle)
+        self._sink_ejection(cycle)
+        self._source_send(cycle)
+        self._sink_allocation(cycle)
+        self.counters.cycles += 1
+        self.counters.total_router_cycles += len(self.sinks)
+        for sink in self.sinks.values():
+            if sink.reservation or any(
+                not b.empty for b in sink.buffers.values()
+            ):
+                self.counters.clock_router_cycles += 1
+                self.counters.clock_port_cycles += len(sink.buffers)
+        self.cycle += 1
+
+    def _generate(self, cycle: int) -> None:
+        for flow in self.flows:
+            for _ in range(self.traffic.packets_at(flow, cycle)):
+                packet = Packet(
+                    flow_id=flow.flow_id,
+                    src=flow.src,
+                    dst=flow.dst,
+                    size_flits=self.cfg.flits_per_packet,
+                    create_cycle=cycle,
+                )
+                self.channels[flow.flow_id].queue.append(packet)
+                self.stats.on_create(packet)
+
+    def _source_send(self, cycle: int) -> None:
+        """Each channel streams independently (no shared injection port)."""
+        for channel in self.channels.values():
+            if channel.stream is None:
+                if not channel.queue:
+                    continue
+                if not channel.free_vcs.available(cycle):
+                    continue
+                packet = channel.queue.popleft()
+                vc_id = channel.free_vcs.acquire(cycle)
+                packet.inject_cycle = cycle
+                channel.stream = (packet, packet.flits(), vc_id)
+            packet, flits, vc_id = channel.stream
+            flit = flits.pop(0)
+            flit.vc = vc_id
+            self._deliver(channel, flit, cycle)
+            if not flits:
+                channel.stream = None
+
+    def _deliver(self, channel: _Channel, flit: Flit, cycle: int) -> None:
+        self.counters.link_flit_mm += channel.length_mm
+        flow = channel.flow
+        sink = self.sinks.get(flow.dst)
+        if sink is None:
+            self._eject(flit, cycle)
+            self._credit(channel.free_vcs, flit.vc, cycle)
+        else:
+            self.counters.pipeline_latches += 1
+            sink.buffers[flow.flow_id].vc(flit.vc).write(flit, cycle)
+            self.counters.buffer_writes += 1
+
+    def _eject(self, flit: Flit, cycle: int) -> None:
+        packet = flit.packet
+        if flit.is_head:
+            packet.head_arrive_cycle = cycle
+        if flit.is_tail:
+            packet.tail_arrive_cycle = cycle
+            self.stats.on_deliver(packet)
+
+    def _credit(self, queue: FreeVcQueue, vc_id: int, freed_cycle: int) -> None:
+        queue.release(vc_id, freed_cycle + 1 + self.cfg.credit_latency)
+        self.counters.credit_events += 1
+
+    def _sink_ejection(self, cycle: int) -> None:
+        """ST at shared sinks: stream the granted packet into the NIC."""
+        for sink in self.sinks.values():
+            res = sink.reservation
+            if res is None or res.next_send_cycle > cycle:
+                continue
+            vc = sink.buffers[res.flow_id].vc(res.vc_id)
+            flit = vc.front()
+            if (
+                flit is None
+                or flit.packet is not res.packet
+                or not vc.front_eligible(cycle)
+            ):
+                continue
+            vc.read()
+            self.counters.buffer_reads += 1
+            self.counters.crossbar_traversals += 1
+            self._eject(flit, cycle)
+            res.flits_left -= 1
+            res.next_send_cycle = cycle + 1
+            if flit.is_tail:
+                self._credit(
+                    self.channels[res.flow_id].free_vcs, res.vc_id, cycle
+                )
+                self._credit(sink.nic_vcs, res.assigned_vc, cycle)
+                sink.flow_streaming[res.flow_id] = False
+                sink.reservation = None
+
+    def _sink_allocation(self, cycle: int) -> None:
+        """SA at shared sinks: pick the next packet to go up into the NIC."""
+        for sink in self.sinks.values():
+            if sink.reservation is not None:
+                continue
+            if not sink.nic_vcs.available(cycle):
+                continue
+            requests = []
+            for fid, buffer in sink.buffers.items():
+                if sink.flow_streaming[fid]:
+                    continue
+                for vc in buffer.vcs:
+                    flit = vc.front()
+                    if flit is not None and flit.is_head and vc.front_eligible(cycle):
+                        requests.append((fid, vc.vc_id))
+            if not requests:
+                continue
+            self.counters.sa_requests += len(requests)
+            winner = sink.arbiter.grant(requests)
+            if winner is None:
+                continue
+            self.counters.sa_grants += 1
+            fid, vc_id = winner
+            head = sink.buffers[fid].vc(vc_id).front()
+            sink.reservation = _SinkReservation(
+                flow_id=fid,
+                vc_id=vc_id,
+                packet=head.packet,
+                assigned_vc=sink.nic_vcs.acquire(cycle),
+                flits_left=head.packet.size_flits,
+                next_send_cycle=cycle + 1,
+            )
+            sink.flow_streaming[fid] = True
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        warmup_cycles: int = 1000,
+        measure_cycles: int = 20000,
+        drain_limit: int = 100000,
+    ) -> SimResult:
+        for _ in range(warmup_cycles):
+            self.step()
+        baseline = self.counters.snapshot()
+        self.stats.measuring = True
+        for _ in range(measure_cycles):
+            self.step()
+        self.stats.measuring = False
+        window = self.counters.delta(baseline)
+        drained = True
+        drain_cycles = 0
+        while self.stats.outstanding_measured > 0:
+            if drain_cycles >= drain_limit:
+                drained = False
+                break
+            self.step()
+            drain_cycles += 1
+        return SimResult(
+            summary=self.stats.summary(),
+            per_flow=self.stats.per_flow_summary(),
+            counters=window,
+            measured_cycles=measure_cycles,
+            total_cycles=self.cycle,
+            drained=drained,
+            undelivered_measured=self.stats.outstanding_measured,
+        )
+
+    def run_cycles(self, cycles: int) -> None:
+        for _ in range(cycles):
+            self.step()

@@ -1,0 +1,57 @@
+"""Builders for the three evaluated designs: Mesh, SMART, Dedicated."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+from repro.config import NocConfig
+from repro.core.noc_builder import build_mesh_noc, build_smart_noc
+from repro.core.presets import NetworkPresets
+from repro.eval.dedicated import DedicatedNetwork
+from repro.sim.flow import Flow
+from repro.sim.stats import SimResult
+from repro.sim.topology import Mesh
+from repro.sim.traffic import BernoulliTraffic, TrafficModel
+
+#: Paper §VI design names.
+DESIGNS = ("mesh", "smart", "dedicated")
+
+
+@dataclasses.dataclass
+class DesignInstance:
+    """A ready-to-run design: the paper's Mesh, SMART or Dedicated."""
+
+    design: str
+    cfg: NocConfig
+    mesh: Mesh
+    flows: List[Flow]
+    network: object  # Network or DedicatedNetwork; both expose .run()
+    presets: Optional[NetworkPresets]
+
+    def run(self, **kwargs) -> SimResult:
+        return self.network.run(**kwargs)
+
+
+def build_design(
+    design: str,
+    cfg: NocConfig,
+    flows: Sequence[Flow],
+    traffic: Optional[TrafficModel] = None,
+    seed: int = 1,
+) -> DesignInstance:
+    """Instantiate one of the paper's three designs over mapped flows."""
+    name = design.lower()
+    mesh = Mesh(cfg.width, cfg.height)
+    if traffic is None:
+        traffic = BernoulliTraffic(cfg, flows, seed=seed)
+    if name == "smart":
+        noc = build_smart_noc(cfg, flows, traffic=traffic, seed=seed)
+        return DesignInstance(name, cfg, noc.mesh, list(flows), noc.network, noc.presets)
+    if name == "mesh":
+        noc = build_mesh_noc(cfg, flows, traffic=traffic, seed=seed)
+        return DesignInstance(name, cfg, noc.mesh, list(flows), noc.network, noc.presets)
+    if name == "dedicated":
+        network = DedicatedNetwork(cfg, mesh, flows, traffic)
+        return DesignInstance(name, cfg, mesh, list(flows), network, None)
+    raise ValueError("unknown design %r (have %s)" % (design, ", ".join(DESIGNS)))

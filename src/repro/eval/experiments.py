@@ -1,0 +1,184 @@
+"""Experiment runner: one SoC application on one design (Fig 10).
+
+``run_app`` performs the complete paper flow for one (application, design)
+pair: task graph -> modified NMAP placement -> turn-model routing ->
+preset computation (for SMART) -> cycle-accurate simulation -> latency and
+power.  ``run_suite`` sweeps the Fig 10 matrix and the ``fig10a_rows`` /
+``fig10b_rows`` helpers shape the results like the paper's figures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import statistics
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.apps.registry import PAPER_APP_ORDER, evaluation_task_graph
+from repro.config import NocConfig
+from repro.eval.designs import DESIGNS, DesignInstance, build_design
+from repro.mapping.nmap import map_application
+from repro.mapping.turn_model import TurnModel
+from repro.power.accounting import PowerBreakdown, power_from_counters
+from repro.sim.flow import Flow
+from repro.sim.stats import SimResult
+from repro.sim.topology import Mesh
+
+
+@dataclasses.dataclass
+class AppExperiment:
+    """Result of running one application on one design."""
+
+    app: str
+    design: str
+    result: SimResult
+    #: Fig 10b power (Dedicated: link power only, as the paper plots it).
+    power: PowerBreakdown
+    #: Honest full accounting (Dedicated sink routers included).
+    power_full: PowerBreakdown
+    mapping: Dict[str, int]
+    flows: List[Flow]
+    instance: DesignInstance
+
+    @property
+    def mean_latency(self) -> float:
+        return self.result.mean_latency
+
+
+def run_app(
+    app: str,
+    design: str,
+    cfg: Optional[NocConfig] = None,
+    warmup_cycles: int = 2000,
+    measure_cycles: int = 40000,
+    drain_limit: int = 200000,
+    seed: int = 1,
+    mapping_algorithm: str = "nmap_modified",
+    turn_model: TurnModel = TurnModel.WEST_FIRST,
+) -> AppExperiment:
+    """Run the full paper flow for one (application, design) pair."""
+    cfg = cfg or NocConfig()
+    graph = evaluation_task_graph(app)
+    mesh = Mesh(cfg.width, cfg.height)
+    mapping, flows = map_application(
+        graph, mesh, algorithm=mapping_algorithm, turn_model=turn_model, seed=seed
+    )
+    instance = build_design(design, cfg, flows, seed=seed)
+    result = instance.run(
+        warmup_cycles=warmup_cycles,
+        measure_cycles=measure_cycles,
+        drain_limit=drain_limit,
+    )
+    link_only = instance.design == "dedicated"
+    power = power_from_counters(result.counters, cfg, link_only=link_only)
+    power_full = power_from_counters(result.counters, cfg, link_only=False)
+    return AppExperiment(
+        app=graph.name,
+        design=instance.design,
+        result=result,
+        power=power,
+        power_full=power_full,
+        mapping=mapping,
+        flows=flows,
+        instance=instance,
+    )
+
+
+SuiteResults = Dict[Tuple[str, str], AppExperiment]
+
+
+def run_suite(
+    apps: Sequence[str] = tuple(PAPER_APP_ORDER),
+    designs: Sequence[str] = DESIGNS,
+    cfg: Optional[NocConfig] = None,
+    **kwargs,
+) -> SuiteResults:
+    """Run the Fig 10 matrix: every app on every design."""
+    results: SuiteResults = {}
+    for app in apps:
+        for design in designs:
+            results[(app, design)] = run_app(app, design, cfg=cfg, **kwargs)
+    return results
+
+
+def fig10a_rows(results: SuiteResults) -> List[Dict[str, object]]:
+    """Average network latency rows, one per application (Fig 10a)."""
+    apps = sorted({app for app, _ in results}, key=_paper_order)
+    rows = []
+    for app in apps:
+        row: Dict[str, object] = {"app": app}
+        for design in DESIGNS:
+            experiment = results.get((app, design))
+            if experiment is not None:
+                row[design] = experiment.mean_latency
+        rows.append(row)
+    return rows
+
+
+def fig10b_rows(results: SuiteResults) -> List[Dict[str, object]]:
+    """Power-breakdown rows, one per (app, design) (Fig 10b)."""
+    apps = sorted({app for app, _ in results}, key=_paper_order)
+    rows = []
+    for app in apps:
+        for design in DESIGNS:
+            experiment = results.get((app, design))
+            if experiment is None:
+                continue
+            breakdown = experiment.power
+            rows.append(
+                {
+                    "app": app,
+                    "design": design,
+                    "buffer_w": breakdown.buffer_w,
+                    "allocator_w": breakdown.allocator_w,
+                    "xbar_w": breakdown.xbar_w,
+                    "link_w": breakdown.link_w,
+                    "total_w": breakdown.total_w,
+                }
+            )
+    return rows
+
+
+@dataclasses.dataclass(frozen=True)
+class HeadlineMetrics:
+    """The paper's headline claims, measured on a suite run."""
+
+    mean_latency_mesh: float
+    mean_latency_smart: float
+    mean_latency_dedicated: float
+    latency_saving_vs_mesh: float
+    gap_vs_dedicated_cycles: float
+    power_ratio_mesh_over_smart: float
+
+
+def headline_metrics(results: SuiteResults) -> HeadlineMetrics:
+    """Compute the abstract's numbers: ~60% latency saving vs Mesh,
+    ~1.5 cycles above Dedicated, ~2.2x power saving."""
+    apps = sorted({app for app, _ in results})
+
+    def latencies(design: str) -> List[float]:
+        return [results[(app, design)].mean_latency for app in apps]
+
+    def powers(design: str) -> List[float]:
+        return [results[(app, design)].power.total_w for app in apps]
+
+    mesh_lat = statistics.fmean(latencies("mesh"))
+    smart_lat = statistics.fmean(latencies("smart"))
+    dedicated_lat = statistics.fmean(latencies("dedicated"))
+    power_ratio = statistics.fmean(
+        m / s for m, s in zip(powers("mesh"), powers("smart"))
+    )
+    return HeadlineMetrics(
+        mean_latency_mesh=mesh_lat,
+        mean_latency_smart=smart_lat,
+        mean_latency_dedicated=dedicated_lat,
+        latency_saving_vs_mesh=1.0 - smart_lat / mesh_lat,
+        gap_vs_dedicated_cycles=smart_lat - dedicated_lat,
+        power_ratio_mesh_over_smart=power_ratio,
+    )
+
+
+def _paper_order(app: str) -> int:
+    try:
+        return PAPER_APP_ORDER.index(app)
+    except ValueError:
+        return len(PAPER_APP_ORDER)

@@ -1,0 +1,66 @@
+"""ASCII table rendering and CSV export for experiment results."""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, List, Optional, Sequence
+
+
+def render_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    float_format: str = "%.3f",
+    title: str = "",
+) -> str:
+    """Render rows of dicts as an aligned ASCII table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return float_format % value
+        return str(value)
+
+    table = [[fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(str(col)), *(len(line[i]) for line in table))
+        for i, col in enumerate(columns)
+    ]
+    out = []
+    if title:
+        out.append(title)
+    header = " | ".join(str(col).ljust(w) for col, w in zip(columns, widths))
+    out.append(header)
+    out.append("-+-".join("-" * w for w in widths))
+    for line in table:
+        out.append(" | ".join(cell.ljust(w) for cell, w in zip(line, widths)))
+    return "\n".join(out)
+
+
+def rows_to_csv(
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+) -> str:
+    """Serialise rows of dicts to CSV text."""
+    if not rows:
+        return ""
+    if columns is None:
+        columns = list(rows[0].keys())
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(columns), extrasaction="ignore")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def write_csv(
+    path: str,
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+) -> None:
+    with open(path, "w", newline="") as handle:
+        handle.write(rows_to_csv(rows, columns))

@@ -1,0 +1,53 @@
+"""Hand-built scenarios from the paper's figures.
+
+* :func:`fig7_flows` — the four-flow example of Fig 7: two non-overlapping
+  flows traverse source NIC to destination NIC in a single cycle; two flows
+  overlap on the link between routers 9 and 10 and must stop at the routers
+  before and after it (cumulative traversal times 1, 4, 7).
+* :data:`FIG1_APPS` — the three applications Fig 1 reconfigures between.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sim.flow import Flow
+from repro.sim.topology import Port
+
+#: Fig 1 reconfigures the mesh for these applications, in order.
+FIG1_APPS = ("WLAN", "H264", "VOPD")
+
+#: Expected cumulative arrival cycles for the blue/red flows of Fig 7.
+FIG7_STOP_TIMES = (1, 4, 7)
+
+
+def fig7_flows() -> List[Flow]:
+    """The four flows of Fig 7 on the paper's 4x4 mesh.
+
+    * blue (id 0): 8 -> 3 via routers 8, 9, 10, 11, 7, 3
+    * red (id 1): 13 -> 2 via routers 13, 9, 10, 6, 2 — shares link 9->10
+      with blue, so both stop at routers 9 and 10
+    * green (id 2): 12 -> 15 — single-cycle
+    * purple (id 3): 0 -> 5 — single-cycle
+    """
+    blue = Flow(
+        0, 8, 3, 1e6,
+        route=(Port.EAST, Port.EAST, Port.EAST, Port.SOUTH, Port.SOUTH, Port.CORE),
+        name="blue",
+    )
+    red = Flow(
+        1, 13, 2, 1e6,
+        route=(Port.SOUTH, Port.EAST, Port.SOUTH, Port.SOUTH, Port.CORE),
+        name="red",
+    )
+    green = Flow(
+        2, 12, 15, 1e6,
+        route=(Port.EAST, Port.EAST, Port.EAST, Port.CORE),
+        name="green",
+    )
+    purple = Flow(
+        3, 0, 5, 1e6,
+        route=(Port.EAST, Port.NORTH, Port.CORE),
+        name="purple",
+    )
+    return [blue, red, green, purple]

@@ -1,0 +1,57 @@
+"""Application mapping flow: task graphs, NMAP placement, routing."""
+
+from repro.mapping.nmap import (
+    MAPPERS,
+    Mapping,
+    flows_from_mapping,
+    map_application,
+    nmap_modified,
+    nmap_original,
+    random_map,
+    row_major,
+)
+from repro.mapping.nonminimal import (
+    enumerate_paths_with_detours,
+    legal_routes_with_detours,
+    select_routes_nonminimal,
+)
+from repro.mapping.route_select import PlacedFlow, select_routes
+from repro.mapping.task_graph import MB, TaskEdge, TaskGraph, task_graph_from_tuples
+from repro.mapping.turn_model import (
+    TurnModel,
+    assert_deadlock_free,
+    channel_dependency_graph,
+    enumerate_minimal_paths,
+    is_deadlock_free,
+    legal_minimal_routes,
+    path_legal,
+    turn_allowed,
+)
+
+__all__ = [
+    "MAPPERS",
+    "MB",
+    "Mapping",
+    "PlacedFlow",
+    "TaskEdge",
+    "TaskGraph",
+    "TurnModel",
+    "assert_deadlock_free",
+    "channel_dependency_graph",
+    "enumerate_minimal_paths",
+    "enumerate_paths_with_detours",
+    "flows_from_mapping",
+    "legal_routes_with_detours",
+    "select_routes_nonminimal",
+    "is_deadlock_free",
+    "legal_minimal_routes",
+    "map_application",
+    "nmap_modified",
+    "nmap_original",
+    "path_legal",
+    "random_map",
+    "row_major",
+    "select_routes",
+    "task_graph_from_tuples",
+    "turn_allowed",
+]

@@ -1,0 +1,246 @@
+"""Task-to-core mapping: the paper's modified NMAP plus baselines.
+
+§VI: "We first map the task with highest communication demand to the core
+with the most number of neighbors (i.e. middle of the mesh). Then, we pick
+a task that communicates the most with the mapped tasks and find an
+unmapped core that minimizes the chance of getting buffered at intermediate
+cores. This process is iterated to map all tasks to physical cores."
+
+``nmap_modified`` implements that; ``nmap_original`` is the classic
+bandwidth×hops NMAP objective (Murali & De Micheli, DATE 2004) used here as
+a mapping-quality baseline; ``row_major`` and ``random_map`` are sanity
+baselines for the mapping ablation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.mapping.route_select import PlacedFlow, select_routes
+from repro.mapping.task_graph import TaskGraph
+from repro.mapping.turn_model import TurnModel
+from repro.sim.flow import Flow
+from repro.sim.topology import Mesh
+
+
+Mapping = Dict[str, int]
+
+
+def _pick_first_task(graph: TaskGraph) -> str:
+    return max(graph.tasks, key=lambda t: (graph.comm_demand(t), t))
+
+
+def _next_task(graph: TaskGraph, mapped: Mapping) -> str:
+    """Unmapped task with the most communication to already-mapped tasks."""
+    unmapped = [t for t in graph.tasks if t not in mapped]
+    if not unmapped:
+        raise ValueError("all tasks already mapped")
+
+    def key(task: str) -> Tuple[float, float, str]:
+        to_mapped = sum(
+            graph.bandwidth_between(task, m) for m in mapped
+        )
+        return (to_mapped, graph.comm_demand(task), task)
+
+    return max(unmapped, key=key)
+
+
+def _free_nodes(mesh: Mesh, mapped: Mapping) -> List[int]:
+    used = set(mapped.values())
+    return [n for n in mesh.nodes() if n not in used]
+
+
+def _hop_cost(
+    graph: TaskGraph, mesh: Mesh, mapped: Mapping, task: str, node: int
+) -> float:
+    """Classic NMAP objective: sum of bandwidth x hops to mapped partners."""
+    total = 0.0
+    for partner, bandwidth in graph.adjacency()[task].items():
+        if partner in mapped:
+            total += bandwidth * mesh.hop_distance(node, mapped[partner])
+    return total
+
+
+def _buffering_cost(
+    graph: TaskGraph, mesh: Mesh, mapped: Mapping, task: str, node: int
+) -> float:
+    """Estimate of how likely flows of ``task`` are to get buffered.
+
+    SMART stops happen where paths overlap, so we count, for a candidate
+    placement, the bounding-box overlap between the new task's flows and
+    every already-mapped flow, weighted by bandwidth.  This is the
+    "minimizes the chance of getting buffered at intermediate cores"
+    criterion of §VI in a placement-time form (routes don't exist yet).
+    """
+    new_boxes = []
+    for partner, bandwidth in graph.adjacency()[task].items():
+        if partner in mapped:
+            new_boxes.append((node, mapped[partner], bandwidth))
+    existing = []
+    for edge in graph.edges:
+        if edge.src in mapped and edge.dst in mapped:
+            existing.append(
+                (mapped[edge.src], mapped[edge.dst], edge.bandwidth_bps)
+            )
+    cost = 0.0
+    for a_src, a_dst, a_bw in new_boxes:
+        ax0, ay0 = mesh.coords(a_src)
+        ax1, ay1 = mesh.coords(a_dst)
+        for b_src, b_dst, b_bw in existing:
+            bx0, by0 = mesh.coords(b_src)
+            bx1, by1 = mesh.coords(b_dst)
+            overlap_x = min(max(ax0, ax1), max(bx0, bx1)) - max(
+                min(ax0, ax1), min(bx0, bx1)
+            )
+            overlap_y = min(max(ay0, ay1), max(by0, by1)) - max(
+                min(ay0, ay1), min(by0, by1)
+            )
+            if overlap_x >= 0 and overlap_y >= 0:
+                area = (overlap_x + 1) * (overlap_y + 1)
+                cost += area * min(a_bw, b_bw)
+    return cost
+
+
+def nmap_modified(
+    graph: TaskGraph,
+    mesh: Mesh,
+    pinned: Optional[Mapping] = None,
+) -> Mapping:
+    """The paper's modified NMAP (hop cost + buffering-avoidance term).
+
+    ``pinned`` fixes tasks to specific cores before placement begins —
+    the heterogeneous-SoC scenario of §VI where "certain tasks are tied
+    to specific cores", which lengthens paths and magnifies SMART's
+    benefit (see :func:`repro.eval.ablations.pinned_mapping`).
+    """
+    _check_fits(graph, mesh)
+    mapped: Mapping = _apply_pins(graph, mesh, pinned)
+    if not mapped:
+        first = _pick_first_task(graph)
+        mapped[first] = mesh.center_nodes()[0]
+    total_bw = max(graph.total_bandwidth_bps(), 1.0)
+    while len(mapped) < graph.num_tasks:
+        task = _next_task(graph, mapped)
+        best_node = None
+        best_cost = float("inf")
+        for node in _free_nodes(mesh, mapped):
+            cost = _hop_cost(graph, mesh, mapped, task, node)
+            cost += 0.1 * _buffering_cost(graph, mesh, mapped, task, node)
+            cost /= total_bw
+            if cost < best_cost:
+                best_cost = cost
+                best_node = node
+        mapped[task] = best_node
+    return mapped
+
+
+def _apply_pins(
+    graph: TaskGraph, mesh: Mesh, pinned: Optional[Mapping]
+) -> Mapping:
+    """Validate and install fixed task-to-core assignments."""
+    if not pinned:
+        return {}
+    mapped: Mapping = {}
+    for task, node in pinned.items():
+        if task not in graph.tasks:
+            raise ValueError("pinned task %r not in graph" % task)
+        if not 0 <= node < mesh.num_nodes:
+            raise ValueError("pinned core %d outside the mesh" % node)
+        if node in mapped.values():
+            raise ValueError("two tasks pinned to core %d" % node)
+        mapped[task] = node
+    return mapped
+
+
+def nmap_original(graph: TaskGraph, mesh: Mesh) -> Mapping:
+    """Classic NMAP: greedy bandwidth x hop-distance minimisation."""
+    _check_fits(graph, mesh)
+    mapped: Mapping = {}
+    first = _pick_first_task(graph)
+    mapped[first] = mesh.center_nodes()[0]
+    while len(mapped) < graph.num_tasks:
+        task = _next_task(graph, mapped)
+        best_node = min(
+            _free_nodes(mesh, mapped),
+            key=lambda n: (_hop_cost(graph, mesh, mapped, task, n), n),
+        )
+        mapped[task] = best_node
+    return mapped
+
+
+def row_major(graph: TaskGraph, mesh: Mesh) -> Mapping:
+    """Tasks placed in declaration order, row by row."""
+    _check_fits(graph, mesh)
+    return {task: node for node, task in enumerate(graph.tasks)}
+
+
+def random_map(graph: TaskGraph, mesh: Mesh, seed: int = 0) -> Mapping:
+    """Uniform random placement (ablation baseline)."""
+    _check_fits(graph, mesh)
+    nodes = list(mesh.nodes())
+    random.Random(seed).shuffle(nodes)
+    return {task: nodes[i] for i, task in enumerate(graph.tasks)}
+
+
+MAPPERS: Dict[str, Callable[..., Mapping]] = {
+    "nmap_modified": nmap_modified,
+    "nmap_original": nmap_original,
+    "row_major": row_major,
+    "random": random_map,
+}
+
+
+def _check_fits(graph: TaskGraph, mesh: Mesh) -> None:
+    if graph.num_tasks > mesh.num_nodes:
+        raise ValueError(
+            "%d tasks do not fit on a %dx%d mesh"
+            % (graph.num_tasks, mesh.width, mesh.height)
+        )
+
+
+def flows_from_mapping(
+    graph: TaskGraph,
+    mesh: Mesh,
+    mapping: Mapping,
+    turn_model: TurnModel = TurnModel.WEST_FIRST,
+) -> List[Flow]:
+    """Turn mapped task-graph edges into routed flows."""
+    placed = []
+    for flow_id, edge in enumerate(graph.edges):
+        placed.append(
+            PlacedFlow(
+                flow_id=flow_id,
+                src=mapping[edge.src],
+                dst=mapping[edge.dst],
+                bandwidth_bps=edge.bandwidth_bps,
+                name="%s->%s" % (edge.src, edge.dst),
+            )
+        )
+    return select_routes(mesh, placed, model=turn_model)
+
+
+def map_application(
+    graph: TaskGraph,
+    mesh: Mesh,
+    algorithm: str = "nmap_modified",
+    turn_model: TurnModel = TurnModel.WEST_FIRST,
+    seed: int = 0,
+) -> Tuple[Mapping, List[Flow]]:
+    """Full mapping flow: place tasks, then route flows.
+
+    Returns the task->node mapping and the routed flows.
+    """
+    try:
+        mapper = MAPPERS[algorithm]
+    except KeyError:
+        raise ValueError(
+            "unknown mapping algorithm %r (have %s)"
+            % (algorithm, ", ".join(sorted(MAPPERS)))
+        ) from None
+    if algorithm == "random":
+        mapping = mapper(graph, mesh, seed=seed)
+    else:
+        mapping = mapper(graph, mesh)
+    flows = flows_from_mapping(graph, mesh, mapping, turn_model=turn_model)
+    return mapping, flows

@@ -1,0 +1,129 @@
+"""Non-minimal route selection — the paper's §VI extension.
+
+"SMART can also enable non-minimal routes for higher path diversity
+without any delay penalty.  We leave these as future work."
+
+The insight: on a bypass path, extra hops are free (the whole segment is
+one cycle, up to HPC_max), so detouring around a contended link trades
+*zero* latency for the 3-cycle stop the contention would have cost.  This
+module extends the minimal route selection with bounded detours: for each
+flow we consider every turn-model-legal path up to ``max_detour_hops``
+longer than minimal, and keep the conflict-minimising one, falling back
+to the minimal-route choice when detours don't pay.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.mapping.route_select import PlacedFlow, _ConflictState
+from repro.mapping.turn_model import TurnModel, path_legal
+from repro.sim.flow import Flow
+from repro.sim.topology import CARDINALS, Mesh, Port
+
+
+def enumerate_paths_with_detours(
+    mesh: Mesh,
+    src: int,
+    dst: int,
+    max_detour_hops: int = 2,
+    max_paths: int = 200,
+) -> List[Tuple[Port, ...]]:
+    """All simple direction sequences src->dst up to minimal+detour hops.
+
+    Paths never revisit a node (a SMART bypass chain must not loop).
+    Enumeration is depth-first with a budget bound, capped at
+    ``max_paths`` (shortest first) to keep route selection cheap.
+    """
+    if src == dst:
+        raise ValueError("no path needed from a node to itself")
+    if max_detour_hops < 0:
+        raise ValueError("detour budget must be non-negative")
+    budget = mesh.hop_distance(src, dst) + max_detour_hops
+    results: List[Tuple[Port, ...]] = []
+
+    def walk(node: int, visited: frozenset, path: Tuple[Port, ...]) -> None:
+        if len(results) >= max_paths:
+            return
+        if node == dst:
+            results.append(path)
+            return
+        remaining = budget - len(path)
+        if mesh.hop_distance(node, dst) > remaining:
+            return
+        for direction in CARDINALS:
+            neighbor = mesh.neighbor(node, direction)
+            if neighbor is None or neighbor in visited:
+                continue
+            walk(neighbor, visited | {neighbor}, path + (direction,))
+
+    walk(src, frozenset([src]), ())
+    results.sort(key=lambda p: (len(p), tuple(d.value for d in p)))
+    return results
+
+
+def legal_routes_with_detours(
+    mesh: Mesh,
+    src: int,
+    dst: int,
+    model: TurnModel,
+    max_detour_hops: int = 2,
+) -> List[Tuple[Port, ...]]:
+    """Turn-model-legal routes (CORE-terminated) up to the detour budget."""
+    routes = [
+        path + (Port.CORE,)
+        for path in enumerate_paths_with_detours(mesh, src, dst, max_detour_hops)
+        if path_legal(model, path)
+    ]
+    if not routes:
+        raise RuntimeError(
+            "turn model %s admits no route %d->%d" % (model.value, src, dst)
+        )
+    return routes
+
+
+def select_routes_nonminimal(
+    mesh: Mesh,
+    placed: Sequence[PlacedFlow],
+    model: TurnModel = TurnModel.WEST_FIRST,
+    max_detour_hops: int = 2,
+    hpc_max: int = 8,
+) -> List[Flow]:
+    """Assign routes allowing zero-cost detours around contention.
+
+    Heaviest flows first.  A longer candidate is preferred only when it
+    strictly reduces the structural-conflict count (each conflict is a
+    3-cycle stop for every packet); among equals, shorter wins — extra
+    hops still cost link energy and HPC_max headroom.  Paths whose length
+    exceeds ``hpc_max`` can never complete in one cycle and are skipped
+    when a shorter alternative exists.
+    """
+    state = _ConflictState()
+    order = sorted(placed, key=lambda f: (-f.bandwidth_bps, f.flow_id))
+    routed: Dict[int, Flow] = {}
+    for flow in order:
+        candidates = legal_routes_with_detours(
+            mesh, flow.src, flow.dst, model, max_detour_hops
+        )
+        best_route = None
+        best_key = None
+        for route in candidates:
+            hops = len(route) - 1
+            cost = state.cost(mesh, flow, route)
+            conflicts = cost // 1e12  # stop count (see _ConflictState.cost)
+            over_reach = 1 if hops > hpc_max else 0
+            key = (conflicts, over_reach, hops, cost % 1e12)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_route = route
+        chosen = Flow(
+            flow.flow_id,
+            flow.src,
+            flow.dst,
+            flow.bandwidth_bps,
+            best_route,
+            name=flow.name,
+        )
+        state.commit(mesh, chosen)
+        routed[flow.flow_id] = chosen
+    return [routed[f.flow_id] for f in placed]

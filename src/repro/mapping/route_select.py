@@ -1,0 +1,115 @@
+"""Route selection: minimal turn-model-legal routes minimising conflicts.
+
+After NMAP places tasks, "the flows between tasks are also mapped to routes
+with minimum number of hops between cores" (§VI).  Among the minimal routes
+a turn model allows, we pick for each flow (heaviest first) the one that
+minimises conflicts with already-routed flows, because every conflict is a
+forced stop in the SMART preset computation:
+
+* sharing an output port of some router with another flow (both stop to
+  arbitrate — the red/blue case of Fig 7), and
+* entering a router by the same input port as another flow but leaving by
+  a different output (a static crossbar select cannot serve both).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.sim.flow import Flow
+from repro.sim.topology import Mesh, Port
+from repro.mapping.turn_model import TurnModel, legal_minimal_routes
+
+
+@dataclasses.dataclass(frozen=True)
+class PlacedFlow:
+    """A flow with endpoints placed on the mesh but not yet routed."""
+
+    flow_id: int
+    src: int
+    dst: int
+    bandwidth_bps: float
+    name: str = ""
+
+
+class _ConflictState:
+    """Port usage of already-routed flows."""
+
+    def __init__(self) -> None:
+        #: (node, out_port) -> set of (flow_id, in_port)
+        self.out_users: Dict[Tuple[int, Port], Set[Tuple[int, Port]]] = {}
+        #: (node, in_port) -> set of (flow_id, out_port)
+        self.in_users: Dict[Tuple[int, Port], Set[Tuple[int, Port]]] = {}
+        #: directed link -> accumulated bandwidth
+        self.link_bw: Dict[Tuple[int, int], float] = {}
+
+    def cost(self, mesh: Mesh, flow: PlacedFlow, route: Tuple[Port, ...]) -> float:
+        candidate = Flow(
+            flow.flow_id, flow.src, flow.dst, flow.bandwidth_bps, route
+        )
+        stops = 0
+        shared_bw = 0.0
+        for node, in_port, out_port in candidate.port_traversals(mesh):
+            for _fid, other_in in self.out_users.get((node, out_port), ()):
+                if other_in != in_port:
+                    stops += 1
+            for _fid, other_out in self.in_users.get((node, in_port), ()):
+                if other_out != out_port:
+                    stops += 1
+        for link in candidate.links(mesh):
+            shared_bw += self.link_bw.get(link, 0.0)
+        # A forced stop costs 3 cycles for every packet; link sharing only
+        # costs queueing. Weight stops to dominate, bandwidth to tie-break.
+        return stops * 1e12 + shared_bw
+
+    def commit(self, mesh: Mesh, flow: Flow) -> None:
+        for node, in_port, out_port in flow.port_traversals(mesh):
+            self.out_users.setdefault((node, out_port), set()).add(
+                (flow.flow_id, in_port)
+            )
+            self.in_users.setdefault((node, in_port), set()).add(
+                (flow.flow_id, out_port)
+            )
+        for link in flow.links(mesh):
+            self.link_bw[link] = (
+                self.link_bw.get(link, 0.0) + flow.bandwidth_bps
+            )
+
+
+def select_routes(
+    mesh: Mesh,
+    placed: Sequence[PlacedFlow],
+    model: TurnModel = TurnModel.WEST_FIRST,
+) -> List[Flow]:
+    """Assign a minimal legal route to each placed flow.
+
+    Flows are routed heaviest-first; each picks the conflict-minimising
+    minimal route the turn model allows.  With ``TurnModel.XY`` there is a
+    single minimal route per flow and this reduces to XY routing.
+    """
+    state = _ConflictState()
+    order = sorted(
+        placed, key=lambda f: (-f.bandwidth_bps, f.flow_id)
+    )
+    routed: Dict[int, Flow] = {}
+    for flow in order:
+        candidates = legal_minimal_routes(mesh, flow.src, flow.dst, model)
+        best_route: Optional[Tuple[Port, ...]] = None
+        best_cost = float("inf")
+        for route in candidates:
+            cost = state.cost(mesh, flow, route)
+            if cost < best_cost:
+                best_cost = cost
+                best_route = route
+        chosen = Flow(
+            flow.flow_id,
+            flow.src,
+            flow.dst,
+            flow.bandwidth_bps,
+            best_route,
+            name=flow.name,
+        )
+        state.commit(mesh, chosen)
+        routed[flow.flow_id] = chosen
+    return [routed[f.flow_id] for f in placed]

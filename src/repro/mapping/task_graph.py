@@ -1,0 +1,150 @@
+"""Application task graphs.
+
+A task graph is the input to the SMART tool flow (§VI): tasks are mapped to
+physical cores with a modified NMAP, and each communication edge becomes a
+network flow with a bandwidth requirement (bytes/s).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+MB = 1e6  # task-graph bandwidths are conventionally quoted in MB/s
+
+
+@dataclasses.dataclass(frozen=True)
+class TaskEdge:
+    """A directed communication demand between two tasks."""
+
+    src: str
+    dst: str
+    bandwidth_bps: float
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValueError("self edge on task %r" % self.src)
+        if self.bandwidth_bps <= 0:
+            raise ValueError(
+                "edge %s->%s must have positive bandwidth" % (self.src, self.dst)
+            )
+
+
+class TaskGraph:
+    """A named application communication graph."""
+
+    def __init__(self, name: str, tasks: Sequence[str], edges: Iterable[TaskEdge]):
+        self.name = name
+        self.tasks: Tuple[str, ...] = tuple(tasks)
+        if len(set(self.tasks)) != len(self.tasks):
+            raise ValueError("duplicate task names in %r" % name)
+        self.edges: Tuple[TaskEdge, ...] = tuple(edges)
+        known = set(self.tasks)
+        for edge in self.edges:
+            if edge.src not in known or edge.dst not in known:
+                raise ValueError(
+                    "edge %s->%s references unknown task" % (edge.src, edge.dst)
+                )
+        seen: Set[Tuple[str, str]] = set()
+        for edge in self.edges:
+            key = (edge.src, edge.dst)
+            if key in seen:
+                raise ValueError("duplicate edge %s->%s" % key)
+            seen.add(key)
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def total_bandwidth_bps(self) -> float:
+        return sum(edge.bandwidth_bps for edge in self.edges)
+
+    def comm_demand(self, task: str) -> float:
+        """Total bandwidth into plus out of a task (NMAP's ordering key)."""
+        return sum(
+            edge.bandwidth_bps
+            for edge in self.edges
+            if edge.src == task or edge.dst == task
+        )
+
+    def neighbors(self, task: str) -> List[str]:
+        """Tasks communicating with ``task`` in either direction."""
+        result = []
+        for edge in self.edges:
+            if edge.src == task and edge.dst not in result:
+                result.append(edge.dst)
+            elif edge.dst == task and edge.src not in result:
+                result.append(edge.src)
+        return result
+
+    def bandwidth_between(self, a: str, b: str) -> float:
+        """Total bandwidth between two tasks, both directions."""
+        return sum(
+            edge.bandwidth_bps
+            for edge in self.edges
+            if (edge.src, edge.dst) in ((a, b), (b, a))
+        )
+
+    def in_degree(self, task: str) -> int:
+        return sum(1 for e in self.edges if e.dst == task)
+
+    def out_degree(self, task: str) -> int:
+        return sum(1 for e in self.edges if e.src == task)
+
+    def max_fan_in_task(self) -> Tuple[str, int]:
+        """The hub sink (drives the H264/MMS_MP3 behaviour of §VI)."""
+        best = max(self.tasks, key=self.in_degree)
+        return best, self.in_degree(best)
+
+    def max_fan_out_task(self) -> Tuple[str, int]:
+        best = max(self.tasks, key=self.out_degree)
+        return best, self.out_degree(best)
+
+    def scaled(self, factor: float, name: str = "") -> "TaskGraph":
+        """Bandwidth-scaled copy (paper footnote 9 scales MMS by 100x)."""
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return TaskGraph(
+            name or ("%s_x%g" % (self.name, factor)),
+            self.tasks,
+            [
+                TaskEdge(e.src, e.dst, e.bandwidth_bps * factor)
+                for e in self.edges
+            ],
+        )
+
+    def adjacency(self) -> Dict[str, Dict[str, float]]:
+        """Undirected bandwidth adjacency (for mapping heuristics)."""
+        adj: Dict[str, Dict[str, float]] = {t: {} for t in self.tasks}
+        for edge in self.edges:
+            adj[edge.src][edge.dst] = adj[edge.src].get(edge.dst, 0.0) + edge.bandwidth_bps
+            adj[edge.dst][edge.src] = adj[edge.dst].get(edge.src, 0.0) + edge.bandwidth_bps
+        return adj
+
+    def __repr__(self) -> str:
+        return "TaskGraph(%r, %d tasks, %d edges)" % (
+            self.name,
+            self.num_tasks,
+            self.num_edges,
+        )
+
+
+def task_graph_from_tuples(
+    name: str, edges_mb: Sequence[Tuple[str, str, float]]
+) -> TaskGraph:
+    """Build a graph from (src, dst, MB/s) tuples, inferring the task set."""
+    tasks: List[str] = []
+    for src, dst, _bw in edges_mb:
+        if src not in tasks:
+            tasks.append(src)
+        if dst not in tasks:
+            tasks.append(dst)
+    return TaskGraph(
+        name,
+        tasks,
+        [TaskEdge(src, dst, bw * MB) for src, dst, bw in edges_mb],
+    )

@@ -1,0 +1,142 @@
+"""Deadlock-free turn models and channel-dependency analysis.
+
+The paper "avoid[s] network deadlocks by enforcing a deadlock-free turn
+model across the routes for all flows" (§IV).  We implement the classic
+Glass–Ni turn models plus dimension-ordered XY, a path-legality predicate,
+minimal-path enumeration, and a channel-dependency-graph acyclicity check
+(the formal deadlock-freedom criterion) built on networkx.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import networkx as nx
+
+from repro.sim.flow import Flow
+from repro.sim.topology import Mesh, Port
+
+
+class TurnModel(enum.Enum):
+    """Supported deadlock-free routing restrictions."""
+
+    XY = "xy"
+    WEST_FIRST = "west_first"
+    NORTH_LAST = "north_last"
+    NEGATIVE_FIRST = "negative_first"
+
+
+#: Turns (from-direction, to-direction) prohibited by each model.
+#: U-turns are prohibited everywhere.
+_PROHIBITED: Dict[TurnModel, frozenset] = {
+    # XY: no turn out of a Y direction back into an X direction.
+    TurnModel.XY: frozenset(
+        [
+            (Port.NORTH, Port.EAST),
+            (Port.NORTH, Port.WEST),
+            (Port.SOUTH, Port.EAST),
+            (Port.SOUTH, Port.WEST),
+        ]
+    ),
+    # West-first: west only as a first direction; no turn into west.
+    TurnModel.WEST_FIRST: frozenset(
+        [
+            (Port.NORTH, Port.WEST),
+            (Port.SOUTH, Port.WEST),
+        ]
+    ),
+    # North-last: no turn out of north.
+    TurnModel.NORTH_LAST: frozenset(
+        [
+            (Port.NORTH, Port.EAST),
+            (Port.NORTH, Port.WEST),
+        ]
+    ),
+    # Negative-first: no turn from a positive (E/N) into a negative (W/S)
+    # direction.
+    TurnModel.NEGATIVE_FIRST: frozenset(
+        [
+            (Port.NORTH, Port.WEST),
+            (Port.EAST, Port.SOUTH),
+        ]
+    ),
+}
+
+
+def turn_allowed(model: TurnModel, frm: Port, to: Port) -> bool:
+    """Whether a flit travelling ``frm`` may next travel ``to``."""
+    if not (frm.is_cardinal and to.is_cardinal):
+        raise ValueError("turns are defined between cardinal directions")
+    if to is frm.opposite:
+        return False  # U-turns never allowed
+    if frm is to:
+        return True
+    return (frm, to) not in _PROHIBITED[model]
+
+
+def path_legal(model: TurnModel, ports: Sequence[Port]) -> bool:
+    """Whether a route's cardinal-direction sequence obeys the model."""
+    directions = [p for p in ports if p.is_cardinal]
+    return all(
+        turn_allowed(model, a, b) for a, b in zip(directions, directions[1:])
+    )
+
+
+def enumerate_minimal_paths(mesh: Mesh, src: int, dst: int) -> List[Tuple[Port, ...]]:
+    """All minimal direction sequences from ``src`` to ``dst``.
+
+    Returns direction tuples without the trailing CORE ejection.
+    """
+    if src == dst:
+        raise ValueError("no path needed from a node to itself")
+    sx, sy = mesh.coords(src)
+    dx, dy = mesh.coords(dst)
+    x_steps = [Port.EAST if dx > sx else Port.WEST] * abs(dx - sx)
+    y_steps = [Port.NORTH if dy > sy else Port.SOUTH] * abs(dy - sy)
+    steps = x_steps + y_steps
+    unique = set(itertools.permutations(steps))
+    return sorted(unique, key=lambda path: tuple(p.value for p in path))
+
+
+def legal_minimal_routes(
+    mesh: Mesh, src: int, dst: int, model: TurnModel
+) -> List[Tuple[Port, ...]]:
+    """Minimal routes (with CORE ejection appended) legal under ``model``."""
+    routes = [
+        path + (Port.CORE,)
+        for path in enumerate_minimal_paths(mesh, src, dst)
+        if path_legal(model, path)
+    ]
+    if not routes:
+        raise RuntimeError(
+            "turn model %s admits no minimal route %d->%d (cannot happen "
+            "for the implemented models)" % (model.value, src, dst)
+        )
+    return routes
+
+
+def channel_dependency_graph(mesh: Mesh, flows: Iterable[Flow]) -> "nx.DiGraph":
+    """Build the CDG: nodes are directed links, edges are in-router turns
+    taken by some flow."""
+    graph = nx.DiGraph()
+    for flow in flows:
+        links = flow.links(mesh)
+        for link in links:
+            graph.add_node(link)
+        for a, b in zip(links, links[1:]):
+            graph.add_edge(a, b)
+    return graph
+
+
+def is_deadlock_free(mesh: Mesh, flows: Iterable[Flow]) -> bool:
+    """Deadlock freedom: the channel dependency graph is acyclic."""
+    return nx.is_directed_acyclic_graph(channel_dependency_graph(mesh, flows))
+
+
+def assert_deadlock_free(mesh: Mesh, flows: Iterable[Flow]) -> None:
+    graph = channel_dependency_graph(mesh, flows)
+    if not nx.is_directed_acyclic_graph(graph):
+        cycle = nx.find_cycle(graph)
+        raise AssertionError("routes form a channel-dependency cycle: %r" % (cycle,))

@@ -1,0 +1,30 @@
+"""Power and area models (Fig 10b substitute for PrimePower)."""
+
+from repro.power.accounting import PowerBreakdown, power_from_counters
+from repro.power.area import (
+    RouterArea,
+    dedicated_overhead_ratio,
+    dedicated_wiring_mm,
+    mesh_wiring_mm,
+    noc_area_mm2,
+    router_area,
+)
+from repro.power.energy import (
+    FULL_SWING_FJ_PER_BIT_MM,
+    VLR_LOW_SWING_FJ_PER_BIT_MM,
+    EnergyParams,
+)
+
+__all__ = [
+    "EnergyParams",
+    "FULL_SWING_FJ_PER_BIT_MM",
+    "PowerBreakdown",
+    "RouterArea",
+    "VLR_LOW_SWING_FJ_PER_BIT_MM",
+    "dedicated_overhead_ratio",
+    "dedicated_wiring_mm",
+    "mesh_wiring_mm",
+    "noc_area_mm2",
+    "power_from_counters",
+    "router_area",
+]

@@ -1,0 +1,111 @@
+"""Area model: routers, VLR link blocks, and wiring demand.
+
+Supports two of the paper's arguments quantitatively:
+
+* the generated 4x4 layout (Fig 9) places 1 mm2 tiles whose router +
+  Tx/Rx blocks occupy a small fraction of the tile, and
+* the Dedicated topology "has area overheads": its point-to-point links
+  demand far more wiring than the mesh's nearest-neighbour channels.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable
+
+from repro.config import NocConfig
+from repro.sim.flow import Flow
+from repro.sim.topology import Mesh
+
+#: 45 nm calibration constants (um^2 per element).
+BUFFER_UM2_PER_BIT = 1.9
+XBAR_UM2_PER_BIT_PER_PORT2 = 0.65
+ARBITER_UM2_PER_PORT2 = 95.0
+VLR_TX_UM2_PER_BIT = 14.0
+VLR_RX_UM2_PER_BIT = 11.0
+CONFIG_REG_UM2_PER_BIT = 4.5
+#: Minimum-DRC global wire pitch at 45 nm (um); the re-optimised 2 GHz
+#: link uses 2x spacing (Table I footnote).
+WIRE_PITCH_UM = 0.28
+SMART_WIRE_PITCH_UM = 2 * WIRE_PITCH_UM
+
+
+@dataclasses.dataclass(frozen=True)
+class RouterArea:
+    """Area of one SMART router in um^2, by component."""
+
+    buffers_um2: float
+    crossbar_um2: float
+    allocators_um2: float
+    vlr_um2: float
+    config_um2: float
+
+    @property
+    def total_um2(self) -> float:
+        return (
+            self.buffers_um2
+            + self.crossbar_um2
+            + self.allocators_um2
+            + self.vlr_um2
+            + self.config_um2
+        )
+
+    @property
+    def total_mm2(self) -> float:
+        return self.total_um2 * 1e-6
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "buffers_um2": self.buffers_um2,
+            "crossbar_um2": self.crossbar_um2,
+            "allocators_um2": self.allocators_um2,
+            "vlr_um2": self.vlr_um2,
+            "config_um2": self.config_um2,
+        }
+
+
+def router_area(cfg: NocConfig, ports: int = 5, config_reg_bits: int = 64) -> RouterArea:
+    """Area of one router with the Table II configuration."""
+    buffer_bits = ports * cfg.vcs_per_port * cfg.vc_depth_flits * cfg.flit_bits
+    data_bits = cfg.flit_bits + cfg.credit_bits
+    return RouterArea(
+        buffers_um2=buffer_bits * BUFFER_UM2_PER_BIT,
+        crossbar_um2=data_bits * ports * ports * XBAR_UM2_PER_BIT_PER_PORT2,
+        allocators_um2=ports * ports * ARBITER_UM2_PER_PORT2,
+        vlr_um2=(ports - 1)
+        * data_bits
+        * (VLR_TX_UM2_PER_BIT + VLR_RX_UM2_PER_BIT),
+        config_um2=config_reg_bits * CONFIG_REG_UM2_PER_BIT,
+    )
+
+
+def noc_area_mm2(cfg: NocConfig) -> float:
+    """Total router+link-circuit area of the mesh NoC (excludes cores)."""
+    return router_area(cfg).total_mm2 * cfg.num_nodes
+
+
+def mesh_wiring_mm(mesh: Mesh, cfg: NocConfig) -> float:
+    """Total directed mesh channel wire length x width (wire-mm)."""
+    num_links = sum(1 for _ in mesh.links())
+    return num_links * cfg.mm_per_hop * (cfg.flit_bits + cfg.credit_bits)
+
+
+def dedicated_wiring_mm(mesh: Mesh, flows: Iterable[Flow], cfg: NocConfig) -> float:
+    """Wire-mm demanded by per-flow dedicated links for one application."""
+    total = 0.0
+    for flow in flows:
+        distance = mesh.distance_mm(flow.src, flow.dst, cfg.mm_per_hop)
+        total += distance * (cfg.flit_bits + cfg.credit_bits)
+    return total
+
+
+def dedicated_overhead_ratio(
+    mesh: Mesh, flows: Iterable[Flow], cfg: NocConfig
+) -> float:
+    """How much more wiring Dedicated needs than the shared mesh.
+
+    The mesh serves *every* application with its fixed channels; the
+    Dedicated design needs this much wiring again for each application's
+    private links (>1 means more wiring than the whole mesh).
+    """
+    return dedicated_wiring_mm(mesh, flows, cfg) / mesh_wiring_mm(mesh, cfg)

@@ -1,0 +1,71 @@
+"""Per-event energy parameters (45 nm, 0.9 V, 32-bit datapath).
+
+The paper measures post-layout dynamic power with Synopsys PrimePower from
+simulation VCDs; we substitute activity-based accounting: the simulator
+counts micro-architectural events and this module prices them.  Constants
+are calibrated to 45 nm router implementations so that the Fig 10b
+magnitudes (tens of mW per design at Fig 10's injection bandwidths) and
+mechanisms (SMART saves buffer + clock energy; all designs share link
+energy) are reproduced.
+
+Link energy comes from the Table I circuit model: all three designs use
+SMART links (§VI), i.e. the low-swing VLR at 2 Gb/s per wire: 104 fJ/b/mm.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.config import NocConfig
+
+#: Low-swing VLR energy at 2 Gb/s (Table I), per bit per mm.
+VLR_LOW_SWING_FJ_PER_BIT_MM = 104.0
+#: Full-swing repeater energy at 2 Gb/s (Table I), per bit per mm.
+FULL_SWING_FJ_PER_BIT_MM = 95.0
+
+#: Reference datapath the constants below were calibrated for.
+_REF_BITS = 32
+
+
+@dataclasses.dataclass(frozen=True)
+class EnergyParams:
+    """Energy per micro-architectural event, in picojoules."""
+
+    buffer_write_pj: float
+    buffer_read_pj: float
+    arb_request_pj: float
+    arb_grant_pj: float
+    xbar_flit_pj: float
+    pipeline_latch_pj: float
+    link_pj_per_flit_mm: float
+    credit_xbar_pj: float
+    credit_link_pj_per_mm: float
+    clock_port_pj: float
+    clock_router_pj: float
+
+    @classmethod
+    def default_45nm(cls, cfg: NocConfig) -> "EnergyParams":
+        """Constants for the paper's Table II configuration.
+
+        Datapath energies scale linearly with flit width relative to the
+        32-bit calibration point, so the channel-splitting ablation prices
+        narrower flits fairly.
+        """
+        scale = cfg.flit_bits / _REF_BITS
+        link_pj_per_flit_mm = (
+            VLR_LOW_SWING_FJ_PER_BIT_MM * cfg.flit_bits / 1000.0
+        )
+        credit_link = VLR_LOW_SWING_FJ_PER_BIT_MM * cfg.credit_bits / 1000.0
+        return cls(
+            buffer_write_pj=4.2 * scale,
+            buffer_read_pj=3.0 * scale,
+            arb_request_pj=0.05,
+            arb_grant_pj=0.18,
+            xbar_flit_pj=1.9 * scale,
+            pipeline_latch_pj=0.6 * scale,
+            link_pj_per_flit_mm=link_pj_per_flit_mm,
+            credit_xbar_pj=1.9 * cfg.credit_bits / _REF_BITS,
+            credit_link_pj_per_mm=credit_link,
+            clock_port_pj=0.35 * scale,
+            clock_router_pj=0.5,
+        )

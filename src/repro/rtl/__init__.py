@@ -1,0 +1,72 @@
+"""Implementation tool flow (§V): RTL, layout, timing views."""
+
+from repro.rtl.layout import (
+    NocLayout,
+    Placement,
+    Rect,
+    TxBlockLayout,
+    generate_layout,
+    tx_block_layout,
+)
+from repro.rtl.liberty import emit_lef, emit_liberty
+from repro.rtl.lint import LintReport, lint_verilog, strip_comments
+from repro.rtl.netlist import (
+    Assign,
+    Instance,
+    Module,
+    Netlist,
+    ParamDecl,
+    PortDecl,
+    WireDecl,
+    check_identifier,
+)
+from repro.rtl.noc_gen import build_noc_netlist, build_noc_top
+from repro.rtl.router_gen import (
+    build_bypass_mux,
+    build_config_reg,
+    build_rr_arbiter,
+    build_router_library,
+    build_smart_crossbar,
+    build_smart_router,
+    build_vc_fifo,
+    build_vlr_block,
+    build_vlr_rx,
+    build_vlr_tx,
+)
+from repro.rtl.verilog import emit_module, emit_netlist
+
+__all__ = [
+    "Assign",
+    "Instance",
+    "LintReport",
+    "Module",
+    "Netlist",
+    "NocLayout",
+    "ParamDecl",
+    "Placement",
+    "PortDecl",
+    "Rect",
+    "TxBlockLayout",
+    "WireDecl",
+    "build_bypass_mux",
+    "build_config_reg",
+    "build_noc_netlist",
+    "build_noc_top",
+    "build_rr_arbiter",
+    "build_router_library",
+    "build_smart_crossbar",
+    "build_smart_router",
+    "build_vc_fifo",
+    "build_vlr_block",
+    "build_vlr_rx",
+    "build_vlr_tx",
+    "check_identifier",
+    "emit_lef",
+    "emit_liberty",
+    "emit_module",
+    "emit_netlist",
+    "generate_layout",
+    "lint_verilog",
+    "strip_comments",
+    "tx_block_layout",
+]

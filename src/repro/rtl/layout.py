@@ -1,0 +1,235 @@
+"""Layout generation: Tx/Rx blocks (Fig 8) and the tiled NoC (Fig 9).
+
+The paper's SKILL script places 1-bit Tx/Rx cells "regularly to multi-bit
+Tx/Rx blocks", and custom TCL tiles routers at a 1 mm pitch with the black
+regions reserved for cores.  This module reproduces that deterministically:
+a grid placer emitting block placements, an ASCII floorplan, a DEF-like
+text dump, and wirelength/area reports.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+from repro.config import NocConfig
+from repro.power.area import router_area
+from repro.sim.topology import Mesh, Port
+
+#: 1-bit VLR cell footprint (um): width x height, Fig 8's repeated unit.
+TX_CELL_W_UM = 2.8
+TX_CELL_H_UM = 5.0
+RX_CELL_W_UM = 2.4
+RX_CELL_H_UM = 4.6
+
+
+@dataclasses.dataclass(frozen=True)
+class Rect:
+    """An axis-aligned placement rectangle in mm."""
+
+    x_mm: float
+    y_mm: float
+    w_mm: float
+    h_mm: float
+
+    @property
+    def area_mm2(self) -> float:
+        return self.w_mm * self.h_mm
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        return (self.x_mm + self.w_mm / 2.0, self.y_mm + self.h_mm / 2.0)
+
+    def overlaps(self, other: "Rect") -> bool:
+        return not (
+            self.x_mm + self.w_mm <= other.x_mm
+            or other.x_mm + other.w_mm <= self.x_mm
+            or self.y_mm + self.h_mm <= other.y_mm
+            or other.y_mm + other.h_mm <= self.y_mm
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class Placement:
+    name: str
+    kind: str  # "router" | "tx" | "rx" | "core"
+    rect: Rect
+
+
+@dataclasses.dataclass(frozen=True)
+class TxBlockLayout:
+    """A multi-bit Tx/Rx block: 1-bit cells stacked in a regular column."""
+
+    kind: str
+    bits: int
+    cell_w_um: float
+    cell_h_um: float
+    cells: Tuple[Tuple[float, float], ...]  # (x_um, y_um) origin of each cell
+
+    @property
+    def width_um(self) -> float:
+        return self.cell_w_um
+
+    @property
+    def height_um(self) -> float:
+        return self.cell_h_um * self.bits
+
+    @property
+    def area_um2(self) -> float:
+        return self.width_um * self.height_um
+
+
+def tx_block_layout(bits: int, kind: str = "tx") -> TxBlockLayout:
+    """Place ``bits`` 1-bit cells into a regular column (Fig 8)."""
+    if bits < 1:
+        raise ValueError("a Tx/Rx block needs at least one bit")
+    if kind == "tx":
+        cell_w, cell_h = TX_CELL_W_UM, TX_CELL_H_UM
+    elif kind == "rx":
+        cell_w, cell_h = RX_CELL_W_UM, RX_CELL_H_UM
+    else:
+        raise ValueError("kind must be 'tx' or 'rx'")
+    cells = tuple((0.0, i * cell_h) for i in range(bits))
+    return TxBlockLayout(kind=kind, bits=bits, cell_w_um=cell_w, cell_h_um=cell_h, cells=cells)
+
+
+@dataclasses.dataclass
+class NocLayout:
+    """A generated chip floorplan."""
+
+    cfg: NocConfig
+    placements: List[Placement]
+    tile_pitch_mm: float
+
+    @property
+    def die_w_mm(self) -> float:
+        return self.cfg.width * self.tile_pitch_mm
+
+    @property
+    def die_h_mm(self) -> float:
+        return self.cfg.height * self.tile_pitch_mm
+
+    def by_kind(self, kind: str) -> List[Placement]:
+        return [p for p in self.placements if p.kind == kind]
+
+    def network_area_mm2(self) -> float:
+        return sum(
+            p.rect.area_mm2 for p in self.placements if p.kind != "core"
+        )
+
+    def network_area_fraction(self) -> float:
+        return self.network_area_mm2() / (self.die_w_mm * self.die_h_mm)
+
+    def check_no_overlaps(self) -> None:
+        blocks = [p for p in self.placements if p.kind != "core"]
+        for i, a in enumerate(blocks):
+            for b in blocks[i + 1 :]:
+                if a.rect.overlaps(b.rect):
+                    raise AssertionError(
+                        "placements overlap: %s and %s" % (a.name, b.name)
+                    )
+
+    def total_link_wirelength_mm(self) -> float:
+        """Manhattan wirelength between adjacent routers' centres."""
+        mesh = Mesh(self.cfg.width, self.cfg.height)
+        routers = {p.name: p for p in self.by_kind("router")}
+        total = 0.0
+        for u, v in mesh.links():
+            cu = routers["router_%d" % u].rect.center
+            cv = routers["router_%d" % v].rect.center
+            total += abs(cu[0] - cv[0]) + abs(cu[1] - cv[1])
+        return total
+
+    def ascii_floorplan(self) -> str:
+        """Fig 9 as text: R = router + Tx/Rx, '.' = core region."""
+        rows = []
+        for y in range(self.cfg.height - 1, -1, -1):
+            cells = []
+            for x in range(self.cfg.width):
+                node = y * self.cfg.width + x
+                cells.append("[R%-2d|core]" % node)
+            rows.append(" ".join(cells))
+        header = "%dx%d SMART NoC, %.0f mm x %.0f mm (router+VLR area %.2f%%)" % (
+            self.cfg.width,
+            self.cfg.height,
+            self.die_w_mm,
+            self.die_h_mm,
+            100.0 * self.network_area_fraction(),
+        )
+        return header + "\n" + "\n".join(rows)
+
+    def def_text(self) -> str:
+        """A minimal DEF-like dump of all placements (microns)."""
+        lines = [
+            "VERSION 5.8 ;",
+            "DESIGN smart_noc ;",
+            "UNITS DISTANCE MICRONS 1000 ;",
+            "DIEAREA ( 0 0 ) ( %d %d ) ;" % (
+                int(self.die_w_mm * 1000),
+                int(self.die_h_mm * 1000),
+            ),
+            "COMPONENTS %d ;" % len(self.placements),
+        ]
+        for p in self.placements:
+            lines.append(
+                "- %s %s + PLACED ( %d %d ) N ;"
+                % (p.name, p.kind, int(p.rect.x_mm * 1000), int(p.rect.y_mm * 1000))
+            )
+        lines.append("END COMPONENTS")
+        lines.append("END DESIGN")
+        return "\n".join(lines)
+
+
+def generate_layout(cfg: NocConfig) -> NocLayout:
+    """Place routers, Tx/Rx blocks and core regions on the 1 mm grid."""
+    mesh = Mesh(cfg.width, cfg.height)
+    pitch = cfg.mm_per_hop
+    placements: List[Placement] = []
+    r_area = router_area(cfg)
+    router_side_mm = (r_area.total_um2 * 1e-6) ** 0.5
+    data_bits = cfg.flit_bits + cfg.credit_bits
+    tx = tx_block_layout(data_bits, "tx")
+    rx = tx_block_layout(data_bits, "rx")
+    tx_w = tx.width_um * 1e-3
+    tx_h = tx.height_um * 1e-3
+    rx_w = rx.width_um * 1e-3
+    rx_h = rx.height_um * 1e-3
+
+    for node in mesh.nodes():
+        x, y = mesh.coords(node)
+        ox = x * pitch
+        oy = y * pitch
+        router_rect = Rect(ox, oy, router_side_mm, router_side_mm)
+        placements.append(Placement("router_%d" % node, "router", router_rect))
+        # Tx/Rx block pairs on each mesh-facing side, beside the router.
+        offset = router_side_mm + 0.01
+        for direction in (Port.EAST, Port.SOUTH, Port.WEST, Port.NORTH):
+            if mesh.neighbor(node, direction) is None:
+                continue
+            slot = int(direction)
+            base_y = oy + offset + slot * (max(tx_h, rx_h) + 0.005)
+            placements.append(
+                Placement(
+                    "tx_%d_%s" % (node, direction.name.lower()),
+                    "tx",
+                    Rect(ox, base_y, tx_w, tx_h),
+                )
+            )
+            placements.append(
+                Placement(
+                    "rx_%d_%s" % (node, direction.name.lower()),
+                    "rx",
+                    Rect(ox + tx_w + 0.004, base_y, rx_w, rx_h),
+                )
+            )
+        # The rest of the tile is reserved for the core (black in Fig 9).
+        placements.append(
+            Placement(
+                "core_%d" % node,
+                "core",
+                Rect(ox + offset, oy, pitch - offset, pitch),
+            )
+        )
+    layout = NocLayout(cfg=cfg, placements=placements, tile_pitch_mm=pitch)
+    layout.check_no_overlaps()
+    return layout

@@ -1,0 +1,109 @@
+"""Timing-view (.lib) and abstract-view (.lef) emission for VLR blocks.
+
+§V: "the script also generates the timing liberty format (.lib) and the
+library exchange format (.lef) files to allow the generated layout to be
+place-and-routed with the router."  Timing numbers come from the circuit
+models (:mod:`repro.circuits`); geometry from :mod:`repro.rtl.layout`.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.signaling import CHIP_FULL_SWING, CHIP_VLR
+from repro.rtl.layout import TxBlockLayout, tx_block_layout
+
+
+def emit_liberty(
+    bits: int,
+    vdd: float = 0.9,
+    process_name: str = "smart_45nm",
+) -> str:
+    """A .lib with the multi-bit VLR Tx and Rx block cells."""
+    delay_ns = CHIP_VLR.delay_ps_per_mm / 2.0 / 1000.0  # half per Tx/Rx pair
+    fs_delay_ns = CHIP_FULL_SWING.delay_ps_per_mm / 2.0 / 1000.0
+    lines = [
+        'library (%s) {' % process_name,
+        '  delay_model : table_lookup;',
+        '  time_unit : "1ns";',
+        '  voltage_unit : "1V";',
+        '  capacitive_load_unit (1, pf);',
+        '  nom_voltage : %.2f;' % vdd,
+        '  nom_temperature : 25;',
+    ]
+    for kind, delay in (("tx", delay_ns), ("rx", delay_ns)):
+        block = tx_block_layout(bits, kind)
+        lines.extend(_cell_block(kind, bits, block, delay))
+    # Reference full-swing repeater cell for comparison flows.
+    lines.extend(
+        [
+            '  cell (fs_repeater) {',
+            '    area : 6.5;',
+            '    pin (a) { direction : input; capacitance : 0.004; }',
+            '    pin (y) {',
+            '      direction : output;',
+            '      timing () {',
+            '        related_pin : "a";',
+            '        cell_rise (scalar) { values ("%.4f"); }' % fs_delay_ns,
+            '        cell_fall (scalar) { values ("%.4f"); }' % fs_delay_ns,
+            '      }',
+            '    }',
+            '  }',
+            '}',
+        ]
+    )
+    return "\n".join(lines) + "\n"
+
+
+def _cell_block(kind: str, bits: int, block: TxBlockLayout, delay_ns: float):
+    cell = "vlr_%s_block_%db" % (kind, bits)
+    yield '  cell (%s) {' % cell
+    yield '    area : %.2f;' % (block.area_um2)
+    yield '    pin (en) { direction : input; capacitance : 0.002; }'
+    for bit in range(bits):
+        yield '    pin (lines_in_%d) { direction : input; capacitance : 0.003; }' % bit
+    for bit in range(bits):
+        yield '    pin (lines_out_%d) {' % bit
+        yield '      direction : output;'
+        yield '      timing () {'
+        yield '        related_pin : "lines_in_%d";' % bit
+        yield '        cell_rise (scalar) { values ("%.4f"); }' % delay_ns
+        yield '        cell_fall (scalar) { values ("%.4f"); }' % delay_ns
+        yield '      }'
+        yield '    }'
+    yield '  }'
+
+
+def emit_lef(bits: int) -> str:
+    """A .lef with the Tx and Rx block macros (sizes from Fig 8 cells)."""
+    lines = [
+        "VERSION 5.8 ;",
+        "BUSBITCHARS \"[]\" ;",
+        "DIVIDERCHAR \"/\" ;",
+    ]
+    for kind in ("tx", "rx"):
+        block = tx_block_layout(bits, kind)
+        name = "VLR_%s_BLOCK_%dB" % (kind.upper(), bits)
+        lines.extend(
+            [
+                "MACRO %s" % name,
+                "  CLASS BLOCK ;",
+                "  ORIGIN 0 0 ;",
+                "  SIZE %.3f BY %.3f ;" % (block.width_um, block.height_um),
+                "  SYMMETRY X Y ;",
+            ]
+        )
+        for bit, (x_um, y_um) in enumerate(block.cells):
+            lines.extend(
+                [
+                    "  PIN LINE_%d" % bit,
+                    "    DIRECTION %s ;" % ("OUTPUT" if kind == "tx" else "INPUT"),
+                    "    PORT",
+                    "      LAYER M5 ;",
+                    "      RECT %.3f %.3f %.3f %.3f ;"
+                    % (x_um, y_um, x_um + 0.2, y_um + 0.2),
+                    "    END",
+                    "  END LINE_%d" % bit,
+                ]
+            )
+        lines.append("END %s" % name)
+    lines.append("END LIBRARY")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,216 @@
+"""Structural netlist IR for the RTL generator (§V).
+
+The paper's tool "takes network configurations as input ... and generates
+the RTL description as well as the layout of the SMART NoC".  We model RTL
+as a small structural IR — modules with ports, parameters, wires, continuous
+assignments, raw behavioural blocks and module instances — and emit
+Verilog-2001 from it (:mod:`repro.rtl.verilog`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Dict, List, Optional, Sequence
+
+_IDENT_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_$]*$")
+
+
+def check_identifier(name: str) -> str:
+    """Validate a Verilog identifier; returns it for chaining."""
+    if not _IDENT_RE.match(name):
+        raise ValueError("invalid Verilog identifier: %r" % name)
+    return name
+
+
+@dataclasses.dataclass(frozen=True)
+class PortDecl:
+    """A module port."""
+
+    name: str
+    direction: str  # "input" | "output" | "inout"
+    width: int = 1
+
+    def __post_init__(self) -> None:
+        check_identifier(self.name)
+        if self.direction not in ("input", "output", "inout"):
+            raise ValueError("bad port direction %r" % self.direction)
+        if self.width < 1:
+            raise ValueError("port %s must be at least 1 bit" % self.name)
+
+    @property
+    def range_str(self) -> str:
+        return "" if self.width == 1 else "[%d:0] " % (self.width - 1)
+
+
+@dataclasses.dataclass(frozen=True)
+class WireDecl:
+    """An internal wire or reg."""
+
+    name: str
+    width: int = 1
+    kind: str = "wire"  # "wire" | "reg"
+
+    def __post_init__(self) -> None:
+        check_identifier(self.name)
+        if self.kind not in ("wire", "reg"):
+            raise ValueError("bad net kind %r" % self.kind)
+        if self.width < 1:
+            raise ValueError("wire %s must be at least 1 bit" % self.name)
+
+    @property
+    def range_str(self) -> str:
+        return "" if self.width == 1 else "[%d:0] " % (self.width - 1)
+
+
+@dataclasses.dataclass(frozen=True)
+class ParamDecl:
+    name: str
+    default: object
+
+    def __post_init__(self) -> None:
+        check_identifier(self.name)
+
+
+@dataclasses.dataclass(frozen=True)
+class Assign:
+    """Continuous assignment ``assign lhs = rhs;``."""
+
+    lhs: str
+    rhs: str
+
+
+@dataclasses.dataclass(frozen=True)
+class Instance:
+    """A module instantiation with named port connections."""
+
+    module: str
+    name: str
+    connections: Dict[str, str]
+    parameters: Dict[str, object] = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        check_identifier(self.module)
+        check_identifier(self.name)
+        for port in self.connections:
+            check_identifier(port)
+
+
+class Module:
+    """One RTL module."""
+
+    def __init__(
+        self,
+        name: str,
+        ports: Sequence[PortDecl] = (),
+        parameters: Sequence[ParamDecl] = (),
+        comment: str = "",
+    ):
+        self.name = check_identifier(name)
+        self.ports: List[PortDecl] = list(ports)
+        self.parameters: List[ParamDecl] = list(parameters)
+        self.wires: List[WireDecl] = []
+        self.assigns: List[Assign] = []
+        self.instances: List[Instance] = []
+        #: Raw behavioural bodies (always blocks, functions), emitted as-is.
+        self.raw_blocks: List[str] = []
+        self.comment = comment
+        self.is_blackbox = False
+        self._names = {p.name for p in self.ports}
+        if len(self._names) != len(self.ports):
+            raise ValueError("duplicate port names in module %s" % name)
+
+    def add_port(self, port: PortDecl) -> PortDecl:
+        if port.name in self._names:
+            raise ValueError("duplicate name %s in module %s" % (port.name, self.name))
+        self.ports.append(port)
+        self._names.add(port.name)
+        return port
+
+    def add_wire(self, wire: WireDecl) -> WireDecl:
+        if wire.name in self._names:
+            raise ValueError("duplicate name %s in module %s" % (wire.name, self.name))
+        self.wires.append(wire)
+        self._names.add(wire.name)
+        return wire
+
+    def wire(self, name: str, width: int = 1, kind: str = "wire") -> str:
+        """Declare a wire and return its name (builder convenience)."""
+        self.add_wire(WireDecl(name, width, kind))
+        return name
+
+    def assign(self, lhs: str, rhs: str) -> None:
+        self.assigns.append(Assign(lhs, rhs))
+
+    def instantiate(
+        self,
+        module: str,
+        name: str,
+        connections: Dict[str, str],
+        parameters: Optional[Dict[str, object]] = None,
+    ) -> Instance:
+        inst = Instance(module, name, dict(connections), dict(parameters or {}))
+        self.instances.append(inst)
+        return inst
+
+    def add_raw(self, text: str) -> None:
+        self.raw_blocks.append(text)
+
+    def port_names(self) -> List[str]:
+        return [p.name for p in self.ports]
+
+
+class Netlist:
+    """A set of modules with instance-boundary validation."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, Module] = {}
+
+    def add(self, module: Module) -> Module:
+        if module.name in self.modules:
+            raise ValueError("duplicate module %s" % module.name)
+        self.modules[module.name] = module
+        return module
+
+    def get(self, name: str) -> Module:
+        return self.modules[name]
+
+    def validate(self) -> None:
+        """Check every instance connects to real ports of real modules."""
+        for module in self.modules.values():
+            seen_instances = set()
+            for inst in module.instances:
+                if inst.name in seen_instances:
+                    raise ValueError(
+                        "duplicate instance %s in %s" % (inst.name, module.name)
+                    )
+                seen_instances.add(inst.name)
+                target = self.modules.get(inst.module)
+                if target is None:
+                    raise ValueError(
+                        "module %s instantiates unknown module %s"
+                        % (module.name, inst.module)
+                    )
+                target_ports = set(target.port_names())
+                for port in inst.connections:
+                    if port not in target_ports:
+                        raise ValueError(
+                            "instance %s.%s connects missing port %s of %s"
+                            % (module.name, inst.name, port, inst.module)
+                        )
+                target_params = {p.name for p in target.parameters}
+                for param in inst.parameters:
+                    if param not in target_params:
+                        raise ValueError(
+                            "instance %s.%s sets missing parameter %s of %s"
+                            % (module.name, inst.name, param, inst.module)
+                        )
+
+    def top_candidates(self) -> List[str]:
+        """Modules never instantiated by others."""
+        instantiated = {
+            inst.module
+            for module in self.modules.values()
+            for inst in module.instances
+        }
+        return sorted(set(self.modules) - instantiated)

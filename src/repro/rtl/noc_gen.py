@@ -1,0 +1,124 @@
+"""Tile SMART routers into the full NoC RTL (§V).
+
+"Next, we tile the routers and connect them as a mesh."  The generated top
+module broadcasts the memory-mapped config bus to every router (each
+config register address-matches its own double word) and exposes each
+tile's core-side (NIC) interface.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.config import NocConfig
+from repro.core.credit_network import credit_crossbar_width_bits
+from repro.core.reconfiguration import DEFAULT_BASE_ADDR, REGISTER_STRIDE_BYTES
+from repro.rtl.netlist import Module, Netlist, ParamDecl, PortDecl
+from repro.rtl.router_gen import build_router_library
+from repro.sim.topology import Mesh, Port
+
+_DIR_NAME = {
+    Port.EAST: "east",
+    Port.SOUTH: "south",
+    Port.WEST: "west",
+    Port.NORTH: "north",
+    Port.CORE: "core",
+}
+
+
+def build_noc_top(cfg: NocConfig, base_addr: int = DEFAULT_BASE_ADDR) -> Module:
+    """The smart_noc top module: W x H routers wired as a mesh."""
+    mesh = Mesh(cfg.width, cfg.height)
+    width = cfg.flit_bits
+    credit_bits = credit_crossbar_width_bits(cfg.vcs_per_port)
+    top = Module(
+        "smart_noc",
+        ports=[
+            PortDecl("clk", "input"),
+            PortDecl("rst", "input"),
+            PortDecl("cfg_we", "input"),
+            PortDecl("cfg_addr", "input", 32),
+            PortDecl("cfg_wdata", "input", 64),
+        ],
+        parameters=[ParamDecl("WIDTH", cfg.width), ParamDecl("HEIGHT", cfg.height)],
+        comment="Generated %dx%d SMART NoC (Table II configuration). The "
+        "config bus reaches all %d routers; one store each reconfigures "
+        "the network." % (cfg.width, cfg.height, mesh.num_nodes),
+    )
+    for node in mesh.nodes():
+        top.add_port(PortDecl("nic%d_in_data" % node, "input", width))
+        top.add_port(PortDecl("nic%d_in_valid" % node, "input"))
+        top.add_port(PortDecl("nic%d_out_data" % node, "output", width))
+        top.add_port(PortDecl("nic%d_out_valid" % node, "output"))
+        top.add_port(PortDecl("nic%d_credit_in" % node, "input", credit_bits))
+        top.add_port(PortDecl("nic%d_credit_out" % node, "output", credit_bits))
+
+    # One wire bundle per directed router-to-router link.
+    def link_wires(u: int, v: int) -> Dict[str, str]:
+        base = "l_%d_to_%d" % (u, v)
+        return {
+            "data": top.wire(base + "_data", width),
+            "valid": top.wire(base + "_valid"),
+            "credit": top.wire(base + "_credit", credit_bits),
+        }
+
+    links: Dict[tuple, Dict[str, str]] = {}
+    for u, v in mesh.links():
+        links[(u, v)] = link_wires(u, v)
+
+    zero_data = "{%d{1'b0}}" % width
+    zero_credit = "{%d{1'b0}}" % credit_bits
+
+    for node in mesh.nodes():
+        connections = {
+            "clk": "clk",
+            "rst": "rst",
+            "cfg_we": "cfg_we",
+            "cfg_addr": "cfg_addr",
+            "cfg_wdata": "cfg_wdata",
+            "core_in_data": "nic%d_in_data" % node,
+            "core_in_valid": "nic%d_in_valid" % node,
+            "core_out_data": "nic%d_out_data" % node,
+            "core_out_valid": "nic%d_out_valid" % node,
+            "core_credit_in": "nic%d_credit_in" % node,
+            "core_credit_out": "nic%d_credit_out" % node,
+        }
+        for direction in (Port.EAST, Port.SOUTH, Port.WEST, Port.NORTH):
+            name = _DIR_NAME[direction]
+            neighbor = mesh.neighbor(node, direction)
+            if neighbor is None:
+                # Mesh edge: tie inputs off, leave outputs dangling.
+                edge = "edge_%d_%s" % (node, name)
+                connections["%s_in_data" % name] = zero_data
+                connections["%s_in_valid" % name] = "1'b0"
+                connections["%s_credit_in" % name] = zero_credit
+                connections["%s_out_data" % name] = top.wire(edge + "_data", width)
+                connections["%s_out_valid" % name] = top.wire(edge + "_valid")
+                connections["%s_credit_out" % name] = top.wire(
+                    edge + "_credit", credit_bits
+                )
+                continue
+            outgoing = links[(node, neighbor)]
+            incoming = links[(neighbor, node)]
+            connections["%s_out_data" % name] = outgoing["data"]
+            connections["%s_out_valid" % name] = outgoing["valid"]
+            connections["%s_in_data" % name] = incoming["data"]
+            connections["%s_in_valid" % name] = incoming["valid"]
+            # Credits flow opposite to data on each port pair.
+            connections["%s_credit_out" % name] = incoming["credit"]
+            connections["%s_credit_in" % name] = outgoing["credit"]
+        top.instantiate(
+            "smart_router",
+            "u_router_%d" % node,
+            connections,
+            {"NODE_ID": base_addr + node * REGISTER_STRIDE_BYTES},
+        )
+    return top
+
+
+def build_noc_netlist(cfg: NocConfig, base_addr: int = DEFAULT_BASE_ADDR) -> Netlist:
+    """Router library plus the tiled NoC top; validated."""
+    netlist = build_router_library(cfg)
+    netlist.add(build_noc_top(cfg, base_addr=base_addr))
+    netlist.validate()
+    return netlist

@@ -1,0 +1,94 @@
+"""Verilog-2001 emission from the netlist IR."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.rtl.netlist import Module, Netlist
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, bool):
+        return "1'b1" if value else "1'b0"
+    return str(value)
+
+
+def emit_module(module: Module) -> str:
+    """Emit one module as Verilog text."""
+    lines: List[str] = []
+    if module.comment:
+        for comment_line in module.comment.splitlines():
+            lines.append("// %s" % comment_line)
+    header = "module %s" % module.name
+    if module.parameters:
+        params = ",\n".join(
+            "    parameter %s = %s" % (p.name, _format_value(p.default))
+            for p in module.parameters
+        )
+        header += " #(\n%s\n)" % params
+    if module.ports:
+        ports = ",\n".join(
+            "    %s %s%s" % (p.direction, p.range_str, p.name)
+            for p in module.ports
+        )
+        header += " (\n%s\n);" % ports
+    else:
+        header += " ();"
+    lines.append(header)
+
+    if module.is_blackbox:
+        lines.append("    // black box: analog/custom layout (see .lib/.lef)")
+    for wire in module.wires:
+        lines.append("    %s %s%s;" % (wire.kind, wire.range_str, wire.name))
+    for assign in module.assigns:
+        lines.append("    assign %s = %s;" % (assign.lhs, assign.rhs))
+    for block in module.raw_blocks:
+        lines.append("")
+        for raw_line in block.strip("\n").splitlines():
+            lines.append("    %s" % raw_line if raw_line.strip() else "")
+    for inst in module.instances:
+        lines.append("")
+        text = "    %s" % inst.module
+        if inst.parameters:
+            overrides = ", ".join(
+                ".%s(%s)" % (k, _format_value(v))
+                for k, v in sorted(inst.parameters.items())
+            )
+            text += " #(%s)" % overrides
+        text += " %s (" % inst.name
+        lines.append(text)
+        connections = [
+            "        .%s(%s)" % (port, net)
+            for port, net in inst.connections.items()
+        ]
+        lines.append(",\n".join(connections))
+        lines.append("    );")
+    lines.append("endmodule")
+    return "\n".join(lines)
+
+
+def emit_netlist(netlist: Netlist, header_comment: str = "") -> str:
+    """Emit every module of a netlist into one source file."""
+    netlist.validate()
+    parts: List[str] = []
+    if header_comment:
+        parts.append(
+            "\n".join("// %s" % line for line in header_comment.splitlines())
+        )
+    # Emit leaf modules first so the file reads bottom-up.
+    emitted = set()
+    ordered: List[Module] = []
+
+    def visit(name: str) -> None:
+        if name in emitted:
+            return
+        emitted.add(name)
+        module = netlist.modules[name]
+        for inst in module.instances:
+            visit(inst.module)
+        ordered.append(module)
+
+    for name in sorted(netlist.modules):
+        visit(name)
+    parts.extend(emit_module(module) for module in ordered)
+    return "\n\n".join(parts) + "\n"

@@ -1,0 +1,64 @@
+"""Cycle-accurate NoC simulation substrate."""
+
+from repro.sim.arbiter import FixedPriorityArbiter, RoundRobinArbiter
+from repro.sim.buffers import FreeVcQueue, InputBuffer, VirtualChannel
+from repro.sim.flow import Flow, validate_flow_set, xy_route
+from repro.sim.network import Network, RouterConfig
+from repro.sim.packet import Credit, Flit, FlitType, Packet
+from repro.sim.segments import (
+    BufferEnd,
+    NicEnd,
+    NicStart,
+    OutputStart,
+    Segment,
+    SegmentMap,
+)
+from repro.sim.stats import (
+    EventCounters,
+    LatencySummary,
+    SimResult,
+    StatsCollector,
+    accepted_flits_per_cycle,
+)
+from repro.sim.topology import MM_PER_HOP, Mesh, Port
+from repro.sim.traffic import (
+    BernoulliTraffic,
+    RateScaledTraffic,
+    ScriptedTraffic,
+    TrafficModel,
+)
+
+__all__ = [
+    "BernoulliTraffic",
+    "BufferEnd",
+    "Credit",
+    "EventCounters",
+    "FixedPriorityArbiter",
+    "Flit",
+    "FlitType",
+    "Flow",
+    "FreeVcQueue",
+    "InputBuffer",
+    "LatencySummary",
+    "MM_PER_HOP",
+    "Mesh",
+    "Network",
+    "NicEnd",
+    "NicStart",
+    "OutputStart",
+    "Packet",
+    "Port",
+    "RateScaledTraffic",
+    "RouterConfig",
+    "RoundRobinArbiter",
+    "ScriptedTraffic",
+    "Segment",
+    "SegmentMap",
+    "SimResult",
+    "StatsCollector",
+    "TrafficModel",
+    "VirtualChannel",
+    "accepted_flits_per_cycle",
+    "validate_flow_set",
+    "xy_route",
+]

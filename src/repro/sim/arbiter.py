@@ -1,0 +1,66 @@
+"""Arbiters for switch allocation.
+
+The paper's stage-2 "Switch Allocation" arbitrates buffered flits for
+crossbar output ports.  We provide a round-robin arbiter (the common
+hardware choice and what the generated RTL implements) plus a fixed-priority
+arbiter for tests, behind one interface.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional, Sequence
+
+
+class Arbiter:
+    """Interface: pick one winner among requesters."""
+
+    def grant(self, requesters: Sequence[Hashable]) -> Optional[Hashable]:
+        raise NotImplementedError
+
+
+class FixedPriorityArbiter(Arbiter):
+    """Always grants the lowest-index requester (unfair; test baseline)."""
+
+    def grant(self, requesters: Sequence[Hashable]) -> Optional[Hashable]:
+        if not requesters:
+            return None
+        return requesters[0]
+
+
+class RoundRobinArbiter(Arbiter):
+    """Round-robin over a fixed client list.
+
+    Clients are registered up front (e.g. the (input port, VC) pairs of a
+    router); ``grant`` picks the first requester after the previous winner,
+    giving each client a fair share under persistent contention — which is
+    what serialises the red and blue flows of Fig 7 at router 9's East
+    output.
+    """
+
+    def __init__(self, clients: Sequence[Hashable]):
+        if not clients:
+            raise ValueError("round-robin arbiter needs at least one client")
+        self._clients: List[Hashable] = list(clients)
+        self._index = {c: i for i, c in enumerate(self._clients)}
+        if len(self._index) != len(self._clients):
+            raise ValueError("duplicate arbiter clients")
+        self._last = len(self._clients) - 1
+
+    @property
+    def clients(self) -> List[Hashable]:
+        return list(self._clients)
+
+    def grant(self, requesters: Sequence[Hashable]) -> Optional[Hashable]:
+        if not requesters:
+            return None
+        requesting = set(requesters)
+        unknown = requesting.difference(self._index)
+        if unknown:
+            raise ValueError("unregistered requesters: %r" % sorted(map(str, unknown)))
+        n = len(self._clients)
+        for offset in range(1, n + 1):
+            candidate = self._clients[(self._last + offset) % n]
+            if candidate in requesting:
+                self._last = self._index[candidate]
+                return candidate
+        return None

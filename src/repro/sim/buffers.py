@@ -1,0 +1,143 @@
+"""Virtual-channel input buffers and free-VC tracking queues.
+
+Flow control is virtual cut-through (paper §IV): a VC is allocated to a
+whole packet, the VC depth (10 flits) always covers a full packet (8 flits),
+and the upstream segment start keeps a queue of free VC ids for the segment
+endpoint.  When the tail flit leaves a VC, the VC id travels back on the
+reverse credit mesh and is re-enqueued at the segment start.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Deque, List, Optional
+
+from repro.sim.packet import Flit
+
+
+class VirtualChannel:
+    """One FIFO virtual channel of an input port."""
+
+    def __init__(self, vc_id: int, depth: int):
+        self.vc_id = vc_id
+        self.depth = depth
+        self._fifo: Deque[Flit] = collections.deque()
+        #: Cycle at which the oldest flit becomes eligible for switch
+        #: allocation (arrival + 1 cycle of buffer write + 1 cycle to the
+        #: SA stage).
+        self._eligible: Deque[int] = collections.deque()
+        #: True while a packet occupies this VC (from head write until the
+        #: tail is read out).
+        self.busy = False
+
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+    @property
+    def empty(self) -> bool:
+        return not self._fifo
+
+    @property
+    def full(self) -> bool:
+        return len(self._fifo) >= self.depth
+
+    def write(self, flit: Flit, arrival_cycle: int) -> None:
+        """Buffer-write stage: store an arriving flit.
+
+        A flit arriving at the end of ``arrival_cycle`` is written during
+        ``arrival_cycle + 1`` and may arbitrate from ``arrival_cycle + 2``.
+        """
+        if self.full:
+            raise OverflowError(
+                "VC %d overflow: virtual cut-through guarantees violated"
+                % self.vc_id
+            )
+        if flit.is_head:
+            if self.busy:
+                raise RuntimeError(
+                    "head flit written to busy VC %d" % self.vc_id
+                )
+            self.busy = True
+        flit.vc = self.vc_id
+        self._fifo.append(flit)
+        self._eligible.append(arrival_cycle + 2)
+
+    def front(self) -> Optional[Flit]:
+        return self._fifo[0] if self._fifo else None
+
+    def front_eligible(self, cycle: int) -> bool:
+        """True if the oldest flit has cleared the BW stage by ``cycle``."""
+        return bool(self._eligible) and self._eligible[0] <= cycle
+
+    def read(self) -> Flit:
+        """Switch-traversal stage: pop the oldest flit."""
+        if not self._fifo:
+            raise IndexError("read from empty VC %d" % self.vc_id)
+        self._eligible.popleft()
+        flit = self._fifo.popleft()
+        if flit.is_tail:
+            self.busy = False
+        return flit
+
+
+class InputBuffer:
+    """The VC buffers of one router input port."""
+
+    def __init__(self, num_vcs: int, depth: int):
+        if num_vcs < 1:
+            raise ValueError("need at least one VC")
+        self.vcs: List[VirtualChannel] = [
+            VirtualChannel(v, depth) for v in range(num_vcs)
+        ]
+
+    def vc(self, vc_id: int) -> VirtualChannel:
+        return self.vcs[vc_id]
+
+    @property
+    def empty(self) -> bool:
+        return all(vc.empty for vc in self.vcs)
+
+    def occupancy(self) -> int:
+        """Total buffered flits across VCs (for power/stats)."""
+        return sum(len(vc) for vc in self.vcs)
+
+
+class FreeVcQueue:
+    """Free-VC ids available at the endpoint of a segment.
+
+    Lives at the segment start (a router output port, or the NIC for the
+    injection segment).  Under SMART this queue "might actually be tracking
+    the VCs at an input port of a router multiple hops away" (§IV).
+    Credits become usable only after the reverse-mesh credit latency, so
+    returns are timestamped.
+    """
+
+    def __init__(self, num_vcs: int):
+        self._ready: Deque[int] = collections.deque(range(num_vcs))
+        self._pending: Deque[tuple] = collections.deque()  # (usable_cycle, vc)
+        self.num_vcs = num_vcs
+
+    def _promote(self, cycle: int) -> None:
+        while self._pending and self._pending[0][0] <= cycle:
+            self._ready.append(self._pending.popleft()[1])
+
+    def available(self, cycle: int) -> bool:
+        self._promote(cycle)
+        return bool(self._ready)
+
+    def acquire(self, cycle: int) -> int:
+        """Dequeue a free VC id for a departing head flit."""
+        self._promote(cycle)
+        if not self._ready:
+            raise IndexError("no free VC available at cycle %d" % cycle)
+        return self._ready.popleft()
+
+    def release(self, vc_id: int, usable_cycle: int) -> None:
+        """Re-enqueue a VC id delivered by a returning credit."""
+        if not 0 <= vc_id < self.num_vcs:
+            raise ValueError("credit for unknown VC %d" % vc_id)
+        self._pending.append((usable_cycle, vc_id))
+
+    def outstanding(self) -> int:
+        """VCs currently held by in-flight packets."""
+        return self.num_vcs - len(self._ready) - len(self._pending)

@@ -1,0 +1,114 @@
+"""Traffic flows and their static source routes.
+
+A flow is one edge of a mapped application task graph: a (source core,
+destination core) pair with a bandwidth requirement.  Routes are static
+(computed offline by the mapping flow, §IV Routing) and expressed as the
+sequence of output ports taken at each router along the path, ending with
+``Port.CORE`` at the destination router.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+from repro.sim.topology import Mesh, Port
+
+
+@dataclasses.dataclass(frozen=True)
+class Flow:
+    """A mapped communication flow with its preset route.
+
+    Attributes:
+        flow_id: Unique id within a flow set.
+        src: Source node (core/NIC) id.
+        dst: Destination node id.
+        bandwidth_bps: Required bandwidth in bytes per second.
+        route: Output port taken at each router from the source router to
+            the destination router; the final entry must be ``Port.CORE``.
+        name: Optional human-readable label (e.g. "iqzz->idct").
+    """
+
+    flow_id: int
+    src: int
+    dst: int
+    bandwidth_bps: float
+    route: Tuple[Port, ...]
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValueError("flow %d is a self-loop at node %d" % (self.flow_id, self.src))
+        if self.bandwidth_bps < 0:
+            raise ValueError("flow %d has negative bandwidth" % self.flow_id)
+        if not self.route:
+            raise ValueError("flow %d has an empty route" % self.flow_id)
+        if self.route[-1] is not Port.CORE:
+            raise ValueError("flow %d route must end with CORE (ejection)" % self.flow_id)
+        if any(p is Port.CORE for p in self.route[:-1]):
+            raise ValueError("flow %d route ejects before the last router" % self.flow_id)
+
+    def routers(self, mesh: Mesh) -> List[int]:
+        """Routers visited, source router first, destination router last."""
+        nodes = [self.src]
+        for port in self.route[:-1]:
+            nxt = mesh.neighbor(nodes[-1], port)
+            if nxt is None:
+                raise ValueError(
+                    "flow %d route leaves the mesh at node %d going %s"
+                    % (self.flow_id, nodes[-1], port.name)
+                )
+            nodes.append(nxt)
+        if nodes[-1] != self.dst:
+            raise ValueError(
+                "flow %d route ends at node %d, not destination %d"
+                % (self.flow_id, nodes[-1], self.dst)
+            )
+        return nodes
+
+    def hops(self, mesh: Mesh) -> int:
+        """Router-to-router links traversed."""
+        return len(self.routers(mesh)) - 1
+
+    def port_traversals(self, mesh: Mesh) -> List[Tuple[int, Port, Port]]:
+        """(router, in_port, out_port) triples along the route.
+
+        The source router's in-port is CORE (injection from the NIC).
+        """
+        nodes = self.routers(mesh)
+        triples = []
+        in_port = Port.CORE
+        for node, out_port in zip(nodes, self.route):
+            triples.append((node, in_port, out_port))
+            in_port = out_port.opposite
+        return triples
+
+    def links(self, mesh: Mesh) -> List[Tuple[int, int]]:
+        """Directed router-to-router links used by this flow."""
+        nodes = self.routers(mesh)
+        return list(zip(nodes, nodes[1:]))
+
+
+def validate_flow_set(flows: List[Flow], mesh: Mesh) -> None:
+    """Check ids are unique and every route is mesh-legal."""
+    seen = set()
+    for flow in flows:
+        if flow.flow_id in seen:
+            raise ValueError("duplicate flow id %d" % flow.flow_id)
+        seen.add(flow.flow_id)
+        flow.routers(mesh)  # raises on malformed routes
+
+
+def xy_route(mesh: Mesh, src: int, dst: int) -> Tuple[Port, ...]:
+    """Dimension-ordered (X then Y) minimal route; always deadlock-free."""
+    if src == dst:
+        raise ValueError("no route needed from a node to itself")
+    sx, sy = mesh.coords(src)
+    dx, dy = mesh.coords(dst)
+    ports: List[Port] = []
+    step_x = Port.EAST if dx > sx else Port.WEST
+    ports.extend([step_x] * abs(dx - sx))
+    step_y = Port.NORTH if dy > sy else Port.SOUTH
+    ports.extend([step_y] * abs(dy - sy))
+    ports.append(Port.CORE)
+    return tuple(ports)

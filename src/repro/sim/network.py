@@ -1,0 +1,483 @@
+"""Cycle-accurate simulator for SMART and baseline-mesh NoCs.
+
+One ``Network`` simulates any configuration expressible as (a) a per-router
+split of input ports into *buffered* (stop) and *bypassed* ports, and (b) a
+``SegmentMap`` describing where flits travel in a single ST(+link) cycle.
+The baseline mesh is simply the configuration in which every used input
+port is buffered and every segment is one hop with an extra link cycle.
+
+Pipeline timing (paper Fig 6/7):
+
+* A flit arriving at a buffered input at the end of cycle T is written
+  during T+1 (BW), arbitrates from T+2 (SA) and, if granted, traverses the
+  crossbar plus its entire outgoing segment during T+3 (ST+link).
+* A NIC injects during cycle c; on a fully bypassed path the flit reaches
+  the destination NIC at the end of that same cycle c — the single-cycle
+  NIC-to-NIC traversal of Fig 7.
+* Switch allocation is per-packet (virtual cut-through): a granted output
+  port streams the packet's flits on consecutive cycles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+import collections
+
+from repro.config import NocConfig
+from repro.sim.arbiter import RoundRobinArbiter
+from repro.sim.buffers import FreeVcQueue, InputBuffer
+from repro.sim.flow import Flow, validate_flow_set
+from repro.sim.packet import Flit, Packet
+from repro.sim.segments import (
+    BufferEnd,
+    NicEnd,
+    NicStart,
+    OutputStart,
+    Segment,
+    SegmentMap,
+)
+from repro.sim.stats import EventCounters, SimResult, StatsCollector
+from repro.sim.topology import Mesh, Port
+from repro.sim.traffic import TrafficModel
+
+
+@dataclasses.dataclass(frozen=True)
+class RouterConfig:
+    """Which ports of one router are stops vs. preset bypasses."""
+
+    node: int
+    buffered_inputs: Tuple[Port, ...]
+    bypassed_inputs: Tuple[Port, ...]
+    dynamic_outputs: Tuple[Port, ...]
+
+    def __post_init__(self) -> None:
+        overlap = set(self.buffered_inputs) & set(self.bypassed_inputs)
+        if overlap:
+            raise ValueError(
+                "router %d ports both buffered and bypassed: %r"
+                % (self.node, sorted(p.name for p in overlap))
+            )
+
+
+@dataclasses.dataclass
+class _Reservation:
+    """A switch-allocated output port streaming one packet."""
+
+    out_port: Port
+    in_port: Port
+    vc_id: int
+    packet: Packet
+    segment: Segment
+    assigned_vc: int
+    flits_left: int
+    next_send_cycle: int
+
+
+class _Router:
+    """Runtime state of one router."""
+
+    def __init__(self, config: RouterConfig, cfg: NocConfig):
+        self.node = config.node
+        self.config = config
+        self.buffers: Dict[Port, InputBuffer] = {
+            port: InputBuffer(cfg.vcs_per_port, cfg.vc_depth_flits)
+            for port in config.buffered_inputs
+        }
+        clients = [
+            (port, vc)
+            for port in config.buffered_inputs
+            for vc in range(cfg.vcs_per_port)
+        ]
+        self.arbiters: Dict[Port, RoundRobinArbiter] = {}
+        if clients:
+            for out_port in config.dynamic_outputs:
+                self.arbiters[out_port] = RoundRobinArbiter(clients)
+        self.reservations: Dict[Port, _Reservation] = {}
+        self.input_streaming: Dict[Port, bool] = {
+            port: False for port in config.buffered_inputs
+        }
+
+    @property
+    def active(self) -> bool:
+        """True if anything is buffered or streaming (clock not gated)."""
+        if self.reservations:
+            return True
+        return any(not buf.empty for buf in self.buffers.values())
+
+
+class _NicSink:
+    """Receive side of a NIC: consumes flits, frees sink VCs."""
+
+    def __init__(self, node: int, num_vcs: int):
+        self.node = node
+        self.num_vcs = num_vcs
+        self.flits_received = 0
+        self.packets_received = 0
+
+
+class _NicSource:
+    """Send side of a NIC: per-flow packet queues and one injection port."""
+
+    def __init__(self, node: int, flows: Sequence[Flow]):
+        self.node = node
+        self.flows: List[Flow] = list(flows)
+        self.queues: Dict[int, Deque[Packet]] = {
+            flow.flow_id: collections.deque() for flow in self.flows
+        }
+        self.rr = RoundRobinArbiter([f.flow_id for f in self.flows]) if self.flows else None
+        #: (packet, remaining flit list, assigned downstream VC)
+        self.stream: Optional[Tuple[Packet, List[Flit], int]] = None
+
+    def queued_packets(self) -> int:
+        return sum(len(q) for q in self.queues.values())
+
+
+class Network:
+    """A configured NoC instance ready to simulate."""
+
+    def __init__(
+        self,
+        cfg: NocConfig,
+        mesh: Mesh,
+        flows: Sequence[Flow],
+        router_configs: Dict[int, RouterConfig],
+        segment_map: SegmentMap,
+        traffic: TrafficModel,
+    ):
+        validate_flow_set(list(flows), mesh)
+        self.cfg = cfg
+        self.mesh = mesh
+        self.flows = list(flows)
+        self.flow_by_id = {f.flow_id: f for f in self.flows}
+        self.segments = segment_map
+        self.traffic = traffic
+        self.counters = EventCounters()
+        self.stats = StatsCollector()
+        self.cycle = 0
+
+        self.routers: Dict[int, _Router] = {
+            node: _Router(rc, cfg) for node, rc in router_configs.items()
+        }
+        for node in mesh.nodes():
+            if node not in self.routers:
+                self.routers[node] = _Router(
+                    RouterConfig(node, (), (), ()), cfg
+                )
+
+        #: Per-flow out-port at each router it stops at or traverses.
+        self._flow_out: Dict[int, Dict[int, Port]] = {}
+        self._flow_route: Dict[int, Tuple[Tuple[int, Port], ...]] = {}
+        for flow in self.flows:
+            traversals = flow.port_traversals(mesh)
+            self._flow_out[flow.flow_id] = {
+                node: out for node, _inp, out in traversals
+            }
+            self._flow_route[flow.flow_id] = tuple(
+                (node, out) for node, _inp, out in traversals
+            )
+
+        # Free-VC queues, one per segment start.
+        self.free_vcs: Dict[object, FreeVcQueue] = {}
+        for segment in segment_map.segments():
+            self.free_vcs[segment.start] = FreeVcQueue(cfg.vcs_per_port)
+
+        self.nic_sources: Dict[int, _NicSource] = {}
+        for node in mesh.nodes():
+            node_flows = [f for f in self.flows if f.src == node]
+            if node_flows:
+                if not segment_map.has_start(NicStart(node)):
+                    raise ValueError(
+                        "node %d sources flows but has no injection segment"
+                        % node
+                    )
+                self.nic_sources[node] = _NicSource(node, node_flows)
+        self.nic_sinks: Dict[int, _NicSink] = {
+            node: _NicSink(node, cfg.vcs_per_port)
+            for node in mesh.nodes()
+            if any(f.dst == node for f in self.flows)
+        }
+        self._validate_against_segments()
+
+    # ------------------------------------------------------------------
+    # Construction-time validation
+    # ------------------------------------------------------------------
+
+    def _validate_against_segments(self) -> None:
+        """Every flow must decompose into a chain of known segments."""
+        for flow in self.flows:
+            for segment in self.flow_segments(flow):
+                if segment.hops > self.cfg.hpc_max:
+                    raise ValueError(
+                        "segment %r spans %d hops > HPC_max=%d"
+                        % (segment, segment.hops, self.cfg.hpc_max)
+                    )
+
+    def flow_segments(self, flow: Flow) -> List[Segment]:
+        """The segment chain a packet of ``flow`` traverses."""
+        chain: List[Segment] = []
+        segment = self.segments.from_start(NicStart(flow.src))
+        chain.append(segment)
+        guard = 0
+        while not isinstance(segment.end, NicEnd):
+            end = segment.end
+            out = self._flow_out[flow.flow_id].get(end.node)
+            if out is None:
+                raise ValueError(
+                    "flow %d stops at router %d which is not on its route"
+                    % (flow.flow_id, end.node)
+                )
+            segment = self.segments.from_start(OutputStart(end.node, out))
+            chain.append(segment)
+            guard += 1
+            if guard > self.mesh.num_nodes * len(Port):
+                raise RuntimeError("segment chain for flow %d does not terminate" % flow.flow_id)
+        if segment.end.node != flow.dst:
+            raise ValueError(
+                "flow %d segments deliver to node %d, not destination %d"
+                % (flow.flow_id, segment.end.node, flow.dst)
+            )
+        return chain
+
+    def stops_for_flow(self, flow: Flow) -> List[int]:
+        """Routers where packets of ``flow`` are latched and arbitrated."""
+        return [
+            seg.end.node
+            for seg in self.flow_segments(flow)
+            if isinstance(seg.end, BufferEnd)
+        ]
+
+    # ------------------------------------------------------------------
+    # Cycle execution
+    # ------------------------------------------------------------------
+
+    def step(self) -> None:
+        """Advance one clock cycle."""
+        cycle = self.cycle
+        self._generate(cycle)
+        self._switch_traversal(cycle)
+        self._nic_injection(cycle)
+        self._switch_allocation(cycle)
+        self._clock_accounting()
+        self.counters.cycles += 1
+        self.cycle += 1
+
+    def _generate(self, cycle: int) -> None:
+        for nic in self.nic_sources.values():
+            for flow in nic.flows:
+                for _ in range(self.traffic.packets_at(flow, cycle)):
+                    packet = Packet(
+                        flow_id=flow.flow_id,
+                        src=flow.src,
+                        dst=flow.dst,
+                        size_flits=self.cfg.flits_per_packet,
+                        create_cycle=cycle,
+                        route=self._flow_route[flow.flow_id],
+                    )
+                    nic.queues[flow.flow_id].append(packet)
+                    self.stats.on_create(packet)
+
+    def _switch_traversal(self, cycle: int) -> None:
+        """ST stage: every active reservation sends one flit."""
+        for router in self.routers.values():
+            finished: List[Port] = []
+            for out_port, res in router.reservations.items():
+                if res.next_send_cycle > cycle:
+                    continue
+                buffer = router.buffers[res.in_port]
+                vc = buffer.vc(res.vc_id)
+                flit = vc.front()
+                if (
+                    flit is None
+                    or flit.packet is not res.packet
+                    or not vc.front_eligible(cycle)
+                ):
+                    # Virtual cut-through streams packets contiguously, so
+                    # this only triggers in pathological configurations;
+                    # idle the slot rather than corrupt the stream.
+                    continue
+                vc.read()
+                self.counters.buffer_reads += 1
+                flit.vc = res.assigned_vc
+                self._deliver(flit, res.segment, cycle)
+                res.flits_left -= 1
+                res.next_send_cycle = cycle + 1
+                if flit.is_tail:
+                    self._return_credit(
+                        BufferEnd(router.node, res.in_port), res.vc_id, cycle
+                    )
+                    router.input_streaming[res.in_port] = False
+                    finished.append(out_port)
+            for out_port in finished:
+                del router.reservations[out_port]
+
+    def _nic_injection(self, cycle: int) -> None:
+        for nic in self.nic_sources.values():
+            if nic.stream is not None:
+                self._nic_send_next(nic, cycle)
+                continue
+            if nic.queued_packets() == 0:
+                continue
+            start = NicStart(nic.node)
+            free_queue = self.free_vcs[start]
+            if not free_queue.available(cycle):
+                continue
+            requesters = [
+                fid for fid, queue in nic.queues.items() if queue
+            ]
+            winner = nic.rr.grant(requesters)
+            if winner is None:
+                continue
+            packet = nic.queues[winner].popleft()
+            vc_id = free_queue.acquire(cycle)
+            packet.inject_cycle = cycle
+            nic.stream = (packet, packet.flits(), vc_id)
+            self._nic_send_next(nic, cycle)
+
+    def _nic_send_next(self, nic: _NicSource, cycle: int) -> None:
+        packet, flits, vc_id = nic.stream
+        flit = flits.pop(0)
+        flit.vc = vc_id
+        segment = self.segments.from_start(NicStart(nic.node))
+        self._deliver(flit, segment, cycle)
+        if not flits:
+            nic.stream = None
+
+    def _switch_allocation(self, cycle: int) -> None:
+        """SA stage: per-packet output-port arbitration at stop routers."""
+        for router in self.routers.values():
+            if not router.buffers:
+                continue
+            for out_port in router.config.dynamic_outputs:
+                if out_port in router.reservations:
+                    continue
+                start = OutputStart(router.node, out_port)
+                free_queue = self.free_vcs.get(start)
+                if free_queue is None or not free_queue.available(cycle):
+                    continue
+                requests = []
+                for in_port, buffer in router.buffers.items():
+                    if router.input_streaming[in_port]:
+                        continue
+                    for vc in buffer.vcs:
+                        flit = vc.front()
+                        if flit is None or not flit.is_head:
+                            continue
+                        if not vc.front_eligible(cycle):
+                            continue
+                        wanted = self._flow_out[flit.packet.flow_id][router.node]
+                        if wanted is out_port:
+                            requests.append((in_port, vc.vc_id))
+                if not requests:
+                    continue
+                self.counters.sa_requests += len(requests)
+                winner = router.arbiters[out_port].grant(requests)
+                if winner is None:
+                    continue
+                self.counters.sa_grants += 1
+                in_port, vc_id = winner
+                head = router.buffers[in_port].vc(vc_id).front()
+                assigned_vc = free_queue.acquire(cycle)
+                router.reservations[out_port] = _Reservation(
+                    out_port=out_port,
+                    in_port=in_port,
+                    vc_id=vc_id,
+                    packet=head.packet,
+                    segment=self.segments.from_start(start),
+                    assigned_vc=assigned_vc,
+                    flits_left=head.packet.size_flits,
+                    next_send_cycle=cycle + 1,
+                )
+                router.input_streaming[in_port] = True
+
+    def _deliver(self, flit: Flit, segment: Segment, send_cycle: int) -> None:
+        """Move a flit across a segment; record arrival and power events."""
+        arrival = send_cycle + segment.extra_cycles
+        self.counters.crossbar_traversals += segment.crossbar_traversals
+        self.counters.link_flit_mm += segment.length_mm(self.cfg.mm_per_hop)
+        self.counters.pipeline_latches += 1
+        end = segment.end
+        if isinstance(end, BufferEnd):
+            router = self.routers[end.node]
+            buffer = router.buffers.get(end.port)
+            if buffer is None:
+                raise RuntimeError(
+                    "segment %r delivers to un-buffered port" % (segment,)
+                )
+            buffer.vc(flit.vc).write(flit, arrival)
+            self.counters.buffer_writes += 1
+        else:
+            sink = self.nic_sinks[end.node]
+            sink.flits_received += 1
+            packet = flit.packet
+            if flit.is_head:
+                packet.head_arrive_cycle = arrival
+            if flit.is_tail:
+                packet.tail_arrive_cycle = arrival
+                sink.packets_received += 1
+                self.stats.on_deliver(packet)
+                self._return_credit(end, flit.vc, arrival)
+
+    def _return_credit(self, end, vc_id: int, freed_cycle: int) -> None:
+        """Send a credit back along the reverse credit mesh."""
+        segment = self.segments.ending_at(end)
+        usable = freed_cycle + 1 + self.cfg.credit_latency
+        self.free_vcs[segment.start].release(vc_id, usable)
+        self.counters.credit_events += 1
+        self.counters.credit_crossbar_traversals += segment.crossbar_traversals
+        self.counters.credit_mm += segment.length_mm(self.cfg.mm_per_hop)
+
+    def _clock_accounting(self) -> None:
+        for router in self.routers.values():
+            self.counters.total_router_cycles += 1
+            if router.active:
+                self.counters.clock_router_cycles += 1
+                self.counters.clock_port_cycles += len(router.buffers)
+
+    # ------------------------------------------------------------------
+    # Runs
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        warmup_cycles: int = 1000,
+        measure_cycles: int = 20000,
+        drain_limit: int = 100000,
+    ) -> SimResult:
+        """Warm up, measure, then drain measured packets.
+
+        Traffic keeps flowing during the drain so contention stays
+        representative; statistics and power counters cover only packets
+        created (events occurring) in the measurement window.
+        """
+        for _ in range(warmup_cycles):
+            self.step()
+        baseline = self.counters.snapshot()
+        self.stats.measuring = True
+        for _ in range(measure_cycles):
+            self.step()
+        self.stats.measuring = False
+        window_counters = self.counters.delta(baseline)
+        drained = True
+        drain_cycles = 0
+        while self.stats.outstanding_measured > 0:
+            if drain_cycles >= drain_limit:
+                drained = False
+                break
+            self.step()
+            drain_cycles += 1
+        return SimResult(
+            summary=self.stats.summary(),
+            per_flow=self.stats.per_flow_summary(),
+            counters=window_counters,
+            measured_cycles=measure_cycles,
+            total_cycles=self.cycle,
+            drained=drained,
+            undelivered_measured=self.stats.outstanding_measured,
+        )
+
+    def run_cycles(self, cycles: int) -> None:
+        """Advance a fixed number of cycles (used by scripted tests)."""
+        for _ in range(cycles):
+            self.step()

@@ -1,0 +1,147 @@
+"""Packets, flits and credits.
+
+A packet is split into flits sized to the link width (paper: 256-bit packets
+as eight 32-bit flits).  The head flit carries the source route; body and
+tail flits follow it through whatever path the head reserved (virtual
+cut-through).  Credits carry a VC id back along the reverse credit mesh.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import itertools
+from typing import List, Optional, Tuple
+
+from repro.sim.topology import Port
+
+
+class FlitType(enum.Enum):
+    HEAD = "head"
+    BODY = "body"
+    TAIL = "tail"
+    #: Single-flit packets are simultaneously head and tail.
+    HEAD_TAIL = "head_tail"
+
+    @property
+    def is_head(self) -> bool:
+        return self in (FlitType.HEAD, FlitType.HEAD_TAIL)
+
+    @property
+    def is_tail(self) -> bool:
+        return self in (FlitType.TAIL, FlitType.HEAD_TAIL)
+
+
+_packet_ids = itertools.count()
+
+
+@dataclasses.dataclass
+class Packet:
+    """One network packet of a flow.
+
+    Timestamps are filled in by the simulator:
+      * ``create_cycle`` — cycle the packet entered the source NIC queue.
+      * ``inject_cycle`` — cycle the head flit left the NIC.
+      * ``head_arrive_cycle`` / ``tail_arrive_cycle`` — ejection times.
+    """
+
+    flow_id: int
+    src: int
+    dst: int
+    size_flits: int
+    create_cycle: int
+    route: Tuple[Tuple[int, Port], ...] = ()
+    pid: int = dataclasses.field(default_factory=lambda: next(_packet_ids))
+    inject_cycle: Optional[int] = None
+    head_arrive_cycle: Optional[int] = None
+    tail_arrive_cycle: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.size_flits < 1:
+            raise ValueError("packets must have at least one flit")
+
+    def flits(self) -> List["Flit"]:
+        """Materialise this packet's flit sequence."""
+        if self.size_flits == 1:
+            return [Flit(self, FlitType.HEAD_TAIL, 0)]
+        result = [Flit(self, FlitType.HEAD, 0)]
+        result.extend(
+            Flit(self, FlitType.BODY, i) for i in range(1, self.size_flits - 1)
+        )
+        result.append(Flit(self, FlitType.TAIL, self.size_flits - 1))
+        return result
+
+    @property
+    def delivered(self) -> bool:
+        return self.tail_arrive_cycle is not None
+
+    @property
+    def head_latency(self) -> int:
+        """Cycles from NIC-queue entry to head ejection (inclusive).
+
+        A packet created at the start of cycle c whose head is ejected at
+        the end of cycle c has latency 1, matching Fig 7's single-cycle
+        NIC-to-NIC traversals.
+        """
+        if self.head_arrive_cycle is None:
+            raise ValueError("packet %d head not yet delivered" % self.pid)
+        return self.head_arrive_cycle - self.create_cycle + 1
+
+    @property
+    def packet_latency(self) -> int:
+        """Cycles from NIC-queue entry to tail ejection (inclusive)."""
+        if self.tail_arrive_cycle is None:
+            raise ValueError("packet %d not yet delivered" % self.pid)
+        return self.tail_arrive_cycle - self.create_cycle + 1
+
+    @property
+    def network_latency(self) -> int:
+        """Cycles spent in the network proper (injection to head ejection)."""
+        if self.head_arrive_cycle is None or self.inject_cycle is None:
+            raise ValueError("packet %d not yet delivered" % self.pid)
+        return self.head_arrive_cycle - self.inject_cycle + 1
+
+    def __repr__(self) -> str:
+        return "Packet(pid=%d, flow=%d, %d->%d)" % (
+            self.pid,
+            self.flow_id,
+            self.src,
+            self.dst,
+        )
+
+
+@dataclasses.dataclass
+class Flit:
+    """A link-width slice of a packet."""
+
+    packet: Packet
+    ftype: FlitType
+    seq: int
+    #: VC assigned at the current/last segment endpoint.
+    vc: Optional[int] = None
+
+    @property
+    def is_head(self) -> bool:
+        return self.ftype.is_head
+
+    @property
+    def is_tail(self) -> bool:
+        return self.ftype.is_tail
+
+    def __repr__(self) -> str:
+        return "Flit(%s #%d of %r, vc=%r)" % (
+            self.ftype.value,
+            self.seq,
+            self.packet,
+            self.vc,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class Credit:
+    """A freed-VC notification travelling the reverse credit mesh."""
+
+    vc: int
+
+    def __repr__(self) -> str:
+        return "Credit(vc=%d)" % self.vc

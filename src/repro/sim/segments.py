@@ -1,0 +1,139 @@
+"""Traversal segments: the unit of single-cycle movement in the network.
+
+A *segment* is a maximal preset bypass chain: it starts where flits are
+injected or arbitrated (a NIC, or a switch-allocated router output port) and
+ends where flits are next latched (a buffered router input port, or the
+destination NIC).  Under SMART a segment may span many routers and links —
+all traversed combinationally in the sender's ST+link cycle.  In the
+baseline mesh every segment is a single hop.
+
+The simulator moves flits segment-at-a-time; intermediate bypassed crossbars
+and links only contribute power events, exactly mirroring the hardware where
+bypassed routers never latch the flit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Tuple, Union
+
+from repro.sim.topology import Port
+
+
+@dataclasses.dataclass(frozen=True)
+class NicStart:
+    """Segment start at a source NIC (injection into C-in)."""
+
+    node: int
+
+
+@dataclasses.dataclass(frozen=True)
+class OutputStart:
+    """Segment start at a switch-allocated router output port."""
+
+    node: int
+    port: Port
+
+
+@dataclasses.dataclass(frozen=True)
+class BufferEnd:
+    """Segment end at a buffered router input port (a 'stop')."""
+
+    node: int
+    port: Port
+
+
+@dataclasses.dataclass(frozen=True)
+class NicEnd:
+    """Segment end at the destination NIC (ejection)."""
+
+    node: int
+
+
+SegmentStart = Union[NicStart, OutputStart]
+SegmentEnd = Union[BufferEnd, NicEnd]
+
+
+@dataclasses.dataclass(frozen=True)
+class Segment:
+    """One maximal bypass chain.
+
+    Attributes:
+        start: Where flits enter the segment.
+        end: Where flits are latched next.
+        hops: Router-to-router links traversed (= millimetres at 1 mm/hop).
+        routers_crossed: Crossbars traversed combinationally, including the
+            starting router's own crossbar for router-output starts.
+        extra_cycles: Additional pipeline cycles for the traversal beyond
+            the sender's ST cycle.  0 for SMART (crossbar+link share one
+            cycle); 1 for the baseline mesh's separate link stage on
+            router-to-router hops.
+    """
+
+    start: SegmentStart
+    end: SegmentEnd
+    hops: int
+    routers_crossed: Tuple[int, ...]
+    extra_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        if self.hops < 0 or self.extra_cycles < 0:
+            raise ValueError("segment hops/extra_cycles must be non-negative")
+
+    @property
+    def crossbar_traversals(self) -> int:
+        """Crossbars a flit crosses on this segment (power events)."""
+        return len(self.routers_crossed)
+
+    def length_mm(self, mm_per_hop: float) -> float:
+        return self.hops * mm_per_hop
+
+
+class SegmentMap:
+    """All segments of a configured network, indexed by start and by end.
+
+    Each buffered input port / destination NIC has exactly one upstream
+    segment (its input link has a single driver), so the reverse index is
+    one-to-one; it is what routes credits back to the free-VC queue at the
+    segment start (§IV Flow Control).
+    """
+
+    def __init__(self) -> None:
+        self._by_start: Dict[SegmentStart, Segment] = {}
+        self._by_end: Dict[SegmentEnd, Segment] = {}
+
+    def add(self, segment: Segment) -> None:
+        if segment.start in self._by_start:
+            raise ValueError("duplicate segment start %r" % (segment.start,))
+        if segment.end in self._by_end:
+            raise ValueError(
+                "two segments end at %r; an input port has a single driver"
+                % (segment.end,)
+            )
+        self._by_start[segment.start] = segment
+        self._by_end[segment.end] = segment
+
+    def from_start(self, start: SegmentStart) -> Segment:
+        try:
+            return self._by_start[start]
+        except KeyError:
+            raise KeyError("no segment starts at %r" % (start,)) from None
+
+    def ending_at(self, end: SegmentEnd) -> Segment:
+        try:
+            return self._by_end[end]
+        except KeyError:
+            raise KeyError("no segment ends at %r" % (end,)) from None
+
+    def has_start(self, start: SegmentStart) -> bool:
+        return start in self._by_start
+
+    def segments(self) -> Tuple[Segment, ...]:
+        return tuple(self._by_start.values())
+
+    def __len__(self) -> int:
+        return len(self._by_start)
+
+    def max_hops(self) -> int:
+        """Longest single-cycle chain (must be <= HPC_max)."""
+        return max((s.hops for s in self._by_start.values()), default=0)

@@ -1,0 +1,170 @@
+"""Latency statistics and power-relevant event counters."""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import statistics
+from typing import Dict, List, Optional
+
+from repro.sim.packet import Packet
+
+
+@dataclasses.dataclass
+class EventCounters:
+    """Activity counts consumed by the power model (Fig 10b).
+
+    All counts are per-flit events unless noted.  ``link_flit_mm`` and
+    ``credit_mm`` accumulate millimetres of wire driven (one hop = 1 mm).
+    """
+
+    buffer_writes: int = 0
+    buffer_reads: int = 0
+    sa_requests: int = 0
+    sa_grants: int = 0
+    crossbar_traversals: int = 0
+    pipeline_latches: int = 0
+    link_flit_mm: float = 0.0
+    credit_events: int = 0
+    credit_crossbar_traversals: int = 0
+    credit_mm: float = 0.0
+    #: Router-cycles in which the router clock was running (not gated).
+    clock_router_cycles: int = 0
+    #: Port-cycles of clocked (buffered, non-gated) ports.
+    clock_port_cycles: int = 0
+    #: Router-cycles elapsed in total (active or gated), for utilisation.
+    total_router_cycles: int = 0
+    cycles: int = 0
+
+    def snapshot(self) -> "EventCounters":
+        return dataclasses.replace(self)
+
+    def delta(self, earlier: "EventCounters") -> "EventCounters":
+        """Counts accumulated since ``earlier`` (a prior snapshot)."""
+        changes = {}
+        for field in dataclasses.fields(self):
+            changes[field.name] = getattr(self, field.name) - getattr(
+                earlier, field.name
+            )
+        return EventCounters(**changes)
+
+
+@dataclasses.dataclass
+class LatencySummary:
+    """Aggregate latency numbers over a set of delivered packets."""
+
+    count: int
+    mean_head_latency: float
+    mean_packet_latency: float
+    mean_network_latency: float
+    p95_head_latency: float
+    max_head_latency: int
+    min_head_latency: int
+
+    @staticmethod
+    def empty() -> "LatencySummary":
+        return LatencySummary(0, math.nan, math.nan, math.nan, math.nan, 0, 0)
+
+
+def _percentile(sorted_values: List[int], fraction: float) -> float:
+    if not sorted_values:
+        return math.nan
+    index = fraction * (len(sorted_values) - 1)
+    low = int(math.floor(index))
+    high = int(math.ceil(index))
+    if low == high:
+        return float(sorted_values[low])
+    weight = index - low
+    return sorted_values[low] * (1 - weight) + sorted_values[high] * weight
+
+
+class StatsCollector:
+    """Tracks created and delivered packets inside a measurement window."""
+
+    def __init__(self) -> None:
+        self._measured: Dict[int, Packet] = {}
+        self._delivered: List[Packet] = []
+        self.created_total = 0
+        self.delivered_total = 0
+        self.measuring = False
+
+    def on_create(self, packet: Packet) -> None:
+        self.created_total += 1
+        if self.measuring:
+            self._measured[packet.pid] = packet
+
+    def on_deliver(self, packet: Packet) -> None:
+        self.delivered_total += 1
+        if packet.pid in self._measured:
+            self._delivered.append(self._measured.pop(packet.pid))
+
+    @property
+    def outstanding_measured(self) -> int:
+        return len(self._measured)
+
+    @property
+    def measured_delivered(self) -> List[Packet]:
+        return list(self._delivered)
+
+    def summary(self) -> LatencySummary:
+        if not self._delivered:
+            return LatencySummary.empty()
+        heads = sorted(p.head_latency for p in self._delivered)
+        packets = [p.packet_latency for p in self._delivered]
+        networks = [p.network_latency for p in self._delivered]
+        return LatencySummary(
+            count=len(self._delivered),
+            mean_head_latency=statistics.fmean(heads),
+            mean_packet_latency=statistics.fmean(packets),
+            mean_network_latency=statistics.fmean(networks),
+            p95_head_latency=_percentile(heads, 0.95),
+            max_head_latency=heads[-1],
+            min_head_latency=heads[0],
+        )
+
+    def per_flow_summary(self) -> Dict[int, LatencySummary]:
+        by_flow: Dict[int, List[Packet]] = {}
+        for packet in self._delivered:
+            by_flow.setdefault(packet.flow_id, []).append(packet)
+        result = {}
+        for flow_id, packets in sorted(by_flow.items()):
+            heads = sorted(p.head_latency for p in packets)
+            result[flow_id] = LatencySummary(
+                count=len(packets),
+                mean_head_latency=statistics.fmean(heads),
+                mean_packet_latency=statistics.fmean(
+                    p.packet_latency for p in packets
+                ),
+                mean_network_latency=statistics.fmean(
+                    p.network_latency for p in packets
+                ),
+                p95_head_latency=_percentile(heads, 0.95),
+                max_head_latency=heads[-1],
+                min_head_latency=heads[0],
+            )
+        return result
+
+
+@dataclasses.dataclass
+class SimResult:
+    """Outcome of one simulation run."""
+
+    summary: LatencySummary
+    per_flow: Dict[int, LatencySummary]
+    counters: EventCounters
+    measured_cycles: int
+    total_cycles: int
+    drained: bool
+    undelivered_measured: int = 0
+
+    @property
+    def mean_latency(self) -> float:
+        """Headline 'average network latency' (head-flit, Fig 10a)."""
+        return self.summary.mean_head_latency
+
+
+def accepted_flits_per_cycle(result: SimResult, flits_per_packet: int) -> float:
+    """Delivered measured flits per measured cycle."""
+    if result.measured_cycles <= 0:
+        return 0.0
+    return result.summary.count * flits_per_packet / result.measured_cycles

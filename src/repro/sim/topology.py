@@ -1,0 +1,171 @@
+"""Mesh topology: node coordinates, ports, and neighbour arithmetic.
+
+The paper numbers tiles row-major with node 0 at the bottom-left (Fig 1):
+
+    12 13 14 15
+     8  9 10 11
+     4  5  6  7
+     0  1  2  3
+
+Router ports follow the paper's order East, South, West, North, Core
+(source-route bits at the source router "correspond to East, South, West and
+North output ports").  One hop equals ``mm_per_hop`` millimetres (1 mm by
+default, from place-and-route of a Freescale e200z7 core in 45 nm).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterator, List, Optional, Tuple
+
+#: Physical tile pitch assumed by the paper (1 hop = 1 mm).
+MM_PER_HOP = 1.0
+
+
+class Port(enum.IntEnum):
+    """Router port directions, in the paper's E/S/W/N/Core order."""
+
+    EAST = 0
+    SOUTH = 1
+    WEST = 2
+    NORTH = 3
+    CORE = 4
+
+    @property
+    def is_cardinal(self) -> bool:
+        """True for mesh directions, False for the local core port."""
+        return self is not Port.CORE
+
+    @property
+    def opposite(self) -> "Port":
+        """The port a flit leaving this direction arrives on."""
+        if self is Port.CORE:
+            return Port.CORE
+        return _OPPOSITE[self]
+
+
+_OPPOSITE = {
+    Port.EAST: Port.WEST,
+    Port.WEST: Port.EAST,
+    Port.NORTH: Port.SOUTH,
+    Port.SOUTH: Port.NORTH,
+}
+
+#: Unit (dx, dy) for each cardinal direction; north increases y.
+DIRECTION_VECTORS = {
+    Port.EAST: (1, 0),
+    Port.WEST: (-1, 0),
+    Port.NORTH: (0, 1),
+    Port.SOUTH: (0, -1),
+}
+
+CARDINALS = (Port.EAST, Port.SOUTH, Port.WEST, Port.NORTH)
+ALL_PORTS = tuple(Port)
+
+
+class Mesh:
+    """A width x height 2D mesh with the paper's node numbering."""
+
+    def __init__(self, width: int, height: int):
+        if width < 1 or height < 1:
+            raise ValueError("mesh dimensions must be positive")
+        self.width = width
+        self.height = height
+
+    @property
+    def num_nodes(self) -> int:
+        return self.width * self.height
+
+    def coords(self, node: int) -> Tuple[int, int]:
+        """Return (x, y) of a node id; node 0 is at (0, 0), bottom-left."""
+        self._check_node(node)
+        return node % self.width, node // self.width
+
+    def node_at(self, x: int, y: int) -> int:
+        """Return the node id at coordinates (x, y)."""
+        if not self.in_bounds(x, y):
+            raise ValueError("(%d, %d) outside %dx%d mesh" % (x, y, self.width, self.height))
+        return y * self.width + x
+
+    def in_bounds(self, x: int, y: int) -> bool:
+        return 0 <= x < self.width and 0 <= y < self.height
+
+    def neighbor(self, node: int, direction: Port) -> Optional[int]:
+        """Neighbour node id in ``direction``, or None at a mesh edge."""
+        if direction is Port.CORE:
+            return None
+        x, y = self.coords(node)
+        dx, dy = DIRECTION_VECTORS[direction]
+        nx, ny = x + dx, y + dy
+        if not self.in_bounds(nx, ny):
+            return None
+        return self.node_at(nx, ny)
+
+    def neighbors(self, node: int) -> List[Tuple[Port, int]]:
+        """All (direction, neighbour) pairs of a node."""
+        result = []
+        for direction in CARDINALS:
+            other = self.neighbor(node, direction)
+            if other is not None:
+                result.append((direction, other))
+        return result
+
+    def degree(self, node: int) -> int:
+        """Number of mesh neighbours (2 at corners, 4 in the middle)."""
+        return len(self.neighbors(node))
+
+    def direction_between(self, src: int, dst: int) -> Port:
+        """Direction of the single hop from ``src`` to adjacent ``dst``."""
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        step = (dx - sx, dy - sy)
+        for direction, vec in DIRECTION_VECTORS.items():
+            if vec == step:
+                return direction
+        raise ValueError("nodes %d and %d are not adjacent" % (src, dst))
+
+    def hop_distance(self, src: int, dst: int) -> int:
+        """Manhattan hop count between two nodes."""
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        return abs(dx - sx) + abs(dy - sy)
+
+    def distance_mm(self, src: int, dst: int, mm_per_hop: float = MM_PER_HOP) -> float:
+        """Physical Manhattan distance between two tiles."""
+        return self.hop_distance(src, dst) * mm_per_hop
+
+    def nodes(self) -> Iterator[int]:
+        return iter(range(self.num_nodes))
+
+    def links(self) -> Iterator[Tuple[int, int]]:
+        """All directed router-to-router links (u, v)."""
+        for node in self.nodes():
+            for _direction, other in self.neighbors(node):
+                yield node, other
+
+    def center_nodes(self) -> List[int]:
+        """Nodes with maximum degree, ordered by closeness to the centre.
+
+        The modified NMAP of §VI maps the most communication-hungry task
+        "to the core with the most number of neighbors (i.e. middle of the
+        mesh)".
+        """
+        best = max(self.degree(n) for n in self.nodes())
+        cx = (self.width - 1) / 2.0
+        cy = (self.height - 1) / 2.0
+
+        def centrality(node: int) -> Tuple[float, int]:
+            x, y = self.coords(node)
+            return (abs(x - cx) + abs(y - cy), node)
+
+        candidates = [n for n in self.nodes() if self.degree(n) == best]
+        return sorted(candidates, key=centrality)
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(
+                "node %d outside %dx%d mesh" % (node, self.width, self.height)
+            )
+
+    def __repr__(self) -> str:
+        return "Mesh(%dx%d)" % (self.width, self.height)

@@ -1,0 +1,101 @@
+"""Application suite tests (§VI, Fig 10)."""
+
+import pytest
+
+from repro.apps.mms import MMS_SCALE
+from repro.apps.registry import (
+    PAPER_APP_ORDER,
+    all_evaluation_task_graphs,
+    app_names,
+    evaluation_task_graph,
+    native_task_graph,
+)
+from repro.config import NocConfig
+from repro.sim.topology import Mesh
+
+
+class TestRegistry:
+    def test_paper_order(self):
+        assert app_names() == [
+            "H264", "MMS_DEC", "MMS_ENC", "MMS_MP3", "MWD", "VOPD", "WLAN", "PIP",
+        ]
+
+    def test_all_graphs_build(self):
+        graphs = all_evaluation_task_graphs()
+        assert len(graphs) == 8
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ValueError):
+            native_task_graph("DOOM")
+
+    def test_case_insensitive(self):
+        assert native_task_graph("vopd").name == "VOPD"
+
+
+class TestGraphShapes:
+    @pytest.mark.parametrize("name", PAPER_APP_ORDER)
+    def test_fits_4x4_mesh(self, name):
+        graph = evaluation_task_graph(name)
+        assert 2 <= graph.num_tasks <= 16
+
+    @pytest.mark.parametrize("name", PAPER_APP_ORDER)
+    def test_positive_bandwidths(self, name):
+        graph = evaluation_task_graph(name)
+        assert all(e.bandwidth_bps > 0 for e in graph.edges)
+
+    @pytest.mark.parametrize("name", PAPER_APP_ORDER)
+    def test_weakly_connected(self, name):
+        graph = evaluation_task_graph(name)
+        seen = {graph.tasks[0]}
+        frontier = [graph.tasks[0]]
+        while frontier:
+            task = frontier.pop()
+            for other in graph.neighbors(task):
+                if other not in seen:
+                    seen.add(other)
+                    frontier.append(other)
+        assert seen == set(graph.tasks)
+
+    @pytest.mark.parametrize("name", PAPER_APP_ORDER)
+    def test_load_feasible_at_2ghz(self, name):
+        """Every flow must fit in a 32-bit 2 GHz channel (footnote 9's
+        scaling keeps MMS 'reasonable')."""
+        cfg = NocConfig()
+        graph = evaluation_task_graph(name)
+        for edge in graph.edges:
+            assert cfg.flow_rate_flits_per_cycle(edge.bandwidth_bps) < 1.0
+
+
+class TestMmsScaling:
+    @pytest.mark.parametrize("name", ["MMS_DEC", "MMS_ENC", "MMS_MP3"])
+    def test_scaled_100x(self, name):
+        native = native_task_graph(name)
+        scaled = evaluation_task_graph(name)
+        assert scaled.total_bandwidth_bps() == pytest.approx(
+            native.total_bandwidth_bps() * MMS_SCALE
+        )
+        assert scaled.name == name
+
+    def test_non_mms_not_scaled(self):
+        assert evaluation_task_graph("VOPD").total_bandwidth_bps() == (
+            native_task_graph("VOPD").total_bandwidth_bps()
+        )
+
+
+class TestHubStructure:
+    """§VI: H264 and MMS_MP3 have 'one core acts as a sink for most flows,
+    while another acts as the source for most flows'."""
+
+    @pytest.mark.parametrize("name", ["H264", "MMS_MP3"])
+    def test_hub_source_and_sink(self, name):
+        graph = evaluation_task_graph(name)
+        _, fan_in = graph.max_fan_in_task()
+        _, fan_out = graph.max_fan_out_task()
+        assert fan_in >= 3
+        assert fan_out >= 3
+
+    @pytest.mark.parametrize("name", ["VOPD", "WLAN", "PIP"])
+    def test_pipeline_apps_have_no_big_source_hub(self, name):
+        graph = evaluation_task_graph(name)
+        _, fan_out = graph.max_fan_out_task()
+        assert fan_out <= 2

@@ -1,0 +1,83 @@
+"""Table I regeneration tests — exact reproduction of the paper's table."""
+
+import pytest
+
+from repro.circuits.link_design import (
+    FAB_VARIANTS,
+    FULL_SWING_OPT,
+    LOW_SWING_OPT,
+    OPT_VARIANTS,
+    PAPER_TABLE1,
+    LinkVariant,
+    Swing,
+    smart_hpc_max,
+    table1,
+)
+
+
+class TestTable1Exact:
+    def test_every_cell_matches_paper(self):
+        """All 12 (variant, rate) cells: hop counts exact, energies exact
+        after rounding."""
+        entries = table1()
+        assert len(entries) == 12
+        for entry in entries:
+            hops, energy = PAPER_TABLE1[(entry.variant, entry.data_rate_gbps)]
+            assert entry.max_hops == hops, entry
+            assert round(entry.energy_fj_per_bit_mm) == energy, entry
+
+    def test_headline_8mm_at_2ghz(self):
+        """'At 2 GHz, 8-hop (8 mm) link can be traversed in a cycle at
+        104 fJ/b/mm.'"""
+        assert LOW_SWING_OPT.max_hops_per_cycle(2.0) == 8
+        assert LOW_SWING_OPT.energy_fj_per_bit_mm(2.0) == pytest.approx(104.0)
+        assert smart_hpc_max() == 8
+
+
+class TestShape:
+    def test_low_swing_reaches_farther(self):
+        """At every rate, the VLR spans at least as many hops as the
+        full-swing repeater — the point of §III."""
+        for full, low in (OPT_VARIANTS, FAB_VARIANTS):
+            for rate in (1.0, 2.0, 3.0, 4.0, 5.0, 5.5):
+                assert low.max_hops_per_cycle(rate) >= full.max_hops_per_cycle(rate)
+
+    def test_hops_decrease_with_rate(self):
+        for variant in OPT_VARIANTS + FAB_VARIANTS:
+            hops = [variant.max_hops_per_cycle(r) for r in (1.0, 2.0, 3.0, 4.0, 5.0)]
+            assert hops == sorted(hops, reverse=True)
+
+    def test_delay_superlinear_in_hops(self):
+        for variant in OPT_VARIANTS + FAB_VARIANTS:
+            t4 = variant.path_delay_ps(4) - variant.path_delay_ps(3)
+            t8 = variant.path_delay_ps(8) - variant.path_delay_ps(7)
+            assert t8 >= t4
+
+    def test_swing_labels(self):
+        assert FULL_SWING_OPT.swing is Swing.FULL
+        assert LOW_SWING_OPT.swing is Swing.LOW
+
+
+class TestValidation:
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            LOW_SWING_OPT.max_hops_per_cycle(0.0)
+        with pytest.raises(ValueError):
+            LOW_SWING_OPT.energy_fj_per_bit_mm(-1.0)
+
+    def test_negative_hops_rejected(self):
+        with pytest.raises(ValueError):
+            LOW_SWING_OPT.path_delay_ps(-1)
+
+    def test_zero_hop_delay_is_overhead(self):
+        assert LOW_SWING_OPT.path_delay_ps(0) == pytest.approx(
+            LOW_SWING_OPT.t_txrx_ps
+        )
+
+    def test_impossible_rate_gives_zero_hops(self):
+        slow = LinkVariant(
+            name="slow", swing=Swing.FULL, t_txrx_ps=900.0, t_mm_ps=200.0,
+            t_jitter_ps=0.0, e_dyn_fj=100.0, p_static_fj_g=0.0,
+            k_slew_fj_per_g=0.0, m_fj_per_g2=0.0,
+        )
+        assert slow.max_hops_per_cycle(2.0) == 0

@@ -1,0 +1,78 @@
+"""Full-swing repeater model tests."""
+
+import pytest
+
+from repro.circuits.repeater import (
+    RepeaterDesign,
+    dynamic_energy_fj_per_bit_mm,
+    full_swing_delay_ps_per_mm,
+    optimal_size,
+    stage_delay_ps,
+)
+from repro.circuits.wire import MIN_DRC, WIDE_SPACING, extract_wire
+
+
+class TestRepeaterDesign:
+    def test_size_scales_drive(self):
+        small = RepeaterDesign(10)
+        big = RepeaterDesign(100)
+        assert big.drive_ohm < small.drive_ohm
+        assert big.input_c_f > small.input_c_f
+
+    def test_min_size_enforced(self):
+        with pytest.raises(ValueError):
+            RepeaterDesign(0.5)
+
+
+class TestDelay:
+    def test_repeated_wire_delay_in_measured_range(self):
+        """The chip measures ~100 ps/mm full-swing at min pitch; an ideal
+        optimally-sized repeater is somewhat faster."""
+        wire = extract_wire(MIN_DRC)
+        delay = full_swing_delay_ps_per_mm(wire)
+        assert 40.0 < delay < 110.0
+
+    def test_wide_spacing_is_faster(self):
+        assert full_swing_delay_ps_per_mm(
+            extract_wire(WIDE_SPACING)
+        ) < full_swing_delay_ps_per_mm(extract_wire(MIN_DRC))
+
+    def test_optimal_size_is_optimal(self):
+        wire = extract_wire(MIN_DRC)
+        best = optimal_size(wire)
+        t_best = stage_delay_ps(RepeaterDesign(best), wire)
+        for factor in (0.5, 0.8, 1.25, 2.0):
+            other = stage_delay_ps(RepeaterDesign(best * factor), wire)
+            assert other >= t_best * 0.999
+
+    def test_delay_grows_with_segment_length(self):
+        wire = extract_wire(MIN_DRC)
+        repeater = RepeaterDesign(60)
+        assert stage_delay_ps(repeater, wire, 2.0) > 2 * stage_delay_ps(
+            repeater, wire, 1.0
+        )
+
+    def test_zero_segment_rejected(self):
+        with pytest.raises(ValueError):
+            stage_delay_ps(RepeaterDesign(10), extract_wire(MIN_DRC), 0.0)
+
+
+class TestEnergy:
+    def test_energy_scales_with_vdd_squared(self):
+        wire = extract_wire(MIN_DRC)
+        assert dynamic_energy_fj_per_bit_mm(wire, 1.0) == pytest.approx(
+            dynamic_energy_fj_per_bit_mm(wire, 0.5) * 4
+        )
+
+    def test_activity_scaling(self):
+        wire = extract_wire(MIN_DRC)
+        assert dynamic_energy_fj_per_bit_mm(
+            wire, 0.9, activity=0.25
+        ) == pytest.approx(dynamic_energy_fj_per_bit_mm(wire, 0.9) / 4)
+
+    def test_table1_magnitude(self):
+        """Random-data activity (~0.5) at 0.9 V lands in Table I's
+        80-140 fJ/b/mm band."""
+        wire = extract_wire(WIDE_SPACING)
+        energy = dynamic_energy_fj_per_bit_mm(wire, 0.9, activity=0.5)
+        assert 30.0 < energy < 140.0

@@ -1,0 +1,86 @@
+"""Chip-measurement and BER model tests (§III)."""
+
+import pytest
+
+from repro.circuits.signaling import (
+    BER_TARGET,
+    CHIP_FULL_SWING,
+    CHIP_LINK_MM,
+    CHIP_VLR,
+    chip_measurements,
+)
+
+
+class TestChipNumbers:
+    """The fabricated 45 nm SOI test-chip measurements."""
+
+    def test_vlr_max_rate(self):
+        vlr, _ = chip_measurements()
+        assert vlr["max_rate_gbps"] == pytest.approx(6.8)
+
+    def test_vlr_power_and_energy(self):
+        vlr, _ = chip_measurements()
+        assert vlr["power_mw"] == pytest.approx(4.14, abs=0.05)
+        assert vlr["energy_fj_per_bit"] == pytest.approx(608, rel=0.01)
+
+    def test_vlr_at_5p5(self):
+        vlr, _ = chip_measurements()
+        assert vlr["power_mw_at_5p5"] == pytest.approx(3.78, abs=0.05)
+        assert vlr["energy_fj_per_bit_at_5p5"] == pytest.approx(687, rel=0.01)
+
+    def test_full_swing_numbers(self):
+        _, full = chip_measurements()
+        assert full["max_rate_gbps"] == pytest.approx(5.5)
+        assert full["power_mw"] == pytest.approx(4.21, abs=0.05)
+        assert full["energy_fj_per_bit"] == pytest.approx(765, rel=0.01)
+
+    def test_delays(self):
+        vlr, full = chip_measurements()
+        assert vlr["delay_ps_per_mm"] == 60.0
+        assert full["delay_ps_per_mm"] == 100.0
+
+    def test_ber_below_target_at_max(self):
+        vlr, full = chip_measurements()
+        assert vlr["ber_at_max"] < BER_TARGET
+        assert full["ber_at_max"] < BER_TARGET
+
+
+class TestBerModel:
+    def test_ber_monotonic_in_rate(self):
+        rates = [2.0, 4.0, 6.0, 6.8, 7.2]
+        bers = [CHIP_VLR.ber(r) for r in rates]
+        assert bers == sorted(bers)
+
+    def test_full_swing_fails_at_vlr_rate(self):
+        """Full-swing cannot sustain 6.8 Gb/s at the BER target."""
+        assert CHIP_FULL_SWING.ber(6.8) > BER_TARGET
+
+    def test_eye_closes_at_intrinsic_rate(self):
+        assert CHIP_VLR.eye_margin_v(CHIP_VLR.intrinsic_rate_gbps) == 0.0
+        assert CHIP_VLR.ber(CHIP_VLR.intrinsic_rate_gbps + 1) == 0.5
+
+    def test_margin_positive_below_max(self):
+        assert CHIP_VLR.eye_margin_v(5.0) > 0.0
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            CHIP_VLR.ber(0.0)
+        with pytest.raises(ValueError):
+            CHIP_VLR.energy_fj_per_bit_mm(-2.0)
+
+
+class TestEnergyLaw:
+    def test_static_dominates_vlr(self):
+        """The VLR's static current paths make its energy/bit fall with
+        rate (more bits amortise the static power)."""
+        assert CHIP_VLR.energy_fj_per_bit_mm(6.8) < CHIP_VLR.energy_fj_per_bit_mm(4.0)
+
+    def test_full_swing_flat(self):
+        assert CHIP_FULL_SWING.energy_fj_per_bit_mm(
+            5.5
+        ) == CHIP_FULL_SWING.energy_fj_per_bit_mm(3.0)
+
+    def test_power_scales_with_length(self):
+        assert CHIP_VLR.power_mw(5.0, 2 * CHIP_LINK_MM) == pytest.approx(
+            2 * CHIP_VLR.power_mw(5.0, CHIP_LINK_MM)
+        )

@@ -1,0 +1,82 @@
+"""VLR behavioural model tests (Fig 2/3)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.vlr import (
+    VlrParams,
+    simulate_full_swing_stage,
+    simulate_vlr_stage,
+)
+from repro.circuits.wire import MIN_DRC, extract_wire
+
+BITS = [0, 1, 0, 1, 1, 0, 1, 0, 0, 1]
+RATE = 6.8  # the chip's max VLR data rate
+
+
+@pytest.fixture(scope="module")
+def waves():
+    wire = extract_wire(MIN_DRC)
+    low = simulate_vlr_stage(VlrParams(), wire, BITS, RATE)
+    full = simulate_full_swing_stage(wire, BITS, RATE)
+    return low, full
+
+
+class TestFig3Shapes:
+    def test_low_swing_is_lower(self, waves):
+        low, full = waves
+        assert low.swing_pp < full.swing_pp * 0.7
+
+    def test_low_swing_centered_near_lock(self, waves):
+        low, _ = waves
+        params = VlrParams()
+        mid = (low.volts.max() + low.volts.min()) / 2.0
+        assert abs(mid - params.v_lock) < 0.12
+
+    def test_full_swing_reaches_rails(self, waves):
+        _, full = waves
+        assert full.volts.max() > 0.8
+        assert full.volts.min() < 0.1
+
+    def test_vlr_has_overshoot(self, waves):
+        """The delayed feedback overshoots the settled level — the paper's
+        'transient overshoots at node X'."""
+        low, _ = waves
+        settled_high = np.percentile(low.volts, 80)
+        assert low.volts.max() - settled_high > 0.01
+
+    def test_vlr_never_rails(self, waves):
+        low, _ = waves
+        assert low.volts.max() < 0.85
+        assert low.volts.min() > 0.05
+
+
+class TestDynamics:
+    def test_vlr_transitions_faster(self):
+        """The locked swing crosses the receiver threshold sooner than the
+        full-swing RC edge crosses mid-rail (60 vs 100 ps/mm on chip)."""
+        wire = extract_wire(MIN_DRC)
+        params = VlrParams()
+        bits = [0, 1]
+        low = simulate_vlr_stage(params, wire, bits, 2.0)
+        full = simulate_full_swing_stage(wire, bits, 2.0)
+        bit_time_ps = 500.0
+
+        def rise_cross(wave, level):
+            idx = np.flatnonzero(wave.volts[len(wave.volts) // 2 :] >= level)
+            return idx[0] if len(idx) else 10**9
+
+        low_cross = rise_cross(low, params.v_lock + 0.02)
+        full_cross = rise_cross(full, 0.45)
+        assert low_cross < full_cross
+
+    def test_waveform_lengths_match_bits(self):
+        wire = extract_wire(MIN_DRC)
+        wave = simulate_vlr_stage(VlrParams(), wire, [0, 1, 0], 1.0)
+        assert len(wave.time_ps) == len(wave.volts)
+        assert wave.time_ps[-1] == pytest.approx(3 * 1000.0, rel=0.01)
+
+    def test_bad_rate_rejected(self):
+        wire = extract_wire(MIN_DRC)
+        with pytest.raises(ValueError):
+            simulate_vlr_stage(VlrParams(), wire, BITS, 0.0)

@@ -1,0 +1,57 @@
+"""Wire RC model tests."""
+
+import pytest
+
+from repro.circuits.wire import (
+    MIN_DRC,
+    WIDE_SPACING,
+    WireGeometry,
+    WireModel,
+    extract_wire,
+)
+
+
+class TestExtraction:
+    def test_45nm_magnitudes(self):
+        wire = extract_wire(MIN_DRC)
+        # Typical 45 nm intermediate-layer wire: several hundred ohm/mm,
+        # 100-250 fF/mm.
+        assert 300 < wire.r_ohm_per_mm < 3000
+        assert 50e-15 < wire.c_f_per_mm < 400e-15
+
+    def test_wider_spacing_cuts_coupling(self):
+        tight = extract_wire(MIN_DRC)
+        wide = extract_wire(WIDE_SPACING)
+        assert wide.c_f_per_mm < tight.c_f_per_mm
+        assert wide.r_ohm_per_mm == pytest.approx(tight.r_ohm_per_mm)
+
+    def test_wider_wire_cuts_resistance(self):
+        narrow = extract_wire(WireGeometry(0.14, 0.14))
+        wide = extract_wire(WireGeometry(0.28, 0.14))
+        assert wide.r_ohm_per_mm < narrow.r_ohm_per_mm
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            WireGeometry(width_um=0.0, spacing_um=0.14)
+
+    def test_pitch(self):
+        assert MIN_DRC.pitch_um == pytest.approx(0.28)
+        assert WIDE_SPACING.pitch_um == pytest.approx(0.42)
+
+
+class TestElmore:
+    def test_quadratic_in_length(self):
+        wire = extract_wire(MIN_DRC)
+        assert wire.elmore_delay_ps(2.0) == pytest.approx(
+            4 * wire.elmore_delay_ps(1.0)
+        )
+
+    def test_unrepeated_10mm_is_slow(self):
+        """The motivation for repeaters: 10 mm unrepeated is far beyond a
+        500 ps clock."""
+        wire = extract_wire(MIN_DRC)
+        assert wire.elmore_delay_ps(10.0) > 1000.0
+
+    def test_rc_product(self):
+        wire = WireModel(r_ohm_per_mm=1000.0, c_f_per_mm=100e-15)
+        assert wire.rc_s_per_mm2 == pytest.approx(1e-10)

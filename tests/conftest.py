@@ -1,0 +1,26 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import NocConfig
+from repro.eval.scenarios import fig7_flows
+from repro.sim.flow import Flow
+from repro.sim.topology import Mesh, Port
+
+
+@pytest.fixture
+def cfg() -> NocConfig:
+    """The paper's Table II configuration."""
+    return NocConfig()
+
+
+@pytest.fixture
+def mesh() -> Mesh:
+    return Mesh(4, 4)
+
+
+@pytest.fixture
+def fig7_flow_set():
+    return fig7_flows()

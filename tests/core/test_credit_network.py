@@ -1,0 +1,70 @@
+"""Reverse credit mesh tests (§IV Flow Control)."""
+
+from repro.config import NocConfig
+from repro.core.credit_network import (
+    credit_crossbar_width_bits,
+    derive_credit_network,
+)
+from repro.core.presets import compute_presets
+from repro.eval.scenarios import fig7_flows
+from repro.sim.segments import NicStart
+from repro.sim.topology import Mesh, Port
+
+
+def fig7_credit():
+    cfg = NocConfig()
+    presets = compute_presets(cfg, Mesh(4, 4), fig7_flows())
+    return presets, derive_credit_network(presets)
+
+
+class TestMirrorPresets:
+    def test_bypass_mirrored(self):
+        """Data bypass p->q at a router implies credit preset out p from q."""
+        presets, credit = fig7_credit()
+        for node, rp in presets.routers.items():
+            for in_port, out_port in rp.bypass_out.items():
+                assert credit.presets[node][in_port] is out_port
+
+    def test_buffered_routers_have_no_credit_preset_for_that_port(self):
+        presets, credit = fig7_credit()
+        # Router 9 buffers WEST: no credit preset keyed WEST there.
+        assert Port.WEST not in credit.presets[9]
+
+    def test_preset_count_matches_bypasses(self):
+        presets, credit = fig7_credit()
+        bypasses = sum(
+            len(rp.bypass_out) for rp in presets.routers.values()
+        )
+        assert credit.preset_count() == bypasses
+
+
+class TestCreditPaths:
+    def test_paths_reverse_crossings(self):
+        presets, credit = fig7_credit()
+        # The green flow's injection segment crosses 12,13,14,15; the
+        # credit from NIC15 retraces 15,14,13,12.
+        segment = presets.segment_map.from_start(NicStart(12))
+        assert credit.credit_path_for(segment) == (15, 14, 13, 12)
+
+    def test_every_segment_has_a_path(self):
+        presets, credit = fig7_credit()
+        for segment in presets.segment_map.segments():
+            assert credit.credit_path_for(segment) == tuple(
+                reversed(segment.routers_crossed)
+            )
+
+
+class TestWidth:
+    def test_paper_width_for_two_vcs(self):
+        """§IV: 2 VCs => 2-bit credit crossbars."""
+        assert credit_crossbar_width_bits(2) == 2
+
+    def test_four_vcs(self):
+        assert credit_crossbar_width_bits(4) == 3
+
+    def test_one_vc(self):
+        assert credit_crossbar_width_bits(1) == 2
+
+    def test_matches_table_ii(self):
+        cfg = NocConfig()
+        assert credit_crossbar_width_bits(cfg.vcs_per_port) == cfg.credit_bits

@@ -1,0 +1,31 @@
+"""NoC builder tests."""
+
+from repro.config import NocConfig
+from repro.core.noc_builder import build_mesh_noc, build_smart_noc
+from repro.eval.scenarios import fig7_flows
+from repro.sim.traffic import ScriptedTraffic
+
+
+class TestBuilders:
+    def test_smart_instance(self):
+        noc = build_smart_noc(NocConfig(), fig7_flows(), traffic=ScriptedTraffic([]))
+        assert noc.design == "smart"
+        assert noc.mesh.num_nodes == 16
+        assert noc.presets.segment_map.max_hops() <= noc.cfg.hpc_max
+
+    def test_mesh_instance(self):
+        noc = build_mesh_noc(NocConfig(), fig7_flows(), traffic=ScriptedTraffic([]))
+        assert noc.design == "mesh"
+        assert noc.presets.one_cycle_link_count() == 0
+
+    def test_default_traffic_is_bernoulli(self):
+        noc = build_smart_noc(NocConfig(), fig7_flows())
+        result = noc.run(warmup_cycles=50, measure_cycles=200, drain_limit=5000)
+        assert result.measured_cycles == 200
+
+    def test_run_returns_result(self):
+        noc = build_smart_noc(NocConfig(), fig7_flows(), traffic=ScriptedTraffic([(1, 2)]))
+        result = noc.run(warmup_cycles=0, measure_cycles=30, drain_limit=100)
+        assert result.drained
+        assert result.summary.count == 1
+        assert result.summary.mean_head_latency == 1

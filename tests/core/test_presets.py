@@ -1,0 +1,162 @@
+"""Preset computation tests: the bypass legality rule of §IV."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import NocConfig
+from repro.core.presets import InputMode, compute_presets
+from repro.eval.scenarios import fig7_flows
+from repro.sim.flow import Flow
+from repro.sim.segments import BufferEnd, NicEnd, NicStart, OutputStart
+from repro.sim.topology import Mesh, Port
+
+
+def presets_for(flows, cfg=None, **kwargs):
+    cfg = cfg or NocConfig()
+    return compute_presets(cfg, Mesh(cfg.width, cfg.height), flows, **kwargs)
+
+
+class TestSingleFlow:
+    def test_lone_flow_fully_bypassed(self):
+        flow = Flow(0, 0, 3, 1e6, route=(Port.EAST, Port.EAST, Port.EAST, Port.CORE))
+        presets = presets_for([flow])
+        assert presets.stops_for_flow(flow) == []
+        segment = presets.segment_map.from_start(NicStart(0))
+        assert isinstance(segment.end, NicEnd)
+        assert segment.end.node == 3
+        assert segment.hops == 3
+        assert segment.routers_crossed == (0, 1, 2, 3)
+
+    def test_unused_routers_fully_gated(self):
+        flow = Flow(0, 0, 1, 1e6, route=(Port.EAST, Port.CORE))
+        presets = presets_for([flow])
+        assert presets.routers[15].is_fully_bypassed()
+        assert presets.routers[15].used_inputs() == []
+
+
+class TestOutputContention:
+    def test_two_flows_sharing_output_stop(self):
+        """Red/blue of Fig 7: shared output => stop before it (and after,
+        where they diverge)."""
+        flows = fig7_flows()
+        presets = presets_for(flows)
+        blue, red = flows[0], flows[1]
+        assert presets.stops_for_flow(blue) == [9, 10]
+        assert presets.stops_for_flow(red) == [9, 10]
+        router9 = presets.routers[9]
+        assert router9.input_mode[Port.WEST] is InputMode.BUFFERED
+        assert router9.input_mode[Port.NORTH] is InputMode.BUFFERED
+        assert Port.EAST in router9.dynamic_outputs
+
+    def test_input_divergence_forces_stop(self):
+        """Two flows entering the same input but leaving differently: a
+        static select would duplicate flits onto the wrong path."""
+        f1 = Flow(0, 0, 2, 1e6, route=(Port.EAST, Port.EAST, Port.CORE))
+        f2 = Flow(1, 0, 5, 1e6, route=(Port.EAST, Port.NORTH, Port.CORE))
+        presets = presets_for([f1, f2])
+        # Both enter router 1 via WEST; f1 goes EAST, f2 goes NORTH.
+        assert presets.routers[1].input_mode[Port.WEST] is InputMode.BUFFERED
+        assert presets.stops_for_flow(f1) == [1]
+        assert presets.stops_for_flow(f2) == [1]
+
+    def test_source_hub_stops_at_source(self):
+        """A NIC sourcing flows with different first hops buffers C-in."""
+        f1 = Flow(0, 5, 6, 1e6, route=(Port.EAST, Port.CORE))
+        f2 = Flow(1, 5, 9, 1e6, route=(Port.NORTH, Port.CORE))
+        presets = presets_for([f1, f2])
+        assert presets.routers[5].input_mode[Port.CORE] is InputMode.BUFFERED
+        assert presets.stops_for_flow(f1) == [5]
+
+    def test_sink_hub_stops_at_destination(self):
+        """Multiple flows into one NIC stop at the destination router to
+        go up serially (§VI)."""
+        f1 = Flow(0, 4, 6, 1e6, route=(Port.EAST, Port.EAST, Port.CORE))
+        f2 = Flow(1, 2, 6, 1e6, route=(Port.NORTH, Port.CORE))
+        presets = presets_for([f1, f2])
+        assert Port.CORE in presets.routers[6].dynamic_outputs
+        assert presets.stops_for_flow(f1) == [6]
+        assert presets.stops_for_flow(f2) == [6]
+
+    def test_merging_flows_share_downstream_segment(self):
+        """After stopping at a merge point, flows continue together."""
+        f1 = Flow(0, 0, 3, 1e6, route=(Port.EAST, Port.EAST, Port.EAST, Port.CORE))
+        f2 = Flow(1, 5, 3, 1e6, route=(Port.SOUTH, Port.EAST, Port.EAST, Port.CORE))
+        presets = presets_for([f1, f2])
+        # Both use router 1's EAST output: both stop at router 1, then
+        # share the bypass chain 1 -> 2 -> 3 -> NIC3.
+        segment = presets.segment_map.from_start(OutputStart(1, Port.EAST))
+        assert isinstance(segment.end, NicEnd)
+        assert segment.end.node == 3
+        assert presets.stops_for_flow(f1) == [1]
+        assert presets.stops_for_flow(f2) == [1]
+
+
+class TestForceAllStops:
+    def test_mesh_mode_buffers_everything(self):
+        flows = fig7_flows()
+        presets = presets_for(flows, force_all_stops=True, link_extra_cycles=1)
+        for flow in flows:
+            assert presets.stops_for_flow(flow) == flow.routers(Mesh(4, 4))
+        for segment in presets.segment_map.segments():
+            assert segment.hops <= 1
+            if segment.hops == 1:
+                assert segment.extra_cycles == 1
+
+    def test_one_cycle_links_zero_for_mesh(self):
+        presets = presets_for(fig7_flows(), force_all_stops=True, link_extra_cycles=1)
+        assert presets.one_cycle_link_count() == 0
+
+
+class TestHpcMax:
+    def test_long_chain_forced_stop(self):
+        """An 8x1 traversal at HPC_max=4 must stop midway."""
+        cfg = dataclasses.replace(NocConfig(), width=8, height=1, hpc_max=4)
+        mesh = Mesh(8, 1)
+        flow = Flow(0, 0, 7, 1e6, route=tuple([Port.EAST] * 7 + [Port.CORE]))
+        presets = compute_presets(cfg, mesh, [flow])
+        assert presets.segment_map.max_hops() <= 4
+        assert len(presets.forced_stops) >= 1
+        stops = presets.stops_for_flow(flow)
+        assert stops, "flow must stop at least once"
+
+    def test_no_forced_stop_within_limit(self):
+        cfg = NocConfig()  # hpc_max=8 covers any 4x4 path
+        presets = presets_for(fig7_flows(), cfg=cfg)
+        assert presets.forced_stops == ()
+
+    def test_hpc_one_stops_every_router(self):
+        cfg = dataclasses.replace(NocConfig(), hpc_max=1)
+        flow = Flow(0, 0, 3, 1e6, route=(Port.EAST, Port.EAST, Port.EAST, Port.CORE))
+        presets = presets_for([flow], cfg=cfg)
+        assert presets.segment_map.max_hops() == 1
+        assert presets.stops_for_flow(flow) == [1, 2]
+
+
+class TestStructuralInvariants:
+    def test_static_output_has_single_source(self):
+        presets = presets_for(fig7_flows())
+        for node, rp in presets.routers.items():
+            sources = list(rp.static_source.values())
+            assert len(sources) == len(set(sources)) or not sources
+
+    def test_every_flow_decomposes_into_segments(self):
+        flows = fig7_flows()
+        presets = presets_for(flows)
+        for flow in flows:
+            stops = presets.stops_for_flow(flow)
+            # Segment count = stops + 1 (NIC start to each stop to NIC end).
+            count = 1
+            node_ports = flow.port_traversals(Mesh(4, 4))
+            count += len(stops)
+            assert count >= 1
+
+    def test_one_cycle_link_count_positive_for_smart(self):
+        presets = presets_for(fig7_flows())
+        assert presets.one_cycle_link_count() > 0
+
+    def test_router_configs_consistent(self):
+        presets = presets_for(fig7_flows())
+        configs = presets.router_configs()
+        for node, rc in configs.items():
+            assert set(rc.buffered_inputs).isdisjoint(rc.bypassed_inputs)

@@ -1,0 +1,117 @@
+"""Reconfiguration register tests (§V)."""
+
+import pytest
+
+from repro.config import NocConfig
+from repro.core.presets import InputMode, compute_presets
+from repro.core.reconfiguration import (
+    DEFAULT_BASE_ADDR,
+    REGISTER_STRIDE_BYTES,
+    compile_program,
+    decode_router,
+    diff_program,
+    encode_router,
+)
+from repro.eval.scenarios import fig7_flows
+from repro.sim.topology import Mesh, Port
+
+
+def fig7_presets():
+    cfg = NocConfig()
+    return compute_presets(cfg, Mesh(4, 4), fig7_flows())
+
+
+class TestEncodeDecode:
+    def test_roundtrip_all_routers(self):
+        presets = fig7_presets()
+        program = compile_program(presets, "fig7")
+        for node, rp in presets.routers.items():
+            decoded = decode_router(node, program.register_for_node(node))
+            assert decoded.valid
+            for port in Port:
+                expect_bypass = rp.input_mode[port] is InputMode.BYPASS
+                assert decoded.bypass_enable[port] == expect_bypass
+                if expect_bypass:
+                    assert decoded.bypass_out[port] is rp.bypass_out[port]
+            for port in Port:
+                if port in rp.static_source:
+                    assert decoded.output_select[port] is rp.static_source[port]
+                elif port in rp.dynamic_outputs:
+                    assert decoded.output_select[port] == "dynamic"
+                else:
+                    assert decoded.output_select[port] is None
+
+    def test_clock_gating_bits(self):
+        presets = fig7_presets()
+        program = compile_program(presets)
+        # Router 14 is on the green bypass chain: WEST in is bypassed,
+        # so its WEST port clock is gated.
+        decoded = decode_router(14, program.register_for_node(14))
+        assert decoded.clock_gated[Port.WEST]
+        # Router 9 buffers WEST (blue stops there): not gated.
+        decoded9 = decode_router(9, program.register_for_node(9))
+        assert not decoded9.clock_gated[Port.WEST]
+
+    def test_value_fits_double_word(self):
+        presets = fig7_presets()
+        for node, rp in presets.routers.items():
+            from repro.core.credit_network import derive_credit_network
+            credit = derive_credit_network(presets)
+            value = encode_router(rp, credit.presets[node])
+            assert 0 <= value < (1 << 64)
+
+    def test_corrupt_register_detected(self):
+        # Bypass enabled but bound output = none must raise on decode.
+        bad = (1 << 63) | 1 | (0b111 << 5)
+        with pytest.raises(ValueError):
+            decode_router(0, bad)
+
+
+class TestProgram:
+    def test_sixteen_stores_for_4x4(self):
+        """§V: 'for a 16-node SMART NoC, there are 16 registers to be set
+        which correspond to 16 instructions.'"""
+        program = compile_program(fig7_presets(), "fig7")
+        assert program.cost_instructions == 16
+        assert program.cost_cycles() == 16
+
+    def test_addresses_are_strided(self):
+        program = compile_program(fig7_presets())
+        addresses = [op.address for op in program.stores]
+        assert addresses == [
+            DEFAULT_BASE_ADDR + n * REGISTER_STRIDE_BYTES for n in range(16)
+        ]
+
+    def test_register_for_missing_node_raises(self):
+        program = compile_program(fig7_presets())
+        with pytest.raises(KeyError):
+            program.register_for_node(99)
+
+    def test_store_repr(self):
+        program = compile_program(fig7_presets())
+        assert "store" in str(program.stores[0])
+
+
+class TestDiff:
+    def test_identical_programs_diff_empty(self):
+        a = compile_program(fig7_presets(), "a")
+        b = compile_program(fig7_presets(), "b")
+        assert diff_program(a, b).cost_instructions == 0
+
+    def test_different_apps_have_nonempty_diff(self):
+        cfg = NocConfig()
+        mesh = Mesh(4, 4)
+        a = compile_program(compute_presets(cfg, mesh, fig7_flows()), "fig7")
+        from repro.sim.flow import Flow
+        other = [Flow(0, 0, 15, 1e6,
+                      route=(Port.EAST, Port.EAST, Port.EAST,
+                             Port.NORTH, Port.NORTH, Port.NORTH, Port.CORE))]
+        b = compile_program(compute_presets(cfg, mesh, other), "diag")
+        delta = diff_program(a, b)
+        assert 0 < delta.cost_instructions <= 16
+
+    def test_mismatched_bases_rejected(self):
+        a = compile_program(fig7_presets(), base_addr=0x1000)
+        b = compile_program(fig7_presets(), base_addr=0x2000)
+        with pytest.raises(ValueError):
+            diff_program(a, b)

@@ -1,0 +1,43 @@
+"""Structural crossbar/router spec tests (Fig 5/6)."""
+
+import pytest
+
+from repro.config import NocConfig
+from repro.core.smart_crossbar import build_router_spec
+
+
+class TestRouterSpec:
+    def test_table_ii_spec(self):
+        spec = build_router_spec(NocConfig())
+        assert spec.num_ports == 5
+        assert spec.data_xbar.data_bits == 32
+        assert spec.credit_xbar.data_bits == 2
+        assert spec.data_xbar.select_bits == 3  # 6 sources -> 3 bits
+
+    def test_buffer_bits(self):
+        spec = build_router_spec(NocConfig())
+        # 5 ports x 2 VCs x 10 flits x 32 bits
+        assert spec.buffer_bits == 5 * 2 * 10 * 32
+
+    def test_vlr_bits_cover_data_and_credit(self):
+        spec = build_router_spec(NocConfig())
+        assert spec.vlr_rx_bits == 4 * (32 + 2)
+        assert spec.vlr_tx_bits == spec.vlr_rx_bits
+
+    def test_pipeline_stages_match_fig6(self):
+        spec = build_router_spec(NocConfig())
+        assert spec.pipeline_stages() == (
+            "Buffer Write",
+            "Switch Allocation",
+            "SMART Crossbar + Link",
+        )
+
+    def test_mux_counts(self):
+        spec = build_router_spec(NocConfig())
+        assert spec.data_xbar.mux_count == 5
+        assert spec.data_xbar.bypass_mux_count == 5
+        assert spec.data_xbar.crosspoints == 5 * 5 * 32
+
+    def test_bad_port_count_rejected(self):
+        with pytest.raises(ValueError):
+            build_router_spec(NocConfig(), num_ports=1)

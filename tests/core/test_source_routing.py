@@ -1,0 +1,116 @@
+"""Source-route encoding tests (2 bits per router, §IV)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import NocConfig
+from repro.core.source_routing import (
+    CODE_CORE,
+    CODE_LEFT,
+    CODE_RIGHT,
+    CODE_STRAIGHT,
+    build_header,
+    decode_route,
+    encode_route,
+    max_route_routers,
+    relative_code,
+    resolve_relative,
+)
+from repro.sim.flow import xy_route
+from repro.sim.topology import Mesh, Port
+
+
+class TestRelativeCodes:
+    def test_straight(self):
+        assert relative_code(Port.EAST, Port.EAST) == CODE_STRAIGHT
+
+    def test_left_right_headings(self):
+        # Heading east: left is north, right is south.
+        assert relative_code(Port.EAST, Port.NORTH) == CODE_LEFT
+        assert relative_code(Port.EAST, Port.SOUTH) == CODE_RIGHT
+        # Heading north: left is west, right is east.
+        assert relative_code(Port.NORTH, Port.WEST) == CODE_LEFT
+        assert relative_code(Port.NORTH, Port.EAST) == CODE_RIGHT
+
+    def test_core(self):
+        assert relative_code(Port.WEST, Port.CORE) == CODE_CORE
+
+    def test_uturn_rejected(self):
+        with pytest.raises(ValueError):
+            relative_code(Port.EAST, Port.WEST)
+
+    def test_resolve_inverts(self):
+        for heading in (Port.EAST, Port.SOUTH, Port.WEST, Port.NORTH):
+            for out in Port:
+                if out.is_cardinal and out is heading.opposite:
+                    continue
+                code = relative_code(heading, out)
+                assert resolve_relative(heading, code) is out
+
+
+class TestEncodeDecode:
+    def test_two_bits_per_router(self):
+        route = (Port.EAST, Port.EAST, Port.CORE)
+        assert encode_route(route) < (1 << (2 * len(route)))
+
+    def test_roundtrip_simple(self):
+        route = (Port.NORTH, Port.EAST, Port.SOUTH, Port.CORE)
+        assert decode_route(encode_route(route), len(route)) == route
+
+    def test_invalid_routes_rejected(self):
+        with pytest.raises(ValueError):
+            encode_route((Port.EAST, Port.EAST))  # no CORE
+        with pytest.raises(ValueError):
+            encode_route((Port.CORE,))  # never leaves the source
+
+    def test_all_mesh_pairs_roundtrip(self):
+        mesh = Mesh(4, 4)
+        for src in mesh.nodes():
+            for dst in mesh.nodes():
+                if src == dst:
+                    continue
+                route = xy_route(mesh, src, dst)
+                assert decode_route(encode_route(route), len(route)) == route
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.data())
+def test_random_mesh_routes_roundtrip(data):
+    """Property: any legal route on any mesh survives encode/decode."""
+    width = data.draw(st.integers(2, 6), label="width")
+    height = data.draw(st.integers(2, 6), label="height")
+    mesh = Mesh(width, height)
+    src = data.draw(st.integers(0, mesh.num_nodes - 1), label="src")
+    dst = data.draw(
+        st.integers(0, mesh.num_nodes - 1).filter(lambda d: d != src),
+        label="dst",
+    )
+    route = xy_route(mesh, src, dst)
+    assert decode_route(encode_route(route), len(route)) == route
+
+
+class TestHeaderBudget:
+    def test_table_ii_header_fits_4x4(self):
+        cfg = NocConfig()
+        # 20-bit header - 6 overhead = 14 bits = 7 routers: the longest
+        # minimal path in a 4x4 mesh.
+        assert max_route_routers(cfg) == 7
+        mesh = Mesh(4, 4)
+        route = xy_route(mesh, 0, 15)  # 7 routers
+        header = build_header(route, cfg, vc_id=1)
+        assert header.num_routers == 7
+        assert header.bit_length() <= cfg.head_header_bits
+
+    def test_oversized_route_rejected(self):
+        cfg = NocConfig()
+        mesh = Mesh(8, 8)
+        route = xy_route(mesh, 0, 63)  # 15 routers
+        with pytest.raises(ValueError):
+            build_header(route, cfg)
+
+    def test_bad_vc_rejected(self):
+        cfg = NocConfig()
+        route = (Port.EAST, Port.CORE)
+        with pytest.raises(ValueError):
+            build_header(route, cfg, vc_id=5)

@@ -1,0 +1,76 @@
+"""Ablation study tests."""
+
+import pytest
+
+from repro.eval.ablations import (
+    channel_split,
+    hpc_sweep,
+    mapping_comparison,
+    route_selection_comparison,
+    vc_sweep,
+)
+
+FAST = dict(warmup_cycles=200, measure_cycles=3000, drain_limit=30000)
+
+
+class TestHpcSweep:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return hpc_sweep("VOPD", (1, 2, 8), **FAST)
+
+    def test_latency_non_increasing_with_reach(self, rows):
+        latencies = [r["mean_latency"] for r in rows]
+        assert latencies[0] >= latencies[1] >= latencies[2]
+
+    def test_segment_cap_respected(self, rows):
+        for row in rows:
+            assert row["max_segment_hops"] <= row["hpc_max"]
+
+    def test_forced_stops_vanish_at_large_hpc(self, rows):
+        assert rows[-1]["forced_stops"] == 0
+        assert rows[0]["forced_stops"] > 0
+
+
+class TestMappingComparison:
+    def test_nmap_beats_random(self):
+        rows = mapping_comparison("VOPD", ("nmap_modified", "random"), **FAST)
+        by_alg = {r["algorithm"]: r for r in rows}
+        assert (
+            by_alg["nmap_modified"]["mean_latency"]
+            <= by_alg["random"]["mean_latency"]
+        )
+        assert (
+            by_alg["nmap_modified"]["mean_stops_per_flow"]
+            <= by_alg["random"]["mean_stops_per_flow"]
+        )
+
+
+class TestChannelSplit:
+    def test_split_helps_hub_app_in_ns(self):
+        """§VI future work: 2 x 16-bit @ 4 GHz mitigates hub conflicts."""
+        rows = channel_split("H264", **FAST)
+        assert len(rows) == 2
+        base_ns = rows[0]["mean_latency_ns"]
+        split_ns = rows[1]["mean_latency_ns"]
+        assert split_ns < base_ns
+
+
+class TestVcSweep:
+    def test_more_vcs_never_hurt(self):
+        rows = vc_sweep("H264", (1, 2), **FAST)
+        assert rows[0]["mean_latency"] >= rows[1]["mean_latency"]
+
+
+class TestRouteSelection:
+    def test_rows_shape(self):
+        rows = route_selection_comparison("MWD", **FAST)
+        assert [r["turn_model"] for r in rows] == ["xy", "west_first"]
+        assert all(r["mean_latency"] >= 1.0 for r in rows)
+
+    def test_west_first_no_more_stops_than_xy(self):
+        rows = route_selection_comparison("MWD", **FAST)
+        by_model = {r["turn_model"]: r for r in rows}
+        assert (
+            by_model["west_first"]["mean_stops_per_flow"]
+            <= by_model["xy"]["mean_stops_per_flow"] + 1e-9
+        )

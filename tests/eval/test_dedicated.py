@@ -1,0 +1,93 @@
+"""Dedicated baseline tests: 1-cycle links, destination serialization."""
+
+import pytest
+
+from repro.config import NocConfig
+from repro.eval.dedicated import DedicatedNetwork
+from repro.sim.flow import Flow, xy_route
+from repro.sim.topology import Mesh
+from repro.sim.traffic import ScriptedTraffic
+
+
+def build(flows, schedule, cycles=100):
+    cfg = NocConfig()
+    mesh = Mesh(4, 4)
+    net = DedicatedNetwork(cfg, mesh, flows, ScriptedTraffic(schedule))
+    net.stats.measuring = True
+    net.run_cycles(cycles)
+    return net, {p.flow_id: p for p in net.stats.measured_delivered}
+
+
+def flow(fid, src, dst, bw=1e6):
+    mesh = Mesh(4, 4)
+    return Flow(fid, src, dst, bw, xy_route(mesh, src, dst))
+
+
+class TestUncontended:
+    def test_single_cycle_any_distance(self):
+        """A lone flow is 1 cycle NIC-to-NIC regardless of distance."""
+        for src, dst in ((0, 1), (0, 15), (12, 3)):
+            _net, got = build([flow(0, src, dst)], [(1, 0)])
+            assert got[0].head_latency == 1
+
+    def test_packet_streams_at_link_rate(self):
+        _net, got = build([flow(0, 0, 15)], [(1, 0)])
+        assert got[0].packet_latency == 8
+
+    def test_link_mm_is_manhattan(self):
+        net, _ = build([flow(0, 0, 15)], [(1, 0)])
+        assert net.counters.link_flit_mm == pytest.approx(8 * 6.0)
+
+    def test_no_sink_router_for_single_flow(self):
+        net, _ = build([flow(0, 0, 15)], [])
+        assert net.sinks == {}
+        assert net.counters.buffer_writes == 0
+
+
+class TestSharedSink:
+    def make_shared(self, schedule, cycles=200):
+        flows = [flow(0, 0, 5), flow(1, 10, 5), flow(2, 6, 5)]
+        return build(flows, schedule, cycles)
+
+    def test_stop_costs_three_cycles(self):
+        """§VI: flows to a shared destination 'stop at a router at the
+        destination to go up serially into the NIC' — one stop = +3."""
+        _net, got = self.make_shared([(1, 0)])
+        assert got[0].head_latency == 4
+
+    def test_simultaneous_arrivals_serialise(self):
+        _net, got = self.make_shared([(1, 0), (1, 1)])
+        latencies = sorted((got[0].head_latency, got[1].head_latency))
+        assert latencies[0] == 4
+        assert latencies[1] == 4 + 8
+
+    def test_three_way_contention(self):
+        _net, got = self.make_shared([(1, 0), (1, 1), (1, 2)], cycles=300)
+        latencies = sorted(p.head_latency for p in got.values())
+        assert latencies == [4, 12, 20]
+
+    def test_sources_do_not_interfere(self):
+        """Unlike SMART, Dedicated has no source-side multiplexing: two
+        flows from one source to distinct sinks both take 1 cycle."""
+        flows = [flow(0, 5, 0), flow(1, 5, 15)]
+        _net, got = build(flows, [(1, 0), (1, 1)])
+        assert got[0].head_latency == 1
+        assert got[1].head_latency == 1
+
+    def test_sink_counters(self):
+        net, _ = self.make_shared([(1, 0)])
+        assert net.counters.buffer_writes == 8
+        assert net.counters.buffer_reads == 8
+        assert net.counters.crossbar_traversals == 8
+
+
+class TestRun:
+    def test_run_api(self):
+        flows = [flow(0, 0, 5, bw=1e8), flow(1, 10, 5, bw=1e8)]
+        cfg = NocConfig()
+        net = DedicatedNetwork(cfg, Mesh(4, 4), flows,
+                               __import__("repro.sim.traffic", fromlist=["BernoulliTraffic"]).BernoulliTraffic(cfg, flows, seed=2))
+        result = net.run(warmup_cycles=200, measure_cycles=2000, drain_limit=20000)
+        assert result.drained
+        assert result.summary.count > 0
+        assert result.summary.mean_head_latency >= 1.0

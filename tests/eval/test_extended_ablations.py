@@ -1,0 +1,56 @@
+"""Tests for the §VI-extension ablations: non-minimal routing, pinned
+mapping, load sweep."""
+
+import pytest
+
+from repro.eval.ablations import load_sweep, nonminimal_routing, pinned_mapping
+
+FAST = dict(warmup_cycles=200, measure_cycles=3000, drain_limit=30000)
+
+
+class TestNonminimalAblation:
+    def test_rows_shape(self):
+        rows = nonminimal_routing("MMS_DEC", **FAST)
+        assert [r["routing"] for r in rows] == ["minimal", "detour<=2"]
+        assert all(r["mean_latency"] >= 1.0 for r in rows)
+
+    def test_detours_never_increase_stops(self):
+        rows = nonminimal_routing("MMS_DEC", **FAST)
+        assert rows[1]["mean_stops_per_flow"] <= rows[0]["mean_stops_per_flow"] + 1e-9
+
+
+class TestPinnedMapping:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return pinned_mapping("VOPD", (0, 4), **FAST)
+
+    def test_pinning_lengthens_paths(self, rows):
+        assert rows[1]["mean_hops"] > rows[0]["mean_hops"]
+
+    def test_pinning_magnifies_smart_benefit(self, rows):
+        """§VI: longer paths magnify the benefits of SMART."""
+        assert rows[1]["smart_saving"] >= rows[0]["smart_saving"]
+
+    def test_mesh_suffers_more_than_smart(self, rows):
+        mesh_delta = rows[1]["mesh_latency"] - rows[0]["mesh_latency"]
+        smart_delta = rows[1]["smart_latency"] - rows[0]["smart_latency"]
+        assert mesh_delta > smart_delta
+
+
+class TestLoadSweep:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return load_sweep("VOPD", (1.0, 8.0), **FAST)
+
+    def test_latency_grows_with_load_on_shared_fabrics(self, rows):
+        assert rows[1]["mesh"] > rows[0]["mesh"]
+        assert rows[1]["smart"] >= rows[0]["smart"]
+
+    def test_smart_stays_below_mesh_at_all_loads(self, rows):
+        for row in rows:
+            assert row["smart"] < row["mesh"]
+
+    def test_low_load_not_saturated(self, rows):
+        assert not rows[0]["mesh_saturated"]
+        assert not rows[0]["smart_saturated"]
+        assert not rows[0]["dedicated_saturated"]

@@ -1,0 +1,114 @@
+"""Evaluation harness tests: designs, experiments, reporting."""
+
+import pytest
+
+from repro.config import NocConfig
+from repro.eval.designs import DESIGNS, build_design
+from repro.eval.experiments import (
+    fig10a_rows,
+    fig10b_rows,
+    headline_metrics,
+    run_app,
+    run_suite,
+)
+from repro.eval.report import render_table, rows_to_csv
+from repro.eval.scenarios import fig7_flows
+
+FAST = dict(warmup_cycles=300, measure_cycles=4000, drain_limit=40000)
+
+
+class TestBuildDesign:
+    def test_all_designs_build(self):
+        for design in DESIGNS:
+            instance = build_design(design, NocConfig(), fig7_flows())
+            assert instance.design == design
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(ValueError):
+            build_design("torus", NocConfig(), fig7_flows())
+
+    def test_case_insensitive(self):
+        assert build_design("SMART", NocConfig(), fig7_flows()).design == "smart"
+
+
+class TestRunApp:
+    def test_vopd_smart(self):
+        experiment = run_app("VOPD", "smart", **FAST)
+        assert experiment.app == "VOPD"
+        assert experiment.result.drained
+        assert 1.0 <= experiment.mean_latency < 10.0
+        assert experiment.power.total_w > 0
+
+    def test_latency_ordering_one_app(self):
+        mesh = run_app("PIP", "mesh", **FAST)
+        smart = run_app("PIP", "smart", **FAST)
+        dedicated = run_app("PIP", "dedicated", **FAST)
+        assert dedicated.mean_latency <= smart.mean_latency < mesh.mean_latency
+
+    def test_dedicated_power_is_link_only(self):
+        experiment = run_app("VOPD", "dedicated", **FAST)
+        assert experiment.power.buffer_w == 0.0
+        assert experiment.power.link_w > 0.0
+        assert experiment.power_full.total_w >= experiment.power.total_w
+
+    def test_mapping_algorithm_forwarded(self):
+        experiment = run_app("PIP", "smart", mapping_algorithm="row_major", **FAST)
+        assert experiment.mapping == {
+            task: node
+            for node, task in enumerate(
+                __import__("repro.apps", fromlist=["pip"]).pip().tasks
+            )
+        }
+
+
+class TestSuiteAndRows:
+    @pytest.fixture(scope="class")
+    def suite(self):
+        return run_suite(apps=("PIP", "VOPD"), **FAST)
+
+    def test_matrix_complete(self, suite):
+        assert set(suite) == {
+            (app, design) for app in ("PIP", "VOPD") for design in DESIGNS
+        }
+
+    def test_fig10a_rows(self, suite):
+        rows = fig10a_rows(suite)
+        assert [r["app"] for r in rows] == ["VOPD", "PIP"]
+        for row in rows:
+            assert row["mesh"] > row["smart"]
+
+    def test_fig10b_rows(self, suite):
+        rows = fig10b_rows(suite)
+        assert len(rows) == 6
+        assert all(row["total_w"] > 0 for row in rows)
+
+    def test_headline_metrics(self, suite):
+        metrics = headline_metrics(suite)
+        assert 0.3 < metrics.latency_saving_vs_mesh < 0.9
+        assert metrics.power_ratio_mesh_over_smart > 1.2
+        assert metrics.gap_vs_dedicated_cycles >= 0.0
+
+
+class TestReport:
+    ROWS = [
+        {"app": "VOPD", "mesh": 8.43, "smart": 2.12},
+        {"app": "PIP", "mesh": 8.71, "smart": 2.63},
+    ]
+
+    def test_render_table(self):
+        text = render_table(self.ROWS, title="Fig 10a")
+        assert "Fig 10a" in text
+        assert "VOPD" in text
+        assert "8.430" in text
+
+    def test_empty_rows(self):
+        assert "(no rows)" in render_table([])
+
+    def test_csv(self):
+        csv_text = rows_to_csv(self.ROWS)
+        assert csv_text.splitlines()[0] == "app,mesh,smart"
+        assert "VOPD" in csv_text
+
+    def test_column_selection(self):
+        text = render_table(self.ROWS, columns=["app"])
+        assert "mesh" not in text

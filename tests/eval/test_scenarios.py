@@ -1,0 +1,43 @@
+"""Paper-figure scenario tests."""
+
+from repro.eval.scenarios import FIG1_APPS, FIG7_STOP_TIMES, fig7_flows
+from repro.sim.topology import Mesh
+
+
+class TestFig7Scenario:
+    def test_four_flows(self):
+        flows = fig7_flows()
+        assert len(flows) == 4
+        assert [f.name for f in flows] == ["blue", "red", "green", "purple"]
+
+    def test_blue_path_matches_paper(self, mesh):
+        blue = fig7_flows()[0]
+        assert blue.routers(mesh) == [8, 9, 10, 11, 7, 3]
+
+    def test_red_overlaps_blue_on_9_10(self, mesh):
+        blue, red = fig7_flows()[:2]
+        shared = set(blue.links(mesh)) & set(red.links(mesh))
+        assert shared == {(9, 10)}
+
+    def test_green_purple_disjoint_from_everything(self, mesh):
+        flows = fig7_flows()
+        for clean in flows[2:]:
+            for other in flows:
+                if other is clean:
+                    continue
+                assert not set(clean.links(mesh)) & set(other.links(mesh))
+
+    def test_stop_times_constant(self):
+        assert FIG7_STOP_TIMES == (1, 4, 7)
+
+
+class TestFig1Apps:
+    def test_names(self):
+        assert FIG1_APPS == ("WLAN", "H264", "VOPD")
+
+    def test_all_loadable(self):
+        from repro.apps.registry import evaluation_task_graph
+
+        for app in FIG1_APPS:
+            graph = evaluation_task_graph(app)
+            assert graph.num_tasks <= Mesh(4, 4).num_nodes

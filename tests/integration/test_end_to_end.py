@@ -1,0 +1,90 @@
+"""End-to-end invariants across the full paper flow, per application."""
+
+import pytest
+
+from repro.apps.registry import PAPER_APP_ORDER
+from repro.eval.experiments import run_app
+
+FAST = dict(warmup_cycles=300, measure_cycles=5000, drain_limit=60000)
+
+
+@pytest.fixture(scope="module")
+def all_results():
+    results = {}
+    for app in PAPER_APP_ORDER:
+        for design in ("mesh", "smart", "dedicated"):
+            results[(app, design)] = run_app(app, design, **FAST)
+    return results
+
+
+class TestConservation:
+    @pytest.mark.parametrize("app", PAPER_APP_ORDER)
+    @pytest.mark.parametrize("design", ["mesh", "smart", "dedicated"])
+    def test_all_measured_packets_delivered(self, all_results, app, design):
+        result = all_results[(app, design)].result
+        assert result.drained
+        assert result.undelivered_measured == 0
+        assert result.summary.count > 0
+
+
+class TestLatencyOrdering:
+    @pytest.mark.parametrize("app", PAPER_APP_ORDER)
+    def test_dedicated_le_smart_lt_mesh(self, all_results, app):
+        mesh = all_results[(app, "mesh")].mean_latency
+        smart = all_results[(app, "smart")].mean_latency
+        dedicated = all_results[(app, "dedicated")].mean_latency
+        assert dedicated <= smart + 0.25  # small stochastic tolerance
+        assert smart < mesh
+
+    @pytest.mark.parametrize("app", PAPER_APP_ORDER)
+    def test_latencies_at_least_one_cycle(self, all_results, app):
+        for design in ("mesh", "smart", "dedicated"):
+            assert all_results[(app, design)].mean_latency >= 1.0
+
+
+class TestPowerOrdering:
+    @pytest.mark.parametrize("app", PAPER_APP_ORDER)
+    def test_smart_saves_power_vs_mesh(self, all_results, app):
+        mesh = all_results[(app, "mesh")].power.total_w
+        smart = all_results[(app, "smart")].power.total_w
+        assert smart < mesh
+
+    @pytest.mark.parametrize("app", PAPER_APP_ORDER)
+    def test_link_power_similar_across_designs(self, all_results, app):
+        """'All designs send the same traffic through the network, and
+        hence have similar link power.'  Dedicated differs only by path
+        lengths (direct vs minimal mesh routes are equal in Manhattan
+        geometry)."""
+        mesh = all_results[(app, "mesh")].power.link_w
+        smart = all_results[(app, "smart")].power.link_w
+        assert smart == pytest.approx(mesh, rel=0.15)
+
+    @pytest.mark.parametrize("app", PAPER_APP_ORDER)
+    def test_buffer_power_collapses_under_smart(self, all_results, app):
+        mesh = all_results[(app, "mesh")].power.buffer_w
+        smart = all_results[(app, "smart")].power.buffer_w
+        assert smart < mesh * 0.75
+
+
+class TestSmartStops:
+    def test_pipeline_apps_mostly_bypass(self, all_results):
+        """VOPD/WLAN flows should rarely stop more than once."""
+        for app in ("VOPD", "WLAN"):
+            experiment = all_results[(app, "smart")]
+            network = experiment.instance.network
+            stop_counts = [
+                len(network.stops_for_flow(flow)) for flow in experiment.flows
+            ]
+            assert sum(stop_counts) / len(stop_counts) <= 1.5
+
+    def test_hub_apps_stop_more(self, all_results):
+        hub = all_results[("H264", "smart")]
+        pipe = all_results[("WLAN", "smart")]
+
+        def avg_stops(experiment):
+            network = experiment.instance.network
+            return sum(
+                len(network.stops_for_flow(f)) for f in experiment.flows
+            ) / len(experiment.flows)
+
+        assert avg_stops(hub) > avg_stops(pipe)

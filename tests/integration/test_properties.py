@@ -1,0 +1,128 @@
+"""Property-based tests over random flow sets (hypothesis).
+
+These pin the structural invariants of the SMART preset computation and
+the simulator's conservation properties for arbitrary mapped traffic.
+"""
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import NocConfig
+from repro.core.presets import InputMode, compute_presets
+from repro.mapping.turn_model import TurnModel, legal_minimal_routes
+from repro.sim.flow import Flow
+from repro.sim.network import Network
+from repro.sim.segments import BufferEnd, NicEnd
+from repro.sim.topology import Mesh, Port
+from repro.sim.traffic import ScriptedTraffic
+
+
+@st.composite
+def flow_sets(draw, max_flows=10, width=4, height=4):
+    mesh = Mesh(width, height)
+    n = draw(st.integers(1, max_flows))
+    flows = []
+    for i in range(n):
+        src = draw(st.integers(0, mesh.num_nodes - 1))
+        dst = draw(
+            st.integers(0, mesh.num_nodes - 1).filter(lambda d: d != src)
+        )
+        model = draw(st.sampled_from([TurnModel.XY, TurnModel.WEST_FIRST]))
+        route = draw(st.sampled_from(legal_minimal_routes(mesh, src, dst, model)))
+        flows.append(Flow(i, src, dst, 1e6, route))
+    return flows
+
+
+@settings(max_examples=40, deadline=None)
+@given(flows=flow_sets())
+def test_presets_respect_legality_invariants(flows):
+    """For every computed preset: a bypassed input's flows all share one
+    output, and that output serves only them."""
+    cfg = NocConfig()
+    mesh = Mesh(4, 4)
+    presets = compute_presets(cfg, mesh, flows)
+    flows_in = {}
+    flows_out = {}
+    out_at = {}
+    for flow in flows:
+        for node, in_port, out_port in flow.port_traversals(mesh):
+            flows_in.setdefault((node, in_port), set()).add(flow.flow_id)
+            flows_out.setdefault((node, out_port), set()).add(flow.flow_id)
+            out_at[(node, flow.flow_id)] = out_port
+    for node, rp in presets.routers.items():
+        for in_port, mode in rp.input_mode.items():
+            if mode is not InputMode.BYPASS:
+                continue
+            fset = flows_in[(node, in_port)]
+            outs = {out_at[(node, fid)] for fid in fset}
+            assert len(outs) == 1
+            q = next(iter(outs))
+            assert flows_out[(node, q)] == fset
+
+
+@settings(max_examples=40, deadline=None)
+@given(flows=flow_sets())
+def test_segment_chain_matches_route(flows):
+    """Walking a flow's segments visits exactly its routed routers."""
+    cfg = NocConfig()
+    mesh = Mesh(4, 4)
+    presets = compute_presets(cfg, mesh, flows)
+    net = Network(cfg, mesh, flows, presets.router_configs(),
+                  presets.segment_map, ScriptedTraffic([]))
+    for flow in flows:
+        crossed = []
+        for segment in net.flow_segments(flow):
+            crossed.extend(segment.routers_crossed)
+        assert crossed == flow.routers(mesh)
+
+
+@settings(max_examples=25, deadline=None)
+@given(flows=flow_sets(max_flows=8), data=st.data())
+def test_simulation_delivers_everything(flows, data):
+    """Conservation: every injected packet reaches its destination NIC,
+    under arbitrary burst schedules."""
+    cfg = NocConfig()
+    mesh = Mesh(4, 4)
+    presets = compute_presets(cfg, mesh, flows)
+    schedule = []
+    for flow in flows:
+        count = data.draw(st.integers(0, 3), label="pkts%d" % flow.flow_id)
+        for k in range(count):
+            cycle = data.draw(st.integers(1, 20), label="cyc%d_%d" % (flow.flow_id, k))
+            schedule.append((cycle, flow.flow_id))
+    net = Network(cfg, mesh, flows, presets.router_configs(),
+                  presets.segment_map, ScriptedTraffic(schedule))
+    net.run_cycles(800)
+    assert net.stats.created_total == len(schedule)
+    assert net.stats.delivered_total == len(schedule)
+
+
+@settings(max_examples=25, deadline=None)
+@given(flows=flow_sets(max_flows=6))
+def test_hpc_max_always_respected(flows):
+    """No segment ever exceeds HPC_max, for any hpc_max setting."""
+    for limit in (1, 2, 4, 8):
+        cfg = dataclasses.replace(NocConfig(), hpc_max=limit)
+        presets = compute_presets(cfg, Mesh(4, 4), flows)
+        assert presets.segment_map.max_hops() <= limit
+
+
+@settings(max_examples=30, deadline=None)
+@given(flows=flow_sets())
+def test_segment_ends_are_exclusive(flows):
+    """Each buffered input port / sink NIC is the end of exactly one
+    segment (unique driver), and segment ends cover all stops."""
+    cfg = NocConfig()
+    mesh = Mesh(4, 4)
+    presets = compute_presets(cfg, mesh, flows)
+    ends = [s.end for s in presets.segment_map.segments()]
+    assert len(ends) == len(set(ends))
+    for end in ends:
+        if isinstance(end, BufferEnd):
+            mode = presets.routers[end.node].input_mode[end.port]
+            assert mode is InputMode.BUFFERED
+        else:
+            assert isinstance(end, NicEnd)
+            assert any(f.dst == end.node for f in flows)

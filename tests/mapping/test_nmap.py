@@ -1,0 +1,109 @@
+"""NMAP mapping algorithm tests."""
+
+import pytest
+
+from repro.apps.registry import evaluation_task_graph
+from repro.mapping.nmap import (
+    map_application,
+    nmap_modified,
+    nmap_original,
+    random_map,
+    row_major,
+)
+from repro.mapping.task_graph import task_graph_from_tuples
+from repro.mapping.turn_model import TurnModel, is_deadlock_free
+from repro.sim.topology import Mesh
+
+
+def pipeline_graph(n=6):
+    tasks = ["t%d" % i for i in range(n)]
+    return task_graph_from_tuples(
+        "pipe", [(tasks[i], tasks[i + 1], 100) for i in range(n - 1)]
+    )
+
+
+class TestMappingValidity:
+    @pytest.mark.parametrize("mapper", [nmap_modified, nmap_original, row_major])
+    def test_bijective_into_mesh(self, mapper, mesh):
+        graph = pipeline_graph(10)
+        mapping = mapper(graph, mesh)
+        assert set(mapping) == set(graph.tasks)
+        nodes = list(mapping.values())
+        assert len(nodes) == len(set(nodes))
+        assert all(0 <= n < 16 for n in nodes)
+
+    def test_random_map_valid(self, mesh):
+        mapping = random_map(pipeline_graph(8), mesh, seed=3)
+        assert len(set(mapping.values())) == 8
+
+    def test_too_many_tasks_rejected(self):
+        graph = pipeline_graph(10)
+        with pytest.raises(ValueError):
+            nmap_modified(graph, Mesh(3, 3))
+
+
+class TestPaperHeuristic:
+    def test_hottest_task_mapped_to_center(self, mesh):
+        """§VI: highest-demand task goes to the most-connected core."""
+        graph = evaluation_task_graph("VOPD")
+        mapping = nmap_modified(graph, mesh)
+        hottest = max(graph.tasks, key=lambda t: (graph.comm_demand(t), t))
+        assert mapping[hottest] in {5, 6, 9, 10}
+
+    def test_deterministic(self, mesh):
+        graph = evaluation_task_graph("H264")
+        assert nmap_modified(graph, mesh) == nmap_modified(graph, mesh)
+
+    def test_adjacent_pipeline_stages_placed_close(self, mesh):
+        graph = pipeline_graph(8)
+        mapping = nmap_modified(graph, mesh)
+        distances = [
+            mesh.hop_distance(mapping["t%d" % i], mapping["t%d" % (i + 1)])
+            for i in range(7)
+        ]
+        assert sum(distances) / len(distances) <= 1.5
+
+    def test_modified_beats_row_major_on_hops(self, mesh):
+        graph = evaluation_task_graph("VOPD")
+
+        def weighted_hops(mapping):
+            return sum(
+                edge.bandwidth_bps
+                * mesh.hop_distance(mapping[edge.src], mapping[edge.dst])
+                for edge in graph.edges
+            )
+
+        assert weighted_hops(nmap_modified(graph, mesh)) < weighted_hops(
+            row_major(graph, mesh)
+        )
+
+
+class TestMapApplication:
+    def test_full_flow(self, mesh):
+        graph = evaluation_task_graph("PIP")
+        mapping, flows = map_application(graph, mesh)
+        assert len(flows) == graph.num_edges
+        assert is_deadlock_free(mesh, flows)
+        for flow, edge in zip(flows, graph.edges):
+            assert flow.src == mapping[edge.src]
+            assert flow.dst == mapping[edge.dst]
+            assert flow.bandwidth_bps == edge.bandwidth_bps
+
+    def test_unknown_algorithm_rejected(self, mesh):
+        with pytest.raises(ValueError):
+            map_application(pipeline_graph(4), mesh, algorithm="magic")
+
+    def test_all_algorithms_produce_routable_flows(self, mesh):
+        graph = evaluation_task_graph("MWD")
+        for algorithm in ("nmap_modified", "nmap_original", "row_major", "random"):
+            _mapping, flows = map_application(graph, mesh, algorithm=algorithm)
+            for flow in flows:
+                assert flow.hops(mesh) == mesh.hop_distance(flow.src, flow.dst)
+
+    def test_turn_model_honoured(self, mesh):
+        from repro.mapping.turn_model import path_legal
+
+        graph = evaluation_task_graph("VOPD")
+        _mapping, flows = map_application(graph, mesh, turn_model=TurnModel.XY)
+        for flow in flows:
+            assert path_legal(TurnModel.XY, flow.route)

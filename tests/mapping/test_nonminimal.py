@@ -1,0 +1,124 @@
+"""Non-minimal routing tests (§VI extension)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import NocConfig
+from repro.core.noc_builder import build_smart_noc
+from repro.mapping.nonminimal import (
+    enumerate_paths_with_detours,
+    legal_routes_with_detours,
+    select_routes_nonminimal,
+)
+from repro.mapping.route_select import PlacedFlow, select_routes
+from repro.mapping.turn_model import TurnModel, is_deadlock_free
+from repro.sim.topology import Mesh, Port
+from repro.sim.traffic import ScriptedTraffic
+
+
+class TestEnumeration:
+    def test_zero_detour_equals_minimal(self, mesh):
+        paths = enumerate_paths_with_detours(mesh, 0, 15, max_detour_hops=0)
+        assert all(len(p) == 6 for p in paths)
+        assert len(paths) == 20  # C(6,3)
+
+    def test_detours_add_longer_paths(self, mesh):
+        minimal = enumerate_paths_with_detours(mesh, 0, 3, 0)
+        detoured = enumerate_paths_with_detours(mesh, 0, 3, 2)
+        assert len(detoured) > len(minimal)
+        assert {len(p) for p in detoured} == {3, 5}
+
+    def test_paths_are_simple(self, mesh):
+        for path in enumerate_paths_with_detours(mesh, 0, 5, 4):
+            nodes = [0]
+            for direction in path:
+                nodes.append(mesh.neighbor(nodes[-1], direction))
+            assert len(nodes) == len(set(nodes))
+
+    def test_shortest_first(self, mesh):
+        paths = enumerate_paths_with_detours(mesh, 0, 1, 2)
+        lengths = [len(p) for p in paths]
+        assert lengths == sorted(lengths)
+
+    def test_bad_args(self, mesh):
+        with pytest.raises(ValueError):
+            enumerate_paths_with_detours(mesh, 3, 3)
+        with pytest.raises(ValueError):
+            enumerate_paths_with_detours(mesh, 0, 1, max_detour_hops=-1)
+
+    def test_legal_routes_obey_model(self, mesh):
+        from repro.mapping.turn_model import path_legal
+
+        for route in legal_routes_with_detours(mesh, 0, 15, TurnModel.WEST_FIRST, 2):
+            assert route[-1] is Port.CORE
+            assert path_legal(TurnModel.WEST_FIRST, route)
+
+
+class TestDetoursRemoveStops:
+    def test_nested_flows_become_conflict_free(self):
+        """Flow A 0->3 and flow B 1->2 share link 1->2 minimally; a free
+        2-hop detour for B makes both single-cycle."""
+        cfg = NocConfig()
+        mesh = Mesh(4, 4)
+        placed = [
+            PlacedFlow(0, 0, 3, 100.0),
+            PlacedFlow(1, 1, 2, 50.0),
+        ]
+        minimal = select_routes(mesh, placed)
+        detoured = select_routes_nonminimal(mesh, placed, max_detour_hops=2)
+
+        noc_min = build_smart_noc(cfg, minimal, traffic=ScriptedTraffic([]))
+        noc_det = build_smart_noc(cfg, detoured, traffic=ScriptedTraffic([]))
+        min_stops = sum(
+            len(noc_min.network.stops_for_flow(f)) for f in minimal
+        )
+        det_stops = sum(
+            len(noc_det.network.stops_for_flow(f)) for f in detoured
+        )
+        assert min_stops > 0
+        assert det_stops == 0
+
+    def test_detour_actually_single_cycle(self):
+        """End to end: the detoured flows really deliver in one cycle."""
+        cfg = NocConfig()
+        mesh = Mesh(4, 4)
+        placed = [PlacedFlow(0, 0, 3, 100.0), PlacedFlow(1, 1, 2, 50.0)]
+        flows = select_routes_nonminimal(mesh, placed, max_detour_hops=2)
+        noc = build_smart_noc(
+            cfg, flows, traffic=ScriptedTraffic([(1, 0), (1, 1)])
+        )
+        noc.network.stats.measuring = True
+        noc.network.run_cycles(40)
+        for packet in noc.network.stats.measured_delivered:
+            assert packet.head_latency == 1
+
+    def test_no_detour_when_no_conflict(self, mesh):
+        placed = [PlacedFlow(0, 0, 15, 1.0)]
+        flows = select_routes_nonminimal(mesh, placed, max_detour_hops=2)
+        assert flows[0].hops(mesh) == 6  # stays minimal
+
+    def test_detours_respect_hpc_budget(self, mesh):
+        placed = [PlacedFlow(0, 0, 15, 1.0)]
+        flows = select_routes_nonminimal(
+            mesh, placed, max_detour_hops=4, hpc_max=8
+        )
+        assert flows[0].hops(mesh) <= 8
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_property_nonminimal_routes_deadlock_free(data):
+    """Detoured route sets still keep the CDG acyclic (turn-model
+    legality is checked pairwise, which covers non-minimal paths)."""
+    mesh = Mesh(4, 4)
+    n = data.draw(st.integers(1, 8), label="n")
+    placed = []
+    for i in range(n):
+        src = data.draw(st.integers(0, 15), label="src%d" % i)
+        dst = data.draw(
+            st.integers(0, 15).filter(lambda d: d != src), label="dst%d" % i
+        )
+        placed.append(PlacedFlow(i, src, dst, float(i + 1)))
+    flows = select_routes_nonminimal(mesh, placed, max_detour_hops=2)
+    assert is_deadlock_free(mesh, flows)

@@ -1,0 +1,53 @@
+"""Pinned-task mapping tests (heterogeneous SoC scenario, §VI)."""
+
+import pytest
+
+from repro.apps.registry import evaluation_task_graph
+from repro.mapping.nmap import nmap_modified
+from repro.sim.topology import Mesh
+
+
+class TestPins:
+    def test_pins_are_honoured(self, mesh):
+        graph = evaluation_task_graph("VOPD")
+        pins = {"vld": 0, "vop_mem": 15}
+        mapping = nmap_modified(graph, mesh, pinned=pins)
+        assert mapping["vld"] == 0
+        assert mapping["vop_mem"] == 15
+        assert len(set(mapping.values())) == graph.num_tasks
+
+    def test_unknown_task_rejected(self, mesh):
+        graph = evaluation_task_graph("PIP")
+        with pytest.raises(ValueError):
+            nmap_modified(graph, mesh, pinned={"ghost": 0})
+
+    def test_core_out_of_mesh_rejected(self, mesh):
+        graph = evaluation_task_graph("PIP")
+        with pytest.raises(ValueError):
+            nmap_modified(graph, mesh, pinned={"hs": 99})
+
+    def test_double_pin_rejected(self, mesh):
+        graph = evaluation_task_graph("PIP")
+        with pytest.raises(ValueError):
+            nmap_modified(graph, mesh, pinned={"hs": 0, "vs": 0})
+
+    def test_no_pins_matches_default(self, mesh):
+        graph = evaluation_task_graph("MWD")
+        assert nmap_modified(graph, mesh) == nmap_modified(graph, mesh, pinned={})
+
+    def test_adversarial_pins_lengthen_paths(self, mesh):
+        graph = evaluation_task_graph("VOPD")
+        free = nmap_modified(graph, mesh)
+        hottest = sorted(graph.tasks, key=lambda t: (-graph.comm_demand(t), t))
+        pinned = nmap_modified(
+            graph, mesh, pinned={hottest[0]: 0, hottest[1]: 15}
+        )
+
+        def weighted_hops(mapping):
+            return sum(
+                edge.bandwidth_bps
+                * mesh.hop_distance(mapping[edge.src], mapping[edge.dst])
+                for edge in graph.edges
+            )
+
+        assert weighted_hops(pinned) > weighted_hops(free)

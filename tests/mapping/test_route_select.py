@@ -1,0 +1,68 @@
+"""Route selection tests: conflict-minimising minimal routes."""
+
+from repro.mapping.route_select import PlacedFlow, select_routes
+from repro.mapping.turn_model import TurnModel, is_deadlock_free
+from repro.sim.topology import Mesh
+
+
+class TestSelectRoutes:
+    def test_returns_one_route_per_flow_in_order(self, mesh):
+        placed = [
+            PlacedFlow(0, 0, 15, 100.0),
+            PlacedFlow(1, 3, 12, 50.0),
+        ]
+        flows = select_routes(mesh, placed)
+        assert [f.flow_id for f in flows] == [0, 1]
+        for flow, p in zip(flows, placed):
+            assert flow.src == p.src and flow.dst == p.dst
+            assert flow.hops(mesh) == mesh.hop_distance(p.src, p.dst)
+
+    def test_avoids_shared_links_when_possible(self, mesh):
+        """Two parallel flows with alternate minimal routes should not
+        share any link (a shared link means two forced stops)."""
+        placed = [
+            PlacedFlow(0, 0, 5, 100.0),   # 0->5: E,N or N,E
+            PlacedFlow(1, 4, 1, 100.0),   # 4->1: E,S or S,E
+        ]
+        flows = select_routes(mesh, placed, model=TurnModel.WEST_FIRST)
+        links0 = set(flows[0].links(mesh))
+        links1 = set(flows[1].links(mesh))
+        assert not links0 & links1
+
+    def test_xy_model_reduces_to_xy(self, mesh):
+        from repro.sim.flow import xy_route
+
+        placed = [PlacedFlow(0, 0, 15, 1.0), PlacedFlow(1, 12, 3, 1.0)]
+        flows = select_routes(mesh, placed, model=TurnModel.XY)
+        for flow, p in zip(flows, placed):
+            assert flow.route == xy_route(mesh, p.src, p.dst)
+
+    def test_selected_routes_deadlock_free(self, mesh):
+        import random
+
+        rng = random.Random(0)
+        placed = []
+        for i in range(20):
+            src = rng.randrange(16)
+            dst = rng.randrange(16)
+            while dst == src:
+                dst = rng.randrange(16)
+            placed.append(PlacedFlow(i, src, dst, rng.uniform(1, 100)))
+        flows = select_routes(mesh, placed, model=TurnModel.WEST_FIRST)
+        assert is_deadlock_free(mesh, flows)
+
+    def test_heavy_flows_routed_first_get_clean_paths(self, mesh):
+        # The heavy flow should keep a conflict-free route even when a
+        # light competitor is declared first.
+        placed = [
+            PlacedFlow(0, 0, 5, 1.0),
+            PlacedFlow(1, 1, 4, 1000.0),
+        ]
+        flows = select_routes(mesh, placed, model=TurnModel.WEST_FIRST)
+        links0 = set(flows[0].links(mesh))
+        links1 = set(flows[1].links(mesh))
+        assert not links0 & links1
+
+    def test_names_preserved(self, mesh):
+        placed = [PlacedFlow(0, 0, 1, 1.0, name="a->b")]
+        assert select_routes(mesh, placed)[0].name == "a->b"

@@ -1,0 +1,92 @@
+"""Task graph data structure tests."""
+
+import pytest
+
+from repro.mapping.task_graph import MB, TaskEdge, TaskGraph, task_graph_from_tuples
+
+
+def small_graph():
+    return task_graph_from_tuples(
+        "toy",
+        [("a", "b", 100), ("b", "c", 50), ("a", "c", 25)],
+    )
+
+
+class TestConstruction:
+    def test_tasks_inferred(self):
+        graph = small_graph()
+        assert graph.tasks == ("a", "b", "c")
+        assert graph.num_edges == 3
+
+    def test_bandwidth_units(self):
+        graph = small_graph()
+        assert graph.edges[0].bandwidth_bps == pytest.approx(100 * MB)
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(ValueError):
+            TaskGraph("bad", ["a", "b"], [
+                TaskEdge("a", "b", 1.0), TaskEdge("a", "b", 2.0)])
+
+    def test_self_edge_rejected(self):
+        with pytest.raises(ValueError):
+            TaskEdge("a", "a", 1.0)
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            TaskEdge("a", "b", 0.0)
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(ValueError):
+            TaskGraph("bad", ["a"], [TaskEdge("a", "zz", 1.0)])
+
+    def test_duplicate_task_rejected(self):
+        with pytest.raises(ValueError):
+            TaskGraph("bad", ["a", "a"], [])
+
+
+class TestQueries:
+    def test_comm_demand(self):
+        graph = small_graph()
+        assert graph.comm_demand("a") == pytest.approx(125 * MB)
+        assert graph.comm_demand("b") == pytest.approx(150 * MB)
+
+    def test_neighbors(self):
+        graph = small_graph()
+        assert set(graph.neighbors("a")) == {"b", "c"}
+
+    def test_bandwidth_between_both_directions(self):
+        graph = task_graph_from_tuples(
+            "bi", [("a", "b", 10), ("b", "a", 5)]
+        )
+        assert graph.bandwidth_between("a", "b") == pytest.approx(15 * MB)
+
+    def test_degrees_and_hubs(self):
+        graph = task_graph_from_tuples(
+            "hub",
+            [("src", "x", 1), ("src", "y", 1), ("src", "z", 1),
+             ("x", "sink", 1), ("y", "sink", 1)],
+        )
+        assert graph.max_fan_out_task() == ("src", 3)
+        assert graph.max_fan_in_task() == ("sink", 2)
+
+    def test_total_bandwidth(self):
+        assert small_graph().total_bandwidth_bps() == pytest.approx(175 * MB)
+
+    def test_adjacency_symmetric(self):
+        adj = small_graph().adjacency()
+        assert adj["a"]["b"] == adj["b"]["a"]
+
+
+class TestScaling:
+    def test_scaled_preserves_structure(self):
+        graph = small_graph().scaled(100.0)
+        assert graph.num_tasks == 3
+        assert graph.edges[0].bandwidth_bps == pytest.approx(100 * 100 * MB)
+
+    def test_scaled_name(self):
+        assert small_graph().scaled(2.0).name == "toy_x2"
+        assert small_graph().scaled(2.0, name="kept").name == "kept"
+
+    def test_bad_factor_rejected(self):
+        with pytest.raises(ValueError):
+            small_graph().scaled(0.0)

@@ -1,0 +1,127 @@
+"""Turn model and deadlock-freedom tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mapping.turn_model import (
+    TurnModel,
+    channel_dependency_graph,
+    enumerate_minimal_paths,
+    is_deadlock_free,
+    legal_minimal_routes,
+    path_legal,
+    turn_allowed,
+)
+from repro.sim.flow import Flow
+from repro.sim.topology import Mesh, Port
+
+
+class TestTurnRules:
+    def test_uturns_never_allowed(self):
+        for model in TurnModel:
+            for direction in (Port.EAST, Port.SOUTH, Port.WEST, Port.NORTH):
+                assert not turn_allowed(model, direction, direction.opposite)
+
+    def test_straight_always_allowed(self):
+        for model in TurnModel:
+            for direction in (Port.EAST, Port.SOUTH, Port.WEST, Port.NORTH):
+                assert turn_allowed(model, direction, direction)
+
+    def test_xy_prohibits_y_to_x(self):
+        assert not turn_allowed(TurnModel.XY, Port.NORTH, Port.EAST)
+        assert not turn_allowed(TurnModel.XY, Port.SOUTH, Port.WEST)
+        assert turn_allowed(TurnModel.XY, Port.EAST, Port.NORTH)
+
+    def test_west_first_prohibits_turns_into_west(self):
+        assert not turn_allowed(TurnModel.WEST_FIRST, Port.NORTH, Port.WEST)
+        assert not turn_allowed(TurnModel.WEST_FIRST, Port.SOUTH, Port.WEST)
+        assert turn_allowed(TurnModel.WEST_FIRST, Port.WEST, Port.NORTH)
+
+    def test_north_last_prohibits_turns_out_of_north(self):
+        assert not turn_allowed(TurnModel.NORTH_LAST, Port.NORTH, Port.EAST)
+        assert not turn_allowed(TurnModel.NORTH_LAST, Port.NORTH, Port.WEST)
+        assert turn_allowed(TurnModel.NORTH_LAST, Port.EAST, Port.NORTH)
+
+    def test_negative_first(self):
+        assert not turn_allowed(TurnModel.NEGATIVE_FIRST, Port.NORTH, Port.WEST)
+        assert not turn_allowed(TurnModel.NEGATIVE_FIRST, Port.EAST, Port.SOUTH)
+        assert turn_allowed(TurnModel.NEGATIVE_FIRST, Port.WEST, Port.NORTH)
+
+    def test_core_turn_rejected(self):
+        with pytest.raises(ValueError):
+            turn_allowed(TurnModel.XY, Port.CORE, Port.EAST)
+
+
+class TestPathEnumeration:
+    def test_count_is_binomial(self, mesh):
+        # 0 -> 15: 3 east + 3 north = C(6,3) = 20 minimal orderings.
+        assert len(enumerate_minimal_paths(mesh, 0, 15)) == 20
+
+    def test_straight_line_single_path(self, mesh):
+        assert len(enumerate_minimal_paths(mesh, 0, 3)) == 1
+
+    def test_xy_admits_exactly_one(self, mesh):
+        for src, dst in ((0, 15), (12, 3), (5, 10)):
+            assert len(legal_minimal_routes(mesh, src, dst, TurnModel.XY)) == 1
+
+    def test_west_first_admits_more_than_xy(self, mesh):
+        xy = legal_minimal_routes(mesh, 0, 15, TurnModel.XY)
+        wf = legal_minimal_routes(mesh, 0, 15, TurnModel.WEST_FIRST)
+        assert len(wf) > len(xy)
+
+    def test_all_routes_end_with_core(self, mesh):
+        for route in legal_minimal_routes(mesh, 0, 15, TurnModel.WEST_FIRST):
+            assert route[-1] is Port.CORE
+
+    def test_path_legal(self):
+        assert path_legal(TurnModel.XY, (Port.EAST, Port.NORTH))
+        assert not path_legal(TurnModel.XY, (Port.NORTH, Port.EAST))
+
+
+class TestDeadlockFreedom:
+    def test_cyclic_routes_detected(self, mesh):
+        # Four flows forming a ring: 0->1->5->4->0 dependencies.
+        flows = [
+            Flow(0, 0, 5, 1.0, (Port.EAST, Port.NORTH, Port.CORE)),
+            Flow(1, 1, 4, 1.0, (Port.NORTH, Port.WEST, Port.CORE)),
+            Flow(2, 5, 0, 1.0, (Port.WEST, Port.SOUTH, Port.CORE)),
+            Flow(3, 4, 1, 1.0, (Port.SOUTH, Port.EAST, Port.CORE)),
+        ]
+        assert not is_deadlock_free(mesh, flows)
+
+    def test_xy_routes_always_deadlock_free(self, mesh):
+        from repro.sim.flow import xy_route
+
+        flows = [
+            Flow(i, src, dst, 1.0, xy_route(mesh, src, dst))
+            for i, (src, dst) in enumerate(
+                (s, d) for s in mesh.nodes() for d in mesh.nodes() if s != d
+            )
+        ]
+        assert is_deadlock_free(mesh, flows)
+
+    def test_cdg_nodes_are_links(self, mesh):
+        flows = [Flow(0, 0, 2, 1.0, (Port.EAST, Port.EAST, Port.CORE))]
+        graph = channel_dependency_graph(mesh, flows)
+        assert set(graph.nodes) == {(0, 1), (1, 2)}
+        assert list(graph.edges) == [((0, 1), (1, 2))]
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data(), model=st.sampled_from(list(TurnModel)))
+def test_property_turn_model_routes_are_deadlock_free(data, model):
+    """Any single choice of legal minimal route per random flow keeps the
+    channel dependency graph acyclic — the Glass–Ni guarantee."""
+    mesh = Mesh(4, 4)
+    n_flows = data.draw(st.integers(1, 12), label="n_flows")
+    flows = []
+    for i in range(n_flows):
+        src = data.draw(st.integers(0, 15), label="src%d" % i)
+        dst = data.draw(
+            st.integers(0, 15).filter(lambda d: d != src), label="dst%d" % i
+        )
+        routes = legal_minimal_routes(mesh, src, dst, model)
+        route = data.draw(st.sampled_from(routes), label="route%d" % i)
+        flows.append(Flow(i, src, dst, 1.0, route))
+    assert is_deadlock_free(mesh, flows)

@@ -1,0 +1,61 @@
+"""Area model tests."""
+
+import pytest
+
+from repro.config import NocConfig
+from repro.mapping.nmap import map_application
+from repro.apps.registry import evaluation_task_graph
+from repro.power.area import (
+    dedicated_overhead_ratio,
+    dedicated_wiring_mm,
+    mesh_wiring_mm,
+    noc_area_mm2,
+    router_area,
+)
+from repro.sim.topology import Mesh
+
+
+class TestRouterArea:
+    def test_buffers_dominate(self, cfg):
+        area = router_area(cfg)
+        assert area.buffers_um2 > area.crossbar_um2
+        assert area.buffers_um2 > area.config_um2
+
+    def test_router_fits_in_tile(self, cfg):
+        """Fig 9: routers + link circuits are a small fraction of the
+        1 mm2 tile."""
+        area = router_area(cfg)
+        assert area.total_mm2 < 0.1
+
+    def test_total_noc_area(self, cfg):
+        assert noc_area_mm2(cfg) == pytest.approx(16 * router_area(cfg).total_mm2)
+
+    def test_as_dict_keys(self, cfg):
+        keys = set(router_area(cfg).as_dict())
+        assert keys == {
+            "buffers_um2", "crossbar_um2", "allocators_um2", "vlr_um2",
+            "config_um2",
+        }
+
+
+class TestWiring:
+    def test_mesh_wiring(self, cfg, mesh):
+        # 48 directed links x 1 mm x 34 bits.
+        assert mesh_wiring_mm(mesh, cfg) == pytest.approx(48 * 34.0)
+
+    def test_dedicated_needs_wiring_per_app(self, cfg, mesh):
+        graph = evaluation_task_graph("H264")
+        _mapping, flows = map_application(graph, mesh)
+        wiring = dedicated_wiring_mm(mesh, flows, cfg)
+        assert wiring > 0
+
+    def test_dedicated_overhead_positive(self, cfg, mesh):
+        """The paper: 'While this has area overheads...' — dedicated
+        point-to-point wiring is a substantial fraction of (or exceeds)
+        the entire shared mesh, per application."""
+        ratios = []
+        for app in ("H264", "VOPD", "WLAN"):
+            graph = evaluation_task_graph(app)
+            _mapping, flows = map_application(graph, mesh)
+            ratios.append(dedicated_overhead_ratio(mesh, flows, cfg))
+        assert all(r > 0.2 for r in ratios)

@@ -1,0 +1,103 @@
+"""Power model tests (energy params + accounting)."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import NocConfig
+from repro.power.accounting import PowerBreakdown, power_from_counters
+from repro.power.energy import (
+    VLR_LOW_SWING_FJ_PER_BIT_MM,
+    EnergyParams,
+)
+from repro.sim.stats import EventCounters
+
+
+class TestEnergyParams:
+    def test_link_energy_from_table1(self, cfg):
+        params = EnergyParams.default_45nm(cfg)
+        # 104 fJ/b/mm x 32 bits = 3.328 pJ per flit-mm.
+        assert params.link_pj_per_flit_mm == pytest.approx(
+            VLR_LOW_SWING_FJ_PER_BIT_MM * 32 / 1000.0
+        )
+
+    def test_width_scaling(self):
+        wide = EnergyParams.default_45nm(NocConfig())
+        # Narrower flits make 16-flit packets: VCT needs deeper VCs.
+        narrow_cfg = dataclasses.replace(
+            NocConfig(), flit_bits=16, packet_bits=256, vc_depth_flits=16
+        )
+        narrow = EnergyParams.default_45nm(narrow_cfg)
+        assert narrow.buffer_write_pj == pytest.approx(wide.buffer_write_pj / 2)
+        assert narrow.link_pj_per_flit_mm == pytest.approx(
+            wide.link_pj_per_flit_mm / 2
+        )
+
+
+def make_counters(**kwargs):
+    counters = EventCounters(cycles=20000)
+    for key, value in kwargs.items():
+        setattr(counters, key, value)
+    return counters
+
+
+class TestAccounting:
+    def test_zero_activity_zero_power(self, cfg):
+        breakdown = power_from_counters(make_counters(), cfg)
+        assert breakdown.total_w == 0.0
+
+    def test_category_mapping(self, cfg):
+        counters = make_counters(
+            buffer_writes=1000,
+            buffer_reads=1000,
+            sa_requests=100,
+            sa_grants=50,
+            crossbar_traversals=2000,
+            pipeline_latches=1500,
+            link_flit_mm=4000.0,
+            credit_mm=100.0,
+            credit_crossbar_traversals=50,
+        )
+        breakdown = power_from_counters(counters, cfg)
+        assert breakdown.buffer_w > 0
+        assert breakdown.allocator_w > 0
+        assert breakdown.xbar_w > 0
+        assert breakdown.link_w > 0
+        assert breakdown.total_w == pytest.approx(
+            breakdown.buffer_w
+            + breakdown.allocator_w
+            + breakdown.xbar_w
+            + breakdown.link_w
+        )
+
+    def test_hand_computed_link_power(self, cfg):
+        counters = make_counters(link_flit_mm=1e6)
+        breakdown = power_from_counters(counters, cfg)
+        window_s = 20000 * cfg.cycle_time_s
+        expected = 1e6 * 3.328e-12 / window_s
+        assert breakdown.link_w == pytest.approx(expected, rel=1e-6)
+
+    def test_link_only_mode(self, cfg):
+        counters = make_counters(buffer_writes=5000, link_flit_mm=1000.0)
+        full = power_from_counters(counters, cfg)
+        link_only = power_from_counters(counters, cfg, link_only=True)
+        assert link_only.buffer_w == 0.0
+        assert link_only.link_w == pytest.approx(full.link_w)
+        assert link_only.total_w < full.total_w
+
+    def test_empty_window_rejected(self, cfg):
+        with pytest.raises(ValueError):
+            power_from_counters(EventCounters(), cfg)
+
+    def test_as_dict_matches_fig10b_legend(self, cfg):
+        breakdown = power_from_counters(make_counters(buffer_writes=1), cfg)
+        assert list(breakdown.as_dict()) == [
+            "Buffer",
+            "Allocator",
+            "Xbar (flit + credit) + Pipeline register",
+            "Link",
+        ]
+
+    def test_scaled(self):
+        breakdown = PowerBreakdown(1.0, 2.0, 3.0, 4.0)
+        assert breakdown.scaled(0.5).total_w == pytest.approx(5.0)

@@ -1,0 +1,91 @@
+"""Layout generation tests (Fig 8/9)."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import NocConfig
+from repro.rtl.layout import Rect, generate_layout, tx_block_layout
+
+
+class TestTxBlock:
+    def test_fig8_regular_column(self):
+        block = tx_block_layout(32, "tx")
+        assert block.bits == 32
+        xs = {x for x, _y in block.cells}
+        assert xs == {0.0}  # single regular column
+        ys = sorted(y for _x, y in block.cells)
+        steps = {round(b - a, 6) for a, b in zip(ys, ys[1:])}
+        assert len(steps) == 1  # perfectly regular pitch
+
+    def test_height_scales_with_bits(self):
+        assert tx_block_layout(64, "tx").height_um == pytest.approx(
+            2 * tx_block_layout(32, "tx").height_um
+        )
+
+    def test_rx_kind(self):
+        assert tx_block_layout(8, "rx").kind == "rx"
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            tx_block_layout(0)
+        with pytest.raises(ValueError):
+            tx_block_layout(8, "zz")
+
+
+class TestRect:
+    def test_overlap(self):
+        a = Rect(0, 0, 2, 2)
+        assert a.overlaps(Rect(1, 1, 2, 2))
+        assert not a.overlaps(Rect(2, 0, 1, 1))  # touching edges don't overlap
+
+    def test_center(self):
+        assert Rect(0, 0, 2, 4).center == (1.0, 2.0)
+
+
+class TestNocLayout:
+    def test_fig9_dimensions(self):
+        layout = generate_layout(NocConfig())
+        assert layout.die_w_mm == pytest.approx(4.0)
+        assert layout.die_h_mm == pytest.approx(4.0)
+        assert len(layout.by_kind("router")) == 16
+        assert len(layout.by_kind("core")) == 16
+
+    def test_no_overlaps(self):
+        generate_layout(NocConfig()).check_no_overlaps()
+
+    def test_network_is_small_fraction(self):
+        """Routers + VLR blocks leave almost the whole tile to the core."""
+        layout = generate_layout(NocConfig())
+        assert layout.network_area_fraction() < 0.10
+
+    def test_wirelength_matches_grid(self):
+        layout = generate_layout(NocConfig())
+        # 48 directed links x 1 mm between router centres.
+        assert layout.total_link_wirelength_mm() == pytest.approx(48.0)
+
+    def test_tx_rx_only_on_mesh_facing_sides(self):
+        layout = generate_layout(NocConfig())
+        # Corner router 0 has 2 neighbours -> 2 tx + 2 rx blocks.
+        r0_blocks = [
+            p for p in layout.placements
+            if p.name.startswith(("tx_0_", "rx_0_"))
+        ]
+        assert len(r0_blocks) == 4
+
+    def test_ascii_floorplan(self):
+        art = generate_layout(NocConfig()).ascii_floorplan()
+        assert "R0" in art and "R15" in art
+        assert "4x4" in art
+
+    def test_def_text(self):
+        text = generate_layout(NocConfig()).def_text()
+        assert "DIEAREA ( 0 0 ) ( 4000 4000 )" in text
+        assert "END DESIGN" in text
+
+    def test_non_square(self):
+        cfg = dataclasses.replace(NocConfig(), width=2, height=3)
+        layout = generate_layout(cfg)
+        assert layout.die_w_mm == pytest.approx(2.0)
+        assert layout.die_h_mm == pytest.approx(3.0)
+        layout.check_no_overlaps()

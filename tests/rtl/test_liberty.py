@@ -1,0 +1,60 @@
+"""Liberty (.lib) and LEF emission tests."""
+
+import pytest
+
+from repro.rtl.liberty import emit_lef, emit_liberty
+
+
+@pytest.fixture(scope="module")
+def lib_text():
+    return emit_liberty(34)
+
+
+@pytest.fixture(scope="module")
+def lef_text():
+    return emit_lef(34)
+
+
+class TestLiberty:
+    def test_balanced_braces(self, lib_text):
+        assert lib_text.count("{") == lib_text.count("}")
+
+    def test_cells_present(self, lib_text):
+        assert "cell (vlr_tx_block_34b)" in lib_text
+        assert "cell (vlr_rx_block_34b)" in lib_text
+        assert "cell (fs_repeater)" in lib_text
+
+    def test_per_bit_pins(self, lib_text):
+        assert "pin (lines_in_0)" in lib_text
+        assert "pin (lines_out_33)" in lib_text
+
+    def test_vlr_faster_than_full_swing(self, lib_text):
+        """Chip: 60 ps/mm VLR vs 100 ps/mm full-swing — the Tx half delay
+        written for the VLR cells must be below the fs_repeater's."""
+        import re
+
+        values = [float(v) for v in re.findall(r'values \("([\d.]+)"\)', lib_text)]
+        vlr = min(values)
+        full = max(values)
+        assert vlr < full
+
+    def test_library_header(self, lib_text):
+        assert lib_text.startswith("library (smart_45nm)")
+
+
+class TestLef:
+    def test_macros_present(self, lef_text):
+        assert "MACRO VLR_TX_BLOCK_34B" in lef_text
+        assert "MACRO VLR_RX_BLOCK_34B" in lef_text
+
+    def test_pins_per_bit(self, lef_text):
+        assert lef_text.count("PIN LINE_") == 2 * 34
+
+    def test_sizes_match_block_layout(self, lef_text):
+        from repro.rtl.layout import tx_block_layout
+
+        block = tx_block_layout(34, "tx")
+        assert ("SIZE %.3f BY %.3f ;" % (block.width_um, block.height_um)) in lef_text
+
+    def test_ends_library(self, lef_text):
+        assert lef_text.rstrip().endswith("END LIBRARY")

@@ -1,0 +1,114 @@
+"""Netlist IR tests."""
+
+import pytest
+
+from repro.rtl.netlist import (
+    Instance,
+    Module,
+    Netlist,
+    ParamDecl,
+    PortDecl,
+    WireDecl,
+    check_identifier,
+)
+
+
+class TestIdentifiers:
+    def test_valid(self):
+        assert check_identifier("u_router_0") == "u_router_0"
+        assert check_identifier("_x$y") == "_x$y"
+
+    @pytest.mark.parametrize("bad", ["9lives", "a-b", "", "a b", "café"])
+    def test_invalid(self, bad):
+        with pytest.raises(ValueError):
+            check_identifier(bad)
+
+
+class TestDecls:
+    def test_port_range(self):
+        assert PortDecl("d", "input", 32).range_str == "[31:0] "
+        assert PortDecl("v", "output").range_str == ""
+
+    def test_bad_direction(self):
+        with pytest.raises(ValueError):
+            PortDecl("d", "sideways")
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            PortDecl("d", "input", 0)
+        with pytest.raises(ValueError):
+            WireDecl("w", -1)
+
+    def test_bad_kind(self):
+        with pytest.raises(ValueError):
+            WireDecl("w", 1, kind="tri")
+
+
+class TestModule:
+    def test_duplicate_port_rejected(self):
+        with pytest.raises(ValueError):
+            Module("m", ports=[PortDecl("a", "input"), PortDecl("a", "output")])
+
+    def test_wire_name_collision_with_port(self):
+        module = Module("m", ports=[PortDecl("a", "input")])
+        with pytest.raises(ValueError):
+            module.wire("a")
+
+    def test_builder_methods(self):
+        module = Module("m")
+        name = module.wire("data", 8)
+        module.assign(name, "8'hff")
+        assert module.wires[0].width == 8
+        assert module.assigns[0].lhs == "data"
+
+
+class TestNetlistValidation:
+    def make_pair(self):
+        netlist = Netlist()
+        leaf = Module("leaf", ports=[PortDecl("a", "input"), PortDecl("y", "output")],
+                      parameters=[ParamDecl("W", 1)])
+        top = Module("top")
+        netlist.add(leaf)
+        netlist.add(top)
+        return netlist, top
+
+    def test_good_instance(self):
+        netlist, top = self.make_pair()
+        top.instantiate("leaf", "u0", {"a": "1'b0", "y": "w"}, {"W": 2})
+        netlist.validate()
+
+    def test_unknown_module(self):
+        netlist, top = self.make_pair()
+        top.instantiate("ghost", "u0", {})
+        with pytest.raises(ValueError):
+            netlist.validate()
+
+    def test_unknown_port(self):
+        netlist, top = self.make_pair()
+        top.instantiate("leaf", "u0", {"zz": "w"})
+        with pytest.raises(ValueError):
+            netlist.validate()
+
+    def test_unknown_parameter(self):
+        netlist, top = self.make_pair()
+        top.instantiate("leaf", "u0", {"a": "w"}, {"NOPE": 1})
+        with pytest.raises(ValueError):
+            netlist.validate()
+
+    def test_duplicate_instance_name(self):
+        netlist, top = self.make_pair()
+        top.instantiate("leaf", "u0", {"a": "x"})
+        top.instantiate("leaf", "u0", {"a": "y"})
+        with pytest.raises(ValueError):
+            netlist.validate()
+
+    def test_duplicate_module_rejected(self):
+        netlist = Netlist()
+        netlist.add(Module("m"))
+        with pytest.raises(ValueError):
+            netlist.add(Module("m"))
+
+    def test_top_candidates(self):
+        netlist, top = self.make_pair()
+        top.instantiate("leaf", "u0", {"a": "x", "y": "y0"})
+        assert netlist.top_candidates() == ["top"]

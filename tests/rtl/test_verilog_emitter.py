@@ -1,0 +1,83 @@
+"""Verilog emitter detail tests."""
+
+import pytest
+
+from repro.rtl.netlist import Module, Netlist, ParamDecl, PortDecl
+from repro.rtl.verilog import emit_module, emit_netlist
+
+
+def leaf():
+    module = Module(
+        "leaf",
+        ports=[PortDecl("a", "input", 4), PortDecl("y", "output")],
+        parameters=[ParamDecl("W", 4)],
+        comment="a leaf",
+    )
+    module.assign("y", "|a")
+    return module
+
+
+class TestEmitModule:
+    def test_comment_emitted(self):
+        assert emit_module(leaf()).startswith("// a leaf")
+
+    def test_parameter_block(self):
+        text = emit_module(leaf())
+        assert "parameter W = 4" in text
+
+    def test_port_ranges(self):
+        text = emit_module(leaf())
+        assert "input [3:0] a" in text
+        assert "output y" in text
+
+    def test_assign(self):
+        assert "assign y = |a;" in emit_module(leaf())
+
+    def test_boolean_parameter_rendering(self):
+        module = Module("m", parameters=[ParamDecl("EN", True)])
+        assert "parameter EN = 1'b1" in emit_module(module)
+
+    def test_portless_module(self):
+        module = Module("empty")
+        text = emit_module(module)
+        assert "module empty ();" in text
+        assert text.rstrip().endswith("endmodule")
+
+    def test_raw_block_indented(self):
+        module = Module("m")
+        module.add_raw("always @(*) begin\nend")
+        text = emit_module(module)
+        assert "    always @(*) begin" in text
+
+    def test_instance_emission(self):
+        netlist = Netlist()
+        netlist.add(leaf())
+        top = Module("top", ports=[PortDecl("x", "input", 4)])
+        top.wire("w")
+        top.instantiate("leaf", "u0", {"a": "x", "y": "w"}, {"W": 4})
+        netlist.add(top)
+        text = emit_netlist(netlist)
+        assert "leaf #(.W(4)) u0 (" in text
+        assert ".a(x)" in text and ".y(w)" in text
+
+
+class TestEmitNetlist:
+    def test_header_comment(self):
+        netlist = Netlist()
+        netlist.add(leaf())
+        text = emit_netlist(netlist, header_comment="line1\nline2")
+        assert text.startswith("// line1\n// line2")
+
+    def test_validation_runs(self):
+        netlist = Netlist()
+        top = Module("top")
+        top.instantiate("ghost", "u0", {})
+        netlist.add(top)
+        with pytest.raises(ValueError):
+            emit_netlist(netlist)
+
+    def test_single_trailing_newline(self):
+        netlist = Netlist()
+        netlist.add(leaf())
+        text = emit_netlist(netlist)
+        assert text.endswith("endmodule\n")

@@ -1,0 +1,68 @@
+"""Arbiter tests: round-robin fairness is what serialises Fig 7's
+red/blue flows at a shared output port."""
+
+import pytest
+
+from repro.sim.arbiter import FixedPriorityArbiter, RoundRobinArbiter
+
+
+class TestFixedPriority:
+    def test_grants_first(self):
+        arb = FixedPriorityArbiter()
+        assert arb.grant(["b", "a"]) == "b"
+
+    def test_empty_returns_none(self):
+        assert FixedPriorityArbiter().grant([]) is None
+
+
+class TestRoundRobin:
+    def test_single_requester_always_wins(self):
+        arb = RoundRobinArbiter(["a", "b", "c"])
+        for _ in range(5):
+            assert arb.grant(["b"]) == "b"
+
+    def test_rotates_among_persistent_requesters(self):
+        arb = RoundRobinArbiter(["a", "b", "c"])
+        grants = [arb.grant(["a", "b", "c"]) for _ in range(6)]
+        assert grants == ["a", "b", "c", "a", "b", "c"]
+
+    def test_fairness_two_requesters(self):
+        arb = RoundRobinArbiter(["red", "blue"])
+        grants = [arb.grant(["red", "blue"]) for _ in range(10)]
+        assert grants.count("red") == 5
+        assert grants.count("blue") == 5
+
+    def test_priority_moves_past_winner(self):
+        arb = RoundRobinArbiter(["a", "b", "c"])
+        assert arb.grant(["a", "c"]) == "a"
+        # After a wins, b has priority; b not requesting, c is next.
+        assert arb.grant(["a", "c"]) == "c"
+        assert arb.grant(["a", "c"]) == "a"
+
+    def test_empty_returns_none(self):
+        arb = RoundRobinArbiter(["a"])
+        assert arb.grant([]) is None
+
+    def test_unknown_requester_raises(self):
+        arb = RoundRobinArbiter(["a"])
+        with pytest.raises(ValueError):
+            arb.grant(["zz"])
+
+    def test_duplicate_clients_rejected(self):
+        with pytest.raises(ValueError):
+            RoundRobinArbiter(["a", "a"])
+
+    def test_no_clients_rejected(self):
+        with pytest.raises(ValueError):
+            RoundRobinArbiter([])
+
+    def test_tuple_clients(self):
+        # The router uses (input port, VC id) pairs as clients.
+        arb = RoundRobinArbiter([("w", 0), ("w", 1), ("e", 0)])
+        assert arb.grant([("e", 0), ("w", 1)]) in {("e", 0), ("w", 1)}
+
+    def test_clients_copy(self):
+        clients = ["a", "b"]
+        arb = RoundRobinArbiter(clients)
+        clients.append("c")
+        assert arb.clients == ["a", "b"]

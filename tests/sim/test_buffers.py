@@ -1,0 +1,129 @@
+"""Virtual channel buffer and free-VC queue tests."""
+
+import pytest
+
+from repro.sim.buffers import FreeVcQueue, InputBuffer, VirtualChannel
+from repro.sim.packet import Flit, FlitType, Packet
+
+
+def flit(ftype=FlitType.HEAD, seq=0, packet=None):
+    packet = packet or Packet(flow_id=0, src=0, dst=1, size_flits=8, create_cycle=0)
+    return Flit(packet, ftype, seq)
+
+
+class TestVirtualChannel:
+    def test_write_sets_vc_and_busy(self):
+        vc = VirtualChannel(1, 10)
+        f = flit()
+        vc.write(f, arrival_cycle=5)
+        assert f.vc == 1
+        assert vc.busy
+        assert len(vc) == 1
+
+    def test_bw_stage_timing(self):
+        # Arrival at end of cycle T => SA-eligible from T+2 (BW occupies T+1).
+        vc = VirtualChannel(0, 10)
+        vc.write(flit(), arrival_cycle=5)
+        assert not vc.front_eligible(5)
+        assert not vc.front_eligible(6)
+        assert vc.front_eligible(7)
+
+    def test_fifo_order(self):
+        vc = VirtualChannel(0, 10)
+        packet = Packet(flow_id=0, src=0, dst=1, size_flits=8, create_cycle=0)
+        flits = packet.flits()
+        for i, f in enumerate(flits[:3]):
+            vc.write(f, arrival_cycle=i)
+        assert vc.read() is flits[0]
+        assert vc.read() is flits[1]
+
+    def test_tail_read_frees_vc(self):
+        vc = VirtualChannel(0, 10)
+        packet = Packet(flow_id=0, src=0, dst=1, size_flits=2, create_cycle=0)
+        head, tail = packet.flits()
+        vc.write(head, 0)
+        vc.write(tail, 1)
+        vc.read()
+        assert vc.busy
+        vc.read()
+        assert not vc.busy
+
+    def test_overflow_raises(self):
+        vc = VirtualChannel(0, 2)
+        packet = Packet(flow_id=0, src=0, dst=1, size_flits=8, create_cycle=0)
+        flits = packet.flits()
+        vc.write(flits[0], 0)
+        vc.write(flits[1], 1)
+        with pytest.raises(OverflowError):
+            vc.write(flits[2], 2)
+
+    def test_head_into_busy_vc_raises(self):
+        vc = VirtualChannel(0, 10)
+        vc.write(flit(), 0)
+        with pytest.raises(RuntimeError):
+            vc.write(flit(), 1)
+
+    def test_read_empty_raises(self):
+        with pytest.raises(IndexError):
+            VirtualChannel(0, 10).read()
+
+
+class TestInputBuffer:
+    def test_vc_count(self, cfg):
+        buffer = InputBuffer(cfg.vcs_per_port, cfg.vc_depth_flits)
+        assert len(buffer.vcs) == 2
+        assert buffer.empty
+
+    def test_occupancy(self):
+        buffer = InputBuffer(2, 10)
+        buffer.vc(0).write(flit(), 0)
+        assert buffer.occupancy() == 1
+        assert not buffer.empty
+
+    def test_zero_vcs_rejected(self):
+        with pytest.raises(ValueError):
+            InputBuffer(0, 10)
+
+
+class TestFreeVcQueue:
+    def test_starts_with_all_vcs(self):
+        queue = FreeVcQueue(2)
+        assert queue.available(0)
+        assert queue.acquire(0) == 0
+        assert queue.acquire(0) == 1
+        assert not queue.available(0)
+
+    def test_acquire_empty_raises(self):
+        queue = FreeVcQueue(1)
+        queue.acquire(0)
+        with pytest.raises(IndexError):
+            queue.acquire(0)
+
+    def test_credit_latency_respected(self):
+        queue = FreeVcQueue(1)
+        queue.acquire(0)
+        queue.release(0, usable_cycle=10)
+        assert not queue.available(9)
+        assert queue.available(10)
+        assert queue.acquire(10) == 0
+
+    def test_release_unknown_vc_raises(self):
+        with pytest.raises(ValueError):
+            FreeVcQueue(2).release(5, 0)
+
+    def test_outstanding_tracks_inflight(self):
+        queue = FreeVcQueue(2)
+        assert queue.outstanding() == 0
+        queue.acquire(0)
+        assert queue.outstanding() == 1
+        queue.release(0, 5)
+        assert queue.outstanding() == 0
+
+    def test_fifo_credit_order(self):
+        queue = FreeVcQueue(2)
+        a = queue.acquire(0)
+        b = queue.acquire(0)
+        queue.release(b, 5)
+        queue.release(a, 6)
+        assert queue.acquire(10) == b
+        assert queue.acquire(10) == a

@@ -1,0 +1,100 @@
+"""Flow and route representation tests."""
+
+import pytest
+
+from repro.sim.flow import Flow, validate_flow_set, xy_route
+from repro.sim.topology import Mesh, Port
+
+
+class TestFlowValidation:
+    def test_route_must_end_with_core(self):
+        with pytest.raises(ValueError):
+            Flow(0, 0, 1, 1e6, route=(Port.EAST,))
+
+    def test_route_cannot_eject_early(self):
+        with pytest.raises(ValueError):
+            Flow(0, 0, 2, 1e6, route=(Port.EAST, Port.CORE, Port.CORE))
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Flow(0, 3, 3, 1e6, route=(Port.CORE,))
+
+    def test_negative_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            Flow(0, 0, 1, -5.0, route=(Port.EAST, Port.CORE))
+
+    def test_empty_route_rejected(self):
+        with pytest.raises(ValueError):
+            Flow(0, 0, 1, 1e6, route=())
+
+
+class TestFlowGeometry:
+    def test_routers_fig7_blue(self, mesh):
+        blue = Flow(
+            0, 8, 3, 1e6,
+            route=(Port.EAST, Port.EAST, Port.EAST, Port.SOUTH, Port.SOUTH, Port.CORE),
+        )
+        assert blue.routers(mesh) == [8, 9, 10, 11, 7, 3]
+        assert blue.hops(mesh) == 5
+
+    def test_route_leaving_mesh_raises(self, mesh):
+        flow = Flow(0, 3, 7, 1e6, route=(Port.EAST, Port.NORTH, Port.CORE))
+        with pytest.raises(ValueError):
+            flow.routers(mesh)
+
+    def test_route_wrong_destination_raises(self, mesh):
+        flow = Flow(0, 0, 5, 1e6, route=(Port.EAST, Port.CORE))  # ends at 1
+        with pytest.raises(ValueError):
+            flow.routers(mesh)
+
+    def test_port_traversals(self, mesh):
+        flow = Flow(0, 0, 5, 1e6, route=(Port.EAST, Port.NORTH, Port.CORE))
+        assert flow.port_traversals(mesh) == [
+            (0, Port.CORE, Port.EAST),
+            (1, Port.WEST, Port.NORTH),
+            (5, Port.SOUTH, Port.CORE),
+        ]
+
+    def test_links(self, mesh):
+        flow = Flow(0, 0, 5, 1e6, route=(Port.EAST, Port.NORTH, Port.CORE))
+        assert flow.links(mesh) == [(0, 1), (1, 5)]
+
+
+class TestXyRoute:
+    def test_east_then_north(self, mesh):
+        assert xy_route(mesh, 0, 5) == (Port.EAST, Port.NORTH, Port.CORE)
+
+    def test_west_then_south(self, mesh):
+        assert xy_route(mesh, 15, 0) == (
+            Port.WEST, Port.WEST, Port.WEST,
+            Port.SOUTH, Port.SOUTH, Port.SOUTH, Port.CORE,
+        )
+
+    def test_straight_line(self, mesh):
+        assert xy_route(mesh, 0, 3) == (Port.EAST, Port.EAST, Port.EAST, Port.CORE)
+
+    def test_self_route_rejected(self, mesh):
+        with pytest.raises(ValueError):
+            xy_route(mesh, 3, 3)
+
+    def test_route_is_minimal(self, mesh):
+        for src in mesh.nodes():
+            for dst in mesh.nodes():
+                if src == dst:
+                    continue
+                route = xy_route(mesh, src, dst)
+                flow = Flow(0, src, dst, 1.0, route)
+                assert flow.hops(mesh) == mesh.hop_distance(src, dst)
+
+
+class TestValidateFlowSet:
+    def test_duplicate_ids_rejected(self, mesh):
+        flows = [
+            Flow(0, 0, 1, 1e6, route=(Port.EAST, Port.CORE)),
+            Flow(0, 1, 2, 1e6, route=(Port.EAST, Port.CORE)),
+        ]
+        with pytest.raises(ValueError):
+            validate_flow_set(flows, mesh)
+
+    def test_valid_set_passes(self, mesh, fig7_flow_set):
+        validate_flow_set(fig7_flow_set, mesh)

@@ -1,0 +1,174 @@
+"""Cycle-exact timing tests against the paper's Fig 6/7 semantics.
+
+These are the load-bearing tests of the reproduction: they pin the SMART
+pipeline timing (single-cycle multi-hop bypass, 3-cycle stop cost) and the
+baseline mesh timing (3-cycle router + 1-cycle link per hop) to the
+figures in the paper.
+"""
+
+import pytest
+
+from repro.config import NocConfig
+from repro.core.noc_builder import build_mesh_noc, build_smart_noc
+from repro.sim.flow import Flow
+from repro.sim.topology import Port
+from repro.sim.traffic import ScriptedTraffic
+
+from repro.eval.scenarios import fig7_flows
+
+
+def run_scripted(builder, flows, schedule, cycles=80, cfg=None):
+    noc = builder(cfg or NocConfig(), flows, traffic=ScriptedTraffic(schedule))
+    noc.network.stats.measuring = True
+    noc.network.run_cycles(cycles)
+    delivered = {p.flow_id: p for p in noc.network.stats.measured_delivered}
+    return noc, delivered
+
+
+class TestSmartFig7:
+    def test_non_overlapping_flow_single_cycle(self):
+        """Green flow: NIC-to-NIC in one cycle across 3 hops + ejection."""
+        flows = fig7_flows()
+        _noc, got = run_scripted(build_smart_noc, flows, [(1, 2)])
+        assert got[2].head_latency == 1
+
+    def test_purple_flow_single_cycle(self):
+        flows = fig7_flows()
+        _noc, got = run_scripted(build_smart_noc, flows, [(1, 3)])
+        assert got[3].head_latency == 1
+
+    def test_blue_flow_stops_at_9_and_10(self):
+        flows = fig7_flows()
+        noc, got = run_scripted(build_smart_noc, flows, [(1, 0)])
+        assert noc.network.stops_for_flow(flows[0]) == [9, 10]
+        # Fig 7 annotations: arrives at 9 at cycle 1, at 10 at cycle 4,
+        # at NIC3 at cycle 7.
+        assert got[0].head_arrive_cycle == 7
+        assert got[0].head_latency == 7
+
+    def test_red_flow_same_stop_structure(self):
+        flows = fig7_flows()
+        noc, got = run_scripted(build_smart_noc, flows, [(1, 1)])
+        assert noc.network.stops_for_flow(flows[1]) == [9, 10]
+        assert got[1].head_latency == 7
+
+    def test_packet_latency_adds_serialization(self):
+        flows = fig7_flows()
+        _noc, got = run_scripted(build_smart_noc, flows, [(1, 2)])
+        # 8-flit packet: head at cycle 1, tail 7 cycles later.
+        assert got[2].packet_latency == 8
+
+    def test_simultaneous_red_blue_serialise(self):
+        """Footnote 7: flits arriving at router 9 together leave serially."""
+        flows = fig7_flows()
+        _noc, got = run_scripted(
+            build_smart_noc, flows, [(1, 0), (1, 1)], cycles=120
+        )
+        latencies = sorted([got[0].head_latency, got[1].head_latency])
+        # One packet wins SA and sees 7; the loser waits for the 8-flit
+        # winner to clear the shared output (8 cycles later).
+        assert latencies[0] == 7
+        assert latencies[1] == 7 + 8
+
+    def test_single_cycle_flows_listed_in_presets(self):
+        flows = fig7_flows()
+        noc = build_smart_noc(NocConfig(), flows, traffic=ScriptedTraffic([]))
+        singles = {f.flow_id for f in noc.presets.single_cycle_flows()}
+        assert singles == {2, 3}
+
+
+class TestMeshBaseline:
+    def test_four_cycles_per_hop(self):
+        """§VI: 3 cycles in router + 1 cycle in link; r routers => 4r."""
+        flows = fig7_flows()
+        _noc, got = run_scripted(build_mesh_noc, flows, [(1, 2)], cycles=120)
+        # Green 12->15: 4 routers.
+        assert got[2].head_latency == 16
+
+    def test_blue_flow_mesh(self):
+        flows = fig7_flows()
+        _noc, got = run_scripted(build_mesh_noc, flows, [(1, 0)], cycles=160)
+        # Blue 8->3: 6 routers => 24 cycles.
+        assert got[0].head_latency == 24
+
+    def test_mesh_stops_at_every_router(self):
+        flows = fig7_flows()
+        noc = build_mesh_noc(NocConfig(), flows, traffic=ScriptedTraffic([]))
+        assert noc.network.stops_for_flow(flows[0]) == [8, 9, 10, 11, 7, 3]
+
+
+class TestWorstCase:
+    def test_all_conflicting_smart_approaches_mesh(self):
+        """Footnote 10: with every router a stop, SMART ~= Mesh (SMART
+        still merges ST+link, saving 1 cycle/hop)."""
+        cfg = NocConfig()
+        flow = Flow(0, 0, 3, 1e6, route=(Port.EAST, Port.EAST, Port.EAST, Port.CORE))
+        from repro.core.presets import compute_presets
+        from repro.sim.network import Network
+        from repro.sim.topology import Mesh
+
+        mesh = Mesh(4, 4)
+        presets = compute_presets(cfg, mesh, [flow], force_all_stops=True)
+        net = Network(cfg, mesh, [flow], presets.router_configs(),
+                      presets.segment_map, ScriptedTraffic([(1, 0)]))
+        net.stats.measuring = True
+        net.run_cycles(60)
+        packet = net.stats.measured_delivered[0]
+        # 4 routers, 3 cycles each, ST+link merged: 1 + 3*4 - 1 = 12... the
+        # injection cycle plus three 3-cycle stops plus final stop's ST.
+        assert packet.head_latency == 1 + 3 * 4
+
+
+class TestVcBackpressure:
+    def test_vc_exhaustion_throttles_injection(self):
+        """With 2 VCs at the shared stop, a burst of packets serialises."""
+        cfg = NocConfig()
+        flows = fig7_flows()
+        schedule = [(1, 0)] * 5  # five blue packets at once
+        noc, got = run_scripted(build_smart_noc, flows, schedule, cycles=400)
+        arrivals = sorted(
+            p.head_arrive_cycle
+            for p in noc.network.stats.measured_delivered
+        )
+        assert len(arrivals) == 5
+        # Packets stream one after another: at least 8 cycles apart.
+        for a, b in zip(arrivals, arrivals[1:]):
+            assert b - a >= 8
+
+    def test_conservation_under_burst(self):
+        flows = fig7_flows()
+        schedule = [(c, f.flow_id) for c in range(1, 30, 3) for f in fig7_flows()]
+        noc, _got = run_scripted(build_smart_noc, flows, schedule, cycles=600)
+        assert noc.network.stats.created_total == noc.network.stats.delivered_total
+
+
+class TestCounters:
+    def test_bypass_avoids_buffer_events(self):
+        flows = fig7_flows()
+        noc, _ = run_scripted(build_smart_noc, flows, [(1, 2)])
+        counters = noc.network.counters
+        # Green flow never stops: no buffer writes/reads at all.
+        assert counters.buffer_writes == 0
+        assert counters.buffer_reads == 0
+        # But it crosses 4 crossbars (12, 13, 14, 15) per flit.
+        assert counters.crossbar_traversals == 8 * 4
+
+    def test_stop_counts_buffer_events(self):
+        flows = fig7_flows()
+        noc, _ = run_scripted(build_smart_noc, flows, [(1, 0)])
+        counters = noc.network.counters
+        # Blue stops twice: 8 flits written+read at 9 and at 10.
+        assert counters.buffer_writes == 16
+        assert counters.buffer_reads == 16
+
+    def test_link_mm_matches_hops(self):
+        flows = fig7_flows()
+        noc, _ = run_scripted(build_smart_noc, flows, [(1, 2)])
+        # Green traverses 3 links of 1 mm per flit.
+        assert noc.network.counters.link_flit_mm == pytest.approx(8 * 3.0)
+
+    def test_credit_events_on_tail(self):
+        flows = fig7_flows()
+        noc, _ = run_scripted(build_smart_noc, flows, [(1, 2)], cycles=60)
+        # One packet, one segment: one credit from the sink NIC.
+        assert noc.network.counters.credit_events == 1

@@ -1,0 +1,91 @@
+"""Packet and flit unit tests."""
+
+import pytest
+
+from repro.sim.packet import Flit, FlitType, Packet
+
+
+def make_packet(size=8, create=10):
+    return Packet(flow_id=0, src=0, dst=5, size_flits=size, create_cycle=create)
+
+
+class TestFlitType:
+    def test_head_tail_flags(self):
+        assert FlitType.HEAD.is_head and not FlitType.HEAD.is_tail
+        assert FlitType.TAIL.is_tail and not FlitType.TAIL.is_head
+        assert FlitType.HEAD_TAIL.is_head and FlitType.HEAD_TAIL.is_tail
+        assert not FlitType.BODY.is_head and not FlitType.BODY.is_tail
+
+
+class TestPacket:
+    def test_flit_sequence_paper_sizes(self):
+        # Table II: 256-bit packets of 32-bit flits = 8 flits.
+        flits = make_packet(8).flits()
+        assert len(flits) == 8
+        assert flits[0].ftype is FlitType.HEAD
+        assert flits[-1].ftype is FlitType.TAIL
+        assert all(f.ftype is FlitType.BODY for f in flits[1:-1])
+        assert [f.seq for f in flits] == list(range(8))
+
+    def test_single_flit_packet(self):
+        flits = make_packet(1).flits()
+        assert len(flits) == 1
+        assert flits[0].ftype is FlitType.HEAD_TAIL
+
+    def test_two_flit_packet_has_no_body(self):
+        flits = make_packet(2).flits()
+        assert [f.ftype for f in flits] == [FlitType.HEAD, FlitType.TAIL]
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            make_packet(0)
+
+    def test_unique_pids(self):
+        assert make_packet().pid != make_packet().pid
+
+    def test_head_latency_single_cycle(self):
+        packet = make_packet(create=5)
+        packet.inject_cycle = 5
+        packet.head_arrive_cycle = 5
+        # Fig 7: same-cycle NIC-to-NIC traversal counts as latency 1.
+        assert packet.head_latency == 1
+
+    def test_packet_latency_includes_serialization(self):
+        packet = make_packet(size=8, create=0)
+        packet.inject_cycle = 0
+        packet.head_arrive_cycle = 0
+        packet.tail_arrive_cycle = 7
+        assert packet.packet_latency == 8
+
+    def test_network_latency_excludes_source_queueing(self):
+        packet = make_packet(create=0)
+        packet.inject_cycle = 4
+        packet.head_arrive_cycle = 4
+        assert packet.network_latency == 1
+        assert packet.head_latency == 5
+
+    def test_latency_before_delivery_raises(self):
+        packet = make_packet()
+        with pytest.raises(ValueError):
+            _ = packet.head_latency
+        with pytest.raises(ValueError):
+            _ = packet.packet_latency
+
+    def test_delivered_flag(self):
+        packet = make_packet()
+        assert not packet.delivered
+        packet.tail_arrive_cycle = 3
+        assert packet.delivered
+
+
+class TestFlit:
+    def test_flit_vc_mutable(self):
+        packet = make_packet()
+        flit = Flit(packet, FlitType.HEAD, 0)
+        assert flit.vc is None
+        flit.vc = 1
+        assert flit.vc == 1
+
+    def test_repr_mentions_type(self):
+        flit = make_packet().flits()[0]
+        assert "head" in repr(flit)

@@ -1,0 +1,80 @@
+"""Segment and segment-map tests."""
+
+import pytest
+
+from repro.sim.segments import (
+    BufferEnd,
+    NicEnd,
+    NicStart,
+    OutputStart,
+    Segment,
+    SegmentMap,
+)
+from repro.sim.topology import Port
+
+
+def seg(start, end, hops=1, crossed=(0,), extra=0):
+    return Segment(start=start, end=end, hops=hops, routers_crossed=tuple(crossed), extra_cycles=extra)
+
+
+class TestSegment:
+    def test_crossbar_traversals(self):
+        s = seg(NicStart(0), NicEnd(3), hops=3, crossed=(0, 1, 2, 3))
+        assert s.crossbar_traversals == 4
+
+    def test_length_mm(self):
+        s = seg(OutputStart(0, Port.EAST), BufferEnd(2, Port.WEST), hops=2, crossed=(0, 1))
+        assert s.length_mm(1.0) == pytest.approx(2.0)
+        assert s.length_mm(0.5) == pytest.approx(1.0)
+
+    def test_negative_hops_rejected(self):
+        with pytest.raises(ValueError):
+            seg(NicStart(0), NicEnd(1), hops=-1)
+
+
+class TestSegmentMap:
+    def test_lookup_by_start_and_end(self):
+        smap = SegmentMap()
+        s = seg(NicStart(0), BufferEnd(1, Port.WEST))
+        smap.add(s)
+        assert smap.from_start(NicStart(0)) is s
+        assert smap.ending_at(BufferEnd(1, Port.WEST)) is s
+        assert smap.has_start(NicStart(0))
+        assert not smap.has_start(NicStart(9))
+
+    def test_duplicate_start_rejected(self):
+        smap = SegmentMap()
+        smap.add(seg(NicStart(0), BufferEnd(1, Port.WEST)))
+        with pytest.raises(ValueError):
+            smap.add(seg(NicStart(0), NicEnd(2)))
+
+    def test_duplicate_end_rejected(self):
+        # An input port has exactly one physical driver.
+        smap = SegmentMap()
+        smap.add(seg(OutputStart(0, Port.EAST), BufferEnd(1, Port.WEST)))
+        with pytest.raises(ValueError):
+            smap.add(seg(NicStart(5), BufferEnd(1, Port.WEST)))
+
+    def test_missing_lookup_raises(self):
+        smap = SegmentMap()
+        with pytest.raises(KeyError):
+            smap.from_start(NicStart(0))
+        with pytest.raises(KeyError):
+            smap.ending_at(NicEnd(0))
+
+    def test_max_hops(self):
+        smap = SegmentMap()
+        assert smap.max_hops() == 0
+        smap.add(seg(NicStart(0), NicEnd(3), hops=3, crossed=(0, 1, 2, 3)))
+        smap.add(seg(NicStart(1), NicEnd(2), hops=1, crossed=(1, 2)))
+        assert smap.max_hops() == 3
+
+    def test_len(self):
+        smap = SegmentMap()
+        smap.add(seg(NicStart(0), NicEnd(1)))
+        assert len(smap) == 1
+
+    def test_start_end_types_hashable_and_distinct(self):
+        assert NicStart(1) != OutputStart(1, Port.EAST)
+        assert BufferEnd(1, Port.WEST) != NicEnd(1)
+        assert len({NicStart(1), NicStart(1)}) == 1

@@ -1,0 +1,112 @@
+"""Statistics and event-counter tests."""
+
+import math
+
+import pytest
+
+from repro.sim.packet import Packet
+from repro.sim.stats import (
+    EventCounters,
+    LatencySummary,
+    StatsCollector,
+    _percentile,
+)
+
+
+def delivered_packet(create=0, inject=0, head=5, tail=12, flow=0):
+    packet = Packet(flow_id=flow, src=0, dst=1, size_flits=8, create_cycle=create)
+    packet.inject_cycle = inject
+    packet.head_arrive_cycle = head
+    packet.tail_arrive_cycle = tail
+    return packet
+
+
+class TestEventCounters:
+    def test_delta(self):
+        counters = EventCounters()
+        counters.buffer_writes = 10
+        counters.link_flit_mm = 4.0
+        snap = counters.snapshot()
+        counters.buffer_writes = 25
+        counters.link_flit_mm = 9.0
+        counters.cycles = 100
+        delta = counters.delta(snap)
+        assert delta.buffer_writes == 15
+        assert delta.link_flit_mm == pytest.approx(5.0)
+        assert delta.cycles == 100
+
+    def test_snapshot_is_independent(self):
+        counters = EventCounters()
+        snap = counters.snapshot()
+        counters.sa_grants = 7
+        assert snap.sa_grants == 0
+
+
+class TestPercentile:
+    def test_median(self):
+        assert _percentile([1, 2, 3], 0.5) == 2
+
+    def test_interpolation(self):
+        assert _percentile([0, 10], 0.5) == pytest.approx(5.0)
+
+    def test_empty_is_nan(self):
+        assert math.isnan(_percentile([], 0.5))
+
+
+class TestStatsCollector:
+    def test_measures_only_inside_window(self):
+        stats = StatsCollector()
+        early = delivered_packet()
+        stats.on_create(early)
+        stats.measuring = True
+        tracked = delivered_packet()
+        stats.on_create(tracked)
+        stats.measuring = False
+        stats.on_deliver(early)
+        stats.on_deliver(tracked)
+        assert stats.created_total == 2
+        assert stats.delivered_total == 2
+        assert [p.pid for p in stats.measured_delivered] == [tracked.pid]
+
+    def test_outstanding(self):
+        stats = StatsCollector()
+        stats.measuring = True
+        packet = delivered_packet()
+        stats.on_create(packet)
+        assert stats.outstanding_measured == 1
+        stats.on_deliver(packet)
+        assert stats.outstanding_measured == 0
+
+    def test_summary_values(self):
+        stats = StatsCollector()
+        stats.measuring = True
+        p1 = delivered_packet(create=0, head=0, tail=7)   # head latency 1
+        p2 = delivered_packet(create=0, head=6, tail=13)  # head latency 7
+        for p in (p1, p2):
+            stats.on_create(p)
+            stats.on_deliver(p)
+        summary = stats.summary()
+        assert summary.count == 2
+        assert summary.mean_head_latency == pytest.approx(4.0)
+        assert summary.min_head_latency == 1
+        assert summary.max_head_latency == 7
+        assert summary.mean_packet_latency == pytest.approx((8 + 14) / 2)
+
+    def test_empty_summary(self):
+        summary = StatsCollector().summary()
+        assert summary.count == 0
+        assert math.isnan(summary.mean_head_latency)
+        assert LatencySummary.empty().count == 0
+
+    def test_per_flow_summary(self):
+        stats = StatsCollector()
+        stats.measuring = True
+        p1 = delivered_packet(flow=1, head=0)
+        p2 = delivered_packet(flow=2, head=3)
+        for p in (p1, p2):
+            stats.on_create(p)
+            stats.on_deliver(p)
+        by_flow = stats.per_flow_summary()
+        assert set(by_flow) == {1, 2}
+        assert by_flow[1].count == 1
+        assert by_flow[2].mean_head_latency == pytest.approx(4.0)

@@ -1,0 +1,117 @@
+"""Mesh topology unit tests."""
+
+import pytest
+
+from repro.sim.topology import CARDINALS, DIRECTION_VECTORS, Mesh, Port
+
+
+class TestPort:
+    def test_paper_port_order(self):
+        assert [p.name for p in Port] == ["EAST", "SOUTH", "WEST", "NORTH", "CORE"]
+
+    def test_opposites_are_involutions(self):
+        for port in CARDINALS:
+            assert port.opposite.opposite is port
+
+    def test_core_opposite_is_core(self):
+        assert Port.CORE.opposite is Port.CORE
+
+    def test_cardinality(self):
+        assert all(p.is_cardinal for p in CARDINALS)
+        assert not Port.CORE.is_cardinal
+
+    def test_direction_vectors_are_units(self):
+        for dx, dy in DIRECTION_VECTORS.values():
+            assert abs(dx) + abs(dy) == 1
+
+
+class TestMesh:
+    def test_node_numbering_matches_paper(self):
+        mesh = Mesh(4, 4)
+        # Fig 1: node 0 bottom-left, 12 top-left, 15 top-right.
+        assert mesh.coords(0) == (0, 0)
+        assert mesh.coords(3) == (3, 0)
+        assert mesh.coords(12) == (0, 3)
+        assert mesh.coords(15) == (3, 3)
+
+    def test_node_at_roundtrip(self):
+        mesh = Mesh(5, 3)
+        for node in mesh.nodes():
+            assert mesh.node_at(*mesh.coords(node)) == node
+
+    def test_neighbors(self):
+        mesh = Mesh(4, 4)
+        assert mesh.neighbor(5, Port.EAST) == 6
+        assert mesh.neighbor(5, Port.WEST) == 4
+        assert mesh.neighbor(5, Port.NORTH) == 9
+        assert mesh.neighbor(5, Port.SOUTH) == 1
+        assert mesh.neighbor(5, Port.CORE) is None
+
+    def test_edge_neighbors_are_none(self):
+        mesh = Mesh(4, 4)
+        assert mesh.neighbor(0, Port.WEST) is None
+        assert mesh.neighbor(0, Port.SOUTH) is None
+        assert mesh.neighbor(15, Port.EAST) is None
+        assert mesh.neighbor(15, Port.NORTH) is None
+
+    def test_degree(self):
+        mesh = Mesh(4, 4)
+        assert mesh.degree(0) == 2
+        assert mesh.degree(1) == 3
+        assert mesh.degree(5) == 4
+
+    def test_direction_between(self):
+        mesh = Mesh(4, 4)
+        assert mesh.direction_between(8, 9) is Port.EAST
+        assert mesh.direction_between(9, 8) is Port.WEST
+        assert mesh.direction_between(9, 13) is Port.NORTH
+        assert mesh.direction_between(13, 9) is Port.SOUTH
+
+    def test_direction_between_non_adjacent_raises(self):
+        mesh = Mesh(4, 4)
+        with pytest.raises(ValueError):
+            mesh.direction_between(0, 15)
+
+    def test_hop_distance(self):
+        mesh = Mesh(4, 4)
+        assert mesh.hop_distance(0, 15) == 6
+        assert mesh.hop_distance(0, 0) == 0
+        assert mesh.hop_distance(8, 3) == 5
+
+    def test_distance_mm_uses_pitch(self):
+        mesh = Mesh(4, 4)
+        assert mesh.distance_mm(0, 15) == pytest.approx(6.0)
+        assert mesh.distance_mm(0, 15, mm_per_hop=0.5) == pytest.approx(3.0)
+
+    def test_links_count(self):
+        mesh = Mesh(4, 4)
+        # 2 * (W*(H-1) + H*(W-1)) directed links.
+        assert sum(1 for _ in mesh.links()) == 2 * (4 * 3 + 4 * 3)
+
+    def test_center_nodes_max_degree_first(self):
+        mesh = Mesh(4, 4)
+        centers = mesh.center_nodes()
+        assert set(centers) == {5, 6, 9, 10}
+        assert all(mesh.degree(c) == 4 for c in centers)
+
+    def test_center_of_odd_mesh(self):
+        mesh = Mesh(3, 3)
+        assert mesh.center_nodes()[0] == 4
+
+    def test_bad_node_raises(self):
+        mesh = Mesh(2, 2)
+        with pytest.raises(ValueError):
+            mesh.coords(4)
+        with pytest.raises(ValueError):
+            mesh.coords(-1)
+
+    def test_bad_dimensions_raise(self):
+        with pytest.raises(ValueError):
+            Mesh(0, 4)
+        with pytest.raises(ValueError):
+            Mesh(4, -1)
+
+    def test_single_node_mesh(self):
+        mesh = Mesh(1, 1)
+        assert mesh.num_nodes == 1
+        assert mesh.neighbors(0) == []

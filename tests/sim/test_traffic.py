@@ -1,0 +1,84 @@
+"""Traffic model tests."""
+
+import pytest
+
+from repro.config import NocConfig
+from repro.sim.flow import Flow
+from repro.sim.topology import Port
+from repro.sim.traffic import BernoulliTraffic, RateScaledTraffic, ScriptedTraffic
+
+
+def make_flow(fid=0, bw=1e9):
+    return Flow(fid, 0, 1, bw, route=(Port.EAST, Port.CORE))
+
+
+class TestBernoulli:
+    def test_rate_conversion(self, cfg):
+        # 1 GB/s = 8 Gb/s over a 64 Gb/s channel (32 bit @ 2 GHz)
+        flow = make_flow(bw=1e9)
+        traffic = BernoulliTraffic(cfg, [flow])
+        assert traffic.rate(0) == pytest.approx(
+            1e9 * 8 / 32 / 2e9 / 8
+        )
+
+    def test_empirical_rate_matches(self, cfg):
+        flow = make_flow(bw=4e9)  # rate = 0.0625 packets/cycle
+        traffic = BernoulliTraffic(cfg, [flow], seed=7)
+        n = 200000
+        injections = sum(traffic.packets_at(flow, c) for c in range(n))
+        expected = traffic.rate(0) * n
+        assert injections == pytest.approx(expected, rel=0.05)
+
+    def test_deterministic_across_instances(self, cfg):
+        flow = make_flow(bw=4e9)
+        t1 = BernoulliTraffic(cfg, [flow], seed=3)
+        t2 = BernoulliTraffic(cfg, [flow], seed=3)
+        seq1 = [t1.packets_at(flow, c) for c in range(1000)]
+        seq2 = [t2.packets_at(flow, c) for c in range(1000)]
+        assert seq1 == seq2
+
+    def test_different_seeds_differ(self, cfg):
+        flow = make_flow(bw=4e9)
+        t1 = BernoulliTraffic(cfg, [flow], seed=1)
+        t2 = BernoulliTraffic(cfg, [flow], seed=2)
+        assert [t1.packets_at(flow, c) for c in range(2000)] != [
+            t2.packets_at(flow, c) for c in range(2000)
+        ]
+
+    def test_zero_bandwidth_never_injects(self, cfg):
+        flow = Flow(0, 0, 1, 0.0, route=(Port.EAST, Port.CORE))
+        traffic = BernoulliTraffic(cfg, [flow])
+        assert all(traffic.packets_at(flow, c) == 0 for c in range(100))
+
+    def test_oversubscribed_flow_rejected(self, cfg):
+        flow = make_flow(bw=1e12)
+        with pytest.raises(ValueError):
+            BernoulliTraffic(cfg, [flow])
+
+
+class TestScripted:
+    def test_exact_injection(self):
+        flow = make_flow(0)
+        traffic = ScriptedTraffic([(3, 0), (3, 0), (7, 0)])
+        assert traffic.packets_at(flow, 3) == 2
+        assert traffic.packets_at(flow, 7) == 1
+        assert traffic.packets_at(flow, 5) == 0
+
+    def test_remaining(self):
+        traffic = ScriptedTraffic([(1, 0), (2, 1)])
+        assert traffic.remaining() == 2
+
+
+class TestRateScaled:
+    def test_scaling_changes_rate(self, cfg):
+        flow = make_flow(bw=4e9)
+        base = BernoulliTraffic(cfg, [flow], seed=5)
+        half = RateScaledTraffic(cfg, [flow], scale=0.5, seed=5)
+        n = 100000
+        base_count = sum(base.packets_at(flow, c) for c in range(n))
+        half_count = sum(half.packets_at(flow, c) for c in range(n))
+        assert half_count == pytest.approx(base_count / 2, rel=0.1)
+
+    def test_negative_scale_rejected(self, cfg):
+        with pytest.raises(ValueError):
+            RateScaledTraffic(cfg, [make_flow()], scale=-1.0)

@@ -1,0 +1,54 @@
+"""CLI smoke tests (python -m repro ...)."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        sub = next(
+            a for a in parser._actions
+            if isinstance(a, type(parser._subparsers._group_actions[0]))
+        )
+        assert set(sub.choices) == {
+            "table1", "table2", "chip", "fig7", "fig10a", "fig10b", "run", "apps",
+        }
+
+    def test_run_requires_design(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "VOPD", "torus"])
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        main(["table1"])
+        out = capsys.readouterr().out
+        assert "low-swing*" in out and "104" in out
+
+    def test_table2(self, capsys):
+        main(["table2"])
+        out = capsys.readouterr().out
+        assert "4x4 mesh" in out and "2, 10-flit deep" in out
+
+    def test_chip(self, capsys):
+        main(["chip"])
+        out = capsys.readouterr().out
+        assert "6.8 Gb/s" in out and "608 fJ/b" in out
+
+    def test_fig7(self, capsys):
+        main(["fig7"])
+        out = capsys.readouterr().out
+        assert "green" in out and "[9, 10]" in out
+
+    def test_apps(self, capsys):
+        main(["apps"])
+        out = capsys.readouterr().out
+        for app in ("H264", "VOPD", "PIP"):
+            assert app in out
+
+    def test_run(self, capsys):
+        main(["run", "PIP", "smart", "--measure", "2000"])
+        out = capsys.readouterr().out
+        assert "PIP on smart" in out

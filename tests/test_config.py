@@ -1,0 +1,87 @@
+"""NocConfig validation and derived-quantity tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import TABLE_II_CONFIG, NocConfig
+
+
+class TestTableII:
+    def test_paper_defaults(self):
+        cfg = TABLE_II_CONFIG
+        assert cfg.width == 4 and cfg.height == 4
+        assert cfg.flit_bits == 32
+        assert cfg.packet_bits == 256
+        assert cfg.vcs_per_port == 2
+        assert cfg.vc_depth_flits == 10
+        assert cfg.credit_bits == 2
+        assert cfg.head_header_bits == 20
+        assert cfg.body_header_bits == 4
+        assert cfg.freq_hz == pytest.approx(2e9)
+        assert cfg.vdd == pytest.approx(0.9)
+        assert cfg.technology_nm == 45
+        assert cfg.hpc_max == 8
+
+    def test_derived(self):
+        cfg = TABLE_II_CONFIG
+        assert cfg.num_nodes == 16
+        assert cfg.flits_per_packet == 8
+        assert cfg.cycle_time_s == pytest.approx(0.5e-9)
+        assert cfg.min_credit_bits == 2
+
+
+class TestValidation:
+    def test_packet_must_divide_into_flits(self):
+        with pytest.raises(ValueError):
+            NocConfig(packet_bits=250)
+
+    def test_vc_depth_must_hold_packet(self):
+        # Virtual cut-through requirement (§IV).
+        with pytest.raises(ValueError):
+            NocConfig(vc_depth_flits=7)
+
+    def test_credit_width_must_cover_vcs(self):
+        with pytest.raises(ValueError):
+            NocConfig(vcs_per_port=4, credit_bits=2)
+        NocConfig(vcs_per_port=4, credit_bits=3)  # ok
+
+    def test_dimensions(self):
+        with pytest.raises(ValueError):
+            NocConfig(width=0)
+        with pytest.raises(ValueError):
+            NocConfig(height=-1)
+
+    def test_hpc_max_positive(self):
+        with pytest.raises(ValueError):
+            NocConfig(hpc_max=0)
+
+    def test_vcs_positive(self):
+        with pytest.raises(ValueError):
+            NocConfig(vcs_per_port=0)
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            TABLE_II_CONFIG.width = 8
+
+
+class TestRates:
+    def test_flit_rate(self):
+        cfg = NocConfig()
+        # 8 GB/s saturates the 32-bit 2 GHz channel.
+        assert cfg.flow_rate_flits_per_cycle(8e9) == pytest.approx(1.0)
+
+    def test_packet_rate(self):
+        cfg = NocConfig()
+        assert cfg.flow_rate_packets_per_cycle(8e9) == pytest.approx(1.0 / 8)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            NocConfig().flow_rate_flits_per_cycle(-1.0)
+
+    def test_scaling_with_frequency(self):
+        slow = dataclasses.replace(NocConfig(), freq_hz=1e9)
+        fast = NocConfig()
+        assert slow.flow_rate_flits_per_cycle(1e9) == pytest.approx(
+            2 * fast.flow_rate_flits_per_cycle(1e9)
+        )
