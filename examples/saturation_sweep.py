@@ -1,0 +1,61 @@
+"""Saturation sweep: latency vs offered load, fanned across CPU cores.
+
+Sweeps a synthetic traffic pattern (default: uniform random on an 8x8
+mesh) from light load to past the saturation knee, running every
+(design, rate, seed) grid point in a separate worker process, then prints
+the latency-vs-load curve.  Saturated points — where the run could not
+drain its measured packets — are flagged with '*'.
+
+This is the workload class the active-set kernel was built for: most grid
+points leave most of the mesh idle, so skipping gated routers pays for
+the whole sweep.
+
+Run:  python examples/saturation_sweep.py [PATTERN] [WIDTH]
+"""
+
+import sys
+
+from repro.config import NocConfig
+from repro.eval.report import render_table
+from repro.eval.sweeps import (
+    format_sweep_rows,
+    run_pattern_sweep,
+    saturation_load,
+)
+from repro.sim.patterns import PATTERNS
+
+
+def main() -> None:
+    pattern = sys.argv[1] if len(sys.argv) > 1 else "uniform"
+    width = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+    if pattern not in PATTERNS:
+        raise SystemExit(
+            "unknown pattern %r; choose from %s" % (pattern, PATTERNS)
+        )
+    cfg = NocConfig(width=width, height=width)
+    rates = (0.005, 0.01, 0.02, 0.05, 0.1)
+    rows = run_pattern_sweep(
+        pattern=pattern,
+        designs=("mesh", "smart"),
+        rates=rates,
+        seeds=(1, 2),
+        cfg=cfg,
+        measure_cycles=4000,
+        drain_limit=20000,
+    )
+    print(render_table(
+        format_sweep_rows(rows),
+        title="%s on %dx%d: latency vs injection rate (packets/cycle/node)"
+        % (pattern, width, width),
+    ))
+    for design in ("mesh", "smart"):
+        knee = saturation_load(rows, design)
+        print("%-6s %s" % (
+            design,
+            "saturates at %g packets/cycle/node" % knee
+            if knee is not None else "never saturates in this sweep",
+        ))
+
+
+if __name__ == "__main__":
+    main()

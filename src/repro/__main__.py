@@ -9,6 +9,7 @@ Usage:
     python -m repro fig10a [--measure N]
     python -m repro fig10b [--measure N]
     python -m repro run APP DESIGN [--measure N]
+    python -m repro sweep [--app APP | --pattern P] [--loads ...] [--jobs N]
     python -m repro apps
 """
 
@@ -125,6 +126,56 @@ def _cmd_run(args) -> None:
              experiment.mean_latency, experiment.power.total_w * 1e3))
 
 
+def _design_list(value: str) -> List[str]:
+    """argparse type for --designs: validate names before workers spawn."""
+    import argparse
+
+    from repro.eval.designs import DESIGNS
+
+    designs = [d.strip() for d in value.split(",") if d.strip()]
+    bad = [d for d in designs if d not in DESIGNS]
+    if bad or not designs:
+        raise argparse.ArgumentTypeError(
+            "unknown design(s) %s (choose from %s)"
+            % (",".join(bad) or "<empty>", ", ".join(DESIGNS))
+        )
+    return designs
+
+
+def _cmd_sweep(args) -> None:
+    from repro.eval.report import render_table
+    from repro.eval.sweeps import (
+        format_sweep_rows,
+        run_load_sweep,
+        run_pattern_sweep,
+        saturation_load,
+    )
+
+    designs = args.designs
+    loads = [float(x) for x in args.loads.split(",")] if args.loads else None
+    seeds = tuple(range(1, args.seeds + 1))
+    common = dict(
+        designs=designs,
+        seeds=seeds,
+        processes=args.jobs,
+        measure_cycles=args.measure,
+    )
+    if args.pattern:
+        rates = loads or [0.01, 0.02, 0.05, 0.1, 0.2]
+        rows = run_pattern_sweep(args.pattern, rates=rates, **common)
+        title = "Latency vs injection rate (%s, packets/cycle/node)" % args.pattern
+    else:
+        scales = loads or [1.0, 2.0, 4.0, 8.0, 16.0, 32.0]
+        rows = run_load_sweep(args.app, scales=scales, **common)
+        title = "Latency vs load (%s, x mapped bandwidth)" % args.app
+    print(render_table(format_sweep_rows(rows), title=title))
+    print("(* = saturated: the run failed to drain its measured packets)")
+    for design in designs:
+        knee = saturation_load(rows, design)
+        if knee is not None:
+            print("%-10s saturates at load %g" % (design, knee))
+
+
 def _cmd_apps(_args) -> None:
     from repro.apps.registry import PAPER_APP_ORDER, evaluation_task_graph
 
@@ -154,6 +205,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("design", choices=("mesh", "smart", "dedicated"))
     p_run.add_argument("--measure", type=int, default=20000)
     p_run.set_defaults(func=_cmd_run)
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="multi-core latency-vs-load sweep (to saturation and beyond)",
+    )
+    sweep_source = p_sweep.add_mutually_exclusive_group()
+    sweep_source.add_argument("--app", default="VOPD")
+    sweep_source.add_argument(
+        "--pattern",
+        choices=("uniform", "transpose", "bit_complement", "hotspot"),
+        help="sweep a synthetic pattern instead of a mapped app",
+    )
+    p_sweep.add_argument(
+        "--designs",
+        default="mesh,smart,dedicated",
+        type=_design_list,
+        help="comma-separated subset of: mesh, smart, dedicated",
+    )
+    p_sweep.add_argument(
+        "--loads",
+        help="comma-separated load points: bandwidth scales for apps, "
+        "packets/cycle/node for patterns",
+    )
+    p_sweep.add_argument("--seeds", type=int, default=1,
+                         help="replications per grid point")
+    p_sweep.add_argument("--jobs", type=int, default=None,
+                         help="worker processes (default: CPU count)")
+    p_sweep.add_argument("--measure", type=int, default=8000)
+    p_sweep.set_defaults(func=_cmd_sweep)
     sub.add_parser("apps").set_defaults(func=_cmd_apps)
     return parser
 

@@ -32,6 +32,7 @@ def build_smart_noc(
     flows: Sequence[Flow],
     traffic: Optional[TrafficModel] = None,
     seed: int = 1,
+    kernel: str = "active",
 ) -> NocInstance:
     """Build a SMART NoC: preset bypass paths, single-cycle multi-hop."""
     mesh = Mesh(cfg.width, cfg.height)
@@ -39,7 +40,8 @@ def build_smart_noc(
     if traffic is None:
         traffic = BernoulliTraffic(cfg, flows, seed=seed)
     network = Network(
-        cfg, mesh, flows, presets.router_configs(), presets.segment_map, traffic
+        cfg, mesh, flows, presets.router_configs(), presets.segment_map,
+        traffic, kernel=kernel,
     )
     return NocInstance(cfg, mesh, presets, network, design="smart")
 
@@ -49,6 +51,7 @@ def build_mesh_noc(
     flows: Sequence[Flow],
     traffic: Optional[TrafficModel] = None,
     seed: int = 1,
+    kernel: str = "active",
 ) -> NocInstance:
     """Build the baseline mesh: a state-of-the-art NoC with no
     reconfiguration, 3 cycles per router and 1 cycle per link (§VI)."""
@@ -63,6 +66,7 @@ def build_mesh_noc(
     if traffic is None:
         traffic = BernoulliTraffic(cfg, flows, seed=seed)
     network = Network(
-        cfg, mesh, flows, presets.router_configs(), presets.segment_map, traffic
+        cfg, mesh, flows, presets.router_configs(), presets.segment_map,
+        traffic, kernel=kernel,
     )
     return NocInstance(cfg, mesh, presets, network, design="mesh")

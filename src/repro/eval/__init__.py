@@ -21,6 +21,11 @@ from repro.eval.experiments import (
     run_suite,
 )
 from repro.eval.report import render_table, rows_to_csv, write_csv
+from repro.eval.sweeps import (
+    run_load_sweep,
+    run_pattern_sweep,
+    saturation_load,
+)
 
 __all__ = [
     "AppExperiment",
@@ -43,7 +48,10 @@ __all__ = [
     "route_selection_comparison",
     "rows_to_csv",
     "run_app",
+    "run_load_sweep",
+    "run_pattern_sweep",
     "run_suite",
+    "saturation_load",
     "vc_sweep",
     "write_csv",
 ]

@@ -49,14 +49,20 @@ def _run_smart(cfg: NocConfig, flows: Sequence[Flow], seed: int = 1, **kwargs):
     return instance, instance.run(**run_kwargs)
 
 
-def _mapped_flows(app: str, cfg: NocConfig, algorithm: str = "nmap_modified",
-                  turn_model: TurnModel = TurnModel.WEST_FIRST, seed: int = 0):
+def mapped_flows(app: str, cfg: NocConfig, algorithm: str = "nmap_modified",
+                 turn_model: TurnModel = TurnModel.WEST_FIRST, seed: int = 0):
+    """The paper-flow mapping used by every sweep/ablation in eval:
+    task graph -> placement -> turn-model routing -> flow set."""
     graph = evaluation_task_graph(app)
     mesh = Mesh(cfg.width, cfg.height)
     _mapping, flows = map_application(
         graph, mesh, algorithm=algorithm, turn_model=turn_model, seed=seed
     )
     return flows
+
+
+#: Backwards-compatible alias for the module-internal call sites.
+_mapped_flows = mapped_flows
 
 
 def hpc_sweep(
@@ -333,7 +339,11 @@ def load_sweep(
 
     All flow bandwidths are scaled together; as the mesh links saturate,
     SMART's latency climbs while the Dedicated topology (private links
-    per flow) stays flat except for destination serialization.
+    per flow) stays flat except for destination serialization.  Scales
+    pushing a flow past 1 packet/cycle clamp at the injection-port limit
+    (``RateScaledTraffic``), so the sweep continues past the knee; the
+    clamped-flow count is reported per row.  For parallel grids and seed
+    replication use :func:`repro.eval.sweeps.run_load_sweep` instead.
     """
     base = cfg or NocConfig()
     flows = _mapped_flows(app, base)
@@ -348,5 +358,6 @@ def load_sweep(
             result = instance.run(**run_kwargs)
             row[design] = result.mean_latency
             row["%s_saturated" % design] = not result.drained
+            row["%s_clamped_flows" % design] = len(traffic.clamped_rates)
         rows.append(row)
     return rows

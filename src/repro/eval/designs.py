@@ -39,17 +39,22 @@ def build_design(
     flows: Sequence[Flow],
     traffic: Optional[TrafficModel] = None,
     seed: int = 1,
+    kernel: str = "active",
 ) -> DesignInstance:
-    """Instantiate one of the paper's three designs over mapped flows."""
+    """Instantiate one of the paper's three designs over mapped flows.
+
+    ``kernel`` selects the simulation kernel for the mesh/SMART designs
+    ("active" or "legacy"); the Dedicated baseline has its own simulator.
+    """
     name = design.lower()
     mesh = Mesh(cfg.width, cfg.height)
     if traffic is None:
         traffic = BernoulliTraffic(cfg, flows, seed=seed)
     if name == "smart":
-        noc = build_smart_noc(cfg, flows, traffic=traffic, seed=seed)
+        noc = build_smart_noc(cfg, flows, traffic=traffic, seed=seed, kernel=kernel)
         return DesignInstance(name, cfg, noc.mesh, list(flows), noc.network, noc.presets)
     if name == "mesh":
-        noc = build_mesh_noc(cfg, flows, traffic=traffic, seed=seed)
+        noc = build_mesh_noc(cfg, flows, traffic=traffic, seed=seed, kernel=kernel)
         return DesignInstance(name, cfg, noc.mesh, list(flows), noc.network, noc.presets)
     if name == "dedicated":
         network = DedicatedNetwork(cfg, mesh, flows, traffic)

@@ -1,0 +1,238 @@
+"""Parallel load-sweep runner.
+
+The paper's headline figures come from sweeping cycle-accurate runs over
+(design, load, seed) grids.  Each grid point is an independent simulation,
+so this module fans the points across worker processes with
+``multiprocessing.Pool`` and aggregates the per-seed ``SimResult``s into
+one row per (load, design).
+
+Two sweep axes are supported:
+
+* :func:`run_load_sweep` — scale a mapped SoC application's flow
+  bandwidths by a load factor (the paper's saturation axis).  Scaled
+  rates past 1 packet/cycle are clamped to a saturated injection port by
+  :class:`~repro.sim.traffic.RateScaledTraffic`, so the sweep can
+  continue past the knee instead of crashing.
+* :func:`run_pattern_sweep` — sweep the per-node injection rate of a
+  synthetic pattern (:mod:`repro.sim.patterns`) on an arbitrary mesh.
+
+Jobs are described by small picklable specs; each worker rebuilds the
+flow set, traffic model and design locally, so nothing heavier than a
+result row crosses the process boundary.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import multiprocessing
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import NocConfig
+from repro.eval.designs import DESIGNS
+from repro.sim.stats import LatencySummary, aggregate_summaries
+
+#: Simulation window used when the caller does not override it.
+DEFAULT_RUN_KWARGS = dict(warmup_cycles=500, measure_cycles=8000, drain_limit=80000)
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepJob:
+    """One (design, load, seed) grid point, picklable for Pool workers."""
+
+    design: str
+    load: float
+    seed: int
+    cfg: NocConfig
+    #: SoC application name (load is a bandwidth scale factor), or None.
+    app: Optional[str] = None
+    #: Synthetic pattern name (load is packets/cycle/node), or None.
+    pattern: Optional[str] = None
+    kernel: str = "active"
+    traffic_mode: str = "predraw"
+    warmup_cycles: int = DEFAULT_RUN_KWARGS["warmup_cycles"]
+    measure_cycles: int = DEFAULT_RUN_KWARGS["measure_cycles"]
+    drain_limit: int = DEFAULT_RUN_KWARGS["drain_limit"]
+
+
+def _run_job(job: SweepJob) -> Dict[str, object]:
+    """Worker entry point: build and run one grid point."""
+    from repro.eval.designs import build_design
+    from repro.sim.stats import accepted_flits_per_cycle
+    from repro.sim.traffic import BernoulliTraffic, RateScaledTraffic
+
+    cfg = job.cfg
+    if job.app is not None:
+        from repro.eval.ablations import mapped_flows
+
+        flows = mapped_flows(job.app, cfg)
+        traffic = RateScaledTraffic(
+            cfg, flows, scale=job.load, seed=job.seed, mode=job.traffic_mode
+        )
+        clamped = len(traffic.clamped_rates)
+    else:
+        from repro.sim.patterns import synthetic_flows
+
+        flows = synthetic_flows(job.pattern, cfg, injection_rate=job.load)
+        traffic = BernoulliTraffic(
+            cfg, flows, seed=job.seed, mode=job.traffic_mode, clamp=True
+        )
+        clamped = len(traffic.clamped_rates)
+    instance = build_design(
+        job.design, cfg, flows, traffic=traffic, kernel=job.kernel
+    )
+    result = instance.run(
+        warmup_cycles=job.warmup_cycles,
+        measure_cycles=job.measure_cycles,
+        drain_limit=job.drain_limit,
+    )
+    return {
+        "design": job.design,
+        "load": job.load,
+        "seed": job.seed,
+        "summary": result.summary,
+        "throughput": accepted_flits_per_cycle(result, cfg.flits_per_packet),
+        "saturated": not result.drained,
+        "clamped_flows": clamped,
+    }
+
+
+def _run_jobs(jobs: Sequence[SweepJob], processes: Optional[int]) -> List[Dict[str, object]]:
+    """Run grid points, fanning across a process pool when asked.
+
+    ``processes=None`` uses one worker per CPU; ``processes=0`` runs
+    serially in this process (no Pool — handy under debuggers).
+    """
+    if processes == 0 or len(jobs) <= 1:
+        return [_run_job(job) for job in jobs]
+    workers = processes or os.cpu_count() or 1
+    with multiprocessing.Pool(processes=min(workers, len(jobs))) as pool:
+        return pool.map(_run_job, list(jobs))
+
+
+def _aggregate(
+    raw: List[Dict[str, object]],
+    designs: Sequence[str],
+    loads: Sequence[float],
+) -> List[Dict[str, object]]:
+    """One row per load, one latency/saturation column group per design."""
+    rows: List[Dict[str, object]] = []
+    for load in loads:
+        row: Dict[str, object] = {"load": load}
+        for design in designs:
+            points = [
+                p for p in raw if p["design"] == design and p["load"] == load
+            ]
+            if not points:
+                continue
+            summary: LatencySummary = aggregate_summaries(
+                [p["summary"] for p in points]
+            )
+            row[design] = summary.mean_head_latency
+            row["%s_p95" % design] = summary.p95_head_latency
+            row["%s_thrpt" % design] = sum(
+                p["throughput"] for p in points
+            ) / len(points)
+            row["%s_saturated" % design] = any(p["saturated"] for p in points)
+            row["%s_clamped" % design] = max(
+                p["clamped_flows"] for p in points
+            )
+        rows.append(row)
+    return rows
+
+
+def _make_jobs(
+    designs: Sequence[str],
+    loads: Sequence[float],
+    seeds: Sequence[int],
+    cfg: NocConfig,
+    run_kwargs: Dict[str, int],
+    **spec,
+) -> List[SweepJob]:
+    return [
+        SweepJob(
+            design=design, load=load, seed=seed, cfg=cfg,
+            warmup_cycles=run_kwargs["warmup_cycles"],
+            measure_cycles=run_kwargs["measure_cycles"],
+            drain_limit=run_kwargs["drain_limit"],
+            **spec,
+        )
+        for load in loads
+        for design in designs
+        for seed in seeds
+    ]
+
+
+def run_load_sweep(
+    app: str = "VOPD",
+    designs: Sequence[str] = DESIGNS,
+    scales: Sequence[float] = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0),
+    seeds: Sequence[int] = (1,),
+    cfg: Optional[NocConfig] = None,
+    processes: Optional[int] = None,
+    kernel: str = "active",
+    **run_kwargs,
+) -> List[Dict[str, object]]:
+    """Latency vs offered load for one mapped application, in parallel.
+
+    Returns one row per scale with per-design mean/p95 latency, accepted
+    throughput (flits/cycle), a saturation flag (the run failed to drain)
+    and how many flows were clamped at the injection-port limit.
+    """
+    base = cfg or NocConfig()
+    kwargs = dict(DEFAULT_RUN_KWARGS)
+    kwargs.update(run_kwargs)
+    jobs = _make_jobs(
+        designs, scales, seeds, base, kwargs, app=app, kernel=kernel
+    )
+    return _aggregate(_run_jobs(jobs, processes), designs, scales)
+
+
+def run_pattern_sweep(
+    pattern: str = "uniform",
+    designs: Sequence[str] = ("mesh", "smart"),
+    rates: Sequence[float] = (0.01, 0.02, 0.05, 0.1, 0.2),
+    seeds: Sequence[int] = (1,),
+    cfg: Optional[NocConfig] = None,
+    processes: Optional[int] = None,
+    kernel: str = "active",
+    **run_kwargs,
+) -> List[Dict[str, object]]:
+    """Latency vs per-node injection rate for a synthetic pattern."""
+    base = cfg or NocConfig()
+    kwargs = dict(DEFAULT_RUN_KWARGS)
+    kwargs.update(run_kwargs)
+    jobs = _make_jobs(
+        designs, rates, seeds, base, kwargs, pattern=pattern, kernel=kernel
+    )
+    return _aggregate(_run_jobs(jobs, processes), designs, rates)
+
+
+def saturation_load(rows: List[Dict[str, object]], design: str) -> Optional[float]:
+    """Smallest swept load at which ``design`` failed to drain, if any."""
+    saturated = [
+        float(row["load"])
+        for row in rows
+        if row.get("%s_saturated" % design)
+    ]
+    return min(saturated) if saturated else None
+
+
+def format_sweep_rows(rows: List[Dict[str, object]]) -> List[Dict[str, object]]:
+    """Compact rows for table rendering: latency (flagged '*' when the
+    design saturated) per design, one row per load."""
+    out = []
+    for row in rows:
+        pretty: Dict[str, object] = {"load": row["load"]}
+        for key, value in row.items():
+            if key == "load" or key.endswith(("_p95", "_thrpt", "_saturated", "_clamped")):
+                continue
+            flag = "*" if row.get("%s_saturated" % key) else ""
+            pretty[key] = (
+                "%.2f%s" % (value, flag)
+                if isinstance(value, float) and not math.isnan(value)
+                else "n/a"
+            )
+        out.append(pretty)
+    return out

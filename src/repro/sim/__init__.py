@@ -5,6 +5,11 @@ from repro.sim.buffers import FreeVcQueue, InputBuffer, VirtualChannel
 from repro.sim.flow import Flow, validate_flow_set, xy_route
 from repro.sim.network import Network, RouterConfig
 from repro.sim.packet import Credit, Flit, FlitType, Packet
+from repro.sim.patterns import (
+    PATTERNS,
+    bandwidth_for_injection_rate,
+    synthetic_flows,
+)
 from repro.sim.segments import (
     BufferEnd,
     NicEnd,
@@ -19,6 +24,7 @@ from repro.sim.stats import (
     SimResult,
     StatsCollector,
     accepted_flits_per_cycle,
+    aggregate_summaries,
 )
 from repro.sim.topology import MM_PER_HOP, Mesh, Port
 from repro.sim.traffic import (
@@ -46,6 +52,7 @@ __all__ = [
     "NicEnd",
     "NicStart",
     "OutputStart",
+    "PATTERNS",
     "Packet",
     "Port",
     "RateScaledTraffic",
@@ -59,6 +66,9 @@ __all__ = [
     "TrafficModel",
     "VirtualChannel",
     "accepted_flits_per_cycle",
+    "aggregate_summaries",
+    "bandwidth_for_injection_rate",
+    "synthetic_flows",
     "validate_flow_set",
     "xy_route",
 ]

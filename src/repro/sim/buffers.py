@@ -10,7 +10,9 @@ reverse credit mesh and is re-enqueued at the segment start.
 from __future__ import annotations
 
 import collections
-from typing import Deque, List, Optional
+import heapq
+import itertools
+from typing import Deque, List, Optional, Tuple
 
 from repro.sim.packet import Flit
 
@@ -114,12 +116,17 @@ class FreeVcQueue:
 
     def __init__(self, num_vcs: int):
         self._ready: Deque[int] = collections.deque(range(num_vcs))
-        self._pending: Deque[tuple] = collections.deque()  # (usable_cycle, vc)
+        #: Min-heap of (usable_cycle, release_seq, vc): credits may return
+        #: out of order, and a FIFO here would head-of-line-block a
+        #: later-ready VC id behind an earlier release with a later
+        #: usable_cycle.  The sequence number keeps ties FIFO.
+        self._pending: List[Tuple[int, int, int]] = []
+        self._release_seq = itertools.count()
         self.num_vcs = num_vcs
 
     def _promote(self, cycle: int) -> None:
         while self._pending and self._pending[0][0] <= cycle:
-            self._ready.append(self._pending.popleft()[1])
+            self._ready.append(heapq.heappop(self._pending)[2])
 
     def available(self, cycle: int) -> bool:
         self._promote(cycle)
@@ -136,7 +143,9 @@ class FreeVcQueue:
         """Re-enqueue a VC id delivered by a returning credit."""
         if not 0 <= vc_id < self.num_vcs:
             raise ValueError("credit for unknown VC %d" % vc_id)
-        self._pending.append((usable_cycle, vc_id))
+        heapq.heappush(
+            self._pending, (usable_cycle, next(self._release_seq), vc_id)
+        )
 
     def outstanding(self) -> int:
         """VCs currently held by in-flight packets."""

@@ -16,14 +16,31 @@ Pipeline timing (paper Fig 6/7):
   NIC-to-NIC traversal of Fig 7.
 * Switch allocation is per-packet (virtual cut-through): a granted output
   port streams the packet's flits on consecutive cycles.
+
+Two execution kernels share this timing model:
+
+* ``kernel="active"`` (default) maintains explicit *active sets* — routers
+  holding live reservations or buffered flits, NICs with queued or
+  streaming packets, and a heap of pre-drawn per-flow injection cycles —
+  so :meth:`Network.step` touches only components with work to do.  Idle
+  cycles cost O(1).
+* ``kernel="legacy"`` iterates every router, buffer and NIC every cycle,
+  exactly as the original simulator did; it exists as a regression
+  reference (see ``docs/kernel.md``).
+
+Both kernels produce identical results: phase effects never cross a cycle
+boundary early (a flit written at cycle ``c`` is SA-eligible from ``c+2``;
+a credit freed at ``c`` is usable from ``c+1+credit_latency``), so
+skipping provably-idle components cannot change behaviour.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
 
 import collections
+import heapq
 
 from repro.config import NocConfig
 from repro.sim.arbiter import RoundRobinArbiter
@@ -73,6 +90,9 @@ class _Reservation:
     assigned_vc: int
     flits_left: int
     next_send_cycle: int
+    #: The source VirtualChannel object, cached to skip two lookups on
+    #: every flit of the stream.
+    vc: object = None
 
 
 class _Router:
@@ -98,13 +118,18 @@ class _Router:
         self.input_streaming: Dict[Port, bool] = {
             port: False for port in config.buffered_inputs
         }
+        #: Flits currently buffered across all input VCs (kept up to date
+        #: by the network's deliver/read paths, replacing a per-cycle scan).
+        self.occupancy = 0
+        #: Buffered head flits not yet read out; switch allocation can
+        #: only grant while this is non-zero, so the kernel skips the SA
+        #: scan entirely when it is 0.
+        self.sa_pending = 0
 
     @property
     def active(self) -> bool:
         """True if anything is buffered or streaming (clock not gated)."""
-        if self.reservations:
-            return True
-        return any(not buf.empty for buf in self.buffers.values())
+        return bool(self.reservations) or self.occupancy > 0
 
 
 class _NicSink:
@@ -129,9 +154,12 @@ class _NicSource:
         self.rr = RoundRobinArbiter([f.flow_id for f in self.flows]) if self.flows else None
         #: (packet, remaining flit list, assigned downstream VC)
         self.stream: Optional[Tuple[Packet, List[Flit], int]] = None
+        #: Total queued packets, maintained incrementally by the network
+        #: so the injection path need not sum the per-flow deques.
+        self.queued = 0
 
     def queued_packets(self) -> int:
-        return sum(len(q) for q in self.queues.values())
+        return self.queued
 
 
 class Network:
@@ -145,9 +173,16 @@ class Network:
         router_configs: Dict[int, RouterConfig],
         segment_map: SegmentMap,
         traffic: TrafficModel,
+        kernel: str = "active",
     ):
+        if kernel not in ("active", "legacy"):
+            raise ValueError(
+                "unknown kernel %r (have 'active', 'legacy')" % (kernel,)
+            )
         validate_flow_set(list(flows), mesh)
+        self.kernel = kernel
         self.cfg = cfg
+        self._mm_per_hop = cfg.mm_per_hop
         self.mesh = mesh
         self.flows = list(flows)
         self.flow_by_id = {f.flow_id: f for f in self.flows}
@@ -183,6 +218,21 @@ class Network:
         for segment in segment_map.segments():
             self.free_vcs[segment.start] = FreeVcQueue(cfg.vcs_per_port)
 
+        #: Per-segment delivery target, resolved once: (router, buffer)
+        #: for buffered ends, (None, None) for NIC ends.  Keyed by the
+        #: segment object's id — the map owns the segments, so ids are
+        #: stable for the network's lifetime.
+        self._seg_target: Dict[int, Tuple[Optional[_Router], Optional[InputBuffer]]] = {}
+        for segment in segment_map.segments():
+            end = segment.end
+            if isinstance(end, BufferEnd):
+                router = self.routers[end.node]
+                self._seg_target[id(segment)] = (
+                    router, router.buffers.get(end.port)
+                )
+            else:
+                self._seg_target[id(segment)] = (None, None)
+
         self.nic_sources: Dict[int, _NicSource] = {}
         for node in mesh.nodes():
             node_flows = [f for f in self.flows if f.src == node]
@@ -199,6 +249,22 @@ class Network:
             if any(f.dst == node for f in self.flows)
         }
         self._validate_against_segments()
+
+        # Active-set kernel state.  ``_active_routers`` is kept a superset
+        # of routers with reservations or buffered flits (pruned lazily),
+        # ``_active_nics`` a superset of NICs with queued or streaming
+        # packets, and ``_inject_heap`` holds (next_injection_cycle,
+        # flow_id) pairs pre-drawn from the traffic model.
+        self._active_routers: Set[int] = set()
+        self._active_nics: Set[int] = set()
+        self._inject_heap: List[Tuple[int, int]] = []
+        if self.kernel == "active":
+            for nic in self.nic_sources.values():
+                for flow in nic.flows:
+                    nxt = traffic.next_injection_cycle(flow, 0)
+                    if nxt is not None:
+                        self._inject_heap.append((nxt, flow.flow_id))
+            heapq.heapify(self._inject_heap)
 
     # ------------------------------------------------------------------
     # Construction-time validation
@@ -255,13 +321,93 @@ class Network:
     def step(self) -> None:
         """Advance one clock cycle."""
         cycle = self.cycle
-        self._generate(cycle)
-        self._switch_traversal(cycle)
-        self._nic_injection(cycle)
-        self._switch_allocation(cycle)
-        self._clock_accounting()
+        if self.kernel == "active":
+            self._step_active(cycle)
+        else:
+            self._generate(cycle)
+            self._switch_traversal(cycle)
+            self._nic_injection(cycle)
+            self._switch_allocation(cycle)
+            self._clock_accounting()
         self.counters.cycles += 1
         self.cycle += 1
+
+    # -- active-set kernel ---------------------------------------------
+
+    def _step_active(self, cycle: int) -> None:
+        """One cycle touching only components with work to do.
+
+        Phase order matches the legacy kernel (generate, ST, NIC
+        injection, SA, clock accounting); active sets are iterated in
+        sorted node order, which is the legacy iteration order too.
+        """
+        heap = self._inject_heap
+        if heap and heap[0][0] <= cycle:
+            self._generate_active(cycle, heap)
+        active = self._active_routers
+        routers = self.routers
+        order = sorted(active) if active else ()
+        for node in order:
+            router = routers[node]
+            if router.reservations:
+                self._st_router(router, cycle)
+        nics = self._active_nics
+        if nics:
+            idle_nics = []
+            for node in sorted(nics):
+                nic = self.nic_sources[node]
+                self._inject_nic(nic, cycle)
+                if nic.stream is None and nic.queued_packets() == 0:
+                    idle_nics.append(node)
+            nics.difference_update(idle_nics)
+        counters = self.counters
+        if active:
+            # ST/NIC deliveries may have woken new routers; they must be
+            # scanned and clock-accounted this cycle like the legacy
+            # kernel would.
+            if len(active) != len(order):
+                order = sorted(active)
+            idle_routers = []
+            for node in order:
+                router = routers[node]
+                if router.sa_pending:
+                    self._sa_router(router, cycle)
+                if router.reservations or router.occupancy:
+                    counters.clock_router_cycles += 1
+                    counters.clock_port_cycles += len(router.buffers)
+                else:
+                    idle_routers.append(node)
+            active.difference_update(idle_routers)
+        counters.total_router_cycles += len(routers)
+
+    def _generate_active(self, cycle: int, heap: List[Tuple[int, int]]) -> None:
+        """Create packets for every flow whose pre-drawn cycle is due."""
+        traffic = self.traffic
+        while heap and heap[0][0] <= cycle:
+            _due, flow_id = heapq.heappop(heap)
+            flow = self.flow_by_id[flow_id]
+            count = traffic.packets_at(flow, cycle)
+            if count:
+                nic = self.nic_sources[flow.src]
+                queue = nic.queues[flow_id]
+                for _ in range(count):
+                    packet = Packet(
+                        flow_id=flow_id,
+                        src=flow.src,
+                        dst=flow.dst,
+                        size_flits=self.cfg.flits_per_packet,
+                        create_cycle=cycle,
+                        route=self._flow_route[flow_id],
+                    )
+                    queue.append(packet)
+                    self.stats.on_create(packet)
+                nic.queued += count
+                self._active_nics.add(flow.src)
+            nxt = traffic.next_injection_cycle(flow, cycle + 1)
+            if nxt is not None:
+                heapq.heappush(heap, (nxt, flow_id))
+
+    # -- legacy kernel (full scans) ------------------------------------
 
     def _generate(self, cycle: int) -> None:
         for nic in self.nic_sources.values():
@@ -276,64 +422,84 @@ class Network:
                         route=self._flow_route[flow.flow_id],
                     )
                     nic.queues[flow.flow_id].append(packet)
+                    nic.queued += 1
                     self.stats.on_create(packet)
 
     def _switch_traversal(self, cycle: int) -> None:
         """ST stage: every active reservation sends one flit."""
         for router in self.routers.values():
-            finished: List[Port] = []
-            for out_port, res in router.reservations.items():
-                if res.next_send_cycle > cycle:
-                    continue
-                buffer = router.buffers[res.in_port]
-                vc = buffer.vc(res.vc_id)
-                flit = vc.front()
-                if (
-                    flit is None
-                    or flit.packet is not res.packet
-                    or not vc.front_eligible(cycle)
-                ):
-                    # Virtual cut-through streams packets contiguously, so
-                    # this only triggers in pathological configurations;
-                    # idle the slot rather than corrupt the stream.
-                    continue
-                vc.read()
-                self.counters.buffer_reads += 1
-                flit.vc = res.assigned_vc
-                self._deliver(flit, res.segment, cycle)
-                res.flits_left -= 1
-                res.next_send_cycle = cycle + 1
-                if flit.is_tail:
-                    self._return_credit(
-                        BufferEnd(router.node, res.in_port), res.vc_id, cycle
-                    )
-                    router.input_streaming[res.in_port] = False
-                    finished.append(out_port)
-            for out_port in finished:
-                del router.reservations[out_port]
+            if router.reservations:
+                self._st_router(router, cycle)
 
     def _nic_injection(self, cycle: int) -> None:
         for nic in self.nic_sources.values():
-            if nic.stream is not None:
-                self._nic_send_next(nic, cycle)
+            self._inject_nic(nic, cycle)
+
+    def _switch_allocation(self, cycle: int) -> None:
+        """SA stage: per-packet output-port arbitration at stop routers."""
+        for router in self.routers.values():
+            if router.buffers:
+                self._sa_router_reference(router, cycle)
+
+    # -- per-component stages (shared by both kernels) -----------------
+
+    def _st_router(self, router: _Router, cycle: int) -> None:
+        counters = self.counters
+        finished: List[Port] = []
+        for out_port, res in router.reservations.items():
+            if res.next_send_cycle > cycle:
                 continue
-            if nic.queued_packets() == 0:
+            vc = res.vc
+            flit = vc.front()
+            if (
+                flit is None
+                or flit.packet is not res.packet
+                or not vc.front_eligible(cycle)
+            ):
+                # Virtual cut-through streams packets contiguously, so
+                # this only triggers in pathological configurations;
+                # idle the slot rather than corrupt the stream.
                 continue
-            start = NicStart(nic.node)
-            free_queue = self.free_vcs[start]
-            if not free_queue.available(cycle):
-                continue
-            requesters = [
-                fid for fid, queue in nic.queues.items() if queue
-            ]
-            winner = nic.rr.grant(requesters)
-            if winner is None:
-                continue
-            packet = nic.queues[winner].popleft()
-            vc_id = free_queue.acquire(cycle)
-            packet.inject_cycle = cycle
-            nic.stream = (packet, packet.flits(), vc_id)
+            vc.read()
+            router.occupancy -= 1
+            if flit.is_head:
+                router.sa_pending -= 1
+            counters.buffer_reads += 1
+            flit.vc = res.assigned_vc
+            self._deliver(flit, res.segment, cycle)
+            res.flits_left -= 1
+            res.next_send_cycle = cycle + 1
+            if flit.is_tail:
+                self._return_credit(
+                    BufferEnd(router.node, res.in_port), res.vc_id, cycle
+                )
+                router.input_streaming[res.in_port] = False
+                finished.append(out_port)
+        for out_port in finished:
+            del router.reservations[out_port]
+
+    def _inject_nic(self, nic: _NicSource, cycle: int) -> None:
+        if nic.stream is not None:
             self._nic_send_next(nic, cycle)
+            return
+        if nic.queued_packets() == 0:
+            return
+        start = NicStart(nic.node)
+        free_queue = self.free_vcs[start]
+        if not free_queue.available(cycle):
+            return
+        requesters = [
+            fid for fid, queue in nic.queues.items() if queue
+        ]
+        winner = nic.rr.grant(requesters)
+        if winner is None:
+            return
+        packet = nic.queues[winner].popleft()
+        nic.queued -= 1
+        vc_id = free_queue.acquire(cycle)
+        packet.inject_cycle = cycle
+        nic.stream = (packet, packet.flits(), vc_id)
+        self._nic_send_next(nic, cycle)
 
     def _nic_send_next(self, nic: _NicSource, cycle: int) -> None:
         packet, flits, vc_id = nic.stream
@@ -344,70 +510,137 @@ class Network:
         if not flits:
             nic.stream = None
 
-    def _switch_allocation(self, cycle: int) -> None:
-        """SA stage: per-packet output-port arbitration at stop routers."""
-        for router in self.routers.values():
-            if not router.buffers:
+    def _sa_router_reference(self, router: _Router, cycle: int) -> None:
+        """The seed simulator's SA scan: one buffer sweep per output port.
+
+        Kept verbatim as the legacy kernel's implementation and as the
+        behavioural reference for the single-sweep :meth:`_sa_router`
+        below (the equivalence tests compare the two).
+        """
+        for out_port in router.config.dynamic_outputs:
+            if out_port in router.reservations:
                 continue
-            for out_port in router.config.dynamic_outputs:
-                if out_port in router.reservations:
+            start = OutputStart(router.node, out_port)
+            free_queue = self.free_vcs.get(start)
+            if free_queue is None or not free_queue.available(cycle):
+                continue
+            requests = []
+            for in_port, buffer in router.buffers.items():
+                if router.input_streaming[in_port]:
                     continue
-                start = OutputStart(router.node, out_port)
-                free_queue = self.free_vcs.get(start)
-                if free_queue is None or not free_queue.available(cycle):
-                    continue
-                requests = []
-                for in_port, buffer in router.buffers.items():
-                    if router.input_streaming[in_port]:
+                for vc in buffer.vcs:
+                    flit = vc.front()
+                    if flit is None or not flit.is_head:
                         continue
-                    for vc in buffer.vcs:
-                        flit = vc.front()
-                        if flit is None or not flit.is_head:
-                            continue
-                        if not vc.front_eligible(cycle):
-                            continue
-                        wanted = self._flow_out[flit.packet.flow_id][router.node]
-                        if wanted is out_port:
-                            requests.append((in_port, vc.vc_id))
-                if not requests:
+                    if not vc.front_eligible(cycle):
+                        continue
+                    wanted = self._flow_out[flit.packet.flow_id][router.node]
+                    if wanted is out_port:
+                        requests.append((in_port, vc.vc_id))
+            if not requests:
+                continue
+            self.counters.sa_requests += len(requests)
+            winner = router.arbiters[out_port].grant(requests)
+            if winner is None:
+                continue
+            self.counters.sa_grants += 1
+            in_port, vc_id = winner
+            vc = router.buffers[in_port].vc(vc_id)
+            assigned_vc = free_queue.acquire(cycle)
+            router.reservations[out_port] = _Reservation(
+                out_port=out_port,
+                in_port=in_port,
+                vc_id=vc_id,
+                packet=vc.front().packet,
+                segment=self.segments.from_start(start),
+                assigned_vc=assigned_vc,
+                flits_left=vc.front().packet.size_flits,
+                next_send_cycle=cycle + 1,
+                vc=vc,
+            )
+            router.input_streaming[in_port] = True
+
+    def _sa_router(self, router: _Router, cycle: int) -> None:
+        # One pass over the buffers collects every eligible head and the
+        # output it wants; outputs are then served in port order exactly
+        # as the per-output scan did.  A grant marks its input streaming,
+        # so later outputs re-check ``input_streaming`` before counting a
+        # request from that input — matching the sequential scan, where a
+        # just-granted input is invisible to subsequent outputs.
+        node = router.node
+        flow_out = self._flow_out
+        by_out: Dict[Port, List[Tuple[Port, int]]] = {}
+        for in_port, buffer in router.buffers.items():
+            if router.input_streaming[in_port]:
+                continue
+            for vc in buffer.vcs:
+                flit = vc.front()
+                if flit is None or not flit.is_head:
                     continue
-                self.counters.sa_requests += len(requests)
-                winner = router.arbiters[out_port].grant(requests)
-                if winner is None:
+                if not vc.front_eligible(cycle):
                     continue
-                self.counters.sa_grants += 1
-                in_port, vc_id = winner
-                head = router.buffers[in_port].vc(vc_id).front()
-                assigned_vc = free_queue.acquire(cycle)
-                router.reservations[out_port] = _Reservation(
-                    out_port=out_port,
-                    in_port=in_port,
-                    vc_id=vc_id,
-                    packet=head.packet,
-                    segment=self.segments.from_start(start),
-                    assigned_vc=assigned_vc,
-                    flits_left=head.packet.size_flits,
-                    next_send_cycle=cycle + 1,
-                )
-                router.input_streaming[in_port] = True
+                wanted = flow_out[flit.packet.flow_id][node]
+                by_out.setdefault(wanted, []).append((in_port, vc.vc_id))
+        if not by_out:
+            return
+        counters = self.counters
+        reservations = router.reservations
+        input_streaming = router.input_streaming
+        for out_port in router.config.dynamic_outputs:
+            candidates = by_out.get(out_port)
+            if not candidates or out_port in reservations:
+                continue
+            start = OutputStart(node, out_port)
+            free_queue = self.free_vcs.get(start)
+            if free_queue is None or not free_queue.available(cycle):
+                continue
+            requests = [
+                req for req in candidates if not input_streaming[req[0]]
+            ]
+            if not requests:
+                continue
+            counters.sa_requests += len(requests)
+            winner = router.arbiters[out_port].grant(requests)
+            if winner is None:
+                continue
+            counters.sa_grants += 1
+            in_port, vc_id = winner
+            vc = router.buffers[in_port].vc(vc_id)
+            assigned_vc = free_queue.acquire(cycle)
+            reservations[out_port] = _Reservation(
+                out_port=out_port,
+                in_port=in_port,
+                vc_id=vc_id,
+                packet=vc.front().packet,
+                segment=self.segments.from_start(start),
+                assigned_vc=assigned_vc,
+                flits_left=vc.front().packet.size_flits,
+                next_send_cycle=cycle + 1,
+                vc=vc,
+            )
+            input_streaming[in_port] = True
 
     def _deliver(self, flit: Flit, segment: Segment, send_cycle: int) -> None:
         """Move a flit across a segment; record arrival and power events."""
         arrival = send_cycle + segment.extra_cycles
-        self.counters.crossbar_traversals += segment.crossbar_traversals
-        self.counters.link_flit_mm += segment.length_mm(self.cfg.mm_per_hop)
-        self.counters.pipeline_latches += 1
-        end = segment.end
-        if isinstance(end, BufferEnd):
-            router = self.routers[end.node]
-            buffer = router.buffers.get(end.port)
+        counters = self.counters
+        counters.crossbar_traversals += len(segment.routers_crossed)
+        counters.link_flit_mm += segment.hops * self._mm_per_hop
+        counters.pipeline_latches += 1
+        router, buffer = self._seg_target[id(segment)]
+        if router is not None:
             if buffer is None:
                 raise RuntimeError(
                     "segment %r delivers to un-buffered port" % (segment,)
                 )
             buffer.vc(flit.vc).write(flit, arrival)
-            self.counters.buffer_writes += 1
+            router.occupancy += 1
+            if flit.is_head:
+                router.sa_pending += 1
+            counters.buffer_writes += 1
+            self._active_routers.add(router.node)
         else:
+            end = segment.end
             sink = self.nic_sinks[end.node]
             sink.flits_received += 1
             packet = flit.packet
@@ -424,9 +657,10 @@ class Network:
         segment = self.segments.ending_at(end)
         usable = freed_cycle + 1 + self.cfg.credit_latency
         self.free_vcs[segment.start].release(vc_id, usable)
-        self.counters.credit_events += 1
-        self.counters.credit_crossbar_traversals += segment.crossbar_traversals
-        self.counters.credit_mm += segment.length_mm(self.cfg.mm_per_hop)
+        counters = self.counters
+        counters.credit_events += 1
+        counters.credit_crossbar_traversals += len(segment.routers_crossed)
+        counters.credit_mm += segment.hops * self._mm_per_hop
 
     def _clock_accounting(self) -> None:
         for router in self.routers.values():

@@ -119,14 +119,15 @@ class Flit:
     seq: int
     #: VC assigned at the current/last segment endpoint.
     vc: Optional[int] = None
+    #: Head/tail role, cached as plain attributes: these are checked once
+    #: or more per flit per pipeline stage, which makes the enum-property
+    #: indirection a measurable simulation cost.
+    is_head: bool = dataclasses.field(init=False)
+    is_tail: bool = dataclasses.field(init=False)
 
-    @property
-    def is_head(self) -> bool:
-        return self.ftype.is_head
-
-    @property
-    def is_tail(self) -> bool:
-        return self.ftype.is_tail
+    def __post_init__(self) -> None:
+        self.is_head = self.ftype.is_head
+        self.is_tail = self.ftype.is_tail
 
     def __repr__(self) -> str:
         return "Flit(%s #%d of %r, vc=%r)" % (

@@ -1,0 +1,111 @@
+"""Synthetic traffic patterns over arbitrary mesh sizes.
+
+The paper evaluates SMART on six SoC task graphs; circuit-switched NoC
+follow-ups (ArSMART, SDM circuit switching) additionally characterise
+designs with classic synthetic patterns swept to saturation.  This module
+generates static flow sets for those patterns on any ``width x height``
+mesh, routed XY (deadlock-free), at a per-node injection rate expressed in
+packets/cycle.
+
+Patterns (``src`` has coordinates ``(x, y)`` on a ``W x H`` mesh):
+
+* ``uniform`` — each source picks one destination uniformly at random
+  (seeded, excludes itself).
+* ``transpose`` — ``(x, y) -> (y, x)``; requires a square mesh; diagonal
+  nodes generate no traffic.
+* ``bit_complement`` — ``(x, y) -> (W-1-x, H-1-y)``; the coordinate-wise
+  complement generalises the classic bit-complement to non-power-of-two
+  meshes.
+* ``hotspot`` — every other node sends to one hotspot node (default: the
+  most central node), the worst case for ejection-port serialisation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.config import NocConfig
+from repro.sim.flow import Flow, xy_route
+from repro.sim.topology import Mesh
+
+#: Supported synthetic pattern names.
+PATTERNS = ("uniform", "transpose", "bit_complement", "hotspot")
+
+
+def bandwidth_for_injection_rate(cfg: NocConfig, rate: float) -> float:
+    """Bandwidth (bytes/s) that yields ``rate`` packet injections/cycle."""
+    if rate < 0:
+        raise ValueError("injection rate must be non-negative")
+    bits_per_cycle = rate * cfg.flits_per_packet * cfg.flit_bits
+    return bits_per_cycle * cfg.freq_hz / 8.0
+
+
+def synthetic_flows(
+    pattern: str,
+    cfg: NocConfig,
+    injection_rate: float,
+    seed: int = 1,
+    hotspot_node: Optional[int] = None,
+) -> List[Flow]:
+    """Build the flow set for one synthetic pattern on ``cfg``'s mesh.
+
+    Args:
+        pattern: One of :data:`PATTERNS`.
+        cfg: Supplies mesh dimensions and the rate-to-bandwidth scaling.
+        injection_rate: Packets/cycle injected by each sourcing node.
+        seed: RNG seed for the ``uniform`` destination draw.
+        hotspot_node: Destination for the ``hotspot`` pattern (default:
+            the most central node of the mesh).
+    """
+    if pattern not in PATTERNS:
+        raise ValueError(
+            "unknown pattern %r (have %s)" % (pattern, ", ".join(PATTERNS))
+        )
+    mesh = Mesh(cfg.width, cfg.height)
+    bandwidth = bandwidth_for_injection_rate(cfg, injection_rate)
+    pairs = []
+    if pattern == "uniform":
+        rng = random.Random(seed)
+        others = list(mesh.nodes())
+        for src in mesh.nodes():
+            dst = src
+            while dst == src:
+                dst = others[rng.randrange(len(others))]
+            pairs.append((src, dst))
+    elif pattern == "transpose":
+        if mesh.width != mesh.height:
+            raise ValueError(
+                "transpose needs a square mesh, got %dx%d"
+                % (mesh.width, mesh.height)
+            )
+        for src in mesh.nodes():
+            x, y = mesh.coords(src)
+            dst = mesh.node_at(y, x)
+            if dst != src:
+                pairs.append((src, dst))
+    elif pattern == "bit_complement":
+        for src in mesh.nodes():
+            x, y = mesh.coords(src)
+            dst = mesh.node_at(mesh.width - 1 - x, mesh.height - 1 - y)
+            if dst != src:
+                pairs.append((src, dst))
+    else:  # hotspot
+        if hotspot_node is None:
+            hotspot_node = mesh.center_nodes()[0]
+        if not 0 <= hotspot_node < mesh.num_nodes:
+            raise ValueError("hotspot node %d outside mesh" % hotspot_node)
+        for src in mesh.nodes():
+            if src != hotspot_node:
+                pairs.append((src, hotspot_node))
+    return [
+        Flow(
+            flow_id=i,
+            src=src,
+            dst=dst,
+            bandwidth_bps=bandwidth,
+            route=xy_route(mesh, src, dst),
+            name="%s:%d->%d" % (pattern, src, dst),
+        )
+        for i, (src, dst) in enumerate(pairs)
+    ]

@@ -168,3 +168,30 @@ def accepted_flits_per_cycle(result: SimResult, flits_per_packet: int) -> float:
     if result.measured_cycles <= 0:
         return 0.0
     return result.summary.count * flits_per_packet / result.measured_cycles
+
+
+def aggregate_summaries(summaries: List[LatencySummary]) -> LatencySummary:
+    """Pool per-seed replications into one summary.
+
+    Means are combined exactly (weighted by delivered-packet count); the
+    p95 is a count-weighted mean of the replication p95s, which is only an
+    estimate of the pooled percentile — adequate for sweep plots, noted
+    here so nobody mistakes it for the exact pooled order statistic.
+    """
+    counted = [s for s in summaries if s.count > 0]
+    if not counted:
+        return LatencySummary.empty()
+    total = sum(s.count for s in counted)
+
+    def wmean(getter) -> float:
+        return sum(getter(s) * s.count for s in counted) / total
+
+    return LatencySummary(
+        count=total,
+        mean_head_latency=wmean(lambda s: s.mean_head_latency),
+        mean_packet_latency=wmean(lambda s: s.mean_packet_latency),
+        mean_network_latency=wmean(lambda s: s.mean_network_latency),
+        p95_head_latency=wmean(lambda s: s.p95_head_latency),
+        max_head_latency=max(s.max_head_latency for s in counted),
+        min_head_latency=min(s.min_head_latency for s in counted),
+    )

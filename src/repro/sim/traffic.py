@@ -4,15 +4,40 @@ The paper drives each design with synthetic traffic "modeling a uniform
 random injection rate to meet the specified bandwidth for each flow" (§VI).
 ``BernoulliTraffic`` implements that; ``ScriptedTraffic`` injects packets at
 exact cycles and is used by the Fig 7 reproduction and by unit tests.
+
+Traffic models expose two queries:
+
+* :meth:`TrafficModel.packets_at` — how many packets does ``flow`` inject
+  at ``cycle``?  This is the classic per-cycle interface.
+* :meth:`TrafficModel.next_injection_cycle` — the earliest cycle at or
+  after ``from_cycle`` at which the flow *may* inject.  The active-set
+  simulation kernel uses this to skip idle cycles entirely instead of
+  polling every flow every cycle.  The base-class default returns
+  ``from_cycle`` ("poll me every cycle"), which is always correct.
+
+``BernoulliTraffic`` pre-draws each flow's next injection cycle by
+sampling the geometric inter-arrival distribution.  Its default
+``mode="predraw"`` samples the geometric gap by counting Bernoulli trials
+on the same per-flow RNG stream the seed kernel consumed one-draw-per-cycle,
+so the injection schedule is bit-identical to the historical per-cycle
+draws.  ``mode="geometric"`` uses inverse-CDF sampling (one draw per
+packet — fastest, distribution-equivalent but a different schedule) and
+``mode="legacy"`` keeps the original draw-on-every-``packets_at``-call
+behaviour for regression checks.
 """
 
 from __future__ import annotations
 
+import collections
+import math
 import random
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.config import NocConfig
 from repro.sim.flow import Flow
+
+#: Injection-schedule sampling strategies for ``BernoulliTraffic``.
+BERNOULLI_MODES = ("predraw", "geometric", "legacy")
 
 
 class TrafficModel:
@@ -21,6 +46,14 @@ class TrafficModel:
     def packets_at(self, flow: Flow, cycle: int) -> int:
         raise NotImplementedError
 
+    def next_injection_cycle(self, flow: Flow, from_cycle: int) -> Optional[int]:
+        """Earliest cycle >= ``from_cycle`` at which ``flow`` may inject.
+
+        Returns ``None`` if the flow will never inject again.  The default
+        conservatively requests a poll on every cycle.
+        """
+        return from_cycle
+
 
 class BernoulliTraffic(TrafficModel):
     """Per-cycle Bernoulli packet injection at each flow's bandwidth.
@@ -28,51 +61,169 @@ class BernoulliTraffic(TrafficModel):
     Each flow gets an independent deterministic RNG stream (derived from
     the base seed and the flow id) so results are reproducible and
     insensitive to flow iteration order.
+
+    Args:
+        cfg: Network configuration (converts bandwidth to packets/cycle).
+        flows: Flow set to drive.
+        seed: Base RNG seed.
+        mode: One of :data:`BERNOULLI_MODES` — see the module docstring.
+        clamp: Clamp per-flow rates above 1 packet/cycle to exactly 1.0
+            (a saturated injection port) instead of raising.  Clamped
+            flows are recorded in :attr:`clamped_rates`.
     """
 
-    def __init__(self, cfg: NocConfig, flows: Sequence[Flow], seed: int = 1):
+    def __init__(
+        self,
+        cfg: NocConfig,
+        flows: Sequence[Flow],
+        seed: int = 1,
+        mode: str = "predraw",
+        clamp: bool = False,
+    ):
+        if mode not in BERNOULLI_MODES:
+            raise ValueError(
+                "unknown Bernoulli mode %r (have %s)"
+                % (mode, ", ".join(BERNOULLI_MODES))
+            )
+        self.mode = mode
         self._rates: Dict[int, float] = {}
         self._rngs: Dict[int, random.Random] = {}
+        #: flow_id -> unclamped rate, for flows clamped to 1 packet/cycle.
+        self.clamped_rates: Dict[int, float] = {}
+        #: flow_id -> pre-drawn next injection cycle (predraw/geometric).
+        self._next: Dict[int, Optional[int]] = {}
         for flow in flows:
             rate = cfg.flow_rate_packets_per_cycle(flow.bandwidth_bps)
             if rate > 1.0:
-                raise ValueError(
-                    "flow %d needs %.2f packets/cycle; exceeds one "
-                    "injection port" % (flow.flow_id, rate)
-                )
+                if not clamp:
+                    raise ValueError(
+                        "flow %d needs %.2f packets/cycle; exceeds one "
+                        "injection port" % (flow.flow_id, rate)
+                    )
+                self.clamped_rates[flow.flow_id] = rate
+                rate = 1.0
             self._rates[flow.flow_id] = rate
             self._rngs[flow.flow_id] = random.Random((seed << 20) ^ flow.flow_id)
 
     def rate(self, flow_id: int) -> float:
         return self._rates[flow_id]
 
+    # -- schedule sampling ---------------------------------------------
+
+    def _draw_gap(self, flow_id: int) -> Optional[int]:
+        """Sample the geometric gap to the next injection (in cycles)."""
+        rate = self._rates[flow_id]
+        if rate <= 0.0:
+            return None
+        if rate >= 1.0:
+            return 1
+        rng = self._rngs[flow_id]
+        if self.mode == "geometric":
+            # Inverse-CDF: one draw per packet.  P(gap = k) = (1-p)^(k-1) p.
+            u = rng.random()
+            return 1 + int(math.log(1.0 - u) / math.log(1.0 - rate))
+        # predraw: count Bernoulli trials so the stream (and therefore the
+        # schedule) is bit-identical to historical one-draw-per-cycle.
+        gap = 1
+        rng_random = rng.random
+        while rng_random() >= rate:
+            gap += 1
+        return gap
+
+    def _peek_next(self, flow_id: int) -> Optional[int]:
+        """The pre-drawn next injection cycle for ``flow_id``."""
+        if flow_id not in self._next:
+            gap = self._draw_gap(flow_id)
+            # Cycle numbering starts at 0: a gap of 1 from "before cycle 0"
+            # means the first injection lands on cycle 0 (matching draw #0
+            # of the per-cycle stream).
+            self._next[flow_id] = None if gap is None else gap - 1
+        return self._next[flow_id]
+
     def packets_at(self, flow: Flow, cycle: int) -> int:
         rate = self._rates[flow.flow_id]
         if rate <= 0.0:
             return 0
-        return 1 if self._rngs[flow.flow_id].random() < rate else 0
+        if self.mode == "legacy":
+            return 1 if self._rngs[flow.flow_id].random() < rate else 0
+        nxt = self._peek_next(flow.flow_id)
+        if nxt is None or nxt > cycle:
+            return 0
+        # Catch up if the caller skipped past pre-drawn injections.
+        while nxt is not None and nxt < cycle:
+            gap = self._draw_gap(flow.flow_id)
+            nxt = None if gap is None else nxt + gap
+        self._next[flow.flow_id] = nxt
+        if nxt != cycle:
+            return 0
+        gap = self._draw_gap(flow.flow_id)
+        self._next[flow.flow_id] = None if gap is None else nxt + gap
+        return 1
+
+    def next_injection_cycle(self, flow: Flow, from_cycle: int) -> Optional[int]:
+        if self.mode == "legacy":
+            return from_cycle if self._rates[flow.flow_id] > 0.0 else None
+        nxt = self._peek_next(flow.flow_id)
+        while nxt is not None and nxt < from_cycle:
+            gap = self._draw_gap(flow.flow_id)
+            nxt = None if gap is None else nxt + gap
+        self._next[flow.flow_id] = nxt
+        return nxt
 
 
 class ScriptedTraffic(TrafficModel):
-    """Injects packets at exact (cycle, flow_id) points."""
+    """Injects packets at exact (cycle, flow_id) points.
+
+    Schedule entries are consumed as they are injected, so
+    :meth:`remaining` reports how many scripted packets are still pending
+    (it used to report the initial total forever).
+    """
 
     def __init__(self, schedule: Iterable[Tuple[int, int]]):
-        self._schedule: Dict[Tuple[int, int], int] = {}
+        counts: Dict[int, Dict[int, int]] = {}
         for cycle, flow_id in schedule:
-            key = (cycle, flow_id)
-            self._schedule[key] = self._schedule.get(key, 0) + 1
+            per_flow = counts.setdefault(flow_id, {})
+            per_flow[cycle] = per_flow.get(cycle, 0) + 1
+        #: flow_id -> deque of (cycle, count), sorted by cycle.
+        self._by_flow: Dict[int, Deque[Tuple[int, int]]] = {
+            flow_id: collections.deque(sorted(per_flow.items()))
+            for flow_id, per_flow in counts.items()
+        }
 
     def packets_at(self, flow: Flow, cycle: int) -> int:
-        return self._schedule.get((cycle, flow.flow_id), 0)
+        queue = self._by_flow.get(flow.flow_id)
+        if not queue:
+            return 0
+        # Entries strictly in the past can never fire (kernel cycles are
+        # monotonic); drop them so remaining() converges.
+        while queue and queue[0][0] < cycle:
+            queue.popleft()
+        if queue and queue[0][0] == cycle:
+            return queue.popleft()[1]
+        return 0
+
+    def next_injection_cycle(self, flow: Flow, from_cycle: int) -> Optional[int]:
+        queue = self._by_flow.get(flow.flow_id)
+        if not queue:
+            return None
+        while queue and queue[0][0] < from_cycle:
+            queue.popleft()
+        return queue[0][0] if queue else None
 
     def remaining(self) -> int:
-        return sum(self._schedule.values())
+        return sum(
+            count for queue in self._by_flow.values() for _cycle, count in queue
+        )
 
 
 class RateScaledTraffic(TrafficModel):
-    """Wraps another model, scaling all bandwidths by a load factor.
+    """Wraps Bernoulli injection, scaling all bandwidths by a load factor.
 
-    Used by load-sweep ablations to push designs toward saturation.
+    Used by load-sweep ablations to push designs toward saturation.  A
+    flow whose scaled rate exceeds 1 packet/cycle is clamped to exactly
+    1.0 — a saturated injection port — instead of raising, so sweeps can
+    run past the saturation knee; clamped flows are recorded in
+    :attr:`clamped_rates` (flow_id -> requested, unclamped rate).
     """
 
     def __init__(
@@ -81,9 +232,11 @@ class RateScaledTraffic(TrafficModel):
         flows: Sequence[Flow],
         scale: float,
         seed: int = 1,
+        mode: str = "predraw",
     ):
         if scale < 0:
             raise ValueError("load scale must be non-negative")
+        self.scale = scale
         scaled: List[Flow] = [
             Flow(
                 flow_id=f.flow_id,
@@ -95,7 +248,19 @@ class RateScaledTraffic(TrafficModel):
             )
             for f in flows
         ]
-        self._inner = BernoulliTraffic(cfg, scaled, seed=seed)
+        self._inner = BernoulliTraffic(cfg, scaled, seed=seed, mode=mode, clamp=True)
+
+    @property
+    def clamped_rates(self) -> Dict[int, float]:
+        """flow_id -> requested rate, for flows clamped at 1 packet/cycle."""
+        return self._inner.clamped_rates
+
+    def rate(self, flow_id: int) -> float:
+        """Effective (post-clamp) injection rate of the wrapped flow."""
+        return self._inner.rate(flow_id)
 
     def packets_at(self, flow: Flow, cycle: int) -> int:
         return self._inner.packets_at(flow, cycle)
+
+    def next_injection_cycle(self, flow: Flow, from_cycle: int) -> Optional[int]:
+        return self._inner.next_injection_cycle(flow, from_cycle)

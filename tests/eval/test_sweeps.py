@@ -1,0 +1,122 @@
+"""Parallel sweep-runner tests."""
+
+import math
+
+import pytest
+
+from repro.config import NocConfig
+from repro.eval.sweeps import (
+    SweepJob,
+    _run_job,
+    format_sweep_rows,
+    run_load_sweep,
+    run_pattern_sweep,
+    saturation_load,
+)
+from repro.sim.stats import LatencySummary, aggregate_summaries
+
+_TINY = dict(warmup_cycles=100, measure_cycles=800, drain_limit=4000)
+
+
+class TestLoadSweep:
+    def test_parallel_sweep_to_saturation(self):
+        """The headline flow: fan a load sweep across worker processes,
+        past the saturation knee the clamp fix makes reachable."""
+        rows = run_load_sweep(
+            app="PIP",
+            designs=("mesh", "smart"),
+            scales=(1.0, 1024.0),
+            processes=2,
+            **_TINY,
+        )
+        assert [row["load"] for row in rows] == [1.0, 1024.0]
+        light, heavy = rows
+        for design in ("mesh", "smart"):
+            assert light[design] > 0
+            assert heavy[design] > light[design]
+            assert heavy["%s_clamped" % design] > 0
+            assert heavy["%s_saturated" % design]
+        assert saturation_load(rows, "mesh") == 1024.0
+        assert saturation_load(rows, "smart") == 1024.0
+
+    def test_serial_matches_parallel(self):
+        kwargs = dict(
+            app="PIP", designs=("smart",), scales=(2.0,), seeds=(1,), **_TINY
+        )
+        serial = run_load_sweep(processes=0, **kwargs)
+        parallel = run_load_sweep(processes=2, **kwargs)
+        assert serial == parallel
+
+    def test_seed_replication_aggregates(self):
+        rows = run_load_sweep(
+            app="PIP", designs=("smart",), scales=(1.0,),
+            seeds=(1, 2), processes=0, **_TINY,
+        )
+        (row,) = rows
+        single = run_load_sweep(
+            app="PIP", designs=("smart",), scales=(1.0,),
+            seeds=(1,), processes=0, **_TINY,
+        )[0]
+        assert row["smart"] > 0
+        # Pooled count covers both replications.
+        assert row["smart_thrpt"] == pytest.approx(single["smart_thrpt"], rel=0.5)
+
+
+class TestPatternSweep:
+    def test_pattern_sweep_runs(self):
+        rows = run_pattern_sweep(
+            pattern="transpose",
+            designs=("mesh",),
+            rates=(0.01, 0.05),
+            cfg=NocConfig(width=4, height=4),
+            processes=0,
+            **_TINY,
+        )
+        assert [row["load"] for row in rows] == [0.01, 0.05]
+        assert all(row["mesh"] > 0 for row in rows)
+        assert rows[1]["mesh"] >= rows[0]["mesh"]
+
+
+class TestJobAndFormatting:
+    def test_job_runs_dedicated_design(self):
+        job = SweepJob(
+            design="dedicated", load=1.0, seed=1, cfg=NocConfig(),
+            app="PIP", **_TINY,
+        )
+        point = _run_job(job)
+        assert point["design"] == "dedicated"
+        assert point["summary"].count > 0
+        assert not point["saturated"]
+
+    def test_format_rows_flags_saturation(self):
+        rows = [{
+            "load": 8.0, "mesh": 12.5, "mesh_saturated": True,
+            "mesh_p95": 20.0, "mesh_thrpt": 1.0, "mesh_clamped": 2,
+            "smart": float("nan"), "smart_saturated": False,
+        }]
+        (pretty,) = format_sweep_rows(rows)
+        assert pretty["mesh"] == "12.50*"
+        assert pretty["smart"] == "n/a"
+
+
+class TestAggregateSummaries:
+    def test_weighted_means(self):
+        a = LatencySummary(count=2, mean_head_latency=10.0,
+                           mean_packet_latency=12.0, mean_network_latency=9.0,
+                           p95_head_latency=11.0, max_head_latency=12,
+                           min_head_latency=8)
+        b = LatencySummary(count=6, mean_head_latency=20.0,
+                           mean_packet_latency=22.0, mean_network_latency=19.0,
+                           p95_head_latency=21.0, max_head_latency=30,
+                           min_head_latency=5)
+        merged = aggregate_summaries([a, b])
+        assert merged.count == 8
+        assert merged.mean_head_latency == pytest.approx(17.5)
+        assert merged.max_head_latency == 30
+        assert merged.min_head_latency == 5
+
+    def test_empty_and_zero_count_summaries(self):
+        assert aggregate_summaries([]).count == 0
+        merged = aggregate_summaries([LatencySummary.empty()])
+        assert merged.count == 0
+        assert math.isnan(merged.mean_head_latency)

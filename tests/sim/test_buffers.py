@@ -127,3 +127,30 @@ class TestFreeVcQueue:
         queue.release(a, 6)
         assert queue.acquire(10) == b
         assert queue.acquire(10) == a
+
+    def test_out_of_order_release_promotes_earliest(self):
+        """A late-usable credit released first must not head-of-line-block
+        an earlier-usable credit released after it."""
+        queue = FreeVcQueue(2)
+        a = queue.acquire(0)
+        b = queue.acquire(0)
+        queue.release(a, usable_cycle=20)
+        queue.release(b, usable_cycle=5)
+        assert queue.available(5)
+        assert queue.acquire(5) == b
+        assert not queue.available(19)
+        assert queue.acquire(20) == a
+
+    def test_same_cycle_releases_stay_fifo(self):
+        queue = FreeVcQueue(3)
+        ids = [queue.acquire(0) for _ in range(3)]
+        for vc in (ids[2], ids[0], ids[1]):
+            queue.release(vc, usable_cycle=4)
+        assert [queue.acquire(4) for _ in range(3)] == [ids[2], ids[0], ids[1]]
+
+    def test_outstanding_with_pending_heap(self):
+        queue = FreeVcQueue(2)
+        queue.acquire(0)
+        queue.acquire(0)
+        queue.release(1, 30)
+        assert queue.outstanding() == 1

@@ -1,0 +1,133 @@
+"""Active-set kernel vs legacy kernel: results must be identical.
+
+The active-set kernel skips provably-idle routers, NICs and cycles; these
+tests pin down that the optimisation is unobservable — identical latency
+summaries, event counters, and per-packet timestamps on scripted and
+Bernoulli workloads, across mesh and SMART designs.
+"""
+
+import pytest
+
+from repro.config import NocConfig
+from repro.core.noc_builder import build_mesh_noc, build_smart_noc
+from repro.eval.designs import build_design
+from repro.eval.scenarios import fig7_flows
+from repro.mapping.nmap import map_application
+from repro.apps.registry import evaluation_task_graph
+from repro.sim.patterns import synthetic_flows
+from repro.sim.topology import Mesh
+from repro.sim.traffic import BernoulliTraffic, RateScaledTraffic, ScriptedTraffic
+
+
+def _app_flows(app, cfg):
+    graph = evaluation_task_graph(app)
+    _mapping, flows = map_application(
+        graph, Mesh(cfg.width, cfg.height), algorithm="nmap_modified", seed=1
+    )
+    return flows
+
+
+class TestScriptedEquivalence:
+    def test_fig7_per_packet_latencies_identical(self, cfg):
+        results = {}
+        for kernel in ("legacy", "active"):
+            flows = fig7_flows()
+            schedule = [(1, f.flow_id) for f in flows]
+            noc = build_smart_noc(
+                cfg, flows, traffic=ScriptedTraffic(schedule), kernel=kernel
+            )
+            noc.network.stats.measuring = True
+            noc.network.run_cycles(200)
+            results[kernel] = {
+                p.flow_id: (p.create_cycle, p.inject_cycle,
+                            p.head_arrive_cycle, p.tail_arrive_cycle)
+                for p in noc.network.stats.measured_delivered
+            }
+            results[kernel, "counters"] = noc.network.counters
+        assert results["legacy"] == results["active"]
+        assert results["legacy", "counters"] == results["active", "counters"]
+
+    def test_fig7_active_kernel_keeps_single_cycle_paths(self, cfg):
+        flows = fig7_flows()
+        noc = build_smart_noc(
+            cfg, flows, traffic=ScriptedTraffic([(1, f.flow_id) for f in flows]),
+            kernel="active",
+        )
+        noc.network.stats.measuring = True
+        noc.network.run_cycles(200)
+        by_name = {
+            flows[p.flow_id].name: p.head_latency
+            for p in noc.network.stats.measured_delivered
+        }
+        assert by_name["green"] == 1
+        assert by_name["purple"] == 1
+
+
+class TestBernoulliEquivalence:
+    @pytest.mark.parametrize("design", ["mesh", "smart"])
+    @pytest.mark.parametrize("app", ["PIP", "VOPD"])
+    def test_app_runs_identical(self, cfg, app, design):
+        flows = _app_flows(app, cfg)
+        results = {}
+        for kernel, mode in (("legacy", "legacy"), ("active", "predraw")):
+            traffic = BernoulliTraffic(cfg, flows, seed=1, mode=mode)
+            instance = build_design(
+                design, cfg, flows, traffic=traffic, kernel=kernel
+            )
+            r = instance.run(
+                warmup_cycles=200, measure_cycles=2000, drain_limit=20000
+            )
+            results[kernel] = (r.summary, r.per_flow, r.counters,
+                               r.total_cycles, r.drained)
+        assert results["legacy"] == results["active"]
+
+    def test_saturated_run_identical_and_survives(self, cfg):
+        """Past saturation (clamped flows) both kernels agree and neither
+        crashes — the sweep regression that motivated the clamp fix."""
+        flows = _app_flows("PIP", cfg)
+        results = {}
+        for kernel, mode in (("legacy", "legacy"), ("active", "predraw")):
+            traffic = RateScaledTraffic(cfg, flows, scale=1024.0, seed=1, mode=mode)
+            assert traffic.clamped_rates, "scale 1024 should clamp some flow"
+            instance = build_design(
+                "mesh", cfg, flows, traffic=traffic, kernel=kernel
+            )
+            r = instance.run(
+                warmup_cycles=100, measure_cycles=1000, drain_limit=500
+            )
+            results[kernel] = (r.summary, r.counters, r.drained)
+        assert results["legacy"] == results["active"]
+
+    def test_synthetic_pattern_runs_identical(self):
+        cfg = NocConfig(width=6, height=6)
+        flows = synthetic_flows("bit_complement", cfg, injection_rate=0.01)
+        results = {}
+        for kernel, mode in (("legacy", "legacy"), ("active", "predraw")):
+            traffic = BernoulliTraffic(cfg, flows, seed=3, mode=mode)
+            noc = build_mesh_noc(cfg, flows, traffic=traffic, kernel=kernel)
+            noc.network.stats.measuring = True
+            noc.network.run_cycles(3000)
+            results[kernel] = (
+                noc.network.stats.summary(),
+                noc.network.counters,
+            )
+        assert results["legacy"] == results["active"]
+
+
+class TestKernelSelection:
+    def test_unknown_kernel_rejected(self, cfg, fig7_flow_set):
+        with pytest.raises(ValueError):
+            build_smart_noc(
+                cfg, fig7_flow_set,
+                traffic=ScriptedTraffic([]), kernel="warp",
+            )
+
+    def test_idle_network_gates_every_router(self, cfg, fig7_flow_set):
+        """With no traffic the active kernel must report zero clocked
+        router-cycles while still counting total router-cycles."""
+        noc = build_smart_noc(
+            cfg, fig7_flow_set, traffic=ScriptedTraffic([]), kernel="active"
+        )
+        noc.network.run_cycles(500)
+        assert noc.network.counters.clock_router_cycles == 0
+        assert noc.network.counters.total_router_cycles == 500 * 16

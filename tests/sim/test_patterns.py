@@ -1,0 +1,116 @@
+"""Synthetic traffic-pattern library tests (destination distributions)."""
+
+import collections
+
+import pytest
+
+from repro.config import NocConfig
+from repro.sim.flow import validate_flow_set
+from repro.sim.patterns import (
+    PATTERNS,
+    bandwidth_for_injection_rate,
+    synthetic_flows,
+)
+from repro.sim.topology import Mesh
+
+
+class TestRateConversion:
+    def test_round_trips_through_config(self, cfg):
+        bw = bandwidth_for_injection_rate(cfg, 0.125)
+        assert cfg.flow_rate_packets_per_cycle(bw) == pytest.approx(0.125)
+
+    def test_negative_rate_rejected(self, cfg):
+        with pytest.raises(ValueError):
+            bandwidth_for_injection_rate(cfg, -0.1)
+
+
+class TestDestinations:
+    def test_transpose_swaps_coordinates(self):
+        cfg = NocConfig(width=4, height=4)
+        mesh = Mesh(4, 4)
+        flows = synthetic_flows("transpose", cfg, injection_rate=0.01)
+        assert len(flows) == 12  # 16 nodes minus the 4 diagonal ones
+        for flow in flows:
+            x, y = mesh.coords(flow.src)
+            assert mesh.coords(flow.dst) == (y, x)
+
+    def test_transpose_needs_square_mesh(self):
+        cfg = NocConfig(width=4, height=2)
+        with pytest.raises(ValueError):
+            synthetic_flows("transpose", cfg, injection_rate=0.01)
+
+    def test_bit_complement_reflects_both_axes(self):
+        cfg = NocConfig(width=5, height=3)
+        mesh = Mesh(5, 3)
+        flows = synthetic_flows("bit_complement", cfg, injection_rate=0.01)
+        assert len(flows) == 14  # 15 nodes minus the centre fixed point
+        for flow in flows:
+            x, y = mesh.coords(flow.src)
+            assert mesh.coords(flow.dst) == (4 - x, 2 - y)
+
+    def test_hotspot_all_point_at_hotspot(self):
+        cfg = NocConfig(width=4, height=4)
+        flows = synthetic_flows("hotspot", cfg, injection_rate=0.01,
+                                hotspot_node=5)
+        assert len(flows) == 15
+        assert {f.dst for f in flows} == {5}
+        assert 5 not in {f.src for f in flows}
+
+    def test_hotspot_defaults_to_central_node(self):
+        cfg = NocConfig(width=4, height=4)
+        mesh = Mesh(4, 4)
+        flows = synthetic_flows("hotspot", cfg, injection_rate=0.01)
+        assert {f.dst for f in flows} == {mesh.center_nodes()[0]}
+
+    def test_uniform_every_node_sources_once(self):
+        cfg = NocConfig(width=4, height=4)
+        flows = synthetic_flows("uniform", cfg, injection_rate=0.01, seed=7)
+        assert sorted(f.src for f in flows) == list(range(16))
+        assert all(f.src != f.dst for f in flows)
+
+    def test_uniform_destinations_spread_over_mesh(self):
+        """Across many seeds, each node should be drawn as a destination
+        roughly uniformly (1/15 of draws on a 4x4 mesh)."""
+        cfg = NocConfig(width=4, height=4)
+        counts = collections.Counter()
+        draws = 0
+        for seed in range(60):
+            for flow in synthetic_flows("uniform", cfg, injection_rate=0.01,
+                                        seed=seed):
+                counts[flow.dst] += 1
+                draws += 1
+        assert set(counts) == set(range(16))
+        expected = draws / 16
+        for node, count in counts.items():
+            assert count == pytest.approx(expected, rel=0.5), node
+
+    def test_uniform_deterministic_per_seed(self):
+        cfg = NocConfig(width=4, height=4)
+        a = synthetic_flows("uniform", cfg, injection_rate=0.01, seed=3)
+        b = synthetic_flows("uniform", cfg, injection_rate=0.01, seed=3)
+        assert [(f.src, f.dst) for f in a] == [(f.src, f.dst) for f in b]
+
+
+class TestFlowSets:
+    @pytest.mark.parametrize("pattern", PATTERNS)
+    def test_flow_sets_are_mesh_legal(self, pattern):
+        cfg = NocConfig(width=8, height=8)
+        flows = synthetic_flows(pattern, cfg, injection_rate=0.02)
+        validate_flow_set(flows, Mesh(8, 8))
+
+    @pytest.mark.parametrize("pattern", PATTERNS)
+    def test_rates_match_request(self, pattern, cfg):
+        flows = synthetic_flows(pattern, cfg, injection_rate=0.05)
+        for flow in flows:
+            assert cfg.flow_rate_packets_per_cycle(
+                flow.bandwidth_bps
+            ) == pytest.approx(0.05)
+
+    def test_unknown_pattern_rejected(self, cfg):
+        with pytest.raises(ValueError):
+            synthetic_flows("butterfly", cfg, injection_rate=0.01)
+
+    def test_bad_hotspot_node_rejected(self, cfg):
+        with pytest.raises(ValueError):
+            synthetic_flows("hotspot", cfg, injection_rate=0.01,
+                            hotspot_node=99)

@@ -64,9 +64,67 @@ class TestScripted:
         assert traffic.packets_at(flow, 7) == 1
         assert traffic.packets_at(flow, 5) == 0
 
-    def test_remaining(self):
+    def test_remaining_decrements_on_injection(self):
+        flow0, flow1 = make_flow(0), make_flow(1)
         traffic = ScriptedTraffic([(1, 0), (2, 1)])
         assert traffic.remaining() == 2
+        assert traffic.packets_at(flow0, 1) == 1
+        assert traffic.remaining() == 1
+        assert traffic.packets_at(flow1, 2) == 1
+        assert traffic.remaining() == 0
+
+    def test_next_injection_cycle(self):
+        flow = make_flow(0)
+        traffic = ScriptedTraffic([(3, 0), (7, 0)])
+        assert traffic.next_injection_cycle(flow, 0) == 3
+        assert traffic.next_injection_cycle(flow, 4) == 7
+        assert traffic.packets_at(flow, 7) == 1
+        assert traffic.next_injection_cycle(flow, 8) is None
+
+
+class TestBernoulliModes:
+    def test_predraw_schedule_matches_legacy_stream(self, cfg):
+        """predraw consumes the same RNG stream, so the schedule is
+        bit-identical to the seed kernel's one-draw-per-cycle."""
+        flow = make_flow(bw=4e9)
+        legacy = BernoulliTraffic(cfg, [flow], seed=9, mode="legacy")
+        predraw = BernoulliTraffic(cfg, [flow], seed=9, mode="predraw")
+        n = 20000
+        legacy_seq = [legacy.packets_at(flow, c) for c in range(n)]
+        predraw_seq = [predraw.packets_at(flow, c) for c in range(n)]
+        assert legacy_seq == predraw_seq
+
+    def test_predraw_next_injection_consistent(self, cfg):
+        flow = make_flow(bw=4e9)
+        a = BernoulliTraffic(cfg, [flow], seed=2)
+        b = BernoulliTraffic(cfg, [flow], seed=2)
+        injections = [c for c in range(5000) if a.packets_at(flow, c)]
+        skipped = []
+        cycle = 0
+        while len(skipped) < len(injections):
+            nxt = b.next_injection_cycle(flow, cycle)
+            assert b.packets_at(flow, nxt) == 1
+            skipped.append(nxt)
+            cycle = nxt + 1
+        assert skipped == injections
+
+    def test_geometric_mode_rate_matches(self, cfg):
+        flow = make_flow(bw=4e9)  # rate = 0.0625 packets/cycle
+        traffic = BernoulliTraffic(cfg, [flow], seed=11, mode="geometric")
+        n = 200000
+        injections = sum(traffic.packets_at(flow, c) for c in range(n))
+        assert injections == pytest.approx(traffic.rate(0) * n, rel=0.05)
+
+    def test_unknown_mode_rejected(self, cfg):
+        with pytest.raises(ValueError):
+            BernoulliTraffic(cfg, [make_flow()], mode="bogus")
+
+    def test_saturated_flow_injects_every_cycle(self, cfg):
+        flow = make_flow(bw=1e12)
+        traffic = BernoulliTraffic(cfg, [flow], clamp=True)
+        assert traffic.rate(0) == 1.0
+        assert 0 in traffic.clamped_rates
+        assert all(traffic.packets_at(flow, c) == 1 for c in range(50))
 
 
 class TestRateScaled:
@@ -82,3 +140,22 @@ class TestRateScaled:
     def test_negative_scale_rejected(self, cfg):
         with pytest.raises(ValueError):
             RateScaledTraffic(cfg, [make_flow()], scale=-1.0)
+
+    def test_rate_delegates_to_wrapped_model(self, cfg):
+        flow = make_flow(bw=4e9)
+        scaled = RateScaledTraffic(cfg, [flow], scale=2.0, seed=5)
+        base = BernoulliTraffic(cfg, [flow], seed=5)
+        assert scaled.rate(0) == pytest.approx(2.0 * base.rate(0))
+
+    def test_oversubscribed_scale_clamps_to_saturation(self, cfg):
+        """Sweeps past saturation clamp at 1 packet/cycle instead of
+        raising, and record the clamp."""
+        flow = make_flow(bw=4e9)  # rate 0.0625 -> x32 = 2.0 packets/cycle
+        traffic = RateScaledTraffic(cfg, [flow], scale=32.0, seed=5)
+        assert traffic.rate(0) == 1.0
+        assert traffic.clamped_rates[0] == pytest.approx(2.0)
+        assert all(traffic.packets_at(flow, c) == 1 for c in range(100))
+
+    def test_unclamped_flows_not_recorded(self, cfg):
+        traffic = RateScaledTraffic(cfg, [make_flow(bw=4e9)], scale=2.0)
+        assert traffic.clamped_rates == {}

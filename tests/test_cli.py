@@ -13,7 +13,8 @@ class TestParser:
             if isinstance(a, type(parser._subparsers._group_actions[0]))
         )
         assert set(sub.choices) == {
-            "table1", "table2", "chip", "fig7", "fig10a", "fig10b", "run", "apps",
+            "table1", "table2", "chip", "fig7", "fig10a", "fig10b", "run",
+            "apps", "sweep",
         }
 
     def test_run_requires_design(self):
@@ -52,3 +53,21 @@ class TestCommands:
         main(["run", "PIP", "smart", "--measure", "2000"])
         out = capsys.readouterr().out
         assert "PIP on smart" in out
+
+    def test_sweep_app(self, capsys):
+        main([
+            "sweep", "--app", "PIP", "--designs", "mesh,smart",
+            "--loads", "1,32", "--measure", "1000", "--jobs", "2",
+        ])
+        out = capsys.readouterr().out
+        assert "Latency vs load (PIP" in out
+        assert "mesh" in out and "smart" in out
+        assert "32" in out  # the post-saturation point ran instead of crashing
+
+    def test_sweep_pattern(self, capsys):
+        main([
+            "sweep", "--pattern", "transpose", "--designs", "smart",
+            "--loads", "0.01", "--measure", "1000", "--jobs", "1",
+        ])
+        out = capsys.readouterr().out
+        assert "Latency vs injection rate (transpose" in out
