@@ -1,0 +1,134 @@
+"""Dedicated kernel speed: active-set vs legacy cycles/sec on 8x8 uniform.
+
+The Dedicated baseline was the slow leg of every latency-vs-load sweep:
+its legacy kernel scans every flow, channel and sink each cycle.  The
+active-set port must deliver >= 2x the legacy kernel's cycles/sec on a
+moderately loaded 8x8 uniform-random workload whose shared sinks sit
+idle roughly half to two-thirds of all cycles — the regime load sweeps
+live in — while producing identical results.  The measured rates land in
+``results/BENCH_dedicated.json`` together with a short latency-vs-load
+trajectory of the baseline, mirroring ``BENCH_kernel.json``.
+
+Like every ``bench_*.py`` module this file is outside pytest's default
+``test_*.py`` collection pattern, so tier-1 ``pytest -x -q`` never runs
+it; invoke it explicitly with ``pytest benchmarks/bench_dedicated_speed.py -s``.
+"""
+
+import json
+import os
+import time
+
+from conftest import RESULTS_DIR, save_rows
+
+from repro.config import NocConfig
+from repro.eval.dedicated import DedicatedNetwork
+from repro.sim.patterns import synthetic_flows
+from repro.sim.topology import Mesh
+from repro.sim.traffic import BernoulliTraffic
+
+#: ~35-50% of shared-sink-cycles clocked on the 8x8 uniform workload
+#: (measured: the legacy kernel reports ~0.66 gated/total sink-cycles at
+#: this rate), i.e. the half-idle sweep regime.
+INJECTION_RATE = 0.015
+CYCLES = 12000
+#: Loads for the committed latency-vs-load trajectory (packets/cycle/node).
+TRAJECTORY_RATES = (0.005, 0.01, 0.015)
+
+
+def _build(kernel: str, mode: str, rate: float):
+    cfg = NocConfig(width=8, height=8)
+    flows = synthetic_flows("uniform", cfg, injection_rate=rate, seed=3)
+    traffic = BernoulliTraffic(cfg, flows, seed=3, mode=mode)
+    return DedicatedNetwork(
+        cfg, Mesh(cfg.width, cfg.height), flows, traffic, kernel=kernel
+    )
+
+
+def _cycles_per_sec(kernel: str, mode: str):
+    net = _build(kernel, mode, INJECTION_RATE)
+    start = time.perf_counter()
+    net.run_cycles(CYCLES)
+    elapsed = time.perf_counter() - start
+    counters = net.counters
+    return {
+        "kernel": kernel,
+        "cycles_per_sec": CYCLES / elapsed,
+        "sink_idle_frac": 1.0
+        - counters.clock_router_cycles / counters.total_router_cycles,
+        "delivered": net.stats.delivered_total,
+        "counters": counters,
+    }
+
+
+def _latency_trajectory():
+    """Mean latency vs injection rate for the (fast) active baseline."""
+    points = []
+    for rate in TRAJECTORY_RATES:
+        net = _build("active", "predraw", rate)
+        result = net.run(
+            warmup_cycles=300, measure_cycles=3000, drain_limit=30000
+        )
+        points.append(
+            {
+                "load": rate,
+                "mean_head_latency": round(result.summary.mean_head_latency, 3),
+                "p95_head_latency": round(result.summary.p95_head_latency, 3),
+                "saturated": not result.drained,
+            }
+        )
+    return points
+
+
+def test_dedicated_kernel_speedup(benchmark):
+    legacy, active = benchmark.pedantic(
+        lambda: (_cycles_per_sec("legacy", "legacy"),
+                 _cycles_per_sec("active", "predraw")),
+        rounds=1, iterations=1,
+    )
+    speedup = active["cycles_per_sec"] / legacy["cycles_per_sec"]
+    rows = [
+        {
+            "kernel": point["kernel"],
+            "cycles_per_sec": round(point["cycles_per_sec"], 1),
+            "sink_idle_frac": round(point["sink_idle_frac"], 3),
+            "delivered": point["delivered"],
+        }
+        for point in (legacy, active)
+    ]
+    print()
+    for point in (legacy, active):
+        print("%-8s %10.0f cycles/sec (%.0f%% sink-idle)"
+              % (point["kernel"], point["cycles_per_sec"],
+                 100 * point["sink_idle_frac"]))
+    print("speedup: %.2fx" % speedup)
+    save_rows("dedicated_speed", rows)
+    trajectory = _latency_trajectory()
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, "BENCH_dedicated.json"), "w") as fh:
+        json.dump(
+            {
+                "bench": "dedicated_speed",
+                "workload": "uniform 8x8 @ %g packets/cycle/node"
+                % INJECTION_RATE,
+                "cycles": CYCLES,
+                "legacy_cycles_per_sec": round(legacy["cycles_per_sec"], 1),
+                "active_cycles_per_sec": round(active["cycles_per_sec"], 1),
+                "speedup": round(speedup, 2),
+                "sink_idle_frac": round(legacy["sink_idle_frac"], 3),
+                "latency_vs_load": trajectory,
+            },
+            fh,
+            indent=2,
+        )
+
+    # Both kernels simulate the identical network: same deliveries, same
+    # power-relevant event counts.
+    assert active["delivered"] == legacy["delivered"]
+    assert active["counters"] == legacy["counters"]
+    # The workload is the contract: shared sinks gated roughly half to
+    # three-quarters of the time.
+    assert 0.5 <= legacy["sink_idle_frac"] <= 0.8
+    assert speedup >= 2.0
+    # The trajectory must rise monotonically toward the knee.
+    latencies = [p["mean_head_latency"] for p in trajectory]
+    assert latencies == sorted(latencies)

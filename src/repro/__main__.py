@@ -143,37 +143,83 @@ def _design_list(value: str) -> List[str]:
 
 
 def _cmd_sweep(args) -> None:
+    import os
+
     from repro.eval.report import render_table
     from repro.eval.sweeps import (
         format_sweep_rows,
         run_load_sweep,
         run_pattern_sweep,
         saturation_load,
+        write_sweep_json,
     )
 
     designs = args.designs
     loads = [float(x) for x in args.loads.split(",")] if args.loads else None
     seeds = tuple(range(1, args.seeds + 1))
+    source = args.pattern or args.app
+    out = args.out or os.path.join("results", "sweep_%s.json" % source)
+    stream_path = os.path.splitext(out)[0] + ".jsonl"
+    if args.pattern:
+        load_points = loads or [0.01, 0.02, 0.05, 0.1, 0.2]
+        title = "Latency vs injection rate (%s, packets/cycle/node)" % args.pattern
+    else:
+        load_points = loads or [1.0, 2.0, 4.0, 8.0, 16.0, 32.0]
+        title = "Latency vs load (%s, x mapped bandwidth)" % args.app
+    total = len(designs) * len(load_points) * len(seeds)
+    if args.resume and os.path.exists(stream_path):
+        from repro.eval.sweeps import read_sweep_stream
+
+        grid = {
+            (d, float(load), int(s))
+            for d in designs for load in load_points for s in seeds
+        }
+        streamed = {
+            (p["design"], float(p["load"]), int(p["seed"]))
+            for p in read_sweep_stream(stream_path)
+        }
+        total -= len(grid & streamed)
+    progress = {"done": 0}
+
+    def on_result(point) -> None:
+        progress["done"] += 1
+        print("  [%d/%d] %-10s load=%-8g seed=%d  %s" % (
+            progress["done"], total, point["design"], point["load"],
+            point["seed"],
+            "saturated" if point["saturated"]
+            else "%.2f cyc" % point["summary"].mean_head_latency,
+        ))
+
     common = dict(
         designs=designs,
         seeds=seeds,
         processes=args.jobs,
         measure_cycles=args.measure,
+        on_result=on_result,
+        stream_path=stream_path,
+        resume=args.resume,
     )
     if args.pattern:
-        rates = loads or [0.01, 0.02, 0.05, 0.1, 0.2]
-        rows = run_pattern_sweep(args.pattern, rates=rates, **common)
-        title = "Latency vs injection rate (%s, packets/cycle/node)" % args.pattern
+        rows = run_pattern_sweep(args.pattern, rates=load_points, **common)
     else:
-        scales = loads or [1.0, 2.0, 4.0, 8.0, 16.0, 32.0]
-        rows = run_load_sweep(args.app, scales=scales, **common)
-        title = "Latency vs load (%s, x mapped bandwidth)" % args.app
+        rows = run_load_sweep(args.app, scales=load_points, **common)
     print(render_table(format_sweep_rows(rows), title=title))
     print("(* = saturated: the run failed to drain its measured packets)")
     for design in designs:
         knee = saturation_load(rows, design)
         if knee is not None:
             print("%-10s saturates at load %g" % (design, knee))
+    meta = {
+        "app": None if args.pattern else args.app,
+        "pattern": args.pattern,
+        "designs": list(designs),
+        "loads": load_points,
+        "seeds": list(seeds),
+        "measure_cycles": args.measure,
+    }
+    write_sweep_json(out, rows, meta=meta)
+    print("wrote %s (aggregated rows); streamed grid points: %s"
+          % (out, stream_path))
 
 
 def _cmd_apps(_args) -> None:
@@ -232,6 +278,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--jobs", type=int, default=None,
                          help="worker processes (default: CPU count)")
     p_sweep.add_argument("--measure", type=int, default=8000)
+    p_sweep.add_argument(
+        "--out",
+        help="aggregated-rows JSON path (default results/sweep_<APP|PATTERN>"
+        ".json); partial rows stream to the matching .jsonl",
+    )
+    p_sweep.add_argument(
+        "--resume", action="store_true",
+        help="skip grid points already present in the .jsonl stream",
+    )
     p_sweep.set_defaults(func=_cmd_sweep)
     sub.add_parser("apps").set_defaults(func=_cmd_apps)
     return parser

@@ -1,4 +1,10 @@
-"""Evaluation harness: designs, experiments, ablations, reporting."""
+"""Evaluation harness: designs, experiments, ablations, sweeps, reporting.
+
+Every export is indexed with a one-line summary and its paper anchor in
+``docs/api.md``; the sweep runner and its streamed output schema are
+documented in ``docs/kernel.md``, the Dedicated baseline in
+``docs/baselines.md``.
+"""
 
 from repro.eval.ablations import (
     channel_split,
@@ -22,9 +28,13 @@ from repro.eval.experiments import (
 )
 from repro.eval.report import render_table, rows_to_csv, write_csv
 from repro.eval.sweeps import (
+    SweepJob,
+    format_sweep_rows,
+    read_sweep_stream,
     run_load_sweep,
     run_pattern_sweep,
     saturation_load,
+    write_sweep_json,
 )
 
 __all__ = [
@@ -38,12 +48,15 @@ __all__ = [
     "SuiteResults",
     "build_design",
     "channel_split",
+    "SweepJob",
     "fig10a_rows",
     "fig10b_rows",
     "fig7_flows",
+    "format_sweep_rows",
     "headline_metrics",
     "hpc_sweep",
     "mapping_comparison",
+    "read_sweep_stream",
     "render_table",
     "route_selection_comparison",
     "rows_to_csv",
@@ -54,4 +67,5 @@ __all__ = [
     "saturation_load",
     "vc_sweep",
     "write_csv",
+    "write_sweep_json",
 ]

@@ -12,13 +12,31 @@ in SMART and Dedicated."
 Uncontended flows therefore see 1-cycle NIC-to-NIC latency; flows into a
 shared sink stop once (buffer write, arbitration, ejection — the same
 3-cycle stop cost as a SMART stop).
+
+Like :class:`repro.sim.network.Network`, the simulator ships two
+interchangeable execution kernels (``kernel="active"`` is the default):
+
+* ``"active"`` maintains explicit live sets — channels with queued or
+  streaming packets, sinks with a reservation or buffered flits — and a
+  min-heap of pre-drawn per-flow injection cycles
+  (:meth:`~repro.sim.traffic.TrafficModel.next_injection_cycle`), so
+  :meth:`DedicatedNetwork.step` touches only components with work to do.
+  An idle cycle costs O(1).
+* ``"legacy"`` scans every flow, channel and sink every cycle, exactly as
+  the original simulator did; it is kept as the behavioural reference.
+
+Both kernels produce bit-identical ``SimResult``s and ``EventCounters``
+(see ``tests/eval/test_dedicated_kernel.py`` and ``docs/baselines.md``):
+no pipeline effect crosses into the cycle that produces it, so skipping
+provably-idle components is unobservable.
 """
 
 from __future__ import annotations
 
 import collections
 import dataclasses
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+import heapq
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.config import NocConfig
 from repro.sim.arbiter import RoundRobinArbiter
@@ -29,6 +47,9 @@ from repro.sim.stats import EventCounters, SimResult, StatsCollector
 from repro.sim.topology import Mesh
 from repro.sim.traffic import TrafficModel
 
+#: Execution kernels accepted by :class:`DedicatedNetwork`.
+DEDICATED_KERNELS = ("active", "legacy")
+
 
 @dataclasses.dataclass
 class _SinkReservation:
@@ -38,6 +59,9 @@ class _SinkReservation:
     assigned_vc: int
     flits_left: int
     next_send_cycle: int
+    #: The source VirtualChannel object, cached to skip two lookups on
+    #: every flit of the stream (as Network's _Reservation does).
+    vc: object = None
 
 
 class _SharedSink:
@@ -55,6 +79,10 @@ class _SharedSink:
         self.nic_vcs = FreeVcQueue(cfg.vcs_per_port)
         self.reservation: Optional[_SinkReservation] = None
         self.flow_streaming: Dict[int, bool] = {fid: False for fid in flow_ids}
+        #: Flits currently buffered across all flows' VCs, maintained by
+        #: the network's deliver/eject paths so the active kernel can
+        #: clock-gate without an ``any()`` sweep over the buffers.
+        self.occupancy = 0
 
 
 class _Channel:
@@ -66,10 +94,20 @@ class _Channel:
         self.queue: Deque[Packet] = collections.deque()
         self.free_vcs = FreeVcQueue(num_vcs)
         self.stream: Optional[Tuple[Packet, List[Flit], int]] = None
+        #: The flow's shared sink (or None), resolved at construction so
+        #: the per-flit deliver path skips a dict lookup.
+        self.sink: Optional[_SharedSink] = None
+        #: The flow's input buffer at that sink, same reason.
+        self.sink_buffer: Optional[InputBuffer] = None
 
 
 class DedicatedNetwork:
-    """Simulator for the Dedicated topology."""
+    """Simulator for the Dedicated topology (paper §VI ideal yardstick).
+
+    ``kernel`` selects the execution strategy: ``"active"`` (default)
+    skips provably-idle channels, sinks and cycles; ``"legacy"`` scans
+    everything every cycle.  Results are bit-identical.
+    """
 
     def __init__(
         self,
@@ -77,10 +115,18 @@ class DedicatedNetwork:
         mesh: Mesh,
         flows: Sequence[Flow],
         traffic: TrafficModel,
+        kernel: str = "active",
     ):
+        if kernel not in DEDICATED_KERNELS:
+            raise ValueError(
+                "unknown kernel %r (have %s)"
+                % (kernel, ", ".join(repr(k) for k in DEDICATED_KERNELS))
+            )
+        self.kernel = kernel
         self.cfg = cfg
         self.mesh = mesh
         self.flows = list(flows)
+        self.flow_by_id = {f.flow_id: f for f in self.flows}
         self.traffic = traffic
         self.counters = EventCounters()
         self.stats = StatsCollector()
@@ -99,27 +145,130 @@ class DedicatedNetwork:
         self.channels: Dict[int, _Channel] = {}
         for flow in self.flows:
             length = mesh.distance_mm(flow.src, flow.dst, cfg.mm_per_hop)
-            self.channels[flow.flow_id] = _Channel(
-                flow, length, cfg.vcs_per_port
-            )
+            channel = _Channel(flow, length, cfg.vcs_per_port)
+            sink = self.sinks.get(flow.dst)
+            channel.sink = sink
+            if sink is not None:
+                channel.sink_buffer = sink.buffers[flow.flow_id]
+            self.channels[flow.flow_id] = channel
 
+        # Active-set kernel state.  ``_active_channels`` is kept a superset
+        # of channels with queued or streaming packets (pruned as they
+        # drain), ``_active_sinks`` a superset of sinks with a reservation
+        # or buffered flits (pruned lazily at clock accounting), and
+        # ``_inject_heap`` holds (next_injection_cycle, flow_id) pairs
+        # pre-drawn from the traffic model.
+        self._active_channels: Set[int] = set()
+        self._active_sinks: Set[int] = set()
+        self._inject_heap: List[Tuple[int, int]] = []
+        if self.kernel == "active":
+            for flow in self.flows:
+                nxt = traffic.next_injection_cycle(flow, 0)
+                if nxt is not None:
+                    self._inject_heap.append((nxt, flow.flow_id))
+            heapq.heapify(self._inject_heap)
+
+    # ------------------------------------------------------------------
+    # Cycle execution
     # ------------------------------------------------------------------
 
     def step(self) -> None:
+        """Advance one clock cycle (phases: generate, ST, send, SA)."""
         cycle = self.cycle
-        self._generate(cycle)
-        self._sink_ejection(cycle)
-        self._source_send(cycle)
-        self._sink_allocation(cycle)
+        if self.kernel == "active":
+            self._step_active(cycle)
+        else:
+            self._generate(cycle)
+            self._sink_ejection(cycle)
+            self._source_send(cycle)
+            self._sink_allocation(cycle)
+            self._clock_accounting()
         self.counters.cycles += 1
         self.counters.total_router_cycles += len(self.sinks)
-        for sink in self.sinks.values():
-            if sink.reservation or any(
-                not b.empty for b in sink.buffers.values()
-            ):
-                self.counters.clock_router_cycles += 1
-                self.counters.clock_port_cycles += len(sink.buffers)
         self.cycle += 1
+
+    # -- active-set kernel ---------------------------------------------
+
+    def _step_active(self, cycle: int) -> None:
+        """One cycle touching only components with work to do.
+
+        Phase order matches the legacy kernel (generate, sink ejection,
+        source send, sink allocation, clock accounting).  Live sets are
+        iterated in set order rather than the legacy construction order:
+        every channel owns its own link, VC queue and destination buffer,
+        and every sink owns its own arbiter and NIC port, so no component
+        observes another within a phase and iteration order cannot change
+        any result (the equivalence suite pins this down).
+        """
+        heap = self._inject_heap
+        if heap and heap[0][0] <= cycle:
+            self._generate_active(cycle, heap)
+        sinks = self.sinks
+        active_sinks = self._active_sinks
+        for node in active_sinks:
+            sink = sinks[node]
+            if sink.reservation is not None:
+                self._eject_sink(sink, cycle)
+        channels = self._active_channels
+        if channels:
+            idle_channels = None
+            all_channels = self.channels
+            for flow_id in channels:
+                channel = all_channels[flow_id]
+                self._send_channel(channel, cycle)
+                if channel.stream is None and not channel.queue:
+                    if idle_channels is None:
+                        idle_channels = [flow_id]
+                    else:
+                        idle_channels.append(flow_id)
+            if idle_channels:
+                channels.difference_update(idle_channels)
+        if active_sinks:
+            # Source sends may have woken new sinks (a buffer write); they
+            # must be SA-scanned and clock-accounted this cycle exactly as
+            # the legacy full scan would.
+            counters = self.counters
+            idle_sinks = None
+            for node in active_sinks:
+                sink = sinks[node]
+                if sink.reservation is None and sink.occupancy:
+                    self._allocate_sink(sink, cycle)
+                if sink.reservation is not None or sink.occupancy:
+                    counters.clock_router_cycles += 1
+                    counters.clock_port_cycles += len(sink.buffers)
+                else:
+                    if idle_sinks is None:
+                        idle_sinks = [node]
+                    else:
+                        idle_sinks.append(node)
+            if idle_sinks:
+                active_sinks.difference_update(idle_sinks)
+
+    def _generate_active(self, cycle: int, heap: List[Tuple[int, int]]) -> None:
+        """Create packets for every flow whose pre-drawn cycle is due."""
+        traffic = self.traffic
+        while heap and heap[0][0] <= cycle:
+            _due, flow_id = heapq.heappop(heap)
+            flow = self.flow_by_id[flow_id]
+            count = traffic.packets_at(flow, cycle)
+            if count:
+                channel = self.channels[flow_id]
+                for _ in range(count):
+                    packet = Packet(
+                        flow_id=flow_id,
+                        src=flow.src,
+                        dst=flow.dst,
+                        size_flits=self.cfg.flits_per_packet,
+                        create_cycle=cycle,
+                    )
+                    channel.queue.append(packet)
+                    self.stats.on_create(packet)
+                self._active_channels.add(flow_id)
+            nxt = traffic.next_injection_cycle(flow, cycle + 1)
+            if nxt is not None:
+                heapq.heappush(heap, (nxt, flow_id))
+
+    # -- legacy kernel (full scans) ------------------------------------
 
     def _generate(self, cycle: int) -> None:
         for flow in self.flows:
@@ -137,33 +286,60 @@ class DedicatedNetwork:
     def _source_send(self, cycle: int) -> None:
         """Each channel streams independently (no shared injection port)."""
         for channel in self.channels.values():
-            if channel.stream is None:
-                if not channel.queue:
-                    continue
-                if not channel.free_vcs.available(cycle):
-                    continue
-                packet = channel.queue.popleft()
-                vc_id = channel.free_vcs.acquire(cycle)
-                packet.inject_cycle = cycle
-                channel.stream = (packet, packet.flits(), vc_id)
-            packet, flits, vc_id = channel.stream
-            flit = flits.pop(0)
-            flit.vc = vc_id
-            self._deliver(channel, flit, cycle)
-            if not flits:
-                channel.stream = None
+            self._send_channel(channel, cycle)
+
+    def _sink_ejection(self, cycle: int) -> None:
+        """ST at shared sinks: stream the granted packet into the NIC."""
+        for sink in self.sinks.values():
+            if sink.reservation is not None:
+                self._eject_sink(sink, cycle)
+
+    def _sink_allocation(self, cycle: int) -> None:
+        """SA at shared sinks: pick the next packet to go up into the NIC."""
+        for sink in self.sinks.values():
+            if sink.reservation is None:
+                self._allocate_sink(sink, cycle)
+
+    def _clock_accounting(self) -> None:
+        for sink in self.sinks.values():
+            if sink.reservation or any(
+                not b.empty for b in sink.buffers.values()
+            ):
+                self.counters.clock_router_cycles += 1
+                self.counters.clock_port_cycles += len(sink.buffers)
+
+    # -- per-component stages (shared by both kernels) -----------------
+
+    def _send_channel(self, channel: _Channel, cycle: int) -> None:
+        if channel.stream is None:
+            if not channel.queue:
+                return
+            if not channel.free_vcs.available(cycle):
+                return
+            packet = channel.queue.popleft()
+            vc_id = channel.free_vcs.acquire(cycle)
+            packet.inject_cycle = cycle
+            channel.stream = (packet, packet.flits(), vc_id)
+        packet, flits, vc_id = channel.stream
+        flit = flits.pop(0)
+        flit.vc = vc_id
+        self._deliver(channel, flit, cycle)
+        if not flits:
+            channel.stream = None
 
     def _deliver(self, channel: _Channel, flit: Flit, cycle: int) -> None:
-        self.counters.link_flit_mm += channel.length_mm
-        flow = channel.flow
-        sink = self.sinks.get(flow.dst)
+        counters = self.counters
+        counters.link_flit_mm += channel.length_mm
+        sink = channel.sink
         if sink is None:
             self._eject(flit, cycle)
             self._credit(channel.free_vcs, flit.vc, cycle)
         else:
-            self.counters.pipeline_latches += 1
-            sink.buffers[flow.flow_id].vc(flit.vc).write(flit, cycle)
-            self.counters.buffer_writes += 1
+            counters.pipeline_latches += 1
+            channel.sink_buffer.vc(flit.vc).write(flit, cycle)
+            sink.occupancy += 1
+            counters.buffer_writes += 1
+            self._active_sinks.add(sink.node)
 
     def _eject(self, flit: Flit, cycle: int) -> None:
         packet = flit.packet
@@ -177,68 +353,68 @@ class DedicatedNetwork:
         queue.release(vc_id, freed_cycle + 1 + self.cfg.credit_latency)
         self.counters.credit_events += 1
 
-    def _sink_ejection(self, cycle: int) -> None:
-        """ST at shared sinks: stream the granted packet into the NIC."""
-        for sink in self.sinks.values():
-            res = sink.reservation
-            if res is None or res.next_send_cycle > cycle:
-                continue
-            vc = sink.buffers[res.flow_id].vc(res.vc_id)
-            flit = vc.front()
-            if (
-                flit is None
-                or flit.packet is not res.packet
-                or not vc.front_eligible(cycle)
-            ):
-                continue
-            vc.read()
-            self.counters.buffer_reads += 1
-            self.counters.crossbar_traversals += 1
-            self._eject(flit, cycle)
-            res.flits_left -= 1
-            res.next_send_cycle = cycle + 1
-            if flit.is_tail:
-                self._credit(
-                    self.channels[res.flow_id].free_vcs, res.vc_id, cycle
-                )
-                self._credit(sink.nic_vcs, res.assigned_vc, cycle)
-                sink.flow_streaming[res.flow_id] = False
-                sink.reservation = None
-
-    def _sink_allocation(self, cycle: int) -> None:
-        """SA at shared sinks: pick the next packet to go up into the NIC."""
-        for sink in self.sinks.values():
-            if sink.reservation is not None:
-                continue
-            if not sink.nic_vcs.available(cycle):
-                continue
-            requests = []
-            for fid, buffer in sink.buffers.items():
-                if sink.flow_streaming[fid]:
-                    continue
-                for vc in buffer.vcs:
-                    flit = vc.front()
-                    if flit is not None and flit.is_head and vc.front_eligible(cycle):
-                        requests.append((fid, vc.vc_id))
-            if not requests:
-                continue
-            self.counters.sa_requests += len(requests)
-            winner = sink.arbiter.grant(requests)
-            if winner is None:
-                continue
-            self.counters.sa_grants += 1
-            fid, vc_id = winner
-            head = sink.buffers[fid].vc(vc_id).front()
-            sink.reservation = _SinkReservation(
-                flow_id=fid,
-                vc_id=vc_id,
-                packet=head.packet,
-                assigned_vc=sink.nic_vcs.acquire(cycle),
-                flits_left=head.packet.size_flits,
-                next_send_cycle=cycle + 1,
+    def _eject_sink(self, sink: _SharedSink, cycle: int) -> None:
+        res = sink.reservation
+        if res.next_send_cycle > cycle:
+            return
+        vc = res.vc
+        flit = vc.front()
+        if (
+            flit is None
+            or flit.packet is not res.packet
+            or not vc.front_eligible(cycle)
+        ):
+            return
+        vc.read()
+        sink.occupancy -= 1
+        counters = self.counters
+        counters.buffer_reads += 1
+        counters.crossbar_traversals += 1
+        self._eject(flit, cycle)
+        res.flits_left -= 1
+        res.next_send_cycle = cycle + 1
+        if flit.is_tail:
+            self._credit(
+                self.channels[res.flow_id].free_vcs, res.vc_id, cycle
             )
-            sink.flow_streaming[fid] = True
+            self._credit(sink.nic_vcs, res.assigned_vc, cycle)
+            sink.flow_streaming[res.flow_id] = False
+            sink.reservation = None
 
+    def _allocate_sink(self, sink: _SharedSink, cycle: int) -> None:
+        if not sink.nic_vcs.available(cycle):
+            return
+        requests = []
+        for fid, buffer in sink.buffers.items():
+            if sink.flow_streaming[fid]:
+                continue
+            for vc in buffer.vcs:
+                flit = vc.front()
+                if flit is not None and flit.is_head and vc.front_eligible(cycle):
+                    requests.append((fid, vc.vc_id))
+        if not requests:
+            return
+        self.counters.sa_requests += len(requests)
+        winner = sink.arbiter.grant(requests)
+        if winner is None:
+            return
+        self.counters.sa_grants += 1
+        fid, vc_id = winner
+        vc = sink.buffers[fid].vc(vc_id)
+        head = vc.front()
+        sink.reservation = _SinkReservation(
+            flow_id=fid,
+            vc_id=vc_id,
+            packet=head.packet,
+            assigned_vc=sink.nic_vcs.acquire(cycle),
+            flits_left=head.packet.size_flits,
+            next_send_cycle=cycle + 1,
+            vc=vc,
+        )
+        sink.flow_streaming[fid] = True
+
+    # ------------------------------------------------------------------
+    # Runs
     # ------------------------------------------------------------------
 
     def run(
@@ -247,6 +423,12 @@ class DedicatedNetwork:
         measure_cycles: int = 20000,
         drain_limit: int = 100000,
     ) -> SimResult:
+        """Warm up, measure, then drain measured packets.
+
+        Same protocol as :meth:`repro.sim.network.Network.run`: traffic
+        keeps flowing during the drain so contention stays representative;
+        statistics and power counters cover only the measurement window.
+        """
         for _ in range(warmup_cycles):
             self.step()
         baseline = self.counters.snapshot()
@@ -274,5 +456,6 @@ class DedicatedNetwork:
         )
 
     def run_cycles(self, cycles: int) -> None:
+        """Advance a fixed number of cycles (used by scripted tests)."""
         for _ in range(cycles):
             self.step()

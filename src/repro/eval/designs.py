@@ -43,8 +43,10 @@ def build_design(
 ) -> DesignInstance:
     """Instantiate one of the paper's three designs over mapped flows.
 
-    ``kernel`` selects the simulation kernel for the mesh/SMART designs
-    ("active" or "legacy"); the Dedicated baseline has its own simulator.
+    ``kernel`` selects the simulation kernel ("active" or "legacy") for
+    every design — mesh and SMART run :class:`repro.sim.network.Network`,
+    the Dedicated baseline its own :class:`DedicatedNetwork`, but all
+    three accept the same kernel names with the same guarantees.
     """
     name = design.lower()
     mesh = Mesh(cfg.width, cfg.height)
@@ -57,6 +59,6 @@ def build_design(
         noc = build_mesh_noc(cfg, flows, traffic=traffic, seed=seed, kernel=kernel)
         return DesignInstance(name, cfg, noc.mesh, list(flows), noc.network, noc.presets)
     if name == "dedicated":
-        network = DedicatedNetwork(cfg, mesh, flows, traffic)
+        network = DedicatedNetwork(cfg, mesh, flows, traffic, kernel=kernel)
         return DesignInstance(name, cfg, mesh, list(flows), network, None)
     raise ValueError("unknown design %r (have %s)" % (design, ", ".join(DESIGNS)))

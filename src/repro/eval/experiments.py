@@ -26,7 +26,8 @@ from repro.sim.topology import Mesh
 
 @dataclasses.dataclass
 class AppExperiment:
-    """Result of running one application on one design."""
+    """Result of running one application on one design (one cell of the
+    Fig 10 latency/power matrices)."""
 
     app: str
     design: str
@@ -83,6 +84,8 @@ def run_app(
     )
 
 
+#: The full Fig 10 matrix keyed by (app, design) — what :func:`run_suite`
+#: returns and every ``fig10*_rows`` / ``headline_metrics`` helper consumes.
 SuiteResults = Dict[Tuple[str, str], AppExperiment]
 
 

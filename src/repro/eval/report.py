@@ -62,5 +62,6 @@ def write_csv(
     rows: Sequence[Dict[str, object]],
     columns: Optional[Sequence[str]] = None,
 ) -> None:
+    """Write rows of dicts to ``path`` as CSV (see :func:`rows_to_csv`)."""
     with open(path, "w", newline="") as handle:
         handle.write(rows_to_csv(rows, columns))

@@ -1,4 +1,4 @@
-"""Parallel load-sweep runner.
+"""Parallel load-sweep runner with streamed, resumable results.
 
 The paper's headline figures come from sweeping cycle-accurate runs over
 (design, load, seed) grids.  Each grid point is an independent simulation,
@@ -17,17 +17,36 @@ Two sweep axes are supported:
   synthetic pattern (:mod:`repro.sim.patterns`) on an arbitrary mesh.
 
 Jobs are described by small picklable specs; each worker rebuilds the
-flow set, traffic model and design locally, so nothing heavier than a
-result row crosses the process boundary.
+traffic model and design locally, so nothing heavier than a result row
+crosses the process boundary.  The expensive part of a job spec — the
+NMAP mapping of an application onto the mesh — is memoised per worker
+process (:func:`_worker_mapped_flows`), so a worker maps each (app, cfg)
+once and reuses the flow set across every grid point it executes.
+
+Streaming and resume
+--------------------
+
+Long sweeps report progress and survive interruption through two hooks
+shared by both sweep functions:
+
+* ``on_result`` — a callback invoked with each grid point's result dict
+  as soon as the point completes (completion order, not grid order).
+* ``stream_path`` — a JSONL file (conventionally under ``results/``)
+  appended one line per completed grid point; see
+  :func:`read_sweep_stream` for the row schema.  With ``resume=True``
+  previously-streamed points are loaded back and their jobs skipped, so
+  an interrupted sweep continues where it stopped.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import functools
+import json
 import math
 import multiprocessing
 import os
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import NocConfig
 from repro.eval.designs import DESIGNS
@@ -56,6 +75,21 @@ class SweepJob:
     drain_limit: int = DEFAULT_RUN_KWARGS["drain_limit"]
 
 
+@functools.lru_cache(maxsize=None)
+def _worker_mapped_flows(app: str, cfg: NocConfig) -> tuple:
+    """Map ``app`` onto ``cfg``'s mesh, once per worker process.
+
+    The NMAP placement is the most expensive part of building a grid
+    point and depends only on (app, cfg) — never on load, seed, design or
+    kernel — so every worker memoises it and reuses the flow set across
+    all grid points it executes.  ``Flow`` objects are immutable, so
+    sharing them between jobs is safe.
+    """
+    from repro.eval.ablations import mapped_flows
+
+    return tuple(mapped_flows(app, cfg))
+
+
 def _run_job(job: SweepJob) -> Dict[str, object]:
     """Worker entry point: build and run one grid point."""
     from repro.eval.designs import build_design
@@ -64,9 +98,7 @@ def _run_job(job: SweepJob) -> Dict[str, object]:
 
     cfg = job.cfg
     if job.app is not None:
-        from repro.eval.ablations import mapped_flows
-
-        flows = mapped_flows(job.app, cfg)
+        flows = list(_worker_mapped_flows(job.app, cfg))
         traffic = RateScaledTraffic(
             cfg, flows, scale=job.load, seed=job.seed, mode=job.traffic_mode
         )
@@ -98,17 +130,143 @@ def _run_job(job: SweepJob) -> Dict[str, object]:
     }
 
 
-def _run_jobs(jobs: Sequence[SweepJob], processes: Optional[int]) -> List[Dict[str, object]]:
+# ----------------------------------------------------------------------
+# Grid-point (de)serialisation for the JSONL stream
+# ----------------------------------------------------------------------
+
+def _float_or_none(value: float) -> Optional[float]:
+    return None if isinstance(value, float) and math.isnan(value) else value
+
+
+def _point_to_json(point: Dict[str, object]) -> Dict[str, object]:
+    """One grid-point result as a strict-JSON-safe dict (NaN -> null)."""
+    summary: LatencySummary = point["summary"]
+    return {
+        "design": point["design"],
+        "load": point["load"],
+        "seed": point["seed"],
+        "summary": {
+            field.name: _float_or_none(getattr(summary, field.name))
+            for field in dataclasses.fields(summary)
+        },
+        "throughput": point["throughput"],
+        "saturated": point["saturated"],
+        "clamped_flows": point["clamped_flows"],
+    }
+
+
+def _point_from_json(data: Dict[str, object]) -> Dict[str, object]:
+    """Inverse of :func:`_point_to_json` (null -> NaN, dict -> summary)."""
+    raw = dict(data["summary"])
+    for key, value in raw.items():
+        if value is None:
+            raw[key] = math.nan
+    point = dict(data)
+    point["summary"] = LatencySummary(**raw)
+    return point
+
+
+def read_sweep_stream(path: str) -> List[Dict[str, object]]:
+    """Load the grid points streamed to ``path`` by a previous sweep.
+
+    Each line of the file is one completed (design, load, seed) grid
+    point::
+
+        {"design": "mesh", "load": 2.0, "seed": 1,
+         "summary": {"count": ..., "mean_head_latency": ..., ...},
+         "throughput": ..., "saturated": false, "clamped_flows": 0}
+
+    ``summary`` carries every :class:`~repro.sim.stats.LatencySummary`
+    field (NaN written as ``null``); latencies are in cycles, throughput
+    in accepted flits per measured cycle.  Blank lines are skipped, and
+    a truncated *final* line — the signature of a sweep killed mid-write
+    — is discarded so the interrupted point simply re-runs on resume;
+    corruption anywhere else still raises.
+    """
+    with open(path) as fh:
+        lines = [line.strip() for line in fh]
+    lines = [line for line in lines if line]
+    points: List[Dict[str, object]] = []
+    for index, line in enumerate(lines):
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError:
+            if index == len(lines) - 1:
+                break
+            raise
+        points.append(_point_from_json(data))
+    return points
+
+
+def _point_key(point: Dict[str, object]) -> Tuple[str, float, int]:
+    return (str(point["design"]), float(point["load"]), int(point["seed"]))
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+
+def _run_jobs(
+    jobs: Sequence[SweepJob],
+    processes: Optional[int],
+    on_result: Optional[Callable[[Dict[str, object]], None]] = None,
+    stream_path: Optional[str] = None,
+    resume: bool = False,
+) -> List[Dict[str, object]]:
     """Run grid points, fanning across a process pool when asked.
 
     ``processes=None`` uses one worker per CPU; ``processes=0`` runs
-    serially in this process (no Pool — handy under debuggers).
+    serially in this process (no Pool — handy under debuggers).  Results
+    stream back in completion order: each point is appended to
+    ``stream_path`` (JSONL) and passed to ``on_result`` as soon as its
+    worker finishes.  With ``resume=True``, points already present in
+    ``stream_path`` are loaded instead of re-run.
     """
-    if processes == 0 or len(jobs) <= 1:
-        return [_run_job(job) for job in jobs]
-    workers = processes or os.cpu_count() or 1
-    with multiprocessing.Pool(processes=min(workers, len(jobs))) as pool:
-        return pool.map(_run_job, list(jobs))
+    done: List[Dict[str, object]] = []
+    if stream_path and resume and os.path.exists(stream_path):
+        done = read_sweep_stream(stream_path)
+        seen = {_point_key(p) for p in done}
+        jobs = [
+            job for job in jobs
+            if (job.design, float(job.load), int(job.seed)) not in seen
+        ]
+
+    stream_fh = None
+    if stream_path:
+        parent = os.path.dirname(stream_path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        # Rewrite rather than append on resume: re-serialising the loaded
+        # points drops any truncated trailing fragment the interrupted
+        # run left behind, keeping the stream valid JSONL.
+        stream_fh = open(stream_path, "w")
+        for point in done:
+            stream_fh.write(json.dumps(_point_to_json(point)) + "\n")
+        stream_fh.flush()
+
+    results: List[Dict[str, object]] = []
+
+    def emit(point: Dict[str, object]) -> None:
+        results.append(point)
+        if stream_fh is not None:
+            stream_fh.write(json.dumps(_point_to_json(point)) + "\n")
+            stream_fh.flush()
+        if on_result is not None:
+            on_result(point)
+
+    try:
+        if processes == 0 or len(jobs) <= 1:
+            for job in jobs:
+                emit(_run_job(job))
+        else:
+            workers = processes or os.cpu_count() or 1
+            with multiprocessing.Pool(processes=min(workers, len(jobs))) as pool:
+                for point in pool.imap_unordered(_run_job, list(jobs)):
+                    emit(point)
+    finally:
+        if stream_fh is not None:
+            stream_fh.close()
+    return done + results
 
 
 def _aggregate(
@@ -116,7 +274,13 @@ def _aggregate(
     designs: Sequence[str],
     loads: Sequence[float],
 ) -> List[Dict[str, object]]:
-    """One row per load, one latency/saturation column group per design."""
+    """One row per load, one latency/saturation column group per design.
+
+    Per-seed replications pool with count-weighted means
+    (:func:`repro.sim.stats.aggregate_summaries`); throughput averages
+    over seeds; the saturation flag is sticky (any seed failing to drain
+    marks the point) and ``clamped`` reports the worst seed.
+    """
     rows: List[Dict[str, object]] = []
     for load in loads:
         row: Dict[str, object] = {"load": load}
@@ -172,13 +336,18 @@ def run_load_sweep(
     cfg: Optional[NocConfig] = None,
     processes: Optional[int] = None,
     kernel: str = "active",
+    on_result: Optional[Callable[[Dict[str, object]], None]] = None,
+    stream_path: Optional[str] = None,
+    resume: bool = False,
     **run_kwargs,
 ) -> List[Dict[str, object]]:
     """Latency vs offered load for one mapped application, in parallel.
 
     Returns one row per scale with per-design mean/p95 latency, accepted
     throughput (flits/cycle), a saturation flag (the run failed to drain)
-    and how many flows were clamped at the injection-port limit.
+    and how many flows were clamped at the injection-port limit.  See the
+    module docstring for the ``on_result``/``stream_path``/``resume``
+    streaming hooks.
     """
     base = cfg or NocConfig()
     kwargs = dict(DEFAULT_RUN_KWARGS)
@@ -186,7 +355,8 @@ def run_load_sweep(
     jobs = _make_jobs(
         designs, scales, seeds, base, kwargs, app=app, kernel=kernel
     )
-    return _aggregate(_run_jobs(jobs, processes), designs, scales)
+    raw = _run_jobs(jobs, processes, on_result, stream_path, resume)
+    return _aggregate(raw, designs, scales)
 
 
 def run_pattern_sweep(
@@ -197,16 +367,24 @@ def run_pattern_sweep(
     cfg: Optional[NocConfig] = None,
     processes: Optional[int] = None,
     kernel: str = "active",
+    on_result: Optional[Callable[[Dict[str, object]], None]] = None,
+    stream_path: Optional[str] = None,
+    resume: bool = False,
     **run_kwargs,
 ) -> List[Dict[str, object]]:
-    """Latency vs per-node injection rate for a synthetic pattern."""
+    """Latency vs per-node injection rate for a synthetic pattern.
+
+    Supports the same parallelism and streaming hooks as
+    :func:`run_load_sweep`.
+    """
     base = cfg or NocConfig()
     kwargs = dict(DEFAULT_RUN_KWARGS)
     kwargs.update(run_kwargs)
     jobs = _make_jobs(
         designs, rates, seeds, base, kwargs, pattern=pattern, kernel=kernel
     )
-    return _aggregate(_run_jobs(jobs, processes), designs, rates)
+    raw = _run_jobs(jobs, processes, on_result, stream_path, resume)
+    return _aggregate(raw, designs, rates)
 
 
 def saturation_load(rows: List[Dict[str, object]], design: str) -> Optional[float]:
@@ -236,3 +414,28 @@ def format_sweep_rows(rows: List[Dict[str, object]]) -> List[Dict[str, object]]:
             )
         out.append(pretty)
     return out
+
+
+def write_sweep_json(
+    path: str,
+    rows: List[Dict[str, object]],
+    meta: Optional[Dict[str, object]] = None,
+) -> str:
+    """Persist aggregated sweep rows (plus a ``meta`` header) as JSON.
+
+    The file holds ``{"meta": {...}, "rows": [...]}`` with every NaN
+    written as ``null`` so the output is strict JSON; ``rows`` are the
+    aggregated per-load rows returned by the sweep functions.  Returns
+    ``path`` for convenient chaining/printing.
+    """
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    safe_rows = [
+        {key: _float_or_none(value) for key, value in row.items()}
+        for row in rows
+    ]
+    with open(path, "w") as fh:
+        json.dump({"meta": meta or {}, "rows": safe_rows}, fh, indent=2)
+        fh.write("\n")
+    return path

@@ -1,4 +1,8 @@
-"""Cycle-accurate NoC simulation substrate."""
+"""Cycle-accurate NoC simulation substrate.
+
+Every export is indexed with a one-line summary and its paper anchor in
+``docs/api.md``; the execution kernels are described in ``docs/kernel.md``.
+"""
 
 from repro.sim.arbiter import FixedPriorityArbiter, RoundRobinArbiter
 from repro.sim.buffers import FreeVcQueue, InputBuffer, VirtualChannel

@@ -62,7 +62,8 @@ from repro.sim.traffic import TrafficModel
 
 @dataclasses.dataclass(frozen=True)
 class RouterConfig:
-    """Which ports of one router are stops vs. preset bypasses."""
+    """Which ports of one router are stops vs. preset bypasses (§IV:
+    preset routers hold bypass settings until reconfiguration)."""
 
     node: int
     buffered_inputs: Tuple[Port, ...]
@@ -163,7 +164,9 @@ class _NicSource:
 
 
 class Network:
-    """A configured NoC instance ready to simulate."""
+    """A configured NoC instance ready to simulate (the three-stage
+    BW -> SA -> ST+link pipeline of Fig 6, including Fig 7's single-cycle
+    multi-hop bypass traversals)."""
 
     def __init__(
         self,

@@ -17,6 +17,9 @@ from repro.sim.topology import Port
 
 
 class FlitType(enum.Enum):
+    """Flit roles within a packet (§IV: head carries the route, body and
+    tail follow the head's reservation under virtual cut-through)."""
+
     HEAD = "head"
     BODY = "body"
     TAIL = "tail"
@@ -110,9 +113,21 @@ class Packet:
         )
 
 
+#: (is_head, is_tail) per flit type, resolved once: the enum-property
+#: indirection costs a tuple membership test per lookup, and every flit
+#: construction needs both flags.
+_FLIT_ROLES = {
+    FlitType.HEAD: (True, False),
+    FlitType.BODY: (False, False),
+    FlitType.TAIL: (False, True),
+    FlitType.HEAD_TAIL: (True, True),
+}
+
+
 @dataclasses.dataclass
 class Flit:
-    """A link-width slice of a packet."""
+    """A link-width slice of a packet (Table II: 32-bit flits, so a
+    256-bit packet travels as eight flits)."""
 
     packet: Packet
     ftype: FlitType
@@ -126,8 +141,7 @@ class Flit:
     is_tail: bool = dataclasses.field(init=False)
 
     def __post_init__(self) -> None:
-        self.is_head = self.ftype.is_head
-        self.is_tail = self.ftype.is_tail
+        self.is_head, self.is_tail = _FLIT_ROLES[self.ftype]
 
     def __repr__(self) -> str:
         return "Flit(%s #%d of %r, vc=%r)" % (
@@ -140,7 +154,8 @@ class Flit:
 
 @dataclasses.dataclass(frozen=True)
 class Credit:
-    """A freed-VC notification travelling the reverse credit mesh."""
+    """A freed-VC notification travelling the reverse credit mesh (§IV
+    Flow Control; Table II: 2-bit credit channels)."""
 
     vc: int
 

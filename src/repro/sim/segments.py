@@ -4,8 +4,9 @@ A *segment* is a maximal preset bypass chain: it starts where flits are
 injected or arbitrated (a NIC, or a switch-allocated router output port) and
 ends where flits are next latched (a buffered router input port, or the
 destination NIC).  Under SMART a segment may span many routers and links —
-all traversed combinationally in the sender's ST+link cycle.  In the
-baseline mesh every segment is a single hop.
+all traversed combinationally in the sender's ST+link cycle (the §IV preset
+bypass paths behind Fig 7's single-cycle traversals).  In the baseline mesh
+every segment is a single hop.
 
 The simulator moves flits segment-at-a-time; intermediate bypassed crossbars
 and links only contribute power events, exactly mirroring the hardware where

@@ -51,7 +51,8 @@ class EventCounters:
 
 @dataclasses.dataclass
 class LatencySummary:
-    """Aggregate latency numbers over a set of delivered packets."""
+    """Aggregate latency numbers over a set of delivered packets (the
+    per-app "average network latency" bars of Fig 10a)."""
 
     count: int
     mean_head_latency: float
@@ -147,7 +148,8 @@ class StatsCollector:
 
 @dataclasses.dataclass
 class SimResult:
-    """Outcome of one simulation run."""
+    """Outcome of one simulation run: latency summaries (Fig 10a), the
+    power-relevant event counters (Fig 10b) and drain status."""
 
     summary: LatencySummary
     per_flow: Dict[int, LatencySummary]

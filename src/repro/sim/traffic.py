@@ -41,7 +41,12 @@ BERNOULLI_MODES = ("predraw", "geometric", "legacy")
 
 
 class TrafficModel:
-    """Interface: how many packets does ``flow`` inject at ``cycle``?"""
+    """Interface: how many packets does ``flow`` inject at ``cycle``?
+
+    Implementations model the §VI workloads; the optional
+    :meth:`next_injection_cycle` query additionally lets the active-set
+    kernels skip idle cycles (see ``docs/kernel.md``).
+    """
 
     def packets_at(self, flow: Flow, cycle: int) -> int:
         raise NotImplementedError
@@ -56,7 +61,8 @@ class TrafficModel:
 
 
 class BernoulliTraffic(TrafficModel):
-    """Per-cycle Bernoulli packet injection at each flow's bandwidth.
+    """Per-cycle Bernoulli packet injection at each flow's bandwidth (§VI:
+    "a uniform random injection rate to meet the specified bandwidth").
 
     Each flow gets an independent deterministic RNG stream (derived from
     the base seed and the flow id) so results are reproducible and
@@ -172,7 +178,8 @@ class BernoulliTraffic(TrafficModel):
 
 
 class ScriptedTraffic(TrafficModel):
-    """Injects packets at exact (cycle, flow_id) points.
+    """Injects packets at exact (cycle, flow_id) points (drives the Fig 7
+    four-flow scenario and the unit tests).
 
     Schedule entries are consumed as they are injected, so
     :meth:`remaining` reports how many scripted packets are still pending
@@ -217,7 +224,9 @@ class ScriptedTraffic(TrafficModel):
 
 
 class RateScaledTraffic(TrafficModel):
-    """Wraps Bernoulli injection, scaling all bandwidths by a load factor.
+    """Wraps Bernoulli injection, scaling all bandwidths by a load factor
+    (the §VI saturation axis: "SMART is limited by the available link
+    bandwidth in a mesh ... while Dedicated has no bandwidth limitation").
 
     Used by load-sweep ablations to push designs toward saturation.  A
     flow whose scaled rate exceeds 1 packet/cycle is clamped to exactly

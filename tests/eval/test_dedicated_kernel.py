@@ -1,0 +1,158 @@
+"""Dedicated active-set kernel vs legacy kernel: results must be identical.
+
+Mirrors ``tests/sim/test_kernel_equivalence.py`` for the Dedicated
+baseline (`docs/baselines.md`): identical ``SimResult`` summaries,
+per-flow summaries and ``EventCounters`` between ``kernel="active"`` and
+``"legacy"`` across shared-sink, saturated and drain-limited scenarios.
+"""
+
+import pytest
+
+from repro.config import NocConfig
+from repro.eval.dedicated import DedicatedNetwork
+from repro.mapping.nmap import map_application
+from repro.apps.registry import evaluation_task_graph
+from repro.sim.flow import Flow, xy_route
+from repro.sim.patterns import synthetic_flows
+from repro.sim.topology import Mesh
+from repro.sim.traffic import BernoulliTraffic, RateScaledTraffic, ScriptedTraffic
+
+
+def _flow(fid, src, dst, bw=1e6):
+    mesh = Mesh(4, 4)
+    return Flow(fid, src, dst, bw, xy_route(mesh, src, dst))
+
+
+def _app_flows(app, cfg):
+    graph = evaluation_task_graph(app)
+    _mapping, flows = map_application(
+        graph, Mesh(cfg.width, cfg.height), algorithm="nmap_modified", seed=1
+    )
+    return flows
+
+
+def _run_both(cfg, flows, make_traffic, **run_kwargs):
+    """Run both kernels over fresh traffic instances; return result pairs."""
+    results = {}
+    for kernel, mode in (("legacy", "legacy"), ("active", "predraw")):
+        net = DedicatedNetwork(
+            cfg, Mesh(cfg.width, cfg.height), flows, make_traffic(mode),
+            kernel=kernel,
+        )
+        r = net.run(**run_kwargs)
+        results[kernel] = (
+            r.summary, r.per_flow, r.counters, r.total_cycles, r.drained,
+            r.undelivered_measured,
+        )
+    return results
+
+
+class TestScriptedEquivalence:
+    def test_shared_sink_per_packet_timestamps_identical(self, cfg):
+        """Three flows into one sink: serialisation order, stop costs and
+        credits must match cycle-for-cycle between the kernels."""
+        flows = [_flow(0, 0, 5), _flow(1, 10, 5), _flow(2, 6, 5)]
+        schedule = [(1, 0), (1, 1), (1, 2), (30, 0), (31, 1)]
+        results = {}
+        for kernel in ("legacy", "active"):
+            net = DedicatedNetwork(
+                cfg, Mesh(4, 4), flows, ScriptedTraffic(schedule), kernel=kernel
+            )
+            net.stats.measuring = True
+            net.run_cycles(300)
+            results[kernel] = {
+                (p.flow_id, p.create_cycle): (
+                    p.inject_cycle, p.head_arrive_cycle, p.tail_arrive_cycle
+                )
+                for p in net.stats.measured_delivered
+            }
+            results[kernel, "counters"] = net.counters
+        assert results["legacy"] == results["active"]
+        assert results["legacy", "counters"] == results["active", "counters"]
+
+    def test_active_keeps_single_cycle_uncontended_latency(self, cfg):
+        """The active kernel must preserve the baseline's defining
+        property: a lone flow is 1 cycle NIC-to-NIC at any distance."""
+        net = DedicatedNetwork(
+            cfg, Mesh(4, 4), [_flow(0, 0, 15)], ScriptedTraffic([(1, 0)]),
+            kernel="active",
+        )
+        net.stats.measuring = True
+        net.run_cycles(50)
+        (packet,) = net.stats.measured_delivered
+        assert packet.head_latency == 1
+
+
+class TestBernoulliEquivalence:
+    @pytest.mark.parametrize("app", ["PIP", "VOPD"])
+    def test_app_runs_identical(self, cfg, app):
+        flows = _app_flows(app, cfg)
+        results = _run_both(
+            cfg, flows,
+            lambda mode: BernoulliTraffic(cfg, flows, seed=1, mode=mode),
+            warmup_cycles=200, measure_cycles=2000, drain_limit=20000,
+        )
+        assert results["legacy"] == results["active"]
+
+    def test_shared_sink_hotspot_identical(self):
+        """Every flow shares one sink — the all-contention case."""
+        cfg = NocConfig(width=4, height=4)
+        flows = synthetic_flows("hotspot", cfg, injection_rate=0.004)
+        results = _run_both(
+            cfg, flows,
+            lambda mode: BernoulliTraffic(cfg, flows, seed=3, mode=mode),
+            warmup_cycles=200, measure_cycles=2000, drain_limit=20000,
+        )
+        assert results["legacy"] == results["active"]
+
+    def test_saturated_run_identical(self):
+        """Past the sink-serialisation knee (clamped flows) both kernels
+        agree and neither crashes."""
+        cfg = NocConfig(width=4, height=4)
+        flows = _app_flows("PIP", cfg)
+
+        def make(mode):
+            traffic = RateScaledTraffic(cfg, flows, scale=1024.0, seed=1, mode=mode)
+            assert traffic.clamped_rates, "scale 1024 should clamp some flow"
+            return traffic
+
+        results = _run_both(
+            cfg, flows, make,
+            warmup_cycles=100, measure_cycles=1000, drain_limit=500,
+        )
+        assert results["legacy"] == results["active"]
+
+    def test_drain_limited_run_identical(self):
+        """A drain limit too small to finish must fail identically —
+        same drained flag, same undelivered count, same counters."""
+        cfg = NocConfig(width=4, height=4)
+        flows = synthetic_flows("hotspot", cfg, injection_rate=0.05)
+        results = _run_both(
+            cfg, flows,
+            lambda mode: BernoulliTraffic(cfg, flows, seed=2, mode=mode, clamp=True),
+            warmup_cycles=100, measure_cycles=1000, drain_limit=50,
+        )
+        assert results["legacy"] == results["active"]
+        assert results["active"][4] is False  # drained
+        assert results["active"][5] > 0       # undelivered_measured
+
+
+class TestKernelSelection:
+    def test_unknown_kernel_rejected(self, cfg):
+        with pytest.raises(ValueError):
+            DedicatedNetwork(
+                cfg, Mesh(4, 4), [_flow(0, 0, 1)], ScriptedTraffic([]),
+                kernel="warp",
+            )
+
+    def test_idle_network_gates_every_sink(self, cfg):
+        """With no traffic the active kernel must report zero clocked
+        router-cycles while still counting total sink-cycles."""
+        flows = [_flow(0, 0, 5), _flow(1, 10, 5), _flow(2, 3, 9), _flow(3, 12, 9)]
+        net = DedicatedNetwork(
+            cfg, Mesh(4, 4), flows, ScriptedTraffic([]), kernel="active"
+        )
+        net.run_cycles(500)
+        assert net.counters.clock_router_cycles == 0
+        assert net.counters.total_router_cycles == 500 * len(net.sinks)
+        assert len(net.sinks) == 2

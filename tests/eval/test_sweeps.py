@@ -1,17 +1,24 @@
 """Parallel sweep-runner tests."""
 
+import json
 import math
 
 import pytest
 
+import repro.eval.sweeps as sweeps
 from repro.config import NocConfig
 from repro.eval.sweeps import (
     SweepJob,
+    _point_from_json,
+    _point_to_json,
     _run_job,
+    _worker_mapped_flows,
     format_sweep_rows,
+    read_sweep_stream,
     run_load_sweep,
     run_pattern_sweep,
     saturation_load,
+    write_sweep_json,
 )
 from repro.sim.stats import LatencySummary, aggregate_summaries
 
@@ -97,6 +104,139 @@ class TestJobAndFormatting:
         (pretty,) = format_sweep_rows(rows)
         assert pretty["mesh"] == "12.50*"
         assert pretty["smart"] == "n/a"
+
+
+class TestStreaming:
+    def test_stream_file_and_callback_per_point(self, tmp_path):
+        path = str(tmp_path / "stream.jsonl")
+        seen = []
+        rows = run_load_sweep(
+            app="PIP", designs=("dedicated",), scales=(1.0, 4.0),
+            seeds=(1,), processes=0, stream_path=path,
+            on_result=seen.append, **_TINY,
+        )
+        points = read_sweep_stream(path)
+        assert len(points) == len(seen) == 2
+        assert {p["load"] for p in points} == {1.0, 4.0}
+        # The streamed points round-trip exactly (summaries included).
+        assert sorted(points, key=lambda p: p["load"]) == sorted(
+            seen, key=lambda p: p["load"]
+        )
+        assert [row["load"] for row in rows] == [1.0, 4.0]
+
+    def test_parallel_run_streams_every_point(self, tmp_path):
+        path = str(tmp_path / "stream.jsonl")
+        run_load_sweep(
+            app="PIP", designs=("mesh", "dedicated"), scales=(1.0,),
+            seeds=(1,), processes=2, stream_path=path, **_TINY,
+        )
+        assert len(read_sweep_stream(path)) == 2
+
+    def test_resume_skips_completed_points(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "stream.jsonl")
+        kwargs = dict(
+            app="PIP", designs=("dedicated",), scales=(1.0, 4.0),
+            seeds=(1,), processes=0, **_TINY,
+        )
+        full = run_load_sweep(stream_path=path, **kwargs)
+        # Drop the second point to simulate an interrupted sweep.
+        lines = open(path).readlines()
+        with open(path, "w") as fh:
+            fh.write(lines[0])
+        ran = []
+        real_run_job = sweeps._run_job
+
+        def counting_run_job(job):
+            ran.append(job)
+            return real_run_job(job)
+
+        monkeypatch.setattr(sweeps, "_run_job", counting_run_job)
+        resumed = run_load_sweep(stream_path=path, resume=True, **kwargs)
+        assert len(ran) == 1  # only the missing grid point re-ran
+        assert resumed == full
+        assert len(read_sweep_stream(path)) == 2
+
+    def test_resume_with_no_prior_stream_runs_everything(self, tmp_path):
+        path = str(tmp_path / "missing.jsonl")
+        rows = run_load_sweep(
+            app="PIP", designs=("dedicated",), scales=(1.0,), seeds=(1,),
+            processes=0, stream_path=path, resume=True, **_TINY,
+        )
+        assert rows[0]["dedicated"] > 0
+        assert len(read_sweep_stream(path)) == 1
+
+    def test_resume_survives_truncated_final_line(self, tmp_path):
+        """A sweep killed mid-write leaves a partial trailing JSON
+        fragment; resume must discard it, re-run that point, and leave
+        the stream valid again."""
+        path = str(tmp_path / "stream.jsonl")
+        kwargs = dict(
+            app="PIP", designs=("dedicated",), scales=(1.0, 4.0),
+            seeds=(1,), processes=0, **_TINY,
+        )
+        full = run_load_sweep(stream_path=path, **kwargs)
+        lines = open(path).readlines()
+        with open(path, "w") as fh:
+            fh.write(lines[0])
+            fh.write(lines[1][: len(lines[1]) // 2])  # truncated write
+        assert len(read_sweep_stream(path)) == 1
+        resumed = run_load_sweep(stream_path=path, resume=True, **kwargs)
+        assert resumed == full
+        assert len(read_sweep_stream(path)) == 2
+
+    def test_corruption_in_stream_body_raises(self, tmp_path):
+        path = str(tmp_path / "stream.jsonl")
+        run_load_sweep(
+            stream_path=path, app="PIP", designs=("dedicated",),
+            scales=(1.0, 4.0), seeds=(1,), processes=0, **_TINY,
+        )
+        lines = open(path).readlines()
+        with open(path, "w") as fh:
+            fh.write(lines[0][: len(lines[0]) // 2] + "\n")  # mid-file damage
+            fh.write(lines[1])
+        with pytest.raises(json.JSONDecodeError):
+            read_sweep_stream(path)
+
+    def test_point_json_roundtrip_preserves_nan(self):
+        point = {
+            "design": "mesh", "load": 2.0, "seed": 3,
+            "summary": LatencySummary.empty(),
+            "throughput": 0.0, "saturated": True, "clamped_flows": 1,
+        }
+        encoded = json.dumps(_point_to_json(point), allow_nan=False)
+        decoded = _point_from_json(json.loads(encoded))
+        assert decoded["summary"].count == 0
+        assert math.isnan(decoded["summary"].mean_head_latency)
+        assert decoded["saturated"] is True
+
+
+class TestWorkerFlowCache:
+    def test_mapping_computed_once_across_grid_points(self):
+        _worker_mapped_flows.cache_clear()
+        run_load_sweep(
+            app="PIP", designs=("dedicated",), scales=(1.0, 2.0, 4.0),
+            seeds=(1,), processes=0, **_TINY,
+        )
+        info = _worker_mapped_flows.cache_info()
+        assert info.misses == 1
+        assert info.hits == 2
+
+    def test_cached_flows_are_reused_not_rebuilt(self):
+        cfg = NocConfig()
+        first = _worker_mapped_flows("PIP", cfg)
+        second = _worker_mapped_flows("PIP", cfg)
+        assert first is second
+
+
+class TestWriteSweepJson:
+    def test_writes_strict_json_with_meta(self, tmp_path):
+        path = str(tmp_path / "out" / "sweep.json")
+        rows = [{"load": 1.0, "mesh": float("nan"), "mesh_saturated": False}]
+        written = write_sweep_json(path, rows, meta={"app": "PIP"})
+        assert written == path
+        data = json.loads(open(path).read(), parse_constant=pytest.fail)
+        assert data["meta"]["app"] == "PIP"
+        assert data["rows"][0]["mesh"] is None  # NaN -> null
 
 
 class TestAggregateSummaries:

@@ -54,20 +54,58 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "PIP on smart" in out
 
-    def test_sweep_app(self, capsys):
+    def test_sweep_app(self, capsys, tmp_path):
+        out_path = str(tmp_path / "sweep_PIP.json")
         main([
             "sweep", "--app", "PIP", "--designs", "mesh,smart",
             "--loads", "1,32", "--measure", "1000", "--jobs", "2",
+            "--out", out_path,
         ])
         out = capsys.readouterr().out
         assert "Latency vs load (PIP" in out
         assert "mesh" in out and "smart" in out
         assert "32" in out  # the post-saturation point ran instead of crashing
 
-    def test_sweep_pattern(self, capsys):
+    def test_sweep_pattern(self, capsys, tmp_path):
         main([
             "sweep", "--pattern", "transpose", "--designs", "smart",
             "--loads", "0.01", "--measure", "1000", "--jobs", "1",
+            "--out", str(tmp_path / "sweep.json"),
         ])
         out = capsys.readouterr().out
         assert "Latency vs injection rate (transpose" in out
+
+    def test_sweep_out_writes_rows_and_stream(self, capsys, tmp_path):
+        """--out persists aggregated rows + a JSONL stream and prints
+        both paths; progress lines stream one per grid point."""
+        import json
+
+        out_path = str(tmp_path / "sweep_PIP.json")
+        main([
+            "sweep", "--app", "PIP", "--designs", "dedicated",
+            "--loads", "1,4", "--measure", "500", "--jobs", "0",
+            "--out", out_path,
+        ])
+        out = capsys.readouterr().out
+        assert out_path in out
+        data = json.load(open(out_path))
+        assert data["meta"]["app"] == "PIP"
+        assert [row["load"] for row in data["rows"]] == [1.0, 4.0]
+        stream_path = str(tmp_path / "sweep_PIP.jsonl")
+        assert stream_path in out
+        assert len(open(stream_path).readlines()) == 2
+        assert "[1/2]" in out and "[2/2]" in out
+
+    def test_sweep_resume_skips_streamed_points(self, capsys, tmp_path):
+        out_path = str(tmp_path / "sweep.json")
+        args = [
+            "sweep", "--app", "PIP", "--designs", "dedicated",
+            "--loads", "1", "--measure", "500", "--jobs", "0",
+            "--out", out_path,
+        ]
+        main(args)
+        capsys.readouterr()
+        main(args + ["--resume"])
+        out = capsys.readouterr().out
+        assert "[1/1]" not in out  # nothing re-ran
+        assert "Latency vs load (PIP" in out
