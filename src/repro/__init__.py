@@ -28,11 +28,19 @@ Quickstart::
 
 from repro.config import TABLE_II_CONFIG, NocConfig
 from repro.core import build_mesh_noc, build_smart_noc, compute_presets
-from repro.eval import build_design, headline_metrics, run_app, run_suite
+from repro.eval import (
+    build_design,
+    build_workload_design,
+    headline_metrics,
+    run_app,
+    run_suite,
+    run_workload,
+)
 from repro.mapping import TaskGraph, TurnModel, map_application
 from repro.sim import Flow, Mesh, Port
+from repro.workloads import WORKLOADS, WorkloadSpec, build_workload, get_workload
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Flow",
@@ -42,13 +50,19 @@ __all__ = [
     "TABLE_II_CONFIG",
     "TaskGraph",
     "TurnModel",
+    "WORKLOADS",
+    "WorkloadSpec",
     "build_design",
     "build_mesh_noc",
     "build_smart_noc",
+    "build_workload",
+    "build_workload_design",
     "compute_presets",
+    "get_workload",
     "headline_metrics",
     "map_application",
     "run_app",
     "run_suite",
+    "run_workload",
     "__version__",
 ]

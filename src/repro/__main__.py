@@ -8,14 +8,17 @@ Usage:
     python -m repro fig7
     python -m repro fig10a [--measure N]
     python -m repro fig10b [--measure N]
-    python -m repro run APP DESIGN [--measure N]
-    python -m repro sweep [--app APP | --pattern P] [--loads ...] [--jobs N]
+    python -m repro run WORKLOAD DESIGN [--measure N] [--load X]
+    python -m repro sweep [--workload W] [--size WxH] [--loads ...] [--jobs N]
+    python -m repro workloads
+    python -m repro plot results/sweep_X.jsonl [--out PNG]
     python -m repro apps
 """
 
 from __future__ import annotations
 
 import argparse
+import re
 import sys
 from typing import List, Optional
 
@@ -118,12 +121,37 @@ def _cmd_fig10b(args) -> None:
 
 
 def _cmd_run(args) -> None:
-    from repro.eval.experiments import run_app
+    from repro.eval.experiments import run_workload
+    from repro.workloads import get_workload
 
-    experiment = run_app(args.app, args.design, measure_cycles=args.measure)
+    target = get_workload(args.workload)
+    load = args.load if args.load is not None else target.default_load
+    experiment = run_workload(
+        args.workload, args.design, load=load, measure_cycles=args.measure
+    )
     print("%s on %s: %.2f cycles avg latency, %.2f mW"
           % (experiment.app, experiment.design,
              experiment.mean_latency, experiment.power.total_w * 1e3))
+
+
+def _workload_name(value: str) -> str:
+    """argparse type for --workload/run: resolve in the registry early."""
+    from repro.workloads import get_workload
+
+    try:
+        return get_workload(value).name
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
+def _mesh_size(value: str):
+    """argparse type for --size: "8x8" -> (8, 8)."""
+    match = re.match(r"^(\d+)x(\d+)$", value.strip().lower())
+    if not match:
+        raise argparse.ArgumentTypeError(
+            "size must look like WxH (e.g. 8x8), got %r" % value
+        )
+    return (int(match.group(1)), int(match.group(2)))
 
 
 def _design_list(value: str) -> List[str]:
@@ -145,27 +173,37 @@ def _design_list(value: str) -> List[str]:
 def _cmd_sweep(args) -> None:
     import os
 
+    from repro.config import NocConfig
     from repro.eval.report import render_table
     from repro.eval.sweeps import (
         format_sweep_rows,
-        run_load_sweep,
-        run_pattern_sweep,
+        run_workload_sweep,
         saturation_load,
         write_sweep_json,
     )
+    from repro.workloads import get_workload
 
     designs = args.designs
     loads = [float(x) for x in args.loads.split(",")] if args.loads else None
     seeds = tuple(range(1, args.seeds + 1))
-    source = args.pattern or args.app
-    out = args.out or os.path.join("results", "sweep_%s.json" % source)
+    source = args.workload or args.pattern or args.app or "VOPD"
+    workload = get_workload(source)
+    cfg = None
+    stem = "sweep_%s" % workload.name
+    if args.size:
+        width, height = args.size
+        cfg = NocConfig(width=width, height=height)
+        stem += "_%dx%d" % (width, height)
+    out = args.out or os.path.join("results", stem + ".json")
     stream_path = os.path.splitext(out)[0] + ".jsonl"
-    if args.pattern:
-        load_points = loads or [0.01, 0.02, 0.05, 0.1, 0.2]
-        title = "Latency vs injection rate (%s, packets/cycle/node)" % args.pattern
+    load_points = loads or list(workload.default_loads)
+    if workload.load_axis == "injection_rate":
+        title = (
+            "Latency vs injection rate (%s, packets/cycle/node)"
+            % workload.name
+        )
     else:
-        load_points = loads or [1.0, 2.0, 4.0, 8.0, 16.0, 32.0]
-        title = "Latency vs load (%s, x mapped bandwidth)" % args.app
+        title = "Latency vs load (%s, x mapped bandwidth)" % workload.name
     total = len(designs) * len(load_points) * len(seeds)
     if args.resume and os.path.exists(stream_path):
         from repro.eval.sweeps import read_sweep_stream
@@ -190,19 +228,18 @@ def _cmd_sweep(args) -> None:
             else "%.2f cyc" % point["summary"].mean_head_latency,
         ))
 
-    common = dict(
+    rows = run_workload_sweep(
+        workload.name,
         designs=designs,
+        loads=load_points,
         seeds=seeds,
+        cfg=cfg,
         processes=args.jobs,
         measure_cycles=args.measure,
         on_result=on_result,
         stream_path=stream_path,
         resume=args.resume,
     )
-    if args.pattern:
-        rows = run_pattern_sweep(args.pattern, rates=load_points, **common)
-    else:
-        rows = run_load_sweep(args.app, scales=load_points, **common)
     print(render_table(format_sweep_rows(rows), title=title))
     print("(* = saturated: the run failed to drain its measured packets)")
     for design in designs:
@@ -210,8 +247,11 @@ def _cmd_sweep(args) -> None:
         if knee is not None:
             print("%-10s saturates at load %g" % (design, knee))
     meta = {
-        "app": None if args.pattern else args.app,
-        "pattern": args.pattern,
+        "workload": workload.name,
+        "load_axis": workload.load_axis,
+        "app": workload.name if workload.kind == "app" else None,
+        "pattern": workload.name if workload.kind != "app" else None,
+        "size": "%dx%d" % args.size if args.size else None,
         "designs": list(designs),
         "loads": load_points,
         "seeds": list(seeds),
@@ -220,6 +260,30 @@ def _cmd_sweep(args) -> None:
     write_sweep_json(out, rows, meta=meta)
     print("wrote %s (aggregated rows); streamed grid points: %s"
           % (out, stream_path))
+
+
+def _cmd_workloads(_args) -> None:
+    from repro.workloads import WORKLOADS, workload_names
+
+    print("%-20s %-10s %-16s %s" % ("name", "kind", "load axis", "description"))
+    for name in workload_names():
+        workload = WORKLOADS[name]
+        print("%-20s %-10s %-16s %s" % (
+            name, workload.kind, workload.load_axis, workload.description,
+        ))
+
+
+def _cmd_plot(args) -> None:
+    from repro.eval.plotting import matplotlib_available, plot_sweep_stream
+
+    if not matplotlib_available():
+        raise SystemExit(
+            "matplotlib is not installed; install it to render sweep plots"
+        )
+    for stream in args.streams:
+        out = args.out if len(args.streams) == 1 else None
+        print("wrote %s" % plot_sweep_stream(stream, out_path=out,
+                                             title=args.title))
 
 
 def _cmd_apps(_args) -> None:
@@ -247,20 +311,34 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--measure", type=int, default=20000)
         p.set_defaults(func=func)
     p_run = sub.add_parser("run")
-    p_run.add_argument("app")
+    p_run.add_argument("workload", type=_workload_name,
+                       help="any registry name: an app (VOPD, H264, ...) or "
+                       "a pattern (transpose, shuffle, ...)")
     p_run.add_argument("design", choices=("mesh", "smart", "dedicated"))
     p_run.add_argument("--measure", type=int, default=20000)
+    p_run.add_argument("--load", type=float, default=None,
+                       help="drive level on the workload's axis (default: "
+                       "1.0x bandwidth for apps, 0.05 packets/cycle/node "
+                       "for patterns)")
     p_run.set_defaults(func=_cmd_run)
     p_sweep = sub.add_parser(
         "sweep",
         help="multi-core latency-vs-load sweep (to saturation and beyond)",
     )
     sweep_source = p_sweep.add_mutually_exclusive_group()
-    sweep_source.add_argument("--app", default="VOPD")
     sweep_source.add_argument(
-        "--pattern",
-        choices=("uniform", "transpose", "bit_complement", "hotspot"),
-        help="sweep a synthetic pattern instead of a mapped app",
+        "--workload", type=_workload_name, default=None,
+        help="any workload registry name (see `python -m repro workloads`)",
+    )
+    sweep_source.add_argument("--app", type=_workload_name, default=None,
+                              help="legacy alias for --workload")
+    sweep_source.add_argument(
+        "--pattern", type=_workload_name, default=None,
+        help="legacy alias for --workload",
+    )
+    p_sweep.add_argument(
+        "--size", type=_mesh_size, default=None,
+        help="mesh size WxH (e.g. 8x8; default: the paper's 4x4)",
     )
     p_sweep.add_argument(
         "--designs",
@@ -288,6 +366,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip grid points already present in the .jsonl stream",
     )
     p_sweep.set_defaults(func=_cmd_sweep)
+    sub.add_parser(
+        "workloads", help="list the workload registry (apps + patterns)"
+    ).set_defaults(func=_cmd_workloads)
+    p_plot = sub.add_parser(
+        "plot",
+        help="render latency-vs-load curves from sweep .jsonl streams "
+        "(requires matplotlib)",
+    )
+    p_plot.add_argument("streams", nargs="+",
+                        help="one or more results/sweep_*.jsonl files")
+    p_plot.add_argument("--out", default=None,
+                        help="output PNG path (single stream only; default: "
+                        "the stream path with a .png extension)")
+    p_plot.add_argument("--title", default=None)
+    p_plot.set_defaults(func=_cmd_plot)
     sub.add_parser("apps").set_defaults(func=_cmd_apps)
     return parser
 

@@ -14,7 +14,12 @@ from repro.eval.ablations import (
     vc_sweep,
 )
 from repro.eval.dedicated import DedicatedNetwork
-from repro.eval.designs import DESIGNS, DesignInstance, build_design
+from repro.eval.designs import (
+    DESIGNS,
+    DesignInstance,
+    build_design,
+    build_workload_design,
+)
 from repro.eval.scenarios import FIG1_APPS, FIG7_STOP_TIMES, fig7_flows
 from repro.eval.experiments import (
     AppExperiment,
@@ -25,14 +30,18 @@ from repro.eval.experiments import (
     headline_metrics,
     run_app,
     run_suite,
+    run_workload,
 )
+from repro.eval.plotting import matplotlib_available, plot_sweep_stream, sweep_curves
 from repro.eval.report import render_table, rows_to_csv, write_csv
 from repro.eval.sweeps import (
     SweepJob,
     format_sweep_rows,
+    read_sweep_header,
     read_sweep_stream,
     run_load_sweep,
     run_pattern_sweep,
+    run_workload_sweep,
     saturation_load,
     write_sweep_json,
 )
@@ -47,6 +56,7 @@ __all__ = [
     "HeadlineMetrics",
     "SuiteResults",
     "build_design",
+    "build_workload_design",
     "channel_split",
     "SweepJob",
     "fig10a_rows",
@@ -56,6 +66,9 @@ __all__ = [
     "headline_metrics",
     "hpc_sweep",
     "mapping_comparison",
+    "matplotlib_available",
+    "plot_sweep_stream",
+    "read_sweep_header",
     "read_sweep_stream",
     "render_table",
     "route_selection_comparison",
@@ -64,7 +77,10 @@ __all__ = [
     "run_load_sweep",
     "run_pattern_sweep",
     "run_suite",
+    "run_workload",
+    "run_workload_sweep",
     "saturation_load",
+    "sweep_curves",
     "vc_sweep",
     "write_csv",
     "write_sweep_json",

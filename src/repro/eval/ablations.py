@@ -2,7 +2,9 @@
 
 * :func:`hpc_sweep` — how far must a single cycle reach?  Sweeps
   ``hpc_max`` (Table I ties it to frequency and swing: 8 mm at 2 GHz
-  low-swing) and measures SMART latency.
+  low-swing) and measures SMART latency.  Accepts any registered
+  workload (:mod:`repro.workloads`) — synthetic patterns sweep HPC on
+  any mesh size, not just the mapped SoC apps.
 * :func:`mapping_comparison` — the modified NMAP of §VI vs the original
   NMAP objective, row-major and random placement.
 * :func:`channel_split` — the §VI future-work idea: split the 32-bit
@@ -38,14 +40,16 @@ from repro.mapping.turn_model import TurnModel
 from repro.sim.flow import Flow
 from repro.sim.topology import Mesh
 from repro.sim.traffic import RateScaledTraffic
+from repro.workloads import WorkloadSpec, build_workload, get_workload
 
 _FAST = dict(warmup_cycles=500, measure_cycles=8000, drain_limit=80000)
 
 
-def _run_smart(cfg: NocConfig, flows: Sequence[Flow], seed: int = 1, **kwargs):
+def _run_smart(cfg: NocConfig, flows: Sequence[Flow], seed: int = 1,
+               traffic=None, **kwargs):
     run_kwargs = dict(_FAST)
     run_kwargs.update(kwargs)
-    instance = build_design("smart", cfg, flows, seed=seed)
+    instance = build_design("smart", cfg, flows, traffic=traffic, seed=seed)
     return instance, instance.run(**run_kwargs)
 
 
@@ -66,22 +70,36 @@ _mapped_flows = mapped_flows
 
 
 def hpc_sweep(
-    app: str = "VOPD",
+    workload: str = "VOPD",
     hpc_values: Sequence[int] = (1, 2, 4, 8),
     cfg: Optional[NocConfig] = None,
+    load: Optional[float] = None,
+    seed: int = 1,
     **kwargs,
 ) -> List[Dict[str, object]]:
     """SMART latency vs maximum hops per cycle (Table I ties HPC_max
-    to frequency and signalling swing: 8 hops at 2 GHz low-swing)."""
+    to frequency and signalling swing: 8 hops at 2 GHz low-swing).
+
+    ``workload`` is any registry name — an app (driven at ``load`` x
+    mapped bandwidth, default 1.0) or a pattern (driven at ``load``
+    packets/cycle/node, default 0.05) on whatever mesh ``cfg`` defines.
+    """
     base = cfg or NocConfig()
-    flows = _mapped_flows(app, base)
+    spec = WorkloadSpec.of(workload)
+    built = build_workload(spec, base, seed=seed)
+    flows = list(built.flows)
+    if load is None:
+        load = get_workload(spec.name).default_load
     rows = []
     for hpc in hpc_values:
         swept = dataclasses.replace(base, hpc_max=hpc)
-        instance, result = _run_smart(swept, flows, **kwargs)
+        traffic = RateScaledTraffic(swept, flows, scale=load, seed=seed)
+        instance, result = _run_smart(
+            swept, flows, seed=seed, traffic=traffic, **kwargs
+        )
         rows.append(
             {
-                "app": app,
+                "workload": spec.name,
                 "hpc_max": hpc,
                 "mean_latency": result.mean_latency,
                 "max_segment_hops": instance.presets.segment_map.max_hops(),
@@ -333,31 +351,35 @@ def pinned_mapping(
 
 
 def load_sweep(
-    app: str = "VOPD",
-    scales: Sequence[float] = (1.0, 4.0, 8.0, 16.0),
+    workload: str = "VOPD",
+    loads: Sequence[float] = (1.0, 4.0, 8.0, 16.0),
     designs: Sequence[str] = ("mesh", "smart", "dedicated"),
     cfg: Optional[NocConfig] = None,
+    seed: int = 1,
     **kwargs,
 ) -> List[Dict[str, object]]:
-    """Latency vs offered load, per design.
+    """Latency vs offered load, per design, for any registered workload.
 
-    All flow bandwidths are scaled together; as the mesh links saturate,
-    SMART's latency climbs while the Dedicated topology (private links
-    per flow) stays flat except for destination serialization.  Scales
-    pushing a flow past 1 packet/cycle clamp at the injection-port limit
-    (``RateScaledTraffic``), so the sweep continues past the knee; the
-    clamped-flow count is reported per row.  For parallel grids and seed
-    replication use :func:`repro.eval.sweeps.run_load_sweep` instead.
+    All flow bandwidths are scaled together (``loads`` are bandwidth
+    scales for apps, packets/cycle/node for patterns); as the mesh links
+    saturate, SMART's latency climbs while the Dedicated topology
+    (private links per flow) stays flat except for destination
+    serialization.  Loads pushing a flow past 1 packet/cycle clamp at
+    the injection-port limit (``RateScaledTraffic``), so the sweep
+    continues past the knee; the clamped-flow count is reported per row.
+    For parallel grids and seed replication use
+    :func:`repro.eval.sweeps.run_workload_sweep` instead.
     """
     base = cfg or NocConfig()
-    flows = _mapped_flows(app, base)
+    spec = WorkloadSpec.of(workload)
+    flows = list(build_workload(spec, base, seed=seed).flows)
     run_kwargs = dict(_FAST)
     run_kwargs.update(kwargs)
     rows = []
-    for scale in scales:
-        row: Dict[str, object] = {"app": app, "load_x": scale}
+    for load in loads:
+        row: Dict[str, object] = {"workload": spec.name, "load_x": load}
         for design in designs:
-            traffic = RateScaledTraffic(base, flows, scale=scale, seed=1)
+            traffic = RateScaledTraffic(base, flows, scale=load, seed=seed)
             instance = build_design(design, base, flows, traffic=traffic)
             result = instance.run(**run_kwargs)
             row[design] = result.mean_latency

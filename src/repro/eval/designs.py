@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 from repro.config import NocConfig
 from repro.core.noc_builder import build_mesh_noc, build_smart_noc
@@ -12,7 +12,13 @@ from repro.eval.dedicated import DedicatedNetwork
 from repro.sim.flow import Flow
 from repro.sim.stats import SimResult
 from repro.sim.topology import Mesh
-from repro.sim.traffic import BernoulliTraffic, TrafficModel
+from repro.sim.traffic import BernoulliTraffic, RateScaledTraffic, TrafficModel
+from repro.workloads import (
+    BuiltWorkload,
+    WorkloadSpec,
+    build_seed_for,
+    build_workload,
+)
 
 #: Paper §VI design names.
 DESIGNS = ("mesh", "smart", "dedicated")
@@ -28,6 +34,9 @@ class DesignInstance:
     flows: List[Flow]
     network: object  # Network or DedicatedNetwork; both expose .run()
     presets: Optional[NetworkPresets]
+    #: Set when built through :func:`build_workload_design` — the routed
+    #: workload (flows, load axis, app mapping) behind this instance.
+    workload: Optional[BuiltWorkload] = None
 
     def run(self, **kwargs) -> SimResult:
         return self.network.run(**kwargs)
@@ -62,3 +71,34 @@ def build_design(
         network = DedicatedNetwork(cfg, mesh, flows, traffic, kernel=kernel)
         return DesignInstance(name, cfg, mesh, list(flows), network, None)
     raise ValueError("unknown design %r (have %s)" % (design, ", ".join(DESIGNS)))
+
+
+def build_workload_design(
+    workload: Union[str, WorkloadSpec],
+    design: str,
+    cfg: Optional[NocConfig] = None,
+    load: float = 1.0,
+    seed: int = 1,
+    kernel: str = "active",
+    traffic_mode: str = "predraw",
+) -> DesignInstance:
+    """The full paper pipeline in one call, for any registered workload.
+
+    Resolves ``workload`` in the registry, generates its placed demands,
+    routes them with conflict-minimising turn-model route selection,
+    computes presets (for SMART) and attaches a traffic model driving the
+    flows at ``load`` on the workload's axis (bandwidth scale for apps,
+    packets/cycle/node for patterns).  The returned instance carries the
+    built workload in :attr:`DesignInstance.workload`.
+    """
+    base = cfg or NocConfig()
+    spec = WorkloadSpec.of(workload)
+    built = build_workload(spec, base, seed=build_seed_for(spec, seed))
+    traffic = RateScaledTraffic(
+        base, built.flows, scale=load, seed=seed, mode=traffic_mode
+    )
+    instance = build_design(
+        design, base, built.flows, traffic=traffic, seed=seed, kernel=kernel
+    )
+    instance.workload = built
+    return instance

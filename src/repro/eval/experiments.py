@@ -1,9 +1,12 @@
-"""Experiment runner: one SoC application on one design (Fig 10).
+"""Experiment runner: one workload on one design (Fig 10 and beyond).
 
 ``run_app`` performs the complete paper flow for one (application, design)
 pair: task graph -> modified NMAP placement -> turn-model routing ->
 preset computation (for SMART) -> cycle-accurate simulation -> latency and
-power.  ``run_suite`` sweeps the Fig 10 matrix and the ``fig10a_rows`` /
+power.  ``run_workload`` generalises it to any registered workload
+(:mod:`repro.workloads`) — synthetic patterns and composite mixes run the
+same pipeline and power accounting, with ``load`` on the workload's own
+axis.  ``run_suite`` sweeps the Fig 10 matrix and the ``fig10a_rows`` /
 ``fig10b_rows`` helpers shape the results like the paper's figures.
 """
 
@@ -11,17 +14,23 @@ from __future__ import annotations
 
 import dataclasses
 import statistics
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.apps.registry import PAPER_APP_ORDER, evaluation_task_graph
 from repro.config import NocConfig
-from repro.eval.designs import DESIGNS, DesignInstance, build_design
+from repro.eval.designs import (
+    DESIGNS,
+    DesignInstance,
+    build_design,
+    build_workload_design,
+)
 from repro.mapping.nmap import map_application
 from repro.mapping.turn_model import TurnModel
 from repro.power.accounting import PowerBreakdown, power_from_counters
 from repro.sim.flow import Flow
 from repro.sim.stats import SimResult
 from repro.sim.topology import Mesh
+from repro.workloads import WorkloadSpec
 
 
 @dataclasses.dataclass
@@ -80,6 +89,47 @@ def run_app(
         power_full=power_full,
         mapping=mapping,
         flows=flows,
+        instance=instance,
+    )
+
+
+def run_workload(
+    workload: Union[str, WorkloadSpec],
+    design: str,
+    load: float = 1.0,
+    cfg: Optional[NocConfig] = None,
+    warmup_cycles: int = 2000,
+    measure_cycles: int = 40000,
+    drain_limit: int = 200000,
+    seed: int = 1,
+    kernel: str = "active",
+) -> AppExperiment:
+    """Run the full pipeline for any registered workload on one design.
+
+    Apps and patterns alike go through demand placement, turn-model
+    route selection, preset computation and power accounting; ``load``
+    is interpreted on the workload's axis (bandwidth scale for apps,
+    packets/cycle/node for patterns).  For app workloads at ``load=1.0``
+    this reproduces :func:`run_app`'s defaults.
+    """
+    cfg = cfg or NocConfig()
+    instance = build_workload_design(
+        workload, design, cfg=cfg, load=load, seed=seed, kernel=kernel
+    )
+    result = instance.run(
+        warmup_cycles=warmup_cycles,
+        measure_cycles=measure_cycles,
+        drain_limit=drain_limit,
+    )
+    link_only = instance.design == "dedicated"
+    return AppExperiment(
+        app=instance.workload.name,
+        design=instance.design,
+        result=result,
+        power=power_from_counters(result.counters, cfg, link_only=link_only),
+        power_full=power_from_counters(result.counters, cfg, link_only=False),
+        mapping=instance.workload.mapping or {},
+        flows=list(instance.flows),
         instance=instance,
     )
 

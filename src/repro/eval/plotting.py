@@ -1,0 +1,134 @@
+"""Latency-vs-load curves from streamed sweep grids (matplotlib-gated).
+
+``results/sweep_*.jsonl`` streams hold one JSON line per completed
+(design, load, seed) grid point (see ``docs/kernel.md``).  This module
+aggregates them into per-design curves (:func:`sweep_curves`, pure
+Python — usable without matplotlib) and renders the classic
+latency-vs-load plot next to the markdown tables
+(:func:`plot_sweep_stream`, which requires matplotlib and uses the
+headless Agg backend).
+
+matplotlib is an *optional* dependency: importing this module never
+fails, :func:`matplotlib_available` reports whether rendering can work,
+and :func:`plot_sweep_stream` raises a clear ``RuntimeError`` when it
+cannot.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.stats import aggregate_summaries
+
+#: One aggregated curve point: (load, mean head latency, any seed saturated).
+CurvePoint = Tuple[float, float, bool]
+
+
+def matplotlib_available() -> bool:
+    """Whether the optional matplotlib dependency is importable."""
+    try:
+        import matplotlib  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def sweep_curves(points: List[Dict[str, object]]) -> Dict[str, List[CurvePoint]]:
+    """Aggregate streamed grid points into one curve per design.
+
+    Seeds at the same (design, load) pool with count-weighted means
+    (matching the sweep runner's row aggregation); each curve is sorted
+    by load.  Saturation is sticky across seeds.
+    """
+    grouped: Dict[Tuple[str, float], List[Dict[str, object]]] = {}
+    for point in points:
+        grouped.setdefault(
+            (str(point["design"]), float(point["load"])), []
+        ).append(point)
+    curves: Dict[str, List[CurvePoint]] = {}
+    for (design, load), group in sorted(grouped.items()):
+        summary = aggregate_summaries([p["summary"] for p in group])
+        curves.setdefault(design, []).append(
+            (load, summary.mean_head_latency, any(p["saturated"] for p in group))
+        )
+    return curves
+
+
+def plot_sweep_stream(
+    path: str,
+    out_path: Optional[str] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render a sweep stream as a latency-vs-load PNG; returns its path.
+
+    One line per design; saturated points (runs that failed to drain)
+    are marked with an 'x'.  ``out_path`` defaults to the stream path
+    with a ``.png`` extension.  Raises ``RuntimeError`` if matplotlib is
+    not installed.
+    """
+    if not matplotlib_available():
+        raise RuntimeError(
+            "matplotlib is not installed; install it to render sweep plots "
+            "(the sweep data itself never needs it)"
+        )
+    from repro.eval.sweeps import read_sweep_header, read_sweep_stream
+
+    points = read_sweep_stream(path)
+    if not points:
+        raise ValueError("no grid points in %s" % path)
+    header = read_sweep_header(path)
+    curves = sweep_curves(points)
+    if title is None:
+        spec = (header or {}).get("sweep_spec", {})
+        workload = spec.get("workload")
+        cfg = spec.get("cfg", {})
+        size = (
+            "%sx%s" % (cfg["width"], cfg["height"])
+            if "width" in cfg and "height" in cfg
+            else None
+        )
+        title = "Latency vs load" + (
+            " — %s%s" % (workload, " on %s" % size if size else "")
+            if workload
+            else ""
+        )
+
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    fig, ax = plt.subplots(figsize=(6.4, 4.2))
+    for design, curve in sorted(curves.items()):
+        finite = [(l, lat, sat) for l, lat, sat in curve if not math.isnan(lat)]
+        if not finite:
+            continue
+        loads = [l for l, _lat, _sat in finite]
+        lats = [lat for _l, lat, _sat in finite]
+        (line,) = ax.plot(loads, lats, marker="o", label=design)
+        saturated = [(l, lat) for l, lat, sat in finite if sat]
+        if saturated:
+            ax.plot(
+                [l for l, _ in saturated],
+                [lat for _, lat in saturated],
+                linestyle="none",
+                marker="x",
+                markersize=10,
+                color=line.get_color(),
+            )
+    ax.set_xlabel("offered load")
+    ax.set_ylabel("mean head latency (cycles)")
+    ax.set_title(title)
+    ax.legend()
+    ax.grid(True, alpha=0.3)
+    fig.tight_layout()
+    if out_path is None:
+        out_path = os.path.splitext(path)[0] + ".png"
+    parent = os.path.dirname(out_path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    fig.savefig(out_path, dpi=120)
+    plt.close(fig)
+    return out_path

@@ -6,54 +6,79 @@ so this module fans the points across worker processes with
 ``multiprocessing.Pool`` and aggregates the per-seed ``SimResult``s into
 one row per (load, design).
 
-Two sweep axes are supported:
+Every sweep runs one registered **workload**
+(:mod:`repro.workloads`: the SoC apps plus the synthetic patterns and
+composite mixes) through the full paper pipeline — placement/demand
+generation, conflict-minimising turn-model route selection, SMART preset
+computation — so patterns get real bypass chains, not hard-wired XY
+routes.  The workload's load axis decides what a grid point's ``load``
+means:
 
-* :func:`run_load_sweep` — scale a mapped SoC application's flow
-  bandwidths by a load factor (the paper's saturation axis).  Scaled
-  rates past 1 packet/cycle are clamped to a saturated injection port by
-  :class:`~repro.sim.traffic.RateScaledTraffic`, so the sweep can
-  continue past the knee instead of crashing.
-* :func:`run_pattern_sweep` — sweep the per-node injection rate of a
-  synthetic pattern (:mod:`repro.sim.patterns`) on an arbitrary mesh.
+* apps — a bandwidth scale factor on the mapped flows (the paper's
+  saturation axis);
+* patterns/composites — the per-node injection rate in packets/cycle.
 
-Jobs are described by small picklable specs; each worker rebuilds the
-traffic model and design locally, so nothing heavier than a result row
-crosses the process boundary.  The expensive part of a job spec — the
-NMAP mapping of an application onto the mesh — is memoised per worker
-process (:func:`_worker_mapped_flows`), so a worker maps each (app, cfg)
-once and reuses the flow set across every grid point it executes.
+Scaled rates past 1 packet/cycle are clamped to a saturated injection
+port by :class:`~repro.sim.traffic.RateScaledTraffic`, so sweeps can
+continue past the knee instead of crashing.
+
+Jobs are described by small picklable specs (:class:`SweepJob` carries a
+:class:`~repro.workloads.WorkloadSpec`); each worker rebuilds the routed
+flow set and design locally, so nothing heavier than a result row
+crosses the process boundary.  The expensive part — demand placement and
+route selection — is memoised per worker process
+(:func:`_worker_workload`): seed-insensitive workloads (apps,
+deterministic permutations) build once per worker and share the flow set
+across every grid point, while seed-sensitive ones (the uniform draw)
+build once per (spec, seed).
 
 Streaming and resume
 --------------------
 
 Long sweeps report progress and survive interruption through two hooks
-shared by both sweep functions:
+shared by all sweep functions:
 
 * ``on_result`` — a callback invoked with each grid point's result dict
   as soon as the point completes (completion order, not grid order).
 * ``stream_path`` — a JSONL file (conventionally under ``results/``)
-  appended one line per completed grid point; see
-  :func:`read_sweep_stream` for the row schema.  With ``resume=True``
-  previously-streamed points are loaded back and their jobs skipped, so
-  an interrupted sweep continues where it stopped.
+  whose first line is a header identifying the sweep spec (workload,
+  cfg, kernel, run window) by content hash, followed by one line per
+  completed grid point; see :func:`read_sweep_stream` for the row
+  schema.  With ``resume=True`` previously-streamed points are loaded
+  back and their jobs skipped, so an interrupted sweep continues where
+  it stopped — and a stream whose header hash does not match the
+  requested sweep is **refused** instead of silently mixing
+  incompatible grids.  Header-less streams from older versions are
+  still accepted.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import functools
+import hashlib
 import json
 import math
 import multiprocessing
 import os
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.config import NocConfig
 from repro.eval.designs import DESIGNS
 from repro.sim.stats import LatencySummary, aggregate_summaries
+from repro.workloads import (
+    BuiltWorkload,
+    WorkloadSpec,
+    build_seed_for,
+    build_workload,
+    get_workload,
+)
 
 #: Simulation window used when the caller does not override it.
 DEFAULT_RUN_KWARGS = dict(warmup_cycles=500, measure_cycles=8000, drain_limit=80000)
+
+#: Format tag written into stream headers (bump on incompatible changes).
+STREAM_FORMAT = "smart-sweep-stream/2"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -64,10 +89,8 @@ class SweepJob:
     load: float
     seed: int
     cfg: NocConfig
-    #: SoC application name (load is a bandwidth scale factor), or None.
-    app: Optional[str] = None
-    #: Synthetic pattern name (load is packets/cycle/node), or None.
-    pattern: Optional[str] = None
+    #: Which workload to run; ``load`` is interpreted on its load axis.
+    workload: WorkloadSpec
     kernel: str = "active"
     traffic_mode: str = "predraw"
     warmup_cycles: int = DEFAULT_RUN_KWARGS["warmup_cycles"]
@@ -76,43 +99,35 @@ class SweepJob:
 
 
 @functools.lru_cache(maxsize=None)
-def _worker_mapped_flows(app: str, cfg: NocConfig) -> tuple:
-    """Map ``app`` onto ``cfg``'s mesh, once per worker process.
+def _worker_workload(
+    spec: WorkloadSpec, cfg: NocConfig, build_seed: int
+) -> BuiltWorkload:
+    """Build ``spec`` on ``cfg``'s mesh, once per worker process.
 
-    The NMAP placement is the most expensive part of building a grid
-    point and depends only on (app, cfg) — never on load, seed, design or
-    kernel — so every worker memoises it and reuses the flow set across
-    all grid points it executes.  ``Flow`` objects are immutable, so
-    sharing them between jobs is safe.
+    Placement and route selection are the most expensive part of a grid
+    point and depend only on (spec, cfg) — plus the seed for
+    seed-sensitive workloads — never on load, design or kernel.  Every
+    worker memoises the built workload and reuses its immutable flow set
+    across all grid points it executes.
     """
-    from repro.eval.ablations import mapped_flows
-
-    return tuple(mapped_flows(app, cfg))
+    return build_workload(spec, cfg, seed=build_seed)
 
 
 def _run_job(job: SweepJob) -> Dict[str, object]:
     """Worker entry point: build and run one grid point."""
     from repro.eval.designs import build_design
     from repro.sim.stats import accepted_flits_per_cycle
-    from repro.sim.traffic import BernoulliTraffic, RateScaledTraffic
+    from repro.sim.traffic import RateScaledTraffic
 
     cfg = job.cfg
-    if job.app is not None:
-        flows = list(_worker_mapped_flows(job.app, cfg))
-        traffic = RateScaledTraffic(
-            cfg, flows, scale=job.load, seed=job.seed, mode=job.traffic_mode
-        )
-        clamped = len(traffic.clamped_rates)
-    else:
-        from repro.sim.patterns import synthetic_flows
-
-        flows = synthetic_flows(job.pattern, cfg, injection_rate=job.load)
-        traffic = BernoulliTraffic(
-            cfg, flows, seed=job.seed, mode=job.traffic_mode, clamp=True
-        )
-        clamped = len(traffic.clamped_rates)
+    built = _worker_workload(
+        job.workload, cfg, build_seed_for(job.workload, job.seed)
+    )
+    traffic = RateScaledTraffic(
+        cfg, built.flows, scale=job.load, seed=job.seed, mode=job.traffic_mode
+    )
     instance = build_design(
-        job.design, cfg, flows, traffic=traffic, kernel=job.kernel
+        job.design, cfg, built.flows, traffic=traffic, kernel=job.kernel
     )
     result = instance.run(
         warmup_cycles=job.warmup_cycles,
@@ -126,8 +141,64 @@ def _run_job(job: SweepJob) -> Dict[str, object]:
         "summary": result.summary,
         "throughput": accepted_flits_per_cycle(result, cfg.flits_per_packet),
         "saturated": not result.drained,
-        "clamped_flows": clamped,
+        "clamped_flows": len(traffic.clamped_rates),
     }
+
+
+# ----------------------------------------------------------------------
+# Stream header: content-hashed sweep spec
+# ----------------------------------------------------------------------
+
+def sweep_spec_hash(spec: Dict[str, object]) -> str:
+    """Short content hash of a sweep-spec dict (canonical-JSON SHA-256)."""
+    canon = json.dumps(spec, sort_keys=True, default=str)
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:16]
+
+
+def make_stream_header(
+    workload: WorkloadSpec,
+    cfg: NocConfig,
+    kernel: str,
+    traffic_mode: str,
+    run_kwargs: Dict[str, int],
+) -> Dict[str, object]:
+    """Header line for a sweep stream: the spec plus its content hash.
+
+    The spec covers everything that must match for streamed grid points
+    to be comparable — workload (name + params), mesh/router config,
+    kernel, traffic mode, and the simulation window — but *not* the
+    grid itself (designs/loads/seeds), so a resumed sweep may extend
+    the grid.
+    """
+    spec = {
+        "format": STREAM_FORMAT,
+        "workload": workload.name,
+        "params": {key: value for key, value in workload.params},
+        "cfg": dataclasses.asdict(cfg),
+        "kernel": kernel,
+        "traffic_mode": traffic_mode,
+        "warmup_cycles": run_kwargs["warmup_cycles"],
+        "measure_cycles": run_kwargs["measure_cycles"],
+        "drain_limit": run_kwargs["drain_limit"],
+    }
+    return {"sweep_spec": spec, "spec_hash": sweep_spec_hash(spec)}
+
+
+def read_sweep_header(path: str) -> Optional[Dict[str, object]]:
+    """The stream's header line, or None for legacy header-less files."""
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError:
+                return None
+            if isinstance(data, dict) and "sweep_spec" in data:
+                return data
+            return None
+    return None
 
 
 # ----------------------------------------------------------------------
@@ -169,8 +240,10 @@ def _point_from_json(data: Dict[str, object]) -> Dict[str, object]:
 def read_sweep_stream(path: str) -> List[Dict[str, object]]:
     """Load the grid points streamed to ``path`` by a previous sweep.
 
-    Each line of the file is one completed (design, load, seed) grid
-    point::
+    The first line may be a sweep-spec header (see
+    :func:`make_stream_header`; absent in legacy streams) and is
+    skipped here — :func:`read_sweep_header` returns it.  Every other
+    line is one completed (design, load, seed) grid point::
 
         {"design": "mesh", "load": 2.0, "seed": 1,
          "summary": {"count": ..., "mean_head_latency": ..., ...},
@@ -194,6 +267,8 @@ def read_sweep_stream(path: str) -> List[Dict[str, object]]:
             if index == len(lines) - 1:
                 break
             raise
+        if index == 0 and isinstance(data, dict) and "sweep_spec" in data:
+            continue
         points.append(_point_from_json(data))
     return points
 
@@ -212,18 +287,33 @@ def _run_jobs(
     on_result: Optional[Callable[[Dict[str, object]], None]] = None,
     stream_path: Optional[str] = None,
     resume: bool = False,
+    header: Optional[Dict[str, object]] = None,
 ) -> List[Dict[str, object]]:
     """Run grid points, fanning across a process pool when asked.
 
     ``processes=None`` uses one worker per CPU; ``processes=0`` runs
     serially in this process (no Pool — handy under debuggers).  Results
     stream back in completion order: each point is appended to
-    ``stream_path`` (JSONL) and passed to ``on_result`` as soon as its
-    worker finishes.  With ``resume=True``, points already present in
-    ``stream_path`` are loaded instead of re-run.
+    ``stream_path`` (JSONL, headed by ``header``) and passed to
+    ``on_result`` as soon as its worker finishes.  With ``resume=True``,
+    points already present in ``stream_path`` are loaded instead of
+    re-run — after the stream's header hash is checked against
+    ``header`` (legacy header-less streams are trusted as before).
     """
     done: List[Dict[str, object]] = []
     if stream_path and resume and os.path.exists(stream_path):
+        existing = read_sweep_header(stream_path)
+        if (
+            header is not None
+            and existing is not None
+            and existing.get("spec_hash") != header.get("spec_hash")
+        ):
+            raise ValueError(
+                "refusing to resume %s: stream header hash %s does not match "
+                "this sweep's spec hash %s (different workload, cfg, kernel "
+                "or run window) — delete the file or rerun the original spec"
+                % (stream_path, existing.get("spec_hash"), header.get("spec_hash"))
+            )
         done = read_sweep_stream(stream_path)
         seen = {_point_key(p) for p in done}
         jobs = [
@@ -240,6 +330,8 @@ def _run_jobs(
         # points drops any truncated trailing fragment the interrupted
         # run left behind, keeping the stream valid JSONL.
         stream_fh = open(stream_path, "w")
+        if header is not None:
+            stream_fh.write(json.dumps(header) + "\n")
         for point in done:
             stream_fh.write(json.dumps(_point_to_json(point)) + "\n")
         stream_fh.flush()
@@ -328,63 +420,73 @@ def _make_jobs(
     ]
 
 
-def run_load_sweep(
-    app: str = "VOPD",
+def run_workload_sweep(
+    workload: Union[str, WorkloadSpec],
     designs: Sequence[str] = DESIGNS,
-    scales: Sequence[float] = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0),
+    loads: Optional[Sequence[float]] = None,
     seeds: Sequence[int] = (1,),
     cfg: Optional[NocConfig] = None,
     processes: Optional[int] = None,
     kernel: str = "active",
+    traffic_mode: str = "predraw",
     on_result: Optional[Callable[[Dict[str, object]], None]] = None,
     stream_path: Optional[str] = None,
     resume: bool = False,
     **run_kwargs,
 ) -> List[Dict[str, object]]:
-    """Latency vs offered load for one mapped application, in parallel.
+    """Latency vs load for any registered workload, in parallel.
 
-    Returns one row per scale with per-design mean/p95 latency, accepted
-    throughput (flits/cycle), a saturation flag (the run failed to drain)
-    and how many flows were clamped at the injection-port limit.  See the
-    module docstring for the ``on_result``/``stream_path``/``resume``
-    streaming hooks.
+    ``loads`` defaults to the workload's own axis defaults (bandwidth
+    scales for apps, injection rates for patterns).  Returns one row per
+    load with per-design mean/p95 latency, accepted throughput
+    (flits/cycle), a saturation flag (the run failed to drain) and how
+    many flows were clamped at the injection-port limit.  See the module
+    docstring for the ``on_result``/``stream_path``/``resume`` streaming
+    hooks.
     """
+    spec = WorkloadSpec.of(workload)
+    target = get_workload(spec.name)
+    spec = dataclasses.replace(spec, name=target.name)
     base = cfg or NocConfig()
     kwargs = dict(DEFAULT_RUN_KWARGS)
     kwargs.update(run_kwargs)
+    points = tuple(loads) if loads is not None else target.default_loads
     jobs = _make_jobs(
-        designs, scales, seeds, base, kwargs, app=app, kernel=kernel
+        designs, points, seeds, base, kwargs,
+        workload=spec, kernel=kernel, traffic_mode=traffic_mode,
     )
-    raw = _run_jobs(jobs, processes, on_result, stream_path, resume)
-    return _aggregate(raw, designs, scales)
+    header = make_stream_header(spec, base, kernel, traffic_mode, kwargs)
+    raw = _run_jobs(jobs, processes, on_result, stream_path, resume, header)
+    return _aggregate(raw, designs, points)
+
+
+def run_load_sweep(
+    app: str = "VOPD",
+    designs: Sequence[str] = DESIGNS,
+    scales: Sequence[float] = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0),
+    **kwargs,
+) -> List[Dict[str, object]]:
+    """Latency vs offered load for one mapped application.
+
+    Back-compat wrapper over :func:`run_workload_sweep` with the app's
+    bandwidth-scale axis.
+    """
+    return run_workload_sweep(app, designs=designs, loads=scales, **kwargs)
 
 
 def run_pattern_sweep(
     pattern: str = "uniform",
     designs: Sequence[str] = ("mesh", "smart"),
     rates: Sequence[float] = (0.01, 0.02, 0.05, 0.1, 0.2),
-    seeds: Sequence[int] = (1,),
-    cfg: Optional[NocConfig] = None,
-    processes: Optional[int] = None,
-    kernel: str = "active",
-    on_result: Optional[Callable[[Dict[str, object]], None]] = None,
-    stream_path: Optional[str] = None,
-    resume: bool = False,
-    **run_kwargs,
+    **kwargs,
 ) -> List[Dict[str, object]]:
     """Latency vs per-node injection rate for a synthetic pattern.
 
-    Supports the same parallelism and streaming hooks as
-    :func:`run_load_sweep`.
+    Back-compat wrapper over :func:`run_workload_sweep`; the pattern now
+    flows through route selection and preset computation like any other
+    workload instead of being pinned to XY routes.
     """
-    base = cfg or NocConfig()
-    kwargs = dict(DEFAULT_RUN_KWARGS)
-    kwargs.update(run_kwargs)
-    jobs = _make_jobs(
-        designs, rates, seeds, base, kwargs, pattern=pattern, kernel=kernel
-    )
-    raw = _run_jobs(jobs, processes, on_result, stream_path, resume)
-    return _aggregate(raw, designs, rates)
+    return run_workload_sweep(pattern, designs=designs, loads=rates, **kwargs)
 
 
 def saturation_load(rows: List[Dict[str, object]], design: str) -> Optional[float]:

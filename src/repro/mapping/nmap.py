@@ -199,6 +199,20 @@ def _check_fits(graph: TaskGraph, mesh: Mesh) -> None:
         )
 
 
+def placed_from_mapping(graph: TaskGraph, mapping: Mapping) -> List[PlacedFlow]:
+    """Mapped task-graph edges as placed (but not yet routed) demands."""
+    return [
+        PlacedFlow(
+            flow_id=flow_id,
+            src=mapping[edge.src],
+            dst=mapping[edge.dst],
+            bandwidth_bps=edge.bandwidth_bps,
+            name="%s->%s" % (edge.src, edge.dst),
+        )
+        for flow_id, edge in enumerate(graph.edges)
+    ]
+
+
 def flows_from_mapping(
     graph: TaskGraph,
     mesh: Mesh,
@@ -206,17 +220,7 @@ def flows_from_mapping(
     turn_model: TurnModel = TurnModel.WEST_FIRST,
 ) -> List[Flow]:
     """Turn mapped task-graph edges into routed flows."""
-    placed = []
-    for flow_id, edge in enumerate(graph.edges):
-        placed.append(
-            PlacedFlow(
-                flow_id=flow_id,
-                src=mapping[edge.src],
-                dst=mapping[edge.dst],
-                bandwidth_bps=edge.bandwidth_bps,
-                name="%s->%s" % (edge.src, edge.dst),
-            )
-        )
+    placed = placed_from_mapping(graph, mapping)
     return select_routes(mesh, placed, model=turn_model)
 
 

@@ -84,20 +84,60 @@ def path_legal(model: TurnModel, ports: Sequence[Port]) -> bool:
     )
 
 
-def enumerate_minimal_paths(mesh: Mesh, src: int, dst: int) -> List[Tuple[Port, ...]]:
-    """All minimal direction sequences from ``src`` to ``dst``.
+#: Cap on minimal-path enumeration: C(30, 15) on a 16x16 mesh is ~155M
+#: interleavings, far past useful route diversity.  Enumeration stops
+#: (deterministically, in sorted order) after this many paths.
+MAX_MINIMAL_PATHS = 4096
 
-    Returns direction tuples without the trailing CORE ejection.
+
+def enumerate_minimal_paths(
+    mesh: Mesh, src: int, dst: int, limit: int = MAX_MINIMAL_PATHS
+) -> List[Tuple[Port, ...]]:
+    """Minimal direction sequences from ``src`` to ``dst``, sorted.
+
+    A minimal path interleaves a fixed multiset of X steps and Y steps,
+    so the distinct paths are the C(hops, x_hops) choices of X-step
+    positions — enumerated directly (never via permutations of the step
+    list, which explodes factorially on long paths) and capped at
+    ``limit`` for very long/diverse pairs.  Returns direction tuples
+    without the trailing CORE ejection.
     """
     if src == dst:
         raise ValueError("no path needed from a node to itself")
     sx, sy = mesh.coords(src)
     dx, dy = mesh.coords(dst)
-    x_steps = [Port.EAST if dx > sx else Port.WEST] * abs(dx - sx)
-    y_steps = [Port.NORTH if dy > sy else Port.SOUTH] * abs(dy - sy)
-    steps = x_steps + y_steps
-    unique = set(itertools.permutations(steps))
-    return sorted(unique, key=lambda path: tuple(p.value for p in path))
+    x_step = Port.EAST if dx > sx else Port.WEST
+    y_step = Port.NORTH if dy > sy else Port.SOUTH
+    nx, ny = abs(dx - sx), abs(dy - sy)
+    hops = nx + ny
+    # Paths sort by per-step Port.value; place the smaller-valued step in
+    # the combination slots so generation order matches sorted order.
+    first, second, k = (
+        (x_step, y_step, nx) if x_step.value <= y_step.value else (y_step, x_step, ny)
+    )
+    paths: List[Tuple[Port, ...]] = []
+    for positions in itertools.combinations(range(hops), k):
+        path = [second] * hops
+        for pos in positions:
+            path[pos] = first
+        paths.append(tuple(path))
+        if len(paths) >= limit:
+            break
+    return paths
+
+
+def _canonical_orders(mesh: Mesh, src: int, dst: int) -> List[Tuple[Port, ...]]:
+    """The two dimension-ordered minimal paths (x-then-y, y-then-x).
+
+    Every implemented turn model admits at least one of them: x-then-y
+    for XY, WEST_FIRST and NORTH_LAST; y-then-x covers NEGATIVE_FIRST's
+    prohibited east-into-south turn.
+    """
+    sx, sy = mesh.coords(src)
+    dx, dy = mesh.coords(dst)
+    x_steps = (Port.EAST if dx > sx else Port.WEST,) * abs(dx - sx)
+    y_steps = (Port.NORTH if dy > sy else Port.SOUTH,) * abs(dy - sy)
+    return [x_steps + y_steps, y_steps + x_steps]
 
 
 def legal_minimal_routes(
@@ -109,6 +149,16 @@ def legal_minimal_routes(
         for path in enumerate_minimal_paths(mesh, src, dst)
         if path_legal(model, path)
     ]
+    if not routes:
+        # On long paths the MAX_MINIMAL_PATHS cap can cut off every
+        # legal interleaving (e.g. west-first's single legal W..WS..S
+        # ordering sorts last); the dimension-ordered canonical paths
+        # are always available as a fallback.
+        routes = [
+            path + (Port.CORE,)
+            for path in _canonical_orders(mesh, src, dst)
+            if path_legal(model, path)
+        ]
     if not routes:
         raise RuntimeError(
             "turn model %s admits no minimal route %d->%d (cannot happen "

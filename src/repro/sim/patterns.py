@@ -3,11 +3,22 @@
 The paper evaluates SMART on six SoC task graphs; circuit-switched NoC
 follow-ups (ArSMART, SDM circuit switching) additionally characterise
 designs with classic synthetic patterns swept to saturation.  This module
-generates static flow sets for those patterns on any ``width x height``
-mesh, routed XY (deadlock-free), at a per-node injection rate expressed in
+generates the *demand sets* for those patterns on any ``width x height``
+mesh: :func:`pattern_pairs` yields placed ``(src, dst, weight)`` demands
+(``weight`` is the fraction of the per-node injection rate the demand
+carries — 1.0 except for composite mixes), and :func:`synthetic_flows`
+turns them into XY-routed flows at a per-node injection rate expressed in
 packets/cycle.
 
-Patterns (``src`` has coordinates ``(x, y)`` on a ``W x H`` mesh):
+The XY routes of :func:`synthetic_flows` are the quick, standalone path
+(deadlock-free, zero choice).  The full paper pipeline — conflict-
+minimising turn-model route selection followed by SMART preset
+computation — is what :mod:`repro.workloads` applies to these same
+demand sets; prefer that layer whenever a pattern is meant to be
+*evaluated* rather than merely generated.
+
+Patterns (``src`` has coordinates ``(x, y)`` on a ``W x H`` mesh; node
+indices are row-major, ``node = y*W + x``):
 
 * ``uniform`` — each source picks one destination uniformly at random
   (seeded, excludes itself).
@@ -18,19 +29,39 @@ Patterns (``src`` has coordinates ``(x, y)`` on a ``W x H`` mesh):
   meshes.
 * ``hotspot`` — every other node sends to one hotspot node (default: the
   most central node), the worst case for ejection-port serialisation.
+* ``shuffle`` — perfect shuffle on the node index: rotate the ``b``-bit
+  index left by one (``d_i = s_{(i-1) mod b}``); needs a power-of-two
+  node count; fixed points (all-zeros, all-ones) generate no traffic.
+* ``bit_reverse`` — reverse the ``b``-bit node index; needs a
+  power-of-two node count; palindromic indices generate no traffic.
+* ``background_hotspot`` — composite mix: uniform background carrying
+  :data:`BACKGROUND_FRACTION` of the per-node rate plus a hotspot
+  overlay carrying the rest.
 """
 
 from __future__ import annotations
 
 import random
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.config import NocConfig
 from repro.sim.flow import Flow, xy_route
 from repro.sim.topology import Mesh
 
 #: Supported synthetic pattern names.
-PATTERNS = ("uniform", "transpose", "bit_complement", "hotspot")
+PATTERNS = (
+    "uniform",
+    "transpose",
+    "bit_complement",
+    "hotspot",
+    "shuffle",
+    "bit_reverse",
+    "background_hotspot",
+)
+
+#: Fraction of the per-node rate carried by the uniform background in the
+#: ``background_hotspot`` mix (the remainder goes to the hotspot overlay).
+BACKGROUND_FRACTION = 0.8
 
 
 def bandwidth_for_injection_rate(cfg: NocConfig, rate: float) -> float:
@@ -41,6 +72,117 @@ def bandwidth_for_injection_rate(cfg: NocConfig, rate: float) -> float:
     return bits_per_cycle * cfg.freq_hz / 8.0
 
 
+def _index_bits(mesh: Mesh, pattern: str) -> int:
+    """Bit width of the node index; raises unless it is a power of two."""
+    n = mesh.num_nodes
+    if n < 2 or n & (n - 1):
+        raise ValueError(
+            "%s needs a power-of-two node count, got %d (%dx%d mesh)"
+            % (pattern, n, mesh.width, mesh.height)
+        )
+    return n.bit_length() - 1
+
+
+def _uniform_pairs(mesh: Mesh, seed: int) -> List[Tuple[int, int]]:
+    rng = random.Random(seed)
+    others = list(mesh.nodes())
+    pairs = []
+    for src in mesh.nodes():
+        dst = src
+        while dst == src:
+            dst = others[rng.randrange(len(others))]
+        pairs.append((src, dst))
+    return pairs
+
+
+def _hotspot_pairs(mesh: Mesh, hotspot_node: Optional[int]) -> List[Tuple[int, int]]:
+    if hotspot_node is None:
+        hotspot_node = mesh.center_nodes()[0]
+    if not 0 <= hotspot_node < mesh.num_nodes:
+        raise ValueError("hotspot node %d outside mesh" % hotspot_node)
+    return [(src, hotspot_node) for src in mesh.nodes() if src != hotspot_node]
+
+
+def pattern_pairs(
+    pattern: str,
+    mesh: Mesh,
+    seed: int = 1,
+    hotspot_node: Optional[int] = None,
+    background_fraction: float = BACKGROUND_FRACTION,
+) -> List[Tuple[int, int, float]]:
+    """Placed ``(src, dst, weight)`` demands for one pattern on ``mesh``.
+
+    ``weight`` is the fraction of the per-node injection rate the demand
+    carries: 1.0 for the simple patterns, and the background/overlay
+    split for ``background_hotspot``.  Self-loops (pattern fixed points)
+    are dropped — those nodes generate no traffic.
+
+    Args:
+        pattern: One of :data:`PATTERNS`.
+        mesh: Target mesh (supplies dimensions and node indexing).
+        seed: RNG seed for the ``uniform`` destination draw (also used by
+            the uniform background of ``background_hotspot``).
+        hotspot_node: Destination for the ``hotspot`` pattern and the
+            hotspot overlay (default: the most central node).
+        background_fraction: Per-node rate fraction of the uniform
+            background in ``background_hotspot`` (must be in (0, 1)).
+    """
+    if pattern not in PATTERNS:
+        raise ValueError(
+            "unknown pattern %r (have %s)" % (pattern, ", ".join(PATTERNS))
+        )
+    if pattern == "uniform":
+        pairs = _uniform_pairs(mesh, seed)
+    elif pattern == "transpose":
+        if mesh.width != mesh.height:
+            raise ValueError(
+                "transpose needs a square mesh, got %dx%d"
+                % (mesh.width, mesh.height)
+            )
+        pairs = []
+        for src in mesh.nodes():
+            x, y = mesh.coords(src)
+            dst = mesh.node_at(y, x)
+            if dst != src:
+                pairs.append((src, dst))
+    elif pattern == "bit_complement":
+        pairs = []
+        for src in mesh.nodes():
+            x, y = mesh.coords(src)
+            dst = mesh.node_at(mesh.width - 1 - x, mesh.height - 1 - y)
+            if dst != src:
+                pairs.append((src, dst))
+    elif pattern == "hotspot":
+        pairs = _hotspot_pairs(mesh, hotspot_node)
+    elif pattern == "shuffle":
+        bits = _index_bits(mesh, pattern)
+        mask = mesh.num_nodes - 1
+        pairs = []
+        for src in mesh.nodes():
+            dst = ((src << 1) | (src >> (bits - 1))) & mask
+            if dst != src:
+                pairs.append((src, dst))
+    elif pattern == "bit_reverse":
+        bits = _index_bits(mesh, pattern)
+        pairs = []
+        for src in mesh.nodes():
+            dst = int(format(src, "0%db" % bits)[::-1], 2)
+            if dst != src:
+                pairs.append((src, dst))
+    else:  # background_hotspot: uniform background + hotspot overlay
+        if not 0.0 < background_fraction < 1.0:
+            raise ValueError(
+                "background fraction must be in (0, 1), got %g"
+                % background_fraction
+            )
+        overlay = 1.0 - background_fraction
+        return (
+            [(s, d, background_fraction) for s, d in _uniform_pairs(mesh, seed)]
+            + [(s, d, overlay) for s, d in _hotspot_pairs(mesh, hotspot_node)]
+        )
+    return [(src, dst, 1.0) for src, dst in pairs]
+
+
 def synthetic_flows(
     pattern: str,
     cfg: NocConfig,
@@ -48,64 +190,29 @@ def synthetic_flows(
     seed: int = 1,
     hotspot_node: Optional[int] = None,
 ) -> List[Flow]:
-    """Build the flow set for one synthetic pattern on ``cfg``'s mesh.
+    """Build the XY-routed flow set for one synthetic pattern.
 
     Args:
         pattern: One of :data:`PATTERNS`.
         cfg: Supplies mesh dimensions and the rate-to-bandwidth scaling.
-        injection_rate: Packets/cycle injected by each sourcing node.
+        injection_rate: Packets/cycle injected by each sourcing node
+            (split across its demands by their weights).
         seed: RNG seed for the ``uniform`` destination draw.
         hotspot_node: Destination for the ``hotspot`` pattern (default:
             the most central node of the mesh).
     """
-    if pattern not in PATTERNS:
-        raise ValueError(
-            "unknown pattern %r (have %s)" % (pattern, ", ".join(PATTERNS))
-        )
     mesh = Mesh(cfg.width, cfg.height)
     bandwidth = bandwidth_for_injection_rate(cfg, injection_rate)
-    pairs = []
-    if pattern == "uniform":
-        rng = random.Random(seed)
-        others = list(mesh.nodes())
-        for src in mesh.nodes():
-            dst = src
-            while dst == src:
-                dst = others[rng.randrange(len(others))]
-            pairs.append((src, dst))
-    elif pattern == "transpose":
-        if mesh.width != mesh.height:
-            raise ValueError(
-                "transpose needs a square mesh, got %dx%d"
-                % (mesh.width, mesh.height)
-            )
-        for src in mesh.nodes():
-            x, y = mesh.coords(src)
-            dst = mesh.node_at(y, x)
-            if dst != src:
-                pairs.append((src, dst))
-    elif pattern == "bit_complement":
-        for src in mesh.nodes():
-            x, y = mesh.coords(src)
-            dst = mesh.node_at(mesh.width - 1 - x, mesh.height - 1 - y)
-            if dst != src:
-                pairs.append((src, dst))
-    else:  # hotspot
-        if hotspot_node is None:
-            hotspot_node = mesh.center_nodes()[0]
-        if not 0 <= hotspot_node < mesh.num_nodes:
-            raise ValueError("hotspot node %d outside mesh" % hotspot_node)
-        for src in mesh.nodes():
-            if src != hotspot_node:
-                pairs.append((src, hotspot_node))
     return [
         Flow(
             flow_id=i,
             src=src,
             dst=dst,
-            bandwidth_bps=bandwidth,
+            bandwidth_bps=weight * bandwidth,
             route=xy_route(mesh, src, dst),
             name="%s:%d->%d" % (pattern, src, dst),
         )
-        for i, (src, dst) in enumerate(pairs)
+        for i, (src, dst, weight) in enumerate(
+            pattern_pairs(pattern, mesh, seed=seed, hotspot_node=hotspot_node)
+        )
     ]

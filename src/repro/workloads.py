@@ -1,0 +1,368 @@
+"""Unified workload layer: SoC apps and synthetic patterns, one pipeline.
+
+The paper's SMART presets exist to turn *known* traffic into bypass
+chains, and its evaluation flow for the SoC applications is
+
+    task graph -> NMAP placement -> turn-model route selection
+               -> SMART preset computation -> cycle-accurate simulation.
+
+This module makes that flow available to *every* traffic source.  A
+:class:`Workload` yields placed ``(src, dst, bandwidth)`` demands
+(:class:`~repro.mapping.route_select.PlacedFlow`); the shared pipeline
+then routes them with the same conflict-minimising turn-model route
+selection (:func:`repro.mapping.route_select.select_routes`) the apps
+use, so synthetic patterns acquire real bypass chains instead of being
+hard-wired to XY — the prerequisite for the ArSMART/SDM-style
+pattern-to-saturation comparisons.
+
+Three workload kinds live in one registry (:data:`WORKLOADS`):
+
+* :class:`AppWorkload` — the eight §VI task graphs.  ``load`` is a
+  bandwidth scale factor on the mapped flows (the paper's saturation
+  axis).
+* :class:`PatternWorkload` — synthetic patterns from
+  :mod:`repro.sim.patterns` on any mesh size.  Demands carry the
+  bandwidth of **1 packet/cycle/node**, so ``load`` *is* the per-node
+  injection rate in packets/cycle.
+* :class:`CompositeWorkload` — sums the demand sets of sub-workloads,
+  each scaled by a fraction of the per-node rate (the registered
+  ``background_hotspot`` mix is uniform background + hotspot overlay).
+
+:class:`WorkloadSpec` is the small picklable handle sweep jobs carry
+across process boundaries; workers rebuild (and memoise) the routed flow
+set locally via :func:`build_workload`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.apps.registry import PAPER_APP_ORDER, evaluation_task_graph
+from repro.config import NocConfig
+from repro.mapping.nmap import map_application, nmap_modified, placed_from_mapping
+from repro.mapping.route_select import PlacedFlow, select_routes
+from repro.mapping.turn_model import TurnModel
+from repro.sim.flow import Flow
+from repro.sim.patterns import (
+    BACKGROUND_FRACTION,
+    PATTERNS,
+    bandwidth_for_injection_rate,
+    pattern_pairs,
+)
+from repro.sim.topology import Mesh
+from repro.sim.traffic import RateScaledTraffic
+
+#: How a workload's ``load`` axis is interpreted.
+LOAD_AXES = ("bandwidth_scale", "injection_rate")
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadSpec:
+    """Picklable, hashable handle for a registered workload.
+
+    ``params`` is a sorted tuple of (name, value) pairs forwarded to the
+    workload's demand generator (e.g. ``hotspot_node``, ``turn_model``);
+    keeping it a tuple makes the spec usable as an ``lru_cache`` key and
+    cheap to ship to pool workers.
+    """
+
+    name: str
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    @classmethod
+    def of(
+        cls, workload: Union[str, "WorkloadSpec"], **params: object
+    ) -> "WorkloadSpec":
+        """Coerce a name or spec (plus overrides) into a spec."""
+        if isinstance(workload, WorkloadSpec):
+            if not params:
+                return workload
+            merged = dict(workload.params)
+            merged.update(params)
+            return cls(workload.name, tuple(sorted(merged.items())))
+        return cls(str(workload), tuple(sorted(params.items())))
+
+    @property
+    def options(self) -> Dict[str, object]:
+        return dict(self.params)
+
+    def describe(self) -> str:
+        if not self.params:
+            return self.name
+        return "%s(%s)" % (
+            self.name,
+            ", ".join("%s=%r" % item for item in self.params),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class BuiltWorkload:
+    """A workload realised on a concrete mesh: routed flows + metadata.
+
+    ``flows`` carry the workload's *base* bandwidths; the load axis is
+    applied by the traffic model (:meth:`traffic`), never baked into the
+    flow set — which is what lets one build serve a whole load sweep.
+    """
+
+    name: str
+    load_axis: str
+    flows: Tuple[Flow, ...]
+    #: task -> node placement, for app workloads (None otherwise).
+    mapping: Optional[Dict[str, int]] = None
+
+    def traffic(
+        self,
+        cfg: NocConfig,
+        load: float = 1.0,
+        seed: int = 1,
+        mode: str = "predraw",
+    ) -> RateScaledTraffic:
+        """Injection process driving this workload at ``load``.
+
+        ``load`` multiplies the base bandwidths: a bandwidth scale factor
+        for apps, the per-node packets/cycle rate for patterns (whose
+        base flows carry exactly 1 packet/cycle/node).  Rates past one
+        packet/cycle clamp at the injection port.
+        """
+        return RateScaledTraffic(cfg, self.flows, scale=load, seed=seed, mode=mode)
+
+
+class Workload:
+    """Base class: placed demands plus the shared routing pipeline."""
+
+    kind = "workload"
+    load_axis = "injection_rate"
+    default_loads: Tuple[float, ...] = (0.01, 0.02, 0.05, 0.1, 0.2)
+    #: Drive level for single-point runs (CLI `run`, ablations): a light
+    #: rate well below saturation on the paper's meshes.
+    default_load = 0.05
+    #: Whether the demand set itself depends on the seed (e.g. the
+    #: uniform pattern's destination draw).  Seed-insensitive workloads
+    #: are built once per worker and shared across every sweep seed.
+    seed_sensitive = False
+    description = ""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def placed(self, cfg: NocConfig, seed: int = 0, **params) -> List[PlacedFlow]:
+        """Placed (src, dst, bandwidth) demands on ``cfg``'s mesh."""
+        raise NotImplementedError
+
+    def build(
+        self,
+        cfg: NocConfig,
+        seed: int = 0,
+        turn_model: TurnModel = TurnModel.WEST_FIRST,
+        **params,
+    ) -> BuiltWorkload:
+        """Demands -> conflict-minimising turn-model routes."""
+        mesh = Mesh(cfg.width, cfg.height)
+        placed = self.placed(cfg, seed=seed, **params)
+        flows = select_routes(mesh, placed, model=turn_model)
+        return BuiltWorkload(self.name, self.load_axis, tuple(flows))
+
+
+class AppWorkload(Workload):
+    """One of the paper's SoC task graphs, placed by (modified) NMAP."""
+
+    kind = "app"
+    load_axis = "bandwidth_scale"
+    default_loads = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+    default_load = 1.0  # the mapped bandwidths as specified
+    description = "SoC task graph (NMAP placement; load = x mapped bandwidth)"
+
+    def placed(
+        self,
+        cfg: NocConfig,
+        seed: int = 0,
+        **params,
+    ) -> List[PlacedFlow]:
+        graph = evaluation_task_graph(self.name)
+        mesh = Mesh(cfg.width, cfg.height)
+        return placed_from_mapping(graph, nmap_modified(graph, mesh))
+
+    def build(
+        self,
+        cfg: NocConfig,
+        seed: int = 0,
+        turn_model: TurnModel = TurnModel.WEST_FIRST,
+        algorithm: str = "nmap_modified",
+        **params,
+    ) -> BuiltWorkload:
+        graph = evaluation_task_graph(self.name)
+        mesh = Mesh(cfg.width, cfg.height)
+        mapping, flows = map_application(
+            graph, mesh, algorithm=algorithm, turn_model=turn_model, seed=seed
+        )
+        return BuiltWorkload(
+            self.name, self.load_axis, tuple(flows), mapping=mapping
+        )
+
+
+class PatternWorkload(Workload):
+    """A synthetic pattern whose demands carry 1 packet/cycle/node."""
+
+    kind = "pattern"
+    load_axis = "injection_rate"
+    description = "synthetic pattern (load = packets/cycle/node)"
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self.seed_sensitive = name == "uniform"
+
+    def placed(self, cfg: NocConfig, seed: int = 0, **params) -> List[PlacedFlow]:
+        mesh = Mesh(cfg.width, cfg.height)
+        unit = bandwidth_for_injection_rate(cfg, 1.0)
+        return [
+            PlacedFlow(
+                flow_id=i,
+                src=src,
+                dst=dst,
+                bandwidth_bps=weight * unit,
+                name="%s:%d->%d" % (self.name, src, dst),
+            )
+            for i, (src, dst, weight) in enumerate(
+                pattern_pairs(self.name, mesh, seed=seed, **params)
+            )
+        ]
+
+
+class CompositeWorkload(Workload):
+    """Sum of sub-workload demand sets, each scaled by a rate fraction.
+
+    Components are ``(workload_name, fraction)`` pairs whose fractions
+    split the per-node rate: a node sourcing in every component injects
+    the full per-node rate, divided across the components.
+    """
+
+    kind = "composite"
+    load_axis = "injection_rate"
+
+    def __init__(
+        self,
+        name: str,
+        components: Sequence[Tuple[str, float]],
+        description: str = "",
+    ):
+        super().__init__(name)
+        if not components:
+            raise ValueError("composite workload needs at least one component")
+        total = sum(fraction for _name, fraction in components)
+        if any(f <= 0 for _n, f in components) or abs(total - 1.0) > 1e-9:
+            raise ValueError(
+                "component fractions must be positive and sum to 1, got %r"
+                % (list(components),)
+            )
+        self.components = tuple(components)
+        self.description = description or "composite of %s" % " + ".join(
+            "%s@%g" % item for item in self.components
+        )
+
+    @property
+    def seed_sensitive(self) -> bool:
+        return any(
+            get_workload(name).seed_sensitive for name, _f in self.components
+        )
+
+    def placed(self, cfg: NocConfig, seed: int = 0, **params) -> List[PlacedFlow]:
+        demands: List[PlacedFlow] = []
+        for name, fraction in self.components:
+            for pf in get_workload(name).placed(cfg, seed=seed, **params):
+                demands.append(
+                    PlacedFlow(
+                        flow_id=len(demands),
+                        src=pf.src,
+                        dst=pf.dst,
+                        bandwidth_bps=pf.bandwidth_bps * fraction,
+                        name=pf.name,
+                    )
+                )
+        return demands
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+#: All registered workloads, keyed by name.
+WORKLOADS: Dict[str, Workload] = {}
+
+
+def register_workload(workload: Workload, replace: bool = False) -> Workload:
+    """Add a workload to the registry (names must be unique)."""
+    if workload.name in WORKLOADS and not replace:
+        raise ValueError("workload %r already registered" % workload.name)
+    WORKLOADS[workload.name] = workload
+    return workload
+
+
+for _app in PAPER_APP_ORDER:
+    register_workload(AppWorkload(_app))
+for _pattern in PATTERNS:
+    if _pattern != "background_hotspot":
+        register_workload(PatternWorkload(_pattern))
+register_workload(
+    CompositeWorkload(
+        "background_hotspot",
+        (("uniform", BACKGROUND_FRACTION), ("hotspot", 1.0 - BACKGROUND_FRACTION)),
+        description="uniform background (%.0f%% of rate) + hotspot overlay"
+        % (100 * BACKGROUND_FRACTION),
+    )
+)
+
+
+def workload_names() -> List[str]:
+    """Registered names: apps in paper order, then patterns/composites."""
+    apps = [name for name in PAPER_APP_ORDER if name in WORKLOADS]
+    rest = sorted(name for name in WORKLOADS if name not in PAPER_APP_ORDER)
+    return apps + rest
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a workload by name (app names are case-insensitive)."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        pass
+    upper = str(name).upper()
+    if upper in WORKLOADS:
+        return WORKLOADS[upper]
+    raise ValueError(
+        "unknown workload %r (have %s)" % (name, ", ".join(workload_names()))
+    )
+
+
+def build_seed_for(workload: Union[str, WorkloadSpec], seed: int) -> int:
+    """The seed a workload build actually depends on.
+
+    Seed-insensitive workloads (apps, deterministic permutations) always
+    build with seed 0, so per-worker memoisation shares one flow set
+    across every sweep seed; seed-sensitive ones (uniform draws) build
+    per seed — the fix for the uniform pattern being pinned to one
+    destination draw across all sweep seeds.
+    """
+    spec = WorkloadSpec.of(workload)
+    return seed if get_workload(spec.name).seed_sensitive else 0
+
+
+def build_workload(
+    workload: Union[str, WorkloadSpec], cfg: NocConfig, seed: int = 0
+) -> BuiltWorkload:
+    """Run the shared pipeline: registry -> demands -> selected routes.
+
+    Spec params are forwarded to the workload; the reserved
+    ``turn_model`` param (a :class:`TurnModel` or its string value)
+    overrides the route-selection model — e.g. ``turn_model="xy"``
+    forces single-path XY routing for comparisons.
+    """
+    spec = WorkloadSpec.of(workload)
+    target = get_workload(spec.name)
+    params = spec.options
+    model = params.pop("turn_model", None)
+    if model is not None:
+        params["turn_model"] = (
+            model if isinstance(model, TurnModel) else TurnModel(model)
+        )
+    return target.build(cfg, seed=seed, **params)

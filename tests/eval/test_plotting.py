@@ -1,0 +1,85 @@
+"""Sweep plotting tests (rendering is skipped without matplotlib)."""
+
+import pytest
+
+from repro.eval.plotting import (
+    matplotlib_available,
+    plot_sweep_stream,
+    sweep_curves,
+)
+from repro.eval.sweeps import run_load_sweep
+from repro.sim.stats import LatencySummary
+
+_TINY = dict(warmup_cycles=100, measure_cycles=800, drain_limit=4000)
+
+
+def _point(design, load, seed, latency, saturated=False, count=10):
+    return {
+        "design": design,
+        "load": load,
+        "seed": seed,
+        "summary": LatencySummary(
+            count=count, mean_head_latency=latency,
+            mean_packet_latency=latency + 7, mean_network_latency=latency - 1,
+            p95_head_latency=latency + 2, max_head_latency=latency + 5,
+            min_head_latency=max(latency - 5, 1),
+        ),
+        "throughput": 0.5,
+        "saturated": saturated,
+        "clamped_flows": 0,
+    }
+
+
+class TestSweepCurves:
+    def test_groups_by_design_sorted_by_load(self):
+        curves = sweep_curves([
+            _point("mesh", 2.0, 1, 20.0),
+            _point("mesh", 1.0, 1, 10.0),
+            _point("smart", 1.0, 1, 5.0),
+        ])
+        assert [load for load, _lat, _sat in curves["mesh"]] == [1.0, 2.0]
+        assert curves["smart"][0][1] == pytest.approx(5.0)
+
+    def test_seeds_pool_count_weighted(self):
+        curves = sweep_curves([
+            _point("mesh", 1.0, 1, 10.0, count=2),
+            _point("mesh", 1.0, 2, 20.0, count=6),
+        ])
+        ((load, latency, saturated),) = curves["mesh"]
+        assert load == 1.0
+        assert latency == pytest.approx(17.5)
+        assert saturated is False
+
+    def test_saturation_is_sticky_across_seeds(self):
+        curves = sweep_curves([
+            _point("mesh", 1.0, 1, 10.0, saturated=False),
+            _point("mesh", 1.0, 2, 90.0, saturated=True),
+        ])
+        assert curves["mesh"][0][2] is True
+
+
+class TestPlotRendering:
+    def test_plot_raises_cleanly_without_matplotlib(self, tmp_path):
+        if matplotlib_available():
+            pytest.skip("matplotlib installed; gating not exercised")
+        with pytest.raises(RuntimeError, match="matplotlib"):
+            plot_sweep_stream(str(tmp_path / "missing.jsonl"))
+
+    def test_plot_renders_png_from_stream(self, tmp_path):
+        pytest.importorskip("matplotlib")
+        path = str(tmp_path / "stream.jsonl")
+        run_load_sweep(
+            app="PIP", designs=("dedicated",), scales=(1.0, 4.0), seeds=(1,),
+            processes=0, stream_path=path, **_TINY,
+        )
+        out = plot_sweep_stream(path)
+        assert out == str(tmp_path / "stream.png")
+        with open(out, "rb") as fh:
+            assert fh.read(8).startswith(b"\x89PNG")
+
+    def test_empty_stream_rejected(self, tmp_path):
+        pytest.importorskip("matplotlib")
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="no grid points"):
+            plot_sweep_stream(str(path))

@@ -12,15 +12,20 @@ from repro.eval.sweeps import (
     _point_from_json,
     _point_to_json,
     _run_job,
-    _worker_mapped_flows,
+    _worker_workload,
     format_sweep_rows,
+    make_stream_header,
+    read_sweep_header,
     read_sweep_stream,
     run_load_sweep,
     run_pattern_sweep,
+    run_workload_sweep,
     saturation_load,
+    sweep_spec_hash,
     write_sweep_json,
 )
 from repro.sim.stats import LatencySummary, aggregate_summaries
+from repro.workloads import WorkloadSpec
 
 _TINY = dict(warmup_cycles=100, measure_cycles=800, drain_limit=4000)
 
@@ -68,6 +73,35 @@ class TestLoadSweep:
         # Pooled count covers both replications.
         assert row["smart_thrpt"] == pytest.approx(single["smart_thrpt"], rel=0.5)
 
+    def test_workload_path_matches_legacy_app_recipe(self):
+        """The WorkloadSpec pipeline reproduces the old run_load_sweep
+        path exactly: same flows (NMAP + west-first route selection),
+        same RateScaledTraffic, bit-identical rows."""
+        from repro.eval.ablations import mapped_flows
+        from repro.eval.designs import build_design
+        from repro.sim.stats import accepted_flits_per_cycle
+        from repro.sim.traffic import RateScaledTraffic
+
+        cfg = NocConfig()
+        rows = run_load_sweep(
+            app="PIP", designs=("smart",), scales=(1.0, 4.0), seeds=(1,),
+            processes=0, cfg=cfg, **_TINY,
+        )
+        for row in rows:
+            flows = list(mapped_flows("PIP", cfg))
+            traffic = RateScaledTraffic(
+                cfg, flows, scale=row["load"], seed=1, mode="predraw"
+            )
+            instance = build_design(
+                "smart", cfg, flows, traffic=traffic, kernel="active"
+            )
+            result = instance.run(**_TINY)
+            assert row["smart"] == result.summary.mean_head_latency
+            assert row["smart_p95"] == result.summary.p95_head_latency
+            assert row["smart_thrpt"] == accepted_flits_per_cycle(
+                result, cfg.flits_per_packet
+            )
+
 
 class TestPatternSweep:
     def test_pattern_sweep_runs(self):
@@ -83,12 +117,41 @@ class TestPatternSweep:
         assert all(row["mesh"] > 0 for row in rows)
         assert rows[1]["mesh"] >= rows[0]["mesh"]
 
+    def test_composite_and_new_patterns_sweep(self):
+        for workload in ("shuffle", "background_hotspot"):
+            rows = run_workload_sweep(
+                workload, designs=("smart",), loads=(0.02,), processes=0,
+                **_TINY,
+            )
+            assert rows[0]["smart"] > 0
+
+    def test_uniform_seeds_draw_distinct_flow_sets(self):
+        """The uniform destination draw must follow the sweep seed (it
+        used to be pinned to seed=1 for every grid point)."""
+        _worker_workload.cache_clear()
+        cfg = NocConfig()
+        spec = WorkloadSpec.of("uniform")
+        one = _worker_workload(spec, cfg, 1)
+        two = _worker_workload(spec, cfg, 2)
+        assert [(f.src, f.dst) for f in one.flows] != [
+            (f.src, f.dst) for f in two.flows
+        ]
+
+    def test_uniform_jobs_build_per_seed(self):
+        _worker_workload.cache_clear()
+        run_workload_sweep(
+            "uniform", designs=("dedicated",), loads=(0.01,), seeds=(1, 2),
+            processes=0, **_TINY,
+        )
+        info = _worker_workload.cache_info()
+        assert info.misses == 2  # one build per sweep seed
+
 
 class TestJobAndFormatting:
     def test_job_runs_dedicated_design(self):
         job = SweepJob(
             design="dedicated", load=1.0, seed=1, cfg=NocConfig(),
-            app="PIP", **_TINY,
+            workload=WorkloadSpec.of("PIP"), **_TINY,
         )
         point = _run_job(job)
         assert point["design"] == "dedicated"
@@ -104,6 +167,65 @@ class TestJobAndFormatting:
         (pretty,) = format_sweep_rows(rows)
         assert pretty["mesh"] == "12.50*"
         assert pretty["smart"] == "n/a"
+
+
+class TestStreamHeader:
+    def test_stream_starts_with_hashed_spec_header(self, tmp_path):
+        path = str(tmp_path / "stream.jsonl")
+        run_load_sweep(
+            app="PIP", designs=("dedicated",), scales=(1.0,), seeds=(1,),
+            processes=0, stream_path=path, **_TINY,
+        )
+        header = read_sweep_header(path)
+        assert header is not None
+        assert header["sweep_spec"]["workload"] == "PIP"
+        assert header["spec_hash"] == sweep_spec_hash(header["sweep_spec"])
+        # Points exclude the header line.
+        assert len(read_sweep_stream(path)) == 1
+
+    def test_hash_covers_workload_cfg_and_window(self):
+        spec = WorkloadSpec.of("PIP")
+        base = make_stream_header(spec, NocConfig(), "active", "predraw", _TINY)
+        for other in (
+            make_stream_header(
+                WorkloadSpec.of("VOPD"), NocConfig(), "active", "predraw", _TINY
+            ),
+            make_stream_header(
+                spec, NocConfig(width=8, height=8), "active", "predraw", _TINY
+            ),
+            make_stream_header(spec, NocConfig(), "legacy", "predraw", _TINY),
+            make_stream_header(
+                spec, NocConfig(), "active", "predraw",
+                dict(_TINY, measure_cycles=999),
+            ),
+        ):
+            assert other["spec_hash"] != base["spec_hash"]
+
+    def test_resume_refuses_incompatible_stream(self, tmp_path):
+        path = str(tmp_path / "stream.jsonl")
+        run_load_sweep(
+            app="PIP", designs=("dedicated",), scales=(1.0,), seeds=(1,),
+            processes=0, stream_path=path, **_TINY,
+        )
+        with pytest.raises(ValueError, match="refusing to resume"):
+            run_load_sweep(
+                app="VOPD", designs=("dedicated",), scales=(1.0,), seeds=(1,),
+                processes=0, stream_path=path, resume=True, **_TINY,
+            )
+
+    def test_headerless_legacy_stream_still_resumes(self, tmp_path):
+        path = str(tmp_path / "stream.jsonl")
+        kwargs = dict(
+            app="PIP", designs=("dedicated",), scales=(1.0,), seeds=(1,),
+            processes=0, **_TINY,
+        )
+        full = run_load_sweep(stream_path=path, **kwargs)
+        lines = open(path).readlines()
+        with open(path, "w") as fh:
+            fh.writelines(lines[1:])  # strip the header: legacy format
+        assert read_sweep_header(path) is None
+        resumed = run_load_sweep(stream_path=path, resume=True, **kwargs)
+        assert resumed == full
 
 
 class TestStreaming:
@@ -139,10 +261,11 @@ class TestStreaming:
             seeds=(1,), processes=0, **_TINY,
         )
         full = run_load_sweep(stream_path=path, **kwargs)
-        # Drop the second point to simulate an interrupted sweep.
+        # Drop the second point (line 3: header, point, point) to
+        # simulate an interrupted sweep.
         lines = open(path).readlines()
         with open(path, "w") as fh:
-            fh.write(lines[0])
+            fh.writelines(lines[:2])
         ran = []
         real_run_job = sweeps._run_job
 
@@ -177,8 +300,8 @@ class TestStreaming:
         full = run_load_sweep(stream_path=path, **kwargs)
         lines = open(path).readlines()
         with open(path, "w") as fh:
-            fh.write(lines[0])
-            fh.write(lines[1][: len(lines[1]) // 2])  # truncated write
+            fh.writelines(lines[:2])  # header + first point
+            fh.write(lines[2][: len(lines[2]) // 2])  # truncated write
         assert len(read_sweep_stream(path)) == 1
         resumed = run_load_sweep(stream_path=path, resume=True, **kwargs)
         assert resumed == full
@@ -192,8 +315,8 @@ class TestStreaming:
         )
         lines = open(path).readlines()
         with open(path, "w") as fh:
-            fh.write(lines[0][: len(lines[0]) // 2] + "\n")  # mid-file damage
-            fh.write(lines[1])
+            fh.write(lines[1][: len(lines[1]) // 2] + "\n")  # mid-file damage
+            fh.write(lines[2])
         with pytest.raises(json.JSONDecodeError):
             read_sweep_stream(path)
 
@@ -211,20 +334,31 @@ class TestStreaming:
 
 
 class TestWorkerFlowCache:
-    def test_mapping_computed_once_across_grid_points(self):
-        _worker_mapped_flows.cache_clear()
+    def test_workload_built_once_across_grid_points(self):
+        _worker_workload.cache_clear()
         run_load_sweep(
             app="PIP", designs=("dedicated",), scales=(1.0, 2.0, 4.0),
             seeds=(1,), processes=0, **_TINY,
         )
-        info = _worker_mapped_flows.cache_info()
+        info = _worker_workload.cache_info()
         assert info.misses == 1
         assert info.hits == 2
 
-    def test_cached_flows_are_reused_not_rebuilt(self):
+    def test_seed_insensitive_workload_shared_across_seeds(self):
+        """App placements don't depend on the sweep seed, so replicated
+        seeds reuse one build instead of re-running NMAP per seed."""
+        _worker_workload.cache_clear()
+        run_load_sweep(
+            app="PIP", designs=("dedicated",), scales=(1.0,),
+            seeds=(1, 2, 3), processes=0, **_TINY,
+        )
+        assert _worker_workload.cache_info().misses == 1
+
+    def test_cached_workloads_are_reused_not_rebuilt(self):
         cfg = NocConfig()
-        first = _worker_mapped_flows("PIP", cfg)
-        second = _worker_mapped_flows("PIP", cfg)
+        spec = WorkloadSpec.of("PIP")
+        first = _worker_workload(spec, cfg, 0)
+        second = _worker_workload(spec, cfg, 0)
         assert first is second
 
 

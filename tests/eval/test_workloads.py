@@ -1,0 +1,203 @@
+"""Unified workload layer: registry, pipeline, and route quality."""
+
+import pytest
+
+from repro.config import NocConfig
+from repro.eval.designs import build_workload_design
+from repro.mapping.turn_model import TurnModel, is_deadlock_free, path_legal
+from repro.sim.flow import xy_route
+from repro.sim.patterns import BACKGROUND_FRACTION, pattern_pairs
+from repro.sim.topology import Mesh
+from repro.workloads import (
+    WORKLOADS,
+    WorkloadSpec,
+    build_seed_for,
+    build_workload,
+    get_workload,
+    workload_names,
+)
+
+
+class TestRegistry:
+    def test_all_apps_and_patterns_registered(self):
+        names = workload_names()
+        for app in ("VOPD", "H264", "PIP"):
+            assert app in names
+        for pattern in ("uniform", "transpose", "shuffle", "bit_reverse",
+                        "background_hotspot"):
+            assert pattern in names
+
+    def test_app_lookup_is_case_insensitive(self):
+        assert get_workload("vopd") is get_workload("VOPD")
+
+    def test_unknown_workload_rejected_with_listing(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            get_workload("butterfly")
+
+    def test_kinds_and_axes(self):
+        assert get_workload("VOPD").kind == "app"
+        assert get_workload("VOPD").load_axis == "bandwidth_scale"
+        assert get_workload("transpose").kind == "pattern"
+        assert get_workload("transpose").load_axis == "injection_rate"
+        assert get_workload("background_hotspot").kind == "composite"
+
+
+class TestWorkloadSpec:
+    def test_of_coerces_and_merges(self):
+        spec = WorkloadSpec.of("hotspot", hotspot_node=3)
+        assert spec.name == "hotspot"
+        assert spec.options == {"hotspot_node": 3}
+        merged = WorkloadSpec.of(spec, hotspot_node=5)
+        assert merged.options == {"hotspot_node": 5}
+        assert WorkloadSpec.of(spec) is spec
+
+    def test_spec_is_hashable_and_describes_itself(self):
+        spec = WorkloadSpec.of("uniform")
+        assert hash(spec) == hash(WorkloadSpec.of("uniform"))
+        assert WorkloadSpec.of("hotspot", hotspot_node=3).describe() == (
+            "hotspot(hotspot_node=3)"
+        )
+
+
+class TestAppPipeline:
+    def test_app_build_matches_paper_mapping_flow(self, cfg):
+        """The workload pipeline reproduces mapped_flows exactly: same
+        NMAP placement, same west-first route selection."""
+        from repro.eval.ablations import mapped_flows
+
+        built = build_workload("VOPD", cfg)
+        assert built.flows == tuple(mapped_flows("VOPD", cfg))
+        assert built.mapping  # task -> node placement is exposed
+        assert built.load_axis == "bandwidth_scale"
+
+    def test_apps_are_seed_insensitive(self):
+        assert build_seed_for("VOPD", 7) == 0
+        assert build_seed_for("uniform", 7) == 7
+        assert build_seed_for("background_hotspot", 7) == 7
+
+
+class TestPatternPipeline:
+    def test_pattern_routes_are_turn_model_legal_and_deadlock_free(self):
+        cfg = NocConfig(width=8, height=8)
+        mesh = Mesh(8, 8)
+        for name in ("transpose", "shuffle", "bit_reverse"):
+            built = build_workload(name, cfg)
+            assert all(
+                path_legal(TurnModel.WEST_FIRST, f.route[:-1])
+                for f in built.flows
+            )
+            assert is_deadlock_free(mesh, built.flows)
+
+    def test_route_selection_deviates_from_xy_when_it_helps(self):
+        cfg = NocConfig(width=8, height=8)
+        mesh = Mesh(8, 8)
+        built = build_workload("transpose", cfg)
+        assert any(
+            f.route != xy_route(mesh, f.src, f.dst) for f in built.flows
+        )
+
+    def test_turn_model_param_forces_xy(self):
+        cfg = NocConfig(width=8, height=8)
+        mesh = Mesh(8, 8)
+        built = build_workload(WorkloadSpec.of("transpose", turn_model="xy"), cfg)
+        assert all(
+            f.route == xy_route(mesh, f.src, f.dst) for f in built.flows
+        )
+
+    def test_pattern_base_flows_carry_unit_rate(self, cfg):
+        built = build_workload("transpose", cfg)
+        for flow in built.flows:
+            assert cfg.flow_rate_packets_per_cycle(
+                flow.bandwidth_bps
+            ) == pytest.approx(1.0)
+
+    def test_traffic_applies_load_on_the_rate_axis(self, cfg):
+        built = build_workload("transpose", cfg)
+        traffic = built.traffic(cfg, load=0.05, seed=1)
+        for flow in built.flows:
+            assert traffic.rate(flow.flow_id) == pytest.approx(0.05)
+
+
+class TestBypassQuality:
+    def test_selected_routes_bypass_at_least_as_many_routers_as_xy(self):
+        """Pattern traffic through route selection must not lose bypass
+        coverage vs forced XY: on a transpose 8x8, at least as many
+        routers end up fully bypassed (traversed but never latching)."""
+        cfg = NocConfig(width=8, height=8)
+
+        def fully_bypassed(turn_model):
+            spec = WorkloadSpec.of("transpose", turn_model=turn_model)
+            instance = build_workload_design(spec, "smart", cfg=cfg, load=0.01)
+            crossed, stopped = set(), set()
+            for flow in instance.flows:
+                crossed.update(flow.routers(instance.mesh))
+                stopped.update(instance.presets.stops_for_flow(flow))
+            return crossed - stopped
+
+        assert len(fully_bypassed("west_first")) >= len(fully_bypassed("xy"))
+
+
+class TestComposite:
+    def test_background_hotspot_sums_component_demands(self, cfg):
+        """The composite's placed demands equal the pattern library's
+        own background+hotspot mix: same (src, dst, weighted bandwidth)
+        multiset."""
+        mesh = Mesh(cfg.width, cfg.height)
+        placed = get_workload("background_hotspot").placed(cfg, seed=3)
+        from repro.sim.patterns import bandwidth_for_injection_rate
+
+        unit = bandwidth_for_injection_rate(cfg, 1.0)
+        expected = sorted(
+            (s, d, w * unit)
+            for s, d, w in pattern_pairs("background_hotspot", mesh, seed=3)
+        )
+        got = sorted((p.src, p.dst, p.bandwidth_bps) for p in placed)
+        assert got == expected
+
+    def test_composite_flow_ids_are_unique(self, cfg):
+        built = build_workload("background_hotspot", cfg, seed=1)
+        ids = [f.flow_id for f in built.flows]
+        assert len(ids) == len(set(ids))
+
+    def test_bad_composite_fractions_rejected(self):
+        from repro.workloads import CompositeWorkload
+
+        with pytest.raises(ValueError, match="sum to 1"):
+            CompositeWorkload("broken", (("uniform", 0.5), ("hotspot", 0.2)))
+        with pytest.raises(ValueError):
+            CompositeWorkload("empty", ())
+
+
+class TestWorkloadExperiments:
+    def test_run_workload_on_a_pattern_produces_power_and_latency(self):
+        from repro.eval.experiments import run_workload
+
+        experiment = run_workload(
+            "transpose", "smart", load=0.02,
+            warmup_cycles=100, measure_cycles=800, drain_limit=4000,
+        )
+        assert experiment.app == "transpose"
+        assert experiment.mean_latency > 0
+        assert experiment.power.total_w > 0
+        assert experiment.mapping == {}
+
+    def test_run_workload_app_matches_run_app_defaults(self):
+        from repro.eval.experiments import run_app, run_workload
+
+        kwargs = dict(warmup_cycles=200, measure_cycles=2000, drain_limit=10000)
+        via_workload = run_workload("PIP", "smart", load=1.0, **kwargs)
+        via_app = run_app("PIP", "smart", **kwargs)
+        assert via_workload.mean_latency == via_app.mean_latency
+        assert via_workload.mapping == via_app.mapping
+
+    def test_hpc_sweep_accepts_patterns_on_any_mesh(self):
+        from repro.eval.ablations import hpc_sweep
+
+        rows = hpc_sweep(
+            "transpose", (1, 8), cfg=NocConfig(width=8, height=8),
+            load=0.01, warmup_cycles=100, measure_cycles=800,
+            drain_limit=4000,
+        )
+        assert rows[0]["workload"] == "transpose"
+        assert rows[0]["mean_latency"] >= rows[1]["mean_latency"]
+        assert rows[1]["forced_stops"] <= rows[0]["forced_stops"]

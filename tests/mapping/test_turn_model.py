@@ -78,6 +78,29 @@ class TestPathEnumeration:
         assert path_legal(TurnModel.XY, (Port.EAST, Port.NORTH))
         assert not path_legal(TurnModel.XY, (Port.NORTH, Port.EAST))
 
+    def test_enumeration_is_capped_not_factorial(self):
+        # 30-hop pair on a 16x16 mesh: C(30,15) ~ 155M interleavings,
+        # but enumeration must stop at the cap (and return quickly).
+        from repro.mapping.turn_model import MAX_MINIMAL_PATHS
+
+        mesh = Mesh(16, 16)
+        paths = enumerate_minimal_paths(mesh, 255, 0)
+        assert len(paths) == MAX_MINIMAL_PATHS
+
+    @pytest.mark.parametrize("model", list(TurnModel))
+    def test_long_paths_keep_a_legal_route_despite_the_cap(self, model):
+        """On a 16x16 mesh a west+south (or east+south) pair's only
+        legal ordering can sort past the enumeration cap; the canonical
+        fallback must still yield a legal minimal route."""
+        mesh = Mesh(16, 16)
+        for src, dst in ((255, 0), (240, 15), (0, 255), (15, 240)):
+            routes = legal_minimal_routes(mesh, src, dst, model)
+            assert routes
+            for route in routes:
+                assert path_legal(model, route[:-1])
+                assert route[-1] is Port.CORE
+                Flow(0, src, dst, 1.0, route).routers(mesh)  # mesh-legal
+
 
 class TestDeadlockFreedom:
     def test_cyclic_routes_detected(self, mesh):

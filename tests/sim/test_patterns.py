@@ -7,8 +7,10 @@ import pytest
 from repro.config import NocConfig
 from repro.sim.flow import validate_flow_set
 from repro.sim.patterns import (
+    BACKGROUND_FRACTION,
     PATTERNS,
     bandwidth_for_injection_rate,
+    pattern_pairs,
     synthetic_flows,
 )
 from repro.sim.topology import Mesh
@@ -91,6 +93,85 @@ class TestDestinations:
         assert [(f.src, f.dst) for f in a] == [(f.src, f.dst) for f in b]
 
 
+class TestPermutationPatterns:
+    """shuffle / bit_reverse are permutations on power-of-two meshes."""
+
+    @pytest.mark.parametrize("pattern", ("shuffle", "bit_reverse"))
+    @pytest.mark.parametrize("dims", ((4, 4), (8, 8), (4, 2)))
+    def test_permutation_on_power_of_two_meshes(self, pattern, dims):
+        width, height = dims
+        mesh = Mesh(width, height)
+        pairs = pattern_pairs(pattern, mesh)
+        srcs = [s for s, _d, _w in pairs]
+        dsts = [d for _s, d, _w in pairs]
+        # A bijection minus its fixed points: sources and destinations
+        # are the same node set, each appearing exactly once.
+        assert len(set(srcs)) == len(srcs)
+        assert len(set(dsts)) == len(dsts)
+        assert set(srcs) == set(dsts)
+        assert all(s != d for s, d, _w in pairs)
+
+    def test_shuffle_rotates_index_bits(self):
+        mesh = Mesh(8, 8)  # 64 nodes, 6 index bits
+        for src, dst, _w in pattern_pairs("shuffle", mesh):
+            assert dst == ((src << 1) | (src >> 5)) & 63
+
+    def test_bit_reverse_is_an_involution(self):
+        mesh = Mesh(8, 8)
+        forward = {s: d for s, d, _w in pattern_pairs("bit_reverse", mesh)}
+        for src, dst in forward.items():
+            assert forward[dst] == src
+
+    @pytest.mark.parametrize("pattern", ("shuffle", "bit_reverse"))
+    def test_non_power_of_two_mesh_rejected(self, pattern):
+        cfg = NocConfig(width=3, height=3)
+        with pytest.raises(ValueError, match="power-of-two"):
+            synthetic_flows(pattern, cfg, injection_rate=0.01)
+
+
+class TestBackgroundHotspot:
+    def test_splits_per_node_rate_between_components(self, cfg):
+        """Every node sources the full per-node rate, split between the
+        uniform background and the hotspot overlay (the hotspot node
+        itself only sources background)."""
+        mesh = Mesh(cfg.width, cfg.height)
+        hotspot = mesh.center_nodes()[0]
+        flows = synthetic_flows("background_hotspot", cfg,
+                                injection_rate=0.1, seed=2)
+        per_src = collections.defaultdict(float)
+        for flow in flows:
+            per_src[flow.src] += cfg.flow_rate_packets_per_cycle(
+                flow.bandwidth_bps
+            )
+        for node in mesh.nodes():
+            expected = 0.1 if node != hotspot else 0.1 * BACKGROUND_FRACTION
+            assert per_src[node] == pytest.approx(expected), node
+
+    def test_component_weights(self):
+        mesh = Mesh(4, 4)
+        hotspot = mesh.center_nodes()[0]
+        weights = {w for _s, _d, w in pattern_pairs("background_hotspot", mesh)}
+        assert weights == {BACKGROUND_FRACTION, 1.0 - BACKGROUND_FRACTION}
+        overlay = [
+            (s, d) for s, d, w in pattern_pairs("background_hotspot", mesh)
+            if w == 1.0 - BACKGROUND_FRACTION
+        ]
+        assert {d for _s, d in overlay} == {hotspot}
+        assert len(overlay) == mesh.num_nodes - 1
+
+    @pytest.mark.parametrize("fraction", (0.0, 1.0, -0.5, 1.5))
+    def test_bad_background_fraction_rejected(self, fraction):
+        with pytest.raises(ValueError, match="background fraction"):
+            pattern_pairs("background_hotspot", Mesh(4, 4),
+                          background_fraction=fraction)
+
+    def test_background_follows_seed(self):
+        mesh = Mesh(4, 4)
+        one = pattern_pairs("background_hotspot", mesh, seed=1)
+        two = pattern_pairs("background_hotspot", mesh, seed=2)
+        assert one != two
+
+
 class TestFlowSets:
     @pytest.mark.parametrize("pattern", PATTERNS)
     def test_flow_sets_are_mesh_legal(self, pattern):
@@ -98,7 +179,9 @@ class TestFlowSets:
         flows = synthetic_flows(pattern, cfg, injection_rate=0.02)
         validate_flow_set(flows, Mesh(8, 8))
 
-    @pytest.mark.parametrize("pattern", PATTERNS)
+    @pytest.mark.parametrize(
+        "pattern", [p for p in PATTERNS if p != "background_hotspot"]
+    )
     def test_rates_match_request(self, pattern, cfg):
         flows = synthetic_flows(pattern, cfg, injection_rate=0.05)
         for flow in flows:

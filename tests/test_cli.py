@@ -14,12 +14,20 @@ class TestParser:
         )
         assert set(sub.choices) == {
             "table1", "table2", "chip", "fig7", "fig10a", "fig10b", "run",
-            "apps", "sweep",
+            "apps", "sweep", "workloads", "plot",
         }
 
     def test_run_requires_design(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "VOPD", "torus"])
+
+    def test_unknown_workload_rejected_at_parse_time(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--workload", "butterfly"])
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--size", "8by8"])
 
 
 class TestCommands:
@@ -75,6 +83,35 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Latency vs injection rate (transpose" in out
 
+    def test_sweep_workload_with_size(self, capsys, tmp_path):
+        """The acceptance flow: a pattern workload on a non-4x4 mesh
+        through the full mapping -> route-selection -> preset pipeline."""
+        main([
+            "sweep", "--workload", "transpose", "--size", "8x8",
+            "--designs", "mesh,smart", "--loads", "0.01",
+            "--measure", "500", "--jobs", "0",
+            "--out", str(tmp_path / "sweep.json"),
+        ])
+        out = capsys.readouterr().out
+        assert "Latency vs injection rate (transpose" in out
+        assert "mesh" in out and "smart" in out
+
+    def test_workloads_lists_registry(self, capsys):
+        main(["workloads"])
+        out = capsys.readouterr().out
+        for name in ("VOPD", "transpose", "shuffle", "bit_reverse",
+                     "background_hotspot"):
+            assert name in out
+        assert "injection_rate" in out and "bandwidth_scale" in out
+
+    def test_plot_exits_cleanly_without_matplotlib(self, tmp_path):
+        from repro.eval.plotting import matplotlib_available
+
+        if matplotlib_available():
+            pytest.skip("matplotlib installed; gating not exercised")
+        with pytest.raises(SystemExit, match="matplotlib"):
+            main(["plot", str(tmp_path / "whatever.jsonl")])
+
     def test_sweep_out_writes_rows_and_stream(self, capsys, tmp_path):
         """--out persists aggregated rows + a JSONL stream and prints
         both paths; progress lines stream one per grid point."""
@@ -93,7 +130,12 @@ class TestCommands:
         assert [row["load"] for row in data["rows"]] == [1.0, 4.0]
         stream_path = str(tmp_path / "sweep_PIP.jsonl")
         assert stream_path in out
-        assert len(open(stream_path).readlines()) == 2
+        # Header line + one line per grid point.
+        assert len(open(stream_path).readlines()) == 3
+        from repro.eval.sweeps import read_sweep_header, read_sweep_stream
+
+        assert read_sweep_header(stream_path)["sweep_spec"]["workload"] == "PIP"
+        assert len(read_sweep_stream(stream_path)) == 2
         assert "[1/2]" in out and "[2/2]" in out
 
     def test_sweep_resume_skips_streamed_points(self, capsys, tmp_path):
