@@ -2,23 +2,24 @@
 
 The Dedicated baseline was the slow leg of every latency-vs-load sweep:
 its legacy kernel scans every flow, channel and sink each cycle.  The
-active-set port must deliver >= 2x the legacy kernel's cycles/sec on a
-moderately loaded 8x8 uniform-random workload whose shared sinks sit
-idle roughly half to two-thirds of all cycles — the regime load sweeps
-live in — while producing identical results.  The measured rates land in
-``results/BENCH_dedicated.json`` together with a short latency-vs-load
-trajectory of the baseline, mirroring ``BENCH_kernel.json``.
+active-set and event kernels must each deliver >= 2x the legacy
+kernel's cycles/sec on a moderately loaded 8x8 uniform-random workload
+whose shared sinks sit idle roughly half to two-thirds of all cycles —
+the regime load sweeps live in — while producing identical results.
+The measured rates land in ``results/BENCH_dedicated.json`` (stamped
+with machine/python metadata) together with a short latency-vs-load
+trajectory of the baseline, mirroring ``BENCH_kernel.json``.  CI runs a
+short mode via ``SMART_BENCH_CYCLES`` / ``SMART_BENCH_MIN_ACTIVE_SPEEDUP``.
 
 Like every ``bench_*.py`` module this file is outside pytest's default
 ``test_*.py`` collection pattern, so tier-1 ``pytest -x -q`` never runs
 it; invoke it explicitly with ``pytest benchmarks/bench_dedicated_speed.py -s``.
 """
 
-import json
 import os
 import time
 
-from conftest import RESULTS_DIR, save_rows
+from conftest import save_bench_json, save_rows
 
 from repro.config import NocConfig
 from repro.eval.dedicated import DedicatedNetwork
@@ -30,7 +31,14 @@ from repro.sim.traffic import BernoulliTraffic
 #: (measured: the legacy kernel reports ~0.66 gated/total sink-cycles at
 #: this rate), i.e. the half-idle sweep regime.
 INJECTION_RATE = 0.015
-CYCLES = 12000
+CYCLES = int(os.environ.get("SMART_BENCH_CYCLES", "12000"))
+MIN_ACTIVE_SPEEDUP = float(
+    os.environ.get("SMART_BENCH_MIN_ACTIVE_SPEEDUP", "2.0")
+)
+#: Floor for the event kernel, also measured against legacy here.
+MIN_EVENT_SPEEDUP = float(
+    os.environ.get("SMART_BENCH_MIN_EVENT_SPEEDUP", "2.0")
+)
 #: Loads for the committed latency-vs-load trajectory (packets/cycle/node).
 TRAJECTORY_RATES = (0.005, 0.01, 0.015)
 
@@ -80,12 +88,14 @@ def _latency_trajectory():
 
 
 def test_dedicated_kernel_speedup(benchmark):
-    legacy, active = benchmark.pedantic(
+    legacy, active, event = benchmark.pedantic(
         lambda: (_cycles_per_sec("legacy", "legacy"),
-                 _cycles_per_sec("active", "predraw")),
+                 _cycles_per_sec("active", "predraw"),
+                 _cycles_per_sec("event", "predraw")),
         rounds=1, iterations=1,
     )
     speedup = active["cycles_per_sec"] / legacy["cycles_per_sec"]
+    event_speedup = event["cycles_per_sec"] / legacy["cycles_per_sec"]
     rows = [
         {
             "kernel": point["kernel"],
@@ -93,42 +103,41 @@ def test_dedicated_kernel_speedup(benchmark):
             "sink_idle_frac": round(point["sink_idle_frac"], 3),
             "delivered": point["delivered"],
         }
-        for point in (legacy, active)
+        for point in (legacy, active, event)
     ]
     print()
-    for point in (legacy, active):
+    for point in (legacy, active, event):
         print("%-8s %10.0f cycles/sec (%.0f%% sink-idle)"
               % (point["kernel"], point["cycles_per_sec"],
                  100 * point["sink_idle_frac"]))
-    print("speedup: %.2fx" % speedup)
+    print("active speedup: %.2fx, event speedup: %.2fx"
+          % (speedup, event_speedup))
     save_rows("dedicated_speed", rows)
     trajectory = _latency_trajectory()
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    with open(os.path.join(RESULTS_DIR, "BENCH_dedicated.json"), "w") as fh:
-        json.dump(
-            {
-                "bench": "dedicated_speed",
-                "workload": "uniform 8x8 @ %g packets/cycle/node"
-                % INJECTION_RATE,
-                "cycles": CYCLES,
-                "legacy_cycles_per_sec": round(legacy["cycles_per_sec"], 1),
-                "active_cycles_per_sec": round(active["cycles_per_sec"], 1),
-                "speedup": round(speedup, 2),
-                "sink_idle_frac": round(legacy["sink_idle_frac"], 3),
-                "latency_vs_load": trajectory,
-            },
-            fh,
-            indent=2,
-        )
+    save_bench_json("BENCH_dedicated.json", {
+        "bench": "dedicated_speed",
+        "workload": "uniform 8x8 @ %g packets/cycle/node" % INJECTION_RATE,
+        "cycles": CYCLES,
+        "legacy_cycles_per_sec": round(legacy["cycles_per_sec"], 1),
+        "active_cycles_per_sec": round(active["cycles_per_sec"], 1),
+        "event_cycles_per_sec": round(event["cycles_per_sec"], 1),
+        "speedup": round(speedup, 2),
+        "event_speedup": round(event_speedup, 2),
+        "sink_idle_frac": round(legacy["sink_idle_frac"], 3),
+        "latency_vs_load": trajectory,
+    })
 
-    # Both kernels simulate the identical network: same deliveries, same
+    # All kernels simulate the identical network: same deliveries, same
     # power-relevant event counts.
     assert active["delivered"] == legacy["delivered"]
     assert active["counters"] == legacy["counters"]
+    assert event["delivered"] == legacy["delivered"]
+    assert event["counters"] == legacy["counters"]
     # The workload is the contract: shared sinks gated roughly half to
     # three-quarters of the time.
     assert 0.5 <= legacy["sink_idle_frac"] <= 0.8
-    assert speedup >= 2.0
+    assert speedup >= MIN_ACTIVE_SPEEDUP
+    assert event_speedup >= MIN_EVENT_SPEEDUP
     # The trajectory must rise monotonically toward the knee.
     latencies = [p["mean_head_latency"] for p in trajectory]
     assert latencies == sorted(latencies)

@@ -1,0 +1,231 @@
+"""Benchmark regression gate: compare fresh bench JSON against baselines.
+
+Usage::
+
+    python benchmarks/check_regression.py BASELINE FRESH [BASELINE FRESH ...]
+        [--threshold 0.30] [--summary PATH]
+
+Each (baseline, fresh) pair is a committed ``results/BENCH_*.json`` and
+the JSON a CI bench run just produced.  Two metric families are
+compared (found recursively, reported with their dotted paths):
+
+* ``*speedup*`` ratios (event vs active, active vs legacy, ...) are
+  **machine-independent** and always enforced: a fresh ratio below
+  ``(1 - threshold) x baseline`` fails the check.  This is what gives
+  the CI gate teeth even though runners differ from the machine that
+  produced the committed baselines.
+* ``*cycles_per_sec`` absolute rates are enforced only when the two
+  files are *comparable*: same platform, architecture, CPU count and
+  Python version (per the ``environment`` stamp the benches write) and
+  the same simulated ``cycles`` count (short-mode rates measure warm-up
+  overhead a long run amortises).  Otherwise slowdowns only **warn** —
+  cycles/sec does not transfer across hardware or run lengths.
+* a metric present in the baseline but missing from the fresh run fails
+  the check regardless (the bench contract shrank).
+
+A Markdown trajectory table is printed and, when ``--summary`` (or the
+``GITHUB_STEP_SUMMARY`` environment variable) points at a file,
+appended there so the table lands in the CI job summary.
+
+Exits 0 when clean or cross-machine, 1 on regressions/missing metrics,
+2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, Iterator, List, Optional, Tuple
+
+#: Environment fields that must match for cycles/sec to be comparable.
+MACHINE_KEYS = ("platform", "machine", "cpu_count", "python")
+
+
+def _iter_metrics(
+    doc: object, suffixes: Tuple[str, ...], prefix: str = ""
+) -> Iterator[Tuple[str, float]]:
+    if not isinstance(doc, dict):
+        return
+    for key, value in doc.items():
+        if isinstance(value, dict):
+            yield from _iter_metrics(value, suffixes, prefix + key + ".")
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            leaf = key.rsplit(".", 1)[-1]
+            if any(suffix in leaf for suffix in suffixes):
+                yield prefix + key, float(value)
+
+
+def iter_rates(doc: object) -> Iterator[Tuple[str, float]]:
+    """Every (dotted key path, value) pair ending in cycles_per_sec."""
+    for key, value in _iter_metrics(doc, ("cycles_per_sec",)):
+        if key.endswith("cycles_per_sec"):
+            yield key, value
+
+
+def iter_speedups(doc: object) -> Iterator[Tuple[str, float]]:
+    """Every (dotted key path, value) whose leaf mentions 'speedup'."""
+    yield from _iter_metrics(doc, ("speedup",))
+
+
+def comparable_machines(baseline: dict, fresh: dict) -> bool:
+    """True when both environment stamps exist and match on MACHINE_KEYS."""
+    env_a = baseline.get("environment")
+    env_b = fresh.get("environment")
+    if not isinstance(env_a, dict) or not isinstance(env_b, dict):
+        return False
+    return all(env_a.get(key) == env_b.get(key) for key in MACHINE_KEYS)
+
+
+def comparable_runs(baseline: dict, fresh: dict) -> bool:
+    """Absolute rates compare only on like machines AND run lengths."""
+    return (
+        comparable_machines(baseline, fresh)
+        and baseline.get("cycles") == fresh.get("cycles")
+    )
+
+
+def compare(
+    baseline: dict, fresh: dict, threshold: float
+) -> List[Dict[str, object]]:
+    """One row per baseline metric: values, ratio, status.
+
+    ``kind`` is ``"speedup"`` (always enforced) or ``"rate"``
+    (enforced only for comparable runs — the caller decides).
+    """
+    rows: List[Dict[str, object]] = []
+    for kind, pairs in (
+        ("speedup", (dict(iter_speedups(baseline)), dict(iter_speedups(fresh)))),
+        ("rate", (dict(iter_rates(baseline)), dict(iter_rates(fresh)))),
+    ):
+        base_metrics, fresh_metrics = pairs
+        for key, base_value in sorted(base_metrics.items()):
+            fresh_value = fresh_metrics.get(key)
+            if fresh_value is None:
+                rows.append({"metric": key, "kind": kind,
+                             "baseline": base_value, "fresh": None,
+                             "ratio": None, "status": "missing"})
+                continue
+            ratio = fresh_value / base_value if base_value else float("inf")
+            status = "ok" if ratio >= 1.0 - threshold else "regressed"
+            rows.append({"metric": key, "kind": kind,
+                         "baseline": base_value, "fresh": fresh_value,
+                         "ratio": ratio, "status": status})
+    return rows
+
+
+def render_table(
+    title: str, rows: List[Dict[str, object]], comparable: bool
+) -> str:
+    """The trajectory table as Markdown (also readable in a terminal)."""
+    lines = [
+        "### %s%s" % (
+            title,
+            "" if comparable
+            else " (rates are cross-machine/short-mode: warn-only; "
+            "speedups still enforced)",
+        ),
+        "",
+        "| metric | baseline | fresh | ratio | status |",
+        "|---|---:|---:|---:|---|",
+    ]
+    for row in rows:
+        ratio = row["ratio"]
+        fresh = row["fresh"]
+        fmt = "%.2f" if row["kind"] == "speedup" else "%.0f"
+        lines.append("| %s | %s | %s | %s | %s |" % (
+            row["metric"],
+            fmt % row["baseline"],
+            fmt % fresh if fresh is not None else "—",
+            "%.2fx" % ratio if ratio is not None else "—",
+            row["status"],
+        ))
+    lines.append("")
+    return "\n".join(lines)
+
+
+def check_pair(
+    baseline_path: str, fresh_path: str, threshold: float
+) -> Tuple[str, List[Dict[str, object]], bool, List[str]]:
+    """Compare one file pair; returns (table, rows, comparable, failures)."""
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    with open(fresh_path) as fh:
+        fresh = json.load(fh)
+    comparable = comparable_runs(baseline, fresh)
+    rows = compare(baseline, fresh, threshold)
+    failures = []
+    for row in rows:
+        if row["status"] == "missing":
+            failures.append("%s: metric missing from %s"
+                            % (row["metric"], fresh_path))
+        elif row["status"] == "regressed" and (
+            comparable or row["kind"] == "speedup"
+        ):
+            failures.append(
+                "%s: %.2f -> %.2f (%.2fx < %.2fx floor)"
+                % (row["metric"], row["baseline"], row["fresh"],
+                   row["ratio"], 1.0 - threshold)
+            )
+    title = "%s vs %s" % (os.path.basename(baseline_path), fresh_path)
+    return render_table(title, rows, comparable), rows, comparable, failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail CI when benchmark cycles/sec regress beyond a "
+        "threshold against the committed baselines.",
+    )
+    parser.add_argument(
+        "files", nargs="+", metavar="BASELINE FRESH",
+        help="pairs of baseline and fresh BENCH_*.json paths",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.30,
+        help="maximum tolerated slowdown fraction (default 0.30 = 30%%)",
+    )
+    parser.add_argument(
+        "--summary", default=os.environ.get("GITHUB_STEP_SUMMARY"),
+        help="file to append the Markdown tables to "
+        "(default: $GITHUB_STEP_SUMMARY when set)",
+    )
+    args = parser.parse_args(argv)
+    if len(args.files) % 2 != 0:
+        parser.error("expected BASELINE FRESH pairs, got an odd file count")
+    if not 0.0 <= args.threshold < 1.0:
+        parser.error("--threshold must be in [0, 1)")
+
+    tables: List[str] = []
+    all_failures: List[str] = []
+    any_cross_machine = False
+    for index in range(0, len(args.files), 2):
+        table, _rows, comparable, failures = check_pair(
+            args.files[index], args.files[index + 1], args.threshold
+        )
+        tables.append(table)
+        all_failures.extend(failures)
+        any_cross_machine |= not comparable
+
+    output = "\n".join(tables)
+    print(output)
+    if any_cross_machine:
+        print("warning: baseline and fresh runs come from different "
+              "machines or run lengths; absolute cycles/sec slowdowns "
+              "are reported but not enforced (speedup ratios still are).")
+    if args.summary:
+        with open(args.summary, "a") as fh:
+            fh.write(output + "\n")
+
+    if all_failures:
+        print("\nbenchmark regression check FAILED:", file=sys.stderr)
+        for failure in all_failures:
+            print("  - " + failure, file=sys.stderr)
+        return 1
+    print("\nbenchmark regression check passed "
+          "(threshold: %.0f%% slowdown)." % (100 * args.threshold))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,12 +9,50 @@ and shared between the latency and power benches.
 from __future__ import annotations
 
 import functools
+import json
 import os
+import platform
 
 from repro.eval.experiments import run_suite
 from repro.eval.report import write_csv
 
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+#: Where bench outputs land.  CI points this at a scratch directory via
+#: ``SMART_BENCH_RESULTS_DIR`` so the committed ``results/BENCH_*.json``
+#: stay pristine as regression baselines (``benchmarks/check_regression.py``
+#: compares the two).
+RESULTS_DIR = os.environ.get(
+    "SMART_BENCH_RESULTS_DIR",
+    os.path.join(os.path.dirname(__file__), "..", "results"),
+)
+
+
+def bench_environment() -> dict:
+    """Machine/python metadata stamped into every ``BENCH_*.json``.
+
+    Cycles/sec numbers are only comparable on like hardware;
+    ``check_regression.py`` warns instead of hard-failing when these
+    fields differ between the baseline and the fresh run.
+    """
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "processor": platform.processor(),
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+    }
+
+
+def save_bench_json(name: str, payload: dict) -> str:
+    """Write a bench summary JSON (stamped with the environment)."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, name)
+    payload = dict(payload)
+    payload["environment"] = bench_environment()
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    return path
 
 #: Simulation window used by the Fig 10 benches.
 SUITE_KWARGS = dict(warmup_cycles=1000, measure_cycles=20000, drain_limit=200000)

@@ -154,6 +154,18 @@ def _mesh_size(value: str):
     return (int(match.group(1)), int(match.group(2)))
 
 
+def _kernel_name(value: str) -> str:
+    """argparse type for --kernel: validate against the registry (the
+    import stays deferred to command-line use, like every subcommand)."""
+    from repro.sim.network import KERNELS
+
+    if value not in KERNELS:
+        raise argparse.ArgumentTypeError(
+            "unknown kernel %r (have %s)" % (value, ", ".join(KERNELS))
+        )
+    return value
+
+
 def _design_list(value: str) -> List[str]:
     """argparse type for --designs: validate names before workers spawn."""
     import argparse
@@ -235,6 +247,7 @@ def _cmd_sweep(args) -> None:
         seeds=seeds,
         cfg=cfg,
         processes=args.jobs,
+        kernel=args.kernel,
         measure_cycles=args.measure,
         on_result=on_result,
         stream_path=stream_path,
@@ -248,6 +261,7 @@ def _cmd_sweep(args) -> None:
             print("%-10s saturates at load %g" % (design, knee))
     meta = {
         "workload": workload.name,
+        "kernel": args.kernel,
         "load_axis": workload.load_axis,
         "app": workload.name if workload.kind == "app" else None,
         "pattern": workload.name if workload.kind != "app" else None,
@@ -350,6 +364,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--loads",
         help="comma-separated load points: bandwidth scales for apps, "
         "packets/cycle/node for patterns",
+    )
+    p_sweep.add_argument(
+        "--kernel", default="active", type=_kernel_name,
+        help="simulation kernel for every grid point: active, event or "
+        "legacy (the stream header records it; --resume refuses a "
+        "stream swept with another kernel)",
     )
     p_sweep.add_argument("--seeds", type=int, default=1,
                          help="replications per grid point")

@@ -13,7 +13,7 @@ Uncontended flows therefore see 1-cycle NIC-to-NIC latency; flows into a
 shared sink stop once (buffer write, arbitration, ejection — the same
 3-cycle stop cost as a SMART stop).
 
-Like :class:`repro.sim.network.Network`, the simulator ships two
+Like :class:`repro.sim.network.Network`, the simulator ships three
 interchangeable execution kernels (``kernel="active"`` is the default):
 
 * ``"active"`` maintains explicit live sets — channels with queued or
@@ -22,13 +22,24 @@ interchangeable execution kernels (``kernel="active"`` is the default):
   (:meth:`~repro.sim.traffic.TrafficModel.next_injection_cycle`), so
   :meth:`DedicatedNetwork.step` touches only components with work to do.
   An idle cycle costs O(1).
+* ``"event"`` additionally schedules every deterministic stream as a
+  single heap event at its tail cycle: a direct source-to-destination
+  ejection (no shared sink) is fully determined when the packet starts,
+  and a shared-sink ejection is fully determined at allocation (its
+  feeder channel streams contiguously, so reads always trail arrivals).
+  Sink allocation runs only on wake events — a head became eligible, a
+  NIC credit became usable, an ejection finished — mirroring the event
+  kernel of ``repro.sim.network`` (see ``docs/kernel.md``).
 * ``"legacy"`` scans every flow, channel and sink every cycle, exactly as
   the original simulator did; it is kept as the behavioural reference.
 
-Both kernels produce bit-identical ``SimResult``s and ``EventCounters``
-(see ``tests/eval/test_dedicated_kernel.py`` and ``docs/baselines.md``):
-no pipeline effect crosses into the cycle that produces it, so skipping
-provably-idle components is unobservable.
+All kernels produce bit-identical ``SimResult``s and ``EventCounters``
+(see ``tests/eval/test_dedicated_kernel.py``,
+``tests/eval/test_dedicated_event_kernel.py`` and ``docs/baselines.md``): no
+pipeline effect crosses into the cycle that produces it, so skipping
+provably-idle components — or replaying a deterministic stream's updates
+from a scheduled event at exactly the cycles the per-cycle scans would
+have performed them — is unobservable.
 """
 
 from __future__ import annotations
@@ -36,6 +47,7 @@ from __future__ import annotations
 import collections
 import dataclasses
 import heapq
+import itertools
 from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.config import NocConfig
@@ -48,7 +60,7 @@ from repro.sim.topology import Mesh
 from repro.sim.traffic import TrafficModel
 
 #: Execution kernels accepted by :class:`DedicatedNetwork`.
-DEDICATED_KERNELS = ("active", "legacy")
+DEDICATED_KERNELS = ("active", "legacy", "event")
 
 
 @dataclasses.dataclass
@@ -83,6 +95,12 @@ class _SharedSink:
         #: the network's deliver/eject paths so the active kernel can
         #: clock-gate without an ``any()`` sweep over the buffers.
         self.occupancy = 0
+        # Event-kernel bookkeeping: buffered-but-unread head flits keyed
+        # by (flow id, VC id) — allocation scans only actual candidates —
+        # and the last cycle an allocation scan ran (duplicate wakes
+        # within a cycle are no-ops).
+        self.head_slots: Dict[Tuple[int, int], object] = {}
+        self.sa_cycle = -1
 
 
 class _Channel:
@@ -99,6 +117,122 @@ class _Channel:
         self.sink: Optional[_SharedSink] = None
         #: The flow's input buffer at that sink, same reason.
         self.sink_buffer: Optional[InputBuffer] = None
+
+
+class _DedChannelChain:
+    """A direct (unshared-destination) packet ejection, run as one event.
+
+    The channel streams unconditionally once its packet starts, and a
+    direct ejection has no downstream observers, so the whole traversal
+    is deterministic from the start cycle.  :meth:`advance` lazily
+    performs the flit sends with send-cycle <= ``through`` — the finish
+    event passes the tail cycle; counter snapshots settle partial
+    progress at window boundaries.
+    """
+
+    __slots__ = ("net", "channel", "flits", "vc_id", "idx", "next_send",
+                 "end_cycle", "cid")
+
+    def __init__(self, net, channel, flits, vc_id, start_cycle):
+        self.net = net
+        self.channel = channel
+        self.flits = flits
+        self.vc_id = vc_id
+        self.idx = 0
+        self.next_send = start_cycle
+        self.end_cycle = start_cycle + len(flits) - 1
+        self.cid = next(net._chain_seq)
+
+    def advance(self, through: int) -> None:
+        last = self.end_cycle
+        if through < last:
+            last = through
+        cycle = self.next_send
+        if cycle > last:
+            return
+        net = self.net
+        counters = net.counters
+        channel = self.channel
+        length = channel.length_mm
+        free_vcs = channel.free_vcs
+        flits = self.flits
+        vc_id = self.vc_id
+        idx = self.idx
+        while cycle <= last:
+            flit = flits[idx]
+            idx += 1
+            flit.vc = vc_id
+            counters.link_flit_mm += length
+            packet = flit.packet
+            if flit.is_head:
+                packet.head_arrive_cycle = cycle
+            if flit.is_tail:
+                packet.tail_arrive_cycle = cycle
+                net.stats.on_deliver(packet)
+            # The legacy deliver path returns one credit per *flit* on
+            # direct channels; replayed verbatim for equivalence.
+            net._credit(free_vcs, vc_id, cycle)
+            cycle += 1
+        self.idx = idx
+        self.next_send = cycle
+
+
+class _DedEjectChain:
+    """A shared-sink ejection streaming its packet as one event.
+
+    Deterministic from allocation: the feeder channel streams
+    contiguously and reads trail arrivals by the two-cycle BW stage plus
+    the allocation cycle, so every flit is buffered and eligible by its
+    ejection cycle.
+    """
+
+    __slots__ = ("net", "sink", "res", "vc", "next_send", "end_cycle", "cid")
+
+    def __init__(self, net, sink, res, start_cycle):
+        self.net = net
+        self.sink = sink
+        self.res = res
+        self.vc = res.vc
+        self.next_send = start_cycle
+        self.end_cycle = start_cycle + res.flits_left - 1
+        self.cid = next(net._chain_seq)
+
+    def advance(self, through: int) -> None:
+        last = self.end_cycle
+        if through < last:
+            last = through
+        cycle = self.next_send
+        if cycle > last:
+            return
+        net = self.net
+        counters = net.counters
+        res = self.res
+        sink = self.sink
+        vc = self.vc
+        head_key = (res.flow_id, res.vc_id)
+        vc_fifo = vc._fifo
+        vc_elig = vc._eligible
+        while cycle <= last:
+            # Inline VirtualChannel.read() (hot path).
+            vc_elig.popleft()
+            flit = vc_fifo.popleft()
+            if flit.is_tail:
+                vc.busy = False
+            sink.occupancy -= 1
+            if flit.is_head:
+                del sink.head_slots[head_key]
+            counters.buffer_reads += 1
+            counters.crossbar_traversals += 1
+            packet = flit.packet
+            if flit.is_head:
+                packet.head_arrive_cycle = cycle
+            if flit.is_tail:
+                packet.tail_arrive_cycle = cycle
+                net.stats.on_deliver(packet)
+            res.flits_left -= 1
+            res.next_send_cycle = cycle + 1
+            cycle += 1
+        self.next_send = cycle
 
 
 class DedicatedNetwork:
@@ -161,12 +295,22 @@ class DedicatedNetwork:
         self._active_channels: Set[int] = set()
         self._active_sinks: Set[int] = set()
         self._inject_heap: List[Tuple[int, int]] = []
-        if self.kernel == "active":
+        if self.kernel in ("active", "event"):
             for flow in self.flows:
                 nxt = traffic.next_injection_cycle(flow, 0)
                 if nxt is not None:
                     self._inject_heap.append((nxt, flow.flow_id))
             heapq.heapify(self._inject_heap)
+
+        # Event-kernel state: finish heaps for scheduled chain
+        # traversals (one event per chain, popped at the tail cycle),
+        # (cycle, node) sink-allocation wakes, and the in-flight chains
+        # for partial settlement at counter-snapshot boundaries.
+        self._chain_seq = itertools.count()
+        self._chains: Dict[int, object] = {}
+        self._ch_finish_heap: List[tuple] = []
+        self._ej_finish_heap: List[tuple] = []
+        self._sa_heap: List[Tuple[int, int]] = []
 
     # ------------------------------------------------------------------
     # Cycle execution
@@ -177,6 +321,8 @@ class DedicatedNetwork:
         cycle = self.cycle
         if self.kernel == "active":
             self._step_active(cycle)
+        elif self.kernel == "event":
+            self._step_event(cycle)
         else:
             self._generate(cycle)
             self._sink_ejection(cycle)
@@ -267,6 +413,230 @@ class DedicatedNetwork:
             nxt = traffic.next_injection_cycle(flow, cycle + 1)
             if nxt is not None:
                 heapq.heappush(heap, (nxt, flow_id))
+
+    # -- event kernel (scheduled ejection) -----------------------------
+
+    def _step_event(self, cycle: int) -> None:
+        """One cycle of the event kernel.
+
+        Identical phase order to the other kernels — generate, sink
+        ejection, source send, sink allocation, clock accounting — but
+        every ejection runs as a scheduled chain (so the ejection phase
+        is just a heap drain), and sink allocation runs only on wake
+        events.  Blocked channels keep retrying from the active set,
+        exactly like the active kernel.
+        """
+        heap = self._inject_heap
+        if heap and heap[0][0] <= cycle:
+            self._generate_active(cycle, heap)
+        # Sink ejection: every ejection is a scheduled chain.
+        ej = self._ej_finish_heap
+        while ej and ej[0][0] == cycle:
+            self._ev_finish_eject(heapq.heappop(ej)[2], cycle)
+        # Source send.
+        channels = self._active_channels
+        if channels:
+            idle_channels = None
+            all_channels = self.channels
+            for flow_id in channels:
+                channel = all_channels[flow_id]
+                if type(channel.stream) is _DedChannelChain:
+                    if idle_channels is None:
+                        idle_channels = [flow_id]
+                    else:
+                        idle_channels.append(flow_id)
+                    continue
+                self._ev_send_channel(channel, cycle)
+                stream = channel.stream
+                if type(stream) is _DedChannelChain or (
+                    stream is None and not channel.queue
+                ):
+                    if idle_channels is None:
+                        idle_channels = [flow_id]
+                    else:
+                        idle_channels.append(flow_id)
+            if idle_channels:
+                channels.difference_update(idle_channels)
+        ch = self._ch_finish_heap
+        while ch and ch[0][0] == cycle:
+            self._ev_finish_channel(heapq.heappop(ch)[2], cycle)
+        # Sink allocation: only woken sinks scan.
+        sa = self._sa_heap
+        sinks = self.sinks
+        while sa and sa[0][0] == cycle:
+            node = heapq.heappop(sa)[1]
+            sink = sinks[node]
+            if (
+                sink.sa_cycle != cycle
+                and sink.reservation is None
+                and sink.head_slots
+            ):
+                sink.sa_cycle = cycle
+                self._ev_allocate_sink(sink, cycle)
+        # Clock accounting, exactly as the active kernel.
+        active_sinks = self._active_sinks
+        if active_sinks:
+            counters = self.counters
+            idle_sinks = None
+            for node in active_sinks:
+                sink = sinks[node]
+                if sink.reservation is not None or sink.occupancy:
+                    counters.clock_router_cycles += 1
+                    counters.clock_port_cycles += len(sink.buffers)
+                else:
+                    if idle_sinks is None:
+                        idle_sinks = [node]
+                    else:
+                        idle_sinks.append(node)
+            if idle_sinks:
+                active_sinks.difference_update(idle_sinks)
+
+    def _ev_send_channel(self, channel: _Channel, cycle: int) -> None:
+        """Source send for the event kernel.
+
+        Mirrors :meth:`_send_channel`; a packet starting on a direct
+        (unshared) channel becomes a scheduled chain, and a head written
+        into a shared sink wakes that sink's allocation for its
+        eligibility cycle.
+        """
+        stream = channel.stream
+        if stream is None:
+            if not channel.queue:
+                return
+            if not channel.free_vcs.available(cycle):
+                return
+            packet = channel.queue.popleft()
+            vc_id = channel.free_vcs.acquire(cycle)
+            packet.inject_cycle = cycle
+            flits = packet.flits()
+            if channel.sink is None:
+                chain = _DedChannelChain(self, channel, flits, vc_id, cycle)
+                channel.stream = chain
+                self._chains[chain.cid] = chain
+                heapq.heappush(
+                    self._ch_finish_heap,
+                    (chain.end_cycle, channel.flow.flow_id, chain),
+                )
+                return
+            channel.stream = (packet, flits, vc_id)
+        packet, flits, vc_id = channel.stream
+        flit = flits.pop(0)
+        flit.vc = vc_id
+        counters = self.counters
+        counters.link_flit_mm += channel.length_mm
+        counters.pipeline_latches += 1
+        sink = channel.sink
+        # Inline VirtualChannel.write(); guards preserved.
+        t_vc = channel.sink_buffer.vcs[vc_id]
+        t_fifo = t_vc._fifo
+        if len(t_fifo) >= t_vc.depth:
+            raise OverflowError(
+                "VC %d overflow: virtual cut-through guarantees violated"
+                % t_vc.vc_id
+            )
+        if flit.is_head:
+            if t_vc.busy:
+                raise RuntimeError(
+                    "head flit written to busy VC %d" % t_vc.vc_id
+                )
+            t_vc.busy = True
+            sink.head_slots[(channel.flow.flow_id, vc_id)] = t_vc
+            heapq.heappush(self._sa_heap, (cycle + 2, sink.node))
+        t_fifo.append(flit)
+        t_vc._eligible.append(cycle + 2)
+        sink.occupancy += 1
+        counters.buffer_writes += 1
+        self._active_sinks.add(sink.node)
+        if not flits:
+            channel.stream = None
+
+    def _ev_allocate_sink(self, sink: _SharedSink, cycle: int) -> None:
+        """Sink allocation over the candidate heads.
+
+        Behaviourally identical to :meth:`_allocate_sink` — request set,
+        arbiter calls and counters all match — but candidates come from
+        the incrementally-maintained ``head_slots`` index, and the
+        granted ejection immediately becomes a scheduled chain (it is
+        deterministic from allocation; see the class note on
+        :class:`_DedEjectChain`).
+        """
+        if not sink.nic_vcs.available(cycle):
+            return
+        flow_streaming = sink.flow_streaming
+        requests = []
+        for (fid, vc_id), vc in sink.head_slots.items():
+            if flow_streaming[fid]:
+                continue
+            if vc._eligible[0] > cycle:
+                continue
+            requests.append((fid, vc_id))
+        if not requests:
+            return
+        counters = self.counters
+        counters.sa_requests += len(requests)
+        if len(requests) == 1:
+            winner = sink.arbiter.grant_sole(requests[0])
+        else:
+            winner = sink.arbiter.grant(requests)
+            if winner is None:
+                return
+        counters.sa_grants += 1
+        fid, vc_id = winner
+        vc = sink.buffers[fid].vc(vc_id)
+        head = vc.front()
+        res = _SinkReservation(
+            flow_id=fid,
+            vc_id=vc_id,
+            packet=head.packet,
+            assigned_vc=sink.nic_vcs.acquire(cycle),
+            flits_left=head.packet.size_flits,
+            next_send_cycle=cycle + 1,
+            vc=vc,
+        )
+        sink.reservation = res
+        sink.flow_streaming[fid] = True
+        chain = _DedEjectChain(self, sink, res, cycle + 1)
+        self._chains[chain.cid] = chain
+        heapq.heappush(
+            self._ej_finish_heap, (chain.end_cycle, sink.node, chain)
+        )
+
+    def _ev_finish_eject(self, chain: "_DedEjectChain", cycle: int) -> None:
+        """Tail event of a sink ejection: replay the unsettled sends,
+        then tear the reservation down exactly as the per-cycle tail
+        ejection would (channel and NIC credits, allocation wake)."""
+        chain.advance(cycle)
+        del self._chains[chain.cid]
+        sink = chain.sink
+        res = chain.res
+        self._credit(self.channels[res.flow_id].free_vcs, res.vc_id, cycle)
+        usable = cycle + 1 + self.cfg.credit_latency
+        sink.nic_vcs.release(res.assigned_vc, usable)
+        self.counters.credit_events += 1
+        heapq.heappush(self._sa_heap, (usable, sink.node))
+        sink.flow_streaming[res.flow_id] = False
+        sink.reservation = None
+        heapq.heappush(self._sa_heap, (cycle, sink.node))
+
+    def _ev_finish_channel(self, chain: "_DedChannelChain", cycle: int) -> None:
+        """Tail event of a direct-channel chain: free the channel for
+        its next packet (which may start next cycle)."""
+        chain.advance(cycle)
+        del self._chains[chain.cid]
+        channel = chain.channel
+        channel.stream = None
+        if channel.queue:
+            self._active_channels.add(channel.flow.flow_id)
+
+    def _sync(self) -> None:
+        """Settle in-flight chains up to the last executed cycle (see
+        ``repro.sim.network.Network._sync``); a no-op for the other
+        kernels."""
+        if self.kernel != "event" or not self._chains:
+            return
+        through = self.cycle - 1
+        for cid in sorted(self._chains):
+            self._chains[cid].advance(through)
 
     # -- legacy kernel (full scans) ------------------------------------
 
@@ -431,10 +801,12 @@ class DedicatedNetwork:
         """
         for _ in range(warmup_cycles):
             self.step()
+        self._sync()
         baseline = self.counters.snapshot()
         self.stats.measuring = True
         for _ in range(measure_cycles):
             self.step()
+        self._sync()
         self.stats.measuring = False
         window = self.counters.delta(baseline)
         drained = True
@@ -445,6 +817,7 @@ class DedicatedNetwork:
                 break
             self.step()
             drain_cycles += 1
+        self._sync()
         return SimResult(
             summary=self.stats.summary(),
             per_flow=self.stats.per_flow_summary(),
@@ -459,3 +832,4 @@ class DedicatedNetwork:
         """Advance a fixed number of cycles (used by scripted tests)."""
         for _ in range(cycles):
             self.step()
+        self._sync()

@@ -224,6 +224,30 @@ def flows_from_mapping(
     return select_routes(mesh, placed, model=turn_model)
 
 
+def place_application(
+    graph: TaskGraph,
+    mesh: Mesh,
+    algorithm: str = "nmap_modified",
+    seed: int = 0,
+) -> Mapping:
+    """Placement stage of the mapping flow: tasks -> nodes.
+
+    The routing stage is separate so callers can pair any placement
+    algorithm with any route selection (see
+    :func:`repro.workloads.route_demands`).
+    """
+    try:
+        mapper = MAPPERS[algorithm]
+    except KeyError:
+        raise ValueError(
+            "unknown mapping algorithm %r (have %s)"
+            % (algorithm, ", ".join(sorted(MAPPERS)))
+        ) from None
+    if algorithm == "random":
+        return mapper(graph, mesh, seed=seed)
+    return mapper(graph, mesh)
+
+
 def map_application(
     graph: TaskGraph,
     mesh: Mesh,
@@ -235,16 +259,6 @@ def map_application(
 
     Returns the task->node mapping and the routed flows.
     """
-    try:
-        mapper = MAPPERS[algorithm]
-    except KeyError:
-        raise ValueError(
-            "unknown mapping algorithm %r (have %s)"
-            % (algorithm, ", ".join(sorted(MAPPERS)))
-        ) from None
-    if algorithm == "random":
-        mapping = mapper(graph, mesh, seed=seed)
-    else:
-        mapping = mapper(graph, mesh)
+    mapping = place_application(graph, mesh, algorithm=algorithm, seed=seed)
     flows = flows_from_mapping(graph, mesh, mapping, turn_model=turn_model)
     return mapping, flows

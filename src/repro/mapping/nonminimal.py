@@ -16,8 +16,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
+from typing import Optional
+
 from repro.mapping.route_select import PlacedFlow, _ConflictState
-from repro.mapping.turn_model import TurnModel, path_legal
+from repro.mapping.turn_model import TurnModel, turn_allowed
 from repro.sim.flow import Flow
 from repro.sim.topology import CARDINALS, Mesh, Port
 
@@ -28,12 +30,17 @@ def enumerate_paths_with_detours(
     dst: int,
     max_detour_hops: int = 2,
     max_paths: int = 200,
+    model: Optional[TurnModel] = None,
 ) -> List[Tuple[Port, ...]]:
     """All simple direction sequences src->dst up to minimal+detour hops.
 
     Paths never revisit a node (a SMART bypass chain must not loop).
     Enumeration is depth-first with a budget bound, capped at
-    ``max_paths`` (shortest first) to keep route selection cheap.
+    ``max_paths`` to keep route selection cheap.  When ``model`` is
+    given, forbidden turns prune the walk immediately — turn-model
+    legality is prefix-closed, so this yields exactly the legal paths
+    and the cap cannot be exhausted by illegal ones (which used to make
+    long pairs on big meshes falsely unroutable).
     """
     if src == dst:
         raise ValueError("no path needed from a node to itself")
@@ -51,7 +58,14 @@ def enumerate_paths_with_detours(
         remaining = budget - len(path)
         if mesh.hop_distance(node, dst) > remaining:
             return
+        previous = path[-1] if path else None
         for direction in CARDINALS:
+            if (
+                model is not None
+                and previous is not None
+                and not turn_allowed(model, previous, direction)
+            ):
+                continue
             neighbor = mesh.neighbor(node, direction)
             if neighbor is None or neighbor in visited:
                 continue
@@ -72,8 +86,9 @@ def legal_routes_with_detours(
     """Turn-model-legal routes (CORE-terminated) up to the detour budget."""
     routes = [
         path + (Port.CORE,)
-        for path in enumerate_paths_with_detours(mesh, src, dst, max_detour_hops)
-        if path_legal(model, path)
+        for path in enumerate_paths_with_detours(
+            mesh, src, dst, max_detour_hops, model=model
+        )
     ]
     if not routes:
         raise RuntimeError(

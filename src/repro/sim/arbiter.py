@@ -64,3 +64,9 @@ class RoundRobinArbiter(Arbiter):
                 self._last = self._index[candidate]
                 return candidate
         return None
+
+    def grant_sole(self, requester: Hashable) -> Hashable:
+        """Grant a lone requester: same pointer update and result as
+        ``grant([requester])``, without the scan (hot-path helper)."""
+        self._last = self._index[requester]
+        return requester

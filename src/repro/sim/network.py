@@ -17,21 +17,33 @@ Pipeline timing (paper Fig 6/7):
 * Switch allocation is per-packet (virtual cut-through): a granted output
   port streams the packet's flits on consecutive cycles.
 
-Two execution kernels share this timing model:
+Three execution kernels share this timing model:
 
 * ``kernel="active"`` (default) maintains explicit *active sets* — routers
   holding live reservations or buffered flits, NICs with queued or
   streaming packets, and a heap of pre-drawn per-flow injection cycles —
   so :meth:`Network.step` touches only components with work to do.  Idle
   cycles cost O(1).
+* ``kernel="event"`` goes one step further: switch allocation runs only
+  when a wake condition (head eligibility, credit return, output
+  release) can change its outcome, and every stream whose chain ends at
+  the destination NIC — provably deterministic once granted — collapses
+  into a *single* scheduled heap event at its tail cycle that performs
+  the buffer reads, credit return and stats updates for the whole
+  traversal (fully-bypassed packets are one event NIC to NIC).  Counter
+  snapshots settle in-flight chains first, so every count lands in the
+  same measurement window as a per-cycle execution (see
+  ``docs/kernel.md``).
 * ``kernel="legacy"`` iterates every router, buffer and NIC every cycle,
   exactly as the original simulator did; it exists as a regression
   reference (see ``docs/kernel.md``).
 
-Both kernels produce identical results: phase effects never cross a cycle
+All kernels produce identical results: phase effects never cross a cycle
 boundary early (a flit written at cycle ``c`` is SA-eligible from ``c+2``;
 a credit freed at ``c`` is usable from ``c+1+credit_latency``), so
-skipping provably-idle components cannot change behaviour.
+skipping provably-idle components — or running their state updates from
+scheduled events at exactly the cycles the per-cycle scans would have —
+cannot change behaviour.
 """
 
 from __future__ import annotations
@@ -41,6 +53,7 @@ from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
 
 import collections
 import heapq
+import itertools
 
 from repro.config import NocConfig
 from repro.sim.arbiter import RoundRobinArbiter
@@ -58,6 +71,9 @@ from repro.sim.segments import (
 from repro.sim.stats import EventCounters, SimResult, StatsCollector
 from repro.sim.topology import Mesh, Port
 from repro.sim.traffic import TrafficModel
+
+#: Execution kernels accepted by :class:`Network`.
+KERNELS = ("active", "legacy", "event")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -94,6 +110,15 @@ class _Reservation:
     #: The source VirtualChannel object, cached to skip two lookups on
     #: every flit of the stream.
     vc: object = None
+    #: Creation order across the network, matching the insertion order of
+    #: ``router.reservations`` — the event kernel orders same-cycle chain
+    #: finish events on it so they replay in the legacy scan order.
+    ins: int = 0
+    #: Event-kernel delivery context for live (per-cycle) streams:
+    #: (target router, target buffer, crossbars crossed, link mm, extra
+    #: cycles, segment end), resolved once at grant so the per-flit send
+    #: needs no lookups.
+    ctx: Optional[tuple] = None
 
 
 class _Router:
@@ -126,6 +151,18 @@ class _Router:
         #: only grant while this is non-zero, so the kernel skips the SA
         #: scan entirely when it is 0.
         self.sa_pending = 0
+        # Event-kernel bookkeeping: the reservations still streamed by
+        # the per-cycle ST scan (chained reservations are finished by
+        # heap events instead); the buffered-but-unread head flits,
+        # keyed by (input port, VC id) so switch allocation scans only
+        # actual candidates instead of sweeping every VC; the last
+        # cycle an SA scan ran (duplicate wakes within a cycle are
+        # no-ops); and per-output segment/free-VC-queue caches.
+        self.live: List[_Reservation] = []
+        self.head_slots: Dict[Tuple[Port, int], object] = {}
+        self.sa_cycle = -1
+        self.out_segment: Dict[Port, Segment] = {}
+        self.out_freeq: Dict[Port, FreeVcQueue] = {}
 
     @property
     def active(self) -> bool:
@@ -163,6 +200,149 @@ class _NicSource:
         return self.queued
 
 
+class _NicChain:
+    """A fully-bypassed NIC-to-NIC packet traversal, run as one event.
+
+    Created by the event kernel when an injected packet's chain ends at
+    the destination NIC: every flit send is then deterministic (a NIC
+    streams unconditionally and nothing downstream is latched), so the
+    whole ST traversal is scheduled as a single heap event at the tail
+    cycle.  :meth:`advance` lazily performs the flit sends with
+    send-cycle <= ``through`` — the finish event passes the tail cycle,
+    and counter snapshots settle partial progress at window boundaries
+    so every count lands in the same measurement window as a per-cycle
+    execution.
+    """
+
+    __slots__ = ("net", "node", "flits", "vc_id", "segment", "sink", "idx",
+                 "next_send", "end_cycle", "cid")
+
+    def __init__(self, net, nic_node, flits, vc_id, segment, start_cycle):
+        self.net = net
+        self.node = nic_node
+        self.flits = flits
+        self.vc_id = vc_id
+        self.segment = segment
+        self.sink = net.nic_sinks[segment.end.node]
+        self.idx = 0
+        self.next_send = start_cycle
+        self.end_cycle = start_cycle + len(flits) - 1
+        self.cid = next(net._chain_seq)
+
+    def advance(self, through: int) -> None:
+        last = self.end_cycle
+        if through < last:
+            last = through
+        cycle = self.next_send
+        if cycle > last:
+            return
+        net = self.net
+        counters = net.counters
+        segment = self.segment
+        crossed = len(segment.routers_crossed)
+        hop_mm = segment.hops * net._mm_per_hop
+        extra = segment.extra_cycles
+        sink = self.sink
+        flits = self.flits
+        vc_id = self.vc_id
+        idx = self.idx
+        while cycle <= last:
+            flit = flits[idx]
+            idx += 1
+            flit.vc = vc_id
+            arrival = cycle + extra
+            counters.crossbar_traversals += crossed
+            counters.link_flit_mm += hop_mm
+            counters.pipeline_latches += 1
+            sink.flits_received += 1
+            packet = flit.packet
+            if flit.is_head:
+                packet.head_arrive_cycle = arrival
+            if flit.is_tail:
+                packet.tail_arrive_cycle = arrival
+                sink.packets_received += 1
+                net.stats.on_deliver(packet)
+                net._ev_credit_end(segment.end, vc_id, arrival)
+            cycle += 1
+        self.idx = idx
+        self.next_send = cycle
+
+
+class _ResChain:
+    """A reserved output streaming its whole packet as one event.
+
+    Created by the event kernel at grant time for every reservation
+    whose segment ends at the destination NIC: its reads can never
+    stall (see the no-stall induction in the event-kernel section), so
+    they are replayed in one tight loop by the finish event at the tail
+    cycle — or partially by a counter-snapshot settlement — instead of
+    one per-cycle send each.
+    """
+
+    __slots__ = ("net", "router", "res", "vc", "next_send", "end_cycle",
+                 "cid")
+
+    def __init__(self, net, router, res, start_cycle):
+        self.net = net
+        self.router = router
+        self.res = res
+        self.vc = res.vc
+        self.next_send = start_cycle
+        self.end_cycle = start_cycle + res.flits_left - 1
+        self.cid = next(net._chain_seq)
+
+    def advance(self, through: int) -> None:
+        last = self.end_cycle
+        if through < last:
+            last = through
+        cycle = self.next_send
+        if cycle > last:
+            return
+        net = self.net
+        counters = net.counters
+        res = self.res
+        router = self.router
+        vc = self.vc
+        segment = res.segment
+        crossed = len(segment.routers_crossed)
+        hop_mm = segment.hops * net._mm_per_hop
+        extra = segment.extra_cycles
+        sink = net.nic_sinks[segment.end.node]
+        assigned = res.assigned_vc
+        head_key = (res.in_port, res.vc_id)
+        vc_fifo = vc._fifo
+        vc_elig = vc._eligible
+        while cycle <= last:
+            # Inline VirtualChannel.read() — this loop is the kernel's
+            # hottest path.
+            vc_elig.popleft()
+            flit = vc_fifo.popleft()
+            if flit.is_tail:
+                vc.busy = False
+            router.occupancy -= 1
+            if flit.is_head:
+                del router.head_slots[head_key]
+            counters.buffer_reads += 1
+            flit.vc = assigned
+            arrival = cycle + extra
+            counters.crossbar_traversals += crossed
+            counters.link_flit_mm += hop_mm
+            counters.pipeline_latches += 1
+            sink.flits_received += 1
+            packet = flit.packet
+            if flit.is_head:
+                packet.head_arrive_cycle = arrival
+            if flit.is_tail:
+                packet.tail_arrive_cycle = arrival
+                sink.packets_received += 1
+                net.stats.on_deliver(packet)
+                net._ev_credit_end(segment.end, assigned, arrival)
+            res.flits_left -= 1
+            res.next_send_cycle = cycle + 1
+            cycle += 1
+        self.next_send = cycle
+
+
 class Network:
     """A configured NoC instance ready to simulate (the three-stage
     BW -> SA -> ST+link pipeline of Fig 6, including Fig 7's single-cycle
@@ -178,9 +358,10 @@ class Network:
         traffic: TrafficModel,
         kernel: str = "active",
     ):
-        if kernel not in ("active", "legacy"):
+        if kernel not in KERNELS:
             raise ValueError(
-                "unknown kernel %r (have 'active', 'legacy')" % (kernel,)
+                "unknown kernel %r (have %s)"
+                % (kernel, ", ".join(repr(k) for k in KERNELS))
             )
         validate_flow_set(list(flows), mesh)
         self.kernel = kernel
@@ -261,13 +442,36 @@ class Network:
         self._active_routers: Set[int] = set()
         self._active_nics: Set[int] = set()
         self._inject_heap: List[Tuple[int, int]] = []
-        if self.kernel == "active":
+        #: Monotonic reservation-creation counter; the event kernel keys
+        #: same-cycle chain-finish events on it so they replay in the
+        #: legacy scan order.
+        self._res_seq = itertools.count()
+        if self.kernel in ("active", "event"):
             for nic in self.nic_sources.values():
                 for flow in nic.flows:
                     nxt = traffic.next_injection_cycle(flow, 0)
                     if nxt is not None:
                         self._inject_heap.append((nxt, flow.flow_id))
             heapq.heapify(self._inject_heap)
+
+        # Event-kernel state.  Deterministic chain traversals are
+        # scheduled on finish heaps (one event per chain, popped at the
+        # tail cycle); `_sa_heap` holds (cycle, node) switch-allocation
+        # wakes — SA runs only when a scan's outcome can change;
+        # `_chains` tracks in-flight chains for partial settlement at
+        # counter-snapshot boundaries; the remaining dicts are
+        # construction-time caches resolved by `_ev_init`.
+        self._chain_seq = itertools.count()
+        self._chains: Dict[int, object] = {}
+        self._res_finish_heap: List[tuple] = []
+        self._nic_finish_heap: List[tuple] = []
+        self._sa_heap: List[Tuple[int, int]] = []
+        self._nic_ctx: Dict[int, tuple] = {}
+        self._credit_up: Dict[Tuple[int, Port], tuple] = {}
+        self._credit_end: Dict[int, tuple] = {}
+        self._credit_latency = cfg.credit_latency
+        if self.kernel == "event":
+            self._ev_init()
 
     # ------------------------------------------------------------------
     # Construction-time validation
@@ -326,6 +530,8 @@ class Network:
         cycle = self.cycle
         if self.kernel == "active":
             self._step_active(cycle)
+        elif self.kernel == "event":
+            self._step_event(cycle)
         else:
             self._generate(cycle)
             self._switch_traversal(cycle)
@@ -409,6 +615,459 @@ class Network:
             nxt = traffic.next_injection_cycle(flow, cycle + 1)
             if nxt is not None:
                 heapq.heappush(heap, (nxt, flow_id))
+
+    # -- event kernel (scheduled switch traversal) ---------------------
+    #
+    # Why chains are safe: once a stream is granted, it can never stall.
+    # A NIC streams unconditionally, and a reserved stream's reads lag
+    # its feeder's contiguous sends by at least three cycles (grant
+    # waits for head eligibility = arrival + 2, reads start one cycle
+    # after grant), so by induction over a packet's route every flit is
+    # buffered and eligible by its read cycle.  A stream whose segment
+    # ends at the destination NIC also has no per-cycle observers
+    # downstream — ejection cannot backpressure, and its effects on
+    # shared state (credits, stats) happen only at computed cycles.
+    # Such a stream is therefore scheduled as ONE finish event at its
+    # tail cycle; `_sync` settles partial progress whenever a counter
+    # snapshot lands mid-chain.
+
+    def _ev_init(self) -> None:
+        """Resolve the event kernel's construction-time caches."""
+        for node, router in self.routers.items():
+            for out_port in router.config.dynamic_outputs:
+                start = OutputStart(node, out_port)
+                if self.segments.has_start(start):
+                    router.out_segment[out_port] = self.segments.from_start(start)
+                    router.out_freeq[out_port] = self.free_vcs[start]
+        for segment in self.segments.segments():
+            start = segment.start
+            entry = (
+                self.free_vcs[start],
+                len(segment.routers_crossed),
+                segment.hops * self._mm_per_hop,
+                start.node if type(start) is OutputStart else None,
+            )
+            end = segment.end
+            self._credit_end[id(end)] = entry
+            if type(end) is BufferEnd:
+                self._credit_up[(end.node, end.port)] = entry
+        for node in self.nic_sources:
+            segment = self.segments.from_start(NicStart(node))
+            t_router, t_buffer = self._seg_target[id(segment)]
+            sink = (
+                None if t_router is not None
+                else self.nic_sinks[segment.end.node]
+            )
+            self._nic_ctx[node] = (
+                segment,
+                self.free_vcs[segment.start],
+                t_router,
+                t_buffer,
+                len(segment.routers_crossed),
+                segment.hops * self._mm_per_hop,
+                segment.extra_cycles,
+                sink,
+                segment.end,
+            )
+
+    def _step_event(self, cycle: int) -> None:
+        """One cycle of the event kernel.
+
+        Identical phase order to the other kernels — generate, ST, NIC
+        injection, SA, clock accounting — but switch allocation runs
+        only for routers with a due wake event (a head became eligible,
+        a credit became usable, an output or input was released; in
+        between, the reference scan is a provable no-op because its
+        only counting path always grants), and every stream whose
+        segment ends at the destination NIC is finished by a single
+        scheduled event instead of per-cycle sends.
+        """
+        heap = self._inject_heap
+        if heap and heap[0][0] <= cycle:
+            self._generate_active(cycle, heap)
+        routers = self.routers
+        # ST: due chain-finish events, then the live per-cycle streams.
+        # Components never observe each other within a phase (each
+        # stream owns its VC, segment and credit queue), so — like the
+        # Dedicated active kernel — sets are iterated in set order.
+        fin = self._res_finish_heap
+        while fin and fin[0][0] == cycle:
+            self._ev_finish_res(heapq.heappop(fin)[3], cycle)
+        active = self._active_routers
+        if active:
+            for node in list(active):
+                router = routers[node]
+                if router.live:
+                    self._ev_st_router(router, cycle)
+        # NIC injection; NICs streaming a scheduled chain sit out.
+        nics = self._active_nics
+        if nics:
+            idle_nics = []
+            for node in nics:
+                nic = self.nic_sources[node]
+                if type(nic.stream) is _NicChain:
+                    idle_nics.append(node)
+                    continue
+                self._ev_inject_nic(nic, cycle)
+                stream = nic.stream
+                if type(stream) is _NicChain or (
+                    stream is None and nic.queued == 0
+                ):
+                    idle_nics.append(node)
+            nics.difference_update(idle_nics)
+        nfin = self._nic_finish_heap
+        while nfin and nfin[0][0] == cycle:
+            self._ev_finish_nic(heapq.heappop(nfin)[2], cycle)
+        # SA: only woken routers scan.
+        sa = self._sa_heap
+        while sa and sa[0][0] == cycle:
+            node = heapq.heappop(sa)[1]
+            router = routers[node]
+            if router.sa_cycle != cycle and router.head_slots:
+                router.sa_cycle = cycle
+                self._ev_sa_router(router, cycle)
+        # Clock accounting, exactly as the active kernel.
+        counters = self.counters
+        if active:
+            idle_routers = []
+            for node in active:
+                router = routers[node]
+                if router.reservations or router.occupancy:
+                    counters.clock_router_cycles += 1
+                    counters.clock_port_cycles += len(router.buffers)
+                else:
+                    idle_routers.append(node)
+            active.difference_update(idle_routers)
+        counters.total_router_cycles += len(routers)
+
+    def _ev_sa_router(self, router: _Router, cycle: int) -> None:
+        """Switch allocation over the router's candidate heads.
+
+        Behaviourally identical to :meth:`_sa_router` — the request
+        *set* per output, the arbiter calls and the counter updates all
+        match — but candidates come from the incrementally-maintained
+        ``head_slots`` index instead of a sweep over every VC of every
+        buffered port (request-list order differs; the arbiter grants
+        by client order, so only the set matters).  A grant whose
+        segment ends at the destination NIC immediately becomes a
+        scheduled chain; other grants join the live per-cycle streams.
+        """
+        node = router.node
+        flow_out = self._flow_out
+        input_streaming = router.input_streaming
+        by_out: Dict[Port, List[Tuple[Port, int]]] = {}
+        for (in_port, vc_id), vc in router.head_slots.items():
+            if input_streaming[in_port]:
+                continue
+            if vc._eligible[0] > cycle:
+                continue
+            wanted = flow_out[vc._fifo[0].packet.flow_id][node]
+            by_out.setdefault(wanted, []).append((in_port, vc_id))
+        if not by_out:
+            return
+        counters = self.counters
+        reservations = router.reservations
+        for out_port in router.config.dynamic_outputs:
+            candidates = by_out.get(out_port)
+            if not candidates or out_port in reservations:
+                continue
+            free_queue = router.out_freeq.get(out_port)
+            if free_queue is None or not free_queue.available(cycle):
+                continue
+            requests = [
+                req for req in candidates if not input_streaming[req[0]]
+            ]
+            if not requests:
+                continue
+            counters.sa_requests += len(requests)
+            if len(requests) == 1:
+                winner = router.arbiters[out_port].grant_sole(requests[0])
+            else:
+                winner = router.arbiters[out_port].grant(requests)
+                if winner is None:
+                    continue
+            counters.sa_grants += 1
+            in_port, vc_id = winner
+            vc = router.buffers[in_port].vc(vc_id)
+            segment = router.out_segment[out_port]
+            res = _Reservation(
+                out_port=out_port,
+                in_port=in_port,
+                vc_id=vc_id,
+                packet=vc.front().packet,
+                segment=segment,
+                assigned_vc=free_queue.acquire(cycle),
+                flits_left=vc.front().packet.size_flits,
+                next_send_cycle=cycle + 1,
+                vc=vc,
+                ins=next(self._res_seq),
+            )
+            reservations[out_port] = res
+            input_streaming[in_port] = True
+            t_router, t_buffer = self._seg_target[id(segment)]
+            if t_router is None:
+                # Final segment: deterministic from the grant (see the
+                # section note) — one finish event runs the stream.
+                chain = _ResChain(self, router, res, cycle + 1)
+                self._chains[chain.cid] = chain
+                heapq.heappush(
+                    self._res_finish_heap,
+                    (chain.end_cycle, node, res.ins, chain),
+                )
+            else:
+                res.ctx = (
+                    t_router,
+                    t_buffer,
+                    len(segment.routers_crossed),
+                    segment.hops * self._mm_per_hop,
+                    segment.extra_cycles,
+                    segment.end,
+                )
+                router.live.append(res)
+
+    def _ev_st_router(self, router: _Router, cycle: int) -> None:
+        """ST stage for one router's live streams (event kernel).
+
+        Mirrors :meth:`_st_router` flit for flit for streams into a
+        buffered stop (final streams never get here — they are chained
+        at grant), with delivery inlined through the reservation's
+        cached context and a tail send waking this router's SA.
+        """
+        counters = self.counters
+        sa_heap = self._sa_heap
+        finished = None
+        for res in router.live:
+            if res.next_send_cycle > cycle:
+                continue
+            vc = res.vc
+            fifo = vc._fifo
+            if not fifo:
+                continue
+            flit = fifo[0]
+            if flit.packet is not res.packet or vc._eligible[0] > cycle:
+                # Virtual cut-through streams packets contiguously, so
+                # this only triggers in pathological configurations;
+                # idle the slot rather than corrupt the stream.
+                continue
+            # Inline VirtualChannel.read()/write() — this is the
+            # kernel's hottest per-cycle path; the semantic guards
+            # (overflow, busy-VC) are preserved.
+            vc._eligible.popleft()
+            fifo.popleft()
+            is_head = flit.is_head
+            is_tail = flit.is_tail
+            if is_tail:
+                vc.busy = False
+            router.occupancy -= 1
+            if is_head:
+                del router.head_slots[(res.in_port, res.vc_id)]
+            counters.buffer_reads += 1
+            assigned = res.assigned_vc
+            flit.vc = assigned
+            t_router, t_buffer, crossed, hop_mm, extra, end = res.ctx
+            arrival = cycle + extra
+            counters.crossbar_traversals += crossed
+            counters.link_flit_mm += hop_mm
+            counters.pipeline_latches += 1
+            t_vc = t_buffer.vcs[assigned]
+            t_fifo = t_vc._fifo
+            if len(t_fifo) >= t_vc.depth:
+                raise OverflowError(
+                    "VC %d overflow: virtual cut-through guarantees violated"
+                    % t_vc.vc_id
+                )
+            if is_head:
+                if t_vc.busy:
+                    raise RuntimeError(
+                        "head flit written to busy VC %d" % t_vc.vc_id
+                    )
+                t_vc.busy = True
+                t_router.head_slots[(end.port, assigned)] = t_vc
+                heapq.heappush(sa_heap, (arrival + 2, t_router.node))
+            t_fifo.append(flit)
+            t_vc._eligible.append(arrival + 2)
+            t_router.occupancy += 1
+            counters.buffer_writes += 1
+            self._active_routers.add(t_router.node)
+            res.flits_left -= 1
+            res.next_send_cycle = cycle + 1
+            if is_tail:
+                self._ev_credit_up(router.node, res.in_port, res.vc_id, cycle)
+                router.input_streaming[res.in_port] = False
+                del router.reservations[res.out_port]
+                heapq.heappush(sa_heap, (cycle, router.node))
+                if finished is None:
+                    finished = [res]
+                else:
+                    finished.append(res)
+        if finished:
+            if len(finished) == len(router.live):
+                router.live.clear()
+            else:
+                for res in finished:
+                    router.live.remove(res)
+
+    def _ev_inject_nic(self, nic: _NicSource, cycle: int) -> None:
+        """NIC injection for the event kernel.
+
+        Mirrors :meth:`_inject_nic`, but delivers through the cached
+        per-NIC context and starts a fully-bypassed packet as a single
+        scheduled chain instead of a per-cycle stream.
+        """
+        stream = nic.stream
+        ctx = self._nic_ctx[nic.node]
+        if stream is not None:
+            packet, flits, vc_id = stream
+            flit = flits.pop(0)
+            flit.vc = vc_id
+            self._ev_nic_deliver(flit, ctx, cycle)
+            if not flits:
+                nic.stream = None
+            return
+        if nic.queued == 0:
+            return
+        free_queue = ctx[1]
+        if not free_queue.available(cycle):
+            return
+        requesters = [fid for fid, queue in nic.queues.items() if queue]
+        if len(requesters) == 1:
+            winner = nic.rr.grant_sole(requesters[0])
+        else:
+            winner = nic.rr.grant(requesters)
+            if winner is None:
+                return
+        packet = nic.queues[winner].popleft()
+        nic.queued -= 1
+        vc_id = free_queue.acquire(cycle)
+        packet.inject_cycle = cycle
+        flits = packet.flits()
+        if ctx[2] is None:
+            # Fully bypassed source-to-destination chain: one event at
+            # the tail cycle performs the whole traversal.
+            chain = _NicChain(self, nic.node, flits, vc_id, ctx[0], cycle)
+            nic.stream = chain
+            self._chains[chain.cid] = chain
+            heapq.heappush(
+                self._nic_finish_heap, (chain.end_cycle, nic.node, chain)
+            )
+            return
+        flit = flits.pop(0)
+        flit.vc = vc_id
+        self._ev_nic_deliver(flit, ctx, cycle)
+        if flits:
+            nic.stream = (packet, flits, vc_id)
+
+    def _ev_nic_deliver(self, flit: Flit, ctx: tuple, cycle: int) -> None:
+        """Deliver one NIC flit through the cached injection context."""
+        _seg, _fq, t_router, t_buffer, crossed, hop_mm, extra, sink, end = ctx
+        arrival = cycle + extra
+        counters = self.counters
+        counters.crossbar_traversals += crossed
+        counters.link_flit_mm += hop_mm
+        counters.pipeline_latches += 1
+        if t_router is not None:
+            # Inline VirtualChannel.write(); guards preserved.
+            t_vc = t_buffer.vcs[flit.vc]
+            t_fifo = t_vc._fifo
+            if len(t_fifo) >= t_vc.depth:
+                raise OverflowError(
+                    "VC %d overflow: virtual cut-through guarantees violated"
+                    % t_vc.vc_id
+                )
+            if flit.is_head:
+                if t_vc.busy:
+                    raise RuntimeError(
+                        "head flit written to busy VC %d" % t_vc.vc_id
+                    )
+                t_vc.busy = True
+                t_router.head_slots[(end.port, flit.vc)] = t_vc
+                heapq.heappush(self._sa_heap, (arrival + 2, t_router.node))
+            t_fifo.append(flit)
+            t_vc._eligible.append(arrival + 2)
+            t_router.occupancy += 1
+            counters.buffer_writes += 1
+            self._active_routers.add(t_router.node)
+        else:
+            sink.flits_received += 1
+            packet = flit.packet
+            if flit.is_head:
+                packet.head_arrive_cycle = arrival
+            if flit.is_tail:
+                packet.tail_arrive_cycle = arrival
+                sink.packets_received += 1
+                self.stats.on_deliver(packet)
+                self._ev_credit_end(end, flit.vc, arrival)
+
+    def _ev_finish_res(self, chain: "_ResChain", cycle: int) -> None:
+        """Tail event of a chained reservation: replay the unsettled
+        sends, then tear the reservation down exactly as the per-cycle
+        tail send would (upstream credit, SA wake)."""
+        res = chain.res
+        router = chain.router
+        chain.advance(cycle)
+        del self._chains[chain.cid]
+        self._ev_credit_up(router.node, res.in_port, res.vc_id, cycle)
+        router.input_streaming[res.in_port] = False
+        del router.reservations[res.out_port]
+        heapq.heappush(self._sa_heap, (cycle, router.node))
+
+    def _ev_finish_nic(self, chain: "_NicChain", cycle: int) -> None:
+        """Tail event of a fully-bypassed chain: replay the unsettled
+        sends and free the injection port for the next cycle."""
+        chain.advance(cycle)
+        del self._chains[chain.cid]
+        nic = self.nic_sources[chain.node]
+        nic.stream = None
+        if nic.queued:
+            self._active_nics.add(chain.node)
+
+    def _ev_credit_up(
+        self, node: int, in_port: Port, vc_id: int, freed_cycle: int
+    ) -> None:
+        """Return the credit for a read-out tail flit to the upstream
+        segment start, waking its switch allocation when usable.
+
+        NIC injection queues need no wake: a NIC with queued packets
+        stays in the active set and retries every cycle, exactly like
+        the active kernel.
+        """
+        queue, crossed, hop_mm, wake = self._credit_up[(node, in_port)]
+        usable = freed_cycle + 1 + self._credit_latency
+        queue.release(vc_id, usable)
+        counters = self.counters
+        counters.credit_events += 1
+        counters.credit_crossbar_traversals += crossed
+        counters.credit_mm += hop_mm
+        if wake is not None:
+            heapq.heappush(self._sa_heap, (usable, wake))
+
+    def _ev_credit_end(self, end, vc_id: int, freed_cycle: int) -> None:
+        """Return the credit for a packet ejected at ``end`` (a NIC)."""
+        queue, crossed, hop_mm, wake = self._credit_end[id(end)]
+        usable = freed_cycle + 1 + self._credit_latency
+        queue.release(vc_id, usable)
+        counters = self.counters
+        counters.credit_events += 1
+        counters.credit_crossbar_traversals += crossed
+        counters.credit_mm += hop_mm
+        if wake is not None:
+            heapq.heappush(self._sa_heap, (usable, wake))
+
+    def _sync(self) -> None:
+        """Settle in-flight chains up to the last executed cycle.
+
+        Chain traversals attribute their per-flit counter and stats
+        updates when their finish event runs; a counter snapshot taken
+        mid-chain must first replay the sends that a per-cycle kernel
+        would already have performed.  Called around the
+        measurement-window snapshots of :meth:`run` and at the end of
+        :meth:`run_cycles`; a no-op for the other kernels.
+        """
+        if self.kernel != "event" or not self._chains:
+            return
+        through = self.cycle - 1
+        for cid in sorted(self._chains):
+            self._chains[cid].advance(through)
 
     # -- legacy kernel (full scans) ------------------------------------
 
@@ -690,10 +1349,12 @@ class Network:
         """
         for _ in range(warmup_cycles):
             self.step()
+        self._sync()
         baseline = self.counters.snapshot()
         self.stats.measuring = True
         for _ in range(measure_cycles):
             self.step()
+        self._sync()
         self.stats.measuring = False
         window_counters = self.counters.delta(baseline)
         drained = True
@@ -704,6 +1365,7 @@ class Network:
                 break
             self.step()
             drain_cycles += 1
+        self._sync()
         return SimResult(
             summary=self.stats.summary(),
             per_flow=self.stats.per_flow_summary(),
@@ -718,3 +1380,4 @@ class Network:
         """Advance a fixed number of cycles (used by scripted tests)."""
         for _ in range(cycles):
             self.step()
+        self._sync()

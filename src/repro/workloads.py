@@ -40,7 +40,12 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.apps.registry import PAPER_APP_ORDER, evaluation_task_graph
 from repro.config import NocConfig
-from repro.mapping.nmap import map_application, nmap_modified, placed_from_mapping
+from repro.mapping.nmap import (
+    nmap_modified,
+    place_application,
+    placed_from_mapping,
+)
+from repro.mapping.nonminimal import select_routes_nonminimal
 from repro.mapping.route_select import PlacedFlow, select_routes
 from repro.mapping.turn_model import TurnModel
 from repro.sim.flow import Flow
@@ -55,6 +60,39 @@ from repro.sim.traffic import RateScaledTraffic
 
 #: How a workload's ``load`` axis is interpreted.
 LOAD_AXES = ("bandwidth_scale", "injection_rate")
+
+#: Route-selection strategies a :class:`WorkloadSpec` may request.
+#: ``"minimal"`` is the paper's conflict-minimising minimal-route
+#: selection; ``"nonminimal"`` additionally considers bounded detours
+#: (`repro.mapping.nonminimal`) — on a SMART bypass chain extra hops are
+#: free, so a detour around a contended link trades zero latency for the
+#: 3-cycle stop the contention would have cost (§VI future work).
+ROUTINGS = ("minimal", "nonminimal")
+
+
+def route_demands(
+    mesh: Mesh,
+    placed: Sequence[PlacedFlow],
+    model: TurnModel = TurnModel.WEST_FIRST,
+    routing: str = "minimal",
+    hpc_max: int = 8,
+) -> List[Flow]:
+    """Run the shared route-selection stage for a demand set.
+
+    Dispatches on ``routing`` (see :data:`ROUTINGS`); every workload
+    build funnels through here, which is what lets sweeps request
+    non-minimal route selection with ``WorkloadSpec`` params alone.
+    """
+    if routing == "minimal":
+        return select_routes(mesh, placed, model=model)
+    if routing == "nonminimal":
+        return select_routes_nonminimal(
+            mesh, placed, model=model, hpc_max=hpc_max
+        )
+    raise ValueError(
+        "unknown routing %r (have %s)"
+        % (routing, ", ".join(ROUTINGS))
+    )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -155,12 +193,21 @@ class Workload:
         cfg: NocConfig,
         seed: int = 0,
         turn_model: TurnModel = TurnModel.WEST_FIRST,
+        routing: str = "minimal",
         **params,
     ) -> BuiltWorkload:
-        """Demands -> conflict-minimising turn-model routes."""
+        """Demands -> conflict-minimising turn-model routes.
+
+        ``routing="nonminimal"`` selects among bounded-detour candidates
+        too (:data:`ROUTINGS`), letting pattern sweeps exploit SMART's
+        free detours.
+        """
         mesh = Mesh(cfg.width, cfg.height)
         placed = self.placed(cfg, seed=seed, **params)
-        flows = select_routes(mesh, placed, model=turn_model)
+        flows = route_demands(
+            mesh, placed, model=turn_model, routing=routing,
+            hpc_max=cfg.hpc_max,
+        )
         return BuiltWorkload(self.name, self.load_axis, tuple(flows))
 
 
@@ -189,12 +236,21 @@ class AppWorkload(Workload):
         seed: int = 0,
         turn_model: TurnModel = TurnModel.WEST_FIRST,
         algorithm: str = "nmap_modified",
+        routing: str = "minimal",
         **params,
     ) -> BuiltWorkload:
+        # The same place -> demands -> route-selection pipeline as
+        # map_application, with the routing stage going through the
+        # shared dispatcher so any placement pairs with any routing.
         graph = evaluation_task_graph(self.name)
         mesh = Mesh(cfg.width, cfg.height)
-        mapping, flows = map_application(
-            graph, mesh, algorithm=algorithm, turn_model=turn_model, seed=seed
+        mapping = place_application(
+            graph, mesh, algorithm=algorithm, seed=seed
+        )
+        placed = placed_from_mapping(graph, mapping)
+        flows = route_demands(
+            mesh, placed, model=turn_model, routing=routing,
+            hpc_max=cfg.hpc_max,
         )
         return BuiltWorkload(
             self.name, self.load_axis, tuple(flows), mapping=mapping

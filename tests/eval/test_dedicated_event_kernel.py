@@ -1,0 +1,90 @@
+"""Dedicated baseline: event kernel vs legacy kernel equivalence.
+
+Mirrors ``tests/sim/test_event_kernel.py`` for the Dedicated ideal
+yardstick: direct ejections and shared-sink ejections run as scheduled
+chain events, sink allocation is wake-driven, and none of it may be
+observable next to the per-cycle kernels.
+"""
+
+import pytest
+
+from repro.config import NocConfig
+from repro.eval.dedicated import DEDICATED_KERNELS, DedicatedNetwork
+from repro.sim.patterns import synthetic_flows
+from repro.sim.topology import Mesh
+from repro.sim.traffic import BernoulliTraffic, RateScaledTraffic, ScriptedTraffic
+from repro.workloads import build_workload
+
+
+def _result_tuple(result):
+    return (
+        result.summary,
+        result.per_flow,
+        result.counters,
+        result.total_cycles,
+        result.drained,
+        result.undelivered_measured,
+    )
+
+
+class TestDedicatedEventEquivalence:
+    def test_event_kernel_registered(self):
+        assert "event" in DEDICATED_KERNELS
+
+    def test_unknown_kernel_rejected(self, cfg, mesh):
+        with pytest.raises(ValueError):
+            DedicatedNetwork(
+                cfg, mesh, [], ScriptedTraffic([]), kernel="warp"
+            )
+
+    @pytest.mark.parametrize("seed", [1, 2])
+    @pytest.mark.parametrize("pattern", ["uniform", "hotspot"])
+    def test_patterns_identical_8x8(self, pattern, seed):
+        """Uniform mixes direct and shared-sink ejections; hotspot is
+        all shared-sink serialisation (the worst case)."""
+        cfg = NocConfig(width=8, height=8)
+        mesh = Mesh(8, 8)
+        rate = 0.01 if pattern == "hotspot" else 0.015
+        results = {}
+        for kernel, mode in (("legacy", "legacy"), ("event", "predraw")):
+            flows = synthetic_flows(
+                pattern, cfg, injection_rate=rate, seed=seed
+            )
+            traffic = BernoulliTraffic(cfg, flows, seed=seed, mode=mode)
+            net = DedicatedNetwork(cfg, mesh, flows, traffic, kernel=kernel)
+            results[kernel] = _result_tuple(
+                net.run(warmup_cycles=150, measure_cycles=1200,
+                        drain_limit=15000)
+            )
+        assert results["legacy"] == results["event"]
+
+    @pytest.mark.parametrize("app", ["VOPD", "MWD"])
+    def test_apps_identical(self, cfg, mesh, app):
+        built = build_workload(app, cfg)
+        results = {}
+        for kernel, mode in (("legacy", "legacy"), ("event", "predraw")):
+            traffic = RateScaledTraffic(
+                cfg, built.flows, scale=8.0, seed=2, mode=mode
+            )
+            net = DedicatedNetwork(
+                cfg, mesh, built.flows, traffic, kernel=kernel
+            )
+            results[kernel] = _result_tuple(
+                net.run(warmup_cycles=150, measure_cycles=1200,
+                        drain_limit=15000)
+            )
+        assert results["legacy"] == results["event"]
+
+    def test_run_cycles_settles_chains(self):
+        cfg = NocConfig(width=8, height=8)
+        mesh = Mesh(8, 8)
+        out = {}
+        for kernel, mode in (("legacy", "legacy"), ("event", "predraw")):
+            flows = synthetic_flows(
+                "uniform", cfg, injection_rate=0.02, seed=3
+            )
+            traffic = BernoulliTraffic(cfg, flows, seed=3, mode=mode)
+            net = DedicatedNetwork(cfg, mesh, flows, traffic, kernel=kernel)
+            net.run_cycles(1237)
+            out[kernel] = (net.counters, net.stats.delivered_total)
+        assert out["legacy"] == out["event"]

@@ -394,3 +394,49 @@ class TestAggregateSummaries:
         merged = aggregate_summaries([LatencySummary.empty()])
         assert merged.count == 0
         assert math.isnan(merged.mean_head_latency)
+
+
+class TestKernelAndRoutingSpecs:
+    def test_event_kernel_sweep_matches_active(self):
+        """The kernel is plumbed through SweepJob; event and active
+        kernels produce identical aggregated rows."""
+        kwargs = dict(
+            workload="PIP", designs=("smart", "dedicated"), loads=(2.0,),
+            seeds=(1,), processes=0, **_TINY,
+        )
+        active = run_workload_sweep(kernel="active", **kwargs)
+        event = run_workload_sweep(kernel="event", **kwargs)
+        assert active == event
+
+    def test_kernel_joins_the_content_hash(self):
+        spec = WorkloadSpec.of("PIP")
+        active = make_stream_header(spec, NocConfig(), "active", "predraw", _TINY)
+        event = make_stream_header(spec, NocConfig(), "event", "predraw", _TINY)
+        assert active["spec_hash"] != event["spec_hash"]
+        assert event["sweep_spec"]["kernel"] == "event"
+
+    def test_resume_refuses_kernel_mismatch(self, tmp_path):
+        """A stream swept with one kernel cannot be resumed with
+        another: the kernel is part of the hashed spec header."""
+        path = str(tmp_path / "stream.jsonl")
+        kwargs = dict(
+            workload="PIP", designs=("smart",), loads=(1.0,), seeds=(1,),
+            processes=0, stream_path=path, **_TINY,
+        )
+        run_workload_sweep(kernel="active", **kwargs)
+        with pytest.raises(ValueError, match="refusing to resume"):
+            run_workload_sweep(kernel="event", resume=True, **kwargs)
+        # The matching kernel still resumes cleanly.
+        resumed = run_workload_sweep(kernel="active", resume=True, **kwargs)
+        assert resumed == run_workload_sweep(kernel="active", **kwargs)
+
+    def test_transpose_8x8_sweep_accepts_nonminimal_routing(self):
+        """ROADMAP item: pattern sweeps can reach
+        repro.mapping.nonminimal through a WorkloadSpec param."""
+        rows = run_workload_sweep(
+            WorkloadSpec.of("transpose", routing="nonminimal"),
+            designs=("smart",), loads=(0.01,), seeds=(1,),
+            cfg=NocConfig(width=8, height=8), processes=0, **_TINY,
+        )
+        assert rows[0]["smart"] > 0
+        assert not rows[0]["smart_saturated"]

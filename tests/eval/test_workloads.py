@@ -201,3 +201,33 @@ class TestWorkloadExperiments:
         assert rows[0]["workload"] == "transpose"
         assert rows[0]["mean_latency"] >= rows[1]["mean_latency"]
         assert rows[1]["forced_stops"] <= rows[0]["forced_stops"]
+
+
+class TestNonminimalRouting:
+    def test_routing_param_reaches_nonminimal_selection(self):
+        """routing="nonminimal" routes the same demand set through
+        repro.mapping.nonminimal: every route stays turn-model legal and
+        within the detour budget of its minimal length."""
+        cfg = NocConfig(width=8, height=8)
+        minimal = build_workload("transpose", cfg)
+        detoured = build_workload(
+            WorkloadSpec.of("transpose", routing="nonminimal"), cfg
+        )
+        assert len(minimal.flows) == len(detoured.flows)
+        min_len = {f.flow_id: len(f.route) for f in minimal.flows}
+        for flow in detoured.flows:
+            assert len(flow.route) >= min_len[flow.flow_id]
+            assert len(flow.route) <= min_len[flow.flow_id] + 2
+
+    def test_app_workload_supports_nonminimal(self):
+        built = build_workload(
+            WorkloadSpec.of("VOPD", routing="nonminimal"), NocConfig()
+        )
+        assert built.mapping is not None
+        assert built.flows
+
+    def test_unknown_routing_rejected(self):
+        with pytest.raises(ValueError, match="unknown routing"):
+            build_workload(
+                WorkloadSpec.of("transpose", routing="diagonal"), NocConfig()
+            )

@@ -1,0 +1,201 @@
+"""Event kernel vs legacy kernel: results must be bit-identical.
+
+The event kernel schedules deterministic chain traversals as single
+heap events and runs switch allocation only on wake events; these tests
+pin down that none of it is observable — identical latency summaries,
+per-flow summaries, event counters and per-packet timestamps across
+every registered workload (all 8 SoC apps and all 6 synthetic
+patterns), multiple seeds, both the mesh and SMART designs, and
+saturated (clamped) operation.
+"""
+
+import pytest
+
+from repro.apps.registry import PAPER_APP_ORDER
+from repro.config import NocConfig
+from repro.core.noc_builder import build_mesh_noc, build_smart_noc
+from repro.eval.designs import build_design
+from repro.eval.scenarios import fig7_flows
+from repro.sim.network import KERNELS
+from repro.sim.patterns import PATTERNS
+from repro.sim.traffic import RateScaledTraffic, ScriptedTraffic
+from repro.workloads import build_seed_for, build_workload
+
+#: The six pure synthetic patterns; the background_hotspot composite
+#: (summed uniform + hotspot demand sets) gets its own case below.
+PURE_PATTERNS = tuple(p for p in PATTERNS if p != "background_hotspot")
+
+#: Short-but-representative run window; small enough that the full
+#: 8-app x 6-pattern matrix stays in tier-1 budget, long enough that
+#: measurement-window snapshots land mid-chain.
+RUN = dict(warmup_cycles=150, measure_cycles=900, drain_limit=12000)
+
+
+def _result_tuple(result):
+    return (
+        result.summary,
+        result.per_flow,
+        result.counters,
+        result.measured_cycles,
+        result.total_cycles,
+        result.drained,
+        result.undelivered_measured,
+    )
+
+
+def _run(built, cfg, design, kernel, mode, load, seed):
+    traffic = RateScaledTraffic(
+        cfg, built.flows, scale=load, seed=seed, mode=mode
+    )
+    instance = build_design(
+        design, cfg, built.flows, traffic=traffic, kernel=kernel
+    )
+    return _result_tuple(instance.run(**RUN))
+
+
+class TestScriptedEquivalence:
+    def test_fig7_per_packet_timestamps_identical(self, cfg):
+        results = {}
+        for kernel in ("legacy", "event"):
+            flows = fig7_flows()
+            noc = build_smart_noc(
+                cfg, flows,
+                traffic=ScriptedTraffic([(1, f.flow_id) for f in flows]),
+                kernel=kernel,
+            )
+            noc.network.stats.measuring = True
+            noc.network.run_cycles(200)
+            results[kernel] = (
+                {
+                    p.flow_id: (p.create_cycle, p.inject_cycle,
+                                p.head_arrive_cycle, p.tail_arrive_cycle)
+                    for p in noc.network.stats.measured_delivered
+                },
+                noc.network.counters,
+            )
+        assert results["legacy"] == results["event"]
+
+    def test_fig7_single_cycle_paths_preserved(self, cfg):
+        flows = fig7_flows()
+        noc = build_smart_noc(
+            cfg, flows,
+            traffic=ScriptedTraffic([(1, f.flow_id) for f in flows]),
+            kernel="event",
+        )
+        noc.network.stats.measuring = True
+        noc.network.run_cycles(200)
+        by_name = {
+            flows[p.flow_id].name: p.head_latency
+            for p in noc.network.stats.measured_delivered
+        }
+        assert by_name["green"] == 1
+        assert by_name["purple"] == 1
+
+
+class TestAllWorkloadsEquivalence:
+    """The acceptance matrix: every registered workload, across seeds."""
+
+    @pytest.mark.parametrize("seed", [1, 2])
+    @pytest.mark.parametrize("app", PAPER_APP_ORDER)
+    def test_apps_identical_on_smart(self, cfg, app, seed):
+        built = build_workload(app, cfg, seed=build_seed_for(app, seed))
+        legacy = _run(built, cfg, "smart", "legacy", "legacy", 4.0, seed)
+        event = _run(built, cfg, "smart", "event", "predraw", 4.0, seed)
+        assert legacy == event
+
+    @pytest.mark.parametrize("seed", [1, 2])
+    @pytest.mark.parametrize("pattern", PURE_PATTERNS)
+    def test_patterns_identical_on_smart_8x8(self, pattern, seed):
+        cfg = NocConfig(width=8, height=8)
+        built = build_workload(
+            pattern, cfg, seed=build_seed_for(pattern, seed)
+        )
+        legacy = _run(built, cfg, "smart", "legacy", "legacy", 0.01, seed)
+        event = _run(built, cfg, "smart", "event", "predraw", 0.01, seed)
+        assert legacy == event
+
+    def test_composite_workload_identical_on_smart_8x8(self):
+        """The background_hotspot mix sums demand sets, so sources
+        inject several flows through one NIC port — worth its own pin."""
+        cfg = NocConfig(width=8, height=8)
+        built = build_workload(
+            "background_hotspot", cfg,
+            seed=build_seed_for("background_hotspot", 1),
+        )
+        legacy = _run(built, cfg, "smart", "legacy", "legacy", 0.02, 1)
+        event = _run(built, cfg, "smart", "event", "predraw", 0.02, 1)
+        assert legacy == event
+
+    @pytest.mark.parametrize("app", ["PIP", "VOPD"])
+    def test_apps_identical_on_mesh(self, cfg, app):
+        built = build_workload(app, cfg)
+        legacy = _run(built, cfg, "mesh", "legacy", "legacy", 4.0, 1)
+        event = _run(built, cfg, "mesh", "event", "predraw", 4.0, 1)
+        assert legacy == event
+
+    @pytest.mark.parametrize("pattern", ["transpose", "bit_complement"])
+    def test_patterns_identical_on_mesh_8x8(self, pattern):
+        cfg = NocConfig(width=8, height=8)
+        built = build_workload(pattern, cfg)
+        legacy = _run(built, cfg, "mesh", "legacy", "legacy", 0.01, 1)
+        event = _run(built, cfg, "mesh", "event", "predraw", 0.01, 1)
+        assert legacy == event
+
+    def test_saturated_run_identical_and_survives(self, cfg):
+        """Past saturation (clamped flows) the event kernel agrees with
+        the legacy kernel and neither crashes."""
+        built = build_workload("PIP", cfg)
+        results = {}
+        for kernel, mode in (("legacy", "legacy"), ("event", "predraw")):
+            traffic = RateScaledTraffic(
+                cfg, built.flows, scale=1024.0, seed=1, mode=mode
+            )
+            assert traffic.clamped_rates, "scale 1024 should clamp flows"
+            instance = build_design(
+                "mesh", cfg, built.flows, traffic=traffic, kernel=kernel
+            )
+            r = instance.run(
+                warmup_cycles=100, measure_cycles=1000, drain_limit=500
+            )
+            results[kernel] = (r.summary, r.counters, r.drained)
+        assert results["legacy"] == results["event"]
+
+    def test_run_cycles_settles_chains(self):
+        """Counters read after run_cycles must already include in-flight
+        chain traversals (the _sync settlement path)."""
+        cfg = NocConfig(width=8, height=8)
+        built = build_workload("uniform", cfg, seed=3)
+        counters = {}
+        for kernel, mode in (("legacy", "legacy"), ("event", "predraw")):
+            traffic = RateScaledTraffic(
+                cfg, built.flows, scale=0.02, seed=3, mode=mode
+            )
+            noc = build_smart_noc(
+                cfg, built.flows, traffic=traffic, kernel=kernel
+            )
+            # An odd cycle count lands mid-packet for most streams.
+            noc.network.run_cycles(1237)
+            counters[kernel] = (
+                noc.network.counters, noc.network.stats.delivered_total
+            )
+        assert counters["legacy"] == counters["event"]
+
+
+class TestKernelSelection:
+    def test_event_kernel_registered(self):
+        assert "event" in KERNELS
+
+    def test_unknown_kernel_rejected(self, cfg, fig7_flow_set):
+        with pytest.raises(ValueError):
+            build_smart_noc(
+                cfg, fig7_flow_set,
+                traffic=ScriptedTraffic([]), kernel="warp",
+            )
+
+    def test_idle_network_gates_every_router(self, cfg, fig7_flow_set):
+        noc = build_smart_noc(
+            cfg, fig7_flow_set, traffic=ScriptedTraffic([]), kernel="event"
+        )
+        noc.network.run_cycles(500)
+        assert noc.network.counters.clock_router_cycles == 0
+        assert noc.network.counters.total_router_cycles == 500 * 16

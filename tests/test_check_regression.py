@@ -1,0 +1,165 @@
+"""Unit tests for the CI benchmark-regression gate."""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_SCRIPT = os.path.join(
+    os.path.dirname(__file__), "..", "benchmarks", "check_regression.py"
+)
+
+
+@pytest.fixture(scope="module")
+def _checker_module():
+    spec = importlib.util.spec_from_file_location("check_regression", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture
+def checker(_checker_module, monkeypatch):
+    # When the suite itself runs under GitHub Actions, main() would
+    # otherwise append the fake tables below to the real job summary.
+    monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+    return _checker_module
+
+
+ENV = {
+    "platform": "Linux-test", "machine": "x86_64",
+    "cpu_count": 8, "python": "3.11.7",
+}
+
+
+def _bench(rate, event_rate=None, env=ENV, cycles=12000, speedup=None):
+    doc = {
+        "bench": "kernel_speed",
+        "cycles": cycles,
+        "smart_uniform": {"active_cycles_per_sec": rate},
+        "environment": dict(env),
+    }
+    if event_rate is not None:
+        doc["smart_uniform"]["event_cycles_per_sec"] = event_rate
+    if speedup is not None:
+        doc["smart_uniform"]["event_speedup_vs_active"] = speedup
+    return doc
+
+
+def _write(tmp_path, name, doc):
+    path = tmp_path / name
+    path.write_text(json.dumps(doc))
+    return str(path)
+
+
+class TestRateDiscovery:
+    def test_iter_rates_finds_nested_metrics(self, checker):
+        doc = _bench(1000.0, event_rate=2000.0)
+        doc["top_cycles_per_sec"] = 5.0
+        rates = dict(checker.iter_rates(doc))
+        assert rates == {
+            "smart_uniform.active_cycles_per_sec": 1000.0,
+            "smart_uniform.event_cycles_per_sec": 2000.0,
+            "top_cycles_per_sec": 5.0,
+        }
+
+    def test_iter_speedups_finds_ratio_metrics(self, checker):
+        doc = _bench(1000.0, speedup=1.59)
+        assert dict(checker.iter_speedups(doc)) == {
+            "smart_uniform.event_speedup_vs_active": 1.59,
+        }
+
+    def test_environment_comparison(self, checker):
+        other = dict(ENV, cpu_count=4)
+        assert checker.comparable_machines(_bench(1.0), _bench(1.0))
+        assert not checker.comparable_machines(
+            _bench(1.0), _bench(1.0, env=other)
+        )
+        assert not checker.comparable_machines({}, _bench(1.0))
+
+    def test_run_length_joins_comparability(self, checker):
+        """Short-mode rates (fewer simulated cycles) never gate against
+        long-run baselines, even on the same machine."""
+        assert checker.comparable_runs(_bench(1.0), _bench(1.0))
+        assert not checker.comparable_runs(
+            _bench(1.0), _bench(1.0, cycles=6000)
+        )
+
+
+class TestGate:
+    def test_ok_within_threshold(self, checker, tmp_path, capsys):
+        baseline = _write(tmp_path, "base.json", _bench(1000.0))
+        fresh = _write(tmp_path, "fresh.json", _bench(800.0))
+        assert checker.main([baseline, fresh, "--threshold", "0.30"]) == 0
+        out = capsys.readouterr().out
+        assert "| ok |" in out
+
+    def test_regression_beyond_threshold_fails(self, checker, tmp_path):
+        baseline = _write(tmp_path, "base.json", _bench(1000.0))
+        fresh = _write(tmp_path, "fresh.json", _bench(600.0))
+        assert checker.main([baseline, fresh, "--threshold", "0.30"]) == 1
+
+    def test_cross_machine_regression_only_warns(
+        self, checker, tmp_path, capsys
+    ):
+        baseline = _write(tmp_path, "base.json", _bench(1000.0))
+        fresh = _write(
+            tmp_path, "fresh.json",
+            _bench(100.0, env=dict(ENV, platform="Darwin-test")),
+        )
+        assert checker.main([baseline, fresh, "--threshold", "0.30"]) == 0
+        out = capsys.readouterr().out
+        assert "cross-machine" in out
+        assert "regressed" in out  # still reported in the table
+
+    def test_short_mode_rate_drop_only_warns(self, checker, tmp_path):
+        baseline = _write(tmp_path, "base.json", _bench(1000.0))
+        fresh = _write(
+            tmp_path, "fresh.json", _bench(600.0, cycles=6000)
+        )
+        assert checker.main([baseline, fresh, "--threshold", "0.30"]) == 0
+
+    def test_speedup_regression_enforced_cross_machine(
+        self, checker, tmp_path
+    ):
+        """Kernel speedup ratios transfer across hardware, so a >30%
+        ratio collapse fails even when rates are warn-only."""
+        baseline = _write(
+            tmp_path, "base.json", _bench(1000.0, speedup=1.6)
+        )
+        fresh = _write(
+            tmp_path, "fresh.json",
+            _bench(950.0, speedup=1.0,
+                   env=dict(ENV, platform="Darwin-test"), cycles=6000),
+        )
+        assert checker.main([baseline, fresh, "--threshold", "0.30"]) == 1
+
+    def test_missing_metric_fails_even_cross_machine(
+        self, checker, tmp_path
+    ):
+        baseline = _write(
+            tmp_path, "base.json", _bench(1000.0, event_rate=2000.0)
+        )
+        fresh = _write(
+            tmp_path, "fresh.json",
+            _bench(1000.0, env=dict(ENV, platform="Darwin-test")),
+        )
+        assert checker.main([baseline, fresh]) == 1
+
+    def test_summary_file_receives_table(self, checker, tmp_path):
+        baseline = _write(tmp_path, "base.json", _bench(1000.0))
+        fresh = _write(tmp_path, "fresh.json", _bench(990.0))
+        summary = tmp_path / "summary.md"
+        assert checker.main(
+            [baseline, fresh, "--summary", str(summary)]
+        ) == 0
+        text = summary.read_text()
+        assert "| metric |" in text
+        assert "smart_uniform.active_cycles_per_sec" in text
+
+    def test_odd_file_count_is_usage_error(self, checker, tmp_path):
+        baseline = _write(tmp_path, "base.json", _bench(1000.0))
+        with pytest.raises(SystemExit) as exc:
+            checker.main([baseline])
+        assert exc.value.code == 2

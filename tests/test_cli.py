@@ -151,3 +151,34 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "[1/1]" not in out  # nothing re-ran
         assert "Latency vs load (PIP" in out
+
+
+class TestSweepKernelFlag:
+    def test_sweep_accepts_event_kernel(self, capsys, tmp_path):
+        main([
+            "sweep", "--workload", "transpose", "--designs", "smart",
+            "--loads", "0.01", "--measure", "500", "--jobs", "0",
+            "--kernel", "event", "--out", str(tmp_path / "sweep.json"),
+        ])
+        out = capsys.readouterr().out
+        assert "Latency vs injection rate (transpose" in out
+        import json
+        meta = json.load(open(str(tmp_path / "sweep.json")))["meta"]
+        assert meta["kernel"] == "event"
+
+    def test_resume_with_mismatched_kernel_refuses_stream(
+        self, capsys, tmp_path
+    ):
+        args = [
+            "sweep", "--workload", "transpose", "--designs", "smart",
+            "--loads", "0.01", "--measure", "500", "--jobs", "0",
+            "--out", str(tmp_path / "sweep.json"),
+        ]
+        main(args + ["--kernel", "active"])
+        capsys.readouterr()
+        with pytest.raises(ValueError, match="refusing to resume"):
+            main(args + ["--kernel", "event", "--resume"])
+
+    def test_unknown_kernel_rejected_at_parse_time(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--workload", "PIP", "--kernel", "warp"])
