@@ -25,10 +25,14 @@ interchangeable execution kernels (``kernel="active"`` is the default):
 * ``"event"`` additionally schedules every deterministic stream as a
   single heap event at its tail cycle: a direct source-to-destination
   ejection (no shared sink) is fully determined when the packet starts,
-  and a shared-sink ejection is fully determined at allocation (its
-  feeder channel streams contiguously, so reads always trail arrivals).
-  Sink allocation runs only on wake events — a head became eligible, a
-  NIC credit became usable, an ejection finished — mirroring the event
+  a channel feeding a shared sink is fully determined too (only its
+  head write is performed per-cycle — it is what arms sink allocation —
+  and the remaining writes defer as the registered *writer* of the
+  hand-off VC), and a shared-sink ejection is fully determined at
+  allocation (its feeder channel streams contiguously, so reads always
+  trail arrivals; settlement advances the feeder chain first).  Sink
+  allocation runs only on wake events — a head became eligible, a NIC
+  credit became usable, an ejection finished — mirroring the event
   kernel of ``repro.sim.network`` (see ``docs/kernel.md``).
 * ``"legacy"`` scans every flow, channel and sink every cycle, exactly as
   the original simulator did; it is kept as the behavioural reference.
@@ -158,11 +162,13 @@ class _DedChannelChain:
         flits = self.flits
         vc_id = self.vc_id
         idx = self.idx
+        # Batched totals are bit-exact: integral event counts, integral
+        # per-hop millimetres.
+        counters.link_flit_mm += length * (last - cycle + 1)
         while cycle <= last:
             flit = flits[idx]
             idx += 1
             flit.vc = vc_id
-            counters.link_flit_mm += length
             packet = flit.packet
             if flit.is_head:
                 packet.head_arrive_cycle = cycle
@@ -177,24 +183,39 @@ class _DedChannelChain:
         self.next_send = cycle
 
 
-class _DedEjectChain:
-    """A shared-sink ejection streaming its packet as one event.
+class _DedFeedChain:
+    """A channel streaming the rest of its packet into a shared sink.
 
-    Deterministic from allocation: the feeder channel streams
-    contiguously and reads trail arrivals by the two-cycle BW stage plus
-    the allocation cycle, so every flit is buffered and eligible by its
-    ejection cycle.
+    The Dedicated analogue of the mesh kernel's mid-chains
+    (``repro.sim.network._MidChain``): the head flit is written
+    per-cycle — it is what arms sink allocation and keeps the sink's
+    occupancy non-zero for clock accounting — and the remaining flits
+    defer, because their only observer is the ejection chain's reads,
+    which are themselves deferred and trail these writes by the
+    two-cycle BW stage plus the allocation cycle (the read-lag
+    induction generalized to the hand-off buffer).  The chain registers
+    as the writer of its hand-off VC so the consuming
+    :class:`_DedEjectChain` links back to it as ``feeder`` and
+    settlement replays writes before reads.
     """
 
-    __slots__ = ("net", "sink", "res", "vc", "next_send", "end_cycle", "cid")
+    __slots__ = ("net", "channel", "packet", "flits", "vc_id", "sink",
+                 "t_vc", "writer_key", "idx", "next_send", "end_cycle",
+                 "cid")
 
-    def __init__(self, net, sink, res, start_cycle):
+    def __init__(self, net, channel, packet, flits, vc_id, start_cycle):
         self.net = net
-        self.sink = sink
-        self.res = res
-        self.vc = res.vc
+        self.channel = channel
+        self.packet = packet
+        self.flits = flits
+        self.vc_id = vc_id
+        self.sink = channel.sink
+        self.t_vc = channel.sink_buffer.vcs[vc_id]
+        self.writer_key = (channel.flow.flow_id, vc_id)
+        net._chain_writers[self.writer_key] = self
+        self.idx = 0
         self.next_send = start_cycle
-        self.end_cycle = start_cycle + res.flits_left - 1
+        self.end_cycle = start_cycle + len(flits) - 1
         self.cid = next(net._chain_seq)
 
     def advance(self, through: int) -> None:
@@ -206,33 +227,106 @@ class _DedEjectChain:
             return
         net = self.net
         counters = net.counters
+        sink = self.sink
+        t_vc = self.t_vc
+        t_fifo = t_vc._fifo
+        t_elig = t_vc._eligible
+        depth = t_vc.depth
+        length = self.channel.length_mm
+        flits = self.flits
+        vc_id = self.vc_id
+        idx = self.idx
+        count = last - cycle + 1
+        counters.link_flit_mm += length * count
+        counters.pipeline_latches += count
+        counters.buffer_writes += count
+        sink.occupancy += count
+        if len(t_fifo) + count > depth:
+            raise OverflowError(
+                "VC %d overflow: virtual cut-through guarantees violated"
+                % t_vc.vc_id
+            )
+        while cycle <= last:
+            flit = flits[idx]
+            idx += 1
+            flit.vc = vc_id
+            t_fifo.append(flit)
+            t_elig.append(cycle + 2)
+            cycle += 1
+        net._active_sinks.add(sink.node)
+        self.idx = idx
+        self.next_send = cycle
+
+
+class _DedEjectChain:
+    """A shared-sink ejection streaming its packet as one event.
+
+    Deterministic from allocation: the feeder channel streams
+    contiguously and reads trail arrivals by the two-cycle BW stage plus
+    the allocation cycle, so every flit is buffered and eligible by its
+    ejection cycle.  The feeder's writes may themselves be deferred (a
+    :class:`_DedFeedChain`); settlement advances the feeder first so
+    the replayed reads find their flits.
+    """
+
+    __slots__ = ("net", "sink", "res", "vc", "feeder", "next_send",
+                 "end_cycle", "cid")
+
+    def __init__(self, net, sink, res, start_cycle):
+        self.net = net
+        self.sink = sink
+        self.res = res
+        self.vc = res.vc
+        self.feeder = net._chain_writers.get((res.flow_id, res.vc_id))
+        self.next_send = start_cycle
+        self.end_cycle = start_cycle + res.flits_left - 1
+        self.cid = next(net._chain_seq)
+
+    def advance(self, through: int) -> None:
+        last = self.end_cycle
+        if through < last:
+            last = through
+        cycle = self.next_send
+        if cycle > last:
+            return
+        feeder = self.feeder
+        if feeder is not None:
+            feeder.advance(through)
+        net = self.net
+        counters = net.counters
         res = self.res
         sink = self.sink
         vc = self.vc
-        head_key = (res.flow_id, res.vc_id)
         vc_fifo = vc._fifo
         vc_elig = vc._eligible
+        # Batched totals are bit-exact (integral event counts); the
+        # loop inlines VirtualChannel.read() (hot path).
+        count = last - cycle + 1
+        counters.buffer_reads += count
+        counters.crossbar_traversals += count
+        sink.occupancy -= count
+        res.flits_left -= count
+        res.next_send_cycle = last + 1
         while cycle <= last:
-            # Inline VirtualChannel.read() (hot path).
             vc_elig.popleft()
             flit = vc_fifo.popleft()
+            if flit.is_head:
+                flit.packet.head_arrive_cycle = cycle
             if flit.is_tail:
                 vc.busy = False
-            sink.occupancy -= 1
-            if flit.is_head:
-                del sink.head_slots[head_key]
-            counters.buffer_reads += 1
-            counters.crossbar_traversals += 1
-            packet = flit.packet
-            if flit.is_head:
-                packet.head_arrive_cycle = cycle
-            if flit.is_tail:
+                packet = flit.packet
                 packet.tail_arrive_cycle = cycle
                 net.stats.on_deliver(packet)
-            res.flits_left -= 1
-            res.next_send_cycle = cycle + 1
             cycle += 1
         self.next_send = cycle
+
+
+#: Channel stream states that are scheduled chains.  In the event
+#: kernel every multi-flit stream converts to a chain at its head
+#: write, so the tuple form of ``channel.stream`` exists only within a
+#: single `_ev_send_channel` call (and across cycles in the per-cycle
+#: kernels, which never consult this).
+_DED_CHAIN_TYPES = (_DedChannelChain, _DedFeedChain)
 
 
 class DedicatedNetwork:
@@ -306,8 +400,13 @@ class DedicatedNetwork:
         # traversals (one event per chain, popped at the tail cycle),
         # (cycle, node) sink-allocation wakes, and the in-flight chains
         # for partial settlement at counter-snapshot boundaries.
+        # ``_chain_writers`` is the chain dependency graph: the feed
+        # chain currently deferring writes into a sink VC, keyed by
+        # (flow_id, vc_id); ejection chains link back to it as their
+        # ``feeder`` so settlement is feeder-ordered.
         self._chain_seq = itertools.count()
         self._chains: Dict[int, object] = {}
+        self._chain_writers: Dict[Tuple[int, int], object] = {}
         self._ch_finish_heap: List[tuple] = []
         self._ej_finish_heap: List[tuple] = []
         self._sa_heap: List[Tuple[int, int]] = []
@@ -440,7 +539,7 @@ class DedicatedNetwork:
             all_channels = self.channels
             for flow_id in channels:
                 channel = all_channels[flow_id]
-                if type(channel.stream) is _DedChannelChain:
+                if type(channel.stream) in _DED_CHAIN_TYPES:
                     if idle_channels is None:
                         idle_channels = [flow_id]
                     else:
@@ -448,7 +547,7 @@ class DedicatedNetwork:
                     continue
                 self._ev_send_channel(channel, cycle)
                 stream = channel.stream
-                if type(stream) is _DedChannelChain or (
+                if type(stream) in _DED_CHAIN_TYPES or (
                     stream is None and not channel.queue
                 ):
                     if idle_channels is None:
@@ -497,7 +596,9 @@ class DedicatedNetwork:
         Mirrors :meth:`_send_channel`; a packet starting on a direct
         (unshared) channel becomes a scheduled chain, and a head written
         into a shared sink wakes that sink's allocation for its
-        eligibility cycle.
+        eligibility cycle — then the rest of the packet defers as a
+        :class:`_DedFeedChain` (the head write is the only per-cycle
+        observable of the stream).
         """
         stream = channel.stream
         if stream is None:
@@ -549,6 +650,15 @@ class DedicatedNetwork:
         self._active_sinks.add(sink.node)
         if not flits:
             channel.stream = None
+        elif flit.is_head:
+            chain = _DedFeedChain(self, channel, packet, flits, vc_id,
+                                  cycle + 1)
+            channel.stream = chain
+            self._chains[chain.cid] = chain
+            heapq.heappush(
+                self._ch_finish_heap,
+                (chain.end_cycle, channel.flow.flow_id, chain),
+            )
 
     def _ev_allocate_sink(self, sink: _SharedSink, cycle: int) -> None:
         """Sink allocation over the candidate heads.
@@ -582,6 +692,10 @@ class DedicatedNetwork:
                 return
         counters.sa_grants += 1
         fid, vc_id = winner
+        # A granted flow is invisible to allocation (``flow_streaming``)
+        # until its ejection finishes — drop its candidate entry now so
+        # later scans never iterate it.
+        del sink.head_slots[winner]
         vc = sink.buffers[fid].vc(vc_id)
         head = vc.front()
         res = _SinkReservation(
@@ -616,13 +730,21 @@ class DedicatedNetwork:
         heapq.heappush(self._sa_heap, (usable, sink.node))
         sink.flow_streaming[res.flow_id] = False
         sink.reservation = None
-        heapq.heappush(self._sa_heap, (cycle, sink.node))
+        if sink.head_slots:
+            # Only already-waiting heads can use this release wake; a
+            # head written later this cycle wakes allocation itself.
+            heapq.heappush(self._sa_heap, (cycle, sink.node))
 
-    def _ev_finish_channel(self, chain: "_DedChannelChain", cycle: int) -> None:
-        """Tail event of a direct-channel chain: free the channel for
-        its next packet (which may start next cycle)."""
+    def _ev_finish_channel(self, chain, cycle: int) -> None:
+        """Tail event of a channel chain (direct ejection or shared-sink
+        feed): free the channel for its next packet (which may start
+        next cycle)."""
         chain.advance(cycle)
         del self._chains[chain.cid]
+        if type(chain) is _DedFeedChain:
+            writers = self._chain_writers
+            if writers.get(chain.writer_key) is chain:
+                del writers[chain.writer_key]
         channel = chain.channel
         channel.stream = None
         if channel.queue:

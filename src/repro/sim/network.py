@@ -26,14 +26,19 @@ Three execution kernels share this timing model:
   cycles cost O(1).
 * ``kernel="event"`` goes one step further: switch allocation runs only
   when a wake condition (head eligibility, credit return, output
-  release) can change its outcome, and every stream whose chain ends at
-  the destination NIC — provably deterministic once granted — collapses
-  into a *single* scheduled heap event at its tail cycle that performs
-  the buffer reads, credit return and stats updates for the whole
-  traversal (fully-bypassed packets are one event NIC to NIC).  Counter
-  snapshots settle in-flight chains first, so every count lands in the
-  same measurement window as a per-cycle execution (see
-  ``docs/kernel.md``).
+  release) can change its outcome, and every granted stream — provably
+  deterministic once granted — collapses into a *single* scheduled heap
+  event at its tail cycle that performs the buffer reads, writes,
+  credit return and stats updates for the whole traversal
+  (fully-bypassed packets are one event NIC to NIC).  Streams ending at
+  an intermediate stop chain too: only their head flit is delivered
+  per-cycle (it is what switch allocation downstream observes); the
+  rest of the packet joins a *chain dependency graph* — who feeds whom
+  across hand-off buffers — and is settled feeder-before-consumer, so
+  a whole producer -> consumer cascade replays as a few events instead
+  of per-cycle stepping.  Counter snapshots settle in-flight chains
+  first (in dependency order), so every count lands in the same
+  measurement window as a per-cycle execution (see ``docs/kernel.md``).
 * ``kernel="legacy"`` iterates every router, buffer and NIC every cycle,
   exactly as the original simulator did; it exists as a regression
   reference (see ``docs/kernel.md``).
@@ -246,23 +251,23 @@ class _NicChain:
         flits = self.flits
         vc_id = self.vc_id
         idx = self.idx
+        count = last - cycle + 1
+        counters.crossbar_traversals += crossed * count
+        counters.link_flit_mm += hop_mm * count
+        counters.pipeline_latches += count
+        sink.flits_received += count
         while cycle <= last:
             flit = flits[idx]
             idx += 1
             flit.vc = vc_id
-            arrival = cycle + extra
-            counters.crossbar_traversals += crossed
-            counters.link_flit_mm += hop_mm
-            counters.pipeline_latches += 1
-            sink.flits_received += 1
-            packet = flit.packet
             if flit.is_head:
-                packet.head_arrive_cycle = arrival
+                flit.packet.head_arrive_cycle = cycle + extra
             if flit.is_tail:
-                packet.tail_arrive_cycle = arrival
+                packet = flit.packet
+                packet.tail_arrive_cycle = cycle + extra
                 sink.packets_received += 1
                 net.stats.on_deliver(packet)
-                net._ev_credit_end(segment.end, vc_id, arrival)
+                net._ev_credit_end(segment.end, vc_id, cycle + extra)
             cycle += 1
         self.idx = idx
         self.next_send = cycle
@@ -279,14 +284,19 @@ class _ResChain:
     one per-cycle send each.
     """
 
-    __slots__ = ("net", "router", "res", "vc", "next_send", "end_cycle",
-                 "cid")
+    __slots__ = ("net", "router", "res", "vc", "feeder", "next_send",
+                 "end_cycle", "cid")
 
     def __init__(self, net, router, res, start_cycle):
         self.net = net
         self.router = router
         self.res = res
         self.vc = res.vc
+        #: The chain (if any) deferring writes into the VC this stream
+        #: reads from; settled first so replayed reads find their flits.
+        self.feeder = net._chain_writers.get(
+            (router.node, res.in_port, res.vc_id)
+        )
         self.next_send = start_cycle
         self.end_cycle = start_cycle + res.flits_left - 1
         self.cid = next(net._chain_seq)
@@ -298,6 +308,9 @@ class _ResChain:
         cycle = self.next_send
         if cycle > last:
             return
+        feeder = self.feeder
+        if feeder is not None:
+            feeder.advance(through)
         net = self.net
         counters = net.counters
         res = self.res
@@ -309,38 +322,214 @@ class _ResChain:
         extra = segment.extra_cycles
         sink = net.nic_sinks[segment.end.node]
         assigned = res.assigned_vc
-        head_key = (res.in_port, res.vc_id)
         vc_fifo = vc._fifo
         vc_elig = vc._eligible
+        # Counter totals batched outside the loop (bit-exact: integral
+        # event counts and integral per-hop millimetres); the head's
+        # ``head_slots`` entry was already dropped at grant (granted
+        # inputs are invisible to SA), so the loop — the kernel's
+        # hottest path, inlining VirtualChannel.read() — replays only
+        # fifo state and the head/tail packet events.
+        count = last - cycle + 1
+        counters.buffer_reads += count
+        counters.crossbar_traversals += crossed * count
+        counters.link_flit_mm += hop_mm * count
+        counters.pipeline_latches += count
+        sink.flits_received += count
+        router.occupancy -= count
+        res.flits_left -= count
+        res.next_send_cycle = last + 1
         while cycle <= last:
-            # Inline VirtualChannel.read() — this loop is the kernel's
-            # hottest path.
             vc_elig.popleft()
             flit = vc_fifo.popleft()
+            flit.vc = assigned
+            if flit.is_head:
+                flit.packet.head_arrive_cycle = cycle + extra
             if flit.is_tail:
                 vc.busy = False
-            router.occupancy -= 1
-            if flit.is_head:
-                del router.head_slots[head_key]
-            counters.buffer_reads += 1
-            flit.vc = assigned
-            arrival = cycle + extra
-            counters.crossbar_traversals += crossed
-            counters.link_flit_mm += hop_mm
-            counters.pipeline_latches += 1
-            sink.flits_received += 1
-            packet = flit.packet
-            if flit.is_head:
-                packet.head_arrive_cycle = arrival
-            if flit.is_tail:
-                packet.tail_arrive_cycle = arrival
+                packet = flit.packet
+                packet.tail_arrive_cycle = cycle + extra
                 sink.packets_received += 1
                 net.stats.on_deliver(packet)
-                net._ev_credit_end(segment.end, assigned, arrival)
-            res.flits_left -= 1
-            res.next_send_cycle = cycle + 1
+                net._ev_credit_end(segment.end, assigned, cycle + extra)
             cycle += 1
         self.next_send = cycle
+
+
+class _MidChain:
+    """A reserved output streaming into a buffered stop, as one event.
+
+    Created by the event kernel right after a non-final stream sends its
+    head flit: the head must travel per-cycle (its buffer write is what
+    downstream switch allocation and clock gating observe at exact
+    cycles), but the remaining flits are deterministic — the generalized
+    read-lag induction: this stream's reads trail its feeder's
+    contiguous sends by >= 3 cycles at *every* hand-off, not just the
+    final one, and body/tail writes into the hand-off buffer have no
+    per-cycle observers (heads alone drive SA; the consumer's reads are
+    themselves deferred, and the eager head keeps the occupancy's
+    zero/nonzero trajectory exact for clock accounting).
+
+    The chain registers itself in the network's ``_chain_writers`` map —
+    the chain dependency graph's edges — so the consumer stream reading
+    the hand-off VC links back to it as ``feeder`` and settlement
+    replays writes before the reads that consume them.
+    """
+
+    __slots__ = ("net", "router", "res", "vc", "feeder", "writer_key",
+                 "next_send", "end_cycle", "cid")
+
+    def __init__(self, net, router, res, start_cycle):
+        self.net = net
+        self.router = router
+        self.res = res
+        self.vc = res.vc
+        self.feeder = net._chain_writers.get(
+            (router.node, res.in_port, res.vc_id)
+        )
+        end = res.ctx[5]
+        self.writer_key = (end.node, end.port, res.assigned_vc)
+        net._chain_writers[self.writer_key] = self
+        self.next_send = start_cycle
+        self.end_cycle = start_cycle + res.flits_left - 1
+        self.cid = next(net._chain_seq)
+
+    def advance(self, through: int) -> None:
+        last = self.end_cycle
+        if through < last:
+            last = through
+        cycle = self.next_send
+        if cycle > last:
+            return
+        feeder = self.feeder
+        if feeder is not None:
+            feeder.advance(through)
+        net = self.net
+        counters = net.counters
+        res = self.res
+        router = self.router
+        vc = self.vc
+        t_router, t_buffer, crossed, hop_mm, extra, _end = res.ctx
+        assigned = res.assigned_vc
+        t_vc = t_buffer.vcs[assigned]
+        t_fifo = t_vc._fifo
+        t_elig = t_vc._eligible
+        depth = t_vc.depth
+        vc_fifo = vc._fifo
+        vc_elig = vc._eligible
+        # Counter totals are batched outside the loop (integral event
+        # counts and integral per-hop millimetres, so the sums are
+        # bit-exact); the loop replays only the state the per-cycle
+        # path would have left behind.  Never a head flit — the head
+        # went out on the per-cycle path.
+        count = last - cycle + 1
+        counters.buffer_reads += count
+        counters.buffer_writes += count
+        counters.crossbar_traversals += crossed * count
+        counters.link_flit_mm += hop_mm * count
+        counters.pipeline_latches += count
+        router.occupancy -= count
+        t_router.occupancy += count
+        res.flits_left -= count
+        res.next_send_cycle = last + 1
+        if len(t_fifo) + count > depth:
+            raise OverflowError(
+                "VC %d overflow: virtual cut-through guarantees violated"
+                % t_vc.vc_id
+            )
+        if last == self.end_cycle:
+            vc.busy = False  # the tail flit is read in this batch
+        while cycle <= last:
+            vc_elig.popleft()
+            flit = vc_fifo.popleft()
+            flit.vc = assigned
+            t_fifo.append(flit)
+            t_elig.append(cycle + extra + 2)
+            cycle += 1
+        net._ev_activate(t_router)
+        self.next_send = cycle
+
+
+class _NicMidChain:
+    """A NIC streaming the rest of its packet into a buffered first
+    stop, as one event.
+
+    The NIC-side analogue of :class:`_MidChain`: the head flit is
+    injected per-cycle (it arms downstream switch allocation), then the
+    remaining flits — a NIC streams unconditionally, so their send
+    cycles are fixed at injection — defer into the chain dependency
+    graph as the writer of the hand-off VC.
+    """
+
+    __slots__ = ("net", "node", "packet", "flits", "vc_id", "t_router",
+                 "t_vc", "crossed", "hop_mm", "extra", "writer_key",
+                 "idx", "next_send", "end_cycle", "cid")
+
+    def __init__(self, net, nic_node, packet, flits, vc_id, ctx, start_cycle):
+        self.net = net
+        self.node = nic_node
+        self.packet = packet
+        self.flits = flits
+        self.vc_id = vc_id
+        _seg, _fq, t_router, t_buffer, crossed, hop_mm, extra, _sink, end = ctx
+        self.t_router = t_router
+        self.t_vc = t_buffer.vcs[vc_id]
+        self.crossed = crossed
+        self.hop_mm = hop_mm
+        self.extra = extra
+        self.writer_key = (end.node, end.port, vc_id)
+        net._chain_writers[self.writer_key] = self
+        self.idx = 0
+        self.next_send = start_cycle
+        self.end_cycle = start_cycle + len(flits) - 1
+        self.cid = next(net._chain_seq)
+
+    def advance(self, through: int) -> None:
+        last = self.end_cycle
+        if through < last:
+            last = through
+        cycle = self.next_send
+        if cycle > last:
+            return
+        net = self.net
+        counters = net.counters
+        t_router = self.t_router
+        t_vc = self.t_vc
+        t_fifo = t_vc._fifo
+        t_elig = t_vc._eligible
+        depth = t_vc.depth
+        crossed = self.crossed
+        hop_mm = self.hop_mm
+        extra = self.extra
+        flits = self.flits
+        vc_id = self.vc_id
+        idx = self.idx
+        count = last - cycle + 1
+        counters.crossbar_traversals += crossed * count
+        counters.link_flit_mm += hop_mm * count
+        counters.pipeline_latches += count
+        counters.buffer_writes += count
+        t_router.occupancy += count
+        if len(t_fifo) + count > depth:
+            raise OverflowError(
+                "VC %d overflow: virtual cut-through guarantees violated"
+                % t_vc.vc_id
+            )
+        while cycle <= last:
+            flit = flits[idx]
+            idx += 1
+            flit.vc = vc_id
+            t_fifo.append(flit)
+            t_elig.append(cycle + extra + 2)
+            cycle += 1
+        net._ev_activate(t_router)
+        self.idx = idx
+        self.next_send = cycle
+
+
+#: NIC stream states that are scheduled chains (a live mid-packet NIC
+#: stream is a plain tuple instead).
+_NIC_CHAIN_TYPES = (_NicChain, _NicMidChain)
 
 
 class Network:
@@ -463,6 +652,21 @@ class Network:
         # construction-time caches resolved by `_ev_init`.
         self._chain_seq = itertools.count()
         self._chains: Dict[int, object] = {}
+        #: Chain dependency graph: (node, in_port, vc_id) of a hand-off
+        #: buffer VC -> the chain currently deferring writes into it.
+        #: Consumers of that VC link back to the writer as ``feeder``
+        #: and settlement replays feeders before their consumers.
+        self._chain_writers: Dict[Tuple[int, Port, int], object] = {}
+        #: Routers with live (per-cycle) streams — only the head sends
+        #: of fresh grants and un-chained remainders; pruned as their
+        #: live lists drain so the ST phase scans no idle routers.
+        self._st_routers: Set[int] = set()
+        #: Sum of len(router.buffers) over `_active_routers`.  The event
+        #: kernel maintains active-set membership *exactly* (updated at
+        #: every occupancy/reservation transition, which it fully
+        #: controls), so per-cycle clock accounting is O(1): count the
+        #: set size and this cached port total instead of scanning.
+        self._clock_ports = 0
         self._res_finish_heap: List[tuple] = []
         self._nic_finish_heap: List[tuple] = []
         self._sa_heap: List[Tuple[int, int]] = []
@@ -628,8 +832,26 @@ class Network:
     # downstream — ejection cannot backpressure, and its effects on
     # shared state (credits, stats) happen only at computed cycles.
     # Such a stream is therefore scheduled as ONE finish event at its
-    # tail cycle; `_sync` settles partial progress whenever a counter
-    # snapshot lands mid-chain.
+    # tail cycle.
+    #
+    # Streams ending at an INTERMEDIATE stop chain too, via the same
+    # induction generalized to hand-offs: the head flit travels
+    # per-cycle (its buffer write is what downstream SA wakes on and
+    # what keeps the hand-off buffer's occupancy non-zero for clock
+    # accounting at exact cycles), then the rest of the packet defers —
+    # body/tail writes are observed only by the consumer stream's
+    # reads, which are themselves deferred (the consumer is granted no
+    # earlier than head arrival + 2 and so reads >= 3 cycles behind).
+    # Each deferring writer registers in `_chain_writers` keyed by the
+    # hand-off VC; the consumer chain links back to it as `feeder`,
+    # forming the chain dependency graph.  Settlement (finish events,
+    # `_sync`) always advances a chain's feeder before replaying its
+    # reads, so a whole producer -> consumer cascade settles as one
+    # dependency-ordered replay.  If a live stream ever stalls (only
+    # reachable in pathological hand-built configurations — granted
+    # streams cannot stall organically), `_ev_unchain_feeders` settles
+    # and reverts the deferring writers of its source VC to per-cycle
+    # execution so the retries observe real buffer state.
 
     def _ev_init(self) -> None:
         """Resolve the event kernel's construction-time caches."""
@@ -691,33 +913,40 @@ class Network:
         # stream owns its VC, segment and credit queue), so — like the
         # Dedicated active kernel — sets are iterated in set order.
         fin = self._res_finish_heap
+        chains = self._chains
         while fin and fin[0][0] == cycle:
-            self._ev_finish_res(heapq.heappop(fin)[3], cycle)
-        active = self._active_routers
-        if active:
-            for node in list(active):
+            chain = heapq.heappop(fin)[3]
+            if chain.cid in chains:  # un-chained entries are skipped
+                self._ev_finish_res(chain, cycle)
+        st = self._st_routers
+        if st:
+            for node in list(st):
                 router = routers[node]
                 if router.live:
                     self._ev_st_router(router, cycle)
+                if not router.live:
+                    st.discard(node)
         # NIC injection; NICs streaming a scheduled chain sit out.
         nics = self._active_nics
         if nics:
             idle_nics = []
             for node in nics:
                 nic = self.nic_sources[node]
-                if type(nic.stream) is _NicChain:
+                if type(nic.stream) in _NIC_CHAIN_TYPES:
                     idle_nics.append(node)
                     continue
                 self._ev_inject_nic(nic, cycle)
                 stream = nic.stream
-                if type(stream) is _NicChain or (
+                if type(stream) in _NIC_CHAIN_TYPES or (
                     stream is None and nic.queued == 0
                 ):
                     idle_nics.append(node)
             nics.difference_update(idle_nics)
         nfin = self._nic_finish_heap
         while nfin and nfin[0][0] == cycle:
-            self._ev_finish_nic(heapq.heappop(nfin)[2], cycle)
+            chain = heapq.heappop(nfin)[2]
+            if chain.cid in chains:  # un-chained entries are skipped
+                self._ev_finish_nic(chain, cycle)
         # SA: only woken routers scan.
         sa = self._sa_heap
         while sa and sa[0][0] == cycle:
@@ -726,18 +955,12 @@ class Network:
             if router.sa_cycle != cycle and router.head_slots:
                 router.sa_cycle = cycle
                 self._ev_sa_router(router, cycle)
-        # Clock accounting, exactly as the active kernel.
+        # Clock accounting: identical counts to the active kernel's
+        # scan, but O(1) — event-kernel active-set membership is exact
+        # (see `_clock_ports`), so counting the set replaces the sweep.
         counters = self.counters
-        if active:
-            idle_routers = []
-            for node in active:
-                router = routers[node]
-                if router.reservations or router.occupancy:
-                    counters.clock_router_cycles += 1
-                    counters.clock_port_cycles += len(router.buffers)
-                else:
-                    idle_routers.append(node)
-            active.difference_update(idle_routers)
+        counters.clock_router_cycles += len(self._active_routers)
+        counters.clock_port_cycles += self._clock_ports
         counters.total_router_cycles += len(routers)
 
     def _ev_sa_router(self, router: _Router, cycle: int) -> None:
@@ -748,15 +971,36 @@ class Network:
         match — but candidates come from the incrementally-maintained
         ``head_slots`` index instead of a sweep over every VC of every
         buffered port (request-list order differs; the arbiter grants
-        by client order, so only the set matters).  A grant whose
-        segment ends at the destination NIC immediately becomes a
-        scheduled chain; other grants join the live per-cycle streams.
+        by client order, so only the set matters).  The common
+        single-candidate case takes a fast path with no request-dict
+        churn.  A grant whose segment ends at the destination NIC
+        immediately becomes a scheduled chain; other grants join the
+        live per-cycle streams for exactly one send — delivering the
+        head converts them to mid-chains (see :class:`_MidChain`).
         """
         node = router.node
         flow_out = self._flow_out
         input_streaming = router.input_streaming
+        head_slots = router.head_slots
+        counters = self.counters
+        reservations = router.reservations
+        if len(head_slots) == 1:
+            (in_port, vc_id), vc = next(iter(head_slots.items()))
+            if input_streaming[in_port] or vc._eligible[0] > cycle:
+                return
+            out_port = flow_out[vc._fifo[0].packet.flow_id][node]
+            if out_port in reservations:
+                return
+            free_queue = router.out_freeq.get(out_port)
+            if free_queue is None or not free_queue.available(cycle):
+                return
+            counters.sa_requests += 1
+            winner = router.arbiters[out_port].grant_sole((in_port, vc_id))
+            counters.sa_grants += 1
+            self._ev_grant(router, out_port, winner, free_queue, cycle)
+            return
         by_out: Dict[Port, List[Tuple[Port, int]]] = {}
-        for (in_port, vc_id), vc in router.head_slots.items():
+        for (in_port, vc_id), vc in head_slots.items():
             if input_streaming[in_port]:
                 continue
             if vc._eligible[0] > cycle:
@@ -765,8 +1009,6 @@ class Network:
             by_out.setdefault(wanted, []).append((in_port, vc_id))
         if not by_out:
             return
-        counters = self.counters
-        reservations = router.reservations
         for out_port in router.config.dynamic_outputs:
             candidates = by_out.get(out_port)
             if not candidates or out_port in reservations:
@@ -787,43 +1029,60 @@ class Network:
                 if winner is None:
                     continue
             counters.sa_grants += 1
-            in_port, vc_id = winner
-            vc = router.buffers[in_port].vc(vc_id)
-            segment = router.out_segment[out_port]
-            res = _Reservation(
-                out_port=out_port,
-                in_port=in_port,
-                vc_id=vc_id,
-                packet=vc.front().packet,
-                segment=segment,
-                assigned_vc=free_queue.acquire(cycle),
-                flits_left=vc.front().packet.size_flits,
-                next_send_cycle=cycle + 1,
-                vc=vc,
-                ins=next(self._res_seq),
+            self._ev_grant(router, out_port, winner, free_queue, cycle)
+
+    def _ev_grant(
+        self,
+        router: _Router,
+        out_port: Port,
+        winner: Tuple[Port, int],
+        free_queue: FreeVcQueue,
+        cycle: int,
+    ) -> None:
+        """Install a granted reservation and schedule its stream."""
+        in_port, vc_id = winner
+        vc = router.buffers[in_port].vc(vc_id)
+        # A granted input is invisible to SA (``input_streaming``)
+        # until its stream finishes, and by then the head is long
+        # read out — drop its candidate entry now so later scans
+        # never iterate it.
+        del router.head_slots[winner]
+        segment = router.out_segment[out_port]
+        res = _Reservation(
+            out_port=out_port,
+            in_port=in_port,
+            vc_id=vc_id,
+            packet=vc.front().packet,
+            segment=segment,
+            assigned_vc=free_queue.acquire(cycle),
+            flits_left=vc.front().packet.size_flits,
+            next_send_cycle=cycle + 1,
+            vc=vc,
+            ins=next(self._res_seq),
+        )
+        router.reservations[out_port] = res
+        router.input_streaming[in_port] = True
+        t_router, t_buffer = self._seg_target[id(segment)]
+        if t_router is None:
+            # Final segment: deterministic from the grant (see the
+            # section note) — one finish event runs the stream.
+            chain = _ResChain(self, router, res, cycle + 1)
+            self._chains[chain.cid] = chain
+            heapq.heappush(
+                self._res_finish_heap,
+                (chain.end_cycle, router.node, res.ins, chain),
             )
-            reservations[out_port] = res
-            input_streaming[in_port] = True
-            t_router, t_buffer = self._seg_target[id(segment)]
-            if t_router is None:
-                # Final segment: deterministic from the grant (see the
-                # section note) — one finish event runs the stream.
-                chain = _ResChain(self, router, res, cycle + 1)
-                self._chains[chain.cid] = chain
-                heapq.heappush(
-                    self._res_finish_heap,
-                    (chain.end_cycle, node, res.ins, chain),
-                )
-            else:
-                res.ctx = (
-                    t_router,
-                    t_buffer,
-                    len(segment.routers_crossed),
-                    segment.hops * self._mm_per_hop,
-                    segment.extra_cycles,
-                    segment.end,
-                )
-                router.live.append(res)
+        else:
+            res.ctx = (
+                t_router,
+                t_buffer,
+                len(segment.routers_crossed),
+                segment.hops * self._mm_per_hop,
+                segment.extra_cycles,
+                segment.end,
+            )
+            router.live.append(res)
+            self._st_routers.add(router.node)
 
     def _ev_st_router(self, router: _Router, cycle: int) -> None:
         """ST stage for one router's live streams (event kernel).
@@ -831,7 +1090,10 @@ class Network:
         Mirrors :meth:`_st_router` flit for flit for streams into a
         buffered stop (final streams never get here — they are chained
         at grant), with delivery inlined through the reservation's
-        cached context and a tail send waking this router's SA.
+        cached context and a tail send waking this router's SA.  A
+        non-final stream is live only for its head send: delivering the
+        head converts it to a :class:`_MidChain` and the rest of the
+        packet settles as deferred events.
         """
         counters = self.counters
         sa_heap = self._sa_heap
@@ -841,14 +1103,23 @@ class Network:
                 continue
             vc = res.vc
             fifo = vc._fifo
-            if not fifo:
+            if (
+                not fifo
+                or fifo[0].packet is not res.packet
+                or vc._eligible[0] > cycle
+            ):
+                # Virtual cut-through streams packets contiguously, so
+                # a live stream only stalls in pathological
+                # configurations.  If the missing flits are held by
+                # deferring feeder chains, settle them and revert them
+                # to per-cycle execution so the retries observe real
+                # buffer state; then idle the slot rather than corrupt
+                # the stream.
+                self._ev_unchain_feeders(
+                    router.node, res.in_port, res.vc_id, cycle
+                )
                 continue
             flit = fifo[0]
-            if flit.packet is not res.packet or vc._eligible[0] > cycle:
-                # Virtual cut-through streams packets contiguously, so
-                # this only triggers in pathological configurations;
-                # idle the slot rather than corrupt the stream.
-                continue
             # Inline VirtualChannel.read()/write() — this is the
             # kernel's hottest per-cycle path; the semantic guards
             # (overflow, busy-VC) are preserved.
@@ -859,8 +1130,6 @@ class Network:
             if is_tail:
                 vc.busy = False
             router.occupancy -= 1
-            if is_head:
-                del router.head_slots[(res.in_port, res.vc_id)]
             counters.buffer_reads += 1
             assigned = res.assigned_vc
             flit.vc = assigned
@@ -888,14 +1157,35 @@ class Network:
             t_vc._eligible.append(arrival + 2)
             t_router.occupancy += 1
             counters.buffer_writes += 1
-            self._active_routers.add(t_router.node)
+            self._ev_activate(t_router)
             res.flits_left -= 1
             res.next_send_cycle = cycle + 1
             if is_tail:
                 self._ev_credit_up(router.node, res.in_port, res.vc_id, cycle)
                 router.input_streaming[res.in_port] = False
                 del router.reservations[res.out_port]
-                heapq.heappush(sa_heap, (cycle, router.node))
+                if router.head_slots:
+                    # The release wake only matters to heads already
+                    # waiting: a head written later this cycle becomes
+                    # eligible at arrival + 2 and wakes SA itself.
+                    heapq.heappush(sa_heap, (cycle, router.node))
+                if finished is None:
+                    finished = [res]
+                else:
+                    finished.append(res)
+            elif is_head:
+                # Head delivered; the rest of the packet is
+                # deterministic (generalized read-lag induction), so it
+                # defers into the chain dependency graph and replays at
+                # settlement instead of per-cycle sends.  Un-chained
+                # streams re-enter this loop mid-packet (never at a
+                # head) and stay per-cycle to their tail.
+                chain = _MidChain(self, router, res, cycle + 1)
+                self._chains[chain.cid] = chain
+                heapq.heappush(
+                    self._res_finish_heap,
+                    (chain.end_cycle, router.node, res.ins, chain),
+                )
                 if finished is None:
                     finished = [res]
                 else:
@@ -906,6 +1196,27 @@ class Network:
             else:
                 for res in finished:
                     router.live.remove(res)
+            if not router.reservations and not router.occupancy:
+                self._ev_deactivate(router)
+
+    def _ev_activate(self, router: _Router) -> None:
+        """Add a router to the exact active set (see ``_clock_ports``).
+
+        Every event-kernel write site must transition membership through
+        here (or :meth:`_ev_deactivate`) — O(1) clock accounting is
+        exact only while the cached port total tracks the set.
+        """
+        active = self._active_routers
+        if router.node not in active:
+            active.add(router.node)
+            self._clock_ports += len(router.buffers)
+
+    def _ev_deactivate(self, router: _Router) -> None:
+        """Drop a drained router from the exact active set."""
+        active = self._active_routers
+        if router.node in active:
+            active.remove(router.node)
+            self._clock_ports -= len(router.buffers)
 
     def _ev_inject_nic(self, nic: _NicSource, cycle: int) -> None:
         """NIC injection for the event kernel.
@@ -955,7 +1266,18 @@ class Network:
         flit.vc = vc_id
         self._ev_nic_deliver(flit, ctx, cycle)
         if flits:
-            nic.stream = (packet, flits, vc_id)
+            # Head delivered to a buffered first stop; the rest of the
+            # stream is deterministic (a NIC streams unconditionally),
+            # so it defers into the chain dependency graph as the
+            # writer of the hand-off VC.
+            chain = _NicMidChain(
+                self, nic.node, packet, flits, vc_id, ctx, cycle + 1
+            )
+            nic.stream = chain
+            self._chains[chain.cid] = chain
+            heapq.heappush(
+                self._nic_finish_heap, (chain.end_cycle, nic.node, chain)
+            )
 
     def _ev_nic_deliver(self, flit: Flit, ctx: tuple, cycle: int) -> None:
         """Deliver one NIC flit through the cached injection context."""
@@ -986,7 +1308,7 @@ class Network:
             t_vc._eligible.append(arrival + 2)
             t_router.occupancy += 1
             counters.buffer_writes += 1
-            self._active_routers.add(t_router.node)
+            self._ev_activate(t_router)
         else:
             sink.flits_received += 1
             packet = flit.packet
@@ -998,28 +1320,101 @@ class Network:
                 self.stats.on_deliver(packet)
                 self._ev_credit_end(end, flit.vc, arrival)
 
-    def _ev_finish_res(self, chain: "_ResChain", cycle: int) -> None:
-        """Tail event of a chained reservation: replay the unsettled
-        sends, then tear the reservation down exactly as the per-cycle
-        tail send would (upstream credit, SA wake)."""
+    def _ev_finish_res(self, chain, cycle: int) -> None:
+        """Tail event of a chained reservation (final or mid-chain):
+        replay the unsettled sends, then tear the reservation down
+        exactly as the per-cycle tail send would (upstream credit, SA
+        wake)."""
         res = chain.res
         router = chain.router
         chain.advance(cycle)
         del self._chains[chain.cid]
+        if type(chain) is _MidChain:
+            writers = self._chain_writers
+            if writers.get(chain.writer_key) is chain:
+                del writers[chain.writer_key]
         self._ev_credit_up(router.node, res.in_port, res.vc_id, cycle)
         router.input_streaming[res.in_port] = False
         del router.reservations[res.out_port]
-        heapq.heappush(self._sa_heap, (cycle, router.node))
+        if router.head_slots:
+            # Only already-waiting heads can use this release wake; a
+            # head written later this cycle wakes SA itself.
+            heapq.heappush(self._sa_heap, (cycle, router.node))
+        if not router.reservations and not router.occupancy:
+            self._ev_deactivate(router)
 
-    def _ev_finish_nic(self, chain: "_NicChain", cycle: int) -> None:
-        """Tail event of a fully-bypassed chain: replay the unsettled
-        sends and free the injection port for the next cycle."""
+    def _ev_finish_nic(self, chain, cycle: int) -> None:
+        """Tail event of a NIC chain (fully bypassed or mid-chain):
+        replay the unsettled sends and free the injection port for the
+        next cycle."""
         chain.advance(cycle)
         del self._chains[chain.cid]
+        if type(chain) is _NicMidChain:
+            writers = self._chain_writers
+            if writers.get(chain.writer_key) is chain:
+                del writers[chain.writer_key]
         nic = self.nic_sources[chain.node]
         nic.stream = None
         if nic.queued:
             self._active_nics.add(chain.node)
+
+    def _ev_unchain_feeders(
+        self, node: int, in_port: Port, vc_id: int, cycle: int
+    ) -> bool:
+        """Un-chain the writer of a hand-off VC after a consumer stall.
+
+        A live stream that stalls reading ``(node, in_port, vc_id)``
+        (unreachable through the network's own mechanics — see the
+        section note — but possible in hand-built configurations) must
+        not keep racing a deferring writer: the writer's chain is
+        settled through ``cycle`` and its remainder reverted to
+        per-cycle execution, recursively un-chaining the writer's own
+        feeders first so its settled reads observe settled writes.
+        Returns True if a writer chain was reverted.
+        """
+        chain = self._chain_writers.get((node, in_port, vc_id))
+        if chain is None or chain.cid not in self._chains:
+            return False
+        self._ev_unchain(chain, cycle)
+        return True
+
+    def _ev_unchain(self, chain, cycle: int) -> None:
+        """Settle ``chain`` and revert it to live per-cycle execution.
+
+        ``cycle`` is the tick in which the stall was observed (the tick
+        currently — or about to be — executed).  A mid-chain's sends
+        belong to the ST phase, the same phase as the stall check, so
+        it settles *through* ``cycle`` (the writer ran earlier in the
+        scan); a NIC chain's sends belong to the injection phase, which
+        runs after ST in the same tick, so it settles only past cycles
+        and this tick's injection phase delivers the due flit from the
+        reverted live tuple.  The dead chain's finish-heap entry is
+        skipped at pop via the ``_chains`` membership check.
+        """
+        if type(chain) is _MidChain:
+            feeder = chain.feeder
+            if feeder is not None and feeder.cid in self._chains:
+                self._ev_unchain(feeder, cycle)
+            chain.advance(cycle)
+        else:
+            chain.advance(cycle - 1)
+        del self._chains[chain.cid]
+        writers = self._chain_writers
+        if writers.get(chain.writer_key) is chain:
+            del writers[chain.writer_key]
+        if type(chain) is _MidChain:
+            # The chain's reservation is still held, so its router is
+            # necessarily a member of the exact active set already.
+            chain.router.live.append(chain.res)
+            self._st_routers.add(chain.router.node)
+        else:
+            nic = self.nic_sources[chain.node]
+            nic.stream = (chain.packet, chain.flits[chain.idx:], chain.vc_id)
+            self._active_nics.add(chain.node)
+        # Downstream consumers may still hold this chain as ``feeder``;
+        # exhaust it so their settlement never replays flits the live
+        # path now sends per-cycle.
+        chain.next_send = chain.end_cycle + 1
 
     def _ev_credit_up(
         self, node: int, in_port: Port, vc_id: int, freed_cycle: int
@@ -1059,9 +1454,14 @@ class Network:
         Chain traversals attribute their per-flit counter and stats
         updates when their finish event runs; a counter snapshot taken
         mid-chain must first replay the sends that a per-cycle kernel
-        would already have performed.  Called around the
-        measurement-window snapshots of :meth:`run` and at the end of
-        :meth:`run_cycles`; a no-op for the other kernels.
+        would already have performed.  Settlement is feeder-ordered:
+        chain ids ascend from producers to their consumers (a consumer
+        is granted only after its feeder's head went out), and each
+        chain additionally advances its ``feeder`` link first, so a
+        mid-cascade snapshot replays every hand-off's writes before the
+        reads that consume them.  Called around the measurement-window
+        snapshots of :meth:`run` and at the end of :meth:`run_cycles`;
+        a no-op for the other kernels.
         """
         if self.kernel != "event" or not self._chains:
             return

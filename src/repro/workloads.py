@@ -149,6 +149,35 @@ class BuiltWorkload:
     #: task -> node placement, for app workloads (None otherwise).
     mapping: Optional[Dict[str, int]] = None
 
+    def chain_depths(self, cfg: NocConfig) -> Dict[int, int]:
+        """Per-flow SMART segment-chain depth (1 = fully bypassed).
+
+        Builds this workload's SMART presets on ``cfg`` and counts the
+        maximal bypass segments each flow's packets traverse NIC-to-NIC:
+        depth 1 is a single-cycle NIC-to-NIC traversal, depth >= 3 means
+        at least one *intermediate* hand-off between two further
+        segments — the cascade regime the event kernel's feeder-ordered
+        settlement collapses into dependency-ordered replays.  Tests and
+        benches use this to select cascade-heavy configurations (e.g. by
+        shrinking ``cfg.hpc_max``).
+        """
+        # Imported here: repro.core builds on the sim layer and this
+        # module is imported by eval code that predates the diagnostic.
+        from repro.core.noc_builder import build_smart_noc
+        from repro.sim.traffic import ScriptedTraffic
+
+        noc = build_smart_noc(cfg, list(self.flows), traffic=ScriptedTraffic([]))
+        network = noc.network
+        return {
+            flow.flow_id: len(network.flow_segments(flow))
+            for flow in self.flows
+        }
+
+    def chain_depth(self, cfg: NocConfig) -> int:
+        """Deepest segment chain any flow traverses (see
+        :meth:`chain_depths`)."""
+        return max(self.chain_depths(cfg).values(), default=0)
+
     def traffic(
         self,
         cfg: NocConfig,

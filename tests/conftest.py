@@ -2,12 +2,59 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.config import NocConfig
+from repro.eval.designs import build_design
 from repro.eval.scenarios import fig7_flows
-from repro.sim.flow import Flow
-from repro.sim.topology import Mesh, Port
+from repro.sim.topology import Mesh
+from repro.sim.traffic import RateScaledTraffic
+from repro.workloads import build_seed_for, build_workload
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--fuzz-seeds",
+        type=int,
+        default=20,
+        help="number of randomized seeds for the cross-kernel "
+        "equivalence fuzzer (tests/sim/test_kernel_fuzz.py); CI widens "
+        "this to >= 100",
+    )
+
+
+def pytest_generate_tests(metafunc):
+    if "fuzz_seed" in metafunc.fixturenames:
+        count = metafunc.config.getoption("--fuzz-seeds")
+        metafunc.parametrize(
+            "fuzz_seed", range(count), ids=lambda s: "seed%d" % s
+        )
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """Append a repro command for each failed fuzz case.
+
+    When ``SMART_FUZZ_REPRO_FILE`` is set (the CI fuzz job points it at
+    an artifact path), every failing test whose id carries a fuzz seed
+    gets one ready-to-run pytest command line appended, so a red CI run
+    ships its own reproducers.
+    """
+    outcome = yield
+    report = outcome.get_result()
+    path = os.environ.get("SMART_FUZZ_REPRO_FILE")
+    if not path or report.when != "call" or not report.failed:
+        return
+    if "fuzz_seed" not in getattr(item, "fixturenames", ()):
+        return
+    seeds = item.config.getoption("--fuzz-seeds")
+    with open(path, "a") as fh:
+        fh.write(
+            "PYTHONPATH=src python -m pytest '%s' --fuzz-seeds %d\n"
+            % (item.nodeid, seeds)
+        )
 
 
 @pytest.fixture
@@ -24,3 +71,74 @@ def mesh() -> Mesh:
 @pytest.fixture
 def fig7_flow_set():
     return fig7_flows()
+
+
+def kernel_traffic_mode(kernel: str) -> str:
+    """The traffic mode each kernel is equivalence-tested with.
+
+    The legacy kernel polls ``packets_at`` every cycle, so it pairs
+    with the literal one-draw-per-cycle mode; the event-driven kernels
+    pair with the bit-identical pre-drawn schedule.
+    """
+    return "legacy" if kernel == "legacy" else "predraw"
+
+
+@pytest.fixture
+def make_workload():
+    """Factory: registry name -> BuiltWorkload, with the seed rule the
+    sweep layer uses (seed-insensitive workloads always build seed 0)."""
+
+    def factory(name, cfg, seed: int = 0):
+        return build_workload(name, cfg, seed=build_seed_for(name, seed))
+
+    return factory
+
+
+@pytest.fixture
+def make_network():
+    """Factory: (BuiltWorkload, cfg, design, kernel, ...) -> simulator.
+
+    Builds any of the paper's three designs over the workload's routed
+    flows with a rate-scaled traffic model whose mode follows the
+    kernel (see :func:`kernel_traffic_mode`).  Returns the
+    ``DesignInstance`` — ``.network`` is the Network/DedicatedNetwork,
+    ``.run(...)`` runs it.
+    """
+
+    def factory(built, cfg, design="smart", kernel="active", load=1.0,
+                seed=1):
+        traffic = RateScaledTraffic(
+            cfg, built.flows, scale=load, seed=seed,
+            mode=kernel_traffic_mode(kernel),
+        )
+        return build_design(
+            design, cfg, built.flows, traffic=traffic, kernel=kernel
+        )
+
+    return factory
+
+
+@pytest.fixture
+def run_design(make_network):
+    """Factory: build a design, run it, return a comparable tuple.
+
+    The tuple covers everything the kernel-equivalence suites compare:
+    latency summaries, per-flow summaries, event counters, the
+    simulated window and drain status.
+    """
+
+    def factory(built, cfg, design, kernel, load, seed, **run_kwargs):
+        result = make_network(
+            built, cfg, design=design, kernel=kernel, load=load, seed=seed
+        ).run(**run_kwargs)
+        return (
+            result.summary,
+            result.per_flow,
+            result.counters,
+            result.measured_cycles,
+            result.total_cycles,
+            result.drained,
+            result.undelivered_measured,
+        )
+
+    return factory

@@ -1,30 +1,26 @@
 """Dedicated baseline: event kernel vs legacy kernel equivalence.
 
 Mirrors ``tests/sim/test_event_kernel.py`` for the Dedicated ideal
-yardstick: direct ejections and shared-sink ejections run as scheduled
-chain events, sink allocation is wake-driven, and none of it may be
-observable next to the per-cycle kernels.
+yardstick: direct ejections, shared-sink *feed* chains (deferred
+channel writes) and shared-sink ejections run as scheduled chain
+events with feeder-ordered settlement, sink allocation is wake-driven,
+and none of it may be observable next to the per-cycle kernels.
 """
 
 import pytest
 
 from repro.config import NocConfig
-from repro.eval.dedicated import DEDICATED_KERNELS, DedicatedNetwork
+from repro.eval.dedicated import (
+    DEDICATED_KERNELS,
+    DedicatedNetwork,
+    _DedEjectChain,
+    _DedFeedChain,
+)
 from repro.sim.patterns import synthetic_flows
 from repro.sim.topology import Mesh
-from repro.sim.traffic import BernoulliTraffic, RateScaledTraffic, ScriptedTraffic
-from repro.workloads import build_workload
+from repro.sim.traffic import BernoulliTraffic, ScriptedTraffic
 
-
-def _result_tuple(result):
-    return (
-        result.summary,
-        result.per_flow,
-        result.counters,
-        result.total_cycles,
-        result.drained,
-        result.undelivered_measured,
-    )
+RUN = dict(warmup_cycles=150, measure_cycles=1200, drain_limit=15000)
 
 
 class TestDedicatedEventEquivalence:
@@ -39,41 +35,32 @@ class TestDedicatedEventEquivalence:
 
     @pytest.mark.parametrize("seed", [1, 2])
     @pytest.mark.parametrize("pattern", ["uniform", "hotspot"])
-    def test_patterns_identical_8x8(self, pattern, seed):
+    def test_patterns_identical_8x8(
+        self, make_workload, run_design, pattern, seed
+    ):
         """Uniform mixes direct and shared-sink ejections; hotspot is
-        all shared-sink serialisation (the worst case)."""
+        all shared-sink serialisation (the worst case).  Patterns run
+        through the shared workload pipeline, exactly as the sweeps
+        build them."""
         cfg = NocConfig(width=8, height=8)
-        mesh = Mesh(8, 8)
         rate = 0.01 if pattern == "hotspot" else 0.015
-        results = {}
-        for kernel, mode in (("legacy", "legacy"), ("event", "predraw")):
-            flows = synthetic_flows(
-                pattern, cfg, injection_rate=rate, seed=seed
-            )
-            traffic = BernoulliTraffic(cfg, flows, seed=seed, mode=mode)
-            net = DedicatedNetwork(cfg, mesh, flows, traffic, kernel=kernel)
-            results[kernel] = _result_tuple(
-                net.run(warmup_cycles=150, measure_cycles=1200,
-                        drain_limit=15000)
-            )
-        assert results["legacy"] == results["event"]
+        built = make_workload(pattern, cfg, seed=seed)
+        legacy = run_design(
+            built, cfg, "dedicated", "legacy", rate, seed, **RUN
+        )
+        event = run_design(
+            built, cfg, "dedicated", "event", rate, seed, **RUN
+        )
+        assert legacy == event
 
     @pytest.mark.parametrize("app", ["VOPD", "MWD"])
-    def test_apps_identical(self, cfg, mesh, app):
-        built = build_workload(app, cfg)
-        results = {}
-        for kernel, mode in (("legacy", "legacy"), ("event", "predraw")):
-            traffic = RateScaledTraffic(
-                cfg, built.flows, scale=8.0, seed=2, mode=mode
-            )
-            net = DedicatedNetwork(
-                cfg, mesh, built.flows, traffic, kernel=kernel
-            )
-            results[kernel] = _result_tuple(
-                net.run(warmup_cycles=150, measure_cycles=1200,
-                        drain_limit=15000)
-            )
-        assert results["legacy"] == results["event"]
+    def test_apps_identical(
+        self, cfg, make_workload, run_design, app
+    ):
+        built = make_workload(app, cfg)
+        legacy = run_design(built, cfg, "dedicated", "legacy", 8.0, 2, **RUN)
+        event = run_design(built, cfg, "dedicated", "event", 8.0, 2, **RUN)
+        assert legacy == event
 
     def test_run_cycles_settles_chains(self):
         cfg = NocConfig(width=8, height=8)
@@ -88,3 +75,28 @@ class TestDedicatedEventEquivalence:
             net.run_cycles(1237)
             out[kernel] = (net.counters, net.stats.delivered_total)
         assert out["legacy"] == out["event"]
+
+    def test_feed_chains_defer_and_link_to_ejections(self):
+        """White-box: a hotspot run holds _DedFeedChain writers whose
+        consuming ejection chains link back to them as feeders."""
+        cfg = NocConfig(width=8, height=8)
+        mesh = Mesh(8, 8)
+        flows = synthetic_flows("hotspot", cfg, injection_rate=0.05, seed=1)
+        traffic = BernoulliTraffic(cfg, flows, seed=1, mode="predraw")
+        net = DedicatedNetwork(cfg, mesh, flows, traffic, kernel="event")
+        seen_feed = False
+        seen_linked_eject = False
+        for _ in range(400):
+            net.step()
+            kinds = {type(c) for c in net._chains.values()}
+            if _DedFeedChain in kinds:
+                seen_feed = True
+            if any(
+                type(c) is _DedEjectChain and c.feeder is not None
+                for c in net._chains.values()
+            ):
+                seen_linked_eject = True
+            if seen_feed and seen_linked_eject:
+                break
+        assert seen_feed, "no channel feed chain was ever deferred"
+        assert seen_linked_eject, "no ejection chain linked its feeder"

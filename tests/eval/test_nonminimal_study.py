@@ -1,0 +1,68 @@
+"""Smoke test for the minimal-vs-nonminimal route-selection study.
+
+Runs the committed study script (``examples/nonminimal_study.py``, the
+generator of ``results/sweep_nonminimal_8x8.md``) on a 2-point grid and
+checks the merged table's shape: both routings swept, per-load deltas
+computed, and the markdown renderer round-trips.
+"""
+
+import importlib.util
+import math
+import os
+
+import pytest
+
+from repro.config import NocConfig
+
+_STUDY_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "..", "examples", "nonminimal_study.py"
+)
+
+
+@pytest.fixture(scope="module")
+def study():
+    spec = importlib.util.spec_from_file_location(
+        "nonminimal_study", _STUDY_PATH
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_study_runs_two_points(study, tmp_path):
+    rows, knees = study.run_study(
+        loads=(0.01, 0.05),
+        seeds=(1,),
+        cfg=NocConfig(width=8, height=8),
+        measure_cycles=600,
+        drain_limit=6000,
+        stream_dir=str(tmp_path),
+        processes=2,
+    )
+    assert [row["load"] for row in rows] == [0.01, 0.05]
+    for row in rows:
+        assert row["minimal"] > 0
+        assert row["nonminimal"] > 0
+        assert not math.isnan(row["delta_pct"])
+    assert set(knees) == {"minimal", "nonminimal"}
+    # Both routings streamed their grid points for resume.
+    for routing in ("minimal", "nonminimal"):
+        assert (
+            tmp_path / ("sweep_nonminimal_8x8_%s.jsonl" % routing)
+        ).exists()
+    table = study.markdown_table(study.format_rows(rows))
+    assert table.count("\n") == len(rows) + 2
+    assert "| load |" in table
+
+
+def test_committed_study_table_exists(study):
+    """The study's committed output is part of the repo's results."""
+    path = os.path.join(
+        os.path.dirname(_STUDY_PATH), "..", "results",
+        "sweep_nonminimal_8x8.md",
+    )
+    assert os.path.exists(path)
+    with open(path) as fh:
+        content = fh.read()
+    assert "nonminimal" in content
+    assert "delta_pct" in content

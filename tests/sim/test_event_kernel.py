@@ -1,25 +1,27 @@
 """Event kernel vs legacy kernel: results must be bit-identical.
 
 The event kernel schedules deterministic chain traversals as single
-heap events and runs switch allocation only on wake events; these tests
-pin down that none of it is observable — identical latency summaries,
-per-flow summaries, event counters and per-packet timestamps across
-every registered workload (all 8 SoC apps and all 6 synthetic
-patterns), multiple seeds, both the mesh and SMART designs, and
-saturated (clamped) operation.
+heap events — including cascades through intermediate hand-offs, whose
+feeder-ordered settlement is pinned here at adversarial snapshot cycles
+— and runs switch allocation only on wake events; these tests pin down
+that none of it is observable: identical latency summaries, per-flow
+summaries, event counters and per-packet timestamps across every
+registered workload (all 8 SoC apps and all 6 synthetic patterns),
+multiple seeds, both the mesh and SMART designs, and saturated
+(clamped) operation.
 """
 
 import pytest
 
 from repro.apps.registry import PAPER_APP_ORDER
 from repro.config import NocConfig
-from repro.core.noc_builder import build_mesh_noc, build_smart_noc
-from repro.eval.designs import build_design
-from repro.eval.scenarios import fig7_flows
-from repro.sim.network import KERNELS
+from repro.core.noc_builder import build_smart_noc
+from repro.sim.flow import Flow
+from repro.sim.network import KERNELS, _MidChain, _NicMidChain
 from repro.sim.patterns import PATTERNS
+from repro.sim.topology import Port
 from repro.sim.traffic import RateScaledTraffic, ScriptedTraffic
-from repro.workloads import build_seed_for, build_workload
+from repro.workloads import build_workload
 
 #: The six pure synthetic patterns; the background_hotspot composite
 #: (summed uniform + hotspot demand sets) gets its own case below.
@@ -31,33 +33,11 @@ PURE_PATTERNS = tuple(p for p in PATTERNS if p != "background_hotspot")
 RUN = dict(warmup_cycles=150, measure_cycles=900, drain_limit=12000)
 
 
-def _result_tuple(result):
-    return (
-        result.summary,
-        result.per_flow,
-        result.counters,
-        result.measured_cycles,
-        result.total_cycles,
-        result.drained,
-        result.undelivered_measured,
-    )
-
-
-def _run(built, cfg, design, kernel, mode, load, seed):
-    traffic = RateScaledTraffic(
-        cfg, built.flows, scale=load, seed=seed, mode=mode
-    )
-    instance = build_design(
-        design, cfg, built.flows, traffic=traffic, kernel=kernel
-    )
-    return _result_tuple(instance.run(**RUN))
-
-
 class TestScriptedEquivalence:
-    def test_fig7_per_packet_timestamps_identical(self, cfg):
+    def test_fig7_per_packet_timestamps_identical(self, cfg, fig7_flow_set):
         results = {}
         for kernel in ("legacy", "event"):
-            flows = fig7_flows()
+            flows = list(fig7_flow_set)
             noc = build_smart_noc(
                 cfg, flows,
                 traffic=ScriptedTraffic([(1, f.flow_id) for f in flows]),
@@ -75,8 +55,8 @@ class TestScriptedEquivalence:
             )
         assert results["legacy"] == results["event"]
 
-    def test_fig7_single_cycle_paths_preserved(self, cfg):
-        flows = fig7_flows()
+    def test_fig7_single_cycle_paths_preserved(self, cfg, fig7_flow_set):
+        flows = list(fig7_flow_set)
         noc = build_smart_noc(
             cfg, flows,
             traffic=ScriptedTraffic([(1, f.flow_id) for f in flows]),
@@ -97,88 +77,269 @@ class TestAllWorkloadsEquivalence:
 
     @pytest.mark.parametrize("seed", [1, 2])
     @pytest.mark.parametrize("app", PAPER_APP_ORDER)
-    def test_apps_identical_on_smart(self, cfg, app, seed):
-        built = build_workload(app, cfg, seed=build_seed_for(app, seed))
-        legacy = _run(built, cfg, "smart", "legacy", "legacy", 4.0, seed)
-        event = _run(built, cfg, "smart", "event", "predraw", 4.0, seed)
+    def test_apps_identical_on_smart(
+        self, cfg, make_workload, run_design, app, seed
+    ):
+        built = make_workload(app, cfg, seed=seed)
+        legacy = run_design(built, cfg, "smart", "legacy", 4.0, seed, **RUN)
+        event = run_design(built, cfg, "smart", "event", 4.0, seed, **RUN)
         assert legacy == event
 
     @pytest.mark.parametrize("seed", [1, 2])
     @pytest.mark.parametrize("pattern", PURE_PATTERNS)
-    def test_patterns_identical_on_smart_8x8(self, pattern, seed):
+    def test_patterns_identical_on_smart_8x8(
+        self, make_workload, run_design, pattern, seed
+    ):
         cfg = NocConfig(width=8, height=8)
-        built = build_workload(
-            pattern, cfg, seed=build_seed_for(pattern, seed)
-        )
-        legacy = _run(built, cfg, "smart", "legacy", "legacy", 0.01, seed)
-        event = _run(built, cfg, "smart", "event", "predraw", 0.01, seed)
+        built = make_workload(pattern, cfg, seed=seed)
+        legacy = run_design(built, cfg, "smart", "legacy", 0.01, seed, **RUN)
+        event = run_design(built, cfg, "smart", "event", 0.01, seed, **RUN)
         assert legacy == event
 
-    def test_composite_workload_identical_on_smart_8x8(self):
+    def test_composite_workload_identical_on_smart_8x8(
+        self, make_workload, run_design
+    ):
         """The background_hotspot mix sums demand sets, so sources
         inject several flows through one NIC port — worth its own pin."""
         cfg = NocConfig(width=8, height=8)
-        built = build_workload(
-            "background_hotspot", cfg,
-            seed=build_seed_for("background_hotspot", 1),
-        )
-        legacy = _run(built, cfg, "smart", "legacy", "legacy", 0.02, 1)
-        event = _run(built, cfg, "smart", "event", "predraw", 0.02, 1)
+        built = make_workload("background_hotspot", cfg, seed=1)
+        legacy = run_design(built, cfg, "smart", "legacy", 0.02, 1, **RUN)
+        event = run_design(built, cfg, "smart", "event", 0.02, 1, **RUN)
         assert legacy == event
 
     @pytest.mark.parametrize("app", ["PIP", "VOPD"])
-    def test_apps_identical_on_mesh(self, cfg, app):
-        built = build_workload(app, cfg)
-        legacy = _run(built, cfg, "mesh", "legacy", "legacy", 4.0, 1)
-        event = _run(built, cfg, "mesh", "event", "predraw", 4.0, 1)
+    def test_apps_identical_on_mesh(self, cfg, make_workload, run_design, app):
+        built = make_workload(app, cfg)
+        legacy = run_design(built, cfg, "mesh", "legacy", 4.0, 1, **RUN)
+        event = run_design(built, cfg, "mesh", "event", 4.0, 1, **RUN)
         assert legacy == event
 
     @pytest.mark.parametrize("pattern", ["transpose", "bit_complement"])
-    def test_patterns_identical_on_mesh_8x8(self, pattern):
+    def test_patterns_identical_on_mesh_8x8(
+        self, make_workload, run_design, pattern
+    ):
         cfg = NocConfig(width=8, height=8)
-        built = build_workload(pattern, cfg)
-        legacy = _run(built, cfg, "mesh", "legacy", "legacy", 0.01, 1)
-        event = _run(built, cfg, "mesh", "event", "predraw", 0.01, 1)
+        built = make_workload(pattern, cfg)
+        legacy = run_design(built, cfg, "mesh", "legacy", 0.01, 1, **RUN)
+        event = run_design(built, cfg, "mesh", "event", 0.01, 1, **RUN)
         assert legacy == event
 
-    def test_saturated_run_identical_and_survives(self, cfg):
+    def test_saturated_run_identical_and_survives(
+        self, cfg, make_workload, make_network
+    ):
         """Past saturation (clamped flows) the event kernel agrees with
         the legacy kernel and neither crashes."""
-        built = build_workload("PIP", cfg)
+        built = make_workload("PIP", cfg)
         results = {}
-        for kernel, mode in (("legacy", "legacy"), ("event", "predraw")):
-            traffic = RateScaledTraffic(
-                cfg, built.flows, scale=1024.0, seed=1, mode=mode
+        for kernel in ("legacy", "event"):
+            instance = make_network(
+                built, cfg, design="mesh", kernel=kernel, load=1024.0, seed=1
             )
-            assert traffic.clamped_rates, "scale 1024 should clamp flows"
-            instance = build_design(
-                "mesh", cfg, built.flows, traffic=traffic, kernel=kernel
-            )
+            assert instance.network.traffic.clamped_rates, \
+                "scale 1024 should clamp flows"
             r = instance.run(
                 warmup_cycles=100, measure_cycles=1000, drain_limit=500
             )
             results[kernel] = (r.summary, r.counters, r.drained)
         assert results["legacy"] == results["event"]
 
-    def test_run_cycles_settles_chains(self):
+    def test_run_cycles_settles_chains(self, make_workload, make_network):
         """Counters read after run_cycles must already include in-flight
         chain traversals (the _sync settlement path)."""
         cfg = NocConfig(width=8, height=8)
-        built = build_workload("uniform", cfg, seed=3)
+        built = make_workload("uniform", cfg, seed=3)
         counters = {}
-        for kernel, mode in (("legacy", "legacy"), ("event", "predraw")):
-            traffic = RateScaledTraffic(
-                cfg, built.flows, scale=0.02, seed=3, mode=mode
-            )
-            noc = build_smart_noc(
-                cfg, built.flows, traffic=traffic, kernel=kernel
-            )
+        for kernel in ("legacy", "event"):
+            net = make_network(
+                built, cfg, design="smart", kernel=kernel, load=0.02, seed=3
+            ).network
             # An odd cycle count lands mid-packet for most streams.
-            noc.network.run_cycles(1237)
-            counters[kernel] = (
-                noc.network.counters, noc.network.stats.delivered_total
-            )
+            net.run_cycles(1237)
+            counters[kernel] = (net.counters, net.stats.delivered_total)
         assert counters["legacy"] == counters["event"]
+
+
+# ----------------------------------------------------------------------
+# Cascaded chains: snapshots at adversarial cycles, chain graph, unchain
+# ----------------------------------------------------------------------
+
+#: Cascade scenario: an 8x2 mesh with HPC_max=2 chops a west-to-east
+#: route into four 2-hop segments, so one packet crosses three
+#: intermediate hand-offs (NIC chain -> mid-chain -> mid-chain -> final
+#: chain) — the deepest cascade expressible on this mesh.
+CASCADE_CFG = NocConfig(width=8, height=2, hpc_max=2)
+INJECT_CYCLE = 5
+
+
+def cascade_flows(contended: bool = False):
+    flows = [
+        Flow(0, 0, 7, 1e6, route=(Port.EAST,) * 7 + (Port.CORE,),
+             name="cascade"),
+    ]
+    if contended:
+        # Joins the first flow's path at router 2 and shares the
+        # east-bound links (and therefore the hand-off stops) to 6.
+        flows.append(
+            Flow(1, 10, 6, 1e6,
+                 route=(Port.SOUTH,) + (Port.EAST,) * 4 + (Port.CORE,),
+                 name="crosser")
+        )
+    return flows
+
+
+def cascade_network(kernel, contended=False, inject=(INJECT_CYCLE,)):
+    flows = cascade_flows(contended)
+    schedule = [
+        (cycle, flow.flow_id) for cycle in inject for flow in flows
+    ]
+    noc = build_smart_noc(
+        CASCADE_CFG, flows, traffic=ScriptedTraffic(schedule), kernel=kernel
+    )
+    return noc.network
+
+
+def cascade_state(net):
+    """Everything a per-cycle kernel exposes at a snapshot boundary."""
+    return (
+        net.counters,
+        net.stats.delivered_total,
+        {
+            node: [len(vc) for buf in router.buffers.values()
+                   for vc in buf.vcs]
+            for node, router in sorted(net.routers.items())
+        },
+        {node: sink.flits_received
+         for node, sink in sorted(net.nic_sinks.items())},
+    )
+
+
+class TestMidChainSnapshots:
+    """Counter snapshots taken mid-cascade must equal a per-cycle run.
+
+    PR 4 pinned only end-of-run and coarse (measurement-window)
+    snapshots; these cuts land *inside* the deferred window of every
+    chain in a producer -> consumer cascade: mid-chain, exactly at each
+    hand-off, and one cycle before the tail.
+    """
+
+    def test_cascade_uses_mid_chains(self):
+        """The scenario actually exercises the new machinery: a NIC
+        chain feeding mid-chains feeding a final chain, linked into a
+        dependency graph."""
+        net = cascade_network("event")
+        net.run_cycles(INJECT_CYCLE + 5)
+        kinds = {type(c).__name__ for c in net._chains.values()}
+        assert "_NicMidChain" in kinds
+        assert "_MidChain" in kinds
+        mids = [c for c in net._chains.values() if type(c) is _MidChain]
+        feeders = {c.feeder for c in mids if c.feeder is not None}
+        assert feeders, "mid-chains must link back to their feeders"
+        assert all(
+            type(f) in (_MidChain, _NicMidChain) for f in feeders
+        )
+
+    @pytest.mark.parametrize("contended", [False, True],
+                             ids=["single-flow", "contended"])
+    @pytest.mark.parametrize("cut", range(INJECT_CYCLE, INJECT_CYCLE + 35))
+    def test_snapshot_matches_per_cycle_run(self, contended, cut):
+        """Dense cut sweep across the whole cascade window: every
+        prefix of the run settles to the exact per-cycle state."""
+        legacy = cascade_network("legacy", contended)
+        legacy.run_cycles(cut)
+        event = cascade_network("event", contended)
+        event.run_cycles(cut)
+        assert cascade_state(legacy) == cascade_state(event)
+
+    def test_snapshot_exactly_at_handoffs_and_before_tail(self):
+        """Name the adversarial cuts explicitly: each hand-off cycle
+        (first buffer write at an intermediate router, probed from a
+        legacy run) and one cycle before the packet's tail arrival."""
+        probe = cascade_network("legacy")
+        handoffs = []
+        last_writes = 0
+        while probe.stats.delivered_total == 0:
+            probe.step()
+            if probe.counters.buffer_writes > last_writes:
+                last_writes = probe.counters.buffer_writes
+                handoffs.append(probe.cycle)
+            assert probe.cycle < 200, "cascade never delivered"
+        tail_cycle = probe.cycle
+        assert len(handoffs) >= 3, "expected >= 3 hand-off stops"
+        for cut in sorted(set(handoffs + [tail_cycle - 1])):
+            legacy = cascade_network("legacy")
+            legacy.run_cycles(cut)
+            event = cascade_network("event")
+            event.run_cycles(cut)
+            assert cascade_state(legacy) == cascade_state(event), \
+                "snapshot diverged at cut %d" % cut
+
+    def test_back_to_back_packets_through_cascade(self):
+        """Consecutive packets reuse hand-off VCs; credits and busy
+        flags must settle across chain generations."""
+        inject = (INJECT_CYCLE, INJECT_CYCLE + 2, INJECT_CYCLE + 11)
+        for cut in (18, 27, 33, 60):
+            legacy = cascade_network("legacy", inject=inject)
+            legacy.run_cycles(cut)
+            event = cascade_network("event", inject=inject)
+            event.run_cycles(cut)
+            assert cascade_state(legacy) == cascade_state(event), \
+                "snapshot diverged at cut %d" % cut
+
+
+class TestUnchain:
+    """A consumer stall un-chains its feeders: the reverted streams run
+    per-cycle, settle exactly once, and stay bit-identical."""
+
+    def _unchained_run(self, victim_type, cut=INJECT_CYCLE + 6):
+        net = cascade_network("event")
+        net.run_cycles(cut)
+        victims = [
+            c for c in net._chains.values() if type(c) is victim_type
+        ]
+        assert victims, "no %s in flight at cut %d" % (victim_type, cut)
+        victim = victims[0]
+        # Un-chain through the stall entry point: the key of the
+        # hand-off VC the victim writes into.  The cycle argument is
+        # the tick in which the (hypothetical) stall is observed — the
+        # tick about to execute.
+        node, port, vc_id = victim.writer_key
+        assert net._ev_unchain_feeders(node, port, vc_id, net.cycle)
+        assert victim.cid not in net._chains
+        assert net._chain_writers.get(victim.writer_key) is not victim
+        net.run_cycles(60 - cut)
+        return net
+
+    @pytest.mark.parametrize("victim_type", [_MidChain, _NicMidChain],
+                             ids=["mid-chain", "nic-chain"])
+    def test_unchained_stream_stays_bit_identical(self, victim_type):
+        legacy = cascade_network("legacy")
+        legacy.run_cycles(60)
+        event = self._unchained_run(victim_type)
+        assert cascade_state(legacy) == cascade_state(event)
+
+    def test_unchain_is_recursive_over_feeders(self):
+        """Un-chaining a consumer's feeder also un-chains the feeder's
+        own feeder (the whole upstream cascade reverts)."""
+        net = cascade_network("event")
+        net.run_cycles(INJECT_CYCLE + 6)
+        mids = [c for c in net._chains.values() if type(c) is _MidChain]
+        with_feeder = [c for c in mids if c.feeder is not None
+                       and c.feeder.cid in net._chains]
+        assert with_feeder, "expected a mid-chain with a live feeder"
+        victim = with_feeder[0]
+        feeder = victim.feeder
+        net._ev_unchain(victim, net.cycle)
+        assert victim.cid not in net._chains
+        assert feeder.cid not in net._chains, "feeder must revert too"
+        legacy = cascade_network("legacy")
+        legacy.run_cycles(60)
+        net.run_cycles(60 - (INJECT_CYCLE + 6))
+        assert cascade_state(legacy) == cascade_state(net)
+
+    def test_unchain_without_writer_is_a_noop(self):
+        net = cascade_network("event")
+        net.run_cycles(2)
+        assert not net._ev_unchain_feeders(0, Port.EAST, 0, net.cycle)
 
 
 class TestKernelSelection:
@@ -199,3 +360,21 @@ class TestKernelSelection:
         noc.network.run_cycles(500)
         assert noc.network.counters.clock_router_cycles == 0
         assert noc.network.counters.total_router_cycles == 500 * 16
+
+
+class TestChainDepthDiagnostic:
+    def test_cascade_config_is_cascade_heavy(self):
+        """The BuiltWorkload diagnostic selects cascade regimes: the
+        same demands that are fully bypassed at HPC_max=8 become deep
+        cascades at HPC_max=2."""
+        wide = NocConfig(width=8, height=2, hpc_max=8)
+        narrow = CASCADE_CFG
+        built_wide = build_workload("transpose", NocConfig(width=4, height=4))
+        assert built_wide.chain_depth(NocConfig(width=4, height=4)) >= 1
+        from repro.workloads import BuiltWorkload
+        built = BuiltWorkload(
+            "cascade", "injection_rate", tuple(cascade_flows())
+        )
+        assert built.chain_depth(wide) == 1
+        assert built.chain_depth(narrow) == 4
+        assert built.chain_depths(narrow) == {0: 4}

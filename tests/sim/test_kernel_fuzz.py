@@ -1,0 +1,112 @@
+"""Cross-kernel equivalence fuzzer: legacy == active == event, always.
+
+Every kernel change inherits this harness: each seed draws a random
+mesh size, workload/pattern, load point, VC count, packet length and
+HPC_max (small HPC_max values force deep hand-off cascades through the
+event kernel's feeder-ordered settlement), runs all three kernels over
+the identical scenario and asserts bit-identity of every event counter,
+the latency summaries, per-flow summaries and drain status.
+
+The seed count defaults to 20 and widens via the ``--fuzz-seeds``
+pytest option (see ``tests/conftest.py``); CI runs ``--fuzz-seeds 100``
+and uploads one ready-to-run repro command per failing seed as a job
+artifact (``SMART_FUZZ_REPRO_FILE``).
+
+To reproduce one failing seed locally::
+
+    PYTHONPATH=src python -m pytest \
+        'tests/sim/test_kernel_fuzz.py::test_mesh_smart_kernels_bit_identical[seed7]'
+"""
+
+import dataclasses
+import math
+import random
+
+from repro.config import NocConfig
+from repro.eval.designs import build_design
+from repro.sim.traffic import RateScaledTraffic
+from repro.workloads import build_seed_for, build_workload
+
+#: Kernels under test; ``legacy`` is the behavioural reference.
+FUZZ_KERNELS = ("legacy", "active", "event")
+
+
+def draw_case(fuzz_seed: int, dedicated: bool = False) -> dict:
+    """One randomized scenario, fully determined by the seed."""
+    rng = random.Random(0xF0 + fuzz_seed)
+    width = rng.randint(2, 6)
+    height = rng.randint(2, 6)
+    nodes = width * height
+    pool = ["uniform", "hotspot", "bit_complement", "background_hotspot"]
+    if width == height:
+        pool.append("transpose")
+    if nodes & (nodes - 1) == 0:
+        pool.extend(["shuffle", "bit_reverse"])
+    vcs = rng.choice([1, 2, 3])
+    cfg = NocConfig(
+        width=width,
+        height=height,
+        vcs_per_port=vcs,
+        credit_bits=max(1, math.ceil(math.log2(vcs))) + 1,
+        packet_bits=rng.choice([32, 64, 256]),
+        hpc_max=rng.choice([1, 2, 3, 8]),
+    )
+    return {
+        "cfg": cfg,
+        "pattern": rng.choice(pool),
+        "design": "dedicated" if dedicated else rng.choice(["smart", "mesh"]),
+        "load": round(rng.uniform(0.005, 0.25), 4),
+        "traffic_seed": rng.randint(1, 999),
+        "run": dict(
+            warmup_cycles=rng.choice([0, 60, 137]),
+            measure_cycles=rng.choice([400, 611]),
+            drain_limit=6000,
+        ),
+    }
+
+
+def run_case(case: dict, kernel: str):
+    cfg = case["cfg"]
+    built = build_workload(
+        case["pattern"], cfg,
+        seed=build_seed_for(case["pattern"], case["traffic_seed"]),
+    )
+    traffic = RateScaledTraffic(
+        cfg, built.flows, scale=case["load"], seed=case["traffic_seed"],
+        mode="legacy" if kernel == "legacy" else "predraw",
+    )
+    instance = build_design(
+        case["design"], cfg, built.flows, traffic=traffic, kernel=kernel
+    )
+    result = instance.run(**case["run"])
+    return result
+
+
+def assert_identical(case: dict, reference, candidate, kernel: str) -> None:
+    """Per-counter bit-identity with a self-describing failure."""
+    ref_counters = dataclasses.asdict(reference.counters)
+    cand_counters = dataclasses.asdict(candidate.counters)
+    for name, ref_value in ref_counters.items():
+        assert cand_counters[name] == ref_value, (
+            "counter %r differs on kernel %r (%r != %r) for case %r"
+            % (name, kernel, cand_counters[name], ref_value, case)
+        )
+    for attr in ("summary", "per_flow", "measured_cycles", "total_cycles",
+                 "drained", "undelivered_measured"):
+        assert getattr(candidate, attr) == getattr(reference, attr), (
+            "%s differs on kernel %r for case %r" % (attr, kernel, case)
+        )
+
+
+def test_mesh_smart_kernels_bit_identical(fuzz_seed):
+    case = draw_case(fuzz_seed)
+    reference = run_case(case, "legacy")
+    for kernel in FUZZ_KERNELS[1:]:
+        assert_identical(case, reference, run_case(case, kernel), kernel)
+
+
+def test_dedicated_kernels_bit_identical(fuzz_seed):
+    case = draw_case(fuzz_seed, dedicated=True)
+    reference = run_case(case, "legacy")
+    for kernel in FUZZ_KERNELS[1:]:
+        assert_identical(case, reference, run_case(case, kernel), kernel)
