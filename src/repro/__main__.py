@@ -13,6 +13,7 @@ Usage:
     python -m repro workloads
     python -m repro plot results/sweep_X.jsonl [--out PNG]
     python -m repro apps
+    python -m repro lint [PATHS ...] [--rule RULE] [--list-rules]
 """
 
 from __future__ import annotations
@@ -141,7 +142,7 @@ def _workload_name(value: str) -> str:
     try:
         return get_workload(value).name
     except ValueError as exc:
-        raise argparse.ArgumentTypeError(str(exc))
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def _mesh_size(value: str):
@@ -300,6 +301,14 @@ def _cmd_plot(args) -> None:
                                              title=args.title))
 
 
+def _cmd_lint(args) -> None:
+    from repro.analysis.cli import run_lint
+
+    code = run_lint(args.paths, rules=args.rules, list_rules=args.list_rules)
+    if code:
+        raise SystemExit(code)
+
+
 def _cmd_apps(_args) -> None:
     from repro.apps.registry import PAPER_APP_ORDER, evaluation_task_graph
 
@@ -402,6 +411,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_plot.add_argument("--title", default=None)
     p_plot.set_defaults(func=_cmd_plot)
     sub.add_parser("apps").set_defaults(func=_cmd_apps)
+    p_lint = sub.add_parser(
+        "lint",
+        help="determinism & bit-identity static checker "
+        "(see docs/analysis.md)",
+    )
+    from repro.analysis.cli import add_lint_arguments
+
+    add_lint_arguments(p_lint)
+    p_lint.set_defaults(func=_cmd_lint)
     return parser
 
 

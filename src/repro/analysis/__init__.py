@@ -1,0 +1,36 @@
+"""Determinism & bit-identity static checker for the repro codebase.
+
+Run it as ``python -m repro lint src/repro`` or programmatically::
+
+    from repro.analysis import check_paths
+    findings = check_paths(["src/repro"])
+
+See ``docs/analysis.md`` for the rule catalogue, the sanitizer mode it
+complements, and the suppression policy.
+"""
+
+from repro.analysis.core import (
+    BARE_SUPPRESSION_RULE,
+    RULES,
+    Finding,
+    ModuleContext,
+    Rule,
+    Suppression,
+    check_paths,
+    check_source,
+    parse_suppressions,
+    rule,
+)
+
+__all__ = [
+    "BARE_SUPPRESSION_RULE",
+    "RULES",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "Suppression",
+    "check_paths",
+    "check_source",
+    "parse_suppressions",
+    "rule",
+]

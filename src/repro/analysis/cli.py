@@ -1,0 +1,82 @@
+"""Command-line front end for the static checker (``repro lint``)."""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.analysis.core import RULES, check_paths, _load_builtin_rules
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``lint`` subcommand's arguments to ``parser``."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to check (default: src/repro)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="RULE",
+        help="restrict to the given rule id (repeatable)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
+
+def run_lint(
+    paths: List[str],
+    rules: Optional[List[str]] = None,
+    list_rules: bool = False,
+) -> int:
+    """Execute the lint pass; returns the process exit code."""
+    if list_rules:
+        _load_builtin_rules()
+        for rule_id in sorted(RULES):
+            print("%s  %s" % (rule_id, RULES[rule_id].summary))
+        return 0
+    missing = [path for path in paths if not os.path.exists(path)]
+    if missing:
+        print(
+            "repro lint: no such path: %s" % ", ".join(missing),
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        findings = check_paths(paths, rules=rules, relative_to=os.getcwd())
+    except ValueError as exc:
+        print("repro lint: %s" % exc, file=sys.stderr)
+        return 2
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(
+            "repro lint: %d finding(s); see docs/analysis.md for the "
+            "rule catalogue and suppression policy" % len(findings),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.analysis.cli``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="determinism & bit-identity static checker",
+    )
+    add_lint_arguments(parser)
+    args = parser.parse_args(argv)
+    return run_lint(args.paths, rules=args.rules, list_rules=args.list_rules)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

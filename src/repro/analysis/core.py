@@ -1,0 +1,401 @@
+"""Core of the determinism static checker: findings, rules, suppression.
+
+The repo's central contract is *per-counter bit-identity* of the three
+simulation kernels (legacy / active / event), enforced dynamically by
+the cross-kernel fuzz harness.  That contract rests on source-level
+invariants nothing used to check mechanically: all randomness flows
+through seeded ``random.Random`` instances, counters stay integral,
+kernel hot paths never iterate hash-ordered collections, and chain
+classes settle counters only through their batched-settlement method.
+The rules in :mod:`repro.analysis` lint exactly those invariants so a
+violation is caught at review time, before 100 fuzz seeds burn CI
+minutes bisecting it.
+
+Architecture
+------------
+
+A :class:`Rule` inspects one parsed module (:class:`ModuleContext`) and
+yields :class:`Finding`\\ s.  Rules register themselves in :data:`RULES`
+via the :func:`rule` decorator and declare which files they apply to
+through ``applies_to`` (matched on the *repo-relative* module path, so
+fixture tests can exercise scope routing with synthetic paths).
+
+Suppression
+-----------
+
+A finding is suppressed by a justified marker comment::
+
+    foo = time.time()  # repro-lint: ok DET001 -- wall clock feeds the
+                       # progress log only, never simulation state
+
+The marker names the rule id (several may be comma-separated) and must
+sit on the finding's line or on a comment-only line directly above it.
+Suppression policy (``docs/analysis.md``): every ``ok`` needs an
+in-line justification after ``--`` explaining why the invariant is not
+actually at risk; bare markers are themselves reported via
+:data:`BARE_SUPPRESSION_RULE`.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import os
+import re
+import tokenize
+from io import StringIO
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Type,
+)
+
+#: Pseudo-rule id reported for a suppression marker with no justification.
+BARE_SUPPRESSION_RULE = "SUP001"
+
+#: ``# repro-lint: ok RULE1[,RULE2] [-- justification]``
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*ok\s+(?P<rules>[A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)"
+    r"(?P<just>\s*--\s*\S.*)?"
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One checker diagnostic, pointing at a source line."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        """``path:line:col: RULE message`` (the CLI output format)."""
+        return "%s:%d:%d: %s %s" % (
+            self.path, self.line, self.col, self.rule, self.message
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class Suppression:
+    """A parsed ``# repro-lint: ok`` marker."""
+
+    line: int
+    rules: Tuple[str, ...]
+    justified: bool
+    #: True for a comment-only line (applies to the next code line too).
+    standalone: bool
+
+
+class ModuleContext:
+    """One parsed module handed to every applicable rule."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module):
+        self.path = path
+        #: Forward-slash repo-relative path used for scope matching.
+        self.relpath = path.replace(os.sep, "/")
+        self.source = source
+        self.tree = tree
+        self.lines = source.splitlines()
+        self.suppressions = parse_suppressions(source)
+
+    def finding(
+        self, rule: str, node: ast.AST, message: str
+    ) -> Finding:
+        """Build a finding anchored at ``node``'s location."""
+        return Finding(
+            rule=rule,
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+class Rule:
+    """Base class: one invariant checked over a module's AST.
+
+    Subclasses set ``rule_id``/``summary``/``rationale`` and implement
+    :meth:`applies_to` (scope routing on the repo-relative path) and
+    :meth:`check` (yield findings).
+    """
+
+    rule_id = ""
+    #: One-line description, shown by ``repro lint --list-rules``.
+    summary = ""
+    #: Which bit-identity invariant the rule protects (docs).
+    rationale = ""
+
+    def applies_to(self, relpath: str) -> bool:
+        """Whether this rule runs on the module at ``relpath``."""
+        raise NotImplementedError
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for one parsed module."""
+        raise NotImplementedError
+
+
+#: Registry of every known rule, keyed by rule id.
+RULES: Dict[str, Rule] = {}
+
+
+def rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate and register a :class:`Rule`."""
+    instance = cls()
+    if not instance.rule_id:
+        raise ValueError("rule %r has no rule_id" % cls.__name__)
+    if instance.rule_id in RULES:
+        raise ValueError("duplicate rule id %r" % instance.rule_id)
+    RULES[instance.rule_id] = instance
+    return cls
+
+
+def parse_suppressions(source: str) -> List[Suppression]:
+    """Extract ``# repro-lint: ok`` markers with real tokenization.
+
+    Tokenizing (rather than regexing raw lines) keeps markers inside
+    string literals from suppressing anything.  Falls back to a
+    line-based scan when the module does not tokenize (the AST parse
+    will have failed first anyway).
+    """
+    suppressions: List[Suppression] = []
+    comment_lines: Dict[int, str] = {}
+    code_lines: Set[int] = set()
+    try:
+        for tok in tokenize.generate_tokens(StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                comment_lines[tok.start[0]] = tok.string
+            elif tok.type not in (
+                tokenize.NL,
+                tokenize.NEWLINE,
+                tokenize.INDENT,
+                tokenize.DEDENT,
+                tokenize.ENDMARKER,
+            ):
+                code_lines.add(tok.start[0])
+    except tokenize.TokenError:
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            if "#" in text:
+                comment_lines[lineno] = text[text.index("#"):]
+                if text[: text.index("#")].strip():
+                    code_lines.add(lineno)
+            elif text.strip():
+                code_lines.add(lineno)
+    for lineno, comment in comment_lines.items():
+        match = _SUPPRESS_RE.search(comment)
+        if not match:
+            continue
+        rules = tuple(
+            part.strip() for part in match.group("rules").split(",")
+        )
+        suppressions.append(
+            Suppression(
+                line=lineno,
+                rules=rules,
+                justified=match.group("just") is not None,
+                standalone=lineno not in code_lines,
+            )
+        )
+    return suppressions
+
+
+def apply_suppressions(
+    findings: Iterable[Finding], ctx: ModuleContext
+) -> List[Finding]:
+    """Filter suppressed findings; report unjustified markers.
+
+    A marker suppresses findings of its named rules on its own line; a
+    comment-only marker also covers the next code line below it (so a
+    long statement can carry the justification above itself).
+    """
+    by_line: Dict[int, Set[str]] = {}
+    result: List[Finding] = []
+    for sup in ctx.suppressions:
+        lines = [sup.line]
+        if sup.standalone:
+            lines.append(_next_code_line(ctx, sup.line))
+        for line in lines:
+            by_line.setdefault(line, set()).update(sup.rules)
+        if not sup.justified:
+            result.append(
+                Finding(
+                    rule=BARE_SUPPRESSION_RULE,
+                    path=ctx.path,
+                    line=sup.line,
+                    col=0,
+                    message=(
+                        "suppression without justification: append "
+                        "'-- <why this is safe>' to the marker"
+                    ),
+                )
+            )
+    for finding in findings:
+        if finding.rule in by_line.get(finding.line, ()):
+            continue
+        result.append(finding)
+    return result
+
+
+def _next_code_line(ctx: ModuleContext, after: int) -> int:
+    """First non-blank, non-comment line after ``after`` (or ``after``)."""
+    for lineno in range(after + 1, len(ctx.lines) + 1):
+        text = ctx.lines[lineno - 1].strip()
+        if text and not text.startswith("#"):
+            return lineno
+    return after
+
+
+def check_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Check one module's source text (the unit-test entry point).
+
+    ``path`` drives scope routing exactly as for on-disk files, so
+    fixtures can impersonate e.g. ``src/repro/sim/network.py``.
+    ``rules`` restricts the run to the named rule ids.
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="PARSE",
+                path=path,
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                message="module does not parse: %s" % exc.msg,
+            )
+        ]
+    ctx = ModuleContext(path, source, tree)
+    selected = _select_rules(rules)
+    raw: List[Finding] = []
+    for checker in selected:
+        if checker.applies_to(ctx.relpath):
+            raw.extend(checker.check(ctx))
+    findings = apply_suppressions(raw, ctx)
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return findings
+
+
+def check_paths(
+    paths: Sequence[str],
+    rules: Optional[Sequence[str]] = None,
+    relative_to: Optional[str] = None,
+) -> List[Finding]:
+    """Check files and directory trees; the library/CLI entry point.
+
+    Directories are walked for ``*.py`` files (sorted, so output order
+    is deterministic).  ``relative_to`` rebases reported paths (the CLI
+    passes the working directory).  Returns findings sorted by
+    (path, line, rule).
+    """
+    files: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames.sort()
+                files.extend(
+                    os.path.join(dirpath, name)
+                    for name in sorted(filenames)
+                    if name.endswith(".py")
+                )
+        else:
+            files.append(path)
+    findings: List[Finding] = []
+    for file_path in files:
+        with open(file_path, encoding="utf-8") as handle:
+            source = handle.read()
+        shown = file_path
+        if relative_to:
+            try:
+                shown = os.path.relpath(file_path, relative_to)
+            except ValueError:
+                shown = file_path
+        findings.extend(check_source(source, path=shown, rules=rules))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def _select_rules(rules: Optional[Sequence[str]]) -> List[Rule]:
+    _load_builtin_rules()
+    if rules is None:
+        return [RULES[key] for key in sorted(RULES)]
+    unknown = [name for name in rules if name not in RULES]
+    if unknown:
+        raise ValueError(
+            "unknown rule id(s) %s (have %s)"
+            % (", ".join(unknown), ", ".join(sorted(RULES)))
+        )
+    return [RULES[name] for name in rules]
+
+
+def _load_builtin_rules() -> None:
+    """Import the rule modules (idempotent; they register on import)."""
+    from repro.analysis import (  # noqa: F401  (imported for registration)
+        rules_api,
+        rules_chains,
+        rules_counters,
+        rules_order,
+        rules_rng,
+    )
+
+
+# ----------------------------------------------------------------------
+# Shared AST helpers used by several rule modules
+# ----------------------------------------------------------------------
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for nested Attribute/Name chains, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def walk_functions(
+    tree: ast.Module,
+) -> Iterator[Tuple[Optional[ast.ClassDef], ast.AST]]:
+    """Yield (enclosing class or None, function node) pairs."""
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield None, node
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield node, item
+
+
+def iter_calls(node: ast.AST) -> Iterator[ast.Call]:
+    """Yield every :class:`ast.Call` nested under ``node``."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            yield child
+
+
+def in_any_dir(relpath: str, directories: Sequence[str]) -> bool:
+    """True if ``relpath`` sits under one of ``directories`` (or is one
+    of them as a bare module path suffix, e.g. ``repro/workloads.py``)."""
+    for directory in directories:
+        if directory.endswith(".py"):
+            if relpath.endswith(directory):
+                return True
+        elif ("/%s/" % directory) in ("/%s/" % relpath.strip("/")):
+            return True
+    return False
+
+
+ModuleChecker = Callable[[ModuleContext], Iterator[Finding]]

@@ -1,0 +1,120 @@
+"""Public-API docstring/annotation presence (API001).
+
+``repro.workloads`` and ``repro.eval.sweeps`` are the surfaces sweep
+scripts and notebooks program against, and :mod:`repro.analysis` is
+itself a public tool — their contracts (what a seed means, which
+options a workload accepts, what a sweep returns) live in docstrings
+and type annotations, not in the fuzz harness.  This rule keeps every
+public function, method and class on those surfaces documented and
+annotated so `mypy`'s ``check_untyped_defs`` pass has real types to
+check and callers never have to reverse-engineer a signature.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Union
+
+from repro.analysis.core import (
+    Finding,
+    ModuleContext,
+    Rule,
+    in_any_dir,
+    rule,
+)
+
+#: The documented public surfaces.
+API_SCOPES = (
+    "repro/workloads.py", "repro/eval/sweeps.py", "repro/analysis",
+)
+
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+@rule
+class PublicApiRule(Rule):
+    """API001: public surfaces carry docstrings and annotations.
+
+    Public top-level functions, public classes, and public methods of
+    public classes in the API scope must have a docstring, a return
+    annotation, and annotations on every parameter (``self``/``cls``
+    excepted).
+    """
+
+    rule_id = "API001"
+    summary = (
+        "public function/class on an API surface missing a docstring "
+        "or type annotations"
+    )
+    rationale = (
+        "workloads/sweeps/analysis are the programmable surfaces; "
+        "their contracts live in docstrings and annotations, and mypy "
+        "needs the types to check callers"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        """Workloads, sweeps and the analysis package."""
+        return in_any_dir(relpath, API_SCOPES)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Check module-level functions and public class bodies."""
+        for node in ctx.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if _is_public(node.name):
+                    yield from self._check_function(node, None, ctx)
+            elif isinstance(node, ast.ClassDef) and _is_public(node.name):
+                if ast.get_docstring(node) is None:
+                    yield ctx.finding(
+                        self.rule_id, node,
+                        "public class '%s' has no docstring" % node.name,
+                    )
+                for item in node.body:
+                    if isinstance(
+                        item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ) and _is_public(item.name):
+                        yield from self._check_function(item, node, ctx)
+
+    def _check_function(
+        self,
+        node: _FunctionNode,
+        cls: Optional[ast.ClassDef],
+        ctx: ModuleContext,
+    ) -> Iterator[Finding]:
+        label = "%s.%s" % (cls.name, node.name) if cls else node.name
+        if ast.get_docstring(node) is None:
+            yield ctx.finding(
+                self.rule_id, node,
+                "public %s '%s' has no docstring"
+                % ("method" if cls else "function", label),
+            )
+        if node.returns is None:
+            yield ctx.finding(
+                self.rule_id, node,
+                "'%s' has no return annotation" % label,
+            )
+        args = node.args
+        positional = list(args.posonlyargs) + list(args.args)
+        is_static = any(
+            isinstance(dec, ast.Name) and dec.id == "staticmethod"
+            for dec in node.decorator_list
+        )
+        if cls is not None and not is_static and positional:
+            positional = positional[1:]  # self / cls
+        for arg in positional + list(args.kwonlyargs):
+            if arg.annotation is None:
+                yield ctx.finding(
+                    self.rule_id, arg,
+                    "parameter '%s' of '%s' is unannotated"
+                    % (arg.arg, label),
+                )
+        for vararg in (args.vararg, args.kwarg):
+            if vararg is not None and vararg.annotation is None:
+                yield ctx.finding(
+                    self.rule_id, vararg,
+                    "parameter '%s' of '%s' is unannotated"
+                    % (vararg.arg, label),
+                )

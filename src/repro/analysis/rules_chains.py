@@ -1,0 +1,131 @@
+"""Chain-state mutation discipline (CHN001).
+
+The event kernel's chain classes (``_NicChain``, ``_ResChain``,
+``_MidChain``, ``_DedChannelChain``, ...) settle whole idle stretches
+at once: ``advance(through)`` computes how many cycles of buffered
+activity elapsed and applies the *aggregate* counter delta in one
+batched update.  That settlement is the only place a chain may touch
+``EventCounters`` — a counter write anywhere else (``__init__``, a
+helper, a property) double-counts relative to the cycle-stepped
+kernels, and because settlement is deferred, the divergence surfaces
+many cycles later where it is miserable to bisect.  The rule also
+requires settlement writes to be *augmented* (``+=``): a plain ``=``
+overwrites deltas other chains already settled into the same counter.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.core import (
+    Finding,
+    ModuleContext,
+    Rule,
+    dotted_name,
+    in_any_dir,
+    rule,
+)
+
+#: Chain classes live in the simulation kernels.
+CHAIN_SCOPES = ("repro/sim", "repro/eval")
+
+#: Event-kernel chain class naming convention.
+_CHAIN_CLASS_RE = re.compile(r"^_\w*Chain$")
+
+#: The approved batched-settlement entry points.  ``advance`` performs
+#: the settlement; ``_settle`` is the conventional name for a private
+#: helper ``advance`` delegates to.
+SETTLEMENT_METHODS = frozenset({"advance", "_settle"})
+
+
+def _touches_counters(target: ast.AST) -> bool:
+    """True when an assignment target is a counters/stats attribute."""
+    name = dotted_name(target)
+    if name is None:
+        return False
+    parts = name.split(".")
+    # ``counters.buffer_reads``, ``net.counters.x``, ``self.net.stats.y``
+    return any(part in ("counters", "stats") for part in parts[:-1])
+
+
+@rule
+class ChainDisciplineRule(Rule):
+    """CHN001: chains mutate counters only inside batched settlement.
+
+    Within any class matching ``_*Chain``, assignments to
+    ``counters.*`` / ``stats.*`` attributes are allowed only inside
+    ``advance``/``_settle`` and must be augmented (``+=``-style), so
+    every chain contribution is an additive batched delta.
+    """
+
+    rule_id = "CHN001"
+    summary = (
+        "chain class mutates network counters outside advance()/"
+        "_settle(), or overwrites instead of accumulating"
+    )
+    rationale = (
+        "chain settlement is deferred; a counter write outside the "
+        "batched-settlement helper double-counts against the "
+        "cycle-stepped kernels and surfaces many cycles later"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        """Simulation/eval modules (where chain classes live)."""
+        return in_any_dir(relpath, CHAIN_SCOPES)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Scan every ``_*Chain`` class for stray counter writes."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not _CHAIN_CLASS_RE.match(node.name):
+                continue
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    in_settlement = item.name in SETTLEMENT_METHODS
+                    for finding in self._scan_method(
+                        node, item, in_settlement, ctx
+                    ):
+                        yield finding
+
+    def _scan_method(
+        self,
+        cls: ast.ClassDef,
+        method: ast.AST,
+        in_settlement: bool,
+        ctx: ModuleContext,
+    ) -> Iterator[Finding]:
+        for node in ast.walk(method):
+            if isinstance(node, ast.AugAssign):
+                if _touches_counters(node.target) and not in_settlement:
+                    yield ctx.finding(
+                        self.rule_id, node,
+                        "%s.%s mutates counters outside the batched-"
+                        "settlement methods (%s)" % (
+                            cls.name,
+                            getattr(method, "name", "?"),
+                            "/".join(sorted(SETTLEMENT_METHODS)),
+                        ),
+                    )
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if _touches_counters(target):
+                        if in_settlement:
+                            yield ctx.finding(
+                                self.rule_id, node,
+                                "%s settlement overwrites a counter "
+                                "with '='; batched deltas must "
+                                "accumulate with '+='" % cls.name,
+                            )
+                        else:
+                            yield ctx.finding(
+                                self.rule_id, node,
+                                "%s.%s writes counters outside the "
+                                "batched-settlement methods (%s)" % (
+                                    cls.name,
+                                    getattr(method, "name", "?"),
+                                    "/".join(sorted(SETTLEMENT_METHODS)),
+                                ),
+                            )

@@ -1,0 +1,147 @@
+"""Counter integrality (CNT001).
+
+Per-counter bit-identity is only meaningful while counters are exact:
+the cross-kernel fuzz harness compares them with ``==``, and the three
+kernels accumulate in different orders, so the moment a float enters a
+counter path, rounding makes "identical" depend on settlement order.
+The rule keys off a *naming registry* — the suffix/name conventions the
+``EventCounters`` dataclass and the router/NIC state already follow —
+and flags true division, ``float()`` casts and float literals flowing
+into matching attributes.  Millimetre counters (``*_mm``) are float
+typed but must still be built from integral products (hops stay
+integers; ``mm_per_hop`` is validated integral), so they allow float
+literals but still ban ``/``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from repro.analysis.core import (
+    Finding,
+    ModuleContext,
+    Rule,
+    in_any_dir,
+    rule,
+)
+
+#: Where counters live: simulation kernels and evaluation harnesses.
+COUNTER_SCOPES = ("repro/sim", "repro/eval")
+
+#: Suffixes naming integral counters (EventCounters fields, router/NIC
+#: bookkeeping).  Keep in sync with docs/analysis.md.
+INTEGRAL_SUFFIXES = (
+    "_count", "_counts", "_reads", "_writes", "_requests", "_grants",
+    "_traversals", "_latches", "_events", "_cycles", "_left",
+    "_received", "_total",
+)
+
+#: Exact attribute/variable names that are integral counters.
+INTEGRAL_NAMES = frozenset({
+    "counts", "count", "occupancy", "queued", "cycles", "sa_pending",
+})
+
+#: Float-typed distance counters: float literals fine, ``/`` still not.
+MM_SUFFIXES = ("_mm",)
+MM_NAMES = frozenset({"mm"})
+
+
+def classify_counter(name: str) -> Optional[str]:
+    """Return ``"integral"``/``"mm"`` for registry names, else None."""
+    if name in INTEGRAL_NAMES or name.endswith(INTEGRAL_SUFFIXES):
+        return "integral"
+    if name in MM_NAMES or name.endswith(MM_SUFFIXES):
+        return "mm"
+    return None
+
+
+def _target_name(target: ast.AST) -> Optional[str]:
+    """Terminal name of an assignment target (``a.b.c`` -> ``c``)."""
+    if isinstance(target, ast.Attribute):
+        return target.attr
+    if isinstance(target, ast.Name):
+        return target.id
+    return None
+
+
+@rule
+class CounterIntegralityRule(Rule):
+    """CNT001: no floats flowing into registry-named counters.
+
+    Checks every ``=``, ``+=`` and annotated assignment whose target's
+    terminal name matches the counter registry.  For integral counters
+    the assigned expression may not contain ``/`` (use ``//``), a
+    ``float(...)`` cast, or a float literal; ``*_mm`` counters may use
+    float literals but still no ``/`` or ``float()``.
+    """
+
+    rule_id = "CNT001"
+    summary = (
+        "float()/true-division/float-literal flowing into a "
+        "registry-named counter; counters must stay integral"
+    )
+    rationale = (
+        "the fuzz harness compares counters with ==; float rounding "
+        "makes equality depend on the kernel's settlement order"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        """Simulation and evaluation modules."""
+        return in_any_dir(relpath, COUNTER_SCOPES)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Flag float-producing expressions assigned to counters."""
+        for node in ast.walk(ctx.tree):
+            targets: Tuple[ast.AST, ...]
+            if isinstance(node, ast.Assign):
+                targets, value = tuple(node.targets), node.value
+            elif isinstance(node, ast.AugAssign):
+                targets, value = (node.target,), node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = (node.target,), node.value
+            else:
+                continue
+            kinds = {
+                classify_counter(name)
+                for name in map(_target_name, targets)
+                if name is not None
+            }
+            kinds.discard(None)
+            if not kinds:
+                continue
+            # The stricter classification wins when (oddly) both match.
+            kind = "integral" if "integral" in kinds else "mm"
+            for finding in self._scan_value(value, kind, node, ctx):
+                yield finding
+
+    def _scan_value(
+        self, value: ast.AST, kind: str, stmt: ast.AST, ctx: ModuleContext
+    ) -> Iterator[Finding]:
+        for child in ast.walk(value):
+            if isinstance(child, ast.BinOp) and isinstance(child.op, ast.Div):
+                yield ctx.finding(
+                    self.rule_id, child,
+                    "true division '/' feeding a counter; use '//' "
+                    "(or hoist the ratio out of the counter path)",
+                )
+            elif (
+                isinstance(child, ast.Call)
+                and isinstance(child.func, ast.Name)
+                and child.func.id == "float"
+            ):
+                yield ctx.finding(
+                    self.rule_id, child,
+                    "float() cast feeding a counter; counters must "
+                    "stay integral for bit-identity",
+                )
+            elif (
+                kind == "integral"
+                and isinstance(child, ast.Constant)
+                and isinstance(child.value, float)
+            ):
+                yield ctx.finding(
+                    self.rule_id, child,
+                    "float literal %r feeding an integral counter"
+                    % child.value,
+                )

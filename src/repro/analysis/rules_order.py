@@ -1,0 +1,249 @@
+"""Hash-order hazards in kernel hot modules (ORD001).
+
+The three kernels must visit routers, NICs and channels in the *same*
+order, or arbitration ties break differently and the per-counter
+fuzz comparison diverges.  Python sets (and ``dict.keys()`` views used
+as pseudo-sets) iterate in hash order, which varies with insertion
+history and — for strings under ``PYTHONHASHSEED`` — across processes.
+This rule tracks set-typed attributes (``Set[int]`` annotations like
+``_active_routers``) and set-producing expressions inside the kernel
+hot modules and flags any iteration over them that is not wrapped in
+``sorted()`` or consumed by an order-insensitive reducer (``sum``,
+``min``, ``max``, ``len``, ``any``, ``all``, ``set``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set
+
+from repro.analysis.core import (
+    Finding,
+    ModuleContext,
+    Rule,
+    dotted_name,
+    rule,
+)
+
+#: Kernel hot modules: the files whose loops feed arbitration order.
+HOT_BASENAMES = ("network.py", "dedicated.py", "arbiter.py", "buffers.py")
+
+#: Annotations that mark an attribute as set-typed.
+_SET_ANNOTATIONS = frozenset({
+    "set", "frozenset", "Set", "FrozenSet", "MutableSet",
+    "typing.Set", "typing.FrozenSet", "typing.MutableSet",
+})
+
+#: Builtins whose result does not depend on iteration order, so
+#: feeding them a set directly is safe.
+ORDER_INSENSITIVE = frozenset({
+    "sorted", "set", "frozenset", "sum", "min", "max", "len",
+    "any", "all",
+})
+
+#: Set methods returning sets (used to spot derived set expressions).
+_SET_METHODS = frozenset({
+    "union", "intersection", "difference", "symmetric_difference",
+    "copy",
+})
+
+
+def _annotation_is_set(annotation: ast.AST) -> bool:
+    if isinstance(annotation, ast.Subscript):
+        annotation = annotation.value
+    name = dotted_name(annotation)
+    if name is None and isinstance(annotation, ast.Name):
+        name = annotation.id
+    return name in _SET_ANNOTATIONS
+
+
+class _SetTracker:
+    """Names/attributes known (or inferred) to hold sets in a module."""
+
+    def __init__(self, tree: ast.Module):
+        self.attrs: Set[str] = set()
+        self.names: Set[str] = set()
+        # Two passes so locals assigned from set attributes resolve
+        # regardless of statement order.
+        for node in ast.walk(tree):
+            if isinstance(node, ast.AnnAssign) and _annotation_is_set(
+                node.annotation
+            ):
+                terminal = self._terminal(node.target)
+                if terminal is not None:
+                    self.attrs.add(terminal)
+        for _ in range(2):
+            for node in ast.walk(tree):
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target = node.targets[0]
+                    if self.is_set_expr(node.value):
+                        if isinstance(target, ast.Name):
+                            self.names.add(target.id)
+                        elif isinstance(target, ast.Attribute):
+                            self.attrs.add(target.attr)
+
+    @staticmethod
+    def _terminal(target: ast.AST) -> Optional[str]:
+        if isinstance(target, ast.Attribute):
+            return target.attr
+        if isinstance(target, ast.Name):
+            return target.id
+        return None
+
+    def is_set_expr(self, node: ast.AST) -> bool:
+        """Conservatively decide whether ``node`` evaluates to a set."""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.names
+        if isinstance(node, ast.Attribute):
+            if node.attr in self.attrs:
+                return True
+            return False
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name):
+                if node.func.id in ("set", "frozenset"):
+                    return True
+                return False
+            if isinstance(node.func, ast.Attribute):
+                if node.func.attr in _SET_METHODS:
+                    return self.is_set_expr(node.func.value) or any(
+                        self.is_set_expr(arg) for arg in node.args
+                    )
+                return False
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)
+        ):
+            return self.is_set_expr(node.left) or self.is_set_expr(
+                node.right
+            )
+        if isinstance(node, ast.IfExp):
+            return self.is_set_expr(node.body) or self.is_set_expr(
+                node.orelse
+            )
+        return False
+
+
+def _parent_map(tree: ast.Module) -> Dict[int, ast.AST]:
+    parents: Dict[int, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[id(child)] = node
+    return parents
+
+
+@rule
+class HashOrderRule(Rule):
+    """ORD001: no hash-ordered iteration in kernel hot modules.
+
+    Flags ``for x in <set>``, comprehensions over sets, ``list(<set>)``
+    / ``tuple(<set>)`` materialization, ``enumerate(<set>)`` and
+    iteration over ``dict.keys()`` views in ``network.py``,
+    ``dedicated.py``, ``arbiter.py`` and ``buffers.py`` — unless the
+    iteration feeds ``sorted()`` or another order-insensitive reducer.
+    """
+
+    rule_id = "ORD001"
+    summary = (
+        "iteration over a set/dict.keys() in a kernel hot module; "
+        "wrap in sorted() or keep an explicitly ordered container"
+    )
+    rationale = (
+        "set iteration order follows hash order, which depends on "
+        "insertion history; kernels visiting components in different "
+        "orders break arbitration ties differently and lose "
+        "per-counter bit-identity"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        """Kernel hot modules only."""
+        return "repro/" in relpath and relpath.endswith(HOT_BASENAMES)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Flag unordered iteration sites."""
+        tracker = _SetTracker(ctx.tree)
+        parents = _parent_map(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.For):
+                if self._hazard(node.iter, tracker) and not self._exempt(
+                    node.iter
+                ):
+                    yield ctx.finding(
+                        self.rule_id, node,
+                        "for-loop over %s; wrap the iterable in "
+                        "sorted()" % self._describe(node.iter, tracker),
+                    )
+            elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                   ast.GeneratorExp, ast.DictComp)):
+                consumer = parents.get(id(node))
+                if self._consumed_order_insensitively(consumer, node):
+                    continue
+                for gen in node.generators:
+                    if self._hazard(gen.iter, tracker) and not self._exempt(
+                        gen.iter
+                    ):
+                        yield ctx.finding(
+                            self.rule_id, gen.iter,
+                            "comprehension over %s; wrap in sorted() "
+                            "or feed an order-insensitive reducer"
+                            % self._describe(gen.iter, tracker),
+                        )
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Name
+            ):
+                if node.func.id in ("list", "tuple", "enumerate", "iter"):
+                    if node.args and self._hazard(node.args[0], tracker):
+                        yield ctx.finding(
+                            self.rule_id, node,
+                            "%s() over %s materializes hash order; use "
+                            "sorted() instead" % (
+                                node.func.id,
+                                self._describe(node.args[0], tracker),
+                            ),
+                        )
+
+    def _hazard(self, expr: ast.AST, tracker: _SetTracker) -> bool:
+        if tracker.is_set_expr(expr):
+            return True
+        # ``for k in d.keys()``: iterate the dict itself (insertion
+        # ordered and explicit) rather than a view pretending to be a
+        # set.
+        return (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Attribute)
+            and expr.func.attr == "keys"
+            and not expr.args
+        )
+
+    @staticmethod
+    def _exempt(expr: ast.AST) -> bool:
+        # sorted(...) directly as the iterable.
+        return (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Name)
+            and expr.func.id == "sorted"
+        )
+
+    @staticmethod
+    def _consumed_order_insensitively(
+        consumer: Optional[ast.AST], node: ast.AST
+    ) -> bool:
+        return (
+            isinstance(consumer, ast.Call)
+            and isinstance(consumer.func, ast.Name)
+            and consumer.func.id in ORDER_INSENSITIVE
+            and node in consumer.args
+        )
+
+    @staticmethod
+    def _describe(expr: ast.AST, tracker: _SetTracker) -> str:
+        name = dotted_name(expr)
+        if name is None and isinstance(expr, ast.Call):
+            inner = dotted_name(expr.func)
+            name = "%s(...)" % inner if inner else None
+        if name is None:
+            name = "a set-typed expression"
+        else:
+            name = "set '%s'" % name
+        return name

@@ -1,0 +1,274 @@
+"""RNG discipline and wall-clock/entropy bans (RNG001, DET001).
+
+Bit-identity of the three kernels requires every random draw to be
+(a) seeded and (b) consumed in an order the simulation alone controls.
+Module-level ``random.*`` calls share one hidden global stream — any
+unrelated import or library call that touches it perturbs every later
+draw — and wall-clock/OS-entropy sources differ run to run by
+definition.  Both therefore break replayability silently: the fuzz
+harness would catch the divergence eventually, but only after burning
+CI seeds on a bug a grep-level check can name directly.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+from repro.analysis.core import (
+    Finding,
+    ModuleContext,
+    Rule,
+    dotted_name,
+    in_any_dir,
+    rule,
+)
+
+#: Where randomness must flow through a seeded ``random.Random``.
+RNG_SCOPES = (
+    "repro/sim", "repro/eval", "repro/mapping", "repro/workloads.py",
+)
+
+#: Where wall-clock and OS-entropy sources are banned outright.
+DET_SCOPES = ("repro/sim", "repro/eval", "repro/core", "repro/mapping")
+
+#: ``random``-module attributes that are fine to reference: seeded
+#: generator classes, not draws from the hidden global stream.
+ALLOWED_RANDOM_ATTRS = frozenset({"Random"})
+
+#: Banned wall-clock / entropy calls, by canonical dotted name.
+BANNED_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.process_time_ns",
+    "os.urandom", "os.getrandom",
+    "uuid.uuid1", "uuid.uuid4",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+#: Whole modules whose every call site is an entropy source.
+BANNED_MODULES = frozenset({"secrets"})
+
+
+def _import_aliases(tree: ast.Module) -> Tuple[Dict[str, str], Dict[str, str]]:
+    """Map local names to the canonical modules/objects they import.
+
+    Returns ``(module_aliases, object_aliases)``: ``import numpy as np``
+    yields ``{"np": "numpy"}``; ``from random import randint as ri``
+    yields ``{"ri": "random.randint"}``.
+    """
+    modules: Dict[str, str] = {}
+    objects: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                modules[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+                if alias.asname is None and "." in alias.name:
+                    # ``import numpy.random`` binds ``numpy``.
+                    modules[alias.name.split(".")[0]] = alias.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                objects[alias.asname or alias.name] = (
+                    "%s.%s" % (node.module, alias.name)
+                )
+    return modules, objects
+
+
+def _canonical(
+    node: ast.AST,
+    modules: Dict[str, str],
+    objects: Dict[str, str],
+) -> Optional[str]:
+    """Canonical dotted name of an attribute/name reference, resolving
+    import aliases (``np.random.rand`` -> ``numpy.random.rand``)."""
+    dotted = dotted_name(node)
+    if dotted is None:
+        if isinstance(node, ast.Name):
+            dotted = node.id
+        else:
+            return None
+    head, _, rest = dotted.partition(".")
+    if head in modules:
+        base = modules[head]
+        return "%s.%s" % (base, rest) if rest else base
+    if head in objects:
+        base = objects[head]
+        return "%s.%s" % (base, rest) if rest else base
+    return dotted
+
+
+@rule
+class RngDisciplineRule(Rule):
+    """RNG001: no module-level ``random.*`` / ``numpy.random.*`` draws.
+
+    All randomness must come from a seeded ``random.Random`` (or a
+    seeded ``numpy.random.default_rng``/``Generator``) threaded down
+    from a spec/seed parameter, so streams are per-flow/per-component
+    and replayable regardless of import order or library internals.
+    """
+
+    rule_id = "RNG001"
+    summary = (
+        "module-level random.*/numpy.random.* draw; use a seeded "
+        "random.Random threaded from the spec/seed"
+    )
+    rationale = (
+        "the hidden global RNG stream is perturbed by any other caller, "
+        "so per-counter bit-identity across kernels and re-runs is lost"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        """Simulation, evaluation, mapping and workload modules."""
+        return in_any_dir(relpath, RNG_SCOPES)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Flag references to global-stream RNG functions."""
+        modules, objects = _import_aliases(ctx.tree)
+        imports_rng = (
+            "random" in modules
+            or "numpy" in set(modules.values())
+            or any(
+                target.split(".")[0] in ("random", "numpy")
+                for target in objects.values()
+            )
+        )
+        if not imports_rng:
+            return
+        # default_rng(seed) calls with an explicit argument are fine;
+        # remember their func nodes so the attribute pass skips them.
+        seeded_calls: Set[int] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call) and (node.args or node.keywords):
+                if _canonical(node.func, modules, objects) == (
+                    "numpy.random.default_rng"
+                ):
+                    seeded_calls.add(id(node.func))
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.Attribute, ast.Name)):
+                continue
+            # ``rng.random`` on a Random instance must not match: the
+            # chain root has to resolve to the random/numpy module.
+            canonical = _canonical(node, modules, objects)
+            if canonical is None or id(node) in seeded_calls:
+                continue
+            finding = self._classify(canonical, node, ctx)
+            if finding is not None:
+                yield finding
+
+    def _classify(
+        self, canonical: str, node: ast.AST, ctx: ModuleContext
+    ) -> Optional[Finding]:
+        parts = canonical.split(".")
+        if parts[0] == "random" and len(parts) == 2:
+            if parts[1] in ALLOWED_RANDOM_ATTRS:
+                return None
+            return ctx.finding(
+                self.rule_id, node,
+                "global-stream RNG 'random.%s'; draw from a seeded "
+                "random.Random instance instead" % parts[1],
+            )
+        if parts[:2] == ["numpy", "random"] and len(parts) == 3:
+            if parts[2] == "Generator":
+                return None
+            if parts[2] == "default_rng":
+                return ctx.finding(
+                    self.rule_id, node,
+                    "numpy.random.default_rng() without an explicit "
+                    "seed; pass the spec/seed",
+                )
+            return ctx.finding(
+                self.rule_id, node,
+                "global-stream RNG 'numpy.random.%s'; use a seeded "
+                "numpy.random.default_rng(seed)" % parts[2],
+            )
+        return None
+
+
+@rule
+class EntropyBanRule(Rule):
+    """DET001: wall-clock, OS entropy and identity-hash hazards.
+
+    ``time.time()``-style clocks, ``os.urandom``/``uuid4`` and friends
+    differ between runs by definition.  ``id()`` used as a mapping key
+    and raw ``hash()`` depend on allocation addresses / the per-process
+    hash seed; both are fine for pure lookup but poison anything whose
+    *order* they influence, so every use must be justified in place.
+    """
+
+    rule_id = "DET001"
+    summary = (
+        "wall-clock/OS-entropy source (time.time, os.urandom, uuid4, "
+        "hash(), id()-as-key) in simulation code"
+    )
+    rationale = (
+        "run-to-run varying inputs can never produce bit-identical "
+        "counters; id()/hash() ordering varies with allocation and "
+        "PYTHONHASHSEED"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        """Simulation/eval/core modules (the deterministic core)."""
+        return in_any_dir(relpath, DET_SCOPES)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Flag banned calls, ``id()`` keys and raw ``hash()`` use."""
+        modules, objects = _import_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                canonical = _canonical(node.func, modules, objects)
+                if canonical in BANNED_CLOCK_CALLS or (
+                    canonical is not None
+                    and canonical.split(".")[0] in BANNED_MODULES
+                ):
+                    yield ctx.finding(
+                        self.rule_id, node,
+                        "non-deterministic source '%s' in simulation "
+                        "code" % canonical,
+                    )
+                elif (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id == "hash"
+                    and node.func.id not in objects
+                ):
+                    yield ctx.finding(
+                        self.rule_id, node,
+                        "raw hash() depends on PYTHONHASHSEED; use a "
+                        "content hash (hashlib) or a stable key",
+                    )
+                for keyword in node.keywords:
+                    if (
+                        keyword.arg == "key"
+                        and isinstance(keyword.value, ast.Name)
+                        and keyword.value.id in ("id", "hash")
+                    ):
+                        yield ctx.finding(
+                            self.rule_id, node,
+                            "sort key '%s' varies across runs"
+                            % keyword.value.id,
+                        )
+            elif isinstance(node, ast.Subscript):
+                for finding in self._id_keys(node.slice, ctx):
+                    yield finding
+            elif isinstance(node, ast.Dict):
+                for key in node.keys:
+                    if key is not None:
+                        for finding in self._id_keys(key, ctx):
+                            yield finding
+
+    def _id_keys(self, expr: ast.AST, ctx: ModuleContext) -> Iterator[Finding]:
+        for child in ast.walk(expr):
+            if (
+                isinstance(child, ast.Call)
+                and isinstance(child.func, ast.Name)
+                and child.func.id == "id"
+            ):
+                yield ctx.finding(
+                    self.rule_id, child,
+                    "id() used as a mapping key: fine for pure lookup, "
+                    "but any iteration/ordering over it varies across "
+                    "runs — justify with a suppression or key on a "
+                    "stable identifier",
+                )

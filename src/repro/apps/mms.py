@@ -1,6 +1,6 @@
 """Multi-Media System (MMS) task graphs: decoder, encoder and MP3 subsets.
 
-Reconstructions of the Hu–Marculescu MMS benchmark family, split the way
+Reconstructions of the Hu-Marculescu MMS benchmark family, split the way
 the paper evaluates them: MMS_DEC (video + audio decode), MMS_ENC (video +
 audio encode) and MMS_MP3 (MP3 codec around a shared DSP and memory).
 

@@ -1,6 +1,6 @@
 """Multi-Window Display (MWD) task graph.
 
-A 12-task reconstruction of the Hu–Marculescu MWD benchmark: two image
+A 12-task reconstruction of the Hu-Marculescu MWD benchmark: two image
 processing branches (noise reduction and horizontal/vertical scaling) that
 merge at the blender, with the 64/96/128 MB/s rates the literature quotes.
 """

@@ -55,6 +55,7 @@ import itertools
 from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.config import NocConfig
+from repro.sim import sanitizer
 from repro.sim.arbiter import RoundRobinArbiter
 from repro.sim.buffers import FreeVcQueue, InputBuffer
 from repro.sim.flow import Flow
@@ -344,6 +345,7 @@ class DedicatedNetwork:
         flows: Sequence[Flow],
         traffic: TrafficModel,
         kernel: str = "active",
+        sanitize: Optional[bool] = None,
     ):
         if kernel not in DEDICATED_KERNELS:
             raise ValueError(
@@ -351,6 +353,10 @@ class DedicatedNetwork:
                 % (kernel, ", ".join(repr(k) for k in DEDICATED_KERNELS))
             )
         self.kernel = kernel
+        #: Sanitize mode: cross-check kernel-internal invariants after
+        #: every step (see repro.sim.sanitizer).  Defaults to the
+        #: SMART_SANITIZE environment flag.
+        self.sanitize = sanitizer.resolve(sanitize)
         self.cfg = cfg
         self.mesh = mesh
         self.flows = list(flows)
@@ -431,6 +437,8 @@ class DedicatedNetwork:
         self.counters.cycles += 1
         self.counters.total_router_cycles += len(self.sinks)
         self.cycle += 1
+        if self.sanitize:
+            sanitizer.check_dedicated(self)
 
     # -- active-set kernel ---------------------------------------------
 
@@ -450,6 +458,9 @@ class DedicatedNetwork:
             self._generate_active(cycle, heap)
         sinks = self.sinks
         active_sinks = self._active_sinks
+        # repro-lint: ok ORD001 -- each sink owns its arbiter and NIC
+        # port; visit order is unobservable (see the docstring; pinned
+        # by the equivalence suite)
         for node in active_sinks:
             sink = sinks[node]
             if sink.reservation is not None:
@@ -458,6 +469,8 @@ class DedicatedNetwork:
         if channels:
             idle_channels = None
             all_channels = self.channels
+            # repro-lint: ok ORD001 -- each channel owns its link, VC
+            # queue and destination buffer (see the docstring)
             for flow_id in channels:
                 channel = all_channels[flow_id]
                 self._send_channel(channel, cycle)
@@ -474,6 +487,8 @@ class DedicatedNetwork:
             # the legacy full scan would.
             counters = self.counters
             idle_sinks = None
+            # repro-lint: ok ORD001 -- per-sink state only; order
+            # cannot change any result (see the docstring)
             for node in active_sinks:
                 sink = sinks[node]
                 if sink.reservation is None and sink.occupancy:
@@ -537,6 +552,8 @@ class DedicatedNetwork:
         if channels:
             idle_channels = None
             all_channels = self.channels
+            # repro-lint: ok ORD001 -- each channel owns its link, VC
+            # queue and destination buffer (see _step_active)
             for flow_id in channels:
                 channel = all_channels[flow_id]
                 if type(channel.stream) in _DED_CHAIN_TYPES:
@@ -577,6 +594,8 @@ class DedicatedNetwork:
         if active_sinks:
             counters = self.counters
             idle_sinks = None
+            # repro-lint: ok ORD001 -- clock accounting sums per-sink
+            # contributions; order-insensitive (see _step_active)
             for node in active_sinks:
                 sink = sinks[node]
                 if sink.reservation is not None or sink.occupancy:
@@ -754,11 +773,13 @@ class DedicatedNetwork:
         """Settle in-flight chains up to the last executed cycle (see
         ``repro.sim.network.Network._sync``); a no-op for the other
         kernels."""
-        if self.kernel != "event" or not self._chains:
-            return
-        through = self.cycle - 1
-        for cid in sorted(self._chains):
-            self._chains[cid].advance(through)
+        if self.kernel == "event" and self._chains:
+            through = self.cycle - 1
+            for cid in sorted(self._chains):
+                self._chains[cid].advance(through)
+        if self.sanitize:
+            sanitizer.check_counters(self, self.cfg.mm_per_hop)
+            sanitizer.check_chain_graph(self)
 
     # -- legacy kernel (full scans) ------------------------------------
 

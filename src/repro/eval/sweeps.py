@@ -61,7 +61,7 @@ import json
 import math
 import multiprocessing
 import os
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.config import NocConfig
 from repro.eval.designs import DESIGNS
@@ -113,7 +113,7 @@ def _worker_workload(
     return build_workload(spec, cfg, seed=build_seed)
 
 
-def _run_job(job: SweepJob) -> Dict[str, object]:
+def _run_job(job: SweepJob) -> Dict[str, Any]:
     """Worker entry point: build and run one grid point."""
     from repro.eval.designs import build_design
     from repro.sim.stats import accepted_flits_per_cycle
@@ -149,7 +149,7 @@ def _run_job(job: SweepJob) -> Dict[str, object]:
 # Stream header: content-hashed sweep spec
 # ----------------------------------------------------------------------
 
-def sweep_spec_hash(spec: Dict[str, object]) -> str:
+def sweep_spec_hash(spec: Dict[str, Any]) -> str:
     """Short content hash of a sweep-spec dict (canonical-JSON SHA-256)."""
     canon = json.dumps(spec, sort_keys=True, default=str)
     return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:16]
@@ -161,7 +161,7 @@ def make_stream_header(
     kernel: str,
     traffic_mode: str,
     run_kwargs: Dict[str, int],
-) -> Dict[str, object]:
+) -> Dict[str, Any]:
     """Header line for a sweep stream: the spec plus its content hash.
 
     The spec covers everything that must match for streamed grid points
@@ -184,7 +184,7 @@ def make_stream_header(
     return {"sweep_spec": spec, "spec_hash": sweep_spec_hash(spec)}
 
 
-def read_sweep_header(path: str) -> Optional[Dict[str, object]]:
+def read_sweep_header(path: str) -> Optional[Dict[str, Any]]:
     """The stream's header line, or None for legacy header-less files."""
     with open(path) as fh:
         for line in fh:
@@ -205,11 +205,11 @@ def read_sweep_header(path: str) -> Optional[Dict[str, object]]:
 # Grid-point (de)serialisation for the JSONL stream
 # ----------------------------------------------------------------------
 
-def _float_or_none(value: float) -> Optional[float]:
+def _float_or_none(value: Any) -> Optional[float]:
     return None if isinstance(value, float) and math.isnan(value) else value
 
 
-def _point_to_json(point: Dict[str, object]) -> Dict[str, object]:
+def _point_to_json(point: Dict[str, Any]) -> Dict[str, Any]:
     """One grid-point result as a strict-JSON-safe dict (NaN -> null)."""
     summary: LatencySummary = point["summary"]
     return {
@@ -226,7 +226,7 @@ def _point_to_json(point: Dict[str, object]) -> Dict[str, object]:
     }
 
 
-def _point_from_json(data: Dict[str, object]) -> Dict[str, object]:
+def _point_from_json(data: Dict[str, Any]) -> Dict[str, Any]:
     """Inverse of :func:`_point_to_json` (null -> NaN, dict -> summary)."""
     raw = dict(data["summary"])
     for key, value in raw.items():
@@ -237,7 +237,7 @@ def _point_from_json(data: Dict[str, object]) -> Dict[str, object]:
     return point
 
 
-def read_sweep_stream(path: str) -> List[Dict[str, object]]:
+def read_sweep_stream(path: str) -> List[Dict[str, Any]]:
     """Load the grid points streamed to ``path`` by a previous sweep.
 
     The first line may be a sweep-spec header (see
@@ -259,7 +259,7 @@ def read_sweep_stream(path: str) -> List[Dict[str, object]]:
     with open(path) as fh:
         lines = [line.strip() for line in fh]
     lines = [line for line in lines if line]
-    points: List[Dict[str, object]] = []
+    points: List[Dict[str, Any]] = []
     for index, line in enumerate(lines):
         try:
             data = json.loads(line)
@@ -273,7 +273,7 @@ def read_sweep_stream(path: str) -> List[Dict[str, object]]:
     return points
 
 
-def _point_key(point: Dict[str, object]) -> Tuple[str, float, int]:
+def _point_key(point: Dict[str, Any]) -> Tuple[str, float, int]:
     return (str(point["design"]), float(point["load"]), int(point["seed"]))
 
 
@@ -284,11 +284,11 @@ def _point_key(point: Dict[str, object]) -> Tuple[str, float, int]:
 def _run_jobs(
     jobs: Sequence[SweepJob],
     processes: Optional[int],
-    on_result: Optional[Callable[[Dict[str, object]], None]] = None,
+    on_result: Optional[Callable[[Dict[str, Any]], None]] = None,
     stream_path: Optional[str] = None,
     resume: bool = False,
-    header: Optional[Dict[str, object]] = None,
-) -> List[Dict[str, object]]:
+    header: Optional[Dict[str, Any]] = None,
+) -> List[Dict[str, Any]]:
     """Run grid points, fanning across a process pool when asked.
 
     ``processes=None`` uses one worker per CPU; ``processes=0`` runs
@@ -300,7 +300,7 @@ def _run_jobs(
     re-run — after the stream's header hash is checked against
     ``header`` (legacy header-less streams are trusted as before).
     """
-    done: List[Dict[str, object]] = []
+    done: List[Dict[str, Any]] = []
     if stream_path and resume and os.path.exists(stream_path):
         existing = read_sweep_header(stream_path)
         if (
@@ -336,9 +336,9 @@ def _run_jobs(
             stream_fh.write(json.dumps(_point_to_json(point)) + "\n")
         stream_fh.flush()
 
-    results: List[Dict[str, object]] = []
+    results: List[Dict[str, Any]] = []
 
-    def emit(point: Dict[str, object]) -> None:
+    def emit(point: Dict[str, Any]) -> None:
         results.append(point)
         if stream_fh is not None:
             stream_fh.write(json.dumps(_point_to_json(point)) + "\n")
@@ -362,10 +362,10 @@ def _run_jobs(
 
 
 def _aggregate(
-    raw: List[Dict[str, object]],
+    raw: List[Dict[str, Any]],
     designs: Sequence[str],
     loads: Sequence[float],
-) -> List[Dict[str, object]]:
+) -> List[Dict[str, Any]]:
     """One row per load, one latency/saturation column group per design.
 
     Per-seed replications pool with count-weighted means
@@ -373,9 +373,9 @@ def _aggregate(
     over seeds; the saturation flag is sticky (any seed failing to drain
     marks the point) and ``clamped`` reports the worst seed.
     """
-    rows: List[Dict[str, object]] = []
+    rows: List[Dict[str, Any]] = []
     for load in loads:
-        row: Dict[str, object] = {"load": load}
+        row: Dict[str, Any] = {"load": load}
         for design in designs:
             points = [
                 p for p in raw if p["design"] == design and p["load"] == load
@@ -429,11 +429,11 @@ def run_workload_sweep(
     processes: Optional[int] = None,
     kernel: str = "active",
     traffic_mode: str = "predraw",
-    on_result: Optional[Callable[[Dict[str, object]], None]] = None,
+    on_result: Optional[Callable[[Dict[str, Any]], None]] = None,
     stream_path: Optional[str] = None,
     resume: bool = False,
-    **run_kwargs,
-) -> List[Dict[str, object]]:
+    **run_kwargs: int,
+) -> List[Dict[str, Any]]:
     """Latency vs load for any registered workload, in parallel.
 
     ``loads`` defaults to the workload's own axis defaults (bandwidth
@@ -464,8 +464,8 @@ def run_load_sweep(
     app: str = "VOPD",
     designs: Sequence[str] = DESIGNS,
     scales: Sequence[float] = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0),
-    **kwargs,
-) -> List[Dict[str, object]]:
+    **kwargs: Any,
+) -> List[Dict[str, Any]]:
     """Latency vs offered load for one mapped application.
 
     Back-compat wrapper over :func:`run_workload_sweep` with the app's
@@ -478,8 +478,8 @@ def run_pattern_sweep(
     pattern: str = "uniform",
     designs: Sequence[str] = ("mesh", "smart"),
     rates: Sequence[float] = (0.01, 0.02, 0.05, 0.1, 0.2),
-    **kwargs,
-) -> List[Dict[str, object]]:
+    **kwargs: Any,
+) -> List[Dict[str, Any]]:
     """Latency vs per-node injection rate for a synthetic pattern.
 
     Back-compat wrapper over :func:`run_workload_sweep`; the pattern now
@@ -489,7 +489,7 @@ def run_pattern_sweep(
     return run_workload_sweep(pattern, designs=designs, loads=rates, **kwargs)
 
 
-def saturation_load(rows: List[Dict[str, object]], design: str) -> Optional[float]:
+def saturation_load(rows: List[Dict[str, Any]], design: str) -> Optional[float]:
     """Smallest swept load at which ``design`` failed to drain, if any."""
     saturated = [
         float(row["load"])
@@ -499,12 +499,12 @@ def saturation_load(rows: List[Dict[str, object]], design: str) -> Optional[floa
     return min(saturated) if saturated else None
 
 
-def format_sweep_rows(rows: List[Dict[str, object]]) -> List[Dict[str, object]]:
+def format_sweep_rows(rows: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
     """Compact rows for table rendering: latency (flagged '*' when the
     design saturated) per design, one row per load."""
     out = []
     for row in rows:
-        pretty: Dict[str, object] = {"load": row["load"]}
+        pretty: Dict[str, Any] = {"load": row["load"]}
         for key, value in row.items():
             if key == "load" or key.endswith(("_p95", "_thrpt", "_saturated", "_clamped")):
                 continue
@@ -520,8 +520,8 @@ def format_sweep_rows(rows: List[Dict[str, object]]) -> List[Dict[str, object]]:
 
 def write_sweep_json(
     path: str,
-    rows: List[Dict[str, object]],
-    meta: Optional[Dict[str, object]] = None,
+    rows: List[Dict[str, Any]],
+    meta: Optional[Dict[str, Any]] = None,
 ) -> str:
     """Persist aggregated sweep rows (plus a ``meta`` header) as JSON.
 

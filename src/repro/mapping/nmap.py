@@ -7,7 +7,7 @@ unmapped core that minimizes the chance of getting buffered at intermediate
 cores. This process is iterated to map all tasks to physical cores."
 
 ``nmap_modified`` implements that; ``nmap_original`` is the classic
-bandwidth×hops NMAP objective (Murali & De Micheli, DATE 2004) used here as
+bandwidth-times-hops NMAP objective (Murali & De Micheli, DATE 2004) used here as
 a mapping-quality baseline; ``row_major`` and ``random_map`` are sanity
 baselines for the mapping ablation.
 """

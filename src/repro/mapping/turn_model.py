@@ -2,7 +2,7 @@
 
 The paper "avoid[s] network deadlocks by enforcing a deadlock-free turn
 model across the routes for all flows" (§IV).  We implement the classic
-Glass–Ni turn models plus dimension-ordered XY, a path-legality predicate,
+Glass-Ni turn models plus dimension-ordered XY, a path-legality predicate,
 minimal-path enumeration, and a channel-dependency-graph acyclicity check
 (the formal deadlock-freedom criterion) built on networkx.
 """

@@ -61,6 +61,7 @@ import heapq
 import itertools
 
 from repro.config import NocConfig
+from repro.sim import sanitizer
 from repro.sim.arbiter import RoundRobinArbiter
 from repro.sim.buffers import FreeVcQueue, InputBuffer
 from repro.sim.flow import Flow, validate_flow_set
@@ -546,6 +547,7 @@ class Network:
         segment_map: SegmentMap,
         traffic: TrafficModel,
         kernel: str = "active",
+        sanitize: Optional[bool] = None,
     ):
         if kernel not in KERNELS:
             raise ValueError(
@@ -554,6 +556,10 @@ class Network:
             )
         validate_flow_set(list(flows), mesh)
         self.kernel = kernel
+        #: Sanitize mode: cross-check kernel-internal invariants after
+        #: every step (see repro.sim.sanitizer).  Defaults to the
+        #: SMART_SANITIZE environment flag.
+        self.sanitize = sanitizer.resolve(sanitize)
         self.cfg = cfg
         self._mm_per_hop = cfg.mm_per_hop
         self.mesh = mesh
@@ -600,10 +606,13 @@ class Network:
             end = segment.end
             if isinstance(end, BufferEnd):
                 router = self.routers[end.node]
+                # repro-lint: ok DET001 -- lookup-only key; the segment
+                # map owns the segments and nothing iterates this dict
                 self._seg_target[id(segment)] = (
                     router, router.buffers.get(end.port)
                 )
             else:
+                # repro-lint: ok DET001 -- lookup-only key, as above
                 self._seg_target[id(segment)] = (None, None)
 
         self.nic_sources: Dict[int, _NicSource] = {}
@@ -744,6 +753,8 @@ class Network:
             self._clock_accounting()
         self.counters.cycles += 1
         self.cycle += 1
+        if self.sanitize:
+            sanitizer.check_network(self)
 
     # -- active-set kernel ---------------------------------------------
 
@@ -870,11 +881,14 @@ class Network:
                 start.node if type(start) is OutputStart else None,
             )
             end = segment.end
+            # repro-lint: ok DET001 -- lookup-only key; credit returns
+            # address one end object, the dict is never iterated
             self._credit_end[id(end)] = entry
             if type(end) is BufferEnd:
                 self._credit_up[(end.node, end.port)] = entry
         for node in self.nic_sources:
             segment = self.segments.from_start(NicStart(node))
+            # repro-lint: ok DET001 -- lookup-only key (see _seg_target)
             t_router, t_buffer = self._seg_target[id(segment)]
             sink = (
                 None if t_router is not None
@@ -920,6 +934,9 @@ class Network:
                 self._ev_finish_res(chain, cycle)
         st = self._st_routers
         if st:
+            # repro-lint: ok ORD001 -- streams within the ST phase own
+            # disjoint VCs/segments/credit queues, so visit order is
+            # unobservable; pinned by the cross-kernel fuzz harness
             for node in list(st):
                 router = routers[node]
                 if router.live:
@@ -930,6 +947,9 @@ class Network:
         nics = self._active_nics
         if nics:
             idle_nics = []
+            # repro-lint: ok ORD001 -- each NIC injects into its own
+            # segment/VC, phases never observe each other; pinned by
+            # the cross-kernel fuzz harness
             for node in nics:
                 nic = self.nic_sources[node]
                 if type(nic.stream) in _NIC_CHAIN_TYPES:
@@ -1062,6 +1082,7 @@ class Network:
         )
         router.reservations[out_port] = res
         router.input_streaming[in_port] = True
+        # repro-lint: ok DET001 -- lookup-only key (see _seg_target)
         t_router, t_buffer = self._seg_target[id(segment)]
         if t_router is None:
             # Final segment: deterministic from the grant (see the
@@ -1438,6 +1459,7 @@ class Network:
 
     def _ev_credit_end(self, end, vc_id: int, freed_cycle: int) -> None:
         """Return the credit for a packet ejected at ``end`` (a NIC)."""
+        # repro-lint: ok DET001 -- lookup-only key (see _credit_end)
         queue, crossed, hop_mm, wake = self._credit_end[id(end)]
         usable = freed_cycle + 1 + self._credit_latency
         queue.release(vc_id, usable)
@@ -1463,11 +1485,13 @@ class Network:
         snapshots of :meth:`run` and at the end of :meth:`run_cycles`;
         a no-op for the other kernels.
         """
-        if self.kernel != "event" or not self._chains:
-            return
-        through = self.cycle - 1
-        for cid in sorted(self._chains):
-            self._chains[cid].advance(through)
+        if self.kernel == "event" and self._chains:
+            through = self.cycle - 1
+            for cid in sorted(self._chains):
+                self._chains[cid].advance(through)
+        if self.sanitize:
+            sanitizer.check_counters(self, self._mm_per_hop)
+            sanitizer.check_chain_graph(self)
 
     # -- legacy kernel (full scans) ------------------------------------
 
@@ -1689,6 +1713,7 @@ class Network:
         counters.crossbar_traversals += len(segment.routers_crossed)
         counters.link_flit_mm += segment.hops * self._mm_per_hop
         counters.pipeline_latches += 1
+        # repro-lint: ok DET001 -- lookup-only key (see _seg_target)
         router, buffer = self._seg_target[id(segment)]
         if router is not None:
             if buffer is None:

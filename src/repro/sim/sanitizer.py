@@ -1,0 +1,246 @@
+"""Kernel sanitizer: runtime cross-checks of kernel-internal invariants.
+
+The active and event kernels earn their speed from derived state — the
+active sets (which routers/NICs/sinks/channels still have work), the
+cached ``_clock_ports`` port total, incremental ``occupancy`` counts,
+and the chain dependency graph — all maintained incrementally instead
+of recomputed.  A maintenance bug there does not crash: it silently
+skips work or double-counts, and the cross-kernel fuzz harness reports
+a counter diff hundreds of cycles after the root cause.  Sanitize mode
+(``SMART_SANITIZE=1`` or ``Network(..., sanitize=True)``) re-derives
+each invariant from the ground-truth component state after every step
+and raises :class:`SanitizerError` at the *first* divergence, turning a
+bisection hunt into a stack trace.
+
+Checks (all duck-typed so one module serves both network classes):
+
+- **Active-set membership** — every component with work must be in its
+  kernel's active set (exact equality plus the ``_clock_ports`` total
+  for the event kernel's router set, superset form elsewhere).
+- **Occupancy consistency** — each router/sink's incremental
+  ``occupancy`` equals a full scan of its input-buffer VCs.  This holds
+  at step boundaries even with unsettled chains: a chain defers the
+  buffer write and the occupancy increment together.
+- **Counter integrality at ``_sync``** — integral
+  :class:`~repro.sim.stats.EventCounters` fields must still be ints;
+  ``*_mm`` fields must sit on exact integers while ``mm_per_hop`` is
+  integral (both kernels accumulate them as hop-count multiples).
+- **Chain-graph sanity at ``_sync``** — feeder links must point
+  strictly backwards (``feeder.cid < cid``), making the settlement
+  graph acyclic, and every ``_chain_writers`` entry must agree with its
+  key.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Iterator, Optional, Tuple
+
+from repro.sim.stats import EventCounters
+
+#: Environment variable that switches sanitize mode on globally.
+ENV_FLAG = "SMART_SANITIZE"
+
+
+class SanitizerError(AssertionError):
+    """A kernel-internal invariant failed under sanitize mode."""
+
+
+def sanitize_from_env() -> bool:
+    """Default for ``sanitize=None``: true when ``SMART_SANITIZE`` is a
+    non-empty value other than ``0``."""
+    value = os.environ.get(ENV_FLAG, "").strip()
+    return bool(value) and value != "0"
+
+
+def resolve(sanitize: Optional[bool]) -> bool:
+    """Resolve a constructor's ``sanitize`` argument against the env."""
+    if sanitize is None:
+        return sanitize_from_env()
+    return bool(sanitize)
+
+
+def _fail(net: object, what: str) -> None:
+    raise SanitizerError(
+        "[sanitize] %s kernel=%s cycle=%d: %s"
+        % (
+            type(net).__name__,
+            getattr(net, "kernel", "?"),
+            getattr(net, "cycle", -1),
+            what,
+        )
+    )
+
+
+def _is_chain(stream: object) -> bool:
+    # Live streams are plain tuples; scheduled chains are objects with
+    # a chain id.
+    return hasattr(stream, "cid")
+
+
+# ----------------------------------------------------------------------
+# Per-step checks
+# ----------------------------------------------------------------------
+
+def check_network(net: object) -> None:
+    """Cross-check a :class:`~repro.sim.network.Network` after a step."""
+    routers = net.routers
+    active = net._active_routers
+    if net.kernel == "event":
+        truth = {node for node, r in routers.items() if r.active}
+        if active != truth:
+            _fail(
+                net,
+                "_active_routers %r != ground truth %r"
+                % (sorted(active), sorted(truth)),
+            )
+        ports = sum(len(routers[node].buffers) for node in active)
+        if net._clock_ports != ports:
+            _fail(
+                net,
+                "_clock_ports=%d but active routers hold %d buffered "
+                "ports" % (net._clock_ports, ports),
+            )
+    elif net.kernel == "active":
+        for node, router in routers.items():
+            if router.active and node not in active:
+                _fail(
+                    net,
+                    "router %d has work (reservations=%d occupancy=%d) "
+                    "but is missing from _active_routers" % (
+                        node, len(router.reservations), router.occupancy
+                    ),
+                )
+    if net.kernel in ("active", "event"):
+        nics = net._active_nics
+        for node, nic in net.nic_sources.items():
+            if node in nics:
+                continue
+            if nic.stream is not None and _is_chain(nic.stream):
+                # Chained NICs sit out until their finish event re-arms
+                # them.
+                continue
+            if nic.queued or nic.stream is not None:
+                _fail(
+                    net,
+                    "NIC %d has work (queued=%d stream=%r) but is "
+                    "missing from _active_nics"
+                    % (node, nic.queued, nic.stream is not None),
+                )
+    for node, router in routers.items():
+        scan = sum(buf.occupancy() for buf in router.buffers.values())
+        if router.occupancy != scan:
+            _fail(
+                net,
+                "router %d occupancy=%d but buffers hold %d flits"
+                % (node, router.occupancy, scan),
+            )
+
+
+def check_dedicated(net: object) -> None:
+    """Cross-check a ``DedicatedNetwork`` after a step."""
+    if net.kernel in ("active", "event"):
+        sinks = net._active_sinks
+        for node, sink in net.sinks.items():
+            if node in sinks:
+                continue
+            if sink.reservation is not None or sink.occupancy:
+                _fail(
+                    net,
+                    "sink %d has work (reservation=%r occupancy=%d) but "
+                    "is missing from _active_sinks" % (
+                        node, sink.reservation is not None, sink.occupancy
+                    ),
+                )
+        channels = net._active_channels
+        for flow_id, channel in net.channels.items():
+            if flow_id in channels:
+                continue
+            if channel.stream is not None and _is_chain(channel.stream):
+                continue
+            if channel.queue or channel.stream is not None:
+                _fail(
+                    net,
+                    "channel %d has work (queue=%d stream=%r) but is "
+                    "missing from _active_channels" % (
+                        flow_id, len(channel.queue),
+                        channel.stream is not None,
+                    ),
+                )
+    for node, sink in net.sinks.items():
+        scan = sum(buf.occupancy() for buf in sink.buffers.values())
+        if sink.occupancy != scan:
+            _fail(
+                net,
+                "sink %d occupancy=%d but buffers hold %d flits"
+                % (node, sink.occupancy, scan),
+            )
+
+
+# ----------------------------------------------------------------------
+# Sync-point checks (counters + chain graph)
+# ----------------------------------------------------------------------
+
+def _counter_fields(counters: EventCounters) -> Iterator[Tuple[str, object, bool]]:
+    for field in dataclasses.fields(counters):
+        yield (
+            field.name,
+            getattr(counters, field.name),
+            field.type in ("int", int),
+        )
+
+
+def check_counters(net: object, mm_per_hop: float) -> None:
+    """Verify counter integrality (called at every ``_sync``)."""
+    for name, value, is_int in _counter_fields(net.counters):
+        if is_int:
+            if type(value) is not int:
+                _fail(
+                    net,
+                    "counter %s=%r is %s, not int"
+                    % (name, value, type(value).__name__),
+                )
+        elif float(mm_per_hop).is_integer():
+            # mm counters accumulate hops * mm_per_hop; with an integral
+            # pitch they must stay on exact integers.
+            if not float(value).is_integer():
+                _fail(
+                    net,
+                    "counter %s=%r is fractional although mm_per_hop=%r "
+                    "is integral" % (name, value, mm_per_hop),
+                )
+
+
+def check_chain_graph(net: object) -> None:
+    """Validate feeder links: strictly backwards-pointing, acyclic."""
+    chains = getattr(net, "_chains", None)
+    if not chains:
+        return
+    for cid, chain in chains.items():
+        if chain.cid != cid:
+            _fail(net, "chain registered as %d reports cid %d" % (cid, chain.cid))
+        seen = {chain.cid}
+        node = chain
+        while True:
+            feeder = getattr(node, "feeder", None)
+            if feeder is None:
+                break
+            if feeder.cid >= node.cid:
+                _fail(
+                    net,
+                    "chain %d has feeder %d: feeder links must point at "
+                    "strictly earlier chains (producers before "
+                    "consumers)" % (node.cid, feeder.cid),
+                )
+            if feeder.cid in seen:
+                _fail(net, "feeder cycle through chain %d" % feeder.cid)
+            seen.add(feeder.cid)
+            node = feeder
+    for key, writer in getattr(net, "_chain_writers", {}).items():
+        if getattr(writer, "writer_key", key) != key:
+            _fail(
+                net,
+                "chain writer registered under %r reports key %r"
+                % (key, writer.writer_key),
+            )

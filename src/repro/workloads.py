@@ -36,7 +36,7 @@ set locally via :func:`build_workload`.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.apps.registry import PAPER_APP_ORDER, evaluation_task_graph
 from repro.config import NocConfig
@@ -110,7 +110,7 @@ class WorkloadSpec:
 
     @classmethod
     def of(
-        cls, workload: Union[str, "WorkloadSpec"], **params: object
+        cls, workload: Union[str, "WorkloadSpec"], **params: Any
     ) -> "WorkloadSpec":
         """Coerce a name or spec (plus overrides) into a spec."""
         if isinstance(workload, WorkloadSpec):
@@ -123,9 +123,11 @@ class WorkloadSpec:
 
     @property
     def options(self) -> Dict[str, object]:
+        """The spec's parameter overrides as a plain dict."""
         return dict(self.params)
 
     def describe(self) -> str:
+        """Human-readable ``name(param=value, ...)`` label."""
         if not self.params:
             return self.name
         return "%s(%s)" % (
@@ -213,7 +215,9 @@ class Workload:
     def __init__(self, name: str):
         self.name = name
 
-    def placed(self, cfg: NocConfig, seed: int = 0, **params) -> List[PlacedFlow]:
+    def placed(
+        self, cfg: NocConfig, seed: int = 0, **params: Any
+    ) -> List[PlacedFlow]:
         """Placed (src, dst, bandwidth) demands on ``cfg``'s mesh."""
         raise NotImplementedError
 
@@ -223,7 +227,7 @@ class Workload:
         seed: int = 0,
         turn_model: TurnModel = TurnModel.WEST_FIRST,
         routing: str = "minimal",
-        **params,
+        **params: Any,
     ) -> BuiltWorkload:
         """Demands -> conflict-minimising turn-model routes.
 
@@ -253,8 +257,9 @@ class AppWorkload(Workload):
         self,
         cfg: NocConfig,
         seed: int = 0,
-        **params,
+        **params: Any,
     ) -> List[PlacedFlow]:
+        """NMAP-placed task-graph demands on ``cfg``'s mesh."""
         graph = evaluation_task_graph(self.name)
         mesh = Mesh(cfg.width, cfg.height)
         return placed_from_mapping(graph, nmap_modified(graph, mesh))
@@ -266,8 +271,9 @@ class AppWorkload(Workload):
         turn_model: TurnModel = TurnModel.WEST_FIRST,
         algorithm: str = "nmap_modified",
         routing: str = "minimal",
-        **params,
+        **params: Any,
     ) -> BuiltWorkload:
+        """Place with ``algorithm``, then route via the shared pipeline."""
         # The same place -> demands -> route-selection pipeline as
         # map_application, with the routing stage going through the
         # shared dispatcher so any placement pairs with any routing.
@@ -297,7 +303,10 @@ class PatternWorkload(Workload):
         super().__init__(name)
         self.seed_sensitive = name == "uniform"
 
-    def placed(self, cfg: NocConfig, seed: int = 0, **params) -> List[PlacedFlow]:
+    def placed(
+        self, cfg: NocConfig, seed: int = 0, **params: Any
+    ) -> List[PlacedFlow]:
+        """Pattern pairs as demands of 1 packet/cycle/node each."""
         mesh = Mesh(cfg.width, cfg.height)
         unit = bandwidth_for_injection_rate(cfg, 1.0)
         return [
@@ -344,14 +353,16 @@ class CompositeWorkload(Workload):
         self.description = description or "composite of %s" % " + ".join(
             "%s@%g" % item for item in self.components
         )
-
-    @property
-    def seed_sensitive(self) -> bool:
-        return any(
-            get_workload(name).seed_sensitive for name, _f in self.components
+        # Computed eagerly -- components must already be registered --
+        # keeping ``seed_sensitive`` a plain attribute like the base class.
+        self.seed_sensitive = any(
+            WORKLOADS[name].seed_sensitive for name, _f in self.components
         )
 
-    def placed(self, cfg: NocConfig, seed: int = 0, **params) -> List[PlacedFlow]:
+    def placed(
+        self, cfg: NocConfig, seed: int = 0, **params: Any
+    ) -> List[PlacedFlow]:
+        """Union of component demands, bandwidths scaled by fraction."""
         demands: List[PlacedFlow] = []
         for name, fraction in self.components:
             for pf in get_workload(name).placed(cfg, seed=seed, **params):
@@ -444,7 +455,7 @@ def build_workload(
     """
     spec = WorkloadSpec.of(workload)
     target = get_workload(spec.name)
-    params = spec.options
+    params: Dict[str, Any] = spec.options
     model = params.pop("turn_model", None)
     if model is not None:
         params["turn_model"] = (

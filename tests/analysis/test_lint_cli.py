@@ -1,0 +1,100 @@
+"""CLI behavior of ``repro lint`` plus the clean-tree gate."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.__main__ import main as repro_main
+from repro.analysis import check_paths
+from repro.analysis.cli import run_lint
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+
+BAD_SNIPPET = (
+    "import time\n"
+    "\n"
+    "def stamp():\n"
+    "    return time.time()\n"
+)
+
+
+def test_src_repro_tree_is_clean():
+    """The acceptance gate: the checker runs clean on src/repro."""
+    src = os.path.join(REPO_ROOT, "src", "repro")
+    findings = check_paths([src])
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+def test_violating_file_exits_nonzero(tmp_path, capsys):
+    bad = tmp_path / "src" / "repro" / "sim" / "network.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text(BAD_SNIPPET)
+    code = run_lint([str(bad)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "DET001" in out
+    assert "network.py" in out
+
+
+def test_clean_file_exits_zero(tmp_path, capsys):
+    good = tmp_path / "src" / "repro" / "sim" / "network.py"
+    good.parent.mkdir(parents=True)
+    good.write_text("X = 1\n")
+    assert run_lint([str(good)]) == 0
+    assert capsys.readouterr().out == ""
+
+
+def test_directory_walk_finds_nested_violations(tmp_path):
+    sim = tmp_path / "repro" / "sim"
+    sim.mkdir(parents=True)
+    (sim / "__init__.py").write_text("")
+    bad = sim / "network.py"
+    bad.write_text(BAD_SNIPPET)
+    findings = check_paths([str(tmp_path)])
+    assert [f.rule for f in findings] == ["DET001"]
+
+
+def test_missing_path_exits_2(capsys):
+    assert run_lint(["no/such/path.py"]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_unknown_rule_exits_2(tmp_path, capsys):
+    target = tmp_path / "x.py"
+    target.write_text("X = 1\n")
+    assert run_lint([str(target)], rules=["NOP999"]) == 2
+    assert "NOP999" in capsys.readouterr().err
+
+
+def test_list_rules(capsys):
+    assert run_lint([], list_rules=True) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("RNG001", "DET001", "CNT001", "ORD001", "CHN001",
+                    "API001"):
+        assert rule_id in out
+
+
+def test_repro_main_lint_subcommand(tmp_path):
+    good = tmp_path / "clean.py"
+    good.write_text("X = 1\n")
+    # Clean run returns normally; violations raise SystemExit(1).
+    repro_main(["lint", str(good)])
+    bad = tmp_path / "src" / "repro" / "sim" / "network.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text(BAD_SNIPPET)
+    with pytest.raises(SystemExit) as excinfo:
+        repro_main(["lint", str(bad)])
+    assert excinfo.value.code == 1
+
+
+def test_relative_to_rebases_reported_paths(tmp_path):
+    bad = tmp_path / "src" / "repro" / "sim" / "network.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text(BAD_SNIPPET)
+    findings = check_paths([str(bad)], relative_to=str(tmp_path))
+    assert findings[0].path == os.path.join("src", "repro", "sim",
+                                            "network.py")

@@ -1,0 +1,461 @@
+"""Fixture-driven tests: every checker rule, good and bad snippets.
+
+Each rule gets at least one passing snippet and two failing snippets,
+run through :func:`repro.analysis.check_source` with a synthetic path
+that routes the snippet into the rule's scope.  Suppression-comment
+semantics get their own section.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import BARE_SUPPRESSION_RULE, RULES, check_source
+from repro.analysis.core import _load_builtin_rules
+
+
+def lint(source, path, rule):
+    """Run one rule over a dedented snippet; return finding rule ids."""
+    findings = check_source(
+        textwrap.dedent(source), path=path, rules=[rule]
+    )
+    return [f.rule for f in findings]
+
+
+class TestRegistry:
+    def test_all_six_rules_registered(self):
+        _load_builtin_rules()
+        assert set(RULES) >= {
+            "RNG001", "DET001", "CNT001", "ORD001", "CHN001", "API001"
+        }
+        for rule in RULES.values():
+            assert rule.rule_id and rule.summary and rule.rationale
+
+    def test_unknown_rule_id_rejected(self):
+        try:
+            check_source("x = 1\n", path="src/repro/sim/x.py",
+                         rules=["NOP999"])
+        except ValueError as exc:
+            assert "NOP999" in str(exc)
+        else:
+            raise AssertionError("expected ValueError")
+
+    def test_syntax_error_reported_as_parse_finding(self):
+        findings = check_source("def broken(:\n", path="src/repro/sim/x.py")
+        assert [f.rule for f in findings] == ["PARSE"]
+
+
+class TestRng001:
+    PATH = "src/repro/sim/traffic.py"
+
+    def test_seeded_random_instance_passes(self):
+        src = """
+            import random
+
+            def draws(seed):
+                rng = random.Random(seed)
+                return [rng.random() for _ in range(4)]
+        """
+        assert lint(src, self.PATH, "RNG001") == []
+
+    def test_module_level_draw_fails(self):
+        src = """
+            import random
+
+            def draw():
+                return random.randint(0, 7)
+        """
+        assert lint(src, self.PATH, "RNG001") == ["RNG001"]
+
+    def test_global_seed_call_fails(self):
+        src = """
+            import random
+
+            def reseed(seed):
+                random.seed(seed)
+        """
+        assert lint(src, self.PATH, "RNG001") == ["RNG001"]
+
+    def test_from_import_draw_fails(self):
+        src = """
+            from random import shuffle
+
+            def mix(items):
+                shuffle(items)
+        """
+        assert lint(src, self.PATH, "RNG001") == ["RNG001"]
+
+    def test_numpy_global_draw_fails(self):
+        src = """
+            import numpy as np
+
+            def draw():
+                return np.random.rand()
+        """
+        assert lint(src, self.PATH, "RNG001") == ["RNG001"]
+
+    def test_seeded_default_rng_passes_unseeded_fails(self):
+        good = """
+            import numpy as np
+
+            def gen(seed):
+                return np.random.default_rng(seed)
+        """
+        bad = """
+            import numpy as np
+
+            def gen():
+                return np.random.default_rng()
+        """
+        assert lint(good, self.PATH, "RNG001") == []
+        assert lint(bad, self.PATH, "RNG001") == ["RNG001"]
+
+    def test_out_of_scope_module_ignored(self):
+        src = """
+            import random
+
+            def draw():
+                return random.random()
+        """
+        assert lint(src, "src/repro/circuits/link_design.py",
+                    "RNG001") == []
+
+
+class TestDet001:
+    PATH = "src/repro/sim/network.py"
+
+    def test_clean_simulation_code_passes(self):
+        src = """
+            def advance(cycle, table, segment):
+                entry = table[segment.key]
+                return cycle + entry
+        """
+        assert lint(src, self.PATH, "DET001") == []
+
+    def test_wall_clock_fails(self):
+        src = """
+            import time
+
+            def stamp():
+                return time.time()
+        """
+        assert lint(src, self.PATH, "DET001") == ["DET001"]
+
+    def test_os_urandom_fails(self):
+        src = """
+            import os
+
+            def entropy():
+                return os.urandom(8)
+        """
+        assert lint(src, self.PATH, "DET001") == ["DET001"]
+
+    def test_id_as_key_fails(self):
+        src = """
+            def index(table, segment):
+                return table[id(segment)]
+        """
+        assert lint(src, self.PATH, "DET001") == ["DET001"]
+
+    def test_raw_hash_fails(self):
+        src = """
+            def bucket(key, n):
+                return hash(key) % n
+        """
+        assert lint(src, self.PATH, "DET001") == ["DET001"]
+
+
+class TestCnt001:
+    PATH = "src/repro/sim/stats.py"
+
+    def test_integral_arithmetic_passes(self):
+        src = """
+            def settle(counters, flits, hops):
+                counters.buffer_writes += flits
+                counters.crossbar_traversals += flits * hops
+                half = flits // 2
+                counters.buffer_reads += half
+        """
+        assert lint(src, self.PATH, "CNT001") == []
+
+    def test_true_division_fails(self):
+        src = """
+            def settle(counters, flits):
+                counters.buffer_reads += flits / 2
+        """
+        assert lint(src, self.PATH, "CNT001") == ["CNT001"]
+
+    def test_float_cast_fails(self):
+        src = """
+            def settle(counters, flits):
+                counters.sa_grants = float(flits)
+        """
+        assert lint(src, self.PATH, "CNT001") == ["CNT001"]
+
+    def test_float_literal_fails(self):
+        src = """
+            def reset(counters):
+                counters.credit_events = 0.0
+        """
+        assert lint(src, self.PATH, "CNT001") == ["CNT001"]
+
+    def test_mm_counter_allows_float_literal_but_not_division(self):
+        good = """
+            def settle(counters, hops, pitch):
+                counters.link_flit_mm += hops * pitch
+        """
+        bad = """
+            def settle(counters, hops):
+                counters.link_flit_mm += hops / 2
+        """
+        assert lint(good, self.PATH, "CNT001") == []
+        assert lint(bad, self.PATH, "CNT001") == ["CNT001"]
+
+    def test_non_counter_names_unconstrained(self):
+        src = """
+            def ratio(hits, total):
+                share = hits / total
+                return share
+        """
+        assert lint(src, self.PATH, "CNT001") == []
+
+
+class TestOrd001:
+    PATH = "src/repro/sim/network.py"
+
+    def test_sorted_iteration_passes(self):
+        src = """
+            def scan(net):
+                for node in sorted(net.active):
+                    net.visit(node)
+        """
+        assert lint(src, self.PATH, "ORD001") == []
+
+    def test_for_over_set_fails(self):
+        src = """
+            def scan(nodes):
+                live = set(nodes)
+                for node in live:
+                    print(node)
+        """
+        assert lint(src, self.PATH, "ORD001") == ["ORD001"]
+
+    def test_list_of_set_fails(self):
+        src = """
+            def snapshot(nodes):
+                live = {n for n in nodes if n}
+                return list(live)
+        """
+        assert lint(src, self.PATH, "ORD001") == ["ORD001"]
+
+    def test_comprehension_over_set_attribute_fails(self):
+        src = """
+            from typing import Set
+
+            class Net:
+                def __init__(self):
+                    self.active: Set[int] = set()
+
+                def labels(self):
+                    return [str(n) for n in self.active]
+        """
+        assert lint(src, self.PATH, "ORD001") == ["ORD001"]
+
+    def test_dict_keys_iteration_fails(self):
+        src = """
+            def scan(table):
+                for key in table.keys():
+                    print(key)
+        """
+        assert lint(src, self.PATH, "ORD001") == ["ORD001"]
+
+    def test_order_insensitive_reducer_passes(self):
+        src = """
+            def total(nodes):
+                live = set(nodes)
+                return sum(n for n in live)
+        """
+        assert lint(src, self.PATH, "ORD001") == []
+
+    def test_non_hot_module_ignored(self):
+        src = """
+            def scan(nodes):
+                for node in set(nodes):
+                    print(node)
+        """
+        assert lint(src, "src/repro/sim/traffic.py", "ORD001") == []
+
+
+class TestChn001:
+    PATH = "src/repro/sim/network.py"
+
+    def test_batched_settlement_passes(self):
+        src = """
+            class _FooChain:
+                def advance(self, through):
+                    count = through - self.next_send + 1
+                    counters = self.net.counters
+                    counters.buffer_reads += count
+        """
+        assert lint(src, self.PATH, "CHN001") == []
+
+    def test_counter_write_outside_advance_fails(self):
+        src = """
+            class _FooChain:
+                def __init__(self, net):
+                    net.counters.buffer_reads += 1
+        """
+        assert lint(src, self.PATH, "CHN001") == ["CHN001"]
+
+    def test_helper_method_write_fails(self):
+        src = """
+            class _FooChain:
+                def poke(self):
+                    self.net.counters.sa_grants += 2
+        """
+        assert lint(src, self.PATH, "CHN001") == ["CHN001"]
+
+    def test_overwrite_inside_advance_fails(self):
+        src = """
+            class _FooChain:
+                def advance(self, through):
+                    self.net.counters.buffer_reads = through
+        """
+        assert lint(src, self.PATH, "CHN001") == ["CHN001"]
+
+    def test_non_chain_class_unconstrained(self):
+        src = """
+            class Network:
+                def step(self):
+                    self.counters.buffer_reads += 1
+        """
+        assert lint(src, self.PATH, "CHN001") == []
+
+
+class TestApi001:
+    PATH = "src/repro/workloads.py"
+
+    def test_documented_annotated_surface_passes(self):
+        src = '''
+            """Module docstring."""
+
+            def build(name: str, seed: int = 0) -> dict:
+                """Build a workload."""
+                return {"name": name, "seed": seed}
+
+            class Workload:
+                """A workload."""
+
+                def describe(self) -> str:
+                    """Label."""
+                    return "w"
+        '''
+        assert lint(src, self.PATH, "API001") == []
+
+    def test_missing_docstring_fails(self):
+        src = """
+            def build(name: str) -> dict:
+                return {"name": name}
+        """
+        assert lint(src, self.PATH, "API001") == ["API001"]
+
+    def test_missing_annotations_fail(self):
+        src = '''
+            def build(name, seed):
+                """Build a workload."""
+                return (name, seed)
+        '''
+        findings = lint(src, self.PATH, "API001")
+        # no return annotation + two unannotated parameters
+        assert findings == ["API001", "API001", "API001"]
+
+    def test_private_names_exempt(self):
+        src = """
+            def _helper(x):
+                return x
+
+            class _Hidden:
+                def poke(self, y):
+                    return y
+        """
+        assert lint(src, self.PATH, "API001") == []
+
+    def test_out_of_scope_module_ignored(self):
+        src = """
+            def build(name):
+                return name
+        """
+        assert lint(src, "src/repro/sim/traffic.py", "API001") == []
+
+
+class TestSuppression:
+    PATH = "src/repro/sim/network.py"
+
+    BAD = """
+        import time
+
+        def stamp():
+            return time.time()
+    """
+
+    def test_justified_inline_marker_suppresses(self):
+        src = """
+            import time
+
+            def stamp():
+                return time.time()  # repro-lint: ok DET001 -- log only
+        """
+        assert lint(src, self.PATH, "DET001") == []
+
+    def test_justified_standalone_marker_covers_next_line(self):
+        src = """
+            import time
+
+            def stamp():
+                # repro-lint: ok DET001 -- feeds the progress log only,
+                # never simulation state
+                return time.time()
+        """
+        assert lint(src, self.PATH, "DET001") == []
+
+    def test_unjustified_marker_reports_sup001(self):
+        src = """
+            import time
+
+            def stamp():
+                return time.time()  # repro-lint: ok DET001
+        """
+        assert lint(src, self.PATH, "DET001") == [BARE_SUPPRESSION_RULE]
+
+    def test_marker_for_other_rule_does_not_suppress(self):
+        src = """
+            import time
+
+            def stamp():
+                return time.time()  # repro-lint: ok ORD001 -- wrong rule
+        """
+        assert lint(src, self.PATH, "DET001") == ["DET001"]
+
+    def test_marker_inside_string_literal_is_inert(self):
+        src = '''
+            import time
+
+            MARKER = "# repro-lint: ok DET001 -- not a comment"
+
+            def stamp():
+                return time.time()
+        '''
+        assert lint(src, self.PATH, "DET001") == ["DET001"]
+
+    def test_unsuppressed_snippet_fails(self):
+        assert lint(self.BAD, self.PATH, "DET001") == ["DET001"]
+
+    def test_comma_separated_rules_all_suppressed(self):
+        src = """
+            import time
+
+            def stamp(table, segment):
+                # repro-lint: ok DET001, ORD001 -- diagnostics only
+                return time.time()
+        """
+        assert lint(src, self.PATH, "DET001") == []

@@ -135,7 +135,7 @@ class TestDeadlockFreedom:
 @given(data=st.data(), model=st.sampled_from(list(TurnModel)))
 def test_property_turn_model_routes_are_deadlock_free(data, model):
     """Any single choice of legal minimal route per random flow keeps the
-    channel dependency graph acyclic — the Glass–Ni guarantee."""
+    channel dependency graph acyclic — the Glass-Ni guarantee."""
     mesh = Mesh(4, 4)
     n_flows = data.draw(st.integers(1, 12), label="n_flows")
     flows = []

@@ -1,0 +1,198 @@
+"""Sanitizer mode: deliberate corruption must raise SanitizerError.
+
+Each test builds a small running network, corrupts one piece of
+kernel-internal derived state (active sets, cached occupancy, counter
+types, chain feeder links) and asserts the sanitizer reports it on the
+next step/sync.  A no-corruption control per kernel pins down that
+sanitize mode is silent on healthy runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import NocConfig
+from repro.core.noc_builder import build_smart_noc
+from repro.eval.dedicated import DedicatedNetwork
+from repro.sim.network import KERNELS, Network
+from repro.sim.sanitizer import SanitizerError, resolve, sanitize_from_env
+from repro.workloads import get_workload
+
+
+def make_network(kernel, load=0.3, seed=3, sanitize=True):
+    """A transpose-pattern SMART network with sanitize mode enabled."""
+    cfg = NocConfig()
+    built = get_workload("transpose").build(cfg)
+    noc = build_smart_noc(
+        cfg, list(built.flows),
+        traffic=built.traffic(cfg, load=load, seed=seed),
+    )
+    base = noc.network
+    return Network(
+        cfg, base.mesh, base.flows,
+        {r.node: r.config for r in base.routers.values()},
+        base.segments,
+        built.traffic(cfg, load=load, seed=seed),
+        kernel=kernel,
+        sanitize=sanitize,
+    )
+
+
+class TestEnvResolution:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("SMART_SANITIZE", "1")
+        assert resolve(False) is False
+        monkeypatch.delenv("SMART_SANITIZE")
+        assert resolve(True) is True
+
+    def test_env_flag_default(self, monkeypatch):
+        monkeypatch.delenv("SMART_SANITIZE", raising=False)
+        assert sanitize_from_env() is False
+        monkeypatch.setenv("SMART_SANITIZE", "0")
+        assert sanitize_from_env() is False
+        monkeypatch.setenv("SMART_SANITIZE", "1")
+        assert sanitize_from_env() is True
+
+    def test_network_reads_env(self, monkeypatch):
+        monkeypatch.setenv("SMART_SANITIZE", "1")
+        assert make_network("active", sanitize=None).sanitize is True
+
+
+class TestHealthyRuns:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_sanitized_run_is_silent(self, kernel):
+        net = make_network(kernel)
+        net.run_cycles(120)
+        net._sync()
+
+    @pytest.mark.parametrize("kernel", ("active", "event"))
+    def test_sanitized_dedicated_run_is_silent(self, kernel):
+        cfg = NocConfig()
+        built = get_workload("transpose").build(cfg)
+        net = DedicatedNetwork(
+            cfg, __import__("repro.sim.topology", fromlist=["Mesh"]).Mesh(
+                cfg.width, cfg.height
+            ),
+            list(built.flows),
+            built.traffic(cfg, load=0.3, seed=3),
+            kernel=kernel,
+            sanitize=True,
+        )
+        net.run_cycles(120)
+        net._sync()
+
+
+class TestActiveSetCorruption:
+    def test_event_kernel_catches_dropped_router(self):
+        net = make_network("event")
+        net.run_cycles(60)
+        busy = [
+            node for node in sorted(net._active_routers)
+            if net.routers[node].active
+        ]
+        assert busy, "fixture must produce active routers"
+        net._active_routers.discard(busy[0])
+        with pytest.raises(SanitizerError, match="_active_routers"):
+            net.run_cycles(1)
+
+    def test_event_kernel_catches_clock_ports_drift(self):
+        net = make_network("event")
+        net.run_cycles(60)
+        net._clock_ports += 1
+        with pytest.raises(SanitizerError, match="_clock_ports"):
+            net.run_cycles(1)
+
+    def test_event_kernel_catches_spurious_member(self):
+        net = make_network("event")
+        net.run_cycles(60)
+        idle = [
+            node for node in sorted(net.routers)
+            if not net.routers[node].active
+        ]
+        assert idle, "fixture must leave some idle routers"
+        # The exact set must not contain idle routers: membership alone
+        # inflates the event kernel's clock accounting.
+        net._active_routers.add(idle[0])
+        net._clock_ports += len(net.routers[idle[0]].buffers)
+        with pytest.raises(SanitizerError, match="_active_routers"):
+            net.run_cycles(1)
+
+
+class TestOccupancyCorruption:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_occupancy_drift_caught(self, kernel):
+        net = make_network(kernel)
+        net.run_cycles(60)
+        router = next(
+            (r for r in net.routers.values() if r.occupancy), None
+        )
+        assert router is not None, "fixture must buffer flits"
+        router.occupancy += 1
+        with pytest.raises(SanitizerError, match="occupancy"):
+            net.run_cycles(1)
+
+
+class TestCounterCorruption:
+    def test_float_counter_caught_at_sync(self):
+        net = make_network("active")
+        net.run_cycles(40)
+        net.counters.buffer_reads = float(net.counters.buffer_reads)
+        with pytest.raises(SanitizerError, match="buffer_reads"):
+            net._sync()
+
+    def test_fractional_mm_counter_caught_at_sync(self):
+        net = make_network("active")
+        net.run_cycles(40)
+        assert float(net._mm_per_hop).is_integer()
+        net.counters.link_flit_mm += 0.5
+        with pytest.raises(SanitizerError, match="link_flit_mm"):
+            net._sync()
+
+
+class _StubChain:
+    """Minimal chain-shaped object for corrupting the settlement graph."""
+
+    def __init__(self, cid, feeder=None):
+        self.cid = cid
+        self.feeder = feeder
+
+    def advance(self, through):
+        pass
+
+
+class TestChainGraphCorruption:
+    def _with_stubs(self, *stubs):
+        net = make_network("event")
+        net.run_cycles(20)
+        for stub in stubs:
+            net._chains[stub.cid] = stub
+        return net
+
+    def test_backward_feeder_links_pass(self):
+        producer = _StubChain(10**9)
+        consumer = _StubChain(10**9 + 1, feeder=producer)
+        net = self._with_stubs(producer, consumer)
+        net._sync()
+
+    def test_forward_feeder_link_caught(self):
+        producer = _StubChain(10**9)
+        consumer = _StubChain(10**9 + 1, feeder=producer)
+        producer.feeder = consumer  # points forward: settlement order broken
+        net = self._with_stubs(producer, consumer)
+        with pytest.raises(SanitizerError, match="feeder"):
+            net._sync()
+
+    def test_self_feeding_chain_caught(self):
+        loop = _StubChain(10**9)
+        loop.feeder = loop
+        net = self._with_stubs(loop)
+        with pytest.raises(SanitizerError, match="feeder"):
+            net._sync()
+
+    def test_mismatched_registration_caught(self):
+        stray = _StubChain(10**9)
+        net = make_network("event")
+        net.run_cycles(20)
+        net._chains[10**9 + 7] = stray  # registered under the wrong cid
+        with pytest.raises(SanitizerError, match="cid"):
+            net._sync()
