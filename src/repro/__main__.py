@@ -10,6 +10,7 @@ Usage:
     python -m repro fig10b [--measure N]
     python -m repro run WORKLOAD DESIGN [--measure N] [--load X]
     python -m repro sweep [--workload W] [--size WxH] [--loads ...] [--jobs N]
+    python -m repro farm {enumerate,work,merge,status,import} ...
     python -m repro workloads
     python -m repro plot results/sweep_X.jsonl [--out PNG]
     python -m repro apps
@@ -227,7 +228,7 @@ def _cmd_sweep(args) -> None:
         }
         streamed = {
             (p["design"], float(p["load"]), int(p["seed"]))
-            for p in read_sweep_stream(stream_path)
+            for p in read_sweep_stream(stream_path, skip_partial=True)
         }
         total -= len(grid & streamed)
     progress = {"done": 0}
@@ -275,6 +276,109 @@ def _cmd_sweep(args) -> None:
     write_sweep_json(out, rows, meta=meta)
     print("wrote %s (aggregated rows); streamed grid points: %s"
           % (out, stream_path))
+
+
+def _cmd_farm_enumerate(args) -> None:
+    from repro.config import NocConfig
+    from repro.eval.farm import enumerate_farm
+
+    cfg = None
+    if args.size:
+        width, height = args.size
+        cfg = NocConfig(width=width, height=height)
+    loads = [float(x) for x in args.loads.split(",")] if args.loads else None
+    spec = enumerate_farm(
+        args.workload,
+        designs=args.designs,
+        loads=loads,
+        seeds=tuple(range(1, args.seeds + 1)),
+        cfg=cfg,
+        kernel=args.kernel,
+        root=args.root,
+        measure_cycles=args.measure,
+    )
+    if args.quiet:
+        print(spec.root)
+        return
+    print("farm queue %s: %d points (%d designs x %d loads x %d seeds)"
+          % (spec.spec_hash, len(spec.points()), len(spec.designs),
+             len(spec.loads), len(spec.seeds)))
+    print("spec_dir=%s" % spec.root)
+
+
+def _cmd_farm_work(args) -> None:
+    from repro.eval.farm import load_farm, work_many, work_on
+
+    spec = load_farm(_farm_spec_dir(args))
+    if args.procs and args.procs > 1:
+        work_many(
+            spec, args.procs, worker_prefix=args.worker,
+            max_points=args.max_points, lease_ttl=args.lease_ttl,
+        )
+        print("farm %s: %d worker processes joined" % (spec.spec_hash,
+                                                       args.procs))
+        return
+
+    def on_point(point, row) -> None:
+        print("  %-10s load=%-8g seed=%d  point=%s done"
+              % (point.design, point.load, point.seed, point.point_hash))
+
+    landed = work_on(
+        spec, worker=args.worker, max_points=args.max_points,
+        lease_ttl=args.lease_ttl, on_point=on_point,
+    )
+    print("farm %s: this worker landed %d point(s)"
+          % (spec.spec_hash, landed))
+
+
+def _cmd_farm_merge(args) -> None:
+    from repro.eval.farm import merge_farm
+
+    result = merge_farm(
+        _farm_spec_dir(args), out_base=args.out, compact=args.compact
+    )
+    print("farm %s: merged %d/%d points (%d duplicate rows, %d torn "
+          "lines, %d rows outside grid)"
+          % (result.spec_hash, result.done_points, result.total_points,
+             result.duplicates, result.partial_lines,
+             result.dropped_outside_grid))
+    for path in (result.stream_path, result.json_path,
+                 result.markdown_path):
+        print("wrote %s" % path)
+    if args.expect_complete and not result.complete:
+        raise SystemExit(
+            "farm %s is incomplete: %d of %d points missing (first: %s)"
+            % (result.spec_hash, len(result.missing), result.total_points,
+               result.missing[0]))
+
+
+def _cmd_farm_status(args) -> None:
+    from repro.eval.farm import farm_status
+
+    status = farm_status(_farm_spec_dir(args), lease_ttl=args.lease_ttl)
+    for key in ("spec_hash", "points", "done", "pending", "leases_fresh",
+                "leases_stale", "shards", "rows", "duplicates",
+                "partial_lines"):
+        print("%-14s %s" % (key, status[key]))
+    if args.expect_complete and status["pending"]:
+        raise SystemExit(
+            "farm %s is incomplete: %d of %d points pending"
+            % (status["spec_hash"], status["pending"], status["points"]))
+
+
+def _cmd_farm_import(args) -> None:
+    from repro.eval.farm import import_stream
+
+    for stream in args.streams:
+        stats = import_stream(_farm_spec_dir(args), stream)
+        print("%s: imported %d row(s), %d outside the grid"
+              % (stream, stats["imported"], stats["outside_grid"]))
+
+
+def _farm_spec_dir(args) -> str:
+    from repro.eval.farm import resolve_spec_dir
+
+    return resolve_spec_dir(args.spec, root=args.root)
 
 
 def _cmd_workloads(_args) -> None:
@@ -395,6 +499,97 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip grid points already present in the .jsonl stream",
     )
     p_sweep.set_defaults(func=_cmd_sweep)
+    p_farm = sub.add_parser(
+        "farm",
+        help="distributed sweep farm: content-addressed job queue, "
+        "cooperating workers, idempotent merge (docs/farm.md)",
+    )
+    farm_sub = p_farm.add_subparsers(dest="farm_command", required=True)
+
+    def farm_spec_args(p):
+        p.add_argument(
+            "--spec", required=True,
+            help="queue directory, or a (prefix of a) spec hash under "
+            "--root",
+        )
+        p.add_argument("--root", default="results/farm",
+                       help="farm root holding <spec_hash>/ queues")
+
+    p_fe = farm_sub.add_parser(
+        "enumerate",
+        help="create/extend the content-addressed queue for one sweep "
+        "spec and print its directory",
+    )
+    p_fe.add_argument("--workload", type=_workload_name, required=True)
+    p_fe.add_argument("--size", type=_mesh_size, default=None,
+                      help="mesh size WxH (default: the paper's 4x4)")
+    p_fe.add_argument("--designs", default="mesh,smart,dedicated",
+                      type=_design_list)
+    p_fe.add_argument("--loads",
+                      help="comma-separated load points (default: the "
+                      "workload's own axis defaults)")
+    p_fe.add_argument("--seeds", type=int, default=1,
+                      help="replications per grid point")
+    p_fe.add_argument("--kernel", default="active", type=_kernel_name)
+    p_fe.add_argument("--measure", type=int, default=8000)
+    p_fe.add_argument("--root", default="results/farm")
+    p_fe.add_argument("--quiet", action="store_true",
+                      help="print only the queue directory (for scripts)")
+    p_fe.set_defaults(func=_cmd_farm_enumerate)
+
+    p_fw = farm_sub.add_parser(
+        "work",
+        help="run worker process(es) over a queue; N invocations on any "
+        "hosts sharing the filesystem cooperate",
+    )
+    farm_spec_args(p_fw)
+    p_fw.add_argument("--worker", default=None,
+                      help="worker id (default <host>-<pid>; must be "
+                      "unique per concurrent worker)")
+    p_fw.add_argument("--procs", type=int, default=1,
+                      help="spawn N worker processes on this host")
+    p_fw.add_argument("--max-points", type=int, default=None,
+                      help="stop this worker after landing N points")
+    p_fw.add_argument("--lease-ttl", type=float, default=600.0,
+                      help="seconds before an unreleased lease counts as "
+                      "crashed and may be stolen")
+    p_fw.set_defaults(func=_cmd_farm_work)
+
+    p_fm = farm_sub.add_parser(
+        "merge",
+        help="union all shards into merged.jsonl/.json/.md (idempotent; "
+        "same outputs as a single-process sweep)",
+    )
+    farm_spec_args(p_fm)
+    p_fm.add_argument("--out", default=None,
+                      help="base path for the .json/.md reports "
+                      "(default <queue>/merged)")
+    p_fm.add_argument("--compact", action="store_true",
+                      help="after merging, delete per-worker shards "
+                      "(refused while fresh leases exist)")
+    p_fm.add_argument("--expect-complete", action="store_true",
+                      help="exit non-zero unless every grid point merged")
+    p_fm.set_defaults(func=_cmd_farm_merge)
+
+    p_fs = farm_sub.add_parser(
+        "status", help="point/lease/shard accounting for a queue"
+    )
+    farm_spec_args(p_fs)
+    p_fs.add_argument("--lease-ttl", type=float, default=600.0)
+    p_fs.add_argument("--expect-complete", action="store_true",
+                      help="exit non-zero unless every grid point is done")
+    p_fs.set_defaults(func=_cmd_farm_status)
+
+    p_fi = farm_sub.add_parser(
+        "import",
+        help="adopt `repro sweep` --resume streams of the same hashed "
+        "spec as farm shards",
+    )
+    farm_spec_args(p_fi)
+    p_fi.add_argument("streams", nargs="+",
+                      help="sweep .jsonl stream(s) with a matching "
+                      "content-hashed header")
+    p_fi.set_defaults(func=_cmd_farm_import)
     sub.add_parser(
         "workloads", help="list the workload registry (apps + patterns)"
     ).set_defaults(func=_cmd_workloads)

@@ -25,7 +25,8 @@ from repro.analysis.core import (
 
 #: The documented public surfaces.
 API_SCOPES = (
-    "repro/workloads.py", "repro/eval/sweeps.py", "repro/analysis",
+    "repro/workloads.py", "repro/eval/sweeps.py", "repro/eval/farm.py",
+    "repro/analysis",
 )
 
 _FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]

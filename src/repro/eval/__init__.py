@@ -14,6 +14,20 @@ from repro.eval.ablations import (
     vc_sweep,
 )
 from repro.eval.dedicated import DedicatedNetwork
+from repro.eval.farm import (
+    FarmPoint,
+    FarmSpec,
+    FaultInjector,
+    MergeResult,
+    enumerate_farm,
+    farm_status,
+    import_stream,
+    load_farm,
+    merge_farm,
+    merge_rows,
+    work_many,
+    work_on,
+)
 from repro.eval.designs import (
     DESIGNS,
     DesignInstance,
@@ -53,8 +67,20 @@ __all__ = [
     "DesignInstance",
     "FIG1_APPS",
     "FIG7_STOP_TIMES",
+    "FarmPoint",
+    "FarmSpec",
+    "FaultInjector",
     "HeadlineMetrics",
+    "MergeResult",
     "SuiteResults",
+    "enumerate_farm",
+    "farm_status",
+    "import_stream",
+    "load_farm",
+    "merge_farm",
+    "merge_rows",
+    "work_many",
+    "work_on",
     "build_design",
     "build_workload_design",
     "channel_split",

@@ -1,0 +1,986 @@
+"""Sweep farm: content-addressed job queue, sharded workers, idempotent merge.
+
+The streamed sweeps in :mod:`repro.eval.sweeps` scale one process across
+one machine's cores.  This module is the multi-worker / multi-host story
+on top of the same grid points: drive thousands of (workload x mesh x
+kernel x seed) simulations from N cooperating worker processes — on one
+host or on many hosts sharing a filesystem — and recover from any of
+them crashing at any time.
+
+The design is content-addressed end to end:
+
+* A **farm spec** is the existing sweep stream header
+  (:func:`repro.eval.sweeps.make_stream_header`) — workload, mesh/router
+  config, kernel, traffic mode, run window — plus a grid (designs x
+  loads x seeds).  The header's ``spec_hash`` names the queue directory
+  ``<root>/<spec_hash>/``, so two hosts enumerating the same sweep land
+  in the same queue, and a sweep ``--resume`` stream of the same spec is
+  importable as a shard (:func:`import_stream`).
+* Every grid point gets a **point hash** derived from (spec hash,
+  design, load, seed): the unit of leasing, completion marking, and
+  merge dedupe.
+* Workers lease points via atomic ``O_CREAT | O_EXCL`` **lease files**
+  and append finished rows to their own JSONL **shard**; a completion
+  **marker** (atomic rename) publishes the point as done before the
+  lease is released.  A crashed worker leaves its lease behind; once the
+  lease is older than its declared TTL any other worker may steal it
+  (atomic rename — exactly one stealer wins) and re-run the point.
+* **Merge** unions every shard, tolerates torn (partially written)
+  lines anywhere, dedupes rows by point hash with a deterministic,
+  permutation- and duplication-invariant winner rule, and emits the same
+  aggregated JSON/markdown a single-process sweep produces — plus a
+  canonical merged stream that ``repro sweep --resume`` accepts.
+
+Correctness model: under normal operation every point runs **exactly
+once** (the lease is exclusive and the done marker is re-checked after
+acquisition).  Crash recovery and lease stealing give **at least once**;
+the merge's content-addressed dedupe makes duplicates harmless, and the
+kernels' bit-identity contract (docs/kernel.md) makes duplicate rows for
+one point bit-identical anyway.  See docs/farm.md for the queue layout,
+the lease protocol, and the multi-host caveats (POSIX rename/link
+semantics; NFS mtime skew widens the effective TTL).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import itertools
+import json
+import multiprocessing
+import os
+import socket
+import time
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.config import NocConfig
+from repro.eval.designs import DESIGNS
+from repro.eval.sweeps import (
+    DEFAULT_RUN_KWARGS,
+    SweepJob,
+    _aggregate,
+    _point_from_json,
+    _point_to_json,
+    _run_job,
+    format_sweep_rows,
+    make_stream_header,
+    read_sweep_header,
+    read_sweep_stream,
+    sweep_spec_hash,
+    write_sweep_json,
+)
+from repro.workloads import WorkloadSpec, get_workload
+
+#: Default queue root; each spec gets ``<root>/<spec_hash>/``.
+DEFAULT_ROOT = os.path.join("results", "farm")
+
+#: Seconds after which an unreleased lease counts as crashed.
+DEFAULT_LEASE_TTL = 600.0
+
+#: Format tag written into ``spec.json`` (bump on incompatible changes).
+FARM_FORMAT = "smart-farm/1"
+
+_SPEC_FILE = "spec.json"
+_SHARDS_DIR = "shards"
+_LEASES_DIR = "leases"
+_DONE_DIR = "done"
+
+#: Monotonic per-process counter: unique names for steal renames and
+#: temp files without drawing on wall-clock or OS entropy.
+_unique = itertools.count(1)
+
+
+class FarmWorkerCrash(RuntimeError):
+    """Raised by an injected fault to simulate a worker dying mid-shard.
+
+    The worker's lease is intentionally left behind so crash-recovery
+    paths (lease expiry, stealing, merge dedupe) are exercised exactly
+    as a real ``kill -9`` would exercise them.
+    """
+
+
+@dataclasses.dataclass
+class FaultInjector:
+    """Test hook: crash the worker after it completed ``after_n_points``.
+
+    With ``torn_write=True`` the crash happens *mid-write*: half of the
+    next finished row is flushed to the shard before the worker dies,
+    leaving the torn trailing line a real crash leaves.  Without it the
+    worker dies after finishing the simulation but before writing the
+    row (the work is simply lost).
+    """
+
+    after_n_points: int
+    torn_write: bool = False
+
+    def fires(self, completed: int) -> bool:
+        """Whether the crash triggers once ``completed`` points landed."""
+        return completed >= self.after_n_points
+
+
+@dataclasses.dataclass(frozen=True)
+class FarmPoint:
+    """One enumerated grid point of a farm queue."""
+
+    point_hash: str
+    design: str
+    load: float
+    seed: int
+
+
+def point_hash(spec_hash: str, design: str, load: float, seed: int) -> str:
+    """Content hash naming one grid point of one spec.
+
+    Canonical-JSON SHA-256 over (spec hash, design, load, seed),
+    truncated like :func:`~repro.eval.sweeps.sweep_spec_hash`.  The load
+    goes through ``json.dumps`` float repr, which round-trips exactly,
+    so every process that parsed the same ``spec.json`` derives the same
+    hashes.
+    """
+    canon = json.dumps(
+        {"design": design, "load": load, "seed": seed, "spec": spec_hash},
+        sort_keys=True,
+    )
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclasses.dataclass(frozen=True)
+class FarmSpec:
+    """A loaded farm queue: the hashed sweep spec plus its grid.
+
+    ``header`` is exactly the stream header a sweep of the same spec
+    writes (``{"sweep_spec": ..., "spec_hash": ...}``), which is what
+    makes sweep streams and farm shards interchangeable.
+    """
+
+    root: str
+    header: Dict[str, Any]
+    designs: Tuple[str, ...]
+    loads: Tuple[float, ...]
+    seeds: Tuple[int, ...]
+
+    @property
+    def spec_hash(self) -> str:
+        """The content hash naming this queue."""
+        return str(self.header["spec_hash"])
+
+    def points(self) -> List[FarmPoint]:
+        """Every grid point, in the sweep runner's enumeration order."""
+        return [
+            FarmPoint(
+                point_hash(self.spec_hash, design, load, seed),
+                design,
+                load,
+                seed,
+            )
+            for load in self.loads
+            for design in self.designs
+            for seed in self.seeds
+        ]
+
+    def job_for(self, point: FarmPoint) -> SweepJob:
+        """The :class:`~repro.eval.sweeps.SweepJob` for one point.
+
+        Reconstructed from the recorded sweep spec, so a farm worker
+        runs the *identical* job a single-process sweep would run — the
+        basis of the row-for-row equality the fault-injection suite
+        asserts.
+        """
+        spec = self.header["sweep_spec"]
+        return SweepJob(
+            design=point.design,
+            load=point.load,
+            seed=point.seed,
+            cfg=NocConfig(**spec["cfg"]),
+            workload=WorkloadSpec(
+                spec["workload"], tuple(sorted(spec["params"].items()))
+            ),
+            kernel=spec["kernel"],
+            traffic_mode=spec["traffic_mode"],
+            warmup_cycles=spec["warmup_cycles"],
+            measure_cycles=spec["measure_cycles"],
+            drain_limit=spec["drain_limit"],
+        )
+
+
+# ----------------------------------------------------------------------
+# Queue layout
+# ----------------------------------------------------------------------
+
+def _shards_dir(spec: FarmSpec) -> str:
+    return os.path.join(spec.root, _SHARDS_DIR)
+
+
+def _leases_dir(spec: FarmSpec) -> str:
+    return os.path.join(spec.root, _LEASES_DIR)
+
+
+def _done_dir(spec: FarmSpec) -> str:
+    return os.path.join(spec.root, _DONE_DIR)
+
+
+def shard_path(spec: FarmSpec, worker: str) -> str:
+    """The JSONL shard ``worker`` appends its finished rows to."""
+    return os.path.join(_shards_dir(spec), "%s.jsonl" % worker)
+
+
+def _lease_path(spec: FarmSpec, ph: str) -> str:
+    return os.path.join(_leases_dir(spec), "%s.lease" % ph)
+
+
+def _done_path(spec: FarmSpec, ph: str) -> str:
+    return os.path.join(_done_dir(spec), ph)
+
+
+def _atomic_write_json(path: str, payload: Dict[str, Any]) -> None:
+    """Write JSON via a temp file + atomic rename (no torn spec files)."""
+    tmp = "%s.tmp-%d-%d" % (path, os.getpid(), next(_unique))
+    with open(tmp, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, path)
+
+
+def default_worker_id() -> str:
+    """A worker id unique across cooperating hosts: ``<host>-<pid>``."""
+    return "%s-%d" % (socket.gethostname(), os.getpid())
+
+
+# ----------------------------------------------------------------------
+# Enumerate / load
+# ----------------------------------------------------------------------
+
+def enumerate_farm(
+    workload: Union[str, WorkloadSpec],
+    designs: Sequence[str] = DESIGNS,
+    loads: Optional[Sequence[float]] = None,
+    seeds: Sequence[int] = (1,),
+    cfg: Optional[NocConfig] = None,
+    kernel: str = "active",
+    traffic_mode: str = "predraw",
+    root: str = DEFAULT_ROOT,
+    **run_kwargs: int,
+) -> FarmSpec:
+    """Create (or extend) the content-addressed queue for one sweep spec.
+
+    Resolves the workload and run window exactly like
+    :func:`repro.eval.sweeps.run_workload_sweep`, hashes the spec with
+    the shared stream-header hash, and writes
+    ``<root>/<spec_hash>/spec.json`` atomically.  Re-enumerating an
+    existing queue is idempotent; a *different* grid for the same spec
+    unions into the recorded one (first-seen order preserved), so a
+    queue can be widened with more loads or seeds without re-running
+    finished points.
+    """
+    spec = WorkloadSpec.of(workload)
+    target = get_workload(spec.name)
+    spec = dataclasses.replace(spec, name=target.name)
+    base = cfg or NocConfig()
+    kwargs = dict(DEFAULT_RUN_KWARGS)
+    kwargs.update(run_kwargs)
+    points = tuple(
+        float(x) for x in (loads if loads is not None else target.default_loads)
+    )
+    header = make_stream_header(spec, base, kernel, traffic_mode, kwargs)
+    spec_dir = os.path.join(root, header["spec_hash"])
+    grid = {
+        "designs": [str(d) for d in designs],
+        "loads": list(points),
+        "seeds": [int(s) for s in seeds],
+    }
+    existing = _read_spec_file(spec_dir)
+    if existing is not None:
+        if existing["spec_hash"] != header["spec_hash"]:
+            raise ValueError(
+                "queue directory %s holds spec hash %s, not %s — the "
+                "directory was moved or hand-edited"
+                % (spec_dir, existing["spec_hash"], header["spec_hash"])
+            )
+        grid = _union_grid(existing["grid"], grid)
+    for sub in (_SHARDS_DIR, _LEASES_DIR, _DONE_DIR):
+        os.makedirs(os.path.join(spec_dir, sub), exist_ok=True)
+    _atomic_write_json(
+        os.path.join(spec_dir, _SPEC_FILE),
+        {
+            "format": FARM_FORMAT,
+            "sweep_spec": header["sweep_spec"],
+            "spec_hash": header["spec_hash"],
+            "grid": grid,
+        },
+    )
+    return load_farm(spec_dir)
+
+
+def _union_grid(old: Dict[str, Any], new: Dict[str, Any]) -> Dict[str, Any]:
+    """Union two grids per axis, preserving first-seen order."""
+    merged: Dict[str, Any] = {}
+    for axis in ("designs", "loads", "seeds"):
+        values = list(old[axis])
+        values.extend(v for v in new[axis] if v not in values)
+        merged[axis] = values
+    return merged
+
+
+def _read_spec_file(spec_dir: str) -> Optional[Dict[str, Any]]:
+    path = os.path.join(spec_dir, _SPEC_FILE)
+    if not os.path.exists(path):
+        return None
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def load_farm(spec_dir: str) -> FarmSpec:
+    """Load a queue directory written by :func:`enumerate_farm`.
+
+    The recorded hash is re-derived from the recorded sweep spec and
+    must match — a hand-edited ``spec.json`` would otherwise let
+    incompatible rows share a queue.
+    """
+    data = _read_spec_file(spec_dir)
+    if data is None:
+        raise FileNotFoundError(
+            "%s has no %s — run `python -m repro farm enumerate` first"
+            % (spec_dir, _SPEC_FILE)
+        )
+    recomputed = sweep_spec_hash(data["sweep_spec"])
+    if recomputed != data["spec_hash"]:
+        raise ValueError(
+            "spec.json in %s is inconsistent: recorded hash %s, but the "
+            "recorded sweep spec hashes to %s"
+            % (spec_dir, data["spec_hash"], recomputed)
+        )
+    grid = data["grid"]
+    return FarmSpec(
+        root=spec_dir,
+        header={"sweep_spec": data["sweep_spec"], "spec_hash": data["spec_hash"]},
+        designs=tuple(str(d) for d in grid["designs"]),
+        loads=tuple(float(x) for x in grid["loads"]),
+        seeds=tuple(int(s) for s in grid["seeds"]),
+    )
+
+
+def resolve_spec_dir(spec: str, root: str = DEFAULT_ROOT) -> str:
+    """Resolve a CLI ``--spec`` value: a queue directory or a spec hash.
+
+    A path containing a ``spec.json`` wins; otherwise the value is
+    treated as a (unique prefix of a) spec hash under ``root``.
+    """
+    if os.path.isfile(os.path.join(spec, _SPEC_FILE)):
+        return spec
+    if os.path.isdir(root):
+        matches = sorted(
+            name
+            for name in os.listdir(root)
+            if name.startswith(spec)
+            and os.path.isfile(os.path.join(root, name, _SPEC_FILE))
+        )
+        if len(matches) == 1:
+            return os.path.join(root, matches[0])
+        if len(matches) > 1:
+            raise ValueError(
+                "spec %r is ambiguous under %s: %s"
+                % (spec, root, ", ".join(matches))
+            )
+    raise FileNotFoundError(
+        "no farm queue %r (looked for a directory with %s, then for a "
+        "hash prefix under %s)" % (spec, _SPEC_FILE, root)
+    )
+
+
+# ----------------------------------------------------------------------
+# Lease protocol
+# ----------------------------------------------------------------------
+
+def acquire_lease(
+    spec: FarmSpec, ph: str, worker: str, ttl: float = DEFAULT_LEASE_TTL
+) -> bool:
+    """Try to claim point ``ph``; True iff this worker now holds it.
+
+    Acquisition is an atomic ``O_CREAT | O_EXCL`` create, so exactly one
+    worker wins a free lease.  A held lease older than its declared TTL
+    (by file mtime) is presumed crashed and stolen: the stale file is
+    atomically renamed aside — exactly one stealer's rename succeeds —
+    and acquisition retries once on the then-free path.
+    """
+    path = _lease_path(spec, ph)
+    payload = json.dumps(
+        {"worker": worker, "pid": os.getpid(),
+         "host": socket.gethostname(), "ttl": ttl},
+        sort_keys=True,
+    )
+    for attempt in (0, 1):
+        try:
+            fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+        except FileExistsError:
+            if attempt or not _lease_stale(path, ttl):
+                return False
+            if not _steal_lease(path, worker):
+                return False
+            continue
+        try:
+            os.write(fd, payload.encode("utf-8"))
+        finally:
+            os.close(fd)
+        return True
+    return False
+
+
+def _lease_stale(path: str, default_ttl: float) -> bool:
+    """Whether the lease at ``path`` is older than its declared TTL.
+
+    The TTL its writer declared wins; a torn or unreadable lease body
+    falls back to the caller's TTL.  A lease that vanished while we
+    looked counts as stale (the next O_EXCL attempt decides the race).
+    """
+    try:
+        # repro-lint: ok DET001 -- lease expiry compares wall-clock file
+        # ages across workers/hosts; no simulation state depends on it
+        age = time.time() - os.stat(path).st_mtime
+    except FileNotFoundError:
+        return True
+    ttl = default_ttl
+    try:
+        with open(path) as fh:
+            ttl = float(json.load(fh)["ttl"])
+    except (OSError, ValueError, KeyError, TypeError):
+        pass
+    return age > ttl
+
+
+def _steal_lease(path: str, worker: str) -> bool:
+    """Atomically retire a stale lease; True iff *we* retired it.
+
+    ``os.rename`` to a per-stealer name succeeds for exactly one of any
+    number of concurrent stealers; the losers see ``FileNotFoundError``
+    and go back to the regular acquisition race.
+    """
+    aside = "%s.stale-%s-%d-%d" % (path, worker, os.getpid(), next(_unique))
+    try:
+        os.rename(path, aside)
+    except FileNotFoundError:
+        return False
+    try:
+        os.unlink(aside)
+    except FileNotFoundError:
+        pass
+    return True
+
+
+def release_lease(spec: FarmSpec, ph: str) -> None:
+    """Drop the lease for ``ph`` (missing files are fine: already stolen)."""
+    try:
+        os.unlink(_lease_path(spec, ph))
+    except FileNotFoundError:
+        pass
+
+
+def _mark_done(spec: FarmSpec, ph: str, worker: str) -> None:
+    """Publish ``ph`` as complete (atomic rename; double-claim safe)."""
+    path = _done_path(spec, ph)
+    tmp = "%s.tmp-%s-%d-%d" % (path, worker, os.getpid(), next(_unique))
+    with open(tmp, "w") as fh:
+        fh.write(worker + "\n")
+    os.replace(tmp, path)
+
+
+def _is_done(spec: FarmSpec, ph: str) -> bool:
+    return os.path.exists(_done_path(spec, ph))
+
+
+# ----------------------------------------------------------------------
+# Shards
+# ----------------------------------------------------------------------
+
+def _open_shard(path: str) -> Any:
+    """Open a shard for appending, repairing a torn trailing line first.
+
+    If the previous owner of this worker id crashed mid-write, the file
+    ends in half a row with no newline; appending straight after it
+    would glue the next (good) row onto the torn fragment and lose both.
+    Terminating the fragment turns it into one invalid line that every
+    tolerant reader skips.
+    """
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    if os.path.exists(path) and os.path.getsize(path) > 0:
+        with open(path, "rb") as fh:
+            fh.seek(-1, os.SEEK_END)
+            torn = fh.read(1) != b"\n"
+        if torn:
+            with open(path, "ab") as fh:
+                fh.write(b"\n")
+    return open(path, "a")
+
+
+def _read_shard(path: str) -> Tuple[List[Dict[str, Any]], int]:
+    """Rows of one shard plus how many undecodable lines were skipped.
+
+    Tolerates torn lines *anywhere* (a crashed-then-reused worker id
+    leaves them mid-file) and lines that decode but are not point rows.
+    """
+    rows: List[Dict[str, Any]] = []
+    skipped = 0
+    with open(path) as fh:
+        for raw in fh:
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            if not isinstance(data, dict) or "point" not in data:
+                if isinstance(data, dict) and "sweep_spec" in data:
+                    continue  # header of an imported/merged stream
+                skipped += 1
+                continue
+            try:
+                rows.append(_point_from_json(data))
+            except (KeyError, TypeError, ValueError):
+                skipped += 1
+    return rows, skipped
+
+
+def _shard_files(spec: FarmSpec) -> List[str]:
+    shards = _shards_dir(spec)
+    if not os.path.isdir(shards):
+        return []
+    return [
+        os.path.join(shards, name)
+        for name in sorted(os.listdir(shards))
+        if name.endswith(".jsonl")
+    ]
+
+
+def scan_rows(spec: FarmSpec) -> Tuple[List[Dict[str, Any]], int]:
+    """All rows across every shard (merged stream included) + torn-line count."""
+    rows: List[Dict[str, Any]] = []
+    skipped = 0
+    sources = _shard_files(spec)
+    merged = merged_stream_path(spec)
+    if os.path.exists(merged):
+        sources.append(merged)
+    for path in sources:
+        shard_rows, shard_skipped = _read_shard(path)
+        rows.extend(shard_rows)
+        skipped += shard_skipped
+    return rows, skipped
+
+
+# ----------------------------------------------------------------------
+# Worker loop
+# ----------------------------------------------------------------------
+
+def work_on(
+    spec: Union[str, FarmSpec],
+    worker: Optional[str] = None,
+    max_points: Optional[int] = None,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+    fault: Optional[FaultInjector] = None,
+    on_point: Optional[Callable[[FarmPoint, Dict[str, Any]], None]] = None,
+) -> int:
+    """Run one worker over the queue; returns how many points it landed.
+
+    The worker scans the grid in enumeration order, skipping points that
+    are done (completion marker or an already-scanned row) and points
+    whose lease another worker holds.  For each point it wins it runs
+    the *identical* :class:`~repro.eval.sweeps.SweepJob` a
+    single-process sweep would run, appends the row to its own shard,
+    publishes the completion marker, and only then releases the lease —
+    so a point is never lost between "row written" and "marked done".
+
+    N concurrent invocations (processes or hosts on a shared
+    filesystem) cooperate safely; each needs a distinct ``worker`` id
+    (the default ``<host>-<pid>`` is distinct by construction).
+    ``fault`` injects a simulated crash (see :class:`FaultInjector`);
+    the lease of the point being processed is then deliberately left
+    behind for recovery paths to find.
+    """
+    farm = load_farm(spec) if isinstance(spec, str) else spec
+    name = worker or default_worker_id()
+    done = {row["point"] for row in scan_rows(farm)[0]}
+    completed = 0
+    shard = _open_shard(shard_path(farm, name))
+    try:
+        for point in farm.points():
+            if max_points is not None and completed >= max_points:
+                break
+            ph = point.point_hash
+            if ph in done or _is_done(farm, ph):
+                continue
+            if not acquire_lease(farm, ph, name, ttl=lease_ttl):
+                continue
+            crashed = False
+            try:
+                if _is_done(farm, ph):
+                    continue  # finished between our scan and our claim
+                result = _run_job(farm.job_for(point))
+                row = dict(_point_to_json(result), point=ph)
+                text = json.dumps(row)
+                if fault is not None and fault.fires(completed):
+                    crashed = True
+                    if fault.torn_write:
+                        shard.write(text[: max(1, len(text) // 2)])
+                        shard.flush()
+                    raise FarmWorkerCrash(
+                        "injected crash in %s after %d points" % (name, completed)
+                    )
+                shard.write(text + "\n")
+                shard.flush()
+                _mark_done(farm, ph, name)
+                done.add(ph)
+                completed += 1
+                if on_point is not None:
+                    on_point(point, row)
+            finally:
+                if not crashed:
+                    release_lease(farm, ph)
+    finally:
+        shard.close()
+    return completed
+
+
+def _work_entry(
+    spec_dir: str, worker: str, max_points: Optional[int], lease_ttl: float
+) -> None:
+    """Module-level process entry point (picklable under spawn)."""
+    work_on(spec_dir, worker=worker, max_points=max_points, lease_ttl=lease_ttl)
+
+
+def work_many(
+    spec: Union[str, FarmSpec],
+    procs: int,
+    worker_prefix: Optional[str] = None,
+    max_points: Optional[int] = None,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+) -> None:
+    """Drive ``procs`` real worker processes over one queue and join them.
+
+    Convenience wrapper for single-host scale-out (the CLI's ``farm work
+    --procs N``); multi-host farms just invoke ``farm work`` once per
+    host.  Raises if any worker process exits non-zero.
+    """
+    farm = load_farm(spec) if isinstance(spec, str) else spec
+    prefix = worker_prefix or default_worker_id()
+    workers = [
+        multiprocessing.Process(
+            target=_work_entry,
+            args=(farm.root, "%s-w%d" % (prefix, index), max_points, lease_ttl),
+        )
+        for index in range(procs)
+    ]
+    for proc in workers:
+        proc.start()
+    for proc in workers:
+        proc.join()
+    failed = [proc for proc in workers if proc.exitcode != 0]
+    if failed:
+        raise RuntimeError(
+            "%d of %d farm workers exited non-zero (%s)"
+            % (len(failed), len(workers),
+               ", ".join(str(proc.exitcode) for proc in failed))
+        )
+
+
+# ----------------------------------------------------------------------
+# Merge / compact
+# ----------------------------------------------------------------------
+
+def merge_rows(rows: Iterable[Dict[str, Any]]) -> Dict[str, Dict[str, Any]]:
+    """Dedupe decoded shard rows by point hash, deterministically.
+
+    The winner for a point is the row with the lexicographically
+    greatest canonical JSON encoding — a rule that is invariant under
+    shard permutation and duplication (the merge-idempotency property
+    the test suite pins).  Duplicate rows for one point are bit-identical
+    in practice (same :class:`~repro.eval.sweeps.SweepJob`, deterministic
+    kernels), so the rule only ever breaks ties between equals except
+    under corruption, where it still picks *one* row deterministically.
+    """
+    best: Dict[str, Tuple[str, Dict[str, Any]]] = {}
+    for row in rows:
+        ph = str(row["point"])
+        encoded = json.dumps(
+            dict(_point_to_json(row), point=ph), sort_keys=True
+        )
+        kept = best.get(ph)
+        if kept is None or encoded > kept[0]:
+            best[ph] = (encoded, row)
+    return {ph: row for ph, (_, row) in best.items()}
+
+
+def merged_stream_path(spec: FarmSpec) -> str:
+    """The canonical merged stream (header + rows in grid order)."""
+    return os.path.join(spec.root, "merged.jsonl")
+
+
+@dataclasses.dataclass(frozen=True)
+class MergeResult:
+    """What a merge produced and how complete the queue is."""
+
+    spec_hash: str
+    total_points: int
+    done_points: int
+    missing: Tuple[FarmPoint, ...]
+    duplicates: int
+    partial_lines: int
+    dropped_outside_grid: int
+    stream_path: str
+    json_path: str
+    markdown_path: str
+
+    @property
+    def complete(self) -> bool:
+        """True iff every enumerated grid point has a merged row."""
+        return not self.missing
+
+
+def merge_farm(
+    spec: Union[str, FarmSpec],
+    out_base: Optional[str] = None,
+    compact: bool = False,
+) -> MergeResult:
+    """Union all shards into the single-process sweep's outputs.
+
+    Writes (atomically, so concurrent merges never tear):
+
+    * ``merged.jsonl`` — the spec header plus one row per completed
+      point in grid enumeration order; a byte-stable canonical stream
+      that ``repro sweep --resume`` accepts and re-merging reproduces.
+    * ``merged.json`` — the aggregated per-load rows
+      (:func:`repro.eval.sweeps.write_sweep_json` schema, same as
+      ``repro sweep``).
+    * ``merged.md`` — the markdown latency table the committed
+      ``results/sweep_*.md`` studies use.
+
+    Merging is idempotent: the merged stream is itself a row source, so
+    ``merge(merge(X)) == merge(X)`` even after ``compact=True`` deletes
+    the per-worker shards whose rows it just folded in.  Compaction
+    refuses to run while any fresh lease exists (a live worker may be
+    appending).
+    """
+    farm = load_farm(spec) if isinstance(spec, str) else spec
+    rows, partial_lines = scan_rows(farm)
+    deduped = merge_rows(rows)
+    duplicates = len(rows) - len(deduped)
+    points = farm.points()
+    grid_hashes = {p.point_hash for p in points}
+    dropped = len([ph for ph in deduped if ph not in grid_hashes])
+    ordered = [
+        deduped[p.point_hash] for p in points if p.point_hash in deduped
+    ]
+    missing = tuple(p for p in points if p.point_hash not in deduped)
+
+    base = out_base or os.path.join(farm.root, "merged")
+    # The canonical stream always lives in the queue directory: it is a
+    # row source for future merges (that is what makes merge idempotent
+    # and compaction safe), so redirecting it with ``out_base`` would
+    # fork the queue's memory.  ``out_base`` redirects the reports only.
+    stream_path = merged_stream_path(farm)
+    tmp = "%s.tmp-%d-%d" % (stream_path, os.getpid(), next(_unique))
+    with open(tmp, "w") as fh:
+        fh.write(json.dumps(farm.header) + "\n")
+        for row in ordered:
+            fh.write(json.dumps(dict(_point_to_json(row), point=row["point"]))
+                     + "\n")
+    os.replace(tmp, stream_path)
+
+    aggregated = _aggregate(ordered, farm.designs, farm.loads)
+    sweep_spec = farm.header["sweep_spec"]
+    meta = {
+        "workload": sweep_spec["workload"],
+        "kernel": sweep_spec["kernel"],
+        "size": "%dx%d" % (sweep_spec["cfg"]["width"],
+                           sweep_spec["cfg"]["height"]),
+        "designs": list(farm.designs),
+        "loads": list(farm.loads),
+        "seeds": list(farm.seeds),
+        "measure_cycles": sweep_spec["measure_cycles"],
+        "farm": {
+            "spec_hash": farm.spec_hash,
+            "points": len(points),
+            "done": len(ordered),
+            "duplicates": duplicates,
+            "partial_lines": partial_lines,
+        },
+    }
+    json_path = write_sweep_json(base + ".json", aggregated, meta=meta)
+    markdown_path = base + ".md"
+    tmp = "%s.tmp-%d-%d" % (markdown_path, os.getpid(), next(_unique))
+    with open(tmp, "w") as fh:
+        fh.write(_merged_markdown(farm, aggregated, len(ordered), len(points)))
+    os.replace(tmp, markdown_path)
+
+    if compact:
+        _compact(farm)
+    return MergeResult(
+        spec_hash=farm.spec_hash,
+        total_points=len(points),
+        done_points=len(ordered),
+        missing=missing,
+        duplicates=duplicates,
+        partial_lines=partial_lines,
+        dropped_outside_grid=dropped,
+        stream_path=stream_path,
+        json_path=json_path,
+        markdown_path=markdown_path,
+    )
+
+
+def _merged_markdown(
+    spec: FarmSpec,
+    aggregated: List[Dict[str, Any]],
+    done: int,
+    total: int,
+) -> str:
+    """GitHub-flavoured markdown for a merged queue."""
+    sweep_spec = spec.header["sweep_spec"]
+    pretty = format_sweep_rows(aggregated)
+    lines = [
+        "# %s on %dx%d (%s kernel) — farm %s"
+        % (sweep_spec["workload"], sweep_spec["cfg"]["width"],
+           sweep_spec["cfg"]["height"], sweep_spec["kernel"],
+           spec.spec_hash),
+        "",
+        "Mean head latency in cycles; `*` marks saturated points. "
+        "%d/%d grid points merged from farm shards "
+        "(`python -m repro farm merge`)." % (done, total),
+        "",
+    ]
+    if pretty:
+        # A partially merged farm has ragged rows (a design can be
+        # missing at some loads), so union the columns across all rows.
+        headers: List[str] = []
+        for row in pretty:
+            headers.extend(h for h in row if h not in headers)
+        lines.append("| " + " | ".join(headers) + " |")
+        lines.append("| " + " | ".join("---:" for _ in headers) + " |")
+        for row in pretty:
+            lines.append(
+                "| " + " | ".join(str(row.get(h, "")) for h in headers) + " |"
+            )
+    else:
+        lines.append("(no completed points)")
+    return "\n".join(lines) + "\n"
+
+
+def _fresh_leases(spec: FarmSpec, ttl: float = DEFAULT_LEASE_TTL) -> List[str]:
+    leases = _leases_dir(spec)
+    if not os.path.isdir(leases):
+        return []
+    fresh = []
+    for name in sorted(os.listdir(leases)):
+        if not name.endswith(".lease"):
+            continue
+        path = os.path.join(leases, name)
+        if not _lease_stale(path, ttl):
+            fresh.append(name[: -len(".lease")])
+    return fresh
+
+
+def _compact(spec: FarmSpec) -> None:
+    """Delete per-worker shards whose rows the merged stream now holds."""
+    fresh = _fresh_leases(spec)
+    if fresh:
+        raise RuntimeError(
+            "refusing to compact %s: %d fresh lease(s) held (workers may "
+            "be appending); merge again once the farm is quiescent"
+            % (spec.root, len(fresh))
+        )
+    for path in _shard_files(spec):
+        os.unlink(path)
+
+
+# ----------------------------------------------------------------------
+# Status / import
+# ----------------------------------------------------------------------
+
+def farm_status(
+    spec: Union[str, FarmSpec], lease_ttl: float = DEFAULT_LEASE_TTL
+) -> Dict[str, Any]:
+    """Queue health: point, lease, shard and torn-line accounting."""
+    farm = load_farm(spec) if isinstance(spec, str) else spec
+    rows, partial_lines = scan_rows(farm)
+    deduped = merge_rows(rows)
+    points = farm.points()
+    done = [p for p in points if p.point_hash in deduped]
+    leases = _leases_dir(farm)
+    held = sorted(
+        name[: -len(".lease")]
+        for name in (os.listdir(leases) if os.path.isdir(leases) else [])
+        if name.endswith(".lease")
+    )
+    fresh = set(_fresh_leases(farm, lease_ttl))
+    return {
+        "spec_hash": farm.spec_hash,
+        "points": len(points),
+        "done": len(done),
+        "pending": len(points) - len(done),
+        "leases_fresh": len([ph for ph in held if ph in fresh]),
+        "leases_stale": len([ph for ph in held if ph not in fresh]),
+        "shards": len(_shard_files(farm)),
+        "rows": len(rows),
+        "duplicates": len(rows) - len(deduped),
+        "partial_lines": partial_lines,
+    }
+
+
+def import_stream(
+    spec: Union[str, FarmSpec], stream_path: str, name: Optional[str] = None
+) -> Dict[str, int]:
+    """Adopt a ``repro sweep`` stream of the same spec as a farm shard.
+
+    The stream's content-hashed header must match the queue's spec hash
+    (header-less legacy streams are refused: there is no way to prove
+    they are comparable).  Complete rows whose (design, load, seed) is
+    in the grid are rewritten — annotated with their point hash — into
+    ``shards/import-<name>.jsonl`` and marked done, so workers stop
+    re-running them immediately.  Torn lines and rows outside the grid
+    are counted and skipped.
+    """
+    farm = load_farm(spec) if isinstance(spec, str) else spec
+    header = read_sweep_header(stream_path)
+    if header is None:
+        raise ValueError(
+            "refusing to import %s: no sweep-spec header (legacy "
+            "header-less streams cannot be proven compatible)" % stream_path
+        )
+    if header.get("spec_hash") != farm.spec_hash:
+        raise ValueError(
+            "refusing to import %s: stream spec hash %s does not match "
+            "farm spec hash %s"
+            % (stream_path, header.get("spec_hash"), farm.spec_hash)
+        )
+    points = read_sweep_stream(stream_path, skip_partial=True)
+    by_key = {
+        (p.design, p.load, p.seed): p.point_hash for p in farm.points()
+    }
+    stem = name or os.path.splitext(os.path.basename(stream_path))[0]
+    shard = _open_shard(shard_path(farm, "import-%s" % stem))
+    imported = outside = 0
+    try:
+        for row in points:
+            key = (str(row["design"]), float(row["load"]), int(row["seed"]))
+            ph = by_key.get(key)
+            if ph is None:
+                outside += 1
+                continue
+            shard.write(json.dumps(dict(_point_to_json(row), point=ph)) + "\n")
+            _mark_done(farm, ph, "import-%s" % stem)
+            imported += 1
+        shard.flush()
+    finally:
+        shard.close()
+    return {"imported": imported, "outside_grid": outside}

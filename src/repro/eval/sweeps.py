@@ -237,13 +237,15 @@ def _point_from_json(data: Dict[str, Any]) -> Dict[str, Any]:
     return point
 
 
-def read_sweep_stream(path: str) -> List[Dict[str, Any]]:
+def read_sweep_stream(
+    path: str, skip_partial: bool = False
+) -> List[Dict[str, Any]]:
     """Load the grid points streamed to ``path`` by a previous sweep.
 
-    The first line may be a sweep-spec header (see
-    :func:`make_stream_header`; absent in legacy streams) and is
-    skipped here — :func:`read_sweep_header` returns it.  Every other
-    line is one completed (design, load, seed) grid point::
+    The stream may open with a sweep-spec header line (see
+    :func:`make_stream_header`; absent in legacy streams); header lines
+    are skipped here — :func:`read_sweep_header` returns the first one.
+    Every other line is one completed (design, load, seed) grid point::
 
         {"design": "mesh", "load": 2.0, "seed": 1,
          "summary": {"count": ..., "mean_head_latency": ..., ...},
@@ -253,8 +255,16 @@ def read_sweep_stream(path: str) -> List[Dict[str, Any]]:
     field (NaN written as ``null``); latencies are in cycles, throughput
     in accepted flits per measured cycle.  Blank lines are skipped, and
     a truncated *final* line — the signature of a sweep killed mid-write
-    — is discarded so the interrupted point simply re-runs on resume;
-    corruption anywhere else still raises.
+    — is discarded so the interrupted point simply re-runs on resume.
+
+    By default corruption anywhere else still raises (a damaged stream
+    should not be silently half-loaded).  ``skip_partial=True`` instead
+    skips *any* undecodable line, which is the right semantics for the
+    two crash shapes a torn write can leave mid-file: an append-mode
+    shard whose owner crashed mid-row and was later appended to again
+    (:mod:`repro.eval.farm` shards), and a resumed stream whose header
+    or an earlier row was torn — resume then simply re-runs the points
+    whose rows were lost.
     """
     with open(path) as fh:
         lines = [line.strip() for line in fh]
@@ -264,12 +274,17 @@ def read_sweep_stream(path: str) -> List[Dict[str, Any]]:
         try:
             data = json.loads(line)
         except json.JSONDecodeError:
-            if index == len(lines) - 1:
-                break
+            if skip_partial or index == len(lines) - 1:
+                continue
             raise
-        if index == 0 and isinstance(data, dict) and "sweep_spec" in data:
-            continue
-        points.append(_point_from_json(data))
+        if isinstance(data, dict) and "sweep_spec" in data:
+            continue  # header line (anywhere: merged shards keep one)
+        try:
+            points.append(_point_from_json(data))
+        except (KeyError, TypeError, ValueError):
+            if skip_partial:
+                continue  # complete JSON but not a point row
+            raise
     return points
 
 
@@ -314,7 +329,10 @@ def _run_jobs(
                 "or run window) — delete the file or rerun the original spec"
                 % (stream_path, existing.get("spec_hash"), header.get("spec_hash"))
             )
-        done = read_sweep_stream(stream_path)
+        # Tolerant read: a stream left behind by a crash may carry a
+        # torn line anywhere (mid-write kill, append-after-crash); the
+        # points whose rows were lost simply re-run below.
+        done = read_sweep_stream(stream_path, skip_partial=True)
         seen = {_point_key(p) for p in done}
         jobs = [
             job for job in jobs

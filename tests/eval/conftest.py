@@ -1,0 +1,55 @@
+"""Shared fixtures for the farm test suites.
+
+The farm's correctness story is "row-for-row equality with a
+single-process sweep of the same spec", so most farm tests compare
+against one serial reference sweep.  That sweep is session-scoped: the
+simulations run once and every suite (core, faults, merge properties,
+stress) reuses the rows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.farm import enumerate_farm
+from repro.eval.sweeps import read_sweep_stream, run_workload_sweep
+
+#: Tiny but non-trivial run window shared by every farm test.
+FARM_TINY = dict(warmup_cycles=100, measure_cycles=800, drain_limit=4000)
+
+#: The shared grid: 2 designs x 2 loads x 1 seed = 4 points.
+FARM_GRID = dict(designs=("mesh", "dedicated"), loads=(1.0, 4.0), seeds=(1,))
+
+FARM_WORKLOAD = "PIP"
+
+
+def strip_points(points):
+    """Canonical row list for equality checks: drop the farm-only
+    ``point`` annotation and order by grid key."""
+    return sorted(
+        ({k: v for k, v in p.items() if k != "point"} for p in points),
+        key=lambda p: (p["load"], p["design"], p["seed"]),
+    )
+
+
+@pytest.fixture(scope="session")
+def serial_reference(tmp_path_factory):
+    """One serial sweep of the shared grid: aggregated rows + stream."""
+    path = str(tmp_path_factory.mktemp("serial") / "stream.jsonl")
+    rows = run_workload_sweep(
+        FARM_WORKLOAD, processes=0, stream_path=path,
+        **FARM_GRID, **FARM_TINY,
+    )
+    return {
+        "rows": rows,
+        "points": read_sweep_stream(path),
+        "stream": path,
+    }
+
+
+@pytest.fixture
+def farm_spec(tmp_path):
+    """A fresh queue for the shared grid under this test's tmp dir."""
+    return enumerate_farm(
+        FARM_WORKLOAD, root=str(tmp_path / "farm"), **FARM_GRID, **FARM_TINY
+    )

@@ -1,0 +1,301 @@
+"""Core farm tests: queue, leases, workers, merge, import, CLI.
+
+Crash/fault scenarios live in ``test_farm_faults.py``, merge-idempotency
+properties in ``test_farm_merge_properties.py``, and the real
+multi-process stress run in ``test_farm_stress.py``.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.__main__ import main
+from repro.eval.farm import (
+    acquire_lease,
+    enumerate_farm,
+    farm_status,
+    import_stream,
+    load_farm,
+    merge_farm,
+    point_hash,
+    release_lease,
+    resolve_spec_dir,
+    shard_path,
+    work_on,
+)
+from repro.eval.sweeps import (
+    read_sweep_header,
+    read_sweep_stream,
+    run_workload_sweep,
+    write_sweep_json,
+)
+from tests.eval.conftest import FARM_GRID, FARM_TINY, FARM_WORKLOAD, strip_points
+
+
+def _age_lease(spec, ph, seconds=3600):
+    """Backdate a lease's mtime so it reads as crashed."""
+    path = os.path.join(spec.root, "leases", "%s.lease" % ph)
+    stat = os.stat(path)
+    os.utime(path, (stat.st_atime - seconds, stat.st_mtime - seconds))
+
+
+class TestEnumerate:
+    def test_queue_directory_is_content_addressed(self, farm_spec):
+        assert os.path.basename(farm_spec.root) == farm_spec.spec_hash
+        assert os.path.isfile(os.path.join(farm_spec.root, "spec.json"))
+
+    def test_points_follow_sweep_enumeration_order(self, farm_spec):
+        points = farm_spec.points()
+        assert [(p.load, p.design, p.seed) for p in points] == [
+            (load, design, seed)
+            for load in FARM_GRID["loads"]
+            for design in FARM_GRID["designs"]
+            for seed in FARM_GRID["seeds"]
+        ]
+        assert len({p.point_hash for p in points}) == len(points)
+
+    def test_point_hash_is_stable_and_spec_scoped(self):
+        one = point_hash("abc", "mesh", 1.0, 1)
+        assert one == point_hash("abc", "mesh", 1.0, 1)
+        assert one != point_hash("abc", "mesh", 2.0, 1)
+        assert one != point_hash("def", "mesh", 1.0, 1)
+
+    def test_reenumerate_is_idempotent(self, tmp_path):
+        kwargs = dict(root=str(tmp_path / "farm"), **FARM_GRID, **FARM_TINY)
+        first = enumerate_farm(FARM_WORKLOAD, **kwargs)
+        again = enumerate_farm(FARM_WORKLOAD, **kwargs)
+        assert again == first
+
+    def test_reenumerate_unions_the_grid(self, tmp_path):
+        root = str(tmp_path / "farm")
+        first = enumerate_farm(
+            FARM_WORKLOAD, designs=("mesh",), loads=(1.0,), seeds=(1,),
+            root=root, **FARM_TINY,
+        )
+        wider = enumerate_farm(
+            FARM_WORKLOAD, designs=("mesh", "dedicated"), loads=(2.0, 1.0),
+            seeds=(1, 2), root=root, **FARM_TINY,
+        )
+        assert wider.root == first.root
+        # First-seen order is preserved, new values append.
+        assert wider.loads == (1.0, 2.0)
+        assert wider.designs == ("mesh", "dedicated")
+        assert wider.seeds == (1, 2)
+        # Old point hashes are a subset: finished work is never orphaned.
+        old = {p.point_hash for p in first.points()}
+        assert old <= {p.point_hash for p in wider.points()}
+
+    def test_load_rejects_tampered_spec(self, farm_spec):
+        path = os.path.join(farm_spec.root, "spec.json")
+        data = json.load(open(path))
+        data["sweep_spec"]["workload"] = "VOPD"
+        with open(path, "w") as fh:
+            json.dump(data, fh)
+        with pytest.raises(ValueError, match="inconsistent"):
+            load_farm(farm_spec.root)
+
+    def test_resolve_spec_dir(self, farm_spec, tmp_path):
+        root = os.path.dirname(farm_spec.root)
+        assert resolve_spec_dir(farm_spec.root) == farm_spec.root
+        assert resolve_spec_dir(farm_spec.spec_hash, root=root) == farm_spec.root
+        assert resolve_spec_dir(farm_spec.spec_hash[:6], root=root) \
+            == farm_spec.root
+        with pytest.raises(FileNotFoundError):
+            resolve_spec_dir("nope", root=root)
+
+
+class TestLeases:
+    def test_exclusive_acquisition(self, farm_spec):
+        ph = farm_spec.points()[0].point_hash
+        assert acquire_lease(farm_spec, ph, "a")
+        assert not acquire_lease(farm_spec, ph, "b")
+        release_lease(farm_spec, ph)
+        assert acquire_lease(farm_spec, ph, "b")
+
+    def test_stale_lease_is_stolen(self, farm_spec):
+        ph = farm_spec.points()[0].point_hash
+        assert acquire_lease(farm_spec, ph, "crashed", ttl=600)
+        assert not acquire_lease(farm_spec, ph, "b", ttl=600)
+        _age_lease(farm_spec, ph)
+        assert acquire_lease(farm_spec, ph, "b", ttl=600)
+
+    def test_writer_declared_ttl_wins(self, farm_spec):
+        """A lease declaring a long TTL is not stolen by an impatient
+        worker configured with a short one."""
+        ph = farm_spec.points()[0].point_hash
+        assert acquire_lease(farm_spec, ph, "slow", ttl=100000)
+        _age_lease(farm_spec, ph, seconds=3600)
+        assert not acquire_lease(farm_spec, ph, "fast", ttl=1)
+
+
+class TestWorkAndMerge:
+    def test_single_worker_completes_the_grid(self, farm_spec):
+        assert work_on(farm_spec, worker="w1") == len(farm_spec.points())
+        assert work_on(farm_spec, worker="w2") == 0  # nothing left
+        status = farm_status(farm_spec)
+        assert status["pending"] == 0
+        assert status["leases_fresh"] == status["leases_stale"] == 0
+        assert status["duplicates"] == 0
+
+    def test_rows_are_point_annotated(self, farm_spec):
+        work_on(farm_spec, worker="w1")
+        rows = [
+            json.loads(line)
+            for line in open(shard_path(farm_spec, "w1"))
+        ]
+        hashes = {p.point_hash for p in farm_spec.points()}
+        assert {row["point"] for row in rows} == hashes
+
+    def test_merge_matches_serial_sweep_row_for_row(
+        self, farm_spec, serial_reference
+    ):
+        work_on(farm_spec, worker="w1")
+        result = merge_farm(farm_spec)
+        assert result.complete
+        merged = read_sweep_stream(result.stream_path)
+        assert strip_points(merged) == strip_points(serial_reference["points"])
+
+    def test_merged_stream_resumes_as_a_sweep(
+        self, farm_spec, serial_reference, tmp_path
+    ):
+        """The canonical merged stream is a valid, complete sweep stream:
+        resuming it runs zero new simulations and reproduces the
+        aggregated rows."""
+        work_on(farm_spec, worker="w1")
+        result = merge_farm(farm_spec)
+        resume_path = str(tmp_path / "resume.jsonl")
+        with open(result.stream_path) as src, open(resume_path, "w") as dst:
+            dst.write(src.read())
+        rows = run_workload_sweep(
+            FARM_WORKLOAD, processes=0, stream_path=resume_path,
+            resume=True, **FARM_GRID, **FARM_TINY,
+        )
+        assert rows == serial_reference["rows"]
+
+    def test_merged_json_matches_serial_aggregation(
+        self, farm_spec, serial_reference, tmp_path
+    ):
+        work_on(farm_spec, worker="w1")
+        result = merge_farm(farm_spec)
+        expected = write_sweep_json(
+            str(tmp_path / "serial.json"), serial_reference["rows"]
+        )
+        assert (json.load(open(result.json_path))["rows"]
+                == json.load(open(expected))["rows"])
+        assert os.path.isfile(result.markdown_path)
+        assert "farm %s" % farm_spec.spec_hash in open(result.markdown_path).read()
+
+    def test_merge_is_idempotent_at_file_level(self, farm_spec):
+        work_on(farm_spec, worker="w1")
+        first = merge_farm(farm_spec)
+        bytes_first = open(first.stream_path, "rb").read()
+        second = merge_farm(farm_spec)
+        assert open(second.stream_path, "rb").read() == bytes_first
+        assert (json.load(open(first.json_path))["rows"]
+                == json.load(open(second.json_path))["rows"])
+
+    def test_compact_folds_shards_into_merged_stream(self, farm_spec):
+        work_on(farm_spec, worker="w1")
+        result = merge_farm(farm_spec, compact=True)
+        assert farm_status(farm_spec)["shards"] == 0
+        again = merge_farm(farm_spec)
+        assert again.complete
+        assert (open(again.stream_path, "rb").read()
+                == open(result.stream_path, "rb").read())
+
+    def test_compact_refuses_while_leases_are_fresh(self, farm_spec):
+        work_on(farm_spec, worker="w1")
+        ph = farm_spec.points()[0].point_hash
+        os.unlink(os.path.join(farm_spec.root, "done", ph))
+        assert acquire_lease(farm_spec, ph, "live")
+        with pytest.raises(RuntimeError, match="refusing to compact"):
+            merge_farm(farm_spec, compact=True)
+
+    def test_merge_reports_missing_points(self, farm_spec):
+        work_on(farm_spec, worker="w1", max_points=2)
+        result = merge_farm(farm_spec)
+        assert not result.complete
+        assert result.done_points == 2
+        assert len(result.missing) == 2
+
+
+class TestImport:
+    def test_sweep_stream_imports_as_shard(self, farm_spec, serial_reference):
+        stats = import_stream(farm_spec, serial_reference["stream"])
+        assert stats == {"imported": 4, "outside_grid": 0}
+        # The imported rows satisfy the whole queue: no work left.
+        assert work_on(farm_spec, worker="w1") == 0
+        result = merge_farm(farm_spec)
+        assert result.complete
+        assert strip_points(read_sweep_stream(result.stream_path)) \
+            == strip_points(serial_reference["points"])
+
+    def test_rows_outside_the_grid_are_skipped(
+        self, tmp_path, serial_reference
+    ):
+        narrow = enumerate_farm(
+            FARM_WORKLOAD, designs=("mesh", "dedicated"), loads=(1.0,),
+            seeds=(1,), root=str(tmp_path / "narrow"), **FARM_TINY,
+        )
+        stats = import_stream(narrow, serial_reference["stream"])
+        assert stats == {"imported": 2, "outside_grid": 2}
+
+    def test_incompatible_stream_is_refused(self, farm_spec, tmp_path):
+        other = str(tmp_path / "other.jsonl")
+        run_workload_sweep(
+            "VOPD", designs=("dedicated",), loads=(1.0,), seeds=(1,),
+            processes=0, stream_path=other, **FARM_TINY,
+        )
+        with pytest.raises(ValueError, match="refusing to import"):
+            import_stream(farm_spec, other)
+
+    def test_headerless_stream_is_refused(
+        self, farm_spec, serial_reference, tmp_path
+    ):
+        legacy = str(tmp_path / "legacy.jsonl")
+        lines = open(serial_reference["stream"]).readlines()
+        with open(legacy, "w") as fh:
+            fh.writelines(lines[1:])
+        assert read_sweep_header(legacy) is None
+        with pytest.raises(ValueError, match="header"):
+            import_stream(farm_spec, legacy)
+
+
+class TestFarmCli:
+    def test_enumerate_work_merge_status_roundtrip(self, tmp_path, capsys):
+        root = str(tmp_path / "farm")
+        main(["farm", "enumerate", "--workload", "PIP",
+              "--designs", "dedicated", "--loads", "1", "--measure", "800",
+              "--root", root, "--quiet"])
+        spec_dir = capsys.readouterr().out.strip()
+        assert os.path.isfile(os.path.join(spec_dir, "spec.json"))
+        main(["farm", "work", "--spec", spec_dir, "--root", root])
+        assert "landed 1 point" in capsys.readouterr().out
+        main(["farm", "merge", "--spec", spec_dir, "--root", root,
+              "--expect-complete"])
+        out = capsys.readouterr().out
+        assert "merged 1/1 points" in out
+        main(["farm", "status", "--spec", spec_dir, "--root", root,
+              "--expect-complete"])
+        assert "%-14s %s" % ("pending", 0) in capsys.readouterr().out
+
+    def test_status_expect_complete_fails_on_pending(self, tmp_path, capsys):
+        root = str(tmp_path / "farm")
+        main(["farm", "enumerate", "--workload", "PIP",
+              "--designs", "dedicated", "--loads", "1,2", "--measure", "800",
+              "--root", root, "--quiet"])
+        spec_dir = capsys.readouterr().out.strip()
+        with pytest.raises(SystemExit, match="incomplete"):
+            main(["farm", "status", "--spec", spec_dir, "--root", root,
+                  "--expect-complete"])
+
+    def test_spec_resolves_by_hash_prefix(self, tmp_path, capsys):
+        root = str(tmp_path / "farm")
+        main(["farm", "enumerate", "--workload", "PIP",
+              "--designs", "dedicated", "--loads", "1", "--measure", "800",
+              "--root", root, "--quiet"])
+        spec_dir = capsys.readouterr().out.strip()
+        spec_hash = os.path.basename(spec_dir)
+        main(["farm", "status", "--spec", spec_hash[:8], "--root", root])
+        assert spec_hash in capsys.readouterr().out

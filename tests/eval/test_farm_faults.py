@@ -1,0 +1,204 @@
+"""Fault-injection suite: the farm recovers from worker crashes.
+
+Each scenario damages a queue the way a real failure would — a worker
+killed between points, a worker killed mid-``write(2)`` leaving a torn
+JSONL line, a shard truncated by a crashed filesystem, a lease held by
+two workers after a steal race — and then asserts the recovered merge is
+row-for-row equal to an uninterrupted single-process sweep of the same
+spec.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.eval.farm import (
+    FarmWorkerCrash,
+    FaultInjector,
+    acquire_lease,
+    farm_status,
+    merge_farm,
+    shard_path,
+    work_on,
+)
+from repro.eval.sweeps import read_sweep_stream
+from tests.eval.conftest import strip_points
+
+
+def _age_all_leases(spec, seconds=3600):
+    leases = os.path.join(spec.root, "leases")
+    for name in os.listdir(leases):
+        path = os.path.join(leases, name)
+        stat = os.stat(path)
+        os.utime(path, (stat.st_atime - seconds, stat.st_mtime - seconds))
+
+
+def _assert_recovered(farm_spec, serial_reference):
+    """The queue merges complete and row-for-row equal to the serial sweep."""
+    result = merge_farm(farm_spec)
+    assert result.complete
+    merged = read_sweep_stream(result.stream_path)
+    assert strip_points(merged) == strip_points(serial_reference["points"])
+    return result
+
+
+class TestWorkerKilledMidShard:
+    def test_crash_leaves_lease_and_loses_nothing_landed(self, farm_spec):
+        with pytest.raises(FarmWorkerCrash):
+            work_on(
+                farm_spec, worker="victim",
+                fault=FaultInjector(after_n_points=2),
+            )
+        status = farm_status(farm_spec)
+        assert status["done"] == 2
+        # The point being processed keeps its lease — exactly what a
+        # kill -9 leaves behind.
+        assert status["leases_fresh"] + status["leases_stale"] == 1
+
+    def test_second_worker_recovers_after_lease_expiry(
+        self, farm_spec, serial_reference
+    ):
+        with pytest.raises(FarmWorkerCrash):
+            work_on(
+                farm_spec, worker="victim",
+                fault=FaultInjector(after_n_points=2),
+            )
+        # While the crashed worker's lease is fresh its point is skipped:
+        # the rescuer lands the unclaimed remainder of the grid only.
+        assert work_on(farm_spec, worker="rescue") == 1
+        assert not merge_farm(farm_spec).complete
+        # Once the lease expires the point is stolen and re-run.
+        _age_all_leases(farm_spec)
+        assert work_on(farm_spec, worker="rescue") == 1
+        result = _assert_recovered(farm_spec, serial_reference)
+        # The intermediate merge wrote 3 rows into merged.jsonl, which
+        # the final merge re-reads as a row source alongside the shards:
+        # those 3 re-reads are counted (and deduped) as duplicates.
+        assert result.duplicates == 3
+
+    def test_crash_on_first_point_recovers(self, farm_spec, serial_reference):
+        with pytest.raises(FarmWorkerCrash):
+            work_on(
+                farm_spec, worker="victim",
+                fault=FaultInjector(after_n_points=0),
+            )
+        _age_all_leases(farm_spec)
+        assert work_on(farm_spec, worker="rescue") == len(farm_spec.points())
+        _assert_recovered(farm_spec, serial_reference)
+
+
+class TestTornShardLine:
+    def test_injected_torn_write_is_skipped_and_rerun(
+        self, farm_spec, serial_reference
+    ):
+        """Crash mid-``write``: half a row reaches the shard, no newline,
+        no completion marker.  The torn fragment must be ignored and the
+        point re-run, not trusted."""
+        with pytest.raises(FarmWorkerCrash):
+            work_on(
+                farm_spec, worker="victim",
+                fault=FaultInjector(after_n_points=1, torn_write=True),
+            )
+        victim_shard = open(shard_path(farm_spec, "victim"), "rb").read()
+        assert not victim_shard.endswith(b"\n")  # really torn
+        _age_all_leases(farm_spec)
+        assert work_on(farm_spec, worker="rescue") == 3
+        result = _assert_recovered(farm_spec, serial_reference)
+        assert result.partial_lines == 1
+
+    def test_hand_truncated_final_line(self, farm_spec, serial_reference):
+        """A shard truncated mid-row by the filesystem (not by our own
+        fault hook) merges the same way: the torn row's point re-runs."""
+        work_on(farm_spec, worker="victim", max_points=2)
+        path = shard_path(farm_spec, "victim")
+        lines = open(path, "rb").read().splitlines(keepends=True)
+        with open(path, "wb") as fh:
+            fh.writelines(lines[:-1])
+            fh.write(lines[-1][: len(lines[-1]) // 2])
+        # The done marker claims the point landed but its row is gone:
+        # drop the marker the way the crash that truncated the shard
+        # would have prevented it from being published.
+        truncated = json.loads(lines[-1])["point"]
+        os.unlink(os.path.join(farm_spec.root, "done", truncated))
+        assert work_on(farm_spec, worker="rescue") == 3
+        result = _assert_recovered(farm_spec, serial_reference)
+        assert result.partial_lines == 1
+
+    def test_crashed_worker_id_can_resume_its_own_torn_shard(
+        self, farm_spec, serial_reference
+    ):
+        """Restarting under the same worker id must repair the torn tail
+        before appending, or the next good row is glued to the fragment
+        and both are lost."""
+        with pytest.raises(FarmWorkerCrash):
+            work_on(
+                farm_spec, worker="victim",
+                fault=FaultInjector(after_n_points=1, torn_write=True),
+            )
+        _age_all_leases(farm_spec)
+        assert work_on(farm_spec, worker="victim") == 3
+        result = _assert_recovered(farm_spec, serial_reference)
+        assert result.partial_lines == 1
+
+
+class TestDoubleClaim:
+    def test_stolen_lease_duplicates_merge_away(
+        self, farm_spec, serial_reference
+    ):
+        """A zombie worker finishing after its lease was stolen writes a
+        duplicate row; the content-addressed merge keeps exactly one."""
+        first = farm_spec.points()[0]
+        # Zombie claims the point, then stalls long enough for its lease
+        # to look dead...
+        assert acquire_lease(farm_spec, first.point_hash, "zombie")
+        _age_all_leases(farm_spec)
+        # ...so a healthy worker steals the stale lease and runs the
+        # same point itself.
+        row = None
+
+        def grab(point, landed):
+            nonlocal row
+            if point.point_hash == first.point_hash:
+                row = landed
+
+        work_on(farm_spec, worker="healthy", on_point=grab)
+        assert row is not None
+        # The zombie wakes up and publishes its own copy of the row.
+        with open(shard_path(farm_spec, "zombie"), "w") as fh:
+            fh.write(json.dumps(row) + "\n")
+        status = farm_status(farm_spec)
+        assert status["rows"] == len(farm_spec.points()) + 1
+        assert status["duplicates"] == 1
+        result = _assert_recovered(farm_spec, serial_reference)
+        assert result.duplicates == 1
+
+    def test_marker_loss_does_not_requeue_landed_rows(
+        self, farm_spec, serial_reference
+    ):
+        """Completion markers are an optimisation, not the ground truth:
+        if the done/ directory is wiped, the rows already sitting in
+        shards still stop workers from re-running their points."""
+        work_on(farm_spec, worker="first")
+        done = os.path.join(farm_spec.root, "done")
+        for name in os.listdir(done):
+            os.unlink(os.path.join(done, name))
+        assert work_on(farm_spec, worker="second") == 0
+        result = _assert_recovered(farm_spec, serial_reference)
+        assert result.duplicates == 0
+
+    def test_whole_shard_double_publish_is_deduped(
+        self, farm_spec, serial_reference
+    ):
+        """Worst case: a zombie re-publishes every row (its whole shard
+        is duplicated).  Every point then has two bit-identical rows;
+        the merge is still exactly the serial sweep."""
+        work_on(farm_spec, worker="first")
+        with open(shard_path(farm_spec, "first")) as src:
+            payload = src.read()
+        with open(shard_path(farm_spec, "zombie"), "w") as dst:
+            dst.write(payload)
+        status = farm_status(farm_spec)
+        assert status["duplicates"] == len(farm_spec.points())
+        result = _assert_recovered(farm_spec, serial_reference)
+        assert result.duplicates == len(farm_spec.points())

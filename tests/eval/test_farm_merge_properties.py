@@ -1,0 +1,183 @@
+"""Property tests: the farm merge is a deterministic set union.
+
+Randomized (but seeded) shard arrangements of the same underlying rows
+must all merge to the same result:
+
+* idempotency — ``merge(merge(X)) == merge(X)`` at the byte level;
+* permutation invariance — shard order, row order within shards, and
+  how rows are split across shards are all irrelevant;
+* duplication invariance — repeating rows (the at-least-once execution
+  the lease protocol permits) changes nothing;
+* corruption determinism — even for conflicting duplicates the winner
+  is a pure function of the row *set*, never of arrival order.
+
+Each property runs across ``N_SEEDS`` seeded :class:`random.Random`
+arrangements, so failures replay exactly.
+"""
+
+import copy
+import json
+import os
+import random
+
+import pytest
+
+from repro.eval.farm import enumerate_farm, merge_farm, merge_rows, shard_path
+from repro.eval.sweeps import _point_to_json
+from tests.eval.conftest import FARM_GRID, FARM_TINY, FARM_WORKLOAD
+
+N_SEEDS = 24
+
+
+class _Torn:
+    """A row stand-in that serialises to a torn (undecodable) line."""
+
+    def __init__(self, text):
+        self.text = text
+
+
+def _encode(row):
+    """Shard-line encoding for a decoded row (or a torn fragment)."""
+    if isinstance(row, _Torn):
+        return row.text
+    return json.dumps(dict(_point_to_json(row), point=row["point"]))
+
+
+@pytest.fixture(scope="module")
+def base_rows(serial_reference, tmp_path_factory):
+    """The serial sweep's rows annotated with their farm point hashes."""
+    root = str(tmp_path_factory.mktemp("props") / "farm")
+    spec = enumerate_farm(
+        FARM_WORKLOAD, root=root, **FARM_GRID, **FARM_TINY
+    )
+    by_key = {(p.design, p.load, p.seed): p.point_hash for p in spec.points()}
+    rows = []
+    for row in serial_reference["points"]:
+        key = (row["design"], row["load"], row["seed"])
+        rows.append(dict(row, point=by_key[key]))
+    assert len(rows) == len(spec.points())
+    return rows
+
+
+def _random_arrangement(rng, rows, max_shards=5, duplicate=True):
+    """Split ``rows`` into shards at random: random order, random shard
+    assignment, random duplication (each row lands 1-3 times)."""
+    pool = []
+    for row in rows:
+        copies = rng.randint(1, 3) if duplicate else 1
+        pool.extend(copy.deepcopy(row) for _ in range(copies))
+    rng.shuffle(pool)
+    shards = [[] for _ in range(rng.randint(1, max_shards))]
+    for row in pool:
+        rng.choice(shards).append(row)
+    return [shard for shard in shards if shard]
+
+
+class TestMergeRowsFunction:
+    """Properties of the pure :func:`merge_rows` winner rule."""
+
+    @pytest.mark.parametrize("seed", range(N_SEEDS))
+    def test_permutation_and_duplication_invariance(self, base_rows, seed):
+        rng = random.Random(seed)
+        reference = merge_rows(base_rows)
+        shards = _random_arrangement(rng, base_rows)
+        arranged = merge_rows([row for shard in shards for row in shard])
+        assert arranged == reference
+
+    @pytest.mark.parametrize("seed", range(N_SEEDS))
+    def test_merge_is_idempotent(self, base_rows, seed):
+        rng = random.Random(seed)
+        shards = _random_arrangement(rng, base_rows)
+        once = merge_rows([row for shard in shards for row in shard])
+        assert merge_rows(list(once.values())) == once
+
+    @pytest.mark.parametrize("seed", range(N_SEEDS))
+    def test_conflicting_duplicates_resolve_order_independently(
+        self, base_rows, seed
+    ):
+        """If duplicates for one point ever *disagree* (which only
+        corruption can produce), the winner must still be a function of
+        the set of rows, not of the order they were scanned in."""
+        rng = random.Random(seed)
+        conflicted = [copy.deepcopy(r) for r in base_rows]
+        victim = copy.deepcopy(rng.choice(conflicted))
+        victim["throughput"] = float(rng.randint(1, 10**6))
+        conflicted.append(victim)
+        forward = merge_rows(conflicted)
+        backward = merge_rows(list(reversed(conflicted)))
+        shuffled = list(conflicted)
+        rng.shuffle(shuffled)
+        assert merge_rows(shuffled) == forward == backward
+
+
+class TestMergeFarmFiles:
+    """The same properties at the file level, via :func:`merge_farm`."""
+
+    def _queue_with(self, tmp_path, shards):
+        spec = enumerate_farm(
+            FARM_WORKLOAD, root=str(tmp_path / "farm"),
+            **FARM_GRID, **FARM_TINY,
+        )
+        for index, shard in enumerate(shards):
+            with open(shard_path(spec, "w%d" % index), "w") as fh:
+                for row in shard:
+                    fh.write(_encode(row) + "\n")
+        return spec
+
+    @pytest.mark.parametrize("seed", range(N_SEEDS))
+    def test_every_arrangement_merges_to_identical_bytes(
+        self, base_rows, tmp_path, seed
+    ):
+        rng = random.Random(seed)
+        plain = self._queue_with(tmp_path / "a", [base_rows])
+        reference = merge_farm(plain)
+        arranged = self._queue_with(
+            tmp_path / "b", _random_arrangement(rng, base_rows)
+        )
+        result = merge_farm(arranged)
+        assert result.complete
+        assert (open(result.stream_path, "rb").read()
+                == open(reference.stream_path, "rb").read())
+        assert (json.load(open(result.json_path))["rows"]
+                == json.load(open(reference.json_path))["rows"])
+
+    @pytest.mark.parametrize("seed", range(0, N_SEEDS, 4))
+    def test_remerge_and_compact_preserve_bytes(
+        self, base_rows, tmp_path, seed
+    ):
+        rng = random.Random(seed)
+        spec = self._queue_with(
+            tmp_path, _random_arrangement(rng, base_rows)
+        )
+        first = merge_farm(spec)
+        bytes_first = open(first.stream_path, "rb").read()
+        # merge(merge(X)) == merge(X): the merged stream feeds back in.
+        second = merge_farm(spec)
+        assert open(second.stream_path, "rb").read() == bytes_first
+        # ...and stays stable once the shards are compacted away.
+        third = merge_farm(spec, compact=True)
+        fourth = merge_farm(spec)
+        assert open(third.stream_path, "rb").read() == bytes_first
+        assert open(fourth.stream_path, "rb").read() == bytes_first
+
+    @pytest.mark.parametrize("seed", range(0, N_SEEDS, 4))
+    def test_random_torn_fragments_change_nothing(
+        self, base_rows, tmp_path, seed
+    ):
+        """Torn half-rows sprinkled through the shards never affect the
+        merged bytes — they are skipped, not repaired into rows."""
+        rng = random.Random(seed)
+        plain = self._queue_with(tmp_path / "a", [base_rows])
+        reference = merge_farm(plain)
+        shards = _random_arrangement(rng, base_rows)
+        for shard in shards:
+            if rng.random() < 0.7:
+                fragment = _encode(rng.choice(base_rows))
+                cut = rng.randint(1, max(1, len(fragment) - 2))
+                shard.insert(rng.randrange(len(shard) + 1),
+                             _Torn(fragment[:cut]))
+        spec = self._queue_with(tmp_path / "b", shards)
+        result = merge_farm(spec)
+        assert result.complete
+        assert (open(result.stream_path, "rb").read()
+                == open(reference.stream_path, "rb").read())

@@ -1,0 +1,114 @@
+"""Concurrency stress: real worker processes racing over one queue.
+
+``SMART_FARM_STRESS_WORKERS`` sets the process count (default 2 so the
+tier-1 run stays cheap; CI's dedicated farm-smoke job exports 4).  The
+assertions are the farm's whole contract at once:
+
+* exactly-once claim accounting — every grid point lands in exactly one
+  shard, no duplicates, no leftover leases;
+* bit-identical counters — the merged stream and the aggregated JSON
+  rows equal a single-process sweep of the same spec, byte for byte.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.eval.farm import (
+    enumerate_farm,
+    farm_status,
+    merge_farm,
+    work_many,
+    work_on,
+)
+from repro.eval.sweeps import (
+    read_sweep_stream,
+    run_workload_sweep,
+    write_sweep_json,
+)
+from tests.eval.conftest import FARM_TINY, strip_points
+
+#: Worker process count; CI's farm-smoke job raises this to 4.
+STRESS_WORKERS = int(os.environ.get("SMART_FARM_STRESS_WORKERS", "2"))
+
+#: A grid big enough that workers genuinely interleave claims.
+STRESS_GRID = dict(
+    designs=("mesh", "dedicated"), loads=(1.0, 2.0, 4.0), seeds=(1, 2)
+)
+STRESS_WORKLOAD = "VOPD"
+N_POINTS = 12
+
+
+@pytest.fixture(scope="module")
+def stress_farm(tmp_path_factory):
+    """One farm queue worked by ``STRESS_WORKERS`` real processes, plus
+    the serial reference sweep of the same spec."""
+    base = tmp_path_factory.mktemp("stress")
+    serial_stream = str(base / "serial.jsonl")
+    serial_rows = run_workload_sweep(
+        STRESS_WORKLOAD, processes=0, stream_path=serial_stream,
+        **STRESS_GRID, **FARM_TINY,
+    )
+    spec = enumerate_farm(
+        STRESS_WORKLOAD, root=str(base / "farm"), **STRESS_GRID, **FARM_TINY
+    )
+    work_many(spec, STRESS_WORKERS, worker_prefix="stress")
+    return {
+        "spec": spec,
+        "serial_rows": serial_rows,
+        "serial_points": read_sweep_stream(serial_stream),
+    }
+
+
+def test_grid_size_matches_module_constant(stress_farm):
+    assert len(stress_farm["spec"].points()) == N_POINTS
+
+
+def test_exactly_once_claim_accounting(stress_farm):
+    spec = stress_farm["spec"]
+    status = farm_status(spec)
+    assert status["done"] == N_POINTS
+    assert status["pending"] == 0
+    # Every point ran exactly once: N rows total across all shards, no
+    # point claimed (or landed) twice, no torn lines, no leases behind.
+    assert status["rows"] == N_POINTS
+    assert status["duplicates"] == 0
+    assert status["partial_lines"] == 0
+    assert status["leases_fresh"] == status["leases_stale"] == 0
+    # Every completion marker names the worker that owns the row.
+    done_dir = os.path.join(spec.root, "done")
+    assert len(os.listdir(done_dir)) == N_POINTS
+
+
+def test_every_worker_shard_is_disjoint(stress_farm):
+    spec = stress_farm["spec"]
+    shards_dir = os.path.join(spec.root, "shards")
+    seen = {}
+    for name in sorted(os.listdir(shards_dir)):
+        for line in open(os.path.join(shards_dir, name)):
+            point = json.loads(line)["point"]
+            assert point not in seen, (
+                "point %s landed in both %s and %s" % (point, seen[point], name)
+            )
+            seen[point] = name
+    assert len(seen) == N_POINTS
+
+
+def test_merged_counters_bit_identical_to_serial(stress_farm, tmp_path):
+    spec = stress_farm["spec"]
+    result = merge_farm(spec)
+    assert result.complete
+    assert result.duplicates == 0
+    merged_points = read_sweep_stream(result.stream_path)
+    assert strip_points(merged_points) \
+        == strip_points(stress_farm["serial_points"])
+    serial_json = write_sweep_json(
+        str(tmp_path / "serial.json"), stress_farm["serial_rows"]
+    )
+    assert (json.load(open(result.json_path))["rows"]
+            == json.load(open(serial_json))["rows"])
+
+
+def test_completed_queue_offers_no_work(stress_farm):
+    assert work_on(stress_farm["spec"], worker="latecomer") == 0

@@ -320,6 +320,47 @@ class TestStreaming:
         with pytest.raises(json.JSONDecodeError):
             read_sweep_stream(path)
 
+    def test_resume_survives_partial_line_mid_file(self, tmp_path):
+        """A crashed-then-resumed sweep can leave the torn fragment in
+        the *middle* of the stream (good rows appended after it).
+        Resume must skip the fragment and re-run only its point — this
+        is the shape farm shards recover from, and it used to raise."""
+        path = str(tmp_path / "stream.jsonl")
+        kwargs = dict(
+            app="PIP", designs=("dedicated",), scales=(1.0, 4.0),
+            seeds=(1,), processes=0, **_TINY,
+        )
+        full = run_load_sweep(stream_path=path, **kwargs)
+        lines = open(path).readlines()
+        with open(path, "w") as fh:
+            fh.write(lines[0])  # header
+            fh.write(lines[1][: len(lines[1]) // 2] + "\n")  # torn point
+            fh.write(lines[2])  # later point, fully written
+        # The strict reader still refuses mid-file damage...
+        with pytest.raises(json.JSONDecodeError):
+            read_sweep_stream(path)
+        # ...but the tolerant reader and resume recover it.
+        assert len(read_sweep_stream(path, skip_partial=True)) == 1
+        resumed = run_load_sweep(stream_path=path, resume=True, **kwargs)
+        assert resumed == full
+        assert len(read_sweep_stream(path)) == 2
+
+    def test_skip_partial_tolerates_damaged_header(self, tmp_path):
+        """skip_partial reads the rows even when the header line itself
+        was torn (the rows carry everything a reader needs)."""
+        path = str(tmp_path / "stream.jsonl")
+        run_load_sweep(
+            stream_path=path, app="PIP", designs=("dedicated",),
+            scales=(1.0, 4.0), seeds=(1,), processes=0, **_TINY,
+        )
+        lines = open(path).readlines()
+        with open(path, "w") as fh:
+            fh.write(lines[0][: len(lines[0]) // 2] + "\n")
+            fh.writelines(lines[1:])
+        with pytest.raises(json.JSONDecodeError):
+            read_sweep_stream(path)
+        assert len(read_sweep_stream(path, skip_partial=True)) == 2
+
     def test_point_json_roundtrip_preserves_nan(self):
         point = {
             "design": "mesh", "load": 2.0, "seed": 3,

@@ -14,7 +14,7 @@ class TestParser:
         )
         assert set(sub.choices) == {
             "table1", "table2", "chip", "fig7", "fig10a", "fig10b", "run",
-            "apps", "sweep", "workloads", "plot", "lint",
+            "apps", "sweep", "workloads", "plot", "lint", "farm",
         }
 
     def test_run_requires_design(self):
