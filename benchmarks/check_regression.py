@@ -70,12 +70,22 @@ def iter_speedups(doc: object) -> Iterator[Tuple[str, float]]:
 
 
 def comparable_machines(baseline: dict, fresh: dict) -> bool:
-    """True when both environment stamps exist and match on MACHINE_KEYS."""
+    """True when both environment stamps exist and match on MACHINE_KEYS.
+
+    Every key must be *present* in both stamps: two files that both
+    omit ``cpu_count`` (older baselines) would otherwise compare equal
+    on ``None == None`` and gate absolute rates across an unknown
+    core-count difference — cross-core-count deltas must warn, not
+    fail.
+    """
     env_a = baseline.get("environment")
     env_b = fresh.get("environment")
     if not isinstance(env_a, dict) or not isinstance(env_b, dict):
         return False
-    return all(env_a.get(key) == env_b.get(key) for key in MACHINE_KEYS)
+    return all(
+        key in env_a and key in env_b and env_a[key] == env_b[key]
+        for key in MACHINE_KEYS
+    )
 
 
 def comparable_runs(baseline: dict, fresh: dict) -> bool:

@@ -1,0 +1,164 @@
+"""Farmed multi-seed saturation study: 8 seeds, 95% confidence bands.
+
+Two 8x8 saturation curves — uniform random (seed-sensitive destination
+draws, so every replication sweeps a *different* flow set) and
+transpose (one deterministic flow set, replications differ only in
+injection timing) — each run at 8 traffic seeds per grid point through
+``repro.eval.farm`` queues:
+
+* ``farm enumerate`` content-addresses one queue per pattern (spec hash
+  shared with sweep streams, so an interrupted study resumes for free
+  and a rerun never repeats finished points);
+* one or more cooperating workers drain the queue
+  (``SMART_MULTISEED_PROCS`` real processes; default 1);
+* ``farm merge`` folds the shards into the canonical merged stream and
+  aggregated rows — whose ``<design>_ci95`` columns (Student-t 95%
+  half-width over the per-seed mean head latencies,
+  ``repro.sim.stats.ci95_halfwidth``) are what this study is about.
+
+The committed report (``results/sweep_multiseed_8x8.md``) prints each
+curve as ``mean ± half-width``: with 8 replications the uniform
+pattern's bands stay wide near the knee (the flow sets themselves
+differ), while transpose's collapse — per-seed spread there is pure
+injection-timing noise.  Saturated points (any seed failing to drain)
+are flagged ``*`` and excluded from the knee comparison.
+
+Grid points use the event kernel — these are exactly the half-idle
+replications the batched lockstep engine (`repro.sim.batch`) was built
+for, and the farm's single-seed points remain bit-identical to the
+batched sweep path (``repro sweep --seeds 8``) by the lockstep
+equivalence contract.
+
+Run:  python examples/multiseed_study.py
+
+Environment:
+    SMART_MULTISEED_PROCS   worker processes per queue (default 1)
+"""
+
+import math
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), "..", "src")
+)
+
+from repro.config import NocConfig  # noqa: E402
+from repro.eval.farm import (  # noqa: E402
+    enumerate_farm,
+    merge_farm,
+    work_many,
+    work_on,
+)
+from repro.eval.sweeps import saturation_load  # noqa: E402
+
+PATTERNS = ("uniform", "transpose")
+DESIGNS = ("mesh", "smart", "dedicated")
+RATES = (0.005, 0.01, 0.02, 0.05, 0.1)
+SEEDS = tuple(range(1, 9))
+PROCS = int(os.environ.get("SMART_MULTISEED_PROCS", "1"))
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+REPORT = os.path.join(RESULTS_DIR, "sweep_multiseed_8x8.md")
+
+
+def run_pattern(pattern):
+    """Farm one pattern's queue to completion; return aggregated rows."""
+    spec = enumerate_farm(
+        pattern,
+        designs=DESIGNS,
+        loads=RATES,
+        seeds=SEEDS,
+        cfg=NocConfig(width=8, height=8),
+        kernel="event",
+        measure_cycles=2000,
+        drain_limit=10000,
+    )
+    total = len(spec.points())
+    print("%s: farm %s (%d points)" % (pattern, spec.spec_hash, total))
+
+    def on_point(point, row):
+        print("  %-10s rate=%-7g seed=%d done"
+              % (point.design, point.load, point.seed))
+
+    if PROCS > 1:
+        work_many(spec, PROCS)
+    else:
+        work_on(spec, on_point=on_point)
+    result = merge_farm(spec, compact=True)
+    assert result.complete, (
+        "farm %s incomplete: %d points missing"
+        % (spec.spec_hash, len(result.missing))
+    )
+    import json
+
+    with open(result.json_path) as fh:
+        return spec, json.load(fh)["rows"]
+
+
+def cell(row, design):
+    """``mean ± hw`` (cycles), ``*``-flagged when any seed saturated."""
+    mean = row.get(design)
+    if mean is None or (isinstance(mean, float) and math.isnan(mean)):
+        return "n/a"
+    half = row.get("%s_ci95" % design)
+    flag = "*" if row.get("%s_saturated" % design) else ""
+    if half is None or (isinstance(half, float) and math.isnan(half)):
+        return "%.2f%s" % (mean, flag)
+    return "%.2f ± %.2f%s" % (mean, half, flag)
+
+
+def pattern_section(pattern, spec, rows):
+    lines = [
+        "## %s (farm `%s`)" % (pattern, spec.spec_hash),
+        "",
+        "| load | " + " | ".join(DESIGNS) + " |",
+        "| ---: | " + " | ".join("---:" for _ in DESIGNS) + " |",
+    ]
+    for row in rows:
+        lines.append(
+            "| %g | " % row["load"]
+            + " | ".join(cell(row, d) for d in DESIGNS) + " |"
+        )
+    lines.append("")
+    for design in DESIGNS:
+        # saturation_load expects the in-memory row schema; the JSON
+        # rows carry the same keys, so it applies directly.
+        knee = saturation_load(rows, design)
+        lines.append(
+            "- %s %s" % (
+                design,
+                "saturates at %g packets/cycle/node" % knee
+                if knee is not None else "never saturates in this sweep",
+            )
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main():
+    sections = []
+    for pattern in PATTERNS:
+        spec, rows = run_pattern(pattern)
+        sections.append(pattern_section(pattern, spec, rows))
+    with open(REPORT, "w") as fh:
+        fh.write(
+            "# Multi-seed saturation study: 8x8, 8 seeds, 95% CI bands\n"
+            "\n"
+            "Mean head latency in cycles, `±` the Student-t 95% "
+            "confidence half-width over 8 per-seed means "
+            "(`repro.sim.stats.ci95_halfwidth`); `*` marks points where "
+            "any seed failed to drain.  Event kernel, 2000 measured "
+            "cycles per point, farmed through `repro.eval.farm` queues "
+            "(point rows are bit-identical to the lockstep-batched "
+            "`repro sweep --seeds 8` path).  Uniform re-draws its flow "
+            "set per seed, so its bands include placement variance; "
+            "transpose's flow set is deterministic, so its bands are "
+            "injection-timing noise only.  Generated by "
+            "`examples/multiseed_study.py`.\n\n"
+        )
+        fh.write("\n".join(sections))
+    print("wrote %s" % REPORT)
+
+
+if __name__ == "__main__":
+    main()

@@ -271,6 +271,7 @@ def _cmd_sweep(args) -> None:
         "designs": list(designs),
         "loads": load_points,
         "seeds": list(seeds),
+        "batched": len(seeds) > 1,
         "measure_cycles": args.measure,
     }
     write_sweep_json(out, rows, meta=meta)

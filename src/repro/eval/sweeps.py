@@ -32,6 +32,16 @@ deterministic permutations) build once per worker and share the flow set
 across every grid point, while seed-sensitive ones (the uniform draw)
 build once per (spec, seed).
 
+Multi-seed sweeps (``seeds`` with more than one entry) default to
+**lockstep batching**: the seed axis folds into one job per (design,
+load) whose worker advances every replication together through
+:func:`repro.sim.batch.run_batched` — the batched event engine when the
+lanes share a workload on the event kernel, the generic lockstep driver
+otherwise — and returns the same per-seed rows serial jobs would,
+bit-identically.  Aggregated rows then carry a ``<design>_ci95`` column
+(Student-t 95% half-width of per-seed mean head latencies) alongside
+the pooled means.
+
 Streaming and resume
 --------------------
 
@@ -65,7 +75,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.config import NocConfig
 from repro.eval.designs import DESIGNS
-from repro.sim.stats import LatencySummary, aggregate_summaries
+from repro.sim.stats import LatencySummary, aggregate_summaries, ci95_halfwidth
 from repro.workloads import (
     BuiltWorkload,
     WorkloadSpec,
@@ -83,7 +93,16 @@ STREAM_FORMAT = "smart-sweep-stream/2"
 
 @dataclasses.dataclass(frozen=True)
 class SweepJob:
-    """One (design, load, seed) grid point, picklable for Pool workers."""
+    """One (design, load, seed) grid point, picklable for Pool workers.
+
+    With ``seeds`` set, the job is one (design, load) point carrying
+    *all* its seed replications: the worker advances them in lockstep
+    through :func:`repro.sim.batch.run_batched` (the batched event
+    engine for same-workload event-kernel lanes, the generic lockstep
+    driver otherwise) and returns one result row per seed — the same
+    rows N single-seed jobs would produce, bit-identically.  ``seed``
+    then holds ``seeds[0]`` and is ignored by the worker.
+    """
 
     design: str
     load: float
@@ -96,6 +115,8 @@ class SweepJob:
     warmup_cycles: int = DEFAULT_RUN_KWARGS["warmup_cycles"]
     measure_cycles: int = DEFAULT_RUN_KWARGS["measure_cycles"]
     drain_limit: int = DEFAULT_RUN_KWARGS["drain_limit"]
+    #: Seed replications to run lockstep-batched (None: single ``seed``).
+    seeds: Optional[Tuple[int, ...]] = None
 
 
 @functools.lru_cache(maxsize=None)
@@ -113,13 +134,62 @@ def _worker_workload(
     return build_workload(spec, cfg, seed=build_seed)
 
 
-def _run_job(job: SweepJob) -> Dict[str, Any]:
-    """Worker entry point: build and run one grid point."""
-    from repro.eval.designs import build_design
+def _point_row(job: SweepJob, seed: int, result, traffic) -> Dict[str, Any]:
     from repro.sim.stats import accepted_flits_per_cycle
+
+    return {
+        "design": job.design,
+        "load": job.load,
+        "seed": seed,
+        "summary": result.summary,
+        "throughput": accepted_flits_per_cycle(
+            result, job.cfg.flits_per_packet
+        ),
+        "saturated": not result.drained,
+        "clamped_flows": len(traffic.clamped_rates),
+    }
+
+
+def _run_job(job: SweepJob):
+    """Worker entry point: build and run one grid point.
+
+    Returns one row dict for a single-seed job, a list of per-seed rows
+    for a batched (``job.seeds``) one.
+    """
+    from repro.eval.designs import build_design
     from repro.sim.traffic import RateScaledTraffic
 
     cfg = job.cfg
+    if job.seeds:
+        from repro.sim.batch import run_batched
+
+        lanes = []
+        traffics = []
+        for seed in job.seeds:
+            built = _worker_workload(
+                job.workload, cfg, build_seed_for(job.workload, seed)
+            )
+            traffic = RateScaledTraffic(
+                cfg, built.flows, scale=job.load, seed=seed,
+                mode=job.traffic_mode,
+            )
+            lanes.append(
+                build_design(
+                    job.design, cfg, built.flows, traffic=traffic,
+                    kernel=job.kernel,
+                ).network
+            )
+            traffics.append(traffic)
+        results = run_batched(
+            lanes,
+            warmup_cycles=job.warmup_cycles,
+            measure_cycles=job.measure_cycles,
+            drain_limit=job.drain_limit,
+        )
+        return [
+            _point_row(job, seed, result, traffic)
+            for seed, result, traffic in zip(job.seeds, results, traffics)
+        ]
     built = _worker_workload(
         job.workload, cfg, build_seed_for(job.workload, job.seed)
     )
@@ -134,15 +204,7 @@ def _run_job(job: SweepJob) -> Dict[str, Any]:
         measure_cycles=job.measure_cycles,
         drain_limit=job.drain_limit,
     )
-    return {
-        "design": job.design,
-        "load": job.load,
-        "seed": job.seed,
-        "summary": result.summary,
-        "throughput": accepted_flits_per_cycle(result, cfg.flits_per_packet),
-        "saturated": not result.drained,
-        "clamped_flows": len(traffic.clamped_rates),
-    }
+    return _point_row(job, job.seed, result, traffic)
 
 
 # ----------------------------------------------------------------------
@@ -161,14 +223,18 @@ def make_stream_header(
     kernel: str,
     traffic_mode: str,
     run_kwargs: Dict[str, int],
+    seeds: Optional[Sequence[int]] = None,
 ) -> Dict[str, Any]:
     """Header line for a sweep stream: the spec plus its content hash.
 
     The spec covers everything that must match for streamed grid points
     to be comparable — workload (name + params), mesh/router config,
     kernel, traffic mode, and the simulation window — but *not* the
-    grid itself (designs/loads/seeds), so a resumed sweep may extend
-    the grid.
+    grid itself (designs/loads), so a resumed sweep may extend the
+    grid.  Multi-seed sweeps (``seeds`` with more than one entry, the
+    ``repro sweep --seeds N`` path) additionally hash the seed set, so
+    resume and farm queues stay content-addressed over the replication
+    axis; single-seed specs keep their historical hashes.
     """
     spec = {
         "format": STREAM_FORMAT,
@@ -181,6 +247,8 @@ def make_stream_header(
         "measure_cycles": run_kwargs["measure_cycles"],
         "drain_limit": run_kwargs["drain_limit"],
     }
+    if seeds is not None and len(seeds) > 1:
+        spec["seeds"] = [int(seed) for seed in seeds]
     return {"sweep_spec": spec, "spec_hash": sweep_spec_hash(spec)}
 
 
@@ -334,10 +402,24 @@ def _run_jobs(
         # points whose rows were lost simply re-run below.
         done = read_sweep_stream(stream_path, skip_partial=True)
         seen = {_point_key(p) for p in done}
-        jobs = [
-            job for job in jobs
-            if (job.design, float(job.load), int(job.seed)) not in seen
-        ]
+        remaining: List[SweepJob] = []
+        for job in jobs:
+            if job.seeds:
+                # Batched point: drop only the seeds already streamed.
+                left = tuple(
+                    s for s in job.seeds
+                    if (job.design, float(job.load), int(s)) not in seen
+                )
+                if not left:
+                    continue
+                if left != tuple(job.seeds):
+                    job = dataclasses.replace(
+                        job, seeds=left, seed=left[0]
+                    )
+                remaining.append(job)
+            elif (job.design, float(job.load), int(job.seed)) not in seen:
+                remaining.append(job)
+        jobs = remaining
 
     stream_fh = None
     if stream_path:
@@ -356,13 +438,16 @@ def _run_jobs(
 
     results: List[Dict[str, Any]] = []
 
-    def emit(point: Dict[str, Any]) -> None:
-        results.append(point)
-        if stream_fh is not None:
-            stream_fh.write(json.dumps(_point_to_json(point)) + "\n")
-            stream_fh.flush()
-        if on_result is not None:
-            on_result(point)
+    def emit(result: Union[Dict[str, Any], List[Dict[str, Any]]]) -> None:
+        # Batched jobs return one row per seed; emit each separately so
+        # the stream and callbacks see the same per-seed rows either way.
+        for point in result if isinstance(result, list) else (result,):
+            results.append(point)
+            if stream_fh is not None:
+                stream_fh.write(json.dumps(_point_to_json(point)) + "\n")
+                stream_fh.flush()
+            if on_result is not None:
+                on_result(point)
 
     try:
         if processes == 0 or len(jobs) <= 1:
@@ -387,9 +472,11 @@ def _aggregate(
     """One row per load, one latency/saturation column group per design.
 
     Per-seed replications pool with count-weighted means
-    (:func:`repro.sim.stats.aggregate_summaries`); throughput averages
-    over seeds; the saturation flag is sticky (any seed failing to drain
-    marks the point) and ``clamped`` reports the worst seed.
+    (:func:`repro.sim.stats.aggregate_summaries`); ``<design>_ci95``
+    carries the Student-t 95% confidence half-width of the per-seed
+    mean head latencies (NaN below two seeds); throughput averages
+    over seeds; the saturation flag is sticky (any seed failing to
+    drain marks the point) and ``clamped`` reports the worst seed.
     """
     rows: List[Dict[str, Any]] = []
     for load in loads:
@@ -405,6 +492,9 @@ def _aggregate(
             )
             row[design] = summary.mean_head_latency
             row["%s_p95" % design] = summary.p95_head_latency
+            row["%s_ci95" % design] = ci95_halfwidth(
+                [p["summary"].mean_head_latency for p in points]
+            )
             row["%s_thrpt" % design] = sum(
                 p["throughput"] for p in points
             ) / len(points)
@@ -422,8 +512,28 @@ def _make_jobs(
     seeds: Sequence[int],
     cfg: NocConfig,
     run_kwargs: Dict[str, int],
+    batch: bool = False,
     **spec,
 ) -> List[SweepJob]:
+    """The grid as picklable jobs.
+
+    ``batch=True`` folds the seed axis into one lockstep-batched job per
+    (design, load) instead of one job per (design, load, seed); see
+    :class:`SweepJob`.
+    """
+    if batch:
+        return [
+            SweepJob(
+                design=design, load=load, seed=seeds[0],
+                seeds=tuple(seeds), cfg=cfg,
+                warmup_cycles=run_kwargs["warmup_cycles"],
+                measure_cycles=run_kwargs["measure_cycles"],
+                drain_limit=run_kwargs["drain_limit"],
+                **spec,
+            )
+            for load in loads
+            for design in designs
+        ]
     return [
         SweepJob(
             design=design, load=load, seed=seed, cfg=cfg,
@@ -450,17 +560,23 @@ def run_workload_sweep(
     on_result: Optional[Callable[[Dict[str, Any]], None]] = None,
     stream_path: Optional[str] = None,
     resume: bool = False,
+    batch: Optional[bool] = None,
     **run_kwargs: int,
 ) -> List[Dict[str, Any]]:
     """Latency vs load for any registered workload, in parallel.
 
     ``loads`` defaults to the workload's own axis defaults (bandwidth
     scales for apps, injection rates for patterns).  Returns one row per
-    load with per-design mean/p95 latency, accepted throughput
-    (flits/cycle), a saturation flag (the run failed to drain) and how
-    many flows were clamped at the injection-port limit.  See the module
-    docstring for the ``on_result``/``stream_path``/``resume`` streaming
-    hooks.
+    load with per-design mean/p95 latency, a 95% confidence half-width
+    over seeds, accepted throughput (flits/cycle), a saturation flag
+    (the run failed to drain) and how many flows were clamped at the
+    injection-port limit.  See the module docstring for the
+    ``on_result``/``stream_path``/``resume`` streaming hooks.
+
+    ``batch`` chooses lockstep-batched seed replications (one job per
+    (design, load) advancing all seeds through
+    :func:`repro.sim.batch.run_batched`, bit-identical to serial runs);
+    ``None`` auto-enables it whenever more than one seed is requested.
     """
     spec = WorkloadSpec.of(workload)
     target = get_workload(spec.name)
@@ -469,11 +585,14 @@ def run_workload_sweep(
     kwargs = dict(DEFAULT_RUN_KWARGS)
     kwargs.update(run_kwargs)
     points = tuple(loads) if loads is not None else target.default_loads
+    do_batch = len(seeds) > 1 if batch is None else batch
     jobs = _make_jobs(
-        designs, points, seeds, base, kwargs,
+        designs, points, seeds, base, kwargs, batch=do_batch,
         workload=spec, kernel=kernel, traffic_mode=traffic_mode,
     )
-    header = make_stream_header(spec, base, kernel, traffic_mode, kwargs)
+    header = make_stream_header(
+        spec, base, kernel, traffic_mode, kwargs, seeds=seeds
+    )
     raw = _run_jobs(jobs, processes, on_result, stream_path, resume, header)
     return _aggregate(raw, designs, points)
 
@@ -524,7 +643,9 @@ def format_sweep_rows(rows: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
     for row in rows:
         pretty: Dict[str, Any] = {"load": row["load"]}
         for key, value in row.items():
-            if key == "load" or key.endswith(("_p95", "_thrpt", "_saturated", "_clamped")):
+            if key == "load" or key.endswith(
+                ("_p95", "_ci95", "_thrpt", "_saturated", "_clamped")
+            ):
                 continue
             flag = "*" if row.get("%s_saturated" % key) else ""
             pretty[key] = (

@@ -5,6 +5,7 @@ Every export is indexed with a one-line summary and its paper anchor in
 """
 
 from repro.sim.arbiter import FixedPriorityArbiter, RoundRobinArbiter
+from repro.sim.batch import BatchedEventNetworks, LockstepNetworks, run_batched
 from repro.sim.buffers import FreeVcQueue, InputBuffer, VirtualChannel
 from repro.sim.flow import Flow, validate_flow_set, xy_route
 from repro.sim.network import Network, RouterConfig
@@ -29,6 +30,7 @@ from repro.sim.stats import (
     StatsCollector,
     accepted_flits_per_cycle,
     aggregate_summaries,
+    ci95_halfwidth,
 )
 from repro.sim.topology import MM_PER_HOP, Mesh, Port
 from repro.sim.traffic import (
@@ -39,6 +41,7 @@ from repro.sim.traffic import (
 )
 
 __all__ = [
+    "BatchedEventNetworks",
     "BernoulliTraffic",
     "BufferEnd",
     "Credit",
@@ -50,6 +53,7 @@ __all__ = [
     "FreeVcQueue",
     "InputBuffer",
     "LatencySummary",
+    "LockstepNetworks",
     "MM_PER_HOP",
     "Mesh",
     "Network",
@@ -72,6 +76,8 @@ __all__ = [
     "accepted_flits_per_cycle",
     "aggregate_summaries",
     "bandwidth_for_injection_rate",
+    "ci95_halfwidth",
+    "run_batched",
     "synthetic_flows",
     "validate_flow_set",
     "xy_route",

@@ -1,0 +1,1765 @@
+"""Batched multi-seed execution of the event kernel.
+
+Load sweeps are seed-replicated by construction: N replications of the
+same built workload (same mapping, routes and presets — only the RNG
+seeds differ) advance through N identical event loops and pay the
+per-event Python overhead N times.  :class:`BatchedEventNetworks`
+adopts N freshly-built ``kernel="event"`` :class:`~repro.sim.network.
+Network` lanes and advances all of them in lockstep through ONE event
+loop, amortizing the per-cycle skeleton, heap traffic and wake
+dispatch across seeds while keeping every lane's counters bit-identical
+to a serial single-seed event run (pinned by the cross-kernel fuzz
+harness, ``tests/sim/test_kernel_fuzz.py``).
+
+Three structural changes make the shared loop pay:
+
+**Struct-of-arrays hot state.**  The event kernel's per-object hot
+attributes (router occupancy, exact active-set membership, per-input
+streaming flags, SA candidate heads, pending reservations, cached next
+wakes) become flat parallel columns indexed by ``ln = lane * num_nodes
++ node`` (or ``lane * num_buffers + buffer``): plain lists and
+bytearrays the loop indexes with integers instead of chasing attribute
+chains through router objects.  Static structure is flattened the same
+way (``buf_flat``/``octx_flat`` tables indexed by ``node * PMAX +
+port``; hand-off VCs as packed ints ``(node * PMAX + port) * VCS +
+vc``).  Per-flit state disappears entirely: a packet moving between
+two stops is one *span record* — a plain list indexed by the ``_R*``
+constants — carrying its send window ``[start, end]`` and a settlement
+cursor, replacing ``size_flits`` Flit objects, two deque operations
+per flit and the per-flit chain replay loops.
+
+**Calendar-queue-lite scheduling.**  Event horizons in the kernel are
+short (a span ends at most ``flits_per_packet + extra`` cycles after
+its grant; credits return after ``1 + credit_latency`` cycles), so the
+shared event queue is a ring of per-cycle buckets — one append to
+schedule, no heap compares — with a small overflow heap for the rare
+far-future event (pre-drawn injection gaps).  Within a cycle, buckets
+are split by kernel phase and processed in the serial kernel's phase
+order (generate, finish, ST, NIC, NIC-finish, SA); within a phase,
+components never observe each other (each stream owns its VCs,
+segment and credit queue — see the ORD001 notes in ``network.py``),
+so bucket order is unobservable.
+
+**Per-router next-wake cache.**  The serial kernel pushes every SA
+wake (head eligibility, credit usability, output release) onto one
+heap and deduplicates at pop via ``sa_cycle``; saturated routers
+accumulate ~4 wakes per segment.  Here each (lane, router) caches ONE
+pending wake cycle (``sa_next``) and the ring holds at most one live
+entry per distinct cached value.  A wake insert re-pushes only when
+the cached next wake changes (a strictly earlier cycle arrives, or the
+cache is empty); later wakes are *dropped* and re-derived when the
+cached scan runs: a scan that cannot grant re-arms itself from state
+(the earliest head eligibility still in the future, or the free-VC
+queue's next pending credit), and blockers with no derivable cycle
+(output reserved, input still streaming) are woken by the teardown
+that clears them.  Credit wakes are gated on the router having any
+candidate head at all, so idle routers are never scanned.  The cache
+invariant (checked by ``sanitizer.check_batch`` in sanitize mode):
+whenever a grant is possible, the cached wake is never later than the
+earliest cycle at which the serial kernel would grant — so no counting
+scan is ever missed.  Skipped scans are provable no-ops: a scan
+touches counters or arbiter state only when it grants (an arbiter with
+a non-empty request set always grants), and the grant cycles are
+reproduced exactly.
+
+Equivalence argument (why lockstep replay is exact):
+
+* Same-cycle events of different lanes are fully independent; within a
+  lane the phase split reproduces the serial kernel's intra-cycle
+  order, and within a phase the serial kernel's own iteration order is
+  already unobservable (disjoint VCs, free-VC queues and arbiters; one
+  segment per start *and* per end, so credit queues are disjoint per
+  (node, input)).
+* Span settlement mirrors the chain calculus of ``network.py``
+  exactly: the same batched counter formulas over the same windows,
+  settled at the same sites (finish events and counter-snapshot
+  syncs), with the same feeder-first ordering (a consumer span settles
+  the span writing its hand-off VC first, recursively).  Floating-
+  point sums stay bit-exact because per-hop millimetres are integral
+  (the CNT001 contract).
+* Clock accounting integrates the exact active set between membership
+  transitions (end-of-cycle sampling: a transition while processing
+  cycle *t* accrues the old membership over ``[last, t)``), which is
+  exact because membership only changes at events.
+* The serial kernel retries NIC injection every cycle; the engine is
+  event-driven (retry at the peeked next-usable credit, or wake on a
+  release), which is unobservable because a failed serial retry has no
+  side effects and free-VC promotion order is timing-invariant (the
+  ready deque is always (usable, seq)-sorted — a credit released
+  after a promotion is usable strictly later than everything already
+  promoted).
+* RNG streams are untouched: the engine calls each lane's own traffic
+  model with the same per-flow call sequence as the serial kernel.
+
+:class:`LockstepNetworks` is the generic fallback driver: it advances
+any mix of network objects implementing the shared ``step()/_sync()``
+protocol (``DedicatedNetwork``, non-event kernels) cycle-by-cycle with
+the serial per-lane run protocol.  It amortizes nothing inside a
+cycle but presents the same batched API, so sweeps and the fuzz
+harness drive every design through one entry point,
+:func:`run_batched`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .network import Network
+from .packet import Packet, _packet_ids
+from .stats import SimResult
+from .traffic import BernoulliTraffic
+from . import sanitizer
+
+__all__ = [
+    "BatchedEventNetworks",
+    "LockstepNetworks",
+    "run_batched",
+    "batch_run_cycles",
+]
+
+# Kernel phases within a cycle, in the serial kernel's order.
+_P_GEN, _P_FIN, _P_ST, _P_NIC, _P_NFIN, _P_SA = range(6)
+_NUM_PHASES = 6
+
+#: Ring size (power of two).  Events further out than this land on the
+#: overflow heap; only pre-drawn injection gaps ever do — adoption
+#: verifies every other horizon (span length, segment extra cycles,
+#: credit latency) fits the ring.
+_RING = 512
+_MASK = _RING - 1
+
+# Span kinds.
+_K_FINAL = 0    # router -> destination NIC (serial _ResChain)
+_K_MID = 1      # router -> buffered stop   (serial _MidChain)
+_K_NIC_BYP = 2  # NIC -> destination NIC    (serial _NicChain)
+_K_NIC_MID = 3  # NIC -> buffered stop      (serial _NicMidChain)
+
+# Span records are plain lists (one packet span: a stream's contiguous
+# send window, replacing the serial kernel's per-flit deques and chain
+# objects), indexed by these slots.  START/END are the first and last
+# send cycles (fixed at grant/injection — granted streams never stall
+# organically, see the no-stall induction in ``network.py``); NEXT is
+# the first send whose counter/occupancy effects have not yet been
+# applied.  FDR links to the span currently writing this span's source
+# VC, so settlement replays hand-off writes before the reads that
+# consume them — the same feeder-first ordering as chain settlement.
+# FKEY/WKEY are packed hand-off VC ids ((node * PMAX + port) * VCS +
+# vc) for the writer registry; SIDX is the span's slot in its lane's
+# stream list (swap-remove).
+(
+    _R_KIND, _R_LANE, _R_LN, _R_BUF, _R_VC, _R_OUT, _R_PKT, _R_ASG,
+    _R_START, _R_END, _R_NEXT, _R_FDR, _R_FKEY, _R_XB, _R_MM, _R_EXTRA,
+    _R_TLN, _R_EPORT, _R_SINK, _R_CEND, _R_WKEY, _R_SIDX, _R_TBUF,
+) = range(23)
+
+# Deferred per-lane counter column slots (see ``self.cnt``): the hot
+# loop accumulates into these indexed lists and _flush_counters folds
+# them into the lane's EventCounters at sync boundaries.
+(
+    _C_XB, _C_MM, _C_PL, _C_BR, _C_BW, _C_CE, _C_CX, _C_CM,
+    _C_SR, _C_SG,
+) = range(10)
+_C_N = 10
+
+# Candidate-head entries (the values of ``head_slots``) are small
+# lists built at insert time with everything a switch-allocation scan
+# needs, so scans run on plain subscripts instead of re-deriving
+# lookups:
+#   [0] key        (in_port, vc) tuple — the arbiter client id
+#   [1] elig       first cycle the head may request SA
+#   [2] out        wanted output port int at this router
+#   [3] packet
+#   [4] buf        flat buffer index of the head's input here
+#   [5] fq         this router's free-VC queue for ``out`` (or None)
+#   [6] arb        this router's arbiter for ``out`` (or None)
+#   [7] octx       this router's output context for ``out`` (or None)
+#   [8] fkey       packed writer key of the span that wrote this head
+# A granted entry has [0] set to None (swept after the scan).
+
+
+def _identity_key(net: Network) -> tuple:
+    """Structural fingerprint adopted lanes must share."""
+    return (
+        net.mesh.width,
+        net.mesh.height,
+        net.cfg.flits_per_packet,
+        net.cfg.vcs_per_port,
+        net.cfg.vc_depth_flits,
+        net.cfg.credit_latency,
+        net.cfg.hpc_max,
+        tuple((f.flow_id, f.src, f.dst) for f in net.flows),
+    )
+
+
+class BatchedEventNetworks:
+    """N event-kernel lanes advancing in lockstep through one loop.
+
+    ``lanes`` must be freshly constructed ``kernel="event"``
+    :class:`Network` instances built from the same workload (identical
+    flows, routes and presets; only traffic seeds differ).  The engine
+    takes ownership: adopted networks must not be stepped directly
+    afterwards — their counters, stats and sink totals are maintained
+    exactly, but per-flit buffer internals are not materialized.
+    """
+
+    def __init__(self, lanes: Sequence[Network]):
+        if not lanes:
+            raise ValueError("need at least one lane")
+        for net in lanes:
+            if type(net) is not Network:
+                raise TypeError(
+                    "BatchedEventNetworks adopts repro.sim.network.Network "
+                    "lanes only, got %r" % type(net).__name__
+                )
+            if net.kernel != "event":
+                raise ValueError(
+                    "lane kernel must be 'event', got %r" % net.kernel
+                )
+            if net.cycle != 0:
+                raise ValueError("lanes must be freshly built (cycle 0)")
+            if net.cfg.flits_per_packet > net.cfg.vc_depth_flits:
+                raise ValueError(
+                    "flits_per_packet > vc_depth_flits is unsupported in "
+                    "batched mode (virtual cut-through would overflow)"
+                )
+        key = _identity_key(lanes[0])
+        for net in lanes[1:]:
+            if _identity_key(net) != key:
+                raise ValueError(
+                    "all lanes must share one built workload "
+                    "(identical mesh/config/flows); only seeds may differ"
+                )
+        self.lanes: List[Network] = list(lanes)
+        self.sanitize = any(net.sanitize for net in lanes)
+        self.cycle = 0
+        self._build_static()
+        self._build_lane_state()
+        self._seed_events()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _build_static(self) -> None:
+        """Shared static tables (identical across lanes by validation)."""
+        from .segments import BufferEnd, NicStart
+
+        net0 = self.lanes[0]
+        mesh = net0.mesh
+        self.num_nodes = nn = mesh.num_nodes
+        self.num_lanes = len(self.lanes)
+        self.flits_per_packet = net0.cfg.flits_per_packet
+        self.credit_latency = net0.cfg.credit_latency
+
+        #: Ports-per-router column for clock accounting.
+        self.n_ports: List[int] = [
+            len(net0.routers[node].buffers) for node in range(nn)
+        ]
+        # Flat buffer ids: buf_flat[node * PMAX + port] -> buf index.
+        self.pmax = 1 + max(
+            (
+                int(port)
+                for node in range(nn)
+                for port in net0.routers[node].buffers
+            ),
+            default=0,
+        )
+        self.vcs = net0.cfg.vcs_per_port
+        pmax = self.pmax
+        vcs = self.vcs
+        self.buf_flat: List[int] = [-1] * (nn * pmax)
+        num_bufs = 0
+        for node in range(nn):
+            for port in net0.routers[node].buffers:
+                self.buf_flat[node * pmax + int(port)] = num_bufs
+                num_bufs += 1
+        self.num_bufs = num_bufs
+
+        # Wanted-output lookup shared across lanes, as plain ints:
+        # flow_wanted[flow_id][node] -> out port int (-1 off-route).
+        self.flow_route = net0._flow_route
+        self.flow_wanted: Dict[int, List[int]] = {}
+        for fid, by_node in net0._flow_out.items():
+            row = [-1] * nn
+            for node, out in by_node.items():
+                row[node] = int(out)
+            self.flow_wanted[fid] = row
+
+        # Per-node SA output scan order (serial: config.dynamic_outputs
+        # restricted to ports with segments) and a flat per-output
+        # context table: (out_port, t_node|-1, end_port|-1, crossed,
+        # hop_mm, extra, end_node, wkey_base, target_buf|-1).
+        self.node_outs: List[List[Tuple]] = []
+        self.octx_flat: List[Optional[Tuple]] = [None] * (nn * pmax)
+        max_extra = 0
+        for node in range(nn):
+            router = net0.routers[node]
+            outs: List[Tuple] = []
+            for out_port in router.config.dynamic_outputs:
+                seg = router.out_segment.get(out_port)
+                if seg is None:
+                    continue
+                end = seg.end
+                if isinstance(end, BufferEnd):
+                    t_node = end.node
+                    end_port = int(end.port)
+                    wk0 = (t_node * pmax + end_port) * vcs
+                    t_buf = self.buf_flat[t_node * pmax + end_port]
+                else:
+                    t_node = -1
+                    end_port = -1
+                    wk0 = -1
+                    t_buf = -1
+                entry = (
+                    int(out_port),
+                    t_node,
+                    end_port,
+                    len(seg.routers_crossed),
+                    seg.hops * net0._mm_per_hop,
+                    seg.extra_cycles,
+                    end.node,
+                    wk0,
+                    t_buf,
+                )
+                if seg.extra_cycles > max_extra:
+                    max_extra = seg.extra_cycles
+                outs.append(entry)
+                self.octx_flat[node * pmax + int(out_port)] = entry
+            self.node_outs.append(outs)
+
+        # Static NIC injection context per source node, same shape
+        # minus the out port: (t_node|-1, end_port|-1, crossed, hop_mm,
+        # extra, end_node, wkey_base, target_buf|-1).
+        self.nic_ctx: Dict[int, Tuple] = {}
+        for node in net0.nic_sources:
+            seg = net0.segments.from_start(NicStart(node))
+            end = seg.end
+            if isinstance(end, BufferEnd):
+                t_node = end.node
+                end_port = int(end.port)
+                wk0 = (t_node * pmax + end_port) * vcs
+                t_buf = self.buf_flat[t_node * pmax + end_port]
+            else:
+                t_node = -1
+                end_port = -1
+                wk0 = -1
+                t_buf = -1
+            self.nic_ctx[node] = (
+                t_node,
+                end_port,
+                len(seg.routers_crossed),
+                seg.hops * net0._mm_per_hop,
+                seg.extra_cycles,
+                end.node,
+                wk0,
+                t_buf,
+            )
+            if seg.extra_cycles > max_extra:
+                max_extra = seg.extra_cycles
+
+        # Every non-injection event horizon must fit the ring, so the
+        # hot loop can append without an overflow guard.
+        if (
+            self.flits_per_packet + max_extra + self.credit_latency + 4
+            >= _RING
+        ):
+            raise ValueError(
+                "event horizon exceeds the scheduling ring "
+                "(flits_per_packet + segment extras too large)"
+            )
+
+        # Lane/node decode tables for ln = lane * nn + node.
+        L = self.num_lanes
+        self.ln_lane: List[int] = [
+            lane for lane in range(L) for _ in range(nn)
+        ]
+        self.ln_node: List[int] = list(range(nn)) * L
+
+    def _build_lane_state(self) -> None:
+        """Per-lane dynamic columns and object tables."""
+        from .segments import BufferEnd, OutputStart
+
+        nn = self.num_nodes
+        L = self.num_lanes
+        lanes = self.lanes
+        size = L * nn
+
+        # SoA columns, indexed ln = lane * nn + node.
+        self.occ: List[int] = [0] * size
+        self.active = bytearray(size)
+        self.head_slots: List[List[list]] = [[] for _ in range(size)]
+        self.reservations: List[Dict] = [dict() for _ in range(size)]
+        #: Cached next SA wake per (lane, router); -1 = none pending.
+        self.sa_next: List[int] = [-1] * size
+        self.streaming = bytearray(L * self.num_bufs)
+
+        # Clock integral accumulators (end-of-cycle sampling).
+        self.active_cnt = [0] * L
+        self.ports_cnt = [0] * L
+        self.clock_router_acc = [0] * L
+        self.clock_port_acc = [0] * L
+        self.clock_last = [0] * L
+        self.counters_flushed = [0] * L
+
+        #: Per-lane deferred counter columns (slots _C_XB.._C_SG),
+        #: flushed into the lane's EventCounters by _flush_counters.
+        #: Indexed-list adds are ~2x cheaper than dataclass attribute
+        #: read-modify-writes, and the hot loop does ~10 per event.
+        self.cnt: List[List[int]] = [[0] * _C_N for _ in range(L)]
+
+        # NIC columns.
+        self.nic_busy = bytearray(size)
+        self.nic_next = [-1] * size     # cycle of a scheduled attempt
+        self.nic_wait = bytearray(size)  # waiting on a credit release
+        #: Non-empty flow queues per source NIC (mirrors
+        #: ``nic.queues[fid]`` truthiness, maintained at the only two
+        #: mutation points: generate-append and inject-popleft), so an
+        #: injection attempt scans live flows instead of every queue.
+        #: Arbiter semantics only test membership, so order is free.
+        self.nic_live: List[Dict[int, bool]] = [
+            dict() for _ in range(size)
+        ]
+
+        # In-flight spans per lane (swap-removed via _R_SIDX) and
+        # hand-off writer registry (feeder capture, packed int keys).
+        self.streams: List[List[list]] = [[] for _ in range(L)]
+        self.chain_writers: List[Dict[int, list]] = [
+            dict() for _ in range(L)
+        ]
+
+        # Per-lane object tables reusing the lane networks' own
+        # stateful components, so every arbitration and credit decision
+        # runs through bit-identical machinery.
+        self.lane_counters = [net.counters for net in lanes]
+        self.lane_stats = [net.stats for net in lanes]
+        self.lane_traffic = [net.traffic for net in lanes]
+        self.lane_flow_by_id = [net.flow_by_id for net in lanes]
+        self.lane_nics = [net.nic_sources for net in lanes]
+        self.lane_sinks = [net.nic_sinks for net in lanes]
+
+        #: outq[ln][out_port] = (free-VC queue, arbiter): the lane's
+        #: own per-output instances, flattened to one lookup.
+        self.outq: List[Dict[int, Tuple]] = []
+        for net in lanes:
+            for node in range(nn):
+                router = net.routers[node]
+                arbiters = router.arbiters
+                self.outq.append(
+                    {
+                        int(p): (q, arbiters[p])
+                        for p, q in router.out_freeq.items()
+                    }
+                )
+
+        #: cred_up[lane * num_bufs + buf] = (pending_heap, release_seq,
+        #: crossed, hop_mm, wake_node|None, nic_node|None): upstream
+        #: credit return for a tail read at a buffered input (the
+        #: queue's own pending heap and sequence counter, so a release
+        #: is one inline heappush), plus the NIC to re-arm when the
+        #: segment starts at an injection port (the serial kernel
+        #: instead retries NICs every cycle).
+        self.cred_up: List[Optional[Tuple]] = [None] * (L * self.num_bufs)
+        #: cred_end analogues keyed by the consuming span's segment:
+        #: final router spans by out_cred_end[ln][out_port], bypass NIC
+        #: spans by source node.
+        self.nic_freeq: List[Dict[int, object]] = []
+        self.nic_cred_end: List[Dict[int, Tuple]] = []
+        self.out_cred_end: List[Dict[int, Tuple]] = [
+            dict() for _ in range(size)
+        ]
+
+        pmax = self.pmax
+        for lane, net in enumerate(lanes):
+            nic_freeq_row: Dict[int, object] = {}
+            nic_cred_row: Dict[int, Tuple] = {}
+            for seg in net.segments.segments():
+                start = seg.start
+                queue = net.free_vcs[start]
+                crossed = len(seg.routers_crossed)
+                hop_mm = seg.hops * net._mm_per_hop
+                if type(start) is OutputStart:
+                    wake: Optional[int] = start.node
+                    nic_node: Optional[int] = None
+                else:
+                    wake = None
+                    nic_node = start.node
+                    nic_freeq_row[start.node] = queue
+                entry = (
+                    queue._pending,
+                    queue._release_seq,
+                    crossed,
+                    hop_mm,
+                    wake,
+                    nic_node,
+                )
+                end = seg.end
+                if type(end) is BufferEnd:
+                    buf = self.buf_flat[end.node * pmax + int(end.port)]
+                    self.cred_up[lane * self.num_bufs + buf] = entry
+                else:
+                    # NIC end: the consuming span releases this credit.
+                    if type(start) is OutputStart:
+                        self.out_cred_end[lane * nn + start.node][
+                            int(start.port)
+                        ] = entry
+                    else:
+                        nic_cred_row[start.node] = entry
+            self.nic_freeq.append(nic_freeq_row)
+            self.nic_cred_end.append(nic_cred_row)
+
+    def _seed_events(self) -> None:
+        """Ring of per-cycle, per-phase buckets + overflow heap, seeded
+        with each lane's pre-drawn injection events."""
+        self.ring: List[List[list]] = [
+            [[] for _ in range(_NUM_PHASES)] for _ in range(_RING)
+        ]
+        self.overflow: List[Tuple[int, int, int, object]] = []
+        self._ovf_seq = itertools.count()
+        nn = self.num_nodes
+        for lane, net in enumerate(self.lanes):
+            traffic = net.traffic
+            inner = getattr(traffic, "_inner", traffic)
+            # Pre-drawn Bernoulli schedules get fat GEN items carrying
+            # everything the injection needs (bound RNG, queues, NIC),
+            # so the hot loop re-draws the gap inline with the exact
+            # trial sequence of ``BernoulliTraffic._draw_gap``.  Other
+            # traffic models keep the generic (lane, flow_id) item.
+            fast = (
+                isinstance(inner, BernoulliTraffic)
+                and inner.mode == "predraw"
+            )
+            for cyc, flow_id in net._inject_heap:
+                if fast:
+                    flow = net.flow_by_id[flow_id]
+                    rate = inner._rates[flow_id]
+                    nic = net.nic_sources[flow.src]
+                    ln = lane * nn + flow.src
+                    item: tuple = (
+                        lane, flow_id,
+                        inner._rngs[flow_id].random
+                        if rate < 1.0 else None,
+                        rate, nic, nic.queues[flow_id], net.stats,
+                        flow.src, flow.dst, self.flow_route[flow_id],
+                        ln, self.nic_live[ln], inner._next,
+                    )
+                else:
+                    item = (lane, flow_id)
+                self._schedule(cyc, _P_GEN, item)
+        # Lane drain bookkeeping (populated by run()).
+        self._stopped = bytearray(self.num_lanes)
+        self._lane_end = [0] * self.num_lanes
+
+    # ------------------------------------------------------------------
+    # Scheduling helper (cold paths; the hot loop appends inline)
+    # ------------------------------------------------------------------
+
+    def _schedule(self, cycle: int, phase: int, item: object) -> None:
+        if cycle - self.cycle >= _RING:
+            heapq.heappush(
+                self.overflow, (cycle, phase, next(self._ovf_seq), item)
+            )
+        else:
+            self.ring[cycle & _MASK][phase].append(item)
+
+    # ------------------------------------------------------------------
+    # Clock accounting (exact active set, integrated between events)
+    # ------------------------------------------------------------------
+
+    def _settle_clock(self, lane: int, now: int) -> None:
+        last = self.clock_last[lane]
+        if now > last:
+            dt = now - last
+            self.clock_router_acc[lane] += self.active_cnt[lane] * dt
+            self.clock_port_acc[lane] += self.ports_cnt[lane] * dt
+            self.clock_last[lane] = now
+
+    def _activate(self, lane: int, ln: int, now: int) -> None:
+        if not self.active[ln]:
+            self._settle_clock(lane, now)
+            self.active[ln] = 1
+            self.active_cnt[lane] += 1
+            self.ports_cnt[lane] += self.n_ports[self.ln_node[ln]]
+
+    def _deactivate(self, lane: int, ln: int, now: int) -> None:
+        if self.active[ln]:
+            self._settle_clock(lane, now)
+            self.active[ln] = 0
+            self.active_cnt[lane] -= 1
+            self.ports_cnt[lane] -= self.n_ports[self.ln_node[ln]]
+
+    # ------------------------------------------------------------------
+    # Span settlement (the chain calculus, span-at-a-time)
+    # ------------------------------------------------------------------
+
+    def _settle(self, rec: list, through: int) -> None:
+        """Apply counter/occupancy effects of sends <= ``through``.
+
+        Mirrors ``_ResChain/_MidChain/_NicChain/_NicMidChain.advance``:
+        batched integral counter adds over the settled window, feeder
+        settled first so hand-off writes precede the reads consuming
+        them.  Tail-cycle specials (delivery, credits, teardown) are
+        applied by the finish handlers, which always settle through the
+        tail first.
+        """
+        last = rec[_R_END]
+        if through < last:
+            last = through
+        c0 = rec[_R_NEXT]
+        if c0 > last:
+            return
+        feeder = rec[_R_FDR]
+        if feeder is not None:
+            self._settle(feeder, through)
+        count = last - c0 + 1
+        kind = rec[_R_KIND]
+        c = self.cnt[rec[_R_LANE]]
+        c[_C_XB] += rec[_R_XB] * count
+        c[_C_MM] += rec[_R_MM] * count
+        c[_C_PL] += count
+        if kind <= _K_MID:  # router-sourced: reads from a buffered VC
+            c[_C_BR] += count
+            self.occ[rec[_R_LN]] -= count
+        if kind == _K_MID or kind == _K_NIC_MID:
+            c[_C_BW] += count
+            self.occ[rec[_R_TLN]] += count
+            self._activate(rec[_R_LANE], rec[_R_TLN], self.cycle)
+        else:  # delivers at a NIC sink
+            rec[_R_SINK].flits_received += count
+        rec[_R_NEXT] = last + 1
+
+    def _sync_lane(self, lane: int, through: int) -> None:
+        """Settle every in-flight span of a lane (snapshot boundary)."""
+        for rec in self.streams[lane]:
+            self._settle(rec, through)
+
+    def _flush_counters(self, lane: int, now: int) -> None:
+        """Bring a lane's EventCounters up to ``now`` executed cycles."""
+        self._settle_clock(lane, now)
+        counters = self.lane_counters[lane]
+        counters.clock_router_cycles += self.clock_router_acc[lane]
+        counters.clock_port_cycles += self.clock_port_acc[lane]
+        self.clock_router_acc[lane] = 0
+        self.clock_port_acc[lane] = 0
+        c = self.cnt[lane]
+        if any(c):
+            counters.crossbar_traversals += c[_C_XB]
+            counters.link_flit_mm += c[_C_MM]
+            counters.pipeline_latches += c[_C_PL]
+            counters.buffer_reads += c[_C_BR]
+            counters.buffer_writes += c[_C_BW]
+            counters.credit_events += c[_C_CE]
+            counters.credit_crossbar_traversals += c[_C_CX]
+            counters.credit_mm += c[_C_CM]
+            counters.sa_requests += c[_C_SR]
+            counters.sa_grants += c[_C_SG]
+            c[:] = [0] * _C_N
+        ran = now - self.counters_flushed[lane]
+        if ran:
+            counters.cycles += ran
+            counters.total_router_cycles += self.num_nodes * ran
+            self.counters_flushed[lane] = now
+
+    def _sync_all(self, now: int) -> None:
+        for lane in range(self.num_lanes):
+            if not self._stopped[lane]:
+                self._sync_lane(lane, now - 1)
+                self._flush_counters(lane, now)
+        if self.sanitize:
+            sanitizer.check_batch(self)
+
+    # ------------------------------------------------------------------
+    # The event loop
+    # ------------------------------------------------------------------
+
+    def _run_to(self, limit: int) -> None:
+        """Process all cycles in [self.cycle, limit).
+
+        Every handler is inlined: span grants, credit releases and
+        next-wake arming are spelled out at each site so the loop runs
+        on local bindings and flat-column indexing with no per-event
+        method calls (settlement keeps its method — it recurses through
+        feeder links).
+        """
+        # Local bindings for the hot loop.
+        ring = self.ring
+        overflow = self.overflow
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        ovf_seq = self._ovf_seq
+        nn = self.num_nodes
+        num_bufs = self.num_bufs
+        pmax = self.pmax
+        vcs = self.vcs
+        occ = self.occ
+        active = self.active
+        head_slots = self.head_slots
+        reservations = self.reservations
+        sa_next = self.sa_next
+        streaming = self.streaming
+        buf_flat = self.buf_flat
+        octx_flat = self.octx_flat
+        flow_wanted = self.flow_wanted
+        flow_route = self.flow_route
+        node_outs = self.node_outs
+        nic_ctx = self.nic_ctx
+        ln_lane = self.ln_lane
+        ln_node = self.ln_node
+        n_ports = self.n_ports
+        active_cnt = self.active_cnt
+        ports_cnt = self.ports_cnt
+        clock_racc = self.clock_router_acc
+        clock_pacc = self.clock_port_acc
+        clock_last = self.clock_last
+        cnt = self.cnt
+        new_packet = Packet.__new__
+        pid_counter = _packet_ids
+        lane_stats = self.lane_stats
+        lane_traffic = self.lane_traffic
+        lane_flow_by_id = self.lane_flow_by_id
+        lane_nics = self.lane_nics
+        lane_sinks = self.lane_sinks
+        outq = self.outq
+        cred_up = self.cred_up
+        nic_freeq = self.nic_freeq
+        nic_cred_end = self.nic_cred_end
+        out_cred_end = self.out_cred_end
+        nic_busy = self.nic_busy
+        nic_next = self.nic_next
+        nic_wait = self.nic_wait
+        nic_live = self.nic_live
+        streams = self.streams
+        chain_writers = self.chain_writers
+        settle = self._settle
+        flits_pp = self.flits_per_packet
+        credit_latency = self.credit_latency
+        single_flit = flits_pp == 1
+        stopped = self._stopped
+
+        cycle = self.cycle
+        while cycle < limit:
+            self.cycle = cycle
+            while overflow and overflow[0][0] <= cycle:
+                ent = heapq.heappop(overflow)
+                ring[cycle & _MASK][ent[1]].append(ent[3])
+            gen, fin, st, nic_b, nfin, sa_l = ring[cycle & _MASK]
+
+            # -- generate --------------------------------------------
+            if gen:
+                for item in gen:
+                    if len(item) > 2:
+                        # Fat pre-drawn Bernoulli item: inject one
+                        # packet, re-draw the gap with the identical
+                        # trial sequence of ``_draw_gap``.
+                        (lane, flow_id, rng_random, rate, nic, queue,
+                         stats, src, dst, route, ln, live,
+                         tnext) = item
+                        # Bare construction (attribute-for-attribute
+                        # what the dataclass __init__ produces, ~3x
+                        # cheaper; size >= 1 was validated at build).
+                        packet = new_packet(Packet)
+                        packet.flow_id = flow_id
+                        packet.src = src
+                        packet.dst = dst
+                        packet.size_flits = flits_pp
+                        packet.create_cycle = cycle
+                        packet.route = route
+                        packet.pid = next(pid_counter)
+                        packet.inject_cycle = None
+                        packet.head_arrive_cycle = None
+                        packet.tail_arrive_cycle = None
+                        queue.append(packet)
+                        stats.created_total += 1
+                        if stats.measuring:
+                            stats._measured[packet.pid] = packet
+                        nic.queued += 1
+                        live[flow_id] = True
+                        if (
+                            not nic_busy[ln]
+                            and not nic_wait[ln]
+                            and nic_next[ln] < 0
+                        ):
+                            nic_next[ln] = cycle
+                            nic_b.append(ln)
+                        if rng_random is None:
+                            nxt = cycle + 1
+                        else:
+                            gap = 1
+                            while rng_random() >= rate:
+                                gap += 1
+                            nxt = cycle + gap
+                        tnext[flow_id] = nxt
+                        if nxt - cycle < _RING:
+                            ring[nxt & _MASK][_P_GEN].append(item)
+                        else:
+                            heappush(
+                                overflow,
+                                (nxt, _P_GEN, next(ovf_seq), item),
+                            )
+                        continue
+                    lane, flow_id = item
+                    traffic = lane_traffic[lane]
+                    flow = lane_flow_by_id[lane][flow_id]
+                    count = traffic.packets_at(flow, cycle)
+                    if count:
+                        src = flow.src
+                        nic = lane_nics[lane][src]
+                        queue = nic.queues[flow_id]
+                        stats = lane_stats[lane]
+                        route = flow_route[flow_id]
+                        dst = flow.dst
+                        for _ in range(count):
+                            packet = Packet(
+                                flow_id=flow_id,
+                                src=src,
+                                dst=dst,
+                                size_flits=flits_pp,
+                                create_cycle=cycle,
+                                route=route,
+                            )
+                            queue.append(packet)
+                            stats.on_create(packet)
+                        nic.queued += count
+                        ln = lane * nn + src
+                        nic_live[ln][flow_id] = True
+                        if (
+                            not nic_busy[ln]
+                            and not nic_wait[ln]
+                            and nic_next[ln] < 0
+                        ):
+                            nic_next[ln] = cycle
+                            nic_b.append(ln)
+                    nxt = traffic.next_injection_cycle(flow, cycle + 1)
+                    if nxt is not None:
+                        if nxt - cycle < _RING:
+                            ring[nxt & _MASK][_P_GEN].append(item)
+                        else:
+                            heappush(
+                                overflow,
+                                (nxt, _P_GEN, next(ovf_seq), item),
+                            )
+                gen.clear()
+
+            # -- finish events (router-sourced spans) ----------------
+            if fin:
+                for rec in fin:
+                    lane = rec[_R_LANE]
+                    if stopped[lane]:
+                        continue
+                    c = cnt[lane]
+                    # Inline settlement of the span's remaining window
+                    # (never empty: syncs settle through at most
+                    # end - 1 before the finish event runs).
+                    feeder = rec[_R_FDR]
+                    if feeder is not None and feeder[_R_NEXT] <= cycle:
+                        # One-level inline of settle(): feeders are
+                        # always MID spans (only writers register), so
+                        # the kind dispatch reduces to the buffer-read
+                        # test.  Deeper feeders recurse via the method.
+                        f2 = feeder[_R_FDR]
+                        if f2 is not None and f2[_R_NEXT] <= cycle:
+                            settle(f2, cycle)
+                        f_last = feeder[_R_END]
+                        if cycle < f_last:
+                            f_last = cycle
+                        f_count = f_last - feeder[_R_NEXT] + 1
+                        if f_count > 0:
+                            feeder[_R_NEXT] = f_last + 1
+                            c[_C_XB] += feeder[_R_XB] * f_count
+                            c[_C_MM] += feeder[_R_MM] * f_count
+                            c[_C_PL] += f_count
+                            if feeder[_R_KIND] == _K_MID:
+                                c[_C_BR] += f_count
+                                occ[feeder[_R_LN]] -= f_count
+                            c[_C_BW] += f_count
+                            f_tln = feeder[_R_TLN]
+                            occ[f_tln] += f_count
+                            if not active[f_tln]:
+                                last = clock_last[lane]
+                                if cycle > last:
+                                    dt = cycle - last
+                                    clock_racc[lane] += (
+                                        active_cnt[lane] * dt
+                                    )
+                                    clock_pacc[lane] += (
+                                        ports_cnt[lane] * dt
+                                    )
+                                    clock_last[lane] = cycle
+                                active[f_tln] = 1
+                                active_cnt[lane] += 1
+                                ports_cnt[lane] += n_ports[
+                                    ln_node[f_tln]
+                                ]
+                    count = cycle - rec[_R_NEXT] + 1
+                    rec[_R_NEXT] = cycle + 1
+                    c[_C_XB] += rec[_R_XB] * count
+                    c[_C_MM] += rec[_R_MM] * count
+                    c[_C_PL] += count
+                    c[_C_BR] += count
+                    ln = rec[_R_LN]
+                    occ[ln] -= count
+                    sl = streams[lane]
+                    i = rec[_R_SIDX]
+                    moved = sl.pop()
+                    if moved is not rec:
+                        sl[i] = moved
+                        moved[_R_SIDX] = i
+                    node = ln_node[ln]
+                    lnb = ln - node
+                    if rec[_R_KIND] == _K_FINAL:
+                        rec[_R_SINK].flits_received += count
+                        packet = rec[_R_PKT]
+                        extra = rec[_R_EXTRA]
+                        packet.head_arrive_cycle = rec[_R_START] + extra
+                        packet.tail_arrive_cycle = cycle + extra
+                        rec[_R_SINK].packets_received += 1
+                        stats = lane_stats[lane]
+                        stats.delivered_total += 1
+                        pm = stats._measured
+                        pid = packet.pid
+                        if pid in pm:
+                            stats._delivered.append(pm.pop(pid))
+                        # Release the destination-side credit.
+                        pend_l, seq_c, crossed, hop_mm, wake, nic_node \
+                            = rec[_R_CEND]
+                        usable = cycle + extra + 1 + credit_latency
+                        heappush(
+                            pend_l, (usable, next(seq_c), rec[_R_ASG])
+                        )
+                        c[_C_CE] += 1
+                        c[_C_CX] += crossed
+                        c[_C_CM] += hop_mm
+                        if wake is not None:
+                            w_ln = lnb + wake
+                            if head_slots[w_ln] and (
+                                sa_next[w_ln] < 0
+                                or usable < sa_next[w_ln]
+                            ):
+                                sa_next[w_ln] = usable
+                                ring[usable & _MASK][_P_SA].append(w_ln)
+                        elif nic_node is not None:
+                            n_ln = lnb + nic_node
+                            if (
+                                not nic_busy[n_ln]
+                                and lane_nics[lane][nic_node].queued
+                                and (
+                                    nic_next[n_ln] < 0
+                                    or usable < nic_next[n_ln]
+                                )
+                            ):
+                                nic_wait[n_ln] = 0
+                                nic_next[n_ln] = usable
+                                ring[usable & _MASK][_P_NIC].append(n_ln)
+                    else:
+                        c[_C_BW] += count
+                        t_ln = rec[_R_TLN]
+                        occ[t_ln] += count
+                        if not active[t_ln]:
+                            last = clock_last[lane]
+                            if cycle > last:
+                                dt = cycle - last
+                                clock_racc[lane] += active_cnt[lane] * dt
+                                clock_pacc[lane] += ports_cnt[lane] * dt
+                                clock_last[lane] = cycle
+                            active[t_ln] = 1
+                            active_cnt[lane] += 1
+                            ports_cnt[lane] += n_ports[ln_node[t_ln]]
+                        cw = chain_writers[lane]
+                        wk = rec[_R_WKEY]
+                        if cw.get(wk) is rec:
+                            del cw[wk]
+                    # Teardown, exactly as _ev_finish_res: release the
+                    # upstream credit, clear streaming, free the output.
+                    buf = rec[_R_BUF]
+                    pend_l, seq_c, crossed, hop_mm, wake, nic_node = (
+                        cred_up[lane * num_bufs + buf]
+                    )
+                    usable = cycle + 1 + credit_latency
+                    heappush(pend_l, (usable, next(seq_c), rec[_R_VC]))
+                    c[_C_CE] += 1
+                    c[_C_CX] += crossed
+                    c[_C_CM] += hop_mm
+                    if wake is not None:
+                        w_ln = lnb + wake
+                        if head_slots[w_ln] and (
+                            sa_next[w_ln] < 0 or usable < sa_next[w_ln]
+                        ):
+                            sa_next[w_ln] = usable
+                            ring[usable & _MASK][_P_SA].append(w_ln)
+                    elif nic_node is not None:
+                        n_ln = lnb + nic_node
+                        if (
+                            not nic_busy[n_ln]
+                            and lane_nics[lane][nic_node].queued
+                            and (
+                                nic_next[n_ln] < 0
+                                or usable < nic_next[n_ln]
+                            )
+                        ):
+                            nic_wait[n_ln] = 0
+                            nic_next[n_ln] = usable
+                            ring[usable & _MASK][_P_NIC].append(n_ln)
+                    streaming[lane * num_bufs + buf] = 0
+                    res_d = reservations[ln]
+                    del res_d[rec[_R_OUT]]
+                    if head_slots[ln] and sa_next[ln] != cycle:
+                        # Only already-waiting heads can use this
+                        # release wake; a head written later this cycle
+                        # wakes SA itself.
+                        sa_next[ln] = cycle
+                        sa_l.append(ln)
+                    if not res_d and not occ[ln] and active[ln]:
+                        last = clock_last[lane]
+                        if cycle > last:
+                            dt = cycle - last
+                            clock_racc[lane] += active_cnt[lane] * dt
+                            clock_pacc[lane] += ports_cnt[lane] * dt
+                            clock_last[lane] = cycle
+                        active[ln] = 0
+                        active_cnt[lane] -= 1
+                        ports_cnt[lane] -= n_ports[node]
+                fin.clear()
+
+            # -- ST: head sends of fresh non-final grants ------------
+            if st:
+                for rec in st:
+                    lane = rec[_R_LANE]
+                    if stopped[lane]:
+                        continue
+                    # The head's per-cycle observables: source read,
+                    # target write, SA candidacy, clock membership.
+                    c = cnt[lane]
+                    c[_C_BR] += 1
+                    c[_C_BW] += 1
+                    c[_C_XB] += rec[_R_XB]
+                    c[_C_MM] += rec[_R_MM]
+                    c[_C_PL] += 1
+                    occ[rec[_R_LN]] -= 1
+                    t_ln = rec[_R_TLN]
+                    occ[t_ln] += 1
+                    if not active[t_ln]:
+                        last = clock_last[lane]
+                        if cycle > last:
+                            dt = cycle - last
+                            clock_racc[lane] += active_cnt[lane] * dt
+                            clock_pacc[lane] += ports_cnt[lane] * dt
+                            clock_last[lane] = cycle
+                        active[t_ln] = 1
+                        active_cnt[lane] += 1
+                        ports_cnt[lane] += n_ports[ln_node[t_ln]]
+                    elig = cycle + rec[_R_EXTRA] + 2
+                    packet = rec[_R_PKT]
+                    t_node = ln_node[t_ln]
+                    out = flow_wanted[packet.flow_id][t_node]
+                    octx_t = octx_flat[t_node * pmax + out]
+                    if octx_t is not None:
+                        fq_t, arb_t = outq[t_ln][out]
+                    else:
+                        fq_t = arb_t = None
+                    head_slots[t_ln].append([
+                        (rec[_R_EPORT], rec[_R_ASG]), elig, out, packet,
+                        rec[_R_TBUF], fq_t, arb_t, octx_t, rec[_R_WKEY],
+                    ])
+                    if sa_next[t_ln] < 0 or elig < sa_next[t_ln]:
+                        sa_next[t_ln] = elig
+                        ring[elig & _MASK][_P_SA].append(t_ln)
+                    if single_flit:
+                        # Single-flit packet: the head is the tail.
+                        # The serial kernel handles this wholly in the
+                        # live ST scan — no chain, no writer entry.
+                        sl = streams[lane]
+                        i = rec[_R_SIDX]
+                        moved = sl.pop()
+                        if moved is not rec:
+                            sl[i] = moved
+                            moved[_R_SIDX] = i
+                        ln = rec[_R_LN]
+                        node = ln_node[ln]
+                        lnb = ln - node
+                        buf = rec[_R_BUF]
+                        pend_l, seq_c, crossed, hop_mm, wake, nic_node \
+                            = cred_up[lane * num_bufs + buf]
+                        usable = cycle + 1 + credit_latency
+                        heappush(
+                            pend_l, (usable, next(seq_c), rec[_R_VC])
+                        )
+                        c[_C_CE] += 1
+                        c[_C_CX] += crossed
+                        c[_C_CM] += hop_mm
+                        if wake is not None:
+                            w_ln = lnb + wake
+                            if head_slots[w_ln] and (
+                                sa_next[w_ln] < 0
+                                or usable < sa_next[w_ln]
+                            ):
+                                sa_next[w_ln] = usable
+                                ring[usable & _MASK][_P_SA].append(w_ln)
+                        elif nic_node is not None:
+                            n_ln = lnb + nic_node
+                            if (
+                                not nic_busy[n_ln]
+                                and lane_nics[lane][nic_node].queued
+                                and (
+                                    nic_next[n_ln] < 0
+                                    or usable < nic_next[n_ln]
+                                )
+                            ):
+                                nic_wait[n_ln] = 0
+                                nic_next[n_ln] = usable
+                                ring[usable & _MASK][_P_NIC].append(n_ln)
+                        streaming[lane * num_bufs + buf] = 0
+                        res_d = reservations[ln]
+                        del res_d[rec[_R_OUT]]
+                        if head_slots[ln] and sa_next[ln] != cycle:
+                            sa_next[ln] = cycle
+                            sa_l.append(ln)
+                        if not res_d and not occ[ln] and active[ln]:
+                            last = clock_last[lane]
+                            if cycle > last:
+                                dt = cycle - last
+                                clock_racc[lane] += active_cnt[lane] * dt
+                                clock_pacc[lane] += ports_cnt[lane] * dt
+                                clock_last[lane] = cycle
+                            active[ln] = 0
+                            active_cnt[lane] -= 1
+                            ports_cnt[lane] -= n_ports[node]
+                        continue
+                    rec[_R_NEXT] = cycle + 1
+                    # Feeder capture + hand-off writer registration at
+                    # the head send, like _MidChain.__init__.
+                    cw = chain_writers[lane]
+                    rec[_R_FDR] = cw.get(rec[_R_FKEY])
+                    cw[rec[_R_WKEY]] = rec
+                st.clear()
+
+            # -- NIC injection ---------------------------------------
+            if nic_b:
+                for ln in nic_b:
+                    if nic_next[ln] != cycle:
+                        continue  # superseded attempt
+                    nic_next[ln] = -1
+                    if nic_busy[ln]:
+                        continue
+                    lane = ln_lane[ln]
+                    if stopped[lane]:
+                        continue
+                    node = ln_node[ln]
+                    nic = lane_nics[lane][node]
+                    if nic.queued == 0:
+                        continue
+                    fq = nic_freeq[lane][node]
+                    ready = fq._ready
+                    if not ready:
+                        pend = fq._pending
+                        while pend and pend[0][0] <= cycle:
+                            ready.append(heappop(pend)[2])
+                        if not ready:
+                            if pend:
+                                nxt = pend[0][0]
+                                nic_next[ln] = nxt
+                                ring[nxt & _MASK][_P_NIC].append(ln)
+                            else:
+                                nic_wait[ln] = 1
+                            continue
+                    live = nic_live[ln]
+                    if len(live) == 1:
+                        winner = next(iter(live))
+                        rr = nic.rr
+                        rr._last = rr._index[winner]
+                    else:
+                        winner = nic.rr.grant(list(live))
+                        if winner is None:
+                            nic_next[ln] = cycle + 1
+                            ring[(cycle + 1) & _MASK][_P_NIC].append(ln)
+                            continue
+                    wq = nic.queues[winner]
+                    packet = wq.popleft()
+                    if not wq:
+                        del live[winner]
+                    nic.queued -= 1
+                    vc_id = ready.popleft()
+                    packet.inject_cycle = cycle
+                    t_node, end_port, crossed, hop_mm, extra, end_node, \
+                        wk0, t_buf = nic_ctx[node]
+                    if t_node < 0:
+                        # Fully bypassed source-to-destination span.
+                        rec = [
+                            _K_NIC_BYP, lane, ln, -1, -1, -1, packet,
+                            vc_id, cycle, cycle + flits_pp - 1, cycle,
+                            None, -1, crossed, hop_mm, extra, -1, -1,
+                            lane_sinks[lane][end_node],
+                            nic_cred_end[lane][node], -1, 0, -1,
+                        ]
+                        nic_busy[ln] = 1
+                        sl = streams[lane]
+                        rec[_R_SIDX] = len(sl)
+                        sl.append(rec)
+                        ring[
+                            (cycle + flits_pp - 1) & _MASK
+                        ][_P_NFIN].append(rec)
+                        continue
+                    # Head delivered now; rest defers as a span.
+                    c = cnt[lane]
+                    c[_C_XB] += crossed
+                    c[_C_MM] += hop_mm
+                    c[_C_PL] += 1
+                    c[_C_BW] += 1
+                    t_ln = ln - node + t_node
+                    occ[t_ln] += 1
+                    if not active[t_ln]:
+                        last = clock_last[lane]
+                        if cycle > last:
+                            dt = cycle - last
+                            clock_racc[lane] += active_cnt[lane] * dt
+                            clock_pacc[lane] += ports_cnt[lane] * dt
+                            clock_last[lane] = cycle
+                        active[t_ln] = 1
+                        active_cnt[lane] += 1
+                        ports_cnt[lane] += n_ports[t_node]
+                    elig = cycle + extra + 2
+                    out = flow_wanted[packet.flow_id][t_node]
+                    octx_t = octx_flat[t_node * pmax + out]
+                    if octx_t is not None:
+                        fq_t, arb_t = outq[t_ln][out]
+                    else:
+                        fq_t = arb_t = None
+                    head_slots[t_ln].append([
+                        (end_port, vc_id), elig, out, packet, t_buf,
+                        fq_t, arb_t, octx_t, wk0 + vc_id,
+                    ])
+                    if sa_next[t_ln] < 0 or elig < sa_next[t_ln]:
+                        sa_next[t_ln] = elig
+                        ring[elig & _MASK][_P_SA].append(t_ln)
+                    if single_flit:
+                        # Single-flit packet: nothing left to stream.
+                        if nic.queued:
+                            nic_next[ln] = cycle + 1
+                            ring[(cycle + 1) & _MASK][_P_NIC].append(ln)
+                        continue
+                    wkey = wk0 + vc_id
+                    rec = [
+                        _K_NIC_MID, lane, ln, -1, vc_id, -1, packet,
+                        vc_id, cycle + 1, cycle + flits_pp - 1,
+                        cycle + 1, None, -1, crossed, hop_mm, extra,
+                        t_ln, end_port, None, None, wkey, 0, -1,
+                    ]
+                    chain_writers[lane][wkey] = rec
+                    nic_busy[ln] = 1
+                    sl = streams[lane]
+                    rec[_R_SIDX] = len(sl)
+                    sl.append(rec)
+                    ring[
+                        (cycle + flits_pp - 1) & _MASK
+                    ][_P_NFIN].append(rec)
+                nic_b.clear()
+
+            # -- NIC finish events -----------------------------------
+            if nfin:
+                for rec in nfin:
+                    lane = rec[_R_LANE]
+                    if stopped[lane]:
+                        continue
+                    c = cnt[lane]
+                    count = cycle - rec[_R_NEXT] + 1
+                    rec[_R_NEXT] = cycle + 1
+                    c[_C_XB] += rec[_R_XB] * count
+                    c[_C_MM] += rec[_R_MM] * count
+                    c[_C_PL] += count
+                    sl = streams[lane]
+                    i = rec[_R_SIDX]
+                    moved = sl.pop()
+                    if moved is not rec:
+                        sl[i] = moved
+                        moved[_R_SIDX] = i
+                    ln = rec[_R_LN]
+                    if rec[_R_KIND] == _K_NIC_BYP:
+                        rec[_R_SINK].flits_received += count
+                        packet = rec[_R_PKT]
+                        extra = rec[_R_EXTRA]
+                        packet.head_arrive_cycle = rec[_R_START] + extra
+                        packet.tail_arrive_cycle = cycle + extra
+                        rec[_R_SINK].packets_received += 1
+                        stats = lane_stats[lane]
+                        stats.delivered_total += 1
+                        pm = stats._measured
+                        pid = packet.pid
+                        if pid in pm:
+                            stats._delivered.append(pm.pop(pid))
+                        pend_l, seq_c, crossed, hop_mm, wake, nic_node \
+                            = rec[_R_CEND]
+                        usable = cycle + extra + 1 + credit_latency
+                        heappush(
+                            pend_l, (usable, next(seq_c), rec[_R_ASG])
+                        )
+                        c[_C_CE] += 1
+                        c[_C_CX] += crossed
+                        c[_C_CM] += hop_mm
+                        if wake is not None:
+                            w_ln = ln - ln_node[ln] + wake
+                            if head_slots[w_ln] and (
+                                sa_next[w_ln] < 0
+                                or usable < sa_next[w_ln]
+                            ):
+                                sa_next[w_ln] = usable
+                                ring[usable & _MASK][_P_SA].append(w_ln)
+                        elif nic_node is not None:
+                            n_ln = ln - ln_node[ln] + nic_node
+                            if (
+                                not nic_busy[n_ln]
+                                and lane_nics[lane][nic_node].queued
+                                and (
+                                    nic_next[n_ln] < 0
+                                    or usable < nic_next[n_ln]
+                                )
+                            ):
+                                nic_wait[n_ln] = 0
+                                nic_next[n_ln] = usable
+                                ring[usable & _MASK][_P_NIC].append(n_ln)
+                    else:
+                        c[_C_BW] += count
+                        t_ln = rec[_R_TLN]
+                        occ[t_ln] += count
+                        if not active[t_ln]:
+                            last = clock_last[lane]
+                            if cycle > last:
+                                dt = cycle - last
+                                clock_racc[lane] += active_cnt[lane] * dt
+                                clock_pacc[lane] += ports_cnt[lane] * dt
+                                clock_last[lane] = cycle
+                            active[t_ln] = 1
+                            active_cnt[lane] += 1
+                            ports_cnt[lane] += n_ports[ln_node[t_ln]]
+                        cw = chain_writers[lane]
+                        wk = rec[_R_WKEY]
+                        if cw.get(wk) is rec:
+                            del cw[wk]
+                    nic_busy[ln] = 0
+                    if lane_nics[lane][ln_node[ln]].queued:
+                        nic_next[ln] = cycle + 1
+                        ring[(cycle + 1) & _MASK][_P_NIC].append(ln)
+                nfin.clear()
+
+            # -- SA: woken routers scan their candidate heads --------
+            if sa_l:
+                for ln in sa_l:
+                    if sa_next[ln] != cycle:
+                        continue  # stale cache entry
+                    sa_next[ln] = -1
+                    lane = ln_lane[ln]
+                    if stopped[lane]:
+                        continue
+                    hs = head_slots[ln]
+                    if not hs:
+                        continue
+                    node = ln_node[ln]
+                    res_d = reservations[ln]
+                    buf_base = lane * num_bufs
+                    rearm = -1
+                    if len(hs) == 1:
+                        ent = hs[0]
+                        elig = ent[1]
+                        if elig > cycle:
+                            rearm = elig
+                        elif not streaming[buf_base + ent[4]]:
+                            out_port = ent[2]
+                            if out_port not in res_d:
+                                octx = ent[7]
+                                if octx is not None:
+                                    fq = ent[5]
+                                    ready = fq._ready
+                                    if not ready:
+                                        pend = fq._pending
+                                        while pend and pend[0][0] <= cycle:
+                                            ready.append(
+                                                heappop(pend)[2]
+                                            )
+                                    if ready:
+                                        c = cnt[lane]
+                                        c[_C_SR] += 1
+                                        arb = ent[6]
+                                        arb._last = arb._index[ent[0]]
+                                        c[_C_SG] += 1
+                                        del hs[0]
+                                        # -- grant (single) ----------
+                                        (
+                                            out_port, t_node, end_port,
+                                            crossed, hop_mm, extra,
+                                            end_node, wk0, t_buf,
+                                        ) = octx
+                                        assigned = ready.popleft()
+                                        buf = ent[4]
+                                        streaming[buf_base + buf] = 1
+                                        fkey = ent[8]
+                                        if t_node < 0:
+                                            rec = [
+                                                _K_FINAL, lane, ln, buf,
+                                                ent[0][1], out_port,
+                                                ent[3], assigned,
+                                                cycle + 1,
+                                                cycle + flits_pp,
+                                                cycle + 1,
+                                                chain_writers[lane].get(
+                                                    fkey
+                                                ),
+                                                fkey, crossed, hop_mm,
+                                                extra, -1, -1,
+                                                lane_sinks[lane][
+                                                    end_node
+                                                ],
+                                                out_cred_end[ln][
+                                                    out_port
+                                                ],
+                                                -1, 0, -1,
+                                            ]
+                                            ring[
+                                                (cycle + flits_pp)
+                                                & _MASK
+                                            ][_P_FIN].append(rec)
+                                        else:
+                                            rec = [
+                                                _K_MID, lane, ln, buf,
+                                                ent[0][1], out_port,
+                                                ent[3], assigned,
+                                                cycle + 1,
+                                                cycle + flits_pp,
+                                                cycle + 1, None, fkey,
+                                                crossed, hop_mm, extra,
+                                                ln - node + t_node,
+                                                end_port, None, None,
+                                                wk0 + assigned, 0,
+                                                t_buf,
+                                            ]
+                                            ring[
+                                                (cycle + 1) & _MASK
+                                            ][_P_ST].append(rec)
+                                            if not single_flit:
+                                                ring[
+                                                    (cycle + flits_pp)
+                                                    & _MASK
+                                                ][_P_FIN].append(rec)
+                                        res_d[out_port] = rec
+                                        sl = streams[lane]
+                                        rec[_R_SIDX] = len(sl)
+                                        sl.append(rec)
+                                    else:
+                                        pend = fq._pending
+                                        if pend:
+                                            rearm = pend[0][0]
+                        # Streaming input or reserved output: the
+                        # teardown clearing it wakes this router.
+                    else:
+                        by_out: Dict[int, List] = {}
+                        for ent in hs:
+                            elig = ent[1]
+                            if elig > cycle:
+                                if rearm < 0 or elig < rearm:
+                                    rearm = elig
+                                continue
+                            if streaming[buf_base + ent[4]]:
+                                continue
+                            out = ent[2]
+                            lst = by_out.get(out)
+                            if lst is None:
+                                by_out[out] = [ent]
+                            else:
+                                lst.append(ent)
+                        if by_out:
+                            c = cnt[lane]
+                            sl = streams[lane]
+                            granted = False
+                            for octx in node_outs[node]:
+                                out_port = octx[0]
+                                candidates = by_out.get(out_port)
+                                if not candidates or out_port in res_d:
+                                    continue
+                                fq = candidates[0][5]
+                                ready = fq._ready
+                                if not ready:
+                                    pend = fq._pending
+                                    while pend and pend[0][0] <= cycle:
+                                        ready.append(heappop(pend)[2])
+                                    if not ready:
+                                        if pend and (
+                                            rearm < 0
+                                            or pend[0][0] < rearm
+                                        ):
+                                            rearm = pend[0][0]
+                                        continue
+                                # Re-filter: an earlier grant this scan
+                                # may have marked a shared input
+                                # streaming (two VCs of one buffer
+                                # wanting different outputs).
+                                requests = [
+                                    e for e in candidates
+                                    if not streaming[buf_base + e[4]]
+                                ]
+                                if not requests:
+                                    continue
+                                c[_C_SR] += len(requests)
+                                if len(requests) == 1:
+                                    ent = requests[0]
+                                    arb = ent[6]
+                                    arb._last = arb._index[ent[0]]
+                                else:
+                                    winner = candidates[0][6].grant(
+                                        [e[0] for e in requests]
+                                    )
+                                    if winner is None:
+                                        continue
+                                    for ent in requests:
+                                        if ent[0] == winner:
+                                            break
+                                c[_C_SG] += 1
+                                granted = True
+                                key = ent[0]
+                                ent[0] = None
+                                # -- grant (multi) -------------------
+                                (
+                                    out_port, t_node, end_port, crossed,
+                                    hop_mm, extra, end_node, wk0, t_buf,
+                                ) = octx
+                                assigned = ready.popleft()
+                                buf = ent[4]
+                                streaming[buf_base + buf] = 1
+                                fkey = ent[8]
+                                if t_node < 0:
+                                    rec = [
+                                        _K_FINAL, lane, ln, buf, key[1],
+                                        out_port, ent[3], assigned,
+                                        cycle + 1, cycle + flits_pp,
+                                        cycle + 1,
+                                        chain_writers[lane].get(fkey),
+                                        fkey, crossed, hop_mm, extra,
+                                        -1, -1,
+                                        lane_sinks[lane][end_node],
+                                        out_cred_end[ln][out_port],
+                                        -1, 0, -1,
+                                    ]
+                                    ring[
+                                        (cycle + flits_pp) & _MASK
+                                    ][_P_FIN].append(rec)
+                                else:
+                                    rec = [
+                                        _K_MID, lane, ln, buf, key[1],
+                                        out_port, ent[3], assigned,
+                                        cycle + 1, cycle + flits_pp,
+                                        cycle + 1, None, fkey, crossed,
+                                        hop_mm, extra,
+                                        ln - node + t_node, end_port,
+                                        None, None, wk0 + assigned, 0,
+                                        t_buf,
+                                    ]
+                                    ring[
+                                        (cycle + 1) & _MASK
+                                    ][_P_ST].append(rec)
+                                    if not single_flit:
+                                        ring[
+                                            (cycle + flits_pp) & _MASK
+                                        ][_P_FIN].append(rec)
+                                res_d[out_port] = rec
+                                rec[_R_SIDX] = len(sl)
+                                sl.append(rec)
+                            if granted:
+                                hs[:] = [
+                                    e for e in hs if e[0] is not None
+                                ]
+                    if rearm >= 0 and (
+                        sa_next[ln] < 0 or rearm < sa_next[ln]
+                    ):
+                        sa_next[ln] = rearm
+                        ring[rearm & _MASK][_P_SA].append(ln)
+                sa_l.clear()
+
+            cycle += 1
+        self.cycle = limit
+
+    # ------------------------------------------------------------------
+    # Run protocols (mirroring Network.run / run_cycles)
+    # ------------------------------------------------------------------
+
+    def run_cycles(self, cycles: int) -> None:
+        """Advance all lanes a fixed number of cycles, then settle."""
+        self._run_to(self.cycle + cycles)
+        self._sync_all(self.cycle)
+
+    def run(
+        self,
+        warmup_cycles: int = 1000,
+        measure_cycles: int = 20000,
+        drain_limit: int = 100000,
+    ) -> List[SimResult]:
+        """Warm up, measure, then drain each lane — the exact protocol
+        of :meth:`Network.run`, per lane, returning per-lane results in
+        lane order."""
+        self._run_to(warmup_cycles)
+        self._sync_all(warmup_cycles)
+        baselines = [c.snapshot() for c in self.lane_counters]
+        for stats in self.lane_stats:
+            stats.measuring = True
+        boundary = warmup_cycles + measure_cycles
+        self._run_to(boundary)
+        self._sync_all(boundary)
+        for stats in self.lane_stats:
+            stats.measuring = False
+        windows = [
+            c.delta(b) for c, b in zip(self.lane_counters, baselines)
+        ]
+        drained = [True] * self.num_lanes
+        active = []
+        for lane in range(self.num_lanes):
+            if self.lane_stats[lane].outstanding_measured > 0:
+                active.append(lane)
+            else:
+                self._finish_lane(lane, boundary)
+        drain_counts = [0] * self.num_lanes
+        cycle = boundary
+        while active:
+            self._run_to(cycle + 1)
+            cycle += 1
+            still = []
+            for lane in active:
+                drain_counts[lane] += 1
+                if self.lane_stats[lane].outstanding_measured == 0:
+                    self._finish_lane(lane, cycle)
+                elif drain_counts[lane] >= drain_limit:
+                    drained[lane] = False
+                    self._finish_lane(lane, cycle)
+                else:
+                    still.append(lane)
+            active = still
+        results = []
+        for lane in range(self.num_lanes):
+            stats = self.lane_stats[lane]
+            results.append(
+                SimResult(
+                    summary=stats.summary(),
+                    per_flow=stats.per_flow_summary(),
+                    counters=windows[lane],
+                    measured_cycles=measure_cycles,
+                    total_cycles=self._lane_end[lane],
+                    drained=drained[lane],
+                    undelivered_measured=stats.outstanding_measured,
+                )
+            )
+        if self.sanitize:
+            sanitizer.check_batch(self)
+        return results
+
+    def _finish_lane(self, lane: int, end_cycle: int) -> None:
+        """Final settlement for a lane leaving the drain loop."""
+        self._sync_lane(lane, end_cycle - 1)
+        self._flush_counters(lane, end_cycle)
+        self._lane_end[lane] = end_cycle
+        self.lanes[lane].cycle = end_cycle
+        self._stopped[lane] = 1
+        self._purge_lane_events(lane)
+
+    def _purge_lane_events(self, lane: int) -> None:
+        """Drop a stopped lane's scheduled events so the hot loop needs
+        no per-event liveness check for running lanes."""
+        nn = self.num_nodes
+        lo, hi = lane * nn, (lane + 1) * nn
+        for bucket in self.ring:
+            for phase in (_P_FIN, _P_ST, _P_NFIN):
+                lst = bucket[phase]
+                if lst:
+                    lst[:] = [r for r in lst if r[_R_LANE] != lane]
+            for phase in (_P_NIC, _P_SA):
+                lst = bucket[phase]
+                if lst:
+                    lst[:] = [ln for ln in lst if not lo <= ln < hi]
+            lst = bucket[_P_GEN]
+            if lst:
+                lst[:] = [it for it in lst if it[0] != lane]
+        if self.overflow:
+            kept = [
+                ent for ent in self.overflow
+                if not (ent[1] == _P_GEN and ent[3][0] == lane)
+            ]
+            if len(kept) != len(self.overflow):
+                self.overflow[:] = kept
+                heapq.heapify(self.overflow)
+
+
+class LockstepNetworks:
+    """Generic batched driver: N independent networks advanced with
+    the serial per-lane run protocol under one batched API.
+
+    Works for any network implementing the shared protocol
+    (``step()``, ``_sync()``, ``stats``, ``counters``, ``cycle``) —
+    :class:`~repro.eval.dedicated.DedicatedNetwork` and any
+    :class:`Network` kernel.  Each lane's method-call sequence is
+    exactly the serial one, so bit-identity is structural; this driver
+    amortizes nothing and exists so every design runs through the same
+    batched entry points.
+    """
+
+    def __init__(self, lanes: Sequence[object]):
+        if not lanes:
+            raise ValueError("need at least one lane")
+        self.lanes = list(lanes)
+
+    def run_cycles(self, cycles: int) -> None:
+        for net in self.lanes:
+            for _ in range(cycles):
+                net.step()
+            net._sync()
+
+    def run(
+        self,
+        warmup_cycles: int = 1000,
+        measure_cycles: int = 20000,
+        drain_limit: int = 100000,
+    ) -> List[SimResult]:
+        results = []
+        for net in self.lanes:
+            results.append(
+                net.run(
+                    warmup_cycles=warmup_cycles,
+                    measure_cycles=measure_cycles,
+                    drain_limit=drain_limit,
+                )
+            )
+        return results
+
+
+def _batched_driver(lanes: Sequence[object]):
+    """Pick the specialized engine when every lane qualifies."""
+    if all(
+        type(net) is Network and net.kernel == "event" and net.cycle == 0
+        and net.cfg.flits_per_packet <= net.cfg.vc_depth_flits
+        for net in lanes
+    ) and len(lanes) > 0:
+        try:
+            return BatchedEventNetworks(lanes)  # type: ignore[arg-type]
+        except ValueError:
+            pass  # structurally mismatched lanes: fall back
+    return LockstepNetworks(lanes)
+
+
+def run_batched(
+    lanes: Sequence[object],
+    warmup_cycles: int = 1000,
+    measure_cycles: int = 20000,
+    drain_limit: int = 100000,
+) -> List[SimResult]:
+    """Run N same-workload, different-seed lanes batched.
+
+    Dispatches to :class:`BatchedEventNetworks` when every lane is a
+    fresh ``kernel="event"`` :class:`Network`, otherwise to the generic
+    :class:`LockstepNetworks` driver.  Returns per-lane
+    :class:`SimResult`s in lane order, bit-identical to running each
+    lane's :meth:`run` serially.
+    """
+    return _batched_driver(lanes).run(
+        warmup_cycles=warmup_cycles,
+        measure_cycles=measure_cycles,
+        drain_limit=drain_limit,
+    )
+
+
+def batch_run_cycles(lanes: Sequence[object], cycles: int) -> None:
+    """Advance N lanes a fixed number of cycles, batched (scripted
+    tests and benchmarks)."""
+    _batched_driver(lanes).run_cycles(cycles)

@@ -29,6 +29,14 @@ Checks (all duck-typed so one module serves both network classes):
   strictly backwards (``feeder.cid < cid``), making the settlement
   graph acyclic, and every ``_chain_writers`` entry must agree with its
   key.
+- **Batched SoA cross-checks** (:func:`check_batch`, run at every
+  ``_sync_all`` of :class:`~repro.sim.batch.BatchedEventNetworks`) —
+  column state vs per-lane object state: flit conservation (created =
+  queued + buffered + in-flight + delivered), active-set equality with
+  the occupancy/reservation columns, span-record shape and settlement
+  bounds, the one-writer-per-buffer ``streaming`` mirror, and the
+  next-wake cache invariant (every armed wake has a live ring entry;
+  a head grantable *now* implies an armed wake no later than now).
 """
 
 from __future__ import annotations
@@ -210,6 +218,197 @@ def check_counters(net: object, mm_per_hop: float) -> None:
                     "counter %s=%r is fractional although mm_per_hop=%r "
                     "is integral" % (name, value, mm_per_hop),
                 )
+
+
+# ----------------------------------------------------------------------
+# Batched-engine checks (SoA columns vs ground-truth object state)
+# ----------------------------------------------------------------------
+
+def check_batch(eng: object) -> None:
+    """Cross-check a ``BatchedEventNetworks`` engine at a sync point.
+
+    Called from ``_sync_all`` with every unstopped lane settled through
+    ``eng.cycle - 1`` and its deferred counter columns flushed, so the
+    SoA columns must agree exactly with the lane networks' own object
+    state (NIC queues, sink totals, stats) and with each other.
+    """
+    from . import batch as B  # deferred: batch imports this module
+
+    now = eng.cycle
+    nn = eng.num_nodes
+    num_bufs = eng.num_bufs
+    fpp = eng.lanes[0].cfg.flits_per_packet
+    for lane, net in enumerate(eng.lanes):
+        if eng._stopped[lane]:
+            continue
+        base = lane * nn
+        buf_base = lane * num_bufs
+
+        # Counter columns must be drained into EventCounters at sync.
+        if any(eng.cnt[lane]):
+            _fail(eng, "lane %d cnt columns not flushed at sync: %r"
+                  % (lane, eng.cnt[lane]))
+        check_counters(net, net._mm_per_hop)
+
+        # Span records: shape, settlement bounds, stream-list slots.
+        nic_remaining = 0
+        res_truth: dict = {}
+        streaming_truth = set()
+        for idx, rec in enumerate(eng.streams[lane]):
+            if len(rec) != 23:
+                _fail(eng, "lane %d span %d has %d slots, want 23"
+                      % (lane, idx, len(rec)))
+            if rec[B._R_LANE] != lane or rec[B._R_SIDX] != idx:
+                _fail(eng, "lane %d span %d carries lane=%d sidx=%d"
+                      % (lane, idx, rec[B._R_LANE], rec[B._R_SIDX]))
+            kind = rec[B._R_KIND]
+            if kind not in (B._K_FINAL, B._K_MID, B._K_NIC_BYP,
+                            B._K_NIC_MID):
+                _fail(eng, "lane %d span %d has kind %r" % (lane, idx, kind))
+            nxt, end = rec[B._R_NEXT], rec[B._R_END]
+            if nxt > end + 1:
+                _fail(eng, "lane %d span %d over-settled: next=%d end=%d"
+                      % (lane, idx, nxt, end))
+            if nxt <= min(end, now - 1):
+                _fail(eng,
+                      "lane %d span %d not settled through %d: next=%d "
+                      "end=%d" % (lane, idx, now - 1, nxt, end))
+            if kind in (B._K_NIC_BYP, B._K_NIC_MID):
+                if nxt <= end:
+                    nic_remaining += end - nxt + 1
+            else:
+                # Router-sourced: holds its output reservation and the
+                # streaming bit of its source buffer until teardown.
+                res_truth[(rec[B._R_LN], rec[B._R_OUT])] = rec
+                buf = rec[B._R_BUF]
+                if buf in streaming_truth:
+                    _fail(eng, "lane %d: two spans stream buffer %d"
+                          % (lane, buf))
+                streaming_truth.add(buf)
+
+        marked = {
+            b for b in range(num_bufs) if eng.streaming[buf_base + b]
+        }
+        if marked != streaming_truth:
+            _fail(eng, "lane %d streaming bits %r != span sources %r"
+                  % (lane, sorted(marked), sorted(streaming_truth)))
+
+        # Hand-off writer registry: keys agree, values are live spans
+        # or fully settled leftovers awaiting replacement.
+        for key, rec in eng.chain_writers[lane].items():
+            if rec[B._R_WKEY] != key:
+                _fail(eng, "lane %d chain writer under %d reports %d"
+                      % (lane, key, rec[B._R_WKEY]))
+
+        # Flit conservation: every created flit is queued at a NIC,
+        # buffered in a router (occ), unsent on a NIC-sourced span
+        # (+1 head flit written at injection for busy NIC_MID NICs),
+        # or delivered to a sink.
+        queued_pkts = 0
+        for node, nic in eng.lane_nics[lane].items():
+            scan = sum(len(q) for q in nic.queues.values())
+            if nic.queued != scan:
+                _fail(eng, "lane %d NIC %d queued=%d but queues hold %d"
+                      % (lane, node, nic.queued, scan))
+            live = eng.nic_live[base + node]
+            truth = {fid for fid, q in nic.queues.items() if q}
+            if set(live) != truth:
+                _fail(eng, "lane %d NIC %d live flows %r != %r"
+                      % (lane, node, sorted(live), sorted(truth)))
+            queued_pkts += nic.queued
+        created = eng.lane_stats[lane].created_total * fpp
+        delivered = sum(
+            s.flits_received for s in eng.lane_sinks[lane].values()
+        )
+        buffered = sum(eng.occ[base:base + nn])
+        accounted = (
+            queued_pkts * fpp + buffered + delivered + nic_remaining
+        )
+        if created != accounted:
+            _fail(eng,
+                  "lane %d flit conservation: created=%d but queued=%d "
+                  "buffered=%d in-flight=%d delivered=%d"
+                  % (lane, created, queued_pkts * fpp, buffered,
+                     nic_remaining, delivered))
+
+        # Occupancy / active-set equality against the columns.
+        active_cnt = 0
+        ports_cnt = 0
+        for node in range(nn):
+            ln = base + node
+            occ = eng.occ[ln]
+            if occ < 0:
+                _fail(eng, "lane %d node %d occupancy %d < 0"
+                      % (lane, node, occ))
+            has_work = bool(occ) or bool(eng.reservations[ln])
+            if bool(eng.active[ln]) != has_work:
+                _fail(eng,
+                      "lane %d node %d active=%d but occ=%d "
+                      "reservations=%d" % (lane, node, eng.active[ln],
+                                           occ, len(eng.reservations[ln])))
+            if eng.active[ln]:
+                active_cnt += 1
+                ports_cnt += eng.n_ports[node]
+            for out, rec in eng.reservations[ln].items():
+                if res_truth.get((ln, out)) is not rec:
+                    _fail(eng,
+                          "lane %d node %d output %d reserved by a span "
+                          "not in the stream list" % (lane, node, out))
+            for ent in eng.head_slots[ln]:
+                if len(ent) != 9 or ent[0] is None:
+                    _fail(eng,
+                          "lane %d node %d holds a granted/misshapen "
+                          "head entry %r" % (lane, node, ent))
+        if len(res_truth) != sum(
+            len(eng.reservations[base + n]) for n in range(nn)
+        ):
+            _fail(eng, "lane %d has spans holding unregistered output "
+                       "reservations" % lane)
+        if (eng.active_cnt[lane] != active_cnt
+                or eng.ports_cnt[lane] != ports_cnt):
+            _fail(eng,
+                  "lane %d clock accumulators active=%d ports=%d but "
+                  "columns hold %d/%d" % (lane, eng.active_cnt[lane],
+                                          eng.ports_cnt[lane],
+                                          active_cnt, ports_cnt))
+
+        # Next-wake caches: every armed wake must be a future cycle
+        # within the ring horizon with a live ring entry, and any head
+        # grantable at ``now`` must have a wake armed no later than now
+        # (the calendar-queue-lite invariant: no counting scan missed).
+        for node in range(nn):
+            ln = base + node
+            for label, col, phase in (
+                ("sa", eng.sa_next, B._P_SA),
+                ("nic", eng.nic_next, B._P_NIC),
+            ):
+                wake = col[ln]
+                if wake < 0:
+                    continue
+                if wake < now or wake - now >= B._RING:
+                    _fail(eng,
+                          "lane %d node %d %s_next=%d outside [%d, %d)"
+                          % (lane, node, label, wake, now,
+                             now + B._RING))
+                if ln not in eng.ring[wake & B._MASK][phase]:
+                    _fail(eng,
+                          "lane %d node %d %s_next=%d has no ring entry"
+                          % (lane, node, label, wake))
+            res_d = eng.reservations[ln]
+            for ent in eng.head_slots[ln]:
+                if ent[1] > now or ent[7] is None:
+                    continue
+                if eng.streaming[buf_base + ent[4]] or ent[2] in res_d:
+                    continue
+                fq = ent[5]
+                pend = fq._pending
+                if not fq._ready and not (pend and pend[0][0] <= now):
+                    continue
+                if eng.sa_next[ln] < 0 or eng.sa_next[ln] > now:
+                    _fail(eng,
+                          "lane %d node %d head %r grantable at %d but "
+                          "sa_next=%d (missed scan)"
+                          % (lane, node, ent[0], now, eng.sa_next[ln]))
 
 
 def check_chain_graph(net: object) -> None:

@@ -197,3 +197,32 @@ def aggregate_summaries(summaries: List[LatencySummary]) -> LatencySummary:
         max_head_latency=max(s.max_head_latency for s in counted),
         min_head_latency=min(s.min_head_latency for s in counted),
     )
+
+
+#: Two-sided 95% Student-t critical values by degrees of freedom; the
+#: normal 1.96 takes over past df=30.  Multi-seed sweeps pool 2-30
+#: replications, where the normal approximation understates the
+#: interval badly (df=1: 12.7x).
+_T95 = (
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+    2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101,
+    2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052,
+    2.048, 2.045, 2.042,
+)
+
+
+def ci95_halfwidth(values: List[float]) -> float:
+    """Half-width of the 95% confidence interval of the mean.
+
+    Student-t over the seed replications (NaN entries dropped); NaN when
+    fewer than two finite values remain, so single-seed sweeps render
+    "no interval" rather than a spurious zero.
+    """
+    finite = [v for v in values if not math.isnan(v)]
+    n = len(finite)
+    if n < 2:
+        return math.nan
+    mean = sum(finite) / n
+    var = sum((v - mean) ** 2 for v in finite) / (n - 1)
+    t = _T95[n - 2] if n - 1 <= len(_T95) else 1.96
+    return t * math.sqrt(var / n)

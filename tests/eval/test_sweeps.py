@@ -471,6 +471,101 @@ class TestKernelAndRoutingSpecs:
         resumed = run_workload_sweep(kernel="active", resume=True, **kwargs)
         assert resumed == run_workload_sweep(kernel="active", **kwargs)
 
+    def test_batched_multiseed_matches_serial_jobs(self):
+        """The lockstep-batched seed axis (one job per (design, load)
+        advancing all seeds through run_batched) reproduces the serial
+        one-job-per-seed grid bit-identically — including the uniform
+        draw, whose seed-distinct flow sets make the batched engine
+        fall back to the generic lockstep driver."""
+        for workload in ("transpose", "uniform"):
+            kwargs = dict(
+                workload=workload, designs=("mesh", "smart"), loads=(0.03,),
+                seeds=(1, 2, 3), processes=0, kernel="event", **_TINY,
+            )
+            batched = run_workload_sweep(batch=True, **kwargs)
+            serial = run_workload_sweep(batch=False, **kwargs)
+            assert batched == serial
+
+    def test_multiseed_defaults_to_batched_jobs(self, monkeypatch):
+        """seeds=(1,2) auto-folds into one batched job per (design,
+        load); a single seed keeps one plain job per grid point."""
+        captured = []
+        monkeypatch.setattr(
+            sweeps, "_run_jobs",
+            lambda jobs, *a, **k: captured.append(list(jobs)) or [],
+        )
+        run_workload_sweep(
+            "transpose", designs=("mesh",), loads=(0.01, 0.02),
+            seeds=(1, 2), processes=0, **_TINY,
+        )
+        run_workload_sweep(
+            "transpose", designs=("mesh",), loads=(0.01, 0.02),
+            seeds=(1,), processes=0, **_TINY,
+        )
+        multi, single = captured
+        assert [job.seeds for job in multi] == [(1, 2), (1, 2)]
+        assert [job.seed for job in multi] == [1, 1]
+        assert [job.seeds for job in single] == [None, None]
+
+    def test_aggregate_rows_carry_ci95_halfwidth(self):
+        rows = run_workload_sweep(
+            "transpose", designs=("mesh",), loads=(0.03,), seeds=(1, 2, 3),
+            processes=0, kernel="event", **_TINY,
+        )
+        (row,) = rows
+        assert row["mesh_ci95"] >= 0.0
+        single = run_workload_sweep(
+            "transpose", designs=("mesh",), loads=(0.03,), seeds=(1,),
+            processes=0, kernel="event", **_TINY,
+        )[0]
+        assert math.isnan(single["mesh_ci95"])  # undefined below 2 seeds
+        # The pretty formatter keeps ci95 out of the design columns.
+        (pretty,) = format_sweep_rows(rows)
+        assert "mesh_ci95" not in pretty
+
+    def test_seed_set_joins_hash_only_when_multi(self):
+        """Single-seed specs keep their historical hashes (committed
+        streams and farm queues stay resumable); multi-seed specs are
+        content-addressed over the replication axis too."""
+        spec = WorkloadSpec.of("PIP")
+        base = make_stream_header(spec, NocConfig(), "active", "predraw", _TINY)
+        one = make_stream_header(
+            spec, NocConfig(), "active", "predraw", _TINY, seeds=(1,)
+        )
+        multi = make_stream_header(
+            spec, NocConfig(), "active", "predraw", _TINY, seeds=(1, 2)
+        )
+        assert one["spec_hash"] == base["spec_hash"]
+        assert multi["spec_hash"] != base["spec_hash"]
+        assert multi["sweep_spec"]["seeds"] == [1, 2]
+
+    def test_resume_reruns_only_missing_seeds_of_batched_point(
+        self, tmp_path, monkeypatch
+    ):
+        """Killing a multi-seed sweep mid-point must not redo streamed
+        seeds: the batched job shrinks to the seeds still missing."""
+        path = str(tmp_path / "stream.jsonl")
+        kwargs = dict(
+            workload="transpose", designs=("mesh",), loads=(0.03,),
+            seeds=(1, 2, 3, 4), processes=0, kernel="event", **_TINY,
+        )
+        full = run_workload_sweep(stream_path=path, **kwargs)
+        lines = open(path).readlines()
+        with open(path, "w") as fh:
+            fh.writelines(lines[:3])  # header + seeds 1-2 of the point
+        ran = []
+        real_run_job = sweeps._run_job
+
+        def counting_run_job(job):
+            ran.append(job)
+            return real_run_job(job)
+
+        monkeypatch.setattr(sweeps, "_run_job", counting_run_job)
+        resumed = run_workload_sweep(stream_path=path, resume=True, **kwargs)
+        assert [job.seeds for job in ran] == [(3, 4)]
+        assert resumed == full
+        assert len(read_sweep_stream(path)) == 4
+
     def test_transpose_8x8_sweep_accepts_nonminimal_routing(self):
         """ROADMAP item: pattern sweeps can reach
         repro.mapping.nonminimal through a WorkloadSpec param."""

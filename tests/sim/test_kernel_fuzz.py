@@ -7,6 +7,11 @@ event kernel's feeder-ordered settlement), runs all three kernels over
 the identical scenario and asserts bit-identity of every event counter,
 the latency summaries, per-flow summaries and drain status.
 
+The batched legs additionally draw a batch size (2-8) and assert that
+:func:`repro.sim.batch.run_batched` — the lockstep multi-seed engine
+for event-kernel lanes, the generic driver for Dedicated — reproduces
+every per-seed result bit-identically against serial runs.
+
 The seed count defaults to 20 and widens via the ``--fuzz-seeds``
 pytest option (see ``tests/conftest.py``); CI runs ``--fuzz-seeds 100``
 and uploads one ready-to-run repro command per failing seed as a job
@@ -24,6 +29,7 @@ import random
 
 from repro.config import NocConfig
 from repro.eval.designs import build_design
+from repro.sim.batch import BatchedEventNetworks, run_batched
 from repro.sim.traffic import RateScaledTraffic
 from repro.workloads import build_seed_for, build_workload
 
@@ -98,6 +104,47 @@ def assert_identical(case: dict, reference, candidate, kernel: str) -> None:
         )
 
 
+def build_lane(case: dict, traffic_seed: int, kernel: str = "event"):
+    """One network lane for the batched legs (shared built workload)."""
+    cfg = case["cfg"]
+    built = build_workload(
+        case["pattern"], cfg,
+        seed=build_seed_for(case["pattern"], case["traffic_seed"]),
+    )
+    traffic = RateScaledTraffic(
+        cfg, built.flows, scale=case["load"], seed=traffic_seed,
+        mode="predraw",
+    )
+    return build_design(
+        case["design"], cfg, built.flows, traffic=traffic, kernel=kernel
+    ).network
+
+
+def batch_case(fuzz_seed: int, dedicated: bool = False):
+    """Scenario plus a drawn batch size (2-8) and per-lane seeds."""
+    case = draw_case(fuzz_seed, dedicated=dedicated)
+    rng = random.Random(0xBA7C4 + fuzz_seed)
+    batch = rng.randint(2, 8)
+    seeds = [case["traffic_seed"] + 1000 * i for i in range(batch)]
+    return case, seeds
+
+
+def assert_batched_identical(case: dict, seeds, kernel: str) -> None:
+    """Per-seed, per-counter bit-identity of batched vs serial runs."""
+    serial = [
+        build_lane(case, s, kernel).run(**case["run"]) for s in seeds
+    ]
+    batched = run_batched(
+        [build_lane(case, s, kernel) for s in seeds], **case["run"]
+    )
+    assert len(batched) == len(seeds)
+    for seed, reference, candidate in zip(seeds, serial, batched):
+        assert_identical(
+            dict(case, batch_traffic_seed=seed), reference, candidate,
+            "%s-batched" % kernel,
+        )
+
+
 def test_mesh_smart_kernels_bit_identical(fuzz_seed):
     case = draw_case(fuzz_seed)
     reference = run_case(case, "legacy")
@@ -110,3 +157,39 @@ def test_dedicated_kernels_bit_identical(fuzz_seed):
     reference = run_case(case, "legacy")
     for kernel in FUZZ_KERNELS[1:]:
         assert_identical(case, reference, run_case(case, kernel), kernel)
+
+
+def test_batched_event_bit_identical(fuzz_seed):
+    """Lockstep engine == serial event runs, for every seed in a batch."""
+    case, seeds = batch_case(fuzz_seed)
+    assert_batched_identical(case, seeds, "event")
+
+
+def test_batched_dedicated_bit_identical(fuzz_seed):
+    """The generic lockstep driver reproduces Dedicated runs exactly."""
+    case, seeds = batch_case(fuzz_seed, dedicated=True)
+    assert_batched_identical(case, seeds, "event")
+
+
+def test_batched_sanitize_soa_cross_checks(monkeypatch):
+    """SMART_SANITIZE=1 runs the SoA column/object cross-checks on the
+    batched engine at every sync, and they fire on corrupted columns."""
+    from repro.sim import sanitizer
+
+    monkeypatch.setenv("SMART_SANITIZE", "1")
+    case, seeds = batch_case(3)
+    lanes = [build_lane(case, s) for s in seeds]
+    assert all(net.sanitize for net in lanes)
+    eng = BatchedEventNetworks(lanes)
+    assert eng.sanitize
+    eng.run_cycles(400)  # syncs run check_batch without raising
+
+    eng.occ[0] -= 1  # corrupt one occupancy column entry
+    try:
+        sanitizer.check_batch(eng)
+    except sanitizer.SanitizerError:
+        pass
+    else:
+        raise AssertionError(
+            "check_batch accepted a corrupted occupancy column"
+        )

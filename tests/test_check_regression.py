@@ -72,11 +72,27 @@ class TestRateDiscovery:
 
     def test_environment_comparison(self, checker):
         other = dict(ENV, cpu_count=4)
+        assert "cpu_count" in checker.MACHINE_KEYS
         assert checker.comparable_machines(_bench(1.0), _bench(1.0))
         assert not checker.comparable_machines(
             _bench(1.0), _bench(1.0, env=other)
         )
         assert not checker.comparable_machines({}, _bench(1.0))
+
+    def test_missing_cpu_count_is_not_comparable(self, checker):
+        """Stamps that both omit cpu_count must not match on None ==
+        None: a single-core runner would gate absolute rates against a
+        multi-core baseline."""
+        stripped = {k: v for k, v in ENV.items() if k != "cpu_count"}
+        assert not checker.comparable_machines(
+            _bench(1.0, env=stripped), _bench(1.0, env=stripped)
+        )
+        assert not checker.comparable_machines(
+            _bench(1.0), _bench(1.0, env=stripped)
+        )
+        assert not checker.comparable_machines(
+            _bench(1.0, env=stripped), _bench(1.0)
+        )
 
     def test_run_length_joins_comparability(self, checker):
         """Short-mode rates (fewer simulated cycles) never gate against
