@@ -184,6 +184,23 @@ def _design_list(value: str) -> List[str]:
     return designs
 
 
+def _arrival_kwargs(args):
+    """(arrival, arrival_params) from the shared CLI arrival knobs."""
+    params = {}
+    if args.on_cycles is not None:
+        params["on_cycles"] = args.on_cycles
+    if args.off_cycles is not None:
+        params["off_cycles"] = args.off_cycles
+    if args.quiet_scale is not None:
+        params["quiet_scale"] = args.quiet_scale
+    if args.arrival == "bernoulli" and params:
+        raise SystemExit(
+            "--on-cycles/--off-cycles/--quiet-scale need --arrival "
+            "onoff or mmpp"
+        )
+    return args.arrival, (params or None)
+
+
 def _cmd_sweep(args) -> None:
     import os
 
@@ -242,6 +259,7 @@ def _cmd_sweep(args) -> None:
             else "%.2f cyc" % point["summary"].mean_head_latency,
         ))
 
+    arrival, arrival_params = _arrival_kwargs(args)
     rows = run_workload_sweep(
         workload.name,
         designs=designs,
@@ -254,6 +272,9 @@ def _cmd_sweep(args) -> None:
         on_result=on_result,
         stream_path=stream_path,
         resume=args.resume,
+        arrival=arrival,
+        arrival_params=arrival_params,
+        slo=args.slo,
     )
     print(render_table(format_sweep_rows(rows), title=title))
     print("(* = saturated: the run failed to drain its measured packets)")
@@ -273,7 +294,12 @@ def _cmd_sweep(args) -> None:
         "seeds": list(seeds),
         "batched": len(seeds) > 1,
         "measure_cycles": args.measure,
+        "arrival": arrival,
     }
+    if arrival_params:
+        meta["arrival_params"] = arrival_params
+    if args.slo is not None:
+        meta["slo"] = args.slo
     write_sweep_json(out, rows, meta=meta)
     print("wrote %s (aggregated rows); streamed grid points: %s"
           % (out, stream_path))
@@ -288,6 +314,7 @@ def _cmd_farm_enumerate(args) -> None:
         width, height = args.size
         cfg = NocConfig(width=width, height=height)
     loads = [float(x) for x in args.loads.split(",")] if args.loads else None
+    arrival, arrival_params = _arrival_kwargs(args)
     spec = enumerate_farm(
         args.workload,
         designs=args.designs,
@@ -297,6 +324,8 @@ def _cmd_farm_enumerate(args) -> None:
         kernel=args.kernel,
         root=args.root,
         measure_cycles=args.measure,
+        arrival=arrival,
+        arrival_params=arrival_params,
     )
     if args.quiet:
         print(spec.root)
@@ -336,7 +365,8 @@ def _cmd_farm_merge(args) -> None:
     from repro.eval.farm import merge_farm
 
     result = merge_farm(
-        _farm_spec_dir(args), out_base=args.out, compact=args.compact
+        _farm_spec_dir(args), out_base=args.out, compact=args.compact,
+        slo=args.slo,
     )
     print("farm %s: merged %d/%d points (%d duplicate rows, %d torn "
           "lines, %d rows outside grid)"
@@ -394,16 +424,20 @@ def _cmd_workloads(_args) -> None:
 
 
 def _cmd_plot(args) -> None:
-    from repro.eval.plotting import matplotlib_available, plot_sweep_stream
+    from repro.eval.plotting import (
+        matplotlib_available,
+        plot_sweep_stream,
+        plot_tail_stream,
+    )
 
     if not matplotlib_available():
         raise SystemExit(
             "matplotlib is not installed; install it to render sweep plots"
         )
+    render = plot_tail_stream if args.histogram else plot_sweep_stream
     for stream in args.streams:
         out = args.out if len(args.streams) == 1 else None
-        print("wrote %s" % plot_sweep_stream(stream, out_path=out,
-                                             title=args.title))
+        print("wrote %s" % render(stream, out_path=out, title=args.title))
 
 
 def _cmd_lint(args) -> None:
@@ -485,6 +519,27 @@ def build_parser() -> argparse.ArgumentParser:
         "legacy (the stream header records it; --resume refuses a "
         "stream swept with another kernel)",
     )
+    def arrival_args(p):
+        p.add_argument(
+            "--arrival", default="bernoulli",
+            choices=("bernoulli", "onoff", "mmpp"),
+            help="packet arrival process: bernoulli (memoryless, the "
+            "default), onoff (bursts separated by silence) or mmpp "
+            "(bursts over a quiet background rate); see docs/workloads.md",
+        )
+        p.add_argument("--on-cycles", type=float, default=None,
+                       help="mean burst length in cycles (onoff/mmpp)")
+        p.add_argument("--off-cycles", type=float, default=None,
+                       help="mean gap between bursts in cycles (onoff/mmpp)")
+        p.add_argument("--quiet-scale", type=float, default=None,
+                       help="off-state rate as a fraction of the burst "
+                       "rate (mmpp; 0 = fully silent)")
+
+    arrival_args(p_sweep)
+    p_sweep.add_argument("--slo", type=float, default=None,
+                         help="p99 head-latency ceiling in cycles; adds "
+                         "per-tenant _slo_ok verdict columns for "
+                         "tenant-tagged workloads")
     p_sweep.add_argument("--seeds", type=int, default=1,
                          help="replications per grid point")
     p_sweep.add_argument("--jobs", type=int, default=None,
@@ -533,6 +588,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="replications per grid point")
     p_fe.add_argument("--kernel", default="active", type=_kernel_name)
     p_fe.add_argument("--measure", type=int, default=8000)
+    arrival_args(p_fe)
     p_fe.add_argument("--root", default="results/farm")
     p_fe.add_argument("--quiet", action="store_true",
                       help="print only the queue directory (for scripts)")
@@ -570,6 +626,10 @@ def build_parser() -> argparse.ArgumentParser:
                       "(refused while fresh leases exist)")
     p_fm.add_argument("--expect-complete", action="store_true",
                       help="exit non-zero unless every grid point merged")
+    p_fm.add_argument("--slo", type=float, default=None,
+                      help="p99 head-latency ceiling in cycles; adds "
+                      "per-tenant _slo_ok verdict columns for "
+                      "tenant-tagged workloads")
     p_fm.set_defaults(func=_cmd_farm_merge)
 
     p_fs = farm_sub.add_parser(
@@ -605,6 +665,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="output PNG path (single stream only; default: "
                         "the stream path with a .png extension)")
     p_plot.add_argument("--title", default=None)
+    p_plot.add_argument("--histogram", action="store_true",
+                        help="render histogram-pooled tail-latency bands "
+                        "(P50/P95/P99 per design) instead of mean curves")
     p_plot.set_defaults(func=_cmd_plot)
     sub.add_parser("apps").set_defaults(func=_cmd_apps)
     p_lint = sub.add_parser(

@@ -46,7 +46,13 @@ from repro.eval.experiments import (
     run_suite,
     run_workload,
 )
-from repro.eval.plotting import matplotlib_available, plot_sweep_stream, sweep_curves
+from repro.eval.plotting import (
+    matplotlib_available,
+    plot_sweep_stream,
+    plot_tail_stream,
+    sweep_curves,
+    tail_curves,
+)
 from repro.eval.report import render_table, rows_to_csv, write_csv
 from repro.eval.sweeps import (
     SweepJob,
@@ -94,6 +100,7 @@ __all__ = [
     "mapping_comparison",
     "matplotlib_available",
     "plot_sweep_stream",
+    "plot_tail_stream",
     "read_sweep_header",
     "read_sweep_stream",
     "render_table",
@@ -107,6 +114,7 @@ __all__ = [
     "run_workload_sweep",
     "saturation_load",
     "sweep_curves",
+    "tail_curves",
     "vc_sweep",
     "write_csv",
     "write_sweep_json",

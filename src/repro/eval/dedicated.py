@@ -363,7 +363,9 @@ class DedicatedNetwork:
         self.flow_by_id = {f.flow_id: f for f in self.flows}
         self.traffic = traffic
         self.counters = EventCounters()
-        self.stats = StatsCollector()
+        self.stats = StatsCollector(
+            tenants={f.flow_id: f.tenant for f in self.flows if f.tenant}
+        )
         self.cycle = 0
 
         by_dst: Dict[int, List[Flow]] = {}
@@ -969,6 +971,8 @@ class DedicatedNetwork:
             total_cycles=self.cycle,
             drained=drained,
             undelivered_measured=self.stats.outstanding_measured,
+            per_tenant=self.stats.per_tenant_summary(),
+            node_delivered_flits=dict(self.stats.node_flits),
         )
 
     def run_cycles(self, cycles: int) -> None:

@@ -210,6 +210,10 @@ class FarmSpec:
             warmup_cycles=spec["warmup_cycles"],
             measure_cycles=spec["measure_cycles"],
             drain_limit=spec["drain_limit"],
+            arrival=spec.get("arrival", "bernoulli"),
+            arrival_params=tuple(
+                sorted(spec.get("arrival_params", {}).items())
+            ),
         )
 
 
@@ -269,11 +273,13 @@ def enumerate_farm(
     kernel: str = "active",
     traffic_mode: str = "predraw",
     root: str = DEFAULT_ROOT,
+    arrival: str = "bernoulli",
+    arrival_params: Optional[Dict[str, float]] = None,
     **run_kwargs: int,
 ) -> FarmSpec:
     """Create (or extend) the content-addressed queue for one sweep spec.
 
-    Resolves the workload and run window exactly like
+    Resolves the workload, run window and arrival process exactly like
     :func:`repro.eval.sweeps.run_workload_sweep`, hashes the spec with
     the shared stream-header hash, and writes
     ``<root>/<spec_hash>/spec.json`` atomically.  Re-enumerating an
@@ -291,7 +297,10 @@ def enumerate_farm(
     points = tuple(
         float(x) for x in (loads if loads is not None else target.default_loads)
     )
-    header = make_stream_header(spec, base, kernel, traffic_mode, kwargs)
+    header = make_stream_header(
+        spec, base, kernel, traffic_mode, kwargs,
+        arrival=arrival, arrival_params=arrival_params,
+    )
     spec_dir = os.path.join(root, header["spec_hash"])
     grid = {
         "designs": [str(d) for d in designs],
@@ -751,6 +760,7 @@ def merge_farm(
     spec: Union[str, FarmSpec],
     out_base: Optional[str] = None,
     compact: bool = False,
+    slo: Optional[Union[float, Dict[str, float]]] = None,
 ) -> MergeResult:
     """Union all shards into the single-process sweep's outputs.
 
@@ -770,6 +780,12 @@ def merge_farm(
     the per-worker shards whose rows it just folded in.  Compaction
     refuses to run while any fresh lease exists (a live worker may be
     appending).
+
+    Rows carrying latency histograms aggregate to exact-to-bucket
+    pooled tail percentiles; ``slo`` (a p99 head-latency ceiling in
+    cycles) adds per-tenant ``_slo_ok`` verdict columns for workloads
+    with tenant-tagged flows — both exactly as in
+    :func:`repro.eval.sweeps.run_workload_sweep`.
     """
     farm = load_farm(spec) if isinstance(spec, str) else spec
     rows, partial_lines = scan_rows(farm)
@@ -797,8 +813,11 @@ def merge_farm(
                      + "\n")
     os.replace(tmp, stream_path)
 
-    aggregated = _aggregate(ordered, farm.designs, farm.loads)
     sweep_spec = farm.header["sweep_spec"]
+    aggregated = _aggregate(
+        ordered, farm.designs, farm.loads,
+        measure_cycles=sweep_spec["measure_cycles"], slo=slo,
+    )
     meta = {
         "workload": sweep_spec["workload"],
         "kernel": sweep_spec["kernel"],

@@ -2,11 +2,12 @@
 
 ``results/sweep_*.jsonl`` streams hold one JSON line per completed
 (design, load, seed) grid point (see ``docs/kernel.md``).  This module
-aggregates them into per-design curves (:func:`sweep_curves`, pure
-Python — usable without matplotlib) and renders the classic
-latency-vs-load plot next to the markdown tables
-(:func:`plot_sweep_stream`, which requires matplotlib and uses the
-headless Agg backend).
+aggregates them into per-design curves (:func:`sweep_curves` for mean
+latency, :func:`tail_curves` for histogram-pooled P50/P95/P99 bands —
+both pure Python, usable without matplotlib) and renders the classic
+latency-vs-load plot (:func:`plot_sweep_stream`) or the tail-latency
+band plot (:func:`plot_tail_stream`) next to the markdown tables; the
+renderers require matplotlib and use the headless Agg backend.
 
 matplotlib is an *optional* dependency: importing this module never
 fails, :func:`matplotlib_available` reports whether rendering can work,
@@ -52,6 +53,54 @@ def sweep_curves(points: List[Dict[str, object]]) -> Dict[str, List[CurvePoint]]
         summary = aggregate_summaries([p["summary"] for p in group])
         curves.setdefault(design, []).append(
             (load, summary.mean_head_latency, any(p["saturated"] for p in group))
+        )
+    return curves
+
+
+#: One tail-curve point: (load, {fraction: latency}, any seed saturated).
+TailPoint = Tuple[float, Dict[float, float], bool]
+
+#: Percentile fractions rendered by :func:`plot_tail_stream`.
+TAIL_FRACTIONS = (0.50, 0.95, 0.99)
+
+
+def tail_curves(
+    points: List[Dict[str, object]],
+    fractions: Tuple[float, ...] = TAIL_FRACTIONS,
+) -> Dict[str, List[TailPoint]]:
+    """Aggregate streamed grid points into percentile curves per design.
+
+    Seeds at the same (design, load) pool their latency histograms
+    (bucket-count addition), so each percentile is exact to one bucket
+    over the union of all replications' packets — matching the sweep
+    runner's ``_p50``/``_p95``/``_p99`` columns.  Points without
+    histograms (legacy streams) fall back to the summary's recorded
+    percentile fields where available and NaN otherwise.
+    """
+    grouped: Dict[Tuple[str, float], List[Dict[str, object]]] = {}
+    for point in points:
+        grouped.setdefault(
+            (str(point["design"]), float(point["load"])), []
+        ).append(point)
+    fallback = {
+        0.50: "p50_head_latency",
+        0.95: "p95_head_latency",
+        0.99: "p99_head_latency",
+        0.999: "p999_head_latency",
+    }
+    curves: Dict[str, List[TailPoint]] = {}
+    for (design, load), group in sorted(grouped.items()):
+        summary = aggregate_summaries([p["summary"] for p in group])
+        tails: Dict[float, float] = {}
+        for fraction in fractions:
+            if summary.histogram is not None and summary.histogram.total:
+                tails[fraction] = summary.histogram.percentile(fraction)
+            else:
+                tails[fraction] = getattr(
+                    summary, fallback.get(fraction, ""), math.nan
+                )
+        curves.setdefault(design, []).append(
+            (load, tails, any(p["saturated"] for p in group))
         )
     return curves
 
@@ -126,6 +175,105 @@ def plot_sweep_stream(
     fig.tight_layout()
     if out_path is None:
         out_path = os.path.splitext(path)[0] + ".png"
+    parent = os.path.dirname(out_path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    fig.savefig(out_path, dpi=120)
+    plt.close(fig)
+    return out_path
+
+
+def plot_tail_stream(
+    path: str,
+    out_path: Optional[str] = None,
+    title: Optional[str] = None,
+    fractions: Tuple[float, ...] = TAIL_FRACTIONS,
+) -> str:
+    """Render a sweep stream's tail-latency curves as a PNG.
+
+    One colour per design; within a design the percentile band is drawn
+    as P50 (solid), P95 (dashed) and P99 (dotted) lines over a shaded
+    P50-P99 fill, pooled across seeds from the per-run latency
+    histograms (see :func:`tail_curves`).  Saturated points are marked
+    with an 'x' on the highest percentile line.  ``out_path`` defaults
+    to the stream path with a ``_tail.png`` suffix.  Raises
+    ``RuntimeError`` if matplotlib is not installed.
+    """
+    if not matplotlib_available():
+        raise RuntimeError(
+            "matplotlib is not installed; install it to render tail plots "
+            "(the sweep data itself never needs it)"
+        )
+    from repro.eval.sweeps import read_sweep_header, read_sweep_stream
+
+    points = read_sweep_stream(path)
+    if not points:
+        raise ValueError("no grid points in %s" % path)
+    header = read_sweep_header(path)
+    curves = tail_curves(points, fractions=fractions)
+    if title is None:
+        spec = (header or {}).get("sweep_spec", {})
+        workload = spec.get("workload")
+        cfg = spec.get("cfg", {})
+        size = (
+            "%sx%s" % (cfg["width"], cfg["height"])
+            if "width" in cfg and "height" in cfg
+            else None
+        )
+        title = "Tail latency vs load" + (
+            " — %s%s" % (workload, " on %s" % size if size else "")
+            if workload
+            else ""
+        )
+
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    styles = ["-", "--", ":", "-."]
+    ordered = tuple(sorted(fractions))
+    fig, ax = plt.subplots(figsize=(6.4, 4.2))
+    for design, curve in sorted(curves.items()):
+        finite = [
+            (l, tails, sat)
+            for l, tails, sat in curve
+            if any(not math.isnan(v) for v in tails.values())
+        ]
+        if not finite:
+            continue
+        loads = [l for l, _t, _s in finite]
+        color = None
+        for index, fraction in enumerate(ordered):
+            lats = [t.get(fraction, math.nan) for _l, t, _s in finite]
+            (line,) = ax.plot(
+                loads, lats,
+                linestyle=styles[index % len(styles)],
+                marker="o", markersize=3, color=color,
+                label="%s p%g" % (design, fraction * 100),
+            )
+            color = line.get_color()
+        if len(ordered) >= 2:
+            low = [t.get(ordered[0], math.nan) for _l, t, _s in finite]
+            high = [t.get(ordered[-1], math.nan) for _l, t, _s in finite]
+            ax.fill_between(loads, low, high, color=color, alpha=0.12)
+        saturated = [
+            (l, t.get(ordered[-1], math.nan)) for l, t, s in finite if s
+        ]
+        if saturated:
+            ax.plot(
+                [l for l, _ in saturated],
+                [lat for _, lat in saturated],
+                linestyle="none", marker="x", markersize=10, color=color,
+            )
+    ax.set_xlabel("offered load")
+    ax.set_ylabel("head latency percentile (cycles)")
+    ax.set_title(title)
+    ax.legend(fontsize=8)
+    ax.grid(True, alpha=0.3)
+    fig.tight_layout()
+    if out_path is None:
+        out_path = os.path.splitext(path)[0] + "_tail.png"
     parent = os.path.dirname(out_path)
     if parent:
         os.makedirs(parent, exist_ok=True)

@@ -75,7 +75,12 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.config import NocConfig
 from repro.eval.designs import DESIGNS
-from repro.sim.stats import LatencySummary, aggregate_summaries, ci95_halfwidth
+from repro.sim.stats import (
+    LatencySummary,
+    aggregate_summaries,
+    ci95_halfwidth,
+    slo_verdicts,
+)
 from repro.workloads import (
     BuiltWorkload,
     WorkloadSpec,
@@ -117,6 +122,11 @@ class SweepJob:
     drain_limit: int = DEFAULT_RUN_KWARGS["drain_limit"]
     #: Seed replications to run lockstep-batched (None: single ``seed``).
     seeds: Optional[Tuple[int, ...]] = None
+    #: Arrival process (:data:`repro.sim.traffic.ARRIVALS`) and its
+    #: knobs as a sorted (name, value) tuple — picklable/hashable like
+    #: ``WorkloadSpec.params``.
+    arrival: str = "bernoulli"
+    arrival_params: Tuple[Tuple[str, float], ...] = ()
 
 
 @functools.lru_cache(maxsize=None)
@@ -147,7 +157,22 @@ def _point_row(job: SweepJob, seed: int, result, traffic) -> Dict[str, Any]:
         ),
         "saturated": not result.drained,
         "clamped_flows": len(traffic.clamped_rates),
+        "tenants": dict(result.per_tenant),
+        "node_flits": dict(result.node_delivered_flits),
     }
+
+
+def _job_traffic(job: SweepJob, built: BuiltWorkload, seed: int):
+    """The injection process for one grid point (load-scaled, with the
+    job's arrival process and the workload's fixed foreground flows)."""
+    from repro.sim.traffic import RateScaledTraffic
+
+    return RateScaledTraffic(
+        job.cfg, built.flows, scale=job.load, seed=seed,
+        mode=job.traffic_mode, arrival=job.arrival,
+        arrival_params=dict(job.arrival_params) or None,
+        fixed_flow_ids=built.fixed_flow_ids,
+    )
 
 
 def _run_job(job: SweepJob):
@@ -157,7 +182,6 @@ def _run_job(job: SweepJob):
     for a batched (``job.seeds``) one.
     """
     from repro.eval.designs import build_design
-    from repro.sim.traffic import RateScaledTraffic
 
     cfg = job.cfg
     if job.seeds:
@@ -169,10 +193,7 @@ def _run_job(job: SweepJob):
             built = _worker_workload(
                 job.workload, cfg, build_seed_for(job.workload, seed)
             )
-            traffic = RateScaledTraffic(
-                cfg, built.flows, scale=job.load, seed=seed,
-                mode=job.traffic_mode,
-            )
+            traffic = _job_traffic(job, built, seed)
             lanes.append(
                 build_design(
                     job.design, cfg, built.flows, traffic=traffic,
@@ -193,9 +214,7 @@ def _run_job(job: SweepJob):
     built = _worker_workload(
         job.workload, cfg, build_seed_for(job.workload, job.seed)
     )
-    traffic = RateScaledTraffic(
-        cfg, built.flows, scale=job.load, seed=job.seed, mode=job.traffic_mode
-    )
+    traffic = _job_traffic(job, built, job.seed)
     instance = build_design(
         job.design, cfg, built.flows, traffic=traffic, kernel=job.kernel
     )
@@ -224,6 +243,8 @@ def make_stream_header(
     traffic_mode: str,
     run_kwargs: Dict[str, int],
     seeds: Optional[Sequence[int]] = None,
+    arrival: str = "bernoulli",
+    arrival_params: Optional[Dict[str, float]] = None,
 ) -> Dict[str, Any]:
     """Header line for a sweep stream: the spec plus its content hash.
 
@@ -234,7 +255,9 @@ def make_stream_header(
     grid.  Multi-seed sweeps (``seeds`` with more than one entry, the
     ``repro sweep --seeds N`` path) additionally hash the seed set, so
     resume and farm queues stay content-addressed over the replication
-    axis; single-seed specs keep their historical hashes.
+    axis; likewise a non-default ``arrival`` process (and its knobs)
+    joins the spec.  Default Bernoulli single-seed specs keep their
+    historical hashes.
     """
     spec = {
         "format": STREAM_FORMAT,
@@ -249,6 +272,9 @@ def make_stream_header(
     }
     if seeds is not None and len(seeds) > 1:
         spec["seeds"] = [int(seed) for seed in seeds]
+    if arrival != "bernoulli":
+        spec["arrival"] = arrival
+        spec["arrival_params"] = dict(arrival_params or {})
     return {"sweep_spec": spec, "spec_hash": sweep_spec_hash(spec)}
 
 
@@ -277,31 +303,80 @@ def _float_or_none(value: Any) -> Optional[float]:
     return None if isinstance(value, float) and math.isnan(value) else value
 
 
+def _summary_to_json(summary: LatencySummary) -> Dict[str, Any]:
+    """A :class:`LatencySummary` as a strict-JSON-safe dict.
+
+    NaN is written as ``null``; the latency histogram (when present) is
+    written sparsely under ``"hist"`` as ``{bucket: count}``.
+    """
+    out: Dict[str, Any] = {}
+    for field in dataclasses.fields(summary):
+        value = getattr(summary, field.name)
+        if field.name == "histogram":
+            if value is not None:
+                out["hist"] = value.to_sparse()
+            continue
+        out[field.name] = _float_or_none(value)
+    return out
+
+
+def _summary_from_json(data: Dict[str, Any]) -> LatencySummary:
+    """Inverse of :func:`_summary_to_json` (legacy rows lack ``hist``)."""
+    from repro.sim.stats import LatencyHistogram
+
+    raw = dict(data)
+    hist = raw.pop("hist", None)
+    for key, value in raw.items():
+        if value is None:
+            raw[key] = math.nan
+    summary = LatencySummary(**raw)
+    if hist is not None:
+        summary.histogram = LatencyHistogram.from_sparse(hist)
+    return summary
+
+
 def _point_to_json(point: Dict[str, Any]) -> Dict[str, Any]:
     """One grid-point result as a strict-JSON-safe dict (NaN -> null)."""
     summary: LatencySummary = point["summary"]
-    return {
+    row = {
         "design": point["design"],
         "load": point["load"],
         "seed": point["seed"],
-        "summary": {
-            field.name: _float_or_none(getattr(summary, field.name))
-            for field in dataclasses.fields(summary)
-        },
+        "summary": _summary_to_json(summary),
         "throughput": point["throughput"],
         "saturated": point["saturated"],
         "clamped_flows": point["clamped_flows"],
     }
+    tenants: Dict[str, LatencySummary] = point.get("tenants") or {}
+    if tenants:
+        row["tenants"] = {
+            name: _summary_to_json(tenant_summary)
+            for name, tenant_summary in tenants.items()
+        }
+    node_flits: Dict[int, int] = point.get("node_flits") or {}
+    if node_flits:
+        row["node_flits"] = {
+            str(node): int(flits) for node, flits in node_flits.items()
+        }
+    return row
 
 
 def _point_from_json(data: Dict[str, Any]) -> Dict[str, Any]:
-    """Inverse of :func:`_point_to_json` (null -> NaN, dict -> summary)."""
-    raw = dict(data["summary"])
-    for key, value in raw.items():
-        if value is None:
-            raw[key] = math.nan
+    """Inverse of :func:`_point_to_json` (null -> NaN, dict -> summary).
+
+    Rows from legacy streams lack ``tenants``/``node_flits``/``hist``;
+    those decode to empty dicts / a ``None`` histogram.
+    """
     point = dict(data)
-    point["summary"] = LatencySummary(**raw)
+    point["summary"] = _summary_from_json(data["summary"])
+    point["tenants"] = {
+        name: _summary_from_json(tenant_data)
+        for name, tenant_data in (data.get("tenants") or {}).items()
+    }
+    point["node_flits"] = {
+        int(node): int(flits)
+        for node, flits in (data.get("node_flits") or {}).items()
+    }
     return point
 
 
@@ -468,15 +543,28 @@ def _aggregate(
     raw: List[Dict[str, Any]],
     designs: Sequence[str],
     loads: Sequence[float],
+    measure_cycles: Optional[int] = None,
+    slo: Optional[Union[float, Dict[str, float]]] = None,
 ) -> List[Dict[str, Any]]:
     """One row per load, one latency/saturation column group per design.
 
-    Per-seed replications pool with count-weighted means
-    (:func:`repro.sim.stats.aggregate_summaries`); ``<design>_ci95``
-    carries the Student-t 95% confidence half-width of the per-seed
-    mean head latencies (NaN below two seeds); throughput averages
-    over seeds; the saturation flag is sticky (any seed failing to
-    drain marks the point) and ``clamped`` reports the worst seed.
+    Per-seed replications pool with :func:`repro.sim.stats.\
+aggregate_summaries` — exact-to-bucket pooled tail percentiles
+    (``_p50``/``_p95``/``_p99``/``_p999``) when every replication
+    carries a histogram, count-weighted means otherwise;
+    ``<design>_ci95`` carries the Student-t 95% confidence half-width
+    of the per-seed mean head latencies (NaN below two seeds);
+    throughput averages over seeds; the saturation flag is sticky (any
+    seed failing to drain marks the point) and ``clamped`` reports the
+    worst seed.
+
+    With ``measure_cycles``, ``<design>_max_node_bw`` reports the
+    hottest ejection port: delivered flits per measured cycle at the
+    busiest destination node, averaged over seeds.  Points carrying
+    per-tenant summaries additionally get ``<design>_<tenant>_p99``
+    columns, plus ``<design>_<tenant>_slo_ok`` verdicts when ``slo``
+    (a p99 head-latency ceiling in cycles) is given — see
+    :func:`repro.sim.stats.slo_verdicts`.
     """
     rows: List[Dict[str, Any]] = []
     for load in loads:
@@ -491,7 +579,10 @@ def _aggregate(
                 [p["summary"] for p in points]
             )
             row[design] = summary.mean_head_latency
+            row["%s_p50" % design] = summary.p50_head_latency
             row["%s_p95" % design] = summary.p95_head_latency
+            row["%s_p99" % design] = summary.p99_head_latency
+            row["%s_p999" % design] = summary.p999_head_latency
             row["%s_ci95" % design] = ci95_halfwidth(
                 [p["summary"].mean_head_latency for p in points]
             )
@@ -502,6 +593,35 @@ def _aggregate(
             row["%s_clamped" % design] = max(
                 p["clamped_flows"] for p in points
             )
+            if measure_cycles:
+                node_totals: Dict[int, int] = {}
+                for p in points:
+                    for node, flits in (p.get("node_flits") or {}).items():
+                        node_totals[node] = node_totals.get(node, 0) + flits
+                row["%s_max_node_bw" % design] = (
+                    max(node_totals.values())
+                    / (measure_cycles * len(points))
+                    if node_totals else 0.0
+                )
+            tenant_pools: Dict[str, List[LatencySummary]] = {}
+            for p in points:
+                for name, tenant_summary in (p.get("tenants") or {}).items():
+                    tenant_pools.setdefault(name, []).append(tenant_summary)
+            pooled_tenants = {
+                name: aggregate_summaries(pool)
+                for name, pool in sorted(tenant_pools.items())
+            }
+            for name, pooled in pooled_tenants.items():
+                row["%s_%s_p99" % (design, name)] = pooled.p99_head_latency
+            if slo is not None and pooled_tenants:
+                thresholds = (
+                    dict(slo) if isinstance(slo, dict)
+                    else {name: float(slo) for name in pooled_tenants}
+                )
+                for name, ok in slo_verdicts(
+                    pooled_tenants, thresholds
+                ).items():
+                    row["%s_%s_slo_ok" % (design, name)] = ok
         rows.append(row)
     return rows
 
@@ -561,22 +681,37 @@ def run_workload_sweep(
     stream_path: Optional[str] = None,
     resume: bool = False,
     batch: Optional[bool] = None,
+    arrival: str = "bernoulli",
+    arrival_params: Optional[Dict[str, float]] = None,
+    slo: Optional[Union[float, Dict[str, float]]] = None,
     **run_kwargs: int,
 ) -> List[Dict[str, Any]]:
     """Latency vs load for any registered workload, in parallel.
 
     ``loads`` defaults to the workload's own axis defaults (bandwidth
     scales for apps, injection rates for patterns).  Returns one row per
-    load with per-design mean/p95 latency, a 95% confidence half-width
-    over seeds, accepted throughput (flits/cycle), a saturation flag
-    (the run failed to drain) and how many flows were clamped at the
-    injection-port limit.  See the module docstring for the
-    ``on_result``/``stream_path``/``resume`` streaming hooks.
+    load with per-design mean latency and tail percentiles
+    (``_p50``/``_p95``/``_p99``/``_p999``, pooled exactly across seeds
+    via per-run histograms), a 95% confidence half-width over seeds,
+    accepted throughput (flits/cycle), hottest-node delivered bandwidth
+    (``_max_node_bw``), a saturation flag (the run failed to drain) and
+    how many flows were clamped at the injection-port limit.  See the
+    module docstring for the ``on_result``/``stream_path``/``resume``
+    streaming hooks.
 
     ``batch`` chooses lockstep-batched seed replications (one job per
     (design, load) advancing all seeds through
     :func:`repro.sim.batch.run_batched`, bit-identical to serial runs);
     ``None`` auto-enables it whenever more than one seed is requested.
+
+    ``arrival`` selects the packet arrival process
+    (:data:`repro.sim.traffic.ARRIVALS`): ``"bernoulli"`` (default,
+    memoryless), or the bursty ``"onoff"``/``"mmpp"`` processes with
+    knobs in ``arrival_params`` (``on_cycles``, ``off_cycles``,
+    ``quiet_scale``) — see :class:`repro.sim.traffic.MmppTraffic`.
+    Workloads with tenant-tagged flows (composites, tenant mixes) get
+    per-tenant ``<design>_<tenant>_p99`` columns; ``slo`` (a p99
+    head-latency ceiling in cycles) adds ``_slo_ok`` verdicts.
     """
     spec = WorkloadSpec.of(workload)
     target = get_workload(spec.name)
@@ -586,15 +721,21 @@ def run_workload_sweep(
     kwargs.update(run_kwargs)
     points = tuple(loads) if loads is not None else target.default_loads
     do_batch = len(seeds) > 1 if batch is None else batch
+    params = tuple(sorted((arrival_params or {}).items()))
     jobs = _make_jobs(
         designs, points, seeds, base, kwargs, batch=do_batch,
         workload=spec, kernel=kernel, traffic_mode=traffic_mode,
+        arrival=arrival, arrival_params=params,
     )
     header = make_stream_header(
-        spec, base, kernel, traffic_mode, kwargs, seeds=seeds
+        spec, base, kernel, traffic_mode, kwargs, seeds=seeds,
+        arrival=arrival, arrival_params=dict(params),
     )
     raw = _run_jobs(jobs, processes, on_result, stream_path, resume, header)
-    return _aggregate(raw, designs, points)
+    return _aggregate(
+        raw, designs, points,
+        measure_cycles=kwargs["measure_cycles"], slo=slo,
+    )
 
 
 def run_load_sweep(
@@ -644,7 +785,10 @@ def format_sweep_rows(rows: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
         pretty: Dict[str, Any] = {"load": row["load"]}
         for key, value in row.items():
             if key == "load" or key.endswith(
-                ("_p95", "_ci95", "_thrpt", "_saturated", "_clamped")
+                (
+                    "_p50", "_p95", "_p99", "_p999", "_ci95", "_thrpt",
+                    "_saturated", "_clamped", "_max_node_bw", "_slo_ok",
+                )
             ):
                 continue
             flag = "*" if row.get("%s_saturated" % key) else ""

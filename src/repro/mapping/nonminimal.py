@@ -138,6 +138,7 @@ def select_routes_nonminimal(
             flow.bandwidth_bps,
             best_route,
             name=flow.name,
+            tenant=flow.tenant,
         )
         state.commit(mesh, chosen)
         routed[flow.flow_id] = chosen

@@ -31,6 +31,9 @@ class PlacedFlow:
     dst: int
     bandwidth_bps: float
     name: str = ""
+    #: Tenant label carried through routing into the simulated flow
+    #: (empty = untagged; see ``repro.sim.stats``).
+    tenant: str = ""
 
 
 class _ConflictState:
@@ -109,6 +112,7 @@ def select_routes(
             flow.bandwidth_bps,
             best_route,
             name=flow.name,
+            tenant=flow.tenant,
         )
         state.commit(mesh, chosen)
         routed[flow.flow_id] = chosen

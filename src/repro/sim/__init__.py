@@ -25,22 +25,30 @@ from repro.sim.segments import (
 )
 from repro.sim.stats import (
     EventCounters,
+    HIST_NUM_BUCKETS,
+    LatencyHistogram,
     LatencySummary,
     SimResult,
     StatsCollector,
     accepted_flits_per_cycle,
     aggregate_summaries,
     ci95_halfwidth,
+    hist_bucket,
+    hist_bucket_bounds,
+    slo_verdicts,
 )
 from repro.sim.topology import MM_PER_HOP, Mesh, Port
 from repro.sim.traffic import (
+    ARRIVALS,
     BernoulliTraffic,
+    MmppTraffic,
     RateScaledTraffic,
     ScriptedTraffic,
     TrafficModel,
 )
 
 __all__ = [
+    "ARRIVALS",
     "BatchedEventNetworks",
     "BernoulliTraffic",
     "BufferEnd",
@@ -51,8 +59,11 @@ __all__ = [
     "FlitType",
     "Flow",
     "FreeVcQueue",
+    "HIST_NUM_BUCKETS",
     "InputBuffer",
+    "LatencyHistogram",
     "LatencySummary",
+    "MmppTraffic",
     "LockstepNetworks",
     "MM_PER_HOP",
     "Mesh",
@@ -77,7 +88,10 @@ __all__ = [
     "aggregate_summaries",
     "bandwidth_for_injection_rate",
     "ci95_halfwidth",
+    "hist_bucket",
+    "hist_bucket_bounds",
     "run_batched",
+    "slo_verdicts",
     "synthetic_flows",
     "validate_flow_set",
     "xy_route",

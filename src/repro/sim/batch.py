@@ -108,7 +108,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from .network import Network
 from .packet import Packet, _packet_ids
-from .stats import SimResult
+from .stats import SimResult, hist_bucket
 from .traffic import BernoulliTraffic
 from . import sanitizer
 
@@ -409,6 +409,16 @@ class BatchedEventNetworks:
         #: read-modify-writes, and the hot loop does ~10 per event.
         self.cnt: List[List[int]] = [[0] * _C_N for _ in range(L)]
 
+        #: Per-lane pending histogram (bucket -> count) and per-node
+        #: delivered-flit (dst -> flits) increments.  The serial kernels
+        #: accumulate these inside ``StatsCollector.on_deliver``; the
+        #: batched delivery sites append to ``stats._delivered``
+        #: directly, so they defer the same increments here and
+        #: ``_flush_counters`` folds them into the lane's collector at
+        #: every sync (cross-checked by ``sanitizer.check_batch``).
+        self.hist_pend: List[Dict[int, int]] = [dict() for _ in range(L)]
+        self.node_pend: List[Dict[int, int]] = [dict() for _ in range(L)]
+
         # NIC columns.
         self.nic_busy = bytearray(size)
         self.nic_next = [-1] * size     # cycle of a scheduled attempt
@@ -642,6 +652,19 @@ class BatchedEventNetworks:
         counters.clock_port_cycles += self.clock_port_acc[lane]
         self.clock_router_acc[lane] = 0
         self.clock_port_acc[lane] = 0
+        hist_pend = self.hist_pend[lane]
+        if hist_pend:
+            stats = self.lane_stats[lane]
+            counts = stats.hist.counts
+            for bucket, count in hist_pend.items():
+                counts[bucket] += count
+            hist_pend.clear()
+        node_pend = self.node_pend[lane]
+        if node_pend:
+            node_flits = self.lane_stats[lane].node_flits
+            for node, flits in node_pend.items():
+                node_flits[node] = node_flits.get(node, 0) + flits
+            node_pend.clear()
         c = self.cnt[lane]
         if any(c):
             counters.crossbar_traversals += c[_C_XB]
@@ -713,6 +736,8 @@ class BatchedEventNetworks:
         clock_pacc = self.clock_port_acc
         clock_last = self.clock_last
         cnt = self.cnt
+        hist_pend = self.hist_pend
+        node_pend = self.node_pend
         new_packet = Packet.__new__
         pid_counter = _packet_ids
         lane_stats = self.lane_stats
@@ -920,6 +945,12 @@ class BatchedEventNetworks:
                         pid = packet.pid
                         if pid in pm:
                             stats._delivered.append(pm.pop(pid))
+                            hp = hist_pend[lane]
+                            b = hist_bucket(packet.head_latency)
+                            hp[b] = hp.get(b, 0) + 1
+                            np_ = node_pend[lane]
+                            dst = packet.dst
+                            np_[dst] = np_.get(dst, 0) + packet.size_flits
                         # Release the destination-side credit.
                         pend_l, seq_c, crossed, hop_mm, wake, nic_node \
                             = rec[_R_CEND]
@@ -1286,6 +1317,12 @@ class BatchedEventNetworks:
                         pid = packet.pid
                         if pid in pm:
                             stats._delivered.append(pm.pop(pid))
+                            hp = hist_pend[lane]
+                            b = hist_bucket(packet.head_latency)
+                            hp[b] = hp.get(b, 0) + 1
+                            np_ = node_pend[lane]
+                            dst = packet.dst
+                            np_[dst] = np_.get(dst, 0) + packet.size_flits
                         pend_l, seq_c, crossed, hop_mm, wake, nic_node \
                             = rec[_R_CEND]
                         usable = cycle + extra + 1 + credit_latency
@@ -1640,6 +1677,8 @@ class BatchedEventNetworks:
                     total_cycles=self._lane_end[lane],
                     drained=drained[lane],
                     undelivered_measured=stats.outstanding_measured,
+                    per_tenant=stats.per_tenant_summary(),
+                    node_delivered_flits=dict(stats.node_flits),
                 )
             )
         if self.sanitize:

@@ -27,6 +27,8 @@ class Flow:
         route: Output port taken at each router from the source router to
             the destination router; the final entry must be ``Port.CORE``.
         name: Optional human-readable label (e.g. "iqzz->idct").
+        tenant: Optional tenant label for per-tenant SLO accounting
+            (empty = untagged; see ``repro.sim.stats``).
     """
 
     flow_id: int
@@ -35,6 +37,7 @@ class Flow:
     bandwidth_bps: float
     route: Tuple[Port, ...]
     name: str = ""
+    tenant: str = ""
 
     def __post_init__(self) -> None:
         if self.src == self.dst:

@@ -568,7 +568,9 @@ class Network:
         self.segments = segment_map
         self.traffic = traffic
         self.counters = EventCounters()
-        self.stats = StatsCollector()
+        self.stats = StatsCollector(
+            tenants={f.flow_id: f.tenant for f in self.flows if f.tenant}
+        )
         self.cycle = 0
 
         self.routers: Dict[int, _Router] = {
@@ -1799,6 +1801,8 @@ class Network:
             total_cycles=self.cycle,
             drained=drained,
             undelivered_measured=self.stats.outstanding_measured,
+            per_tenant=self.stats.per_tenant_summary(),
+            node_delivered_flits=dict(self.stats.node_flits),
         )
 
     def run_cycles(self, cycles: int) -> None:

@@ -43,9 +43,9 @@ from __future__ import annotations
 
 import dataclasses
 import os
-from typing import Iterator, Optional, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
-from repro.sim.stats import EventCounters
+from repro.sim.stats import EventCounters, LatencyHistogram
 
 #: Environment variable that switches sanitize mode on globally.
 ENV_FLAG = "SMART_SANITIZE"
@@ -249,6 +249,33 @@ def check_batch(eng: object) -> None:
             _fail(eng, "lane %d cnt columns not flushed at sync: %r"
                   % (lane, eng.cnt[lane]))
         check_counters(net, net._mm_per_hop)
+
+        # Histogram / per-node delivery columns: the flushed collector
+        # state plus any pending increments must equal the ground truth
+        # recomputed from the delivered-packet list (the serial kernels
+        # accumulate the same quantities inside on_deliver).
+        stats = eng.lane_stats[lane]
+        expect_hist = LatencyHistogram.from_values(
+            p.head_latency for p in stats._delivered
+        )
+        got_hist = stats.hist.copy()
+        for bucket, count in eng.hist_pend[lane].items():
+            got_hist.counts[bucket] += count
+        if got_hist != expect_hist:
+            _fail(eng,
+                  "lane %d histogram columns diverge from delivered "
+                  "packets (flushed+pending total %d, truth %d)"
+                  % (lane, got_hist.total, expect_hist.total))
+        expect_nodes: Dict[int, int] = {}
+        for p in stats._delivered:
+            expect_nodes[p.dst] = expect_nodes.get(p.dst, 0) + p.size_flits
+        got_nodes = dict(stats.node_flits)
+        for node, flits in eng.node_pend[lane].items():
+            got_nodes[node] = got_nodes.get(node, 0) + flits
+        if got_nodes != expect_nodes:
+            _fail(eng,
+                  "lane %d per-node delivered-flit columns diverge "
+                  "from delivered packets" % lane)
 
         # Span records: shape, settlement bounds, stream-list slots.
         nic_remaining = 0

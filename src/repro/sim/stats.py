@@ -5,9 +5,152 @@ from __future__ import annotations
 import dataclasses
 import math
 import statistics
-from typing import Dict, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.sim.packet import Packet
+
+# ----------------------------------------------------------------------
+# Latency histograms (log-linear buckets, exact-to-bucket percentiles)
+# ----------------------------------------------------------------------
+
+#: Sub-bucket resolution: 2**_HIST_SUB_BITS buckets per power of two.
+_HIST_SUB_BITS = 3
+_HIST_SUB = 1 << _HIST_SUB_BITS
+#: Latencies at or above 2**_HIST_MAX_OCTAVE cycles clamp into the last
+#: bucket (a packet stuck for a million cycles is "saturated", not data).
+_HIST_MAX_OCTAVE = 20
+#: Total bucket count: values 1..7 exact, then 8 sub-buckets for each of
+#: the octaves [2**3, 2**20), plus one clamp bucket.
+HIST_NUM_BUCKETS = (
+    (_HIST_SUB - 1) + (_HIST_MAX_OCTAVE - _HIST_SUB_BITS) * _HIST_SUB + 1
+)
+
+
+def hist_bucket(value: int) -> int:
+    """Bucket index for a latency of ``value`` cycles (``value >= 1``).
+
+    Buckets 0-6 hold the exact values 1-7; past that each power-of-two
+    octave ``[2**e, 2**(e+1))`` splits into 8 equal sub-buckets of width
+    ``2**(e-3)``, so the relative bucket width never exceeds 12.5%.
+    """
+    if value < _HIST_SUB:
+        return value - 1
+    exponent = value.bit_length() - 1
+    if exponent >= _HIST_MAX_OCTAVE:
+        return HIST_NUM_BUCKETS - 1
+    sub = (value >> (exponent - _HIST_SUB_BITS)) & (_HIST_SUB - 1)
+    return (_HIST_SUB - 1) + (exponent - _HIST_SUB_BITS) * _HIST_SUB + sub
+
+
+def hist_bucket_bounds(bucket: int) -> Tuple[int, float]:
+    """Inclusive ``(lowest, highest)`` latency covered by ``bucket``.
+
+    The clamp bucket's upper bound is ``inf``; every other bucket is
+    finite, and consecutive buckets tile the integers with no gaps.
+    """
+    if bucket < _HIST_SUB - 1:
+        return (bucket + 1, float(bucket + 1))
+    if bucket >= HIST_NUM_BUCKETS - 1:
+        return (1 << _HIST_MAX_OCTAVE, math.inf)
+    rel = bucket - (_HIST_SUB - 1)
+    exponent = _HIST_SUB_BITS + rel // _HIST_SUB
+    sub = rel % _HIST_SUB
+    width = 1 << (exponent - _HIST_SUB_BITS)
+    low = (1 << exponent) + sub * width
+    return (low, float(low + width - 1))
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with exact-to-bucket percentiles.
+
+    A compact array of :data:`HIST_NUM_BUCKETS` counts (log-linear
+    buckets, see :func:`hist_bucket`).  Histograms from different seeds,
+    lanes or farm shards **pool losslessly** by adding counts, so the
+    aggregate percentile is the exact pooled order statistic resolved to
+    bucket granularity — not an estimate averaged over replications.
+    """
+
+    __slots__ = ("counts",)
+
+    def __init__(self, counts: Optional[List[int]] = None):
+        if counts is None:
+            counts = [0] * HIST_NUM_BUCKETS
+        elif len(counts) != HIST_NUM_BUCKETS:
+            raise ValueError(
+                "expected %d bucket counts, got %d"
+                % (HIST_NUM_BUCKETS, len(counts))
+            )
+        self.counts = counts
+
+    @classmethod
+    def from_values(cls, values: Iterable[int]) -> "LatencyHistogram":
+        hist = cls()
+        for value in values:
+            hist.counts[hist_bucket(value)] += 1
+        return hist
+
+    def add(self, value: int) -> None:
+        self.counts[hist_bucket(value)] += 1
+
+    def copy(self) -> "LatencyHistogram":
+        return LatencyHistogram(list(self.counts))
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        counts = self.counts
+        for bucket, count in enumerate(other.counts):
+            if count:
+                counts[bucket] += count
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts)
+
+    def percentile(self, fraction: float) -> float:
+        """Upper edge of the bucket holding the nearest-rank percentile.
+
+        NaN when the histogram is empty.  The reported value is within
+        one bucket width of the exact order statistic (<= 12.5%
+        relative error by construction); :meth:`percentile_bounds`
+        returns the bracketing interval.
+        """
+        return self.percentile_bounds(fraction)[1]
+
+    def percentile_bounds(self, fraction: float) -> Tuple[float, float]:
+        """``(low, high)`` bounds of the nearest-rank percentile."""
+        total = self.total
+        if total == 0:
+            return (math.nan, math.nan)
+        rank = min(total, max(1, math.ceil(fraction * total)))
+        running = 0
+        for bucket, count in enumerate(self.counts):
+            running += count
+            if running >= rank:
+                low, high = hist_bucket_bounds(bucket)
+                return (float(low), high)
+        raise AssertionError("rank beyond histogram total")
+
+    def to_sparse(self) -> Dict[str, int]:
+        """Sparse ``{bucket_index: count}`` dict for JSON streams."""
+        return {
+            str(bucket): count
+            for bucket, count in enumerate(self.counts)
+            if count
+        }
+
+    @classmethod
+    def from_sparse(cls, sparse: Dict[str, int]) -> "LatencyHistogram":
+        hist = cls()
+        for bucket, count in sparse.items():
+            hist.counts[int(bucket)] = int(count)
+        return hist
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LatencyHistogram):
+            return NotImplemented
+        return self.counts == other.counts
+
+    def __repr__(self) -> str:
+        return "LatencyHistogram(total=%d)" % self.total
 
 
 @dataclasses.dataclass
@@ -61,6 +204,14 @@ class LatencySummary:
     p95_head_latency: float
     max_head_latency: int
     min_head_latency: int
+    #: Tail percentiles of the head latency.  Computed from the sorted
+    #: sample within one run; exact-to-bucket from pooled histograms
+    #: when replications aggregate.  NaN in legacy rows.
+    p50_head_latency: float = math.nan
+    p99_head_latency: float = math.nan
+    p999_head_latency: float = math.nan
+    #: Full head-latency distribution (None in legacy rows).
+    histogram: Optional[LatencyHistogram] = None
 
     @staticmethod
     def empty() -> "LatencySummary":
@@ -79,15 +230,61 @@ def _percentile(sorted_values: List[int], fraction: float) -> float:
     return sorted_values[low] * (1 - weight) + sorted_values[high] * weight
 
 
-class StatsCollector:
-    """Tracks created and delivered packets inside a measurement window."""
+def _summarize(
+    packets: List[Packet], histogram: Optional[LatencyHistogram] = None
+) -> LatencySummary:
+    """One :class:`LatencySummary` over a delivered-packet list.
 
-    def __init__(self) -> None:
+    Percentiles are exact order statistics of the sorted sample; the
+    attached ``histogram`` (built here when not supplied) is what lets
+    replications pool without losing the tail.
+    """
+    if not packets:
+        return LatencySummary.empty()
+    heads = sorted(p.head_latency for p in packets)
+    if histogram is None:
+        histogram = LatencyHistogram.from_values(heads)
+    return LatencySummary(
+        count=len(packets),
+        mean_head_latency=statistics.fmean(heads),
+        mean_packet_latency=statistics.fmean(
+            p.packet_latency for p in packets
+        ),
+        mean_network_latency=statistics.fmean(
+            p.network_latency for p in packets
+        ),
+        p95_head_latency=_percentile(heads, 0.95),
+        max_head_latency=heads[-1],
+        min_head_latency=heads[0],
+        p50_head_latency=_percentile(heads, 0.50),
+        p99_head_latency=_percentile(heads, 0.99),
+        p999_head_latency=_percentile(heads, 0.999),
+        histogram=histogram,
+    )
+
+
+class StatsCollector:
+    """Tracks created and delivered packets inside a measurement window.
+
+    ``tenants`` (flow_id -> tenant label) opts delivered packets into
+    per-tenant accounting (:meth:`per_tenant_summary`); flows absent
+    from the map are untagged and appear only in the global summary.
+    """
+
+    def __init__(self, tenants: Optional[Dict[int, str]] = None) -> None:
         self._measured: Dict[int, Packet] = {}
         self._delivered: List[Packet] = []
         self.created_total = 0
         self.delivered_total = 0
         self.measuring = False
+        #: flow_id -> tenant label for per-tenant SLO accounting.
+        self.tenants: Dict[int, str] = dict(tenants or {})
+        #: Incremental head-latency histogram over measured deliveries.
+        self.hist = LatencyHistogram()
+        #: Destination node -> measured flits delivered there (the
+        #: per-node delivered-bandwidth counter; divide by the measured
+        #: window for flits/cycle).
+        self.node_flits: Dict[int, int] = {}
 
     def on_create(self, packet: Packet) -> None:
         self.created_total += 1
@@ -98,6 +295,11 @@ class StatsCollector:
         self.delivered_total += 1
         if packet.pid in self._measured:
             self._delivered.append(self._measured.pop(packet.pid))
+            self.hist.counts[hist_bucket(packet.head_latency)] += 1
+            dst = packet.dst
+            self.node_flits[dst] = (
+                self.node_flits.get(dst, 0) + packet.size_flits
+            )
 
     @property
     def outstanding_measured(self) -> int:
@@ -108,42 +310,36 @@ class StatsCollector:
         return list(self._delivered)
 
     def summary(self) -> LatencySummary:
-        if not self._delivered:
-            return LatencySummary.empty()
-        heads = sorted(p.head_latency for p in self._delivered)
-        packets = [p.packet_latency for p in self._delivered]
-        networks = [p.network_latency for p in self._delivered]
-        return LatencySummary(
-            count=len(self._delivered),
-            mean_head_latency=statistics.fmean(heads),
-            mean_packet_latency=statistics.fmean(packets),
-            mean_network_latency=statistics.fmean(networks),
-            p95_head_latency=_percentile(heads, 0.95),
-            max_head_latency=heads[-1],
-            min_head_latency=heads[0],
-        )
+        return _summarize(self._delivered, histogram=self.hist.copy())
 
     def per_flow_summary(self) -> Dict[int, LatencySummary]:
         by_flow: Dict[int, List[Packet]] = {}
         for packet in self._delivered:
             by_flow.setdefault(packet.flow_id, []).append(packet)
-        result = {}
-        for flow_id, packets in sorted(by_flow.items()):
-            heads = sorted(p.head_latency for p in packets)
-            result[flow_id] = LatencySummary(
-                count=len(packets),
-                mean_head_latency=statistics.fmean(heads),
-                mean_packet_latency=statistics.fmean(
-                    p.packet_latency for p in packets
-                ),
-                mean_network_latency=statistics.fmean(
-                    p.network_latency for p in packets
-                ),
-                p95_head_latency=_percentile(heads, 0.95),
-                max_head_latency=heads[-1],
-                min_head_latency=heads[0],
-            )
-        return result
+        return {
+            flow_id: _summarize(packets)
+            for flow_id, packets in sorted(by_flow.items())
+        }
+
+    def per_tenant_summary(self) -> Dict[str, LatencySummary]:
+        """One summary (with histogram) per tenant label, sorted.
+
+        Empty when no flow carries a tenant tag.  Packets of untagged
+        flows are excluded — they are background from the tenants'
+        point of view and still count in :meth:`summary`.
+        """
+        if not self.tenants:
+            return {}
+        by_tenant: Dict[str, List[Packet]] = {}
+        tenants = self.tenants
+        for packet in self._delivered:
+            tenant = tenants.get(packet.flow_id)
+            if tenant is not None:
+                by_tenant.setdefault(tenant, []).append(packet)
+        return {
+            tenant: _summarize(packets)
+            for tenant, packets in sorted(by_tenant.items())
+        }
 
 
 @dataclasses.dataclass
@@ -158,11 +354,31 @@ class SimResult:
     total_cycles: int
     drained: bool
     undelivered_measured: int = 0
+    #: Tenant label -> summary, for tenant-tagged flow sets (empty
+    #: otherwise); see :meth:`StatsCollector.per_tenant_summary`.
+    per_tenant: Dict[str, LatencySummary] = dataclasses.field(
+        default_factory=dict
+    )
+    #: Destination node -> measured flits delivered there.
+    node_delivered_flits: Dict[int, int] = dataclasses.field(
+        default_factory=dict
+    )
 
     @property
     def mean_latency(self) -> float:
         """Headline 'average network latency' (head-flit, Fig 10a)."""
         return self.summary.mean_head_latency
+
+    def node_bandwidth(self) -> Dict[int, float]:
+        """Delivered bandwidth per destination node, in flits/cycle
+        over the measured window (nodes with no measured deliveries are
+        absent)."""
+        if self.measured_cycles <= 0:
+            return {}
+        return {
+            node: flits / self.measured_cycles
+            for node, flits in sorted(self.node_delivered_flits.items())
+        }
 
 
 def accepted_flits_per_cycle(result: SimResult, flits_per_packet: int) -> float:
@@ -175,28 +391,73 @@ def accepted_flits_per_cycle(result: SimResult, flits_per_packet: int) -> float:
 def aggregate_summaries(summaries: List[LatencySummary]) -> LatencySummary:
     """Pool per-seed replications into one summary.
 
-    Means are combined exactly (weighted by delivered-packet count); the
-    p95 is a count-weighted mean of the replication p95s, which is only an
-    estimate of the pooled percentile — adequate for sweep plots, noted
-    here so nobody mistakes it for the exact pooled order statistic.
+    Means are combined exactly (weighted by delivered-packet count).
+    When every replication carries a histogram, the histograms pool by
+    adding bucket counts and all percentiles (p50/p95/p99/p99.9) are the
+    **exact pooled order statistics** resolved to bucket granularity
+    (<= 12.5% relative bucket width; see :class:`LatencyHistogram`).
+    Only when a legacy replication lacks its histogram do percentiles
+    fall back to the old count-weighted mean of per-replication
+    percentiles, which is an estimate, not the pooled order statistic.
     """
     counted = [s for s in summaries if s.count > 0]
     if not counted:
         return LatencySummary.empty()
     total = sum(s.count for s in counted)
 
-    def wmean(getter) -> float:
+    def wmean(getter: Callable[[LatencySummary], float]) -> float:
         return sum(getter(s) * s.count for s in counted) / total
+
+    pooled: Optional[LatencyHistogram] = None
+    if all(s.histogram is not None for s in counted):
+        pooled = LatencyHistogram()
+        for s in counted:
+            assert s.histogram is not None
+            pooled.merge(s.histogram)
+
+    def pct(fraction: float, getter: Callable[[LatencySummary], float]) -> float:
+        if pooled is not None:
+            return pooled.percentile(fraction)
+        return wmean(getter)
 
     return LatencySummary(
         count=total,
         mean_head_latency=wmean(lambda s: s.mean_head_latency),
         mean_packet_latency=wmean(lambda s: s.mean_packet_latency),
         mean_network_latency=wmean(lambda s: s.mean_network_latency),
-        p95_head_latency=wmean(lambda s: s.p95_head_latency),
+        p95_head_latency=pct(0.95, lambda s: s.p95_head_latency),
         max_head_latency=max(s.max_head_latency for s in counted),
         min_head_latency=min(s.min_head_latency for s in counted),
+        p50_head_latency=pct(0.50, lambda s: s.p50_head_latency),
+        p99_head_latency=pct(0.99, lambda s: s.p99_head_latency),
+        p999_head_latency=pct(0.999, lambda s: s.p999_head_latency),
+        histogram=pooled,
     )
+
+
+def slo_verdicts(
+    per_tenant: Dict[str, LatencySummary], slo: Dict[str, float]
+) -> Dict[str, bool]:
+    """Per-tenant SLO verdicts: does each tenant's p99 head latency meet
+    its threshold?
+
+    ``slo`` maps tenant label -> maximum acceptable p99 head latency in
+    cycles.  The p99 is read from the tenant's histogram when present
+    (exact-to-bucket, pools across seeds) and from
+    ``p99_head_latency`` otherwise; a tenant with no delivered packets
+    or no threshold is omitted from the result.
+    """
+    verdicts: Dict[str, bool] = {}
+    for tenant, threshold in sorted(slo.items()):
+        summary = per_tenant.get(tenant)
+        if summary is None or summary.count == 0:
+            continue
+        if summary.histogram is not None:
+            p99 = summary.histogram.percentile(0.99)
+        else:
+            p99 = summary.p99_head_latency
+        verdicts[tenant] = bool(p99 <= threshold)
+    return verdicts
 
 
 #: Two-sided 95% Student-t critical values by degrees of freedom; the

@@ -39,6 +39,13 @@ from repro.sim.flow import Flow
 #: Injection-schedule sampling strategies for ``BernoulliTraffic``.
 BERNOULLI_MODES = ("predraw", "geometric", "legacy")
 
+#: Arrival processes selectable on :class:`RateScaledTraffic` (the
+#: sweep/farm ``--arrival`` knob).  ``bernoulli`` is the paper's
+#: memoryless injection; ``onoff`` gates it with a two-state burst
+#: modulator whose quiet state is silent; ``mmpp`` keeps a reduced
+#: quiet-state rate (a 2-state Markov-modulated Poisson process).
+ARRIVALS = ("bernoulli", "onoff", "mmpp")
+
 
 class TrafficModel:
     """Interface: how many packets does ``flow`` inject at ``cycle``?
@@ -177,6 +184,170 @@ class BernoulliTraffic(TrafficModel):
         return nxt
 
 
+class MmppTraffic(TrafficModel):
+    """Two-state Markov-modulated (ON/OFF bursty) packet injection.
+
+    Each flow alternates between an ON state injecting Bernoulli
+    packets at an amplified burst rate and a quiet state injecting at
+    ``quiet_scale`` times that rate (0 = silent, the classic ON-OFF
+    source).  State durations are geometric with means ``on_cycles`` /
+    ``off_cycles``, so the process is memoryless within a state and the
+    stationary ON fraction (duty cycle) is ``on/(on+off)``.  The burst
+    rate is solved so the **mean** rate matches each flow's configured
+    bandwidth — the same offered load as :class:`BernoulliTraffic`,
+    delivered in bursts::
+
+        rate_on = rate / (duty + (1 - duty) * quiet_scale)
+
+    clamped at 1 packet/cycle (a saturated injection port; recorded in
+    :attr:`clamped_rates`, which then lowers the achieved mean).
+
+    Determinism matches ``BernoulliTraffic``: one RNG stream per flow
+    (derived from seed and flow id), consumed by a single monotone walk
+    that interleaves state-duration and injection-gap draws, so the
+    schedule is independent of query order and bit-identical across the
+    legacy/active/event kernels and the batched engine.
+    """
+
+    def __init__(
+        self,
+        cfg: NocConfig,
+        flows: Sequence[Flow],
+        seed: int = 1,
+        on_cycles: float = 64.0,
+        off_cycles: float = 192.0,
+        quiet_scale: float = 0.0,
+        clamp: bool = False,
+    ):
+        if on_cycles < 1.0 or off_cycles < 1.0:
+            raise ValueError("mean state durations must be >= 1 cycle")
+        if not 0.0 <= quiet_scale <= 1.0:
+            raise ValueError("quiet_scale must be in [0, 1]")
+        self.on_cycles = on_cycles
+        self.off_cycles = off_cycles
+        self.quiet_scale = quiet_scale
+        self.duty = on_cycles / (on_cycles + off_cycles)
+        self._rates: Dict[int, float] = {}
+        self._burst: Dict[int, float] = {}
+        self._rngs: Dict[int, random.Random] = {}
+        #: flow_id -> requested burst rate, for flows whose ON-state
+        #: rate clamped at 1 packet/cycle.
+        self.clamped_rates: Dict[int, float] = {}
+        #: flow_id -> pre-drawn next injection cycle (None = never).
+        self._next: Dict[int, Optional[int]] = {}
+        # Monotone walk state: last injection position, whether the
+        # current modulator state is ON, and its end cycle (exclusive).
+        self._pos: Dict[int, int] = {}
+        self._on: Dict[int, bool] = {}
+        self._seg_end: Dict[int, int] = {}
+        amplify = 1.0 / (self.duty + (1.0 - self.duty) * quiet_scale)
+        for flow in flows:
+            rate = cfg.flow_rate_packets_per_cycle(flow.bandwidth_bps)
+            if rate > 1.0:
+                if not clamp:
+                    raise ValueError(
+                        "flow %d needs %.2f packets/cycle; exceeds one "
+                        "injection port" % (flow.flow_id, rate)
+                    )
+                self.clamped_rates[flow.flow_id] = rate
+                rate = 1.0
+            burst = rate * amplify
+            if burst > 1.0:
+                self.clamped_rates.setdefault(flow.flow_id, burst)
+                burst = 1.0
+            self._rates[flow.flow_id] = rate
+            self._burst[flow.flow_id] = burst
+            self._rngs[flow.flow_id] = random.Random((seed << 20) ^ flow.flow_id)
+
+    def rate(self, flow_id: int) -> float:
+        """Configured mean injection rate (packets/cycle)."""
+        return self._rates[flow_id]
+
+    # -- the monotone walk ---------------------------------------------
+
+    def _draw_duration(self, flow_id: int, mean: float) -> int:
+        """Geometric state duration with the given mean, >= 1 cycle."""
+        leave = 1.0 / mean
+        if leave >= 1.0:
+            return 1
+        u = self._rngs[flow_id].random()
+        return 1 + int(math.log(1.0 - u) / math.log(1.0 - leave))
+
+    def _advance(self, flow_id: int) -> Optional[int]:
+        """Next injection cycle strictly after the walk position.
+
+        One independent Bernoulli trial per cycle at that cycle's
+        modulated rate, sampled segment-at-a-time by inverse CDF; a
+        geometric draw overshooting its state segment restarts at the
+        boundary, which is distribution-exact by memorylessness.
+        """
+        if self._burst[flow_id] <= 0.0:
+            return None
+        rng = self._rngs[flow_id]
+        if flow_id not in self._on:
+            # Stationary start: ON with probability ``duty``.
+            self._pos[flow_id] = -1
+            self._on[flow_id] = rng.random() < self.duty
+            self._seg_end[flow_id] = self._draw_duration(
+                flow_id,
+                self.on_cycles if self._on[flow_id] else self.off_cycles,
+            )
+        cycle = self._pos[flow_id] + 1
+        on = self._on[flow_id]
+        seg_end = self._seg_end[flow_id]
+        while True:
+            while cycle >= seg_end:
+                on = not on
+                seg_end += self._draw_duration(
+                    flow_id, self.on_cycles if on else self.off_cycles
+                )
+            rate = self._burst[flow_id]
+            if not on:
+                rate *= self.quiet_scale
+            if rate <= 0.0:
+                cycle = seg_end
+                continue
+            if rate >= 1.0:
+                candidate = cycle
+            else:
+                u = rng.random()
+                gap = 1 + int(math.log(1.0 - u) / math.log(1.0 - rate))
+                candidate = cycle + gap - 1
+            if candidate < seg_end:
+                self._pos[flow_id] = candidate
+                self._on[flow_id] = on
+                self._seg_end[flow_id] = seg_end
+                return candidate
+            # No success before the state flips; restart at the boundary
+            # (geometric memorylessness: conditioning on "later than the
+            # remaining segment" leaves a fresh geometric).
+            cycle = seg_end
+
+    def _peek_next(self, flow_id: int) -> Optional[int]:
+        if flow_id not in self._next:
+            self._next[flow_id] = self._advance(flow_id)
+        return self._next[flow_id]
+
+    def packets_at(self, flow: Flow, cycle: int) -> int:
+        nxt = self._peek_next(flow.flow_id)
+        if nxt is None or nxt > cycle:
+            return 0
+        while nxt is not None and nxt < cycle:
+            nxt = self._advance(flow.flow_id)
+        self._next[flow.flow_id] = nxt
+        if nxt != cycle:
+            return 0
+        self._next[flow.flow_id] = self._advance(flow.flow_id)
+        return 1
+
+    def next_injection_cycle(self, flow: Flow, from_cycle: int) -> Optional[int]:
+        nxt = self._peek_next(flow.flow_id)
+        while nxt is not None and nxt < from_cycle:
+            nxt = self._advance(flow.flow_id)
+        self._next[flow.flow_id] = nxt
+        return nxt
+
+
 class ScriptedTraffic(TrafficModel):
     """Injects packets at exact (cycle, flow_id) points (drives the Fig 7
     four-flow scenario and the unit tests).
@@ -233,6 +404,14 @@ class RateScaledTraffic(TrafficModel):
     1.0 — a saturated injection port — instead of raising, so sweeps can
     run past the saturation knee; clamped flows are recorded in
     :attr:`clamped_rates` (flow_id -> requested, unclamped rate).
+
+    ``arrival`` selects the injection process (:data:`ARRIVALS`):
+    Bernoulli by default, or the bursty ON-OFF/MMPP modulator of
+    :class:`MmppTraffic` with knobs forwarded via ``arrival_params``
+    (``on_cycles``, ``off_cycles``, ``quiet_scale``).  Flows listed in
+    ``fixed_flow_ids`` keep their base bandwidth instead of scaling
+    with the load — tenant-mix sweeps pin a foreground app at its
+    mapped bandwidth while the swept load drives the background.
     """
 
     def __init__(
@@ -242,22 +421,52 @@ class RateScaledTraffic(TrafficModel):
         scale: float,
         seed: int = 1,
         mode: str = "predraw",
+        arrival: str = "bernoulli",
+        arrival_params: Optional[Dict[str, float]] = None,
+        fixed_flow_ids: Sequence[int] = (),
     ):
         if scale < 0:
             raise ValueError("load scale must be non-negative")
+        if arrival not in ARRIVALS:
+            raise ValueError(
+                "unknown arrival process %r (have %s)"
+                % (arrival, ", ".join(ARRIVALS))
+            )
         self.scale = scale
+        self.arrival = arrival
+        fixed = frozenset(fixed_flow_ids)
         scaled: List[Flow] = [
             Flow(
                 flow_id=f.flow_id,
                 src=f.src,
                 dst=f.dst,
-                bandwidth_bps=f.bandwidth_bps * scale,
+                bandwidth_bps=(
+                    f.bandwidth_bps
+                    if f.flow_id in fixed
+                    else f.bandwidth_bps * scale
+                ),
                 route=f.route,
                 name=f.name,
+                tenant=f.tenant,
             )
             for f in flows
         ]
-        self._inner = BernoulliTraffic(cfg, scaled, seed=seed, mode=mode, clamp=True)
+        params = dict(arrival_params or {})
+        if arrival == "bernoulli":
+            if params:
+                raise ValueError(
+                    "arrival_params only apply to bursty arrivals, got %r"
+                    % (params,)
+                )
+            self._inner: TrafficModel = BernoulliTraffic(
+                cfg, scaled, seed=seed, mode=mode, clamp=True
+            )
+        else:
+            if arrival == "mmpp":
+                params.setdefault("quiet_scale", 0.25)
+            self._inner = MmppTraffic(
+                cfg, scaled, seed=seed, clamp=True, **params
+            )
 
     @property
     def clamped_rates(self) -> Dict[int, float]:

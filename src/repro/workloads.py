@@ -150,6 +150,10 @@ class BuiltWorkload:
     flows: Tuple[Flow, ...]
     #: task -> node placement, for app workloads (None otherwise).
     mapping: Optional[Dict[str, int]] = None
+    #: Flow ids whose bandwidth stays *fixed* while the load axis scales
+    #: the rest (tenant mixes pin the foreground app at its mapped
+    #: bandwidth; empty for ordinary workloads).
+    fixed_flow_ids: Tuple[int, ...] = ()
 
     def chain_depths(self, cfg: NocConfig) -> Dict[int, int]:
         """Per-flow SMART segment-chain depth (1 = fully bypassed).
@@ -186,15 +190,25 @@ class BuiltWorkload:
         load: float = 1.0,
         seed: int = 1,
         mode: str = "predraw",
+        arrival: str = "bernoulli",
+        arrival_params: Optional[Dict[str, float]] = None,
     ) -> RateScaledTraffic:
         """Injection process driving this workload at ``load``.
 
         ``load`` multiplies the base bandwidths: a bandwidth scale factor
         for apps, the per-node packets/cycle rate for patterns (whose
         base flows carry exactly 1 packet/cycle/node).  Rates past one
-        packet/cycle clamp at the injection port.
+        packet/cycle clamp at the injection port.  ``arrival`` selects
+        the injection process (:data:`repro.sim.traffic.ARRIVALS` —
+        Bernoulli, or the bursty ON-OFF/MMPP modulator with knobs in
+        ``arrival_params``); flows in :attr:`fixed_flow_ids` keep their
+        base bandwidth regardless of ``load``.
         """
-        return RateScaledTraffic(cfg, self.flows, scale=load, seed=seed, mode=mode)
+        return RateScaledTraffic(
+            cfg, self.flows, scale=load, seed=seed, mode=mode,
+            arrival=arrival, arrival_params=arrival_params,
+            fixed_flow_ids=self.fixed_flow_ids,
+        )
 
 
 class Workload:
@@ -362,7 +376,12 @@ class CompositeWorkload(Workload):
     def placed(
         self, cfg: NocConfig, seed: int = 0, **params: Any
     ) -> List[PlacedFlow]:
-        """Union of component demands, bandwidths scaled by fraction."""
+        """Union of component demands, bandwidths scaled by fraction.
+
+        Each demand is tenant-tagged with its component's workload name,
+        so composite sweeps get per-tenant latency summaries and SLO
+        verdicts for free (see ``repro.sim.stats``).
+        """
         demands: List[PlacedFlow] = []
         for name, fraction in self.components:
             for pf in get_workload(name).placed(cfg, seed=seed, **params):
@@ -373,9 +392,118 @@ class CompositeWorkload(Workload):
                         dst=pf.dst,
                         bandwidth_bps=pf.bandwidth_bps * fraction,
                         name=pf.name,
+                        tenant=name,
                     )
                 )
         return demands
+
+
+class TenantMixWorkload(Workload):
+    """A fixed foreground tenant sharing the fabric with a swept
+    background tenant — the multi-application service scenario.
+
+    The foreground component (an app, typically) keeps its demands at a
+    *fixed* drive level (``foreground_load`` x its base bandwidths —
+    the mapped bandwidths themselves for an app at the default 1.0)
+    while the background component scales with the sweep's load axis.
+    A sweep over a tenant mix therefore answers the service question:
+    how much background load can the fabric absorb before the
+    foreground tenant's tail latency breaks its SLO?
+
+    Both components' flows are tenant-tagged with the component
+    workload's name, so per-tenant histograms and SLO verdicts appear
+    in every :class:`~repro.sim.stats.SimResult` and sweep row.
+    """
+
+    kind = "composite"
+    load_axis = "injection_rate"
+    default_loads = (0.01, 0.02, 0.05, 0.1, 0.2)
+
+    def __init__(
+        self,
+        name: str,
+        foreground: str,
+        background: str,
+        foreground_load: Optional[float] = None,
+        description: str = "",
+    ):
+        super().__init__(name)
+        if foreground == background:
+            raise ValueError(
+                "tenant mix needs distinct workloads, got %r twice"
+                % foreground
+            )
+        self.foreground = foreground
+        self.background = background
+        # Components must already be registered (same contract as
+        # CompositeWorkload); resolves the default drive level and the
+        # seed sensitivity eagerly.
+        fg = WORKLOADS[foreground]
+        bg = WORKLOADS[background]
+        self.foreground_load = (
+            fg.default_load if foreground_load is None else foreground_load
+        )
+        self.seed_sensitive = fg.seed_sensitive or bg.seed_sensitive
+        self.description = description or (
+            "fixed %s foreground + swept %s background (load = background "
+            "packets/cycle/node)" % (foreground, background)
+        )
+
+    def placed(
+        self, cfg: NocConfig, seed: int = 0, **params: Any
+    ) -> List[PlacedFlow]:
+        """Foreground demands at their fixed drive level, then
+        background demands at 1 packet/cycle/node (scaled by the load
+        axis through :class:`~repro.sim.traffic.RateScaledTraffic`)."""
+        demands: List[PlacedFlow] = []
+        fg_scale = self.foreground_load
+        for pf in get_workload(self.foreground).placed(
+            cfg, seed=seed, **params
+        ):
+            demands.append(
+                PlacedFlow(
+                    flow_id=len(demands),
+                    src=pf.src,
+                    dst=pf.dst,
+                    bandwidth_bps=pf.bandwidth_bps * fg_scale,
+                    name=pf.name,
+                    tenant=self.foreground,
+                )
+            )
+        for pf in get_workload(self.background).placed(
+            cfg, seed=seed, **params
+        ):
+            demands.append(
+                PlacedFlow(
+                    flow_id=len(demands),
+                    src=pf.src,
+                    dst=pf.dst,
+                    bandwidth_bps=pf.bandwidth_bps,
+                    name=pf.name,
+                    tenant=self.background,
+                )
+            )
+        return demands
+
+    def build(
+        self,
+        cfg: NocConfig,
+        seed: int = 0,
+        turn_model: TurnModel = TurnModel.WEST_FIRST,
+        routing: str = "minimal",
+        **params: Any,
+    ) -> BuiltWorkload:
+        """Route the mixed demand set, pinning foreground flow ids so
+        the load axis only scales the background tenant."""
+        built = super().build(
+            cfg, seed=seed, turn_model=turn_model, routing=routing, **params
+        )
+        fixed = tuple(
+            flow.flow_id
+            for flow in built.flows
+            if flow.tenant == self.foreground
+        )
+        return dataclasses.replace(built, fixed_flow_ids=fixed)
 
 
 # ----------------------------------------------------------------------
@@ -405,6 +533,15 @@ register_workload(
         (("uniform", BACKGROUND_FRACTION), ("hotspot", 1.0 - BACKGROUND_FRACTION)),
         description="uniform background (%.0f%% of rate) + hotspot overlay"
         % (100 * BACKGROUND_FRACTION),
+    )
+)
+register_workload(
+    TenantMixWorkload(
+        "tenant_mix",
+        foreground="PIP",
+        background="hotspot",
+        description="fixed PIP app foreground + swept hotspot background "
+        "(the per-tenant SLO scenario; load = background packets/cycle/node)",
     )
 )
 

@@ -83,3 +83,63 @@ class TestPlotRendering:
         path.write_text("")
         with pytest.raises(ValueError, match="no grid points"):
             plot_sweep_stream(str(path))
+
+
+class TestTailCurves:
+    def _hist_point(self, design, load, seed, values, saturated=False):
+        from repro.sim.stats import LatencyHistogram
+
+        hist = LatencyHistogram.from_values(values)
+        point = _point(
+            design, load, seed, sum(values) / len(values),
+            saturated=saturated, count=len(values),
+        )
+        point["summary"].histogram = hist
+        return point
+
+    def test_pools_histograms_exact_to_bucket(self):
+        from repro.eval.plotting import tail_curves
+        from repro.sim.stats import LatencyHistogram
+
+        fast = self._hist_point("mesh", 1.0, 1, [10] * 99 + [12])
+        slow = self._hist_point("mesh", 1.0, 2, [100] * 100)
+        curves = tail_curves([fast, slow], fractions=(0.5, 0.99))
+        ((load, tails, saturated),) = curves["mesh"]
+        assert load == 1.0 and saturated is False
+        pooled = LatencyHistogram.from_values(
+            [10] * 99 + [12] + [100] * 100
+        )
+        assert tails[0.5] == pooled.percentile(0.5)
+        assert tails[0.99] == pooled.percentile(0.99)
+        assert tails[0.5] < tails[0.99]
+
+    def test_legacy_points_fall_back_to_summary_fields(self):
+        from repro.eval.plotting import tail_curves
+
+        point = _point("mesh", 2.0, 1, 30.0)  # no histogram
+        point["summary"].p50_head_latency = 28.0
+        point["summary"].p99_head_latency = 45.0
+        curves = tail_curves([point], fractions=(0.5, 0.99))
+        ((_, tails, _),) = curves["mesh"]
+        assert tails[0.5] == 28.0
+        assert tails[0.99] == 45.0
+
+    def test_saturation_sticky_and_sorted_by_load(self):
+        from repro.eval.plotting import tail_curves
+
+        curves = tail_curves([
+            self._hist_point("mesh", 2.0, 1, [50] * 10, saturated=True),
+            self._hist_point("mesh", 1.0, 1, [10] * 10),
+            self._hist_point("mesh", 2.0, 2, [55] * 10, saturated=False),
+        ])
+        loads = [load for load, _t, _s in curves["mesh"]]
+        assert loads == [1.0, 2.0]
+        assert curves["mesh"][1][2] is True
+
+    def test_plot_tail_stream_gated_without_matplotlib(self, tmp_path):
+        from repro.eval.plotting import matplotlib_available, plot_tail_stream
+
+        if matplotlib_available():
+            pytest.skip("matplotlib installed; gating not exercised")
+        with pytest.raises(RuntimeError, match="matplotlib"):
+            plot_tail_stream(str(tmp_path / "missing.jsonl"))

@@ -576,3 +576,103 @@ class TestKernelAndRoutingSpecs:
         )
         assert rows[0]["smart"] > 0
         assert not rows[0]["smart_saturated"]
+
+
+class TestTailColumnsAndArrival:
+    def test_aggregate_rows_carry_tail_and_node_bw_columns(self):
+        rows = run_workload_sweep(
+            "transpose", designs=("mesh",), loads=(0.03,), seeds=(1, 2),
+            processes=0, kernel="event", **_TINY,
+        )
+        (row,) = rows
+        # Pooled-histogram percentiles are monotone and present.
+        assert row["mesh_p50"] <= row["mesh_p95"] <= row["mesh_p99"]
+        assert row["mesh_p99"] <= row["mesh_p999"]
+        # Hottest ejection port, flits/cycle over the measure window.
+        assert 0.0 < row["mesh_max_node_bw"] <= 1.0
+        # The pretty formatter keeps the new columns out of the way.
+        (pretty,) = format_sweep_rows(rows)
+        for suffix in ("_p50", "_p99", "_p999", "_max_node_bw"):
+            assert "mesh%s" % suffix not in pretty
+
+    def test_legacy_point_rows_decode_without_new_keys(self):
+        """Streams written before histograms/tenants existed still
+        decode: histogram None, empty tenant and node maps."""
+        point = {
+            "design": "mesh", "load": 2.0, "seed": 3,
+            "summary": LatencySummary.empty(),
+            "throughput": 0.0, "saturated": False, "clamped_flows": 0,
+        }
+        encoded = _point_to_json(point)
+        assert "tenants" not in encoded and "node_flits" not in encoded
+        assert "hist" not in encoded["summary"]
+        for key in ("hist",):
+            encoded["summary"].pop(key, None)
+        decoded = _point_from_json(encoded)
+        assert decoded["summary"].histogram is None
+        assert decoded["tenants"] == {}
+        assert decoded["node_flits"] == {}
+
+    def test_point_roundtrip_preserves_hist_tenants_and_nodes(self, tmp_path):
+        path = str(tmp_path / "stream.jsonl")
+        run_workload_sweep(
+            "tenant_mix", designs=("mesh",), loads=(0.01,), seeds=(1,),
+            processes=0, kernel="event", stream_path=path, **_TINY,
+        )
+        (point,) = read_sweep_stream(path)
+        assert point["summary"].histogram.total == point["summary"].count
+        assert set(point["tenants"]) == {"PIP", "hotspot"}
+        assert point["node_flits"] and all(
+            flits > 0 for flits in point["node_flits"].values()
+        )
+
+    def test_arrival_joins_hash_only_when_bursty(self):
+        """Bernoulli specs keep their historical hashes; bursty specs
+        are content-addressed over the arrival process too."""
+        spec = WorkloadSpec.of("PIP")
+        base = make_stream_header(spec, NocConfig(), "active", "predraw", _TINY)
+        assert "arrival" not in base["sweep_spec"]
+        explicit = make_stream_header(
+            spec, NocConfig(), "active", "predraw", _TINY, arrival="bernoulli"
+        )
+        assert explicit["spec_hash"] == base["spec_hash"]
+        mmpp = make_stream_header(
+            spec, NocConfig(), "active", "predraw", _TINY,
+            arrival="mmpp", arrival_params={"on_cycles": 32.0},
+        )
+        assert mmpp["spec_hash"] != base["spec_hash"]
+        assert mmpp["sweep_spec"]["arrival"] == "mmpp"
+        assert mmpp["sweep_spec"]["arrival_params"] == {"on_cycles": 32.0}
+        other = make_stream_header(
+            spec, NocConfig(), "active", "predraw", _TINY,
+            arrival="mmpp", arrival_params={"on_cycles": 8.0},
+        )
+        assert other["spec_hash"] != mmpp["spec_hash"]
+
+    def test_bursty_sweep_produces_rows(self):
+        rows = run_workload_sweep(
+            "transpose", designs=("mesh",), loads=(0.02,), seeds=(1,),
+            processes=0, kernel="event", arrival="onoff",
+            arrival_params={"on_cycles": 8.0, "off_cycles": 24.0}, **_TINY,
+        )
+        assert rows[0]["mesh"] > 0
+
+    def test_slo_columns_on_tenant_sweeps(self):
+        """A float SLO fans out to every tenant; a dict pins thresholds
+        per tenant; no SLO argument, no columns."""
+        kwargs = dict(
+            workload="tenant_mix", designs=("mesh",), loads=(0.01,),
+            seeds=(1,), processes=0, kernel="event", **_TINY,
+        )
+        (row,) = run_workload_sweep(slo=50.0, **kwargs)
+        assert isinstance(row["mesh_PIP_slo_ok"], bool)
+        assert isinstance(row["mesh_hotspot_slo_ok"], bool)
+        assert row["mesh_PIP_p99"] > 0
+        (tight,) = run_workload_sweep(
+            slo={"PIP": 0.5, "hotspot": 1e9}, **kwargs
+        )
+        assert tight["mesh_PIP_slo_ok"] is False
+        assert tight["mesh_hotspot_slo_ok"] is True
+        (bare,) = run_workload_sweep(**kwargs)
+        assert "mesh_PIP_slo_ok" not in bare
+        assert "mesh_PIP_p99" in bare  # tenant tails always reported

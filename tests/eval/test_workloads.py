@@ -231,3 +231,60 @@ class TestNonminimalRouting:
             build_workload(
                 WorkloadSpec.of("transpose", routing="diagonal"), NocConfig()
             )
+
+
+class TestTenantMix:
+    def test_registered_with_composite_kind(self):
+        from repro.workloads import get_workload, workload_names
+
+        assert "tenant_mix" in workload_names()
+        mix = get_workload("tenant_mix")
+        assert mix.kind == "composite"
+        assert (mix.foreground, mix.background) == ("PIP", "hotspot")
+
+    def test_flows_are_tenant_tagged(self, cfg):
+        built = build_workload("tenant_mix", cfg, seed=1)
+        tenants = {f.tenant for f in built.flows}
+        assert tenants == {"PIP", "hotspot"}
+        ids = [f.flow_id for f in built.flows]
+        assert len(ids) == len(set(ids))
+
+    def test_foreground_flow_ids_are_pinned(self, cfg):
+        """The load axis must only scale the background tenant: every
+        foreground flow id lands in fixed_flow_ids, no background one."""
+        built = build_workload("tenant_mix", cfg, seed=1)
+        fixed = set(built.fixed_flow_ids)
+        assert fixed == {
+            f.flow_id for f in built.flows if f.tenant == "PIP"
+        }
+        assert fixed  # PIP maps to a non-empty flow set
+        assert any(f.tenant == "hotspot" for f in built.flows)
+
+    def test_fixed_flows_exempt_from_load_scaling(self, cfg):
+        """End to end: RateScaledTraffic built from the tenant mix keeps
+        foreground rates identical across load points."""
+        from repro.sim.traffic import RateScaledTraffic
+
+        built = build_workload("tenant_mix", cfg, seed=1)
+        light = RateScaledTraffic(
+            cfg, built.flows, scale=0.001, seed=1, mode="predraw",
+            fixed_flow_ids=built.fixed_flow_ids,
+        )
+        heavy = RateScaledTraffic(
+            cfg, built.flows, scale=0.01, seed=1, mode="predraw",
+            fixed_flow_ids=built.fixed_flow_ids,
+        )
+        for flow_id in built.fixed_flow_ids:
+            assert light.rate(flow_id) == heavy.rate(flow_id)
+        background = [
+            f.flow_id for f in built.flows if f.tenant == "hotspot"
+        ]
+        assert any(
+            heavy.rate(fid) > light.rate(fid) for fid in background
+        )
+
+    def test_same_workload_twice_rejected(self):
+        from repro.workloads import TenantMixWorkload
+
+        with pytest.raises(ValueError, match="distinct"):
+            TenantMixWorkload("broken", foreground="PIP", background="PIP")

@@ -80,6 +80,8 @@ def run_case(case: dict, kernel: str):
     traffic = RateScaledTraffic(
         cfg, built.flows, scale=case["load"], seed=case["traffic_seed"],
         mode="legacy" if kernel == "legacy" else "predraw",
+        arrival=case.get("arrival", "bernoulli"),
+        arrival_params=case.get("arrival_params"),
     )
     instance = build_design(
         case["design"], cfg, built.flows, traffic=traffic, kernel=kernel
@@ -89,7 +91,13 @@ def run_case(case: dict, kernel: str):
 
 
 def assert_identical(case: dict, reference, candidate, kernel: str) -> None:
-    """Per-counter bit-identity with a self-describing failure."""
+    """Per-counter bit-identity with a self-describing failure.
+
+    ``summary`` equality covers the latency histogram bucket-for-bucket
+    (dataclass equality recurses into ``LatencySummary.histogram``);
+    ``per_tenant`` and ``node_delivered_flits`` extend the contract to
+    the tenant and per-node bandwidth accounting.
+    """
     ref_counters = dataclasses.asdict(reference.counters)
     cand_counters = dataclasses.asdict(candidate.counters)
     for name, ref_value in ref_counters.items():
@@ -97,7 +105,8 @@ def assert_identical(case: dict, reference, candidate, kernel: str) -> None:
             "counter %r differs on kernel %r (%r != %r) for case %r"
             % (name, kernel, cand_counters[name], ref_value, case)
         )
-    for attr in ("summary", "per_flow", "measured_cycles", "total_cycles",
+    for attr in ("summary", "per_flow", "per_tenant",
+                 "node_delivered_flits", "measured_cycles", "total_cycles",
                  "drained", "undelivered_measured"):
         assert getattr(candidate, attr) == getattr(reference, attr), (
             "%s differs on kernel %r for case %r" % (attr, kernel, case)
@@ -114,6 +123,8 @@ def build_lane(case: dict, traffic_seed: int, kernel: str = "event"):
     traffic = RateScaledTraffic(
         cfg, built.flows, scale=case["load"], seed=traffic_seed,
         mode="predraw",
+        arrival=case.get("arrival", "bernoulli"),
+        arrival_params=case.get("arrival_params"),
     )
     return build_design(
         case["design"], cfg, built.flows, traffic=traffic, kernel=kernel
@@ -145,11 +156,42 @@ def assert_batched_identical(case: dict, seeds, kernel: str) -> None:
         )
 
 
+def bursty_case(fuzz_seed: int) -> dict:
+    """A scenario driven by a randomized ON-OFF/MMPP arrival process."""
+    case = draw_case(fuzz_seed)
+    rng = random.Random(0xB4257 + fuzz_seed)
+    case["arrival"] = rng.choice(["onoff", "mmpp"])
+    case["arrival_params"] = {
+        "on_cycles": rng.choice([4.0, 16.0, 48.0]),
+        "off_cycles": rng.choice([8.0, 64.0, 150.0]),
+    }
+    if case["arrival"] == "mmpp":
+        case["arrival_params"]["quiet_scale"] = rng.choice([0.1, 0.25, 0.5])
+    return case
+
+
 def test_mesh_smart_kernels_bit_identical(fuzz_seed):
     case = draw_case(fuzz_seed)
     reference = run_case(case, "legacy")
     for kernel in FUZZ_KERNELS[1:]:
         assert_identical(case, reference, run_case(case, kernel), kernel)
+
+
+def test_bursty_arrivals_bit_identical(fuzz_seed):
+    """MMPP/ON-OFF injection stays bit-identical across all kernels."""
+    case = bursty_case(fuzz_seed)
+    reference = run_case(case, "legacy")
+    for kernel in FUZZ_KERNELS[1:]:
+        assert_identical(case, reference, run_case(case, kernel), kernel)
+
+
+def test_batched_bursty_bit_identical(fuzz_seed):
+    """Lockstep engine == serial event runs under bursty arrivals,
+    histogram buckets and per-node flit counters included."""
+    case = bursty_case(fuzz_seed)
+    rng = random.Random(0xBB + fuzz_seed)
+    seeds = [case["traffic_seed"] + 1000 * i for i in range(rng.randint(2, 5))]
+    assert_batched_identical(case, seeds, "event")
 
 
 def test_dedicated_kernels_bit_identical(fuzz_seed):

@@ -196,3 +196,46 @@ class TestChainGraphCorruption:
         net._chains[10**9 + 7] = stray  # registered under the wrong cid
         with pytest.raises(SanitizerError, match="cid"):
             net._sync()
+
+
+class TestHistogramCorruption:
+    """check_batch cross-checks lane histograms and node-flit counters
+    against ground truth recomputed from the delivered-packet lists."""
+
+    def _measuring_engine(self, cycles=300):
+        from repro.sim.batch import BatchedEventNetworks
+
+        lanes = [make_network("event", seed=seed) for seed in (3, 5)]
+        for net in lanes:
+            net.stats.measuring = True
+        engine = BatchedEventNetworks(lanes)
+        engine.run_cycles(cycles)
+        return engine, lanes
+
+    def test_healthy_histograms_pass(self):
+        from repro.sim import sanitizer
+
+        engine, lanes = self._measuring_engine()
+        assert any(net.stats.hist.total for net in lanes), (
+            "fixture must deliver measured packets"
+        )
+        sanitizer.check_batch(engine)
+
+    def test_histogram_corruption_caught(self):
+        from repro.sim import sanitizer
+
+        engine, lanes = self._measuring_engine()
+        lanes[0].stats.hist.counts[10] += 1
+        with pytest.raises(SanitizerError, match="histogram"):
+            sanitizer.check_batch(engine)
+
+    def test_node_flit_corruption_caught(self):
+        from repro.sim import sanitizer
+
+        engine, lanes = self._measuring_engine()
+        stats = lanes[1].stats
+        assert stats.node_flits, "fixture must deliver measured packets"
+        node = next(iter(stats.node_flits))
+        stats.node_flits[node] += 1
+        with pytest.raises(SanitizerError, match="node"):
+            sanitizer.check_batch(engine)

@@ -110,3 +110,188 @@ class TestStatsCollector:
         assert set(by_flow) == {1, 2}
         assert by_flow[1].count == 1
         assert by_flow[2].mean_head_latency == pytest.approx(4.0)
+
+
+class TestHistogramBuckets:
+    """Bucket-scheme invariants for the log-linear latency histogram."""
+
+    def test_buckets_tile_contiguously(self):
+        from repro.sim.stats import HIST_NUM_BUCKETS, hist_bucket_bounds
+
+        previous_high = 0.0
+        for bucket in range(HIST_NUM_BUCKETS):
+            low, high = hist_bucket_bounds(bucket)
+            assert low == previous_high + 1
+            assert high >= low
+            previous_high = high
+        assert math.isinf(high)
+
+    def test_value_lands_in_its_bucket(self):
+        from repro.sim.stats import hist_bucket, hist_bucket_bounds
+
+        for value in list(range(1, 4097)) + [2**20 - 1, 2**20, 2**25]:
+            low, high = hist_bucket_bounds(hist_bucket(value))
+            assert low <= value <= high, value
+
+    def test_relative_width_bound(self):
+        from repro.sim.stats import HIST_NUM_BUCKETS, hist_bucket_bounds
+
+        for bucket in range(HIST_NUM_BUCKETS - 1):  # clamp bucket exempt
+            low, high = hist_bucket_bounds(bucket)
+            # any value in the bucket is within 12.5% of the reported
+            # upper edge (exact buckets below 8 have zero error)
+            assert (high - low) / low <= 0.125 + 1e-9
+
+
+class TestLatencyHistogram:
+    def _random_values(self, seed, n=500):
+        import random
+
+        rng = random.Random(seed)
+        return [
+            max(1, int(rng.lognormvariate(3.0, 1.5))) for _ in range(n)
+        ]
+
+    def test_percentiles_bracket_exact_order_statistics(self):
+        """Nearest-rank percentiles land inside the reported bucket."""
+        from repro.sim.stats import LatencyHistogram
+
+        for seed in range(10):
+            values = sorted(self._random_values(seed))
+            hist = LatencyHistogram.from_values(values)
+            for fraction in (0.5, 0.95, 0.99, 0.999):
+                rank = min(len(values),
+                           max(1, math.ceil(fraction * len(values))))
+                exact = values[rank - 1]
+                low, high = hist.percentile_bounds(fraction)
+                assert low <= exact <= high, (seed, fraction)
+                # The reported point estimate is the bucket's upper
+                # edge: within 12.5% relative error of the exact value.
+                assert hist.percentile(fraction) == high
+
+    def test_merge_equals_from_values(self):
+        from repro.sim.stats import LatencyHistogram
+
+        a = self._random_values(1)
+        b = self._random_values(2)
+        merged = LatencyHistogram.from_values(a)
+        merged.merge(LatencyHistogram.from_values(b))
+        assert merged == LatencyHistogram.from_values(a + b)
+        assert merged.total == len(a) + len(b)
+
+    def test_sparse_round_trip(self):
+        from repro.sim.stats import LatencyHistogram
+
+        hist = LatencyHistogram.from_values(self._random_values(3))
+        sparse = hist.to_sparse()
+        assert all(isinstance(k, str) for k in sparse)
+        assert LatencyHistogram.from_sparse(sparse) == hist
+
+    def test_empty_percentile_is_nan(self):
+        from repro.sim.stats import LatencyHistogram
+
+        assert math.isnan(LatencyHistogram().percentile(0.99))
+
+    def test_wrong_length_rejected(self):
+        from repro.sim.stats import LatencyHistogram
+
+        with pytest.raises(ValueError):
+            LatencyHistogram([0, 1, 2])
+
+
+class TestPooledAggregation:
+    """Pooled-histogram percentiles vs the legacy weighted-mean path."""
+
+    def _summary(self, heads):
+        from repro.sim.stats import _summarize
+
+        packets = []
+        for head in heads:
+            packet = delivered_packet(create=0, head=head - 1,
+                                      tail=head + 6)
+            packets.append(packet)
+        return _summarize(packets)
+
+    def test_pooled_percentile_is_exact_to_bucket(self):
+        """With histograms on every replication the aggregate p95 is the
+        pooled order statistic (to bucket resolution), NOT the weighted
+        mean of per-seed p95s."""
+        from repro.sim.stats import aggregate_summaries
+
+        # Two very different replications: weighted-mean-of-p95s would
+        # sit far from the true pooled p95.
+        fast = self._summary([10] * 99 + [12])
+        slow = self._summary([100] * 100)
+        pooled = aggregate_summaries([fast, slow])
+        values = sorted([10] * 99 + [12] + [100] * 100)
+        exact = values[math.ceil(0.95 * len(values)) - 1]
+        low, high = pooled.histogram.percentile_bounds(0.95)
+        assert low <= exact <= high
+        assert pooled.p95_head_latency == high
+        weighted = (fast.count * fast.p95_head_latency
+                    + slow.count * slow.p95_head_latency) / pooled.count
+        assert abs(pooled.p95_head_latency - exact) < abs(weighted - exact)
+
+    def test_weighted_fallback_without_histograms(self):
+        """Replications lacking histograms (legacy rows) fall back to
+        the count-weighted mean, preserving the old behaviour."""
+        from repro.sim.stats import aggregate_summaries
+
+        a = self._summary([10, 20, 30])
+        b = self._summary([40, 50, 60])
+        a.histogram = None
+        pooled = aggregate_summaries([a, b])
+        assert pooled.histogram is None
+        expected = (3 * a.p95_head_latency + 3 * b.p95_head_latency) / 6
+        assert pooled.p95_head_latency == pytest.approx(expected)
+
+    def test_pooled_histogram_total_matches_count(self):
+        from repro.sim.stats import aggregate_summaries
+
+        a = self._summary([5, 6, 7])
+        b = self._summary([8, 9])
+        pooled = aggregate_summaries([a, b])
+        assert pooled.histogram.total == pooled.count == 5
+
+
+class TestTenantAccounting:
+    def _collector(self):
+        stats = StatsCollector(tenants={1: "fg", 2: "bg"})
+        stats.measuring = True
+        for flow, head in ((1, 4), (1, 6), (2, 49), (3, 200)):
+            packet = delivered_packet(flow=flow, head=head, tail=head + 7)
+            stats.on_create(packet)
+            stats.on_deliver(packet)
+        return stats
+
+    def test_per_tenant_summaries(self):
+        stats = self._collector()
+        per_tenant = stats.per_tenant_summary()
+        assert set(per_tenant) == {"fg", "bg"}
+        assert per_tenant["fg"].count == 2
+        assert per_tenant["bg"].count == 1
+        # untagged flow 3 counts globally but under no tenant
+        assert stats.summary().count == 4
+        assert per_tenant["fg"].histogram.total == 2
+
+    def test_untenanted_collector_reports_nothing(self):
+        stats = StatsCollector()
+        stats.measuring = True
+        packet = delivered_packet()
+        stats.on_create(packet)
+        stats.on_deliver(packet)
+        assert stats.per_tenant_summary() == {}
+
+    def test_slo_verdicts(self):
+        from repro.sim.stats import slo_verdicts
+
+        per_tenant = self._collector().per_tenant_summary()
+        verdicts = slo_verdicts(
+            per_tenant, {"fg": 10.0, "bg": 10.0, "ghost": 1.0}
+        )
+        assert verdicts == {"fg": True, "bg": False}
+
+    def test_node_flit_counters(self):
+        stats = self._collector()
+        # every delivered_packet targets dst=1 with 8 flits
+        assert stats.node_flits == {1: 4 * 8}

@@ -159,3 +159,116 @@ class TestRateScaled:
     def test_unclamped_flows_not_recorded(self, cfg):
         traffic = RateScaledTraffic(cfg, [make_flow(bw=4e9)], scale=2.0)
         assert traffic.clamped_rates == {}
+
+
+class TestMmpp:
+    def _model(self, cfg, flow, seed=5, **kwargs):
+        from repro.sim.traffic import MmppTraffic
+
+        kwargs.setdefault("on_cycles", 16.0)
+        kwargs.setdefault("off_cycles", 48.0)
+        return MmppTraffic(cfg, [flow], seed=seed, **kwargs)
+
+    def test_mean_rate_matches_configured_bandwidth(self, cfg):
+        flow = make_flow(bw=4e9)  # 0.0625 packets/cycle mean
+        traffic = self._model(cfg, flow, quiet_scale=0.25)
+        n = 400000
+        injections = sum(traffic.packets_at(flow, c) for c in range(n))
+        assert injections == pytest.approx(traffic.rate(0) * n, rel=0.05)
+
+    def test_deterministic_across_instances(self, cfg):
+        flow = make_flow(bw=4e9)
+        t1 = self._model(cfg, flow)
+        t2 = self._model(cfg, flow)
+        assert [t1.packets_at(flow, c) for c in range(5000)] == [
+            t2.packets_at(flow, c) for c in range(5000)
+        ]
+
+    def test_query_order_independence(self, cfg):
+        """Cycle-by-cycle polling and next-injection jumping must see
+        the identical schedule (the active/event kernel contract)."""
+        flow = make_flow(bw=4e9)
+        polled = self._model(cfg, flow)
+        jumped = self._model(cfg, flow)
+        schedule = [
+            c for c in range(20000) if polled.packets_at(flow, c)
+        ]
+        cycle, jumps = 0, []
+        while True:
+            nxt = jumped.next_injection_cycle(flow, cycle)
+            if nxt is None or nxt >= 20000:
+                break
+            assert jumped.packets_at(flow, nxt) == 1
+            jumps.append(nxt)
+            cycle = nxt + 1
+        assert schedule == jumps
+
+    def test_onoff_is_burstier_than_bernoulli(self, cfg):
+        """Silent-quiet ON-OFF injection at the same mean rate has a
+        higher per-window variance than the memoryless process."""
+        import statistics
+
+        flow = make_flow(bw=4e9)
+        onoff = self._model(cfg, flow, quiet_scale=0.0,
+                            on_cycles=32.0, off_cycles=96.0)
+        bernoulli = BernoulliTraffic(cfg, [flow], seed=5)
+        window = 64
+
+        def window_counts(traffic):
+            counts = []
+            for start in range(0, 64000, window):
+                counts.append(sum(
+                    traffic.packets_at(flow, c)
+                    for c in range(start, start + window)
+                ))
+            return counts
+
+        assert (statistics.pvariance(window_counts(onoff))
+                > 1.5 * statistics.pvariance(window_counts(bernoulli)))
+
+    def test_burst_rate_clamp_recorded(self, cfg):
+        # Mean rate 0.5 with duty 0.25 and silent quiet state needs a
+        # burst rate of 2.0 packets/cycle -> clamps at 1, recorded.
+        flow = make_flow(bw=32e9)  # rate 0.5
+        traffic = self._model(cfg, flow, quiet_scale=0.0, clamp=True)
+        assert 0 in traffic.clamped_rates
+        assert traffic.clamped_rates[0] == pytest.approx(2.0)
+
+    def test_invalid_params_rejected(self, cfg):
+        flow = make_flow(bw=4e9)
+        with pytest.raises(ValueError):
+            self._model(cfg, flow, on_cycles=0.5)
+        with pytest.raises(ValueError):
+            self._model(cfg, flow, quiet_scale=1.5)
+
+
+class TestRateScaledArrivals:
+    def test_unknown_arrival_rejected(self, cfg):
+        with pytest.raises(ValueError, match="arrival"):
+            RateScaledTraffic(cfg, [make_flow(bw=4e9)], scale=1.0,
+                              arrival="poisson")
+
+    def test_bernoulli_rejects_burst_params(self, cfg):
+        with pytest.raises(ValueError, match="arrival_params"):
+            RateScaledTraffic(cfg, [make_flow(bw=4e9)], scale=1.0,
+                              arrival_params={"on_cycles": 8.0})
+
+    def test_mmpp_arrival_wraps_mmpp(self, cfg):
+        from repro.sim.traffic import MmppTraffic
+
+        traffic = RateScaledTraffic(
+            cfg, [make_flow(bw=4e9)], scale=2.0, arrival="mmpp",
+            arrival_params={"on_cycles": 8.0, "off_cycles": 24.0},
+        )
+        assert isinstance(traffic._inner, MmppTraffic)
+        assert traffic._inner.quiet_scale == 0.25  # mmpp default
+        assert traffic.rate(0) == pytest.approx(0.0625 * 2.0)
+
+    def test_fixed_flows_exempt_from_scaling(self, cfg):
+        fixed = make_flow(fid=0, bw=4e9)
+        swept = Flow(1, 1, 0, 4e9, route=(Port.WEST, Port.CORE))
+        traffic = RateScaledTraffic(
+            cfg, [fixed, swept], scale=4.0, fixed_flow_ids=(0,),
+        )
+        assert traffic.rate(0) == pytest.approx(0.0625)
+        assert traffic.rate(1) == pytest.approx(0.25)

@@ -182,3 +182,54 @@ class TestSweepKernelFlag:
     def test_unknown_kernel_rejected_at_parse_time(self):
         with pytest.raises(SystemExit):
             main(["sweep", "--workload", "PIP", "--kernel", "warp"])
+
+
+class TestArrivalAndSloFlags:
+    def test_sweep_accepts_mmpp_arrival(self, capsys, tmp_path):
+        import json
+
+        main([
+            "sweep", "--workload", "transpose", "--designs", "mesh",
+            "--loads", "0.01", "--measure", "500", "--jobs", "0",
+            "--kernel", "event", "--arrival", "mmpp",
+            "--on-cycles", "8", "--off-cycles", "24",
+            "--out", str(tmp_path / "sweep.json"),
+        ])
+        capsys.readouterr()
+        data = json.load(open(str(tmp_path / "sweep.json")))
+        assert data["meta"]["arrival"] == "mmpp"
+        assert data["meta"]["arrival_params"]["on_cycles"] == 8.0
+        assert data["rows"][0]["mesh_p99"] is not None
+
+    def test_burst_knobs_require_bursty_arrival(self):
+        with pytest.raises(SystemExit, match="on-cycles"):
+            main([
+                "sweep", "--workload", "transpose", "--designs", "mesh",
+                "--loads", "0.01", "--jobs", "0", "--on-cycles", "8",
+            ])
+
+    def test_unknown_arrival_rejected_at_parse_time(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--workload", "PIP", "--arrival", "poisson"])
+
+    def test_sweep_slo_adds_verdict_columns(self, capsys, tmp_path):
+        import json
+
+        main([
+            "sweep", "--workload", "tenant_mix", "--designs", "mesh",
+            "--loads", "0.005", "--measure", "500", "--jobs", "0",
+            "--kernel", "event", "--slo", "50",
+            "--out", str(tmp_path / "sweep.json"),
+        ])
+        capsys.readouterr()
+        row = json.load(open(str(tmp_path / "sweep.json")))["rows"][0]
+        assert isinstance(row["mesh_PIP_slo_ok"], bool)
+        assert isinstance(row["mesh_hotspot_slo_ok"], bool)
+
+    def test_plot_histogram_gated_without_matplotlib(self, tmp_path):
+        from repro.eval.plotting import matplotlib_available
+
+        if matplotlib_available():
+            pytest.skip("matplotlib installed; gating not exercised")
+        with pytest.raises(SystemExit, match="matplotlib"):
+            main(["plot", "--histogram", str(tmp_path / "whatever.jsonl")])

@@ -1,0 +1,96 @@
+"""Unit tests for the docs dead-link checker (tools/check_doc_links.py)."""
+
+import importlib.util
+import os
+
+import pytest
+
+_SCRIPT = os.path.join(
+    os.path.dirname(__file__), "..", "tools", "check_doc_links.py"
+)
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+@pytest.fixture(scope="module")
+def checker():
+    spec = importlib.util.spec_from_file_location("check_doc_links", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def write(tmp_path, name, text):
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    return str(path)
+
+
+class TestCheckFile:
+    def test_good_links_pass(self, checker, tmp_path):
+        write(tmp_path, "docs/other.md", "# Target Section\nbody\n")
+        doc = write(
+            tmp_path, "docs/index.md",
+            "# Index\n"
+            "[file](other.md) and [anchor](other.md#target-section)\n"
+            "[self](#index) and [up](../docs/other.md)\n",
+        )
+        assert checker.check_file(doc, str(tmp_path)) == []
+
+    def test_missing_file_reported(self, checker, tmp_path):
+        doc = write(tmp_path, "docs/index.md", "[gone](nowhere.md)\n")
+        ((path, target, reason),) = checker.check_file(doc, str(tmp_path))
+        assert target == "nowhere.md"
+        assert reason == "missing file"
+
+    def test_missing_anchor_reported(self, checker, tmp_path):
+        write(tmp_path, "docs/other.md", "# Only Heading\n")
+        doc = write(
+            tmp_path, "docs/index.md", "[bad](other.md#renamed-away)\n"
+        )
+        ((_, target, reason),) = checker.check_file(doc, str(tmp_path))
+        assert target == "other.md#renamed-away"
+        assert reason == "missing anchor"
+
+    def test_fenced_examples_ignored(self, checker, tmp_path):
+        doc = write(
+            tmp_path, "docs/index.md",
+            "```\n[example](missing.md)\n```\n"
+            "and `[inline](also_missing.md)` code\n",
+        )
+        assert checker.check_file(doc, str(tmp_path)) == []
+
+    def test_external_and_out_of_repo_skipped(self, checker, tmp_path):
+        doc = write(
+            tmp_path, "docs/index.md",
+            "[site](https://example.com/x.md)\n"
+            "[mail](mailto:a@b.c)\n"
+            "[badge](../../actions/workflows/ci.yml/badge.svg)\n",
+        )
+        assert checker.check_file(doc, str(tmp_path)) == []
+
+    def test_duplicate_headings_get_suffixed_anchors(self, checker, tmp_path):
+        target = write(
+            tmp_path, "docs/other.md", "# Same\ntext\n# Same\nmore\n"
+        )
+        assert checker.heading_anchors(target) == {"same", "same-1"}
+        doc = write(tmp_path, "docs/index.md", "[second](other.md#same-1)\n")
+        assert checker.check_file(doc, str(tmp_path)) == []
+
+    def test_code_span_headings_slug_like_github(self, checker, tmp_path):
+        target = write(
+            tmp_path, "docs/api.md", "## `repro.sim.stats` reference\n"
+        )
+        assert "reprosimstats-reference" in checker.heading_anchors(target)
+
+
+class TestRepoDocs:
+    def test_committed_docs_have_no_dead_links(self, checker):
+        """The real repo's README/docs/results must stay link-clean —
+        the same invocation CI runs."""
+        targets = checker.default_targets(_ROOT)
+        assert targets  # README + docs/*.md at minimum
+        problems = []
+        for path in targets:
+            problems.extend(checker.check_file(path, _ROOT))
+        assert problems == []

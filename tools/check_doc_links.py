@@ -1,0 +1,148 @@
+"""Dead-link checker for the repo's markdown docs (stdlib only).
+
+Scans markdown files for inline links and images (``[text](target)``),
+and fails when a *relative* target does not exist on disk or a
+``#fragment`` does not match any heading anchor in the target file —
+the two drift shapes a docs pass keeps accumulating: renamed files and
+renamed sections.
+
+What is checked:
+
+* relative file targets — resolved against the linking file's
+  directory; must exist (``docs/stats.md``, ``../README.md``,
+  committed ``results/*.md`` reports, source files ...);
+* intra- and cross-file anchors — ``#buckets`` or
+  ``other.md#buckets`` must match a heading in the target markdown
+  file, slugged the way GitHub does (lowercase, punctuation stripped,
+  spaces to hyphens, ``-N`` suffixes for duplicates);
+* external links (``http://``, ``https://``, ``mailto:``) are *not*
+  fetched — network is neither available nor deterministic in CI.
+
+Fenced code blocks and inline code spans are ignored, so markdown
+examples inside ``` fences never count as links.
+
+Usage::
+
+    python tools/check_doc_links.py [file.md ...]
+
+With no arguments, checks ``README.md`` plus every ``docs/*.md`` and
+``results/*.md`` under the repo root (the directory holding this
+script's parent).  Exits 1 listing every dead link, 0 when clean.
+"""
+
+import os
+import re
+import sys
+
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+_FENCE = re.compile(r"^(```|~~~)")
+_CODE_SPAN = re.compile(r"`[^`]*`")
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def _strip_code(text):
+    """Markdown minus fenced blocks and inline code spans."""
+    lines, fenced = [], False
+    for line in text.splitlines():
+        if _FENCE.match(line.strip()):
+            fenced = not fenced
+            continue
+        if not fenced:
+            lines.append(_CODE_SPAN.sub("", line))
+    return "\n".join(lines)
+
+
+def _slug(heading):
+    """GitHub's heading-to-anchor slug (sans emoji edge cases)."""
+    text = _CODE_SPAN.sub(lambda m: m.group(0).strip("`"), heading)
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # linked headings
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_anchors(path):
+    """Every anchor a markdown file exposes, duplicate-suffixed."""
+    with open(path, encoding="utf-8") as fh:
+        text = fh.read()
+    anchors, seen = set(), {}
+    fenced = False
+    for line in text.splitlines():
+        if _FENCE.match(line.strip()):
+            fenced = not fenced
+            continue
+        if fenced:
+            continue
+        match = _HEADING.match(line)
+        if not match:
+            continue
+        slug = _slug(match.group(1))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        anchors.add(slug if count == 0 else "%s-%d" % (slug, count))
+    return anchors
+
+
+def check_file(path, root):
+    """Dead links in one markdown file, as (path, target, reason) rows."""
+    with open(path, encoding="utf-8") as fh:
+        text = _strip_code(fh.read())
+    problems = []
+    base = os.path.dirname(os.path.abspath(path))
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL) or target.startswith("<"):
+            continue
+        file_part, _, fragment = target.partition("#")
+        if file_part:
+            resolved = os.path.normpath(os.path.join(base, file_part))
+            if not resolved.startswith(root + os.sep):
+                continue  # climbs out of the repo (GitHub web paths)
+            if not os.path.exists(resolved):
+                problems.append((path, target, "missing file"))
+                continue
+        else:
+            resolved = os.path.abspath(path)
+        if fragment:
+            if not resolved.endswith((".md", ".markdown")):
+                continue  # anchors into source files: not checkable
+            if fragment.lower() not in heading_anchors(resolved):
+                problems.append((path, target, "missing anchor"))
+    return problems
+
+
+def default_targets(root):
+    targets = []
+    readme = os.path.join(root, "README.md")
+    if os.path.exists(readme):
+        targets.append(readme)
+    for sub in ("docs", "results"):
+        folder = os.path.join(root, sub)
+        if not os.path.isdir(folder):
+            continue
+        for name in sorted(os.listdir(folder)):
+            if name.endswith(".md"):
+                targets.append(os.path.join(folder, name))
+    return targets
+
+
+def main(argv):
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    targets = argv or default_targets(root)
+    problems = []
+    for path in targets:
+        problems.extend(check_file(path, root))
+    for path, target, reason in problems:
+        print("%s: dead link (%s): %s" % (os.path.relpath(path, root),
+                                          reason, target))
+    if problems:
+        print("%d dead link(s) in %d file(s) checked"
+              % (len(problems), len(targets)))
+        return 1
+    print("docs links ok: %d file(s) checked" % len(targets))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
