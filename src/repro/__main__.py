@@ -9,8 +9,10 @@ Usage:
     python -m repro fig10a [--measure N]
     python -m repro fig10b [--measure N]
     python -m repro run WORKLOAD DESIGN [--measure N] [--load X]
-    python -m repro sweep [--workload W] [--size WxH] [--loads ...] [--jobs N]
+    python -m repro sweep [--workload W | --workload-file F] [--size WxH] ...
     python -m repro farm {enumerate,work,merge,status,import} ...
+    python -m repro trace TRACE [--design D] [--size WxH]
+    python -m repro scenario [PHASE ...] [--loads ...] [--seeds N]
     python -m repro workloads
     python -m repro plot results/sweep_X.jsonl [--out PNG]
     python -m repro apps
@@ -136,6 +138,37 @@ def _cmd_run(args) -> None:
              experiment.mean_latency, experiment.power.total_w * 1e3))
 
 
+def _load_file_workloads(path: str):
+    """Register a spec file's workloads; exits with a clear message."""
+    from repro.workloads.specfile import ensure_file_workloads
+
+    try:
+        return ensure_file_workloads(path)
+    except (OSError, ValueError) as exc:
+        raise SystemExit("--workload-file %s: %s" % (path, exc))
+
+
+def _file_workload_spec(args):
+    """(workload, WorkloadSpec) for --workload-file/--file-workload.
+
+    The returned spec carries the reserved ``specfile`` param so pool
+    and farm workers (which never saw this process's registration)
+    self-load the file before building the workload.
+    """
+    from repro.workloads import WorkloadSpec, get_workload
+
+    names = _load_file_workloads(args.workload_file)
+    name = args.file_workload or names[0]
+    if name not in names:
+        raise SystemExit(
+            "--file-workload %s: not defined in %s (it defines %s)"
+            % (name, args.workload_file, ", ".join(names))
+        )
+    workload = get_workload(name)
+    spec = WorkloadSpec.of(workload.name, specfile=args.workload_file)
+    return workload, spec
+
+
 def _workload_name(value: str) -> str:
     """argparse type for --workload/run: resolve in the registry early."""
     from repro.workloads import get_workload
@@ -217,8 +250,14 @@ def _cmd_sweep(args) -> None:
     designs = args.designs
     loads = [float(x) for x in args.loads.split(",")] if args.loads else None
     seeds = tuple(range(1, args.seeds + 1))
-    source = args.workload or args.pattern or args.app or "VOPD"
-    workload = get_workload(source)
+    if args.file_workload and not args.workload_file:
+        raise SystemExit("--file-workload needs --workload-file")
+    if args.workload_file:
+        workload, spec = _file_workload_spec(args)
+    else:
+        source = args.workload or args.pattern or args.app or "VOPD"
+        workload = get_workload(source)
+        spec = workload.name
     cfg = None
     stem = "sweep_%s" % workload.name
     if args.size:
@@ -261,7 +300,7 @@ def _cmd_sweep(args) -> None:
 
     arrival, arrival_params = _arrival_kwargs(args)
     rows = run_workload_sweep(
-        workload.name,
+        spec,
         designs=designs,
         loads=load_points,
         seeds=seeds,
@@ -298,6 +337,8 @@ def _cmd_sweep(args) -> None:
     }
     if arrival_params:
         meta["arrival_params"] = arrival_params
+    if args.workload_file:
+        meta["specfile"] = args.workload_file
     if args.slo is not None:
         meta["slo"] = args.slo
     write_sweep_json(out, rows, meta=meta)
@@ -315,8 +356,16 @@ def _cmd_farm_enumerate(args) -> None:
         cfg = NocConfig(width=width, height=height)
     loads = [float(x) for x in args.loads.split(",")] if args.loads else None
     arrival, arrival_params = _arrival_kwargs(args)
+    if args.file_workload and not args.workload_file:
+        raise SystemExit("--file-workload needs --workload-file")
+    if args.workload_file:
+        _workload, source = _file_workload_spec(args)
+    elif args.workload:
+        source = args.workload
+    else:
+        raise SystemExit("farm enumerate needs --workload or --workload-file")
     spec = enumerate_farm(
-        args.workload,
+        source,
         designs=args.designs,
         loads=loads,
         seeds=tuple(range(1, args.seeds + 1)),
@@ -406,15 +455,137 @@ def _cmd_farm_import(args) -> None:
               % (stream, stats["imported"], stats["outside_grid"]))
 
 
+def _cmd_trace(args) -> None:
+    from repro.config import NocConfig
+    from repro.sim.trace import (
+        compare_results,
+        load_trace,
+        replay_all_kernels,
+        trace_span,
+    )
+
+    records = load_trace(args.trace)
+    cfg = NocConfig()
+    if args.size:
+        width, height = args.size
+        cfg = NocConfig(width=width, height=height)
+    print("%s: %d packet(s) over %d cycle(s), replayed on %s (%dx%d)"
+          % (args.trace, len(records), trace_span(records), args.design,
+             cfg.width, cfg.height))
+    results = replay_all_kernels(
+        records, cfg, design=args.design, drain_limit=args.drain_limit,
+        batched=not args.no_batched,
+    )
+    for name in sorted(results):
+        result = results[name]
+        print("  %-14s %5d delivered  mean head %8.2f cyc  %s"
+              % (name, result.summary.count,
+                 result.summary.mean_head_latency,
+                 "drained" if result.drained else "NOT DRAINED"))
+    mismatches = compare_results(results)
+    for line in mismatches:
+        print("  MISMATCH: %s" % line)
+    if mismatches:
+        raise SystemExit(
+            "trace replay diverged across kernels (%d mismatch(es))"
+            % len(mismatches)
+        )
+    print("replay bit-identical across %d kernel(s)" % len(results))
+
+
+def _cmd_scenario(args) -> None:
+    import os
+
+    from repro.config import NocConfig
+    from repro.eval.reconfig import (
+        ScenarioPhase,
+        ScenarioSpec,
+        enumerate_scenario_farm,
+        run_scenario_stream,
+        scenario_phase_table,
+    )
+    from repro.eval.report import render_table
+    from repro.eval.scenarios import FIG1_APPS
+    from repro.workloads import WorkloadSpec, get_workload
+
+    file_names = ()
+    if args.workload_file:
+        file_names = _load_file_workloads(args.workload_file)
+    names = list(args.phases) or list(FIG1_APPS)
+    loads = [float(x) for x in args.loads.split(",")] if args.loads else []
+    if loads and len(loads) != len(names):
+        raise SystemExit(
+            "--loads names %d value(s) for %d phase(s)"
+            % (len(loads), len(names))
+        )
+    phases = []
+    for index, name in enumerate(names):
+        workload = get_workload(name)  # raises early on unknown names
+        params = (
+            {"specfile": args.workload_file}
+            if workload.name in file_names
+            else {}
+        )
+        phases.append(ScenarioPhase(
+            workload=WorkloadSpec.of(workload.name, **params),
+            load=loads[index] if loads else None,
+        ))
+    scenario = ScenarioSpec.of(
+        args.name or ("fig1" if not args.phases else
+                      "_".join(n.lower() for n in names)),
+        phases,
+        design=args.design,
+        kernel=args.kernel,
+        warmup_cycles=args.warmup,
+        measure_cycles=args.measure,
+        cycles_per_store=args.cycles_per_store,
+    )
+    cfg = None
+    if args.size:
+        width, height = args.size
+        cfg = NocConfig(width=width, height=height)
+    seeds = tuple(range(1, args.seeds + 1))
+    stream_path = args.out or os.path.join(
+        "results", "scenario_%s.jsonl" % scenario.name
+    )
+
+    def on_result(row) -> None:
+        print("  phase %d %-10s seed=%d  reconfig=%4d cyc  "
+              "mean=%8.2f cyc  clock=%d" % (
+                  row["phase"], row["app"], row["seed"],
+                  row["reconfig_cycles"],
+                  row["summary"].mean_head_latency,
+                  row["clock_cycles"],
+              ))
+
+    rows = run_scenario_stream(
+        scenario, cfg=cfg, seeds=seeds, stream_path=stream_path,
+        resume=args.resume, on_result=on_result,
+    )
+    print(render_table(scenario_phase_table(scenario, rows),
+                       title=scenario.describe()))
+    print("wrote %s" % stream_path)
+    if args.farm_root:
+        farm = enumerate_scenario_farm(
+            scenario, cfg=cfg, seeds=seeds, root=args.farm_root
+        )
+        print("farm queue %s (import-only): adopt the stream with\n"
+              "  python -m repro farm import --spec %s --root %s %s"
+              % (farm.spec_hash, farm.spec_hash, args.farm_root,
+                 stream_path))
+
+
 def _farm_spec_dir(args) -> str:
     from repro.eval.farm import resolve_spec_dir
 
     return resolve_spec_dir(args.spec, root=args.root)
 
 
-def _cmd_workloads(_args) -> None:
+def _cmd_workloads(args) -> None:
     from repro.workloads import WORKLOADS, workload_names
 
+    if getattr(args, "workload_file", None):
+        _load_file_workloads(args.workload_file)
     print("%-20s %-10s %-16s %s" % ("name", "kind", "load axis", "description"))
     for name in workload_names():
         workload = WORKLOADS[name]
@@ -498,6 +669,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--pattern", type=_workload_name, default=None,
         help="legacy alias for --workload",
     )
+    sweep_source.add_argument(
+        "--workload-file", default=None, metavar="PATH",
+        help="YAML/TSV workload spec file (docs/workloads.md); pool "
+        "workers self-load it, so the sweep parallelises as usual",
+    )
+    p_sweep.add_argument(
+        "--file-workload", default=None, metavar="NAME",
+        help="which workload in --workload-file to sweep (default: the "
+        "file's first definition)",
+    )
     p_sweep.add_argument(
         "--size", type=_mesh_size, default=None,
         help="mesh size WxH (e.g. 8x8; default: the paper's 4x4)",
@@ -576,7 +757,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="create/extend the content-addressed queue for one sweep "
         "spec and print its directory",
     )
-    p_fe.add_argument("--workload", type=_workload_name, required=True)
+    p_fe.add_argument("--workload", type=_workload_name, default=None)
+    p_fe.add_argument("--workload-file", default=None, metavar="PATH",
+                      help="YAML/TSV workload spec file; its path rides "
+                      "the hashed spec so farm workers self-load it")
+    p_fe.add_argument("--file-workload", default=None, metavar="NAME",
+                      help="which workload in --workload-file to farm "
+                      "(default: the file's first definition)")
     p_fe.add_argument("--size", type=_mesh_size, default=None,
                       help="mesh size WxH (default: the paper's 4x4)")
     p_fe.add_argument("--designs", default="mesh,smart,dedicated",
@@ -651,9 +838,69 @@ def build_parser() -> argparse.ArgumentParser:
                       help="sweep .jsonl stream(s) with a matching "
                       "content-hashed header")
     p_fi.set_defaults(func=_cmd_farm_import)
-    sub.add_parser(
-        "workloads", help="list the workload registry (apps + patterns)"
-    ).set_defaults(func=_cmd_workloads)
+    p_trace = sub.add_parser(
+        "trace",
+        help="replay a timestamped packet trace on every kernel and "
+        "check bit-identity (docs/workloads.md)",
+    )
+    p_trace.add_argument("trace",
+                         help="JSONL (cycle/src/dst objects) or header+CSV "
+                         "capture; gem5/booksim-style field aliases accepted")
+    p_trace.add_argument("--design", default="smart",
+                         choices=("mesh", "smart", "dedicated"))
+    p_trace.add_argument("--size", type=_mesh_size, default=None,
+                         help="mesh size WxH (default: the paper's 4x4)")
+    p_trace.add_argument("--drain-limit", type=int, default=100000)
+    p_trace.add_argument("--no-batched", action="store_true",
+                         help="skip the extra batched-engine lane")
+    p_trace.set_defaults(func=_cmd_trace)
+    p_scen = sub.add_parser(
+        "scenario",
+        help="time-multiplex 2+ apps on one fabric, charging SS V "
+        "reconfiguration cost between phases (docs/workloads.md)",
+    )
+    p_scen.add_argument("phases", nargs="*", metavar="PHASE",
+                        help="workload names in phase order (default: the "
+                        "paper's Fig 1 sequence WLAN H264 VOPD)")
+    p_scen.add_argument("--name", default=None,
+                        help="scenario name (stream stem; default derived "
+                        "from the phases)")
+    p_scen.add_argument("--workload-file", default=None, metavar="PATH",
+                        help="register this spec file's workloads first so "
+                        "phases can name them")
+    p_scen.add_argument("--design", default="smart",
+                        choices=("mesh", "smart", "dedicated"))
+    p_scen.add_argument("--kernel", default="active", type=_kernel_name)
+    p_scen.add_argument("--size", type=_mesh_size, default=None,
+                        help="mesh size WxH (default: the paper's 4x4)")
+    p_scen.add_argument("--loads",
+                        help="comma-separated drive level per phase "
+                        "(default: each workload's default load)")
+    p_scen.add_argument("--seeds", type=int, default=1,
+                        help="replications of the whole phase sequence")
+    p_scen.add_argument("--warmup", type=int, default=500)
+    p_scen.add_argument("--measure", type=int, default=8000)
+    p_scen.add_argument("--cycles-per-store", type=int, default=1,
+                        help="cycles charged per reconfiguration store "
+                        "instruction (SS V)")
+    p_scen.add_argument("--out", default=None,
+                        help="stream path (default results/scenario_"
+                        "<NAME>.jsonl)")
+    p_scen.add_argument("--resume", action="store_true",
+                        help="reload seeds whose phase rows all landed in "
+                        "the stream")
+    p_scen.add_argument("--farm-root", default=None, metavar="ROOT",
+                        help="also enumerate the import-only farm queue "
+                        "under ROOT and print the import command")
+    p_scen.set_defaults(func=_cmd_scenario)
+    p_wl = sub.add_parser(
+        "workloads",
+        help="list the workload registry (apps + patterns + file workloads)",
+    )
+    p_wl.add_argument("--workload-file", default=None, metavar="PATH",
+                      help="register this spec file's workloads before "
+                      "listing")
+    p_wl.set_defaults(func=_cmd_workloads)
     p_plot = sub.add_parser(
         "plot",
         help="render latency-vs-load curves from sweep .jsonl streams "

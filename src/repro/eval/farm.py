@@ -197,6 +197,14 @@ class FarmSpec:
         asserts.
         """
         spec = self.header["sweep_spec"]
+        if spec.get("scenario"):
+            raise ValueError(
+                "farm queue %s holds a reconfiguration scenario "
+                "(phases are sequentially dependent, so points cannot be "
+                "recomputed independently) — run `repro scenario` with a "
+                "stream and `repro farm import` it instead of farm work"
+                % self.spec_hash
+            )
         return SweepJob(
             design=point.design,
             load=point.load,
@@ -301,10 +309,30 @@ def enumerate_farm(
         spec, base, kernel, traffic_mode, kwargs,
         arrival=arrival, arrival_params=arrival_params,
     )
+    return enumerate_farm_from_header(
+        header, designs=designs, loads=points, seeds=seeds, root=root
+    )
+
+
+def enumerate_farm_from_header(
+    header: Dict[str, Any],
+    designs: Sequence[str],
+    loads: Sequence[float],
+    seeds: Sequence[int],
+    root: str = DEFAULT_ROOT,
+) -> FarmSpec:
+    """Create (or extend) a queue from an already-built stream header.
+
+    The shared tail of :func:`enumerate_farm`, exposed so layers with
+    their own header construction — reconfiguration scenarios hash a
+    ``scenario`` spec section via
+    :func:`repro.eval.reconfig.enumerate_scenario_farm` — address the
+    same queue layout.  Same idempotence/union semantics.
+    """
     spec_dir = os.path.join(root, header["spec_hash"])
     grid = {
         "designs": [str(d) for d in designs],
-        "loads": list(points),
+        "loads": [float(x) for x in loads],
         "seeds": [int(s) for s in seeds],
     }
     existing = _read_spec_file(spec_dir)

@@ -76,6 +76,11 @@ def tail_curves(
     runner's ``_p50``/``_p95``/``_p99`` columns.  Points without
     histograms (legacy streams) fall back to the summary's recorded
     percentile fields where available and NaN otherwise.
+
+    Zero-packet groups (e.g. a fully quiet tenant, or a scenario phase
+    that delivered nothing) yield an **empty** band dict rather than
+    NaN-filled percentiles, so downstream consumers can distinguish "no
+    packets" from "legacy stream without histograms".
     """
     grouped: Dict[Tuple[str, float], List[Dict[str, object]]] = {}
     for point in points:
@@ -92,13 +97,14 @@ def tail_curves(
     for (design, load), group in sorted(grouped.items()):
         summary = aggregate_summaries([p["summary"] for p in group])
         tails: Dict[float, float] = {}
-        for fraction in fractions:
-            if summary.histogram is not None and summary.histogram.total:
-                tails[fraction] = summary.histogram.percentile(fraction)
-            else:
-                tails[fraction] = getattr(
-                    summary, fallback.get(fraction, ""), math.nan
-                )
+        if summary.count > 0:
+            for fraction in fractions:
+                if summary.histogram is not None and summary.histogram.total:
+                    tails[fraction] = summary.histogram.percentile(fraction)
+                else:
+                    tails[fraction] = getattr(
+                        summary, fallback.get(fraction, ""), math.nan
+                    )
         curves.setdefault(design, []).append(
             (load, tails, any(p["saturated"] for p in group))
         )
@@ -170,7 +176,10 @@ def plot_sweep_stream(
     ax.set_xlabel("offered load")
     ax.set_ylabel("mean head latency (cycles)")
     ax.set_title(title)
-    ax.legend()
+    # All-empty curves (e.g. a stream of zero-packet runs) plot an empty
+    # chart; legend() without handles would only emit a warning.
+    if ax.get_legend_handles_labels()[0]:
+        ax.legend()
     ax.grid(True, alpha=0.3)
     fig.tight_layout()
     if out_path is None:
@@ -269,7 +278,10 @@ def plot_tail_stream(
     ax.set_xlabel("offered load")
     ax.set_ylabel("head latency percentile (cycles)")
     ax.set_title(title)
-    ax.legend(fontsize=8)
+    # Zero-packet streams produce empty tail bands (see tail_curves);
+    # skip the legend rather than warn on an empty handle list.
+    if ax.get_legend_handles_labels()[0]:
+        ax.legend(fontsize=8)
     ax.grid(True, alpha=0.3)
     fig.tight_layout()
     if out_path is None:

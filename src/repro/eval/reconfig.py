@@ -1,0 +1,462 @@
+"""Costed multi-app reconfiguration scenarios (§V).
+
+SMART's headline claim is *reconfigurability*: one fabric time-multiplexes
+many SoC applications by rewriting each router's memory-mapped preset
+register — "the reconfiguration cost at runtime is just the amount of
+time to execute these instructions" (§V).  This module makes that cost
+real inside a simulation: a :class:`ScenarioSpec` sequences two or more
+registered workloads (built-in apps, file-defined workloads, patterns) on
+one fabric, and :func:`run_scenario` executes the phases on a cumulative
+simulated clock that charges
+
+* the phase's **reconfiguration program** — the full register file for
+  the first app, then only the *changed* registers
+  (:func:`repro.core.reconfiguration.diff_program`) for each switch —
+  at ``cycles_per_store`` cycles per store, and
+* the phase's own run: warmup, measurement and the drain that empties
+  the network before the next switch (the paper requires the network be
+  empty when registers are rewritten; ``Network.run`` drains measured
+  packets before returning, and its ``total_cycles`` — warmup + measure
+  + drain — is what lands on the clock).
+
+Each phase yields one sweep-compatible row (the phase *index* is the
+stream's load axis, so per-phase rows ride the existing stream/farm
+machinery unchanged) carrying ``phase``, ``app``, ``phase_load`` (the
+real drive level), ``reconfig_stores``, ``reconfig_cycles`` and the
+cumulative ``clock_cycles``.  Streams written by
+:func:`run_scenario_stream` use the shared header hashing with a
+``"scenario"`` spec section, so farm queues enumerated by
+:func:`enumerate_scenario_farm` accept them via ``repro farm import``
+and merge with the standard per-phase aggregation
+(``<design>_reconfig_cycles`` / ``<design>_app`` columns).
+
+Scenario grid points cannot be *recomputed* from a farm queue (a phase's
+cost depends on the previous phase's presets, so points are not
+independent); scenario queues are therefore **import-only** —
+``FarmSpec.job_for`` refuses them with a pointer here.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import os
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.config import NocConfig
+from repro.core.reconfiguration import (
+    DEFAULT_BASE_ADDR,
+    ReconfigurationProgram,
+    compile_program,
+    diff_program,
+)
+from repro.eval.scenarios import FIG1_APPS
+from repro.eval.sweeps import (
+    DEFAULT_RUN_KWARGS,
+    SweepJob,
+    _aggregate,
+    _job_traffic,
+    _point_key,
+    _point_row,
+    _point_to_json,
+    make_stream_header,
+    read_sweep_header,
+    read_sweep_stream,
+)
+from repro.workloads import (
+    WorkloadSpec,
+    build_seed_for,
+    build_workload,
+    get_workload,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class ScenarioPhase:
+    """One time slice: a registered workload driven at a fixed load."""
+
+    workload: WorkloadSpec
+    #: Drive level on the workload's load axis (None: its default_load).
+    load: Optional[float] = None
+    #: Per-phase measurement window (None: the spec's measure_cycles).
+    measure_cycles: Optional[int] = None
+
+    @classmethod
+    def of(
+        cls, phase: Union[str, WorkloadSpec, "ScenarioPhase"]
+    ) -> "ScenarioPhase":
+        """Coerce a workload name/spec into a default-load phase."""
+        if isinstance(phase, ScenarioPhase):
+            return phase
+        return cls(workload=WorkloadSpec.of(phase))
+
+    def resolved_load(self) -> float:
+        """The drive level, defaulting to the workload's single-point
+        default (apps: the mapped bandwidths as specified)."""
+        if self.load is not None:
+            return float(self.load)
+        return float(get_workload(self.workload.name).default_load)
+
+
+@dataclasses.dataclass(frozen=True)
+class ScenarioSpec:
+    """A reconfiguration scenario: phases time-multiplexed on one fabric.
+
+    The paper's Fig 1 sequence — WLAN, then H264, then VOPD on the same
+    chip — is the default subject (:data:`repro.eval.scenarios.FIG1_APPS`;
+    see :func:`fig1_scenario`).
+    """
+
+    name: str
+    phases: Tuple[ScenarioPhase, ...]
+    design: str = "smart"
+    kernel: str = "active"
+    traffic_mode: str = "predraw"
+    warmup_cycles: int = DEFAULT_RUN_KWARGS["warmup_cycles"]
+    measure_cycles: int = DEFAULT_RUN_KWARGS["measure_cycles"]
+    drain_limit: int = DEFAULT_RUN_KWARGS["drain_limit"]
+    #: Cycles charged per memory-mapped store (§V: one store instruction
+    #: per router register).
+    cycles_per_store: int = 1
+    base_addr: int = DEFAULT_BASE_ADDR
+
+    def __post_init__(self) -> None:
+        if len(self.phases) < 2:
+            raise ValueError(
+                "a reconfiguration scenario needs at least 2 phases, got %d"
+                % len(self.phases)
+            )
+
+    @classmethod
+    def of(
+        cls,
+        name: str,
+        phases: Sequence[Union[str, WorkloadSpec, ScenarioPhase]],
+        **kwargs: Any,
+    ) -> "ScenarioSpec":
+        """Build a spec from workload names/specs/phases."""
+        return cls(
+            name=name,
+            phases=tuple(ScenarioPhase.of(p) for p in phases),
+            **kwargs,
+        )
+
+    def describe(self) -> str:
+        """``name: app@load -> app@load -> ...`` label."""
+        return "%s: %s" % (
+            self.name,
+            " -> ".join(
+                "%s@%g" % (p.workload.describe(), p.resolved_load())
+                for p in self.phases
+            ),
+        )
+
+    def phase_loads(self) -> List[float]:
+        """The stream's load axis: one value per phase (its index)."""
+        return [float(index) for index in range(len(self.phases))]
+
+    def run_kwargs(self) -> Dict[str, int]:
+        return {
+            "warmup_cycles": self.warmup_cycles,
+            "measure_cycles": self.measure_cycles,
+            "drain_limit": self.drain_limit,
+        }
+
+    def spec_extra(self) -> Dict[str, Any]:
+        """The ``"scenario"`` section hashed into the stream header."""
+        return {
+            "scenario": {
+                "name": self.name,
+                "design": self.design,
+                "phases": [
+                    {
+                        "workload": phase.workload.name,
+                        "params": dict(phase.workload.params),
+                        "load": phase.resolved_load(),
+                        "measure_cycles": (
+                            phase.measure_cycles
+                            if phase.measure_cycles is not None
+                            else self.measure_cycles
+                        ),
+                    }
+                    for phase in self.phases
+                ],
+                "cycles_per_store": self.cycles_per_store,
+                "base_addr": self.base_addr,
+            }
+        }
+
+    def stream_header(
+        self, cfg: NocConfig, seeds: Sequence[int] = (1,)
+    ) -> Dict[str, Any]:
+        """The stream/farm header identifying this scenario on ``cfg``.
+
+        The workload slot holds the *first* phase's workload (scenario
+        streams span several workloads; the hashed ``scenario`` section
+        carries them all), and the run window is the spec's default.
+        """
+        return make_stream_header(
+            self.phases[0].workload,
+            cfg,
+            self.kernel,
+            self.traffic_mode,
+            self.run_kwargs(),
+            seeds=seeds,
+            extra=self.spec_extra(),
+        )
+
+
+def fig1_scenario(
+    design: str = "smart", **kwargs: Any
+) -> ScenarioSpec:
+    """The paper's Fig 1 sequence: WLAN -> H264 -> VOPD on one fabric."""
+    return ScenarioSpec.of(
+        "fig1", list(FIG1_APPS), design=design, **kwargs
+    )
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+
+def run_scenario(
+    spec: ScenarioSpec,
+    cfg: Optional[NocConfig] = None,
+    seed: int = 1,
+) -> List[Dict[str, Any]]:
+    """Execute every phase on a cumulative clock; one row per phase.
+
+    Phase ``i`` streams as load ``float(i)`` (phases are the load axis)
+    and carries the scenario fields described in the module docstring.
+    Everything downstream — stream rows, farm import, aggregation —
+    treats the rows exactly like sweep grid points.
+    """
+    from repro.eval.designs import build_design
+
+    base = cfg or NocConfig()
+    clock = 0
+    previous: Optional[ReconfigurationProgram] = None
+    rows: List[Dict[str, Any]] = []
+    for index, phase in enumerate(spec.phases):
+        load = phase.resolved_load()
+        measure = (
+            phase.measure_cycles
+            if phase.measure_cycles is not None
+            else spec.measure_cycles
+        )
+        job = SweepJob(
+            design=spec.design,
+            load=float(index),
+            seed=seed,
+            cfg=base,
+            workload=phase.workload,
+            kernel=spec.kernel,
+            traffic_mode=spec.traffic_mode,
+            warmup_cycles=spec.warmup_cycles,
+            measure_cycles=measure,
+            drain_limit=spec.drain_limit,
+        )
+        built = build_workload(
+            phase.workload, base, seed=build_seed_for(phase.workload, seed)
+        )
+        # The streamed row keys on the phase index (job.load); the
+        # injection process drives the phase's real load level.
+        drive_job = dataclasses.replace(job, load=load)
+        traffic = _job_traffic(drive_job, built, seed)
+        instance = build_design(
+            spec.design, base, built.flows, traffic=traffic,
+            kernel=spec.kernel,
+        )
+        stores = 0
+        cost = 0
+        if instance.presets is not None:
+            full = compile_program(
+                instance.presets,
+                app_name=phase.workload.name,
+                base_addr=spec.base_addr,
+            )
+            program = full if previous is None else diff_program(previous, full)
+            stores = program.cost_instructions
+            cost = program.cost_cycles(spec.cycles_per_store)
+            previous = full
+        # The switch happens on an empty network before the phase runs:
+        # reconfiguration cycles land on the clock first, then the
+        # phase's own warmup + measurement + drain.
+        clock += cost
+        result = instance.run(
+            warmup_cycles=spec.warmup_cycles,
+            measure_cycles=measure,
+            drain_limit=spec.drain_limit,
+        )
+        clock += result.total_cycles
+        row = _point_row(job, seed, result, traffic)
+        row.update(
+            phase=index,
+            app=phase.workload.name,
+            phase_load=load,
+            reconfig_stores=stores,
+            reconfig_cycles=cost,
+            clock_cycles=clock,
+        )
+        rows.append(row)
+    return rows
+
+
+def run_scenario_stream(
+    spec: ScenarioSpec,
+    cfg: Optional[NocConfig] = None,
+    seeds: Sequence[int] = (1,),
+    stream_path: Optional[str] = None,
+    resume: bool = False,
+    on_result: Optional[Callable[[Dict[str, Any]], None]] = None,
+) -> List[Dict[str, Any]]:
+    """Run a scenario over seeds, streaming per-phase rows like a sweep.
+
+    The stream opens with the scenario's hashed header
+    (:meth:`ScenarioSpec.stream_header`) and holds one row per
+    (phase, seed).  ``resume=True`` reloads completed seeds from the
+    stream — a seed resumes only if *all* its phase rows landed, since a
+    phase's reconfiguration cost depends on its predecessor.  Returns
+    the raw per-phase rows (all seeds); aggregate with
+    :func:`aggregate_scenario`.
+    """
+    base = cfg or NocConfig()
+    header = spec.stream_header(base, seeds=seeds)
+    done: List[Dict[str, Any]] = []
+    pending = list(seeds)
+    if stream_path and resume and os.path.exists(stream_path):
+        existing = read_sweep_header(stream_path)
+        if (
+            existing is not None
+            and existing.get("spec_hash") != header.get("spec_hash")
+        ):
+            raise ValueError(
+                "refusing to resume %s: stream header hash %s does not "
+                "match this scenario's spec hash %s — delete the file or "
+                "rerun the original scenario"
+                % (stream_path, existing.get("spec_hash"),
+                   header.get("spec_hash"))
+            )
+        streamed = read_sweep_stream(stream_path, skip_partial=True)
+        keys = {_point_key(p) for p in streamed}
+        complete = [
+            seed for seed in seeds
+            if all(
+                (spec.design, load, int(seed)) in keys
+                for load in spec.phase_loads()
+            )
+        ]
+        done = [p for p in streamed if int(p["seed"]) in set(complete)]
+        pending = [seed for seed in seeds if seed not in set(complete)]
+
+    stream_fh = None
+    if stream_path:
+        parent = os.path.dirname(stream_path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        stream_fh = open(stream_path, "w")
+        stream_fh.write(json.dumps(header) + "\n")
+        for point in done:
+            stream_fh.write(json.dumps(_point_to_json(point)) + "\n")
+        stream_fh.flush()
+
+    rows: List[Dict[str, Any]] = []
+    try:
+        for seed in pending:
+            for row in run_scenario(spec, base, seed=seed):
+                rows.append(row)
+                if stream_fh is not None:
+                    stream_fh.write(json.dumps(_point_to_json(row)) + "\n")
+                    stream_fh.flush()
+                if on_result is not None:
+                    on_result(row)
+    finally:
+        if stream_fh is not None:
+            stream_fh.close()
+    return done + rows
+
+
+def aggregate_scenario(
+    spec: ScenarioSpec, raw: List[Dict[str, Any]]
+) -> List[Dict[str, Any]]:
+    """Per-phase aggregate rows (seeds pooled) via the sweep aggregator.
+
+    One row per phase with the usual ``<design>_*`` column families plus
+    ``<design>_reconfig_cycles`` and ``<design>_app``.
+    """
+    return _aggregate(
+        raw,
+        [spec.design],
+        spec.phase_loads(),
+        measure_cycles=spec.measure_cycles,
+    )
+
+
+def scenario_phase_table(
+    spec: ScenarioSpec, raw: List[Dict[str, Any]]
+) -> List[Dict[str, Any]]:
+    """Readable per-phase summary rows for reports.
+
+    Pools seeds per phase and reports the app, drive level, mean/p99
+    head latency, the reconfiguration bill and the mean cumulative
+    clock at phase end.
+    """
+    aggregated = aggregate_scenario(spec, raw)
+    table: List[Dict[str, Any]] = []
+    for index, agg in enumerate(aggregated):
+        points = [p for p in raw if int(p.get("phase", -1)) == index]
+        if not points:
+            continue
+        design = spec.design
+        clocks = [p["clock_cycles"] for p in points]
+        table.append(
+            {
+                "phase": index,
+                "app": agg.get("%s_app" % design, ""),
+                "load": points[0].get("phase_load"),
+                "mean_latency": agg.get(design, math.nan),
+                "p99_latency": agg.get("%s_p99" % design, math.nan),
+                "reconfig_stores": max(
+                    int(p.get("reconfig_stores") or 0) for p in points
+                ),
+                "reconfig_cycles": agg.get(
+                    "%s_reconfig_cycles" % design, 0
+                ),
+                "clock_cycles": sum(clocks) / len(clocks),
+                "drained": not agg.get("%s_saturated" % design, False),
+            }
+        )
+    return table
+
+
+# ----------------------------------------------------------------------
+# Farm integration (import-only queues)
+# ----------------------------------------------------------------------
+
+def enumerate_scenario_farm(
+    spec: ScenarioSpec,
+    cfg: Optional[NocConfig] = None,
+    seeds: Sequence[int] = (1,),
+    root: str = "results/farm",
+):
+    """Create the content-addressed farm queue for a scenario.
+
+    The queue's grid is (design, phase-index loads, seeds) under the
+    scenario's hashed header, so streams written by
+    :func:`run_scenario_stream` import via ``repro farm import`` and
+    merge into per-phase aggregate rows.  Scenario queues are
+    **import-only**: phases are sequentially dependent, so
+    ``FarmSpec.job_for`` (and therefore ``repro farm work``) refuses
+    them.
+    """
+    from repro.eval.farm import enumerate_farm_from_header
+
+    base = cfg or NocConfig()
+    return enumerate_farm_from_header(
+        spec.stream_header(base, seeds=seeds),
+        designs=[spec.design],
+        loads=spec.phase_loads(),
+        seeds=seeds,
+        root=root,
+    )

@@ -157,6 +157,12 @@ def _point_row(job: SweepJob, seed: int, result, traffic) -> Dict[str, Any]:
         ),
         "saturated": not result.drained,
         "clamped_flows": len(traffic.clamped_rates),
+        # Offered vs achieved mean injection rate (packets/cycle summed
+        # over flows).  Bursty arrivals whose ON-state burst clamps at
+        # the injection port deliver *less* than the offered load; the
+        # achieved column is what saturated bursty points really drove.
+        "offered_rate": traffic.total_offered_rate(),
+        "achieved_rate": traffic.total_achieved_rate(),
         "tenants": dict(result.per_tenant),
         "node_flits": dict(result.node_delivered_flits),
     }
@@ -245,6 +251,7 @@ def make_stream_header(
     seeds: Optional[Sequence[int]] = None,
     arrival: str = "bernoulli",
     arrival_params: Optional[Dict[str, float]] = None,
+    extra: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Header line for a sweep stream: the spec plus its content hash.
 
@@ -256,8 +263,11 @@ def make_stream_header(
     ``repro sweep --seeds N`` path) additionally hash the seed set, so
     resume and farm queues stay content-addressed over the replication
     axis; likewise a non-default ``arrival`` process (and its knobs)
-    joins the spec.  Default Bernoulli single-seed specs keep their
-    historical hashes.
+    joins the spec.  ``extra`` merges additional spec keys — e.g. the
+    ``"scenario"`` description of a reconfiguration-scenario stream
+    (:mod:`repro.eval.reconfig`) — into the hashed spec; only truthy
+    extras join, so default Bernoulli single-seed sweep specs keep
+    their historical hashes.
     """
     spec = {
         "format": STREAM_FORMAT,
@@ -275,6 +285,9 @@ def make_stream_header(
     if arrival != "bernoulli":
         spec["arrival"] = arrival
         spec["arrival_params"] = dict(arrival_params or {})
+    for key, value in sorted((extra or {}).items()):
+        if value:
+            spec[key] = value
     return {"sweep_spec": spec, "spec_hash": sweep_spec_hash(spec)}
 
 
@@ -335,6 +348,22 @@ def _summary_from_json(data: Dict[str, Any]) -> LatencySummary:
     return summary
 
 
+#: Optional per-row keys streamed verbatim when present: the bursty
+#: offered/achieved-rate annotation and the per-phase fields of
+#: reconfiguration-scenario rows (:mod:`repro.eval.reconfig`).  Absent
+#: in legacy streams; decoded rows simply lack them.
+_PASSTHROUGH_KEYS = (
+    "offered_rate",
+    "achieved_rate",
+    "phase",
+    "app",
+    "phase_load",
+    "reconfig_stores",
+    "reconfig_cycles",
+    "clock_cycles",
+)
+
+
 def _point_to_json(point: Dict[str, Any]) -> Dict[str, Any]:
     """One grid-point result as a strict-JSON-safe dict (NaN -> null)."""
     summary: LatencySummary = point["summary"]
@@ -347,6 +376,9 @@ def _point_to_json(point: Dict[str, Any]) -> Dict[str, Any]:
         "saturated": point["saturated"],
         "clamped_flows": point["clamped_flows"],
     }
+    for key in _PASSTHROUGH_KEYS:
+        if point.get(key) is not None:
+            row[key] = point[key]
     tenants: Dict[str, LatencySummary] = point.get("tenants") or {}
     if tenants:
         row["tenants"] = {
@@ -593,6 +625,22 @@ aggregate_summaries` — exact-to-bucket pooled tail percentiles
             row["%s_clamped" % design] = max(
                 p["clamped_flows"] for p in points
             )
+            achieved = [p.get("achieved_rate") for p in points]
+            if all(a is not None for a in achieved):
+                # Mean achieved injection rate (packets/cycle over all
+                # flows) — below the offered rate when bursty ON-state
+                # bursts clamped (legacy rows lack the field and skip
+                # the column).
+                row["%s_achieved" % design] = sum(achieved) / len(achieved)
+            if any(p.get("reconfig_cycles") is not None for p in points):
+                # Scenario rows: the phase's reconfiguration bill (same
+                # program every seed) and its app label.
+                row["%s_reconfig_cycles" % design] = max(
+                    int(p.get("reconfig_cycles") or 0) for p in points
+                )
+            apps = {p["app"] for p in points if p.get("app")}
+            if len(apps) == 1:
+                row["%s_app" % design] = apps.pop()
             if measure_cycles:
                 node_totals: Dict[int, int] = {}
                 for p in points:
@@ -788,6 +836,7 @@ def format_sweep_rows(rows: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
                 (
                     "_p50", "_p95", "_p99", "_p999", "_ci95", "_thrpt",
                     "_saturated", "_clamped", "_max_node_bw", "_slo_ok",
+                    "_achieved", "_reconfig_cycles", "_app",
                 )
             ):
                 continue

@@ -1,0 +1,376 @@
+"""Trace replay: timestamped packet captures through ``ScriptedTraffic``.
+
+The paper's evaluation injects synthetic traffic at configured
+bandwidths; real integrations start from a *capture* — a gem5 or
+booksim-style list of ``(cycle, src, dst)`` packet injections.  This
+module loads such traces from JSONL or CSV, derives the flow set (one
+flow per observed (src, dst) pair, routed through the shared
+conflict-minimising route-selection pipeline so SMART presets cover the
+capture's paths) and replays the exact schedule through
+:class:`~repro.sim.traffic.ScriptedTraffic`.
+
+Replay is deterministic by construction — the schedule carries no RNG —
+so a capture must produce **bit-identical** per-counter results on the
+legacy, active and event kernels and on the batched lockstep engine.
+:func:`replay_all_kernels` runs all three (plus a batched event lane)
+and :func:`compare_results` reduces any divergence to a readable list;
+the fuzz suite pins this with randomly generated traces.
+
+Trace file formats
+------------------
+
+JSONL — one object per line; field aliases accepted (gem5/booksim
+exports differ): ``cycle``/``time``/``tick``, ``src``/``source``,
+``dst``/``dest``/``destination``::
+
+    {"cycle": 12, "src": 0, "dst": 5}
+    {"cycle": 14, "src": 3, "dst": 1}
+
+CSV — a header line naming the same fields (any alias), then rows::
+
+    cycle,src,dst
+    12,0,5
+    14,3,1
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.config import NocConfig
+from repro.mapping.route_select import PlacedFlow
+from repro.mapping.turn_model import TurnModel
+from repro.sim.flow import Flow
+from repro.sim.patterns import bandwidth_for_injection_rate
+from repro.sim.stats import SimResult
+from repro.sim.topology import Mesh
+from repro.sim.traffic import ScriptedTraffic
+
+#: Kernels a replay must agree across (plus the batched engine).
+REPLAY_KERNELS = ("legacy", "active", "event")
+
+#: Accepted column/field aliases, canonical name first.
+_FIELD_ALIASES = {
+    "cycle": ("cycle", "time", "tick"),
+    "src": ("src", "source"),
+    "dst": ("dst", "dest", "destination"),
+}
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class TraceRecord:
+    """One captured packet injection."""
+
+    cycle: int
+    src: int
+    dst: int
+
+    def __post_init__(self) -> None:
+        if self.cycle < 0:
+            raise ValueError("trace cycle must be >= 0, got %d" % self.cycle)
+        if self.src == self.dst:
+            raise ValueError(
+                "trace packet %d->%d is a self-loop" % (self.src, self.dst)
+            )
+
+
+# ----------------------------------------------------------------------
+# Parsing
+# ----------------------------------------------------------------------
+
+def _canonical_field(name: str) -> Optional[str]:
+    lowered = name.strip().lower()
+    for canonical, aliases in _FIELD_ALIASES.items():
+        if lowered in aliases:
+            return canonical
+    return None
+
+
+def _record_from_mapping(entry: Dict[str, object], where: str) -> TraceRecord:
+    values: Dict[str, int] = {}
+    for key, value in entry.items():
+        canonical = _canonical_field(str(key))
+        if canonical is not None and canonical not in values:
+            values[canonical] = int(value)  # type: ignore[call-overload]
+    missing = [field for field in ("cycle", "src", "dst") if field not in values]
+    if missing:
+        raise ValueError(
+            "%s: missing field(s) %s (aliases: %s)"
+            % (
+                where,
+                ", ".join(missing),
+                "; ".join(
+                    "%s=%s" % (k, "/".join(v)) for k, v in _FIELD_ALIASES.items()
+                ),
+            )
+        )
+    return TraceRecord(values["cycle"], values["src"], values["dst"])
+
+
+def parse_trace_jsonl(text: str) -> List[TraceRecord]:
+    """Records from JSONL text (one object per line, aliases accepted)."""
+    records = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            entry = json.loads(line)
+        except ValueError as exc:
+            raise ValueError("line %d: invalid JSON (%s)" % (lineno, exc))
+        if not isinstance(entry, dict):
+            raise ValueError(
+                "line %d: expected an object, got %r" % (lineno, entry)
+            )
+        records.append(_record_from_mapping(entry, "line %d" % lineno))
+    return records
+
+
+def parse_trace_csv(text: str) -> List[TraceRecord]:
+    """Records from CSV text with a header naming cycle/src/dst fields."""
+    header: Optional[List[Optional[str]]] = None
+    records = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = [f.strip() for f in line.split(",")]
+        if header is None:
+            header = [_canonical_field(f) for f in fields]
+            named = [f for f in header if f is not None]
+            if not all(f in named for f in ("cycle", "src", "dst")):
+                raise ValueError(
+                    "line %d: header must name cycle, src and dst columns "
+                    "(got %r)" % (lineno, line)
+                )
+            continue
+        entry = {
+            name: value
+            for name, value in zip(header, fields)
+            if name is not None
+        }
+        records.append(_record_from_mapping(entry, "line %d" % lineno))
+    if header is None:
+        return []
+    return records
+
+
+def load_trace(path: str) -> List[TraceRecord]:
+    """Records from a trace file, sorted by (cycle, src, dst).
+
+    ``.jsonl``/``.json`` parse as JSONL; anything else as header+CSV.
+    """
+    with open(path) as fh:
+        text = fh.read()
+    if path.lower().endswith((".jsonl", ".json")):
+        records = parse_trace_jsonl(text)
+    else:
+        records = parse_trace_csv(text)
+    return sorted(records)
+
+
+def write_trace_jsonl(path: str, records: Sequence[TraceRecord]) -> None:
+    """Write records as JSONL (the canonical capture interchange form)."""
+    with open(path, "w") as fh:
+        for record in records:
+            fh.write(
+                json.dumps(
+                    {"cycle": record.cycle, "src": record.src, "dst": record.dst}
+                )
+                + "\n"
+            )
+
+
+# ----------------------------------------------------------------------
+# Trace -> flows + schedule
+# ----------------------------------------------------------------------
+
+def trace_span(records: Sequence[TraceRecord]) -> int:
+    """Cycles spanned by the capture (last injection cycle + 1)."""
+    return max((r.cycle for r in records), default=-1) + 1
+
+
+def trace_flows(
+    cfg: NocConfig,
+    records: Sequence[TraceRecord],
+    turn_model: TurnModel = TurnModel.WEST_FIRST,
+    routing: str = "minimal",
+) -> Tuple[List[Flow], List[Tuple[int, int]]]:
+    """Derive the flow set and injection schedule from a capture.
+
+    One flow per observed (src, dst) pair, bandwidth set to the pair's
+    *observed* mean rate over the capture span (packets / span) — the
+    bandwidth only weights SMART preset derivation; the replayed
+    schedule is the capture itself.  Returns ``(flows, schedule)`` where
+    ``schedule`` is the ``(cycle, flow_id)`` list ``ScriptedTraffic``
+    consumes.
+    """
+    # Imported here: repro.workloads sits above the sim layer.
+    from repro.workloads import route_demands
+
+    nodes = cfg.width * cfg.height
+    counts: Dict[Tuple[int, int], int] = {}
+    for record in records:
+        if not (0 <= record.src < nodes and 0 <= record.dst < nodes):
+            raise ValueError(
+                "trace packet %d->%d is outside the %dx%d mesh"
+                % (record.src, record.dst, cfg.width, cfg.height)
+            )
+        pair = (record.src, record.dst)
+        counts[pair] = counts.get(pair, 0) + 1
+    span = trace_span(records)
+    placed = [
+        PlacedFlow(
+            flow_id=i,
+            src=src,
+            dst=dst,
+            bandwidth_bps=bandwidth_for_injection_rate(cfg, count / span),
+            name="trace:%d->%d" % (src, dst),
+        )
+        for i, ((src, dst), count) in enumerate(sorted(counts.items()))
+    ]
+    flows = route_demands(
+        Mesh(cfg.width, cfg.height),
+        placed,
+        model=turn_model,
+        routing=routing,
+        hpc_max=cfg.hpc_max,
+    )
+    flow_ids = {
+        (src, dst): i for i, (src, dst) in enumerate(sorted(counts))
+    }
+    schedule = [(r.cycle, flow_ids[(r.src, r.dst)]) for r in records]
+    return flows, schedule
+
+
+# ----------------------------------------------------------------------
+# Replay
+# ----------------------------------------------------------------------
+
+def replay_trace(
+    trace: Union[str, Sequence[TraceRecord]],
+    cfg: NocConfig,
+    design: str = "smart",
+    kernel: str = "active",
+    turn_model: TurnModel = TurnModel.WEST_FIRST,
+    routing: str = "minimal",
+    drain_limit: int = 100000,
+) -> SimResult:
+    """Replay a capture on one design/kernel and return its result.
+
+    The measurement window is the full capture span (no warmup — every
+    scripted packet is measured), followed by the usual drain.
+    """
+    from repro.eval.designs import build_design
+
+    records = load_trace(trace) if isinstance(trace, str) else sorted(trace)
+    flows, schedule = trace_flows(
+        cfg, records, turn_model=turn_model, routing=routing
+    )
+    instance = build_design(
+        design, cfg, flows, traffic=ScriptedTraffic(schedule), kernel=kernel
+    )
+    return instance.network.run(
+        warmup_cycles=0,
+        measure_cycles=trace_span(records),
+        drain_limit=drain_limit,
+    )
+
+
+def replay_all_kernels(
+    trace: Union[str, Sequence[TraceRecord]],
+    cfg: NocConfig,
+    design: str = "smart",
+    turn_model: TurnModel = TurnModel.WEST_FIRST,
+    routing: str = "minimal",
+    drain_limit: int = 100000,
+    batched: bool = True,
+) -> Dict[str, SimResult]:
+    """Replay a capture on every kernel (and one batched event lane).
+
+    Returns kernel name -> result, with an extra ``"event+batched"``
+    entry when ``batched`` (the lockstep engine driving a single-lane
+    batch — exercising the batched code path on the same schedule).
+    Feed the dict to :func:`compare_results` for the identity verdict.
+    """
+    from repro.eval.designs import build_design
+    from repro.sim.batch import run_batched
+
+    records = load_trace(trace) if isinstance(trace, str) else sorted(trace)
+    results = {
+        kernel: replay_trace(
+            records, cfg, design=design, kernel=kernel,
+            turn_model=turn_model, routing=routing, drain_limit=drain_limit,
+        )
+        for kernel in REPLAY_KERNELS
+    }
+    if batched:
+        flows, schedule = trace_flows(
+            cfg, records, turn_model=turn_model, routing=routing
+        )
+        instance = build_design(
+            design, cfg, flows,
+            traffic=ScriptedTraffic(schedule), kernel="event",
+        )
+        results["event+batched"] = run_batched(
+            [instance.network],
+            warmup_cycles=0,
+            measure_cycles=trace_span(records),
+            drain_limit=drain_limit,
+        )[0]
+    return results
+
+
+#: SimResult attributes compared (beyond per-name counters) for identity.
+_RESULT_ATTRS = (
+    "measured_cycles",
+    "total_cycles",
+    "drained",
+    "undelivered_measured",
+)
+
+
+def compare_results(
+    results: Dict[str, SimResult], reference: str = "legacy"
+) -> List[str]:
+    """Per-counter identity check; returns human-readable mismatches.
+
+    Empty list = every result is bit-identical to ``reference`` on all
+    event counters, run-shape attributes and the packet-count/latency
+    summary (the fuzz suite's notion of kernel equivalence).
+    """
+    mismatches: List[str] = []
+    base = results[reference]
+    base_counters = dataclasses.asdict(base.counters)
+    for name, result in results.items():
+        if name == reference:
+            continue
+        for counter, value in dataclasses.asdict(result.counters).items():
+            if value != base_counters[counter]:
+                mismatches.append(
+                    "%s: counter %s = %r != %s %r"
+                    % (name, counter, value, reference, base_counters[counter])
+                )
+        for attr in _RESULT_ATTRS:
+            if getattr(result, attr) != getattr(base, attr):
+                mismatches.append(
+                    "%s: %s = %r != %s %r"
+                    % (name, attr, getattr(result, attr), reference,
+                       getattr(base, attr))
+                )
+        if result.summary.count != base.summary.count:
+            mismatches.append(
+                "%s: delivered %d packets != %s %d"
+                % (name, result.summary.count, reference, base.summary.count)
+            )
+        elif result.summary.count and (
+            result.summary.mean_head_latency != base.summary.mean_head_latency
+        ):
+            mismatches.append(
+                "%s: mean head latency %r != %s %r"
+                % (name, result.summary.mean_head_latency, reference,
+                   base.summary.mean_head_latency)
+            )
+    return mismatches

@@ -121,6 +121,14 @@ class BernoulliTraffic(TrafficModel):
     def rate(self, flow_id: int) -> float:
         return self._rates[flow_id]
 
+    def offered_rate(self, flow_id: int) -> float:
+        """Configured mean rate before injection-port clamping."""
+        return self.clamped_rates.get(flow_id, self._rates[flow_id])
+
+    def achieved_rate(self, flow_id: int) -> float:
+        """Expected mean injection rate actually delivered (post-clamp)."""
+        return self._rates[flow_id]
+
     # -- schedule sampling ---------------------------------------------
 
     def _draw_gap(self, flow_id: int) -> Optional[int]:
@@ -241,8 +249,12 @@ class MmppTraffic(TrafficModel):
         self._on: Dict[int, bool] = {}
         self._seg_end: Dict[int, int] = {}
         amplify = 1.0 / (self.duty + (1.0 - self.duty) * quiet_scale)
+        self._amplify = amplify
+        #: flow_id -> configured mean rate before any clamping.
+        self._offered: Dict[int, float] = {}
         for flow in flows:
             rate = cfg.flow_rate_packets_per_cycle(flow.bandwidth_bps)
+            self._offered[flow.flow_id] = rate
             if rate > 1.0:
                 if not clamp:
                     raise ValueError(
@@ -262,6 +274,22 @@ class MmppTraffic(TrafficModel):
     def rate(self, flow_id: int) -> float:
         """Configured mean injection rate (packets/cycle)."""
         return self._rates[flow_id]
+
+    def offered_rate(self, flow_id: int) -> float:
+        """Configured mean rate before any clamping."""
+        return self._offered[flow_id]
+
+    def achieved_rate(self, flow_id: int) -> float:
+        """Expected mean injection rate actually delivered.
+
+        Burst clamping silently lowers the achieved mean below the
+        configured bandwidth: the ON-state rate saturates at 1
+        packet/cycle, so the stationary mean drops to
+        ``burst_clamped / amplify`` — this is the number sweep rows must
+        report so saturated bursty points aren't misread as still
+        offering the nominal load.
+        """
+        return self._burst[flow_id] / self._amplify
 
     # -- the monotone walk ---------------------------------------------
 
@@ -451,6 +479,7 @@ class RateScaledTraffic(TrafficModel):
             )
             for f in flows
         ]
+        self._flow_ids = tuple(f.flow_id for f in scaled)
         params = dict(arrival_params or {})
         if arrival == "bernoulli":
             if params:
@@ -476,6 +505,28 @@ class RateScaledTraffic(TrafficModel):
     def rate(self, flow_id: int) -> float:
         """Effective (post-clamp) injection rate of the wrapped flow."""
         return self._inner.rate(flow_id)
+
+    def offered_rate(self, flow_id: int) -> float:
+        """Configured (pre-clamp) mean rate of the wrapped flow."""
+        return self._inner.offered_rate(flow_id)
+
+    def achieved_rate(self, flow_id: int) -> float:
+        """Expected post-clamp mean rate of the wrapped flow (for bursty
+        arrivals this is below the offered rate whenever the ON-state
+        burst clamps at the injection port)."""
+        return self._inner.achieved_rate(flow_id)
+
+    def total_offered_rate(self) -> float:
+        """Sum of configured mean rates over all flows (packets/cycle)."""
+        return sum(
+            self._inner.offered_rate(fid) for fid in self._flow_ids
+        )
+
+    def total_achieved_rate(self) -> float:
+        """Sum of expected post-clamp mean rates over all flows."""
+        return sum(
+            self._inner.achieved_rate(fid) for fid in self._flow_ids
+        )
 
     def packets_at(self, flow: Flow, cycle: int) -> int:
         return self._inner.packets_at(flow, cycle)

@@ -31,6 +31,14 @@ Three workload kinds live in one registry (:data:`WORKLOADS`):
 :class:`WorkloadSpec` is the small picklable handle sweep jobs carry
 across process boundaries; workers rebuild (and memoise) the routed flow
 set locally via :func:`build_workload`.
+
+File-defined workloads (:mod:`repro.workloads.specfile`) join the same
+registry: a YAML/TSV spec file of (src, dst, bandwidth) demands, a task
+graph, or an SDF actor/rate graph registers through
+:func:`register_workload` and flows through the identical pipeline.  A
+:class:`WorkloadSpec` carrying the reserved ``specfile`` param is
+self-loading — worker processes (re)load and register the file before
+resolving the name, so file workloads survive process boundaries.
 """
 
 from __future__ import annotations
@@ -577,6 +585,11 @@ def build_seed_for(workload: Union[str, WorkloadSpec], seed: int) -> int:
     destination draw across all sweep seeds.
     """
     spec = WorkloadSpec.of(workload)
+    specfile = spec.options.get("specfile")
+    if specfile is not None:
+        from repro.workloads.specfile import ensure_file_workloads
+
+        ensure_file_workloads(str(specfile))
     return seed if get_workload(spec.name).seed_sensitive else 0
 
 
@@ -588,11 +601,20 @@ def build_workload(
     Spec params are forwarded to the workload; the reserved
     ``turn_model`` param (a :class:`TurnModel` or its string value)
     overrides the route-selection model — e.g. ``turn_model="xy"``
-    forces single-path XY routing for comparisons.
+    forces single-path XY routing for comparisons.  The reserved
+    ``specfile`` param names a workload spec file
+    (:mod:`repro.workloads.specfile`) that is loaded — idempotently —
+    before the name is resolved, so file-defined workloads rebuild in
+    pool workers that never saw the original registration.
     """
     spec = WorkloadSpec.of(workload)
-    target = get_workload(spec.name)
     params: Dict[str, Any] = spec.options
+    specfile = params.pop("specfile", None)
+    if specfile is not None:
+        from repro.workloads.specfile import ensure_file_workloads
+
+        ensure_file_workloads(str(specfile))
+    target = get_workload(spec.name)
     model = params.pop("turn_model", None)
     if model is not None:
         params["turn_model"] = (

@@ -1,0 +1,723 @@
+"""File-defined workloads: YAML/TSV spec files into the registry.
+
+The paper's evaluation flow starts from an application's communication
+demands; until now the only way to add one was to write Python.  This
+module loads workload definitions from plain files and registers them
+through :func:`repro.workloads.register_workload`, so a spec file rides
+the identical pipeline — placement/demand generation, conflict-minimising
+turn-model route selection, SMART preset computation — as the built-in
+apps and patterns.
+
+Three definition kinds are supported (``kind:`` in the file):
+
+* ``demands`` — explicit placed ``(src, dst, bandwidth)`` triples on
+  concrete mesh nodes.  ``load`` scales the bandwidths (the apps' axis).
+* ``task_graph`` — named tasks and ``(src, dst, MB/s)`` edges, placed by
+  the same modified NMAP the paper's eight apps use.
+* ``sdf`` — a synchronous dataflow graph (actors, token production /
+  consumption rates per firing, token size): the repetition vector is
+  solved from the balance equations and each channel becomes a task-graph
+  edge with bandwidth ``produce x repetitions x token_bytes x
+  throughput`` bytes/s — the SDF image-pipeline app family (Li et al.,
+  arXiv:1310.3356) expressed as SMART demands.
+
+Bandwidths follow the repo convention: ``mbps`` quotes MB/s and ``gbps``
+GB/s (the paper's task-graph units); ``bandwidth_bps`` is bytes/s.
+
+File formats
+------------
+
+YAML (a small built-in subset parser — block mappings, block lists and
+plain scalars; PyYAML is **not** required)::
+
+    workloads:
+      - name: cam_pipeline
+        kind: task_graph
+        edges:
+          - src: cam
+            dst: denoise
+            mbps: 128
+          - src: denoise
+            dst: encode
+            mbps: 64
+
+TSV (one ``demands`` workload per file; ``#`` lines are comments and
+``# name: X`` names the workload)::
+
+    # name: dma_streams
+    # src	dst	mbps
+    0	5	120
+    3	12	64
+
+The reserved ``specfile`` param of a
+:class:`~repro.workloads.WorkloadSpec` makes file workloads self-loading
+across process boundaries: :func:`ensure_file_workloads` is idempotent
+per (process, path), so sweep pool workers and farm workers re-register
+the file's workloads on first use.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from fractions import Fraction
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.config import NocConfig
+from repro.mapping.nmap import place_application, placed_from_mapping
+from repro.mapping.route_select import PlacedFlow
+from repro.mapping.task_graph import TaskEdge, TaskGraph
+from repro.mapping.turn_model import TurnModel
+from repro.sim.topology import Mesh
+from repro.workloads import (
+    BuiltWorkload,
+    Workload,
+    register_workload,
+    route_demands,
+)
+
+#: Definition kinds a spec file may declare.
+FILE_KINDS = ("demands", "task_graph", "sdf")
+
+#: Default whole-graph iteration rate for SDF workloads (iterations/s —
+#: frames/s for the image pipelines this family models).
+DEFAULT_SDF_THROUGHPUT_HZ = 30.0
+
+
+# ----------------------------------------------------------------------
+# Minimal YAML-subset parser (PyYAML is not a repo dependency)
+# ----------------------------------------------------------------------
+
+def _strip_comment(line: str) -> str:
+    """Drop a trailing ``#`` comment (quote-free lines only, which is
+    all the documented schema produces)."""
+    if "#" not in line:
+        return line
+    if '"' in line or "'" in line:
+        return line
+    return line.split("#", 1)[0]
+
+
+def _scalar(text: str) -> Any:
+    """Parse one plain YAML scalar (int, float, bool, null, string)."""
+    raw = text.strip()
+    if len(raw) >= 2 and raw[0] == raw[-1] and raw[0] in "\"'":
+        return raw[1:-1]
+    lowered = raw.lower()
+    if lowered in ("true", "yes"):
+        return True
+    if lowered in ("false", "no"):
+        return False
+    if lowered in ("null", "~", ""):
+        return None
+    try:
+        return int(raw, 0)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        pass
+    return raw
+
+
+def _logical_lines(text: str) -> List[Tuple[int, str]]:
+    """(indent, content) pairs for every non-blank, non-comment line."""
+    out: List[Tuple[int, str]] = []
+    for raw in text.splitlines():
+        if "\t" in raw[: len(raw) - len(raw.lstrip())]:
+            raise ValueError("tabs are not allowed in YAML indentation")
+        line = _strip_comment(raw).rstrip()
+        stripped = line.lstrip(" ")
+        if not stripped:
+            continue
+        out.append((len(line) - len(stripped), stripped))
+    return out
+
+
+def _parse_block(
+    lines: List[Tuple[int, str]], index: int, indent: int
+) -> Tuple[Any, int]:
+    """Parse one block (mapping or list) at ``indent``; returns
+    (value, next line index)."""
+    if lines[index][1].startswith("- "):
+        return _parse_list(lines, index, indent)
+    return _parse_mapping(lines, index, indent)
+
+
+def _parse_list(
+    lines: List[Tuple[int, str]], index: int, indent: int
+) -> Tuple[List[Any], int]:
+    items: List[Any] = []
+    while index < len(lines):
+        line_indent, content = lines[index]
+        if line_indent < indent or not content.startswith("- "):
+            break
+        if line_indent != indent:
+            raise ValueError("inconsistent list indentation: %r" % content)
+        body = content[2:].strip()
+        item_indent = indent + 2
+        if not body:
+            # "-" alone: the item is the nested block on the next lines.
+            value, index = _parse_block(lines, index + 1, lines[index + 1][0])
+            items.append(value)
+            continue
+        if ":" in body and not body.split(":", 1)[1].strip().startswith(
+            ("#",)
+        ) and _looks_like_mapping(body):
+            # "- key: value": a mapping item whose first entry shares
+            # the dash line; the rest continues two spaces deeper.
+            entry_lines = [(item_indent, body)]
+            index += 1
+            while index < len(lines) and lines[index][0] >= item_indent and not (
+                lines[index][0] == indent and lines[index][1].startswith("- ")
+            ):
+                entry_lines.append(lines[index])
+                index += 1
+            value, _ = _parse_mapping(entry_lines, 0, item_indent)
+            items.append(value)
+            continue
+        items.append(_scalar(body))
+        index += 1
+    return items, index
+
+
+def _looks_like_mapping(body: str) -> bool:
+    """Whether a list-item body is a ``key: value`` mapping entry."""
+    key, _sep, _rest = body.partition(":")
+    key = key.strip()
+    return bool(key) and " " not in key and not key.startswith(("[", "{"))
+
+
+def _parse_mapping(
+    lines: List[Tuple[int, str]], index: int, indent: int
+) -> Tuple[Dict[str, Any], int]:
+    mapping: Dict[str, Any] = {}
+    while index < len(lines):
+        line_indent, content = lines[index]
+        if line_indent < indent or content.startswith("- "):
+            break
+        if line_indent != indent:
+            raise ValueError("inconsistent mapping indentation: %r" % content)
+        key, sep, rest = content.partition(":")
+        if not sep:
+            raise ValueError("expected 'key: value', got %r" % content)
+        key = key.strip()
+        if key in mapping:
+            raise ValueError("duplicate key %r" % key)
+        rest = rest.strip()
+        index += 1
+        if rest:
+            mapping[key] = _scalar(rest)
+        elif index < len(lines) and lines[index][0] > indent:
+            mapping[key], index = _parse_block(lines, index, lines[index][0])
+        elif index < len(lines) and lines[index][0] == indent and lines[
+            index
+        ][1].startswith("- "):
+            mapping[key], index = _parse_list(lines, index, indent)
+        else:
+            mapping[key] = None
+    return mapping, index
+
+
+def parse_simple_yaml(text: str) -> Any:
+    """Parse the YAML subset the workload-file schema uses.
+
+    Supports block mappings, block lists (including ``- key: value``
+    mapping items), plain/quoted scalars and ``#`` comments — no
+    anchors, flow collections or multi-document streams.  This keeps
+    spec files dependency-free; files written for this parser are valid
+    YAML and load identically under PyYAML.
+    """
+    lines = _logical_lines(text)
+    if not lines:
+        return {}
+    value, index = _parse_block(lines, 0, lines[0][0])
+    if index != len(lines):
+        raise ValueError(
+            "trailing content at %r (outdented past the document root?)"
+            % lines[index][1]
+        )
+    return value
+
+
+# ----------------------------------------------------------------------
+# Bandwidth helpers
+# ----------------------------------------------------------------------
+
+def _bandwidth_bps(entry: Dict[str, Any], where: str) -> float:
+    """One edge/demand bandwidth from its spec entry.
+
+    Follows the repo convention (``PlacedFlow.bandwidth_bps``,
+    ``TaskEdge.bandwidth_bps``): the value is **bytes/s**; the ``mbps``
+    and ``gbps`` keys quote MB/s and GB/s — the units the paper's task
+    graphs use.
+    """
+    if "bandwidth_bps" in entry:
+        value = float(entry["bandwidth_bps"])
+    elif "mbps" in entry:
+        value = float(entry["mbps"]) * 1e6
+    elif "gbps" in entry:
+        value = float(entry["gbps"]) * 1e9
+    else:
+        raise ValueError(
+            "%s needs a bandwidth (one of bandwidth_bps, mbps, gbps)" % where
+        )
+    if not math.isfinite(value) or value <= 0:
+        raise ValueError("%s bandwidth must be positive, got %r" % (where, value))
+    return value
+
+
+# ----------------------------------------------------------------------
+# Workload classes backing file definitions
+# ----------------------------------------------------------------------
+
+class FileDemandWorkload(Workload):
+    """Explicit placed demands from a spec file.
+
+    Demands name concrete mesh nodes, so the workload requires a mesh
+    large enough to hold every named node; ``load`` scales the recorded
+    bandwidths (the same axis as the mapped apps).
+    """
+
+    kind = "file"
+    load_axis = "bandwidth_scale"
+    default_loads = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+    default_load = 1.0
+
+    def __init__(
+        self,
+        name: str,
+        demands: Sequence[Tuple[int, int, float, Optional[str]]],
+        source: str = "",
+    ):
+        super().__init__(name)
+        if not demands:
+            raise ValueError("workload %r defines no demands" % name)
+        seen: Dict[Tuple[int, int], bool] = {}
+        for src, dst, _bw, _tenant in demands:
+            if src == dst:
+                raise ValueError(
+                    "workload %r: demand %d->%d is a self-loop" % (name, src, dst)
+                )
+            if (src, dst) in seen:
+                raise ValueError(
+                    "workload %r: duplicate demand %d->%d" % (name, src, dst)
+                )
+            seen[(src, dst)] = True
+        self.demands = tuple(demands)
+        self.source = source
+        self.description = "file-defined demands (%d flows%s)" % (
+            len(self.demands),
+            "; %s" % source if source else "",
+        )
+
+    def placed(
+        self, cfg: NocConfig, seed: int = 0, **params: Any
+    ) -> List[PlacedFlow]:
+        nodes = cfg.width * cfg.height
+        for src, dst, _bw, _tenant in self.demands:
+            if not (0 <= src < nodes and 0 <= dst < nodes):
+                raise ValueError(
+                    "workload %r: demand %d->%d is outside the %dx%d mesh"
+                    % (self.name, src, dst, cfg.width, cfg.height)
+                )
+        return [
+            PlacedFlow(
+                flow_id=i,
+                src=src,
+                dst=dst,
+                bandwidth_bps=bw,
+                name="%s:%d->%d" % (self.name, src, dst),
+                tenant=tenant or "",
+            )
+            for i, (src, dst, bw, tenant) in enumerate(self.demands)
+        ]
+
+
+class FileTaskGraphWorkload(Workload):
+    """A task graph from a spec file, placed like the paper's apps."""
+
+    kind = "file"
+    load_axis = "bandwidth_scale"
+    default_loads = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+    default_load = 1.0
+
+    def __init__(self, name: str, graph: TaskGraph, source: str = ""):
+        super().__init__(name)
+        self.graph = graph
+        self.source = source
+        self.description = (
+            "file-defined task graph (%d tasks, %d flows%s)"
+            % (graph.num_tasks, graph.num_edges,
+               "; %s" % source if source else "")
+        )
+
+    def placed(
+        self, cfg: NocConfig, seed: int = 0, **params: Any
+    ) -> List[PlacedFlow]:
+        mesh = Mesh(cfg.width, cfg.height)
+        mapping = place_application(self.graph, mesh, seed=seed)
+        return placed_from_mapping(self.graph, mapping)
+
+    def build(
+        self,
+        cfg: NocConfig,
+        seed: int = 0,
+        turn_model: TurnModel = TurnModel.WEST_FIRST,
+        algorithm: str = "nmap_modified",
+        routing: str = "minimal",
+        **params: Any,
+    ) -> BuiltWorkload:
+        """Place with ``algorithm``, then route via the shared pipeline
+        (mirrors :class:`repro.workloads.AppWorkload`)."""
+        mesh = Mesh(cfg.width, cfg.height)
+        mapping = place_application(
+            self.graph, mesh, algorithm=algorithm, seed=seed
+        )
+        flows = route_demands(
+            mesh, placed_from_mapping(self.graph, mapping),
+            model=turn_model, routing=routing, hpc_max=cfg.hpc_max,
+        )
+        return BuiltWorkload(
+            self.name, self.load_axis, tuple(flows), mapping=mapping
+        )
+
+
+# ----------------------------------------------------------------------
+# SDF: balance equations -> repetition vector -> task-graph bandwidths
+# ----------------------------------------------------------------------
+
+def solve_repetition_vector(
+    edges: Sequence[Tuple[str, str, int, int]]
+) -> Dict[str, int]:
+    """The minimal integer repetition vector of a connected SDF graph.
+
+    ``edges`` are ``(src, dst, produce, consume)`` channels; the balance
+    equation ``r[src] * produce == r[dst] * consume`` must hold on every
+    channel for a periodic schedule to exist.  Raises ``ValueError`` on
+    inconsistent rates (no repetition vector) or a disconnected actor
+    set (ambiguous relative rates).
+    """
+    if not edges:
+        raise ValueError("SDF graph has no channels")
+    rates: Dict[str, Fraction] = {}
+    adjacency: Dict[str, List[Tuple[str, Fraction]]] = {}
+    for src, dst, produce, consume in edges:
+        if produce <= 0 or consume <= 0:
+            raise ValueError(
+                "channel %s->%s: produce/consume rates must be positive"
+                % (src, dst)
+            )
+        ratio = Fraction(produce, consume)  # r[dst] = r[src] * ratio
+        adjacency.setdefault(src, []).append((dst, ratio))
+        adjacency.setdefault(dst, []).append((src, 1 / ratio))
+    start = sorted(adjacency)[0]
+    rates[start] = Fraction(1)
+    frontier = [start]
+    while frontier:
+        actor = frontier.pop()
+        for neighbor, ratio in adjacency[actor]:
+            implied = rates[actor] * ratio
+            if neighbor not in rates:
+                rates[neighbor] = implied
+                frontier.append(neighbor)
+            elif rates[neighbor] != implied:
+                raise ValueError(
+                    "inconsistent SDF rates at %r: %s vs %s (no repetition "
+                    "vector exists)" % (neighbor, rates[neighbor], implied)
+                )
+    missing = sorted(set(adjacency) - set(rates))
+    if missing:
+        raise ValueError(
+            "SDF graph is disconnected; actors %s have no rate relative "
+            "to %r" % (", ".join(missing), start)
+        )
+    scale = 1
+    for value in rates.values():
+        scale = scale * value.denominator // math.gcd(scale, value.denominator)
+    integers = {actor: int(value * scale) for actor, value in rates.items()}
+    divisor = 0
+    for value in integers.values():
+        divisor = math.gcd(divisor, value)
+    return {actor: value // divisor for actor, value in sorted(integers.items())}
+
+
+def sdf_task_graph(
+    name: str,
+    edges: Sequence[Tuple[str, str, int, int]],
+    token_bytes: float = 512.0,
+    throughput_hz: float = DEFAULT_SDF_THROUGHPUT_HZ,
+) -> TaskGraph:
+    """An SDF graph as a bandwidth-annotated task graph.
+
+    Each channel moves ``produce x r[src]`` tokens per graph iteration
+    (equal to ``consume x r[dst]`` by the balance equations), so its
+    bandwidth demand at ``throughput_hz`` iterations per second is::
+
+        produce * r[src] * token_bytes * throughput_hz   [bytes/s]
+
+    Per-channel ``token_bytes`` overrides come from the caller expanding
+    them into separate edges before this call.
+    """
+    if token_bytes <= 0 or throughput_hz <= 0:
+        raise ValueError("token_bytes and throughput_hz must be positive")
+    repetitions = solve_repetition_vector(edges)
+    tasks = sorted(repetitions)
+    out_edges = []
+    for src, dst, produce, consume in edges:
+        tokens_per_iteration = produce * repetitions[src]
+        out_edges.append(
+            TaskEdge(
+                src, dst, tokens_per_iteration * token_bytes * throughput_hz
+            )
+        )
+    return TaskGraph(name, tasks, out_edges)
+
+
+# ----------------------------------------------------------------------
+# Definition -> Workload
+# ----------------------------------------------------------------------
+
+def _demand_tuples(
+    entries: Sequence[Any], name: str
+) -> List[Tuple[int, int, float, Optional[str]]]:
+    demands: List[Tuple[int, int, float, Optional[str]]] = []
+    for i, entry in enumerate(entries):
+        where = "workload %r demand #%d" % (name, i)
+        if not isinstance(entry, dict):
+            raise ValueError("%s must be a mapping, got %r" % (where, entry))
+        if "src" not in entry or "dst" not in entry:
+            raise ValueError("%s needs src and dst node ids" % where)
+        tenant = entry.get("tenant")
+        demands.append(
+            (
+                int(entry["src"]),
+                int(entry["dst"]),
+                _bandwidth_bps(entry, where),
+                str(tenant) if tenant is not None else None,
+            )
+        )
+    return demands
+
+
+def _task_edges(entries: Sequence[Any], name: str) -> List[TaskEdge]:
+    edges: List[TaskEdge] = []
+    for i, entry in enumerate(entries):
+        where = "workload %r edge #%d" % (name, i)
+        if not isinstance(entry, dict):
+            raise ValueError("%s must be a mapping, got %r" % (where, entry))
+        if "src" not in entry or "dst" not in entry:
+            raise ValueError("%s needs src and dst task names" % where)
+        edges.append(
+            TaskEdge(str(entry["src"]), str(entry["dst"]),
+                     _bandwidth_bps(entry, where))
+        )
+    return edges
+
+
+def _sdf_channels(
+    entries: Sequence[Any], name: str
+) -> List[Tuple[str, str, int, int]]:
+    channels: List[Tuple[str, str, int, int]] = []
+    for i, entry in enumerate(entries):
+        where = "workload %r channel #%d" % (name, i)
+        if not isinstance(entry, dict):
+            raise ValueError("%s must be a mapping, got %r" % (where, entry))
+        if "src" not in entry or "dst" not in entry:
+            raise ValueError("%s needs src and dst actor names" % where)
+        channels.append(
+            (
+                str(entry["src"]),
+                str(entry["dst"]),
+                int(entry.get("produce", 1)),
+                int(entry.get("consume", 1)),
+            )
+        )
+    return channels
+
+
+def workload_from_definition(
+    definition: Dict[str, Any], source: str = ""
+) -> Workload:
+    """One parsed spec-file definition as a registrable workload."""
+    if not isinstance(definition, dict):
+        raise ValueError("workload definition must be a mapping, got %r"
+                         % (definition,))
+    name = definition.get("name")
+    if not name or not isinstance(name, str):
+        raise ValueError("workload definition needs a 'name' string")
+    kind = definition.get("kind", "demands")
+    if kind == "demands":
+        entries = definition.get("demands")
+        if not entries:
+            raise ValueError("workload %r (kind=demands) needs 'demands'" % name)
+        return FileDemandWorkload(
+            name, _demand_tuples(entries, name), source=source
+        )
+    if kind == "task_graph":
+        entries = definition.get("edges")
+        if not entries:
+            raise ValueError("workload %r (kind=task_graph) needs 'edges'" % name)
+        edges = _task_edges(entries, name)
+        graph = TaskGraph(name, _graph_tasks(definition, edges), edges)
+        return FileTaskGraphWorkload(name, graph, source=source)
+    if kind == "sdf":
+        entries = definition.get("edges") or definition.get("channels")
+        if not entries:
+            raise ValueError(
+                "workload %r (kind=sdf) needs 'edges' (alias: 'channels')"
+                % name
+            )
+        graph = sdf_task_graph(
+            name,
+            _sdf_channels(entries, name),
+            token_bytes=float(definition.get("token_bytes", 512)),
+            throughput_hz=float(
+                definition.get("throughput_hz", DEFAULT_SDF_THROUGHPUT_HZ)
+            ),
+        )
+        workload = FileTaskGraphWorkload(name, graph, source=source)
+        workload.description = (
+            "file-defined SDF graph (%d actors, %d channels%s)"
+            % (graph.num_tasks, graph.num_edges,
+               "; %s" % source if source else "")
+        )
+        return workload
+    raise ValueError(
+        "workload %r: unknown kind %r (have %s)"
+        % (name, kind, ", ".join(FILE_KINDS))
+    )
+
+
+def _graph_tasks(
+    definition: Dict[str, Any], edges: Sequence[TaskEdge]
+) -> List[str]:
+    """The task set: explicit ``tasks:`` if given, else inferred."""
+    explicit = definition.get("tasks")
+    if explicit:
+        return [str(task) for task in explicit]
+    tasks: List[str] = []
+    for edge in edges:
+        if edge.src not in tasks:
+            tasks.append(edge.src)
+        if edge.dst not in tasks:
+            tasks.append(edge.dst)
+    return tasks
+
+
+# ----------------------------------------------------------------------
+# File parsing + registration
+# ----------------------------------------------------------------------
+
+def _parse_tsv(text: str, default_name: str) -> List[Dict[str, Any]]:
+    """One ``demands`` definition from a TSV/whitespace table."""
+    name = default_name
+    demands: List[Dict[str, Any]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            directive = line.lstrip("#").strip()
+            if directive.lower().startswith("name:"):
+                name = directive.split(":", 1)[1].strip()
+            continue
+        fields = line.split("\t") if "\t" in line else line.split()
+        if len(fields) < 3:
+            raise ValueError(
+                "line %d: expected 'src dst mbps', got %r" % (lineno, raw)
+            )
+        demands.append(
+            {
+                "src": int(fields[0]),
+                "dst": int(fields[1]),
+                "mbps": float(fields[2]),
+            }
+        )
+    return [{"name": name, "kind": "demands", "demands": demands}]
+
+
+def parse_workload_text(
+    text: str, default_name: str, fmt: str = "yaml"
+) -> List[Dict[str, Any]]:
+    """Raw workload definitions from spec-file text.
+
+    ``fmt="yaml"`` accepts either a top-level ``workloads:`` list or a
+    single definition mapping; ``fmt="tsv"`` yields one ``demands``
+    definition (see the module docstring for both schemas).
+    """
+    if fmt == "tsv":
+        return _parse_tsv(text, default_name)
+    data = parse_simple_yaml(text)
+    if isinstance(data, dict) and "workloads" in data:
+        definitions = data["workloads"]
+        if not isinstance(definitions, list):
+            raise ValueError("'workloads' must be a list of definitions")
+    elif isinstance(data, dict):
+        definitions = [data]
+    elif isinstance(data, list):
+        definitions = data
+    else:
+        raise ValueError("spec file must define a workload mapping or list")
+    out: List[Dict[str, Any]] = []
+    for definition in definitions:
+        if isinstance(definition, dict) and "name" not in definition:
+            definition = dict(definition, name=default_name)
+        out.append(definition)
+    return out
+
+
+def _file_format(path: str) -> str:
+    return "tsv" if path.lower().endswith((".tsv", ".txt")) else "yaml"
+
+
+def load_workload_file(
+    path: str, register: bool = True, replace: bool = False
+) -> List[Workload]:
+    """Load every workload defined in ``path``; optionally register them.
+
+    Registration collisions with already-registered names raise (the
+    same contract as :func:`repro.workloads.register_workload`) unless
+    ``replace=True`` — a spec file cannot silently shadow a built-in app
+    or pattern.
+    """
+    with open(path) as fh:
+        text = fh.read()
+    default_name = os.path.splitext(os.path.basename(path))[0]
+    definitions = parse_workload_text(text, default_name, _file_format(path))
+    if not definitions:
+        raise ValueError("%s defines no workloads" % path)
+    loaded = [
+        workload_from_definition(definition, source=path)
+        for definition in definitions
+    ]
+    names = [workload.name for workload in loaded]
+    if len(set(names)) != len(names):
+        raise ValueError("%s defines duplicate workload names" % path)
+    if register:
+        for workload in loaded:
+            register_workload(workload, replace=replace)
+    return loaded
+
+
+#: path -> names registered from it, for idempotent per-process loads.
+_LOADED: Dict[str, Tuple[str, ...]] = {}
+
+
+def ensure_file_workloads(path: str) -> Tuple[str, ...]:
+    """Idempotently load + register ``path``; returns its workload names.
+
+    The first call in a process registers the file's workloads (raising
+    on collisions, like :func:`load_workload_file`); later calls — and
+    calls in forked pool workers that inherited the registry — return
+    the recorded names without touching the registry.  This is the hook
+    behind the reserved ``specfile`` spec param: sweep and farm workers
+    self-load the file before resolving the workload name.
+    """
+    key = os.path.normpath(path)
+    if key in _LOADED:
+        return _LOADED[key]
+    loaded = load_workload_file(path, register=True)
+    _LOADED[key] = tuple(workload.name for workload in loaded)
+    return _LOADED[key]

@@ -143,3 +143,45 @@ class TestTailCurves:
             pytest.skip("matplotlib installed; gating not exercised")
         with pytest.raises(RuntimeError, match="matplotlib"):
             plot_tail_stream(str(tmp_path / "missing.jsonl"))
+
+
+class TestZeroPacketGuards:
+    def test_zero_packet_groups_yield_empty_bands(self):
+        """A pooled group that delivered nothing (quiet tenant, dry
+        scenario phase) gets an empty band dict, not NaN percentiles."""
+        from repro.eval.plotting import tail_curves
+
+        quiet = _point("mesh", 1.0, 1, float("nan"), count=0)
+        quiet["summary"] = LatencySummary.empty()
+        busy = _point("mesh", 2.0, 1, 20.0)
+        busy["summary"].p50_head_latency = 19.0
+        busy["summary"].p99_head_latency = 30.0
+        curves = tail_curves([quiet, busy], fractions=(0.5, 0.99))
+        (zero, nonzero) = curves["mesh"]
+        assert zero == (1.0, {}, False)
+        assert nonzero[1][0.5] == 19.0
+
+    def test_all_zero_stream_plots_without_legend_warning(self, tmp_path):
+        """Rendering a stream of zero-packet runs must not crash (or
+        emit matplotlib's no-artist legend warning)."""
+        import json
+        import warnings
+
+        from repro.eval.plotting import (
+            matplotlib_available,
+            plot_sweep_stream,
+            plot_tail_stream,
+        )
+        from repro.eval.sweeps import _point_to_json
+
+        if not matplotlib_available():
+            pytest.skip("matplotlib not installed")
+        path = str(tmp_path / "stream.jsonl")
+        quiet = _point("mesh", 1.0, 1, float("nan"), count=0)
+        quiet["summary"] = LatencySummary.empty()
+        with open(path, "w") as fh:
+            fh.write(json.dumps(_point_to_json(quiet)) + "\n")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert plot_sweep_stream(path, str(tmp_path / "a.png"))
+            assert plot_tail_stream(path, str(tmp_path / "b.png"))

@@ -1,0 +1,193 @@
+"""Costed multi-app reconfiguration scenarios (SS V time-multiplexing)."""
+
+import json
+
+import pytest
+
+from repro.config import NocConfig
+from repro.eval.reconfig import (
+    ScenarioPhase,
+    ScenarioSpec,
+    aggregate_scenario,
+    enumerate_scenario_farm,
+    fig1_scenario,
+    run_scenario,
+    run_scenario_stream,
+    scenario_phase_table,
+)
+from repro.workloads import WorkloadSpec
+
+#: Small, fast spec shared by most tests: two pattern phases.
+FAST = dict(warmup_cycles=60, measure_cycles=400, drain_limit=6000)
+
+
+def small_spec(names=("uniform", "hotspot"), **kwargs):
+    options = dict(FAST)
+    options.update(kwargs)
+    return ScenarioSpec.of("small", list(names), **options)
+
+
+class TestSpec:
+    def test_fig1_sequence_matches_the_paper(self):
+        spec = fig1_scenario()
+        assert [p.workload.name for p in spec.phases] == [
+            "WLAN", "H264", "VOPD",
+        ]
+        assert spec.design == "smart"
+        assert "WLAN@1" in spec.describe()
+
+    def test_single_phase_rejected(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            ScenarioSpec.of("solo", ["uniform"])
+
+    def test_phase_indices_are_the_load_axis(self):
+        assert small_spec().phase_loads() == [0.0, 1.0]
+
+    def test_header_carries_hashed_scenario_section(self):
+        spec = small_spec()
+        header = spec.stream_header(NocConfig())
+        assert header["sweep_spec"]["scenario"]["name"] == "small"
+        assert len(header["sweep_spec"]["scenario"]["phases"]) == 2
+        # A different phase order is a different spec hash.
+        other = small_spec(names=("hotspot", "uniform"))
+        assert (
+            other.stream_header(NocConfig())["spec_hash"]
+            != header["spec_hash"]
+        )
+
+
+class TestRunScenario:
+    def test_rows_carry_phase_fields_and_cumulative_clock(self):
+        spec = small_spec()
+        rows = run_scenario(spec, NocConfig(), seed=1)
+        assert [r["phase"] for r in rows] == [0, 1]
+        assert [r["load"] for r in rows] == [0.0, 1.0]
+        assert [r["app"] for r in rows] == ["uniform", "hotspot"]
+        # Phase 0 pays the full program, phase 1 only the diff; both on
+        # a monotonically increasing simulated clock.
+        assert rows[0]["reconfig_stores"] > 0
+        assert rows[0]["reconfig_cycles"] == rows[0]["reconfig_stores"]
+        assert rows[1]["clock_cycles"] > rows[0]["clock_cycles"]
+        total = sum(
+            r["reconfig_cycles"] + r["summary"].count * 0 for r in rows
+        )
+        assert rows[-1]["clock_cycles"] >= total
+
+    def test_repeated_app_costs_nothing_to_reconfigure(self):
+        spec = small_spec(names=("uniform", "uniform"))
+        rows = run_scenario(spec, NocConfig(), seed=1)
+        assert rows[0]["reconfig_stores"] > 0
+        assert rows[1]["reconfig_stores"] == 0
+        assert rows[1]["reconfig_cycles"] == 0
+
+    def test_dedicated_design_has_no_presets_to_program(self):
+        spec = small_spec(design="dedicated")
+        rows = run_scenario(spec, NocConfig(), seed=1)
+        assert all(r["reconfig_stores"] == 0 for r in rows)
+        assert all(r["reconfig_cycles"] == 0 for r in rows)
+
+    def test_cycles_per_store_scales_the_bill(self):
+        cheap = run_scenario(small_spec(), NocConfig(), seed=1)
+        costly = run_scenario(
+            small_spec(cycles_per_store=4), NocConfig(), seed=1
+        )
+        assert (
+            costly[0]["reconfig_cycles"] == 4 * cheap[0]["reconfig_cycles"]
+        )
+
+    def test_phase_load_override(self):
+        spec = ScenarioSpec.of(
+            "loads",
+            [
+                ScenarioPhase(WorkloadSpec.of("uniform"), load=0.02),
+                ScenarioPhase(WorkloadSpec.of("uniform"), load=0.08),
+            ],
+            **FAST,
+        )
+        rows = run_scenario(spec, NocConfig(), seed=1)
+        assert rows[0]["phase_load"] == 0.02
+        assert rows[1]["phase_load"] == 0.08
+        # The heavier phase injects more packets.
+        assert rows[1]["summary"].count > rows[0]["summary"].count
+
+
+class TestStreamAndAggregate:
+    def test_stream_resume_reloads_complete_seeds(self, tmp_path):
+        spec = small_spec()
+        path = str(tmp_path / "scenario.jsonl")
+        first = run_scenario_stream(
+            spec, seeds=(1, 2), stream_path=path, resume=False
+        )
+        assert len(first) == 4  # 2 phases x 2 seeds
+        calls = []
+        again = run_scenario_stream(
+            spec, seeds=(1, 2), stream_path=path, resume=True,
+            on_result=calls.append,
+        )
+        assert calls == []  # nothing re-ran
+        assert len(again) == 4
+        assert again == first
+
+    def test_resume_refuses_a_different_scenario(self, tmp_path):
+        path = str(tmp_path / "scenario.jsonl")
+        run_scenario_stream(small_spec(), stream_path=path)
+        other = small_spec(names=("hotspot", "uniform"))
+        with pytest.raises(ValueError, match="spec hash"):
+            run_scenario_stream(other, stream_path=path, resume=True)
+
+    def test_partial_seed_reruns_whole_sequence(self, tmp_path):
+        """Phases depend on their predecessor's presets: a seed with a
+        missing phase row must rerun from phase 0."""
+        spec = small_spec()
+        path = str(tmp_path / "scenario.jsonl")
+        run_scenario_stream(spec, seeds=(1,), stream_path=path)
+        with open(path) as fh:
+            lines = fh.read().splitlines()
+        with open(path, "w") as fh:
+            fh.write("\n".join(lines[:-1]) + "\n")  # drop phase 1's row
+        calls = []
+        rows = run_scenario_stream(
+            spec, seeds=(1,), stream_path=path, resume=True,
+            on_result=calls.append,
+        )
+        assert len(calls) == 2  # both phases re-ran
+        assert len(rows) == 2
+
+    def test_aggregate_and_phase_table(self):
+        spec = small_spec()
+        raw = run_scenario_stream(spec, seeds=(1, 2))
+        aggregated = aggregate_scenario(spec, raw)
+        assert len(aggregated) == 2
+        assert aggregated[0]["smart_app"] == "uniform"
+        assert aggregated[0]["smart_reconfig_cycles"] > 0
+        table = scenario_phase_table(spec, raw)
+        assert [r["app"] for r in table] == ["uniform", "hotspot"]
+        assert table[1]["clock_cycles"] > table[0]["clock_cycles"]
+        # The uniform phase drains; the hotspot phase saturates at its
+        # default load on this mesh, and the table says so.
+        assert table[0]["drained"] is True
+        assert table[1]["drained"] is False
+
+
+class TestFarmIntegration:
+    def test_import_only_queue_round_trip(self, tmp_path):
+        from repro.eval.farm import import_stream, load_farm, merge_farm
+
+        spec = small_spec()
+        root = str(tmp_path / "farm")
+        stream = str(tmp_path / "scenario.jsonl")
+        run_scenario_stream(spec, seeds=(1,), stream_path=stream)
+        farm = enumerate_scenario_farm(spec, seeds=(1,), root=root)
+        stats = import_stream(farm.root, stream)
+        assert stats["imported"] == 2
+        assert stats["outside_grid"] == 0
+        result = merge_farm(farm.root)
+        assert result.complete
+        with open(result.json_path) as fh:
+            merged = json.load(fh)
+        rows = merged["rows"]
+        assert [r["smart_app"] for r in rows] == ["uniform", "hotspot"]
+        # Scenario queues cannot be worked, only imported.
+        reloaded = load_farm(farm.root)
+        with pytest.raises(ValueError, match="import"):
+            reloaded.job_for(reloaded.points()[0])

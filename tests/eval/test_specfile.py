@@ -1,0 +1,229 @@
+"""File-defined workloads: YAML/TSV parsing, SDF rates, registration."""
+
+import textwrap
+
+import pytest
+
+from repro.config import NocConfig
+from repro.workloads import (
+    WORKLOADS,
+    WorkloadSpec,
+    build_workload,
+    get_workload,
+)
+from repro.workloads.specfile import (
+    ensure_file_workloads,
+    load_workload_file,
+    parse_simple_yaml,
+    parse_workload_text,
+    sdf_task_graph,
+    solve_repetition_vector,
+    workload_from_definition,
+)
+
+DEMANDS_YAML = textwrap.dedent(
+    """\
+    workloads:
+      - name: camera_pipe
+        kind: demands
+        demands:
+          - src: 0
+            dst: 5
+            mbps: 400
+          - src: 3
+            dst: 12
+            gbps: 0.25
+    """
+)
+
+TSV_TEXT = textwrap.dedent(
+    """\
+    # name: tsv_pairs
+    # src dst bandwidth_bps
+    0 5 400000000
+    3 12 250000000
+    """
+)
+
+
+@pytest.fixture
+def scratch_registry():
+    """Restore the registry after tests that register file workloads."""
+    before = dict(WORKLOADS)
+    yield WORKLOADS
+    WORKLOADS.clear()
+    WORKLOADS.update(before)
+
+
+class TestYamlSubset:
+    def test_scalars_lists_and_nested_mappings(self):
+        data = parse_simple_yaml(
+            "a: 1\nb: -2.5\nc: true\nd: null\ne: 'x y'\n"
+            "f:\n  - 1\n  - two\ng:\n  h: 3\n"
+        )
+        assert data == {
+            "a": 1, "b": -2.5, "c": True, "d": None, "e": "x y",
+            "f": [1, "two"], "g": {"h": 3},
+        }
+
+    def test_comments_and_blank_lines_ignored(self):
+        assert parse_simple_yaml("# top\na: 1\n\n  # indented\nb: 2\n") == {
+            "a": 1, "b": 2,
+        }
+
+    def test_tab_indentation_rejected(self):
+        with pytest.raises(ValueError, match="tab"):
+            parse_simple_yaml("a:\n\tb: 1\n")
+
+
+class TestDemandWorkloads:
+    def test_yaml_demands_build_and_convert_bandwidths(self):
+        (definition,) = parse_workload_text(DEMANDS_YAML, "spec")
+        workload = workload_from_definition(definition)
+        assert workload.name == "camera_pipe"
+        assert workload.kind == "file"
+        assert workload.load_axis == "bandwidth_scale"
+        cfg = NocConfig()
+        built = workload.build(cfg, seed=1)
+        by_pair = {(f.src, f.dst): f for f in built.flows}
+        # mbps is MB/s and gbps is GB/s (bytes, matching the repo-wide
+        # bandwidth_bps convention).
+        assert by_pair[(0, 5)].bandwidth_bps == pytest.approx(400e6)
+        assert by_pair[(3, 12)].bandwidth_bps == pytest.approx(250e6)
+
+    def test_tsv_demands_parse_with_name_directive(self):
+        (definition,) = parse_workload_text(TSV_TEXT, "fallback", fmt="tsv")
+        workload = workload_from_definition(definition)
+        assert workload.name == "tsv_pairs"
+        built = workload.build(NocConfig(), seed=1)
+        assert {(f.src, f.dst) for f in built.flows} == {(0, 5), (3, 12)}
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            workload_from_definition(
+                {"name": "bad", "kind": "demands",
+                 "demands": [{"src": 1, "dst": 1, "mbps": 1}]}
+            )
+
+    def test_duplicate_pair_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            workload_from_definition(
+                {"name": "bad", "kind": "demands",
+                 "demands": [{"src": 0, "dst": 1, "mbps": 1},
+                             {"src": 0, "dst": 1, "mbps": 2}]}
+            )
+
+    def test_node_out_of_bounds_detected_at_placement(self):
+        (definition,) = parse_workload_text(DEMANDS_YAML, "spec")
+        workload = workload_from_definition(definition)
+        with pytest.raises(ValueError, match="outside the 2x2 mesh"):
+            workload.build(NocConfig(width=2, height=2), seed=1)
+
+    def test_nonpositive_bandwidth_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            workload_from_definition(
+                {"name": "bad", "kind": "demands",
+                 "demands": [{"src": 0, "dst": 1, "mbps": 0}]}
+            )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown kind"):
+            workload_from_definition({"name": "bad", "kind": "mystery"})
+
+
+class TestTaskGraphWorkloads:
+    def test_task_graph_places_and_maps(self):
+        workload = workload_from_definition(
+            {
+                "name": "filegraph",
+                "kind": "task_graph",
+                "edges": [
+                    {"src": "in", "dst": "fft", "mbps": 100},
+                    {"src": "fft", "dst": "out", "mbps": 50},
+                ],
+            }
+        )
+        built = workload.build(NocConfig(), seed=1)
+        assert built.mapping is not None
+        assert set(built.mapping) == {"in", "fft", "out"}
+        assert len(built.flows) == 2
+
+
+class TestSdf:
+    def test_repetition_vector_balances_rates(self):
+        reps = solve_repetition_vector(
+            [("dct", "quant", 2, 1), ("quant", "vlc", 3, 2)]
+        )
+        # dct fires 1x producing 2, quant consumes 1 (fires 2x),
+        # quant produces 3 each (6 total), vlc consumes 2 (fires 3x).
+        assert reps == {"dct": 1, "quant": 2, "vlc": 3}
+
+    def test_inconsistent_rates_rejected(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            solve_repetition_vector(
+                [("a", "b", 1, 1), ("b", "c", 2, 1), ("c", "a", 1, 1)]
+            )
+
+    def test_disconnected_graph_rejected(self):
+        with pytest.raises(ValueError, match="disconnected"):
+            solve_repetition_vector(
+                [("a", "b", 1, 1), ("c", "d", 1, 1)]
+            )
+
+    def test_channel_bandwidth_scales_with_repetitions(self):
+        graph = sdf_task_graph(
+            "g", [("a", "b", 2, 1), ("b", "c", 3, 2)],
+            token_bytes=100.0, throughput_hz=10.0,
+        )
+        bw = {(e.src, e.dst): e.bandwidth_bps for e in graph.edges}
+        # a fires 1x/iteration, producing 2 tokens: 2*100B*10Hz = 2 kB/s.
+        assert bw[("a", "b")] == pytest.approx(2000.0)
+        # b fires 2x producing 3 tokens each: 6*100B*10Hz = 6 kB/s.
+        assert bw[("b", "c")] == pytest.approx(6000.0)
+
+    def test_channels_alias_accepted(self):
+        workload = workload_from_definition(
+            {"name": "sdfw", "kind": "sdf",
+             "channels": [{"src": "a", "dst": "b"}]}
+        )
+        assert workload.kind == "file"
+
+
+class TestLoadAndRegister:
+    def test_load_registers_and_reloads_idempotently(
+        self, tmp_path, scratch_registry
+    ):
+        path = tmp_path / "wl.yaml"
+        path.write_text(DEMANDS_YAML)
+        # ensure_file_workloads registers once and tolerates repeats.
+        assert ensure_file_workloads(str(path)) == ("camera_pipe",)
+        assert ensure_file_workloads(str(path)) == ("camera_pipe",)
+        assert get_workload("camera_pipe").kind == "file"
+        # An explicit (non-registering) load parses the same names.
+        loaded = load_workload_file(str(path), register=False)
+        assert [w.name for w in loaded] == ["camera_pipe"]
+
+    def test_registry_collision_raises(self, tmp_path, scratch_registry):
+        path = tmp_path / "wl.yaml"
+        path.write_text(DEMANDS_YAML.replace("camera_pipe", "VOPD"))
+        with pytest.raises(ValueError, match="already registered"):
+            load_workload_file(str(path))
+
+    def test_duplicate_names_within_file_rejected(self, tmp_path):
+        path = tmp_path / "wl.yaml"
+        path.write_text(DEMANDS_YAML + DEMANDS_YAML[len("workloads:\n"):])
+        with pytest.raises(ValueError, match="duplicate"):
+            load_workload_file(str(path), register=False)
+
+    def test_specfile_param_self_loads_in_fresh_process_state(
+        self, tmp_path, scratch_registry
+    ):
+        """Pool/farm workers never saw the parent's registration: the
+        reserved ``specfile`` param must make build_workload self-load."""
+        path = tmp_path / "wl.yaml"
+        path.write_text(DEMANDS_YAML)
+        spec = WorkloadSpec.of("camera_pipe", specfile=str(path))
+        assert "camera_pipe" not in WORKLOADS  # simulated fresh worker
+        built = build_workload(spec, NocConfig(), seed=1)
+        assert built.name == "camera_pipe"
+        assert "camera_pipe" in WORKLOADS

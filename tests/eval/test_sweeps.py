@@ -676,3 +676,56 @@ class TestTailColumnsAndArrival:
         (bare,) = run_workload_sweep(**kwargs)
         assert "mesh_PIP_slo_ok" not in bare
         assert "mesh_PIP_p99" in bare  # tenant tails always reported
+
+
+class TestOfferedAchievedColumns:
+    def test_rows_and_stream_carry_offered_and_achieved(self, tmp_path):
+        """Oversubscribed bursty points record achieved < offered; the
+        columns survive the stream round-trip and aggregate."""
+        path = str(tmp_path / "stream.jsonl")
+        rows = run_workload_sweep(
+            "uniform", designs=("mesh",), loads=(0.9,), seeds=(1,),
+            processes=0, kernel="event", stream_path=path,
+            arrival="mmpp",
+            arrival_params={"on_cycles": 8.0, "off_cycles": 56.0,
+                            "quiet_scale": 0.0},
+            **_TINY,
+        )
+        (point,) = read_sweep_stream(path)
+        assert point["offered_rate"] > 0
+        # Burst rate = offered/duty clamps at the port: delivered mean
+        # drops below the offered one.
+        assert point["achieved_rate"] < point["offered_rate"]
+        (row,) = rows
+        assert row["mesh_achieved"] == pytest.approx(
+            point["achieved_rate"]
+        )
+        # The pretty formatter keeps the diagnostic column out of the way.
+        (pretty,) = format_sweep_rows(rows)
+        assert "mesh_achieved" not in pretty
+
+    def test_bernoulli_unclamped_points_match(self):
+        rows = run_workload_sweep(
+            "uniform", designs=("mesh",), loads=(0.02,), seeds=(1,),
+            processes=0, kernel="event", **_TINY,
+        )
+        (row,) = rows
+        assert row["mesh_achieved"] == pytest.approx(
+            16 * 0.02, rel=1e-6
+        )
+
+    def test_header_extra_section_hashes_when_truthy(self):
+        spec = WorkloadSpec.of("PIP")
+        base = make_stream_header(
+            spec, NocConfig(), "active", "predraw", _TINY
+        )
+        empty = make_stream_header(
+            spec, NocConfig(), "active", "predraw", _TINY, extra={}
+        )
+        assert empty["spec_hash"] == base["spec_hash"]
+        tagged = make_stream_header(
+            spec, NocConfig(), "active", "predraw", _TINY,
+            extra={"scenario": {"name": "x"}},
+        )
+        assert tagged["spec_hash"] != base["spec_hash"]
+        assert tagged["sweep_spec"]["scenario"] == {"name": "x"}

@@ -288,3 +288,26 @@ class TestTenantMix:
 
         with pytest.raises(ValueError, match="distinct"):
             TenantMixWorkload("broken", foreground="PIP", background="PIP")
+
+
+class TestRegisterWorkload:
+    """Duplicate registrations must raise, never silently clobber."""
+
+    def test_duplicate_name_raises(self):
+        from repro.workloads import PatternWorkload, register_workload
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_workload(PatternWorkload("uniform"))
+        # The registry still holds the original, untouched.
+        assert get_workload("uniform").kind == "pattern"
+
+    def test_replace_flag_allows_overwrite(self):
+        from repro.workloads import PatternWorkload, register_workload
+
+        original = get_workload("uniform")
+        substitute = PatternWorkload("uniform")
+        try:
+            assert register_workload(substitute, replace=True) is substitute
+            assert get_workload("uniform") is substitute
+        finally:
+            register_workload(original, replace=True)

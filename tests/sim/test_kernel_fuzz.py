@@ -170,6 +170,83 @@ def bursty_case(fuzz_seed: int) -> dict:
     return case
 
 
+def trace_case(fuzz_seed: int):
+    """A randomized packet capture replayed on a drawn mesh/design."""
+    from repro.sim.trace import TraceRecord
+
+    rng = random.Random(0x7D0CE + fuzz_seed)
+    width = rng.randint(2, 5)
+    height = rng.randint(2, 5)
+    nodes = width * height
+    cfg = NocConfig(
+        width=width,
+        height=height,
+        vcs_per_port=rng.choice([1, 2]),
+        packet_bits=rng.choice([64, 256]),
+        hpc_max=rng.choice([1, 2, 8]),
+    )
+    records = []
+    for _ in range(rng.randint(5, 80)):
+        src = rng.randrange(nodes)
+        dst = rng.randrange(nodes)
+        if src == dst:
+            continue
+        records.append(TraceRecord(rng.randrange(500), src, dst))
+    if not records:
+        records.append(TraceRecord(0, 0, nodes - 1))
+    return cfg, sorted(records), rng.choice(["smart", "mesh", "dedicated"])
+
+
+def test_trace_replay_bit_identical(fuzz_seed):
+    """Replaying a capture gives per-counter identical results on all
+    three kernels and the single-lane batched engine."""
+    from repro.sim.trace import compare_results, replay_all_kernels
+
+    cfg, records, design = trace_case(fuzz_seed)
+    results = replay_all_kernels(records, cfg, design=design)
+    assert sorted(results) == ["active", "event", "event+batched", "legacy"]
+    assert compare_results(results) == []
+
+
+def test_scenario_phases_bit_identical(fuzz_seed):
+    """Reconfiguration scenarios replay per-row identical on every
+    kernel: same latency histograms, node flit counts, reconfiguration
+    bills and cumulative clocks."""
+    from repro.eval.reconfig import ScenarioSpec, run_scenario
+
+    rng = random.Random(0x5CE7A + fuzz_seed)
+    cfg = NocConfig(
+        width=rng.randint(2, 4),
+        height=rng.randint(2, 4),
+        hpc_max=rng.choice([1, 2, 8]),
+    )
+    pool = ["uniform", "hotspot", "bit_complement"]
+    names = [rng.choice(pool) for _ in range(rng.randint(2, 3))]
+    loads = [round(rng.uniform(0.01, 0.1), 3) for _ in names]
+    seed = rng.randint(1, 999)
+
+    def rows_for(kernel):
+        spec = ScenarioSpec.of(
+            "fuzz", names, design=rng.choice(["smart", "mesh"]),
+            kernel=kernel, warmup_cycles=60, measure_cycles=400,
+            drain_limit=6000,
+        )
+        spec = dataclasses.replace(spec, phases=tuple(
+            dataclasses.replace(p, load=load)
+            for p, load in zip(spec.phases, loads)
+        ))
+        return run_scenario(spec, cfg, seed=seed)
+
+    rng_state = rng.getstate()
+    reference = rows_for("legacy")
+    for kernel in FUZZ_KERNELS[1:]:
+        rng.setstate(rng_state)  # same design draw for every kernel
+        assert rows_for(kernel) == reference, (
+            "scenario rows differ on kernel %r (phases %r, cfg %r)"
+            % (kernel, names, cfg)
+        )
+
+
 def test_mesh_smart_kernels_bit_identical(fuzz_seed):
     case = draw_case(fuzz_seed)
     reference = run_case(case, "legacy")

@@ -272,3 +272,54 @@ class TestRateScaledArrivals:
         )
         assert traffic.rate(0) == pytest.approx(0.0625)
         assert traffic.rate(1) == pytest.approx(0.25)
+
+
+class TestOfferedVsAchieved:
+    """Clamping (port saturation, burst ceilings) lowers the *achieved*
+    mean injection rate below the *offered* one; both are queryable."""
+
+    def test_bernoulli_unclamped_rates_coincide(self, cfg):
+        traffic = BernoulliTraffic(cfg, [make_flow(bw=4e9)], seed=5)
+        assert traffic.offered_rate(0) == traffic.achieved_rate(0)
+        assert traffic.achieved_rate(0) == traffic.rate(0)
+
+    def test_saturation_clamp_lowers_achieved(self, cfg):
+        # rate 0.0625 x32 = 2.0 offered, clamped to 1.0 packet/cycle.
+        traffic = RateScaledTraffic(
+            cfg, [make_flow(bw=4e9)], scale=32.0, seed=5
+        )
+        assert traffic.offered_rate(0) == pytest.approx(2.0)
+        assert traffic.achieved_rate(0) == pytest.approx(1.0)
+        assert traffic.total_offered_rate() == pytest.approx(2.0)
+        assert traffic.total_achieved_rate() == pytest.approx(1.0)
+
+    def test_mmpp_burst_clamp_lowers_achieved_mean(self, cfg):
+        from repro.sim.traffic import MmppTraffic
+
+        # Mean 0.5 at duty 0.25 with a silent quiet state offers a
+        # burst rate of 2.0 -> clamps at 1.0, so the achieved mean is
+        # 1.0 * duty = 0.25: half the offered load.
+        flow = make_flow(bw=32e9)
+        traffic = MmppTraffic(
+            cfg, [flow], seed=5, on_cycles=16.0, off_cycles=48.0,
+            quiet_scale=0.0, clamp=True,
+        )
+        assert traffic.offered_rate(0) == pytest.approx(0.5)
+        assert traffic.achieved_rate(0) == pytest.approx(0.25)
+        n = 200000
+        injections = sum(traffic.packets_at(flow, c) for c in range(n))
+        assert injections == pytest.approx(
+            traffic.achieved_rate(0) * n, rel=0.05
+        )
+
+    def test_rate_scaled_totals_sum_wrapped_flows(self, cfg):
+        flows = [make_flow(fid=0, bw=4e9),
+                 Flow(1, 1, 0, 4e9, route=(Port.WEST, Port.CORE))]
+        traffic = RateScaledTraffic(
+            cfg, flows, scale=2.0, seed=5, arrival="mmpp",
+            arrival_params={"on_cycles": 8.0, "off_cycles": 24.0},
+        )
+        assert traffic.total_offered_rate() == pytest.approx(
+            sum(traffic.offered_rate(f.flow_id) for f in flows)
+        )
+        assert traffic.total_achieved_rate() <= traffic.total_offered_rate()

@@ -15,6 +15,7 @@ class TestParser:
         assert set(sub.choices) == {
             "table1", "table2", "chip", "fig7", "fig10a", "fig10b", "run",
             "apps", "sweep", "workloads", "plot", "lint", "farm",
+            "trace", "scenario",
         }
 
     def test_run_requires_design(self):
@@ -233,3 +234,109 @@ class TestArrivalAndSloFlags:
             pytest.skip("matplotlib installed; gating not exercised")
         with pytest.raises(SystemExit, match="matplotlib"):
             main(["plot", "--histogram", str(tmp_path / "whatever.jsonl")])
+
+
+SPEC_YAML = """\
+workloads:
+  - name: cli_pairs
+    kind: demands
+    demands:
+      - src: 0
+        dst: 5
+        mbps: 400
+"""
+
+
+@pytest.fixture
+def scratch_registry():
+    from repro.workloads import WORKLOADS
+
+    before = dict(WORKLOADS)
+    yield
+    WORKLOADS.clear()
+    WORKLOADS.update(before)
+
+
+class TestWorkloadFileFlags:
+    def test_sweep_from_spec_file(self, capsys, tmp_path, scratch_registry):
+        path = tmp_path / "wl.yaml"
+        path.write_text(SPEC_YAML)
+        main([
+            "sweep", "--workload-file", str(path), "--designs", "mesh",
+            "--loads", "1", "--measure", "400", "--jobs", "0",
+            "--out", str(tmp_path / "sweep.json"),
+        ])
+        out = capsys.readouterr().out
+        assert "cli_pairs" in out
+
+    def test_file_workload_needs_workload_file(self):
+        with pytest.raises(SystemExit, match="workload-file"):
+            main(["sweep", "--file-workload", "cli_pairs"])
+
+    def test_unknown_file_workload_listed(self, tmp_path, scratch_registry):
+        path = tmp_path / "wl.yaml"
+        path.write_text(SPEC_YAML)
+        with pytest.raises(SystemExit, match="cli_pairs"):
+            main([
+                "sweep", "--workload-file", str(path),
+                "--file-workload", "nonesuch",
+            ])
+
+    def test_farm_enumerate_needs_a_source(self, tmp_path):
+        with pytest.raises(SystemExit, match="workload"):
+            main(["farm", "enumerate", "--root", str(tmp_path / "farm")])
+
+
+class TestTraceCommand:
+    def test_replay_reports_identity(self, capsys, tmp_path):
+        from repro.sim.trace import TraceRecord, write_trace_jsonl
+
+        path = str(tmp_path / "cap.jsonl")
+        write_trace_jsonl(path, [
+            TraceRecord(0, 0, 5), TraceRecord(2, 1, 14),
+            TraceRecord(7, 12, 3),
+        ])
+        main(["trace", path, "--design", "smart"])
+        out = capsys.readouterr().out
+        assert "3 packet(s)" in out
+        assert "bit-identical across 4 kernel(s)" in out
+
+    def test_no_batched_drops_the_extra_lane(self, capsys, tmp_path):
+        from repro.sim.trace import TraceRecord, write_trace_jsonl
+
+        path = str(tmp_path / "cap.jsonl")
+        write_trace_jsonl(path, [TraceRecord(0, 0, 5)])
+        main(["trace", path, "--no-batched"])
+        out = capsys.readouterr().out
+        assert "bit-identical across 3 kernel(s)" in out
+
+
+class TestScenarioCommand:
+    def test_default_fig1_sequence(self, capsys, tmp_path):
+        main([
+            "scenario", "--measure", "800", "--warmup", "100",
+            "--out", str(tmp_path / "scenario.jsonl"),
+        ])
+        out = capsys.readouterr().out
+        assert "WLAN" in out and "H264" in out and "VOPD" in out
+        assert "reconfig" in out
+
+    def test_named_phases_with_loads_and_farm(
+        self, capsys, tmp_path, scratch_registry
+    ):
+        spec = tmp_path / "wl.yaml"
+        spec.write_text(SPEC_YAML)
+        main([
+            "scenario", "uniform", "cli_pairs",
+            "--workload-file", str(spec), "--loads", "0.02,1",
+            "--measure", "400", "--warmup", "50", "--seeds", "2",
+            "--out", str(tmp_path / "scenario.jsonl"),
+            "--farm-root", str(tmp_path / "farm"),
+        ])
+        out = capsys.readouterr().out
+        assert "cli_pairs" in out
+        assert "farm import" in out
+
+    def test_mismatched_loads_rejected(self):
+        with pytest.raises(SystemExit, match="phase"):
+            main(["scenario", "uniform", "hotspot", "--loads", "0.1"])
